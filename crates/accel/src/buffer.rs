@@ -1,0 +1,157 @@
+//! On-chip scratchpad buffers (Section 3.2).
+//!
+//! "We put three separate on-chip data buffers in the PuDianNao
+//! accelerator: HotBuf (8KB), ColdBuf (16KB) and OutputBuf (8KB). HotBuf
+//! stores the input data which have short reuse distance, and ColdBuf
+//! stores the input data with relative longer reuse distance. OutputBuf
+//! stores output data or temporary results. ... we use single-port SRAMs
+//! to construct HotBuf and ColdBuf ... dual-port SRAM to construct the
+//! OutputBuf."
+
+use core::fmt;
+use pudiannao_softfp::F16;
+
+/// Which of the three buffers, with its element width and porting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferKind {
+    /// 8 KB, 16-bit elements, single-port.
+    Hot,
+    /// 16 KB, 16-bit elements, single-port.
+    Cold,
+    /// 8 KB, 32-bit elements, dual-port (FUs may read partials and write
+    /// results in the same instruction).
+    Output,
+}
+
+impl BufferKind {
+    /// Element width in bytes.
+    #[must_use]
+    pub const fn elem_bytes(self) -> u32 {
+        match self {
+            BufferKind::Hot | BufferKind::Cold => 2,
+            BufferKind::Output => 4,
+        }
+    }
+
+    /// Whether the SRAM is dual-ported.
+    #[must_use]
+    pub const fn dual_port(self) -> bool {
+        matches!(self, BufferKind::Output)
+    }
+}
+
+impl fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BufferKind::Hot => "HotBuf",
+            BufferKind::Cold => "ColdBuf",
+            BufferKind::Output => "OutputBuf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scratchpad buffer.
+///
+/// Values are held as `f32` for simulation convenience, but writes into
+/// the 16-bit buffers round through binary16 first, so every value an FU
+/// reads from HotBuf/ColdBuf is exactly what the hardware's 16-bit SRAM
+/// would hold.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    kind: BufferKind,
+    data: Vec<f32>,
+}
+
+impl Buffer {
+    /// Allocates a buffer of `capacity_bytes`.
+    #[must_use]
+    pub fn new(kind: BufferKind, capacity_bytes: u32) -> Buffer {
+        let elems = (capacity_bytes / kind.elem_bytes()) as usize;
+        Buffer { kind, data: vec![0.0; elems] }
+    }
+
+    /// The buffer's kind.
+    #[must_use]
+    pub fn kind(&self) -> BufferKind {
+        self.kind
+    }
+
+    /// Capacity in elements.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether `[addr, addr + len)` fits.
+    #[must_use]
+    pub fn in_bounds(&self, addr: u32, len: u64) -> bool {
+        (addr as u64).checked_add(len).is_some_and(|end| end as usize <= self.data.len())
+    }
+
+    /// Writes values at `addr`, rounding through binary16 for the 16-bit
+    /// buffers (the ALU's fp32-to-fp16 converter on the DMA path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity; the executor checks
+    /// bounds before writing and reports a typed error instead.
+    pub fn write(&mut self, addr: u32, values: &[f32]) {
+        let a = addr as usize;
+        let dst = &mut self.data[a..a + values.len()];
+        match self.kind {
+            BufferKind::Hot | BufferKind::Cold => {
+                for (d, &v) in dst.iter_mut().zip(values) {
+                    *d = F16::from_f32(v).to_f32();
+                }
+            }
+            BufferKind::Output => dst.copy_from_slice(values),
+        }
+    }
+
+    /// Reads `len` elements at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    #[must_use]
+    pub fn read(&self, addr: u32, len: usize) -> &[f32] {
+        let a = addr as usize;
+        &self.data[a..a + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_capacities() {
+        assert_eq!(BufferKind::Hot.elem_bytes(), 2);
+        assert_eq!(BufferKind::Output.elem_bytes(), 4);
+        assert!(BufferKind::Output.dual_port());
+        assert!(!BufferKind::Cold.dual_port());
+        assert_eq!(Buffer::new(BufferKind::Hot, 8192).capacity(), 4096);
+        assert_eq!(Buffer::new(BufferKind::Cold, 16384).capacity(), 8192);
+        assert_eq!(Buffer::new(BufferKind::Output, 8192).capacity(), 2048);
+        assert_eq!(BufferKind::Hot.to_string(), "HotBuf");
+    }
+
+    #[test]
+    fn sixteen_bit_buffers_quantise() {
+        let mut b = Buffer::new(BufferKind::Hot, 64);
+        b.write(0, &[0.1]);
+        assert_eq!(b.read(0, 1)[0], 0.099_975_586); // nearest binary16
+        let mut o = Buffer::new(BufferKind::Output, 64);
+        o.write(0, &[0.1]);
+        assert_eq!(o.read(0, 1)[0], 0.1); // 32-bit buffer keeps f32
+    }
+
+    #[test]
+    fn bounds() {
+        let b = Buffer::new(BufferKind::Output, 16);
+        assert!(b.in_bounds(0, 4));
+        assert!(!b.in_bounds(1, 4));
+        assert!(!b.in_bounds(u32::MAX, 2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Microarchitecture configuration.
+
+use core::fmt;
+
+/// Parameters of the simulated accelerator.
+///
+/// [`ArchConfig::paper_default`] reproduces the taped-out configuration:
+/// "The current version of PuDianNao has 16 MLUs, each MLU can process 16
+/// instance features (dimensions) at each cycle" (Section 6.1), with
+/// HotBuf 8 KB, ColdBuf 16 KB, OutputBuf 8 KB (Section 3.2), a 1 GHz
+/// clock, and a DMA of up to 250 GB/s (Section 5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchConfig {
+    /// Number of functional units (MLU + ALU pairs).
+    pub num_fus: u32,
+    /// Features processed per MLU per cycle (adder/multiplier lanes).
+    pub lanes: u32,
+    /// HotBuf capacity in bytes (16-bit elements).
+    pub hotbuf_bytes: u32,
+    /// ColdBuf capacity in bytes (16-bit elements).
+    pub coldbuf_bytes: u32,
+    /// OutputBuf capacity in bytes (32-bit elements).
+    pub outputbuf_bytes: u32,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Peak DMA bandwidth in bytes/second.
+    pub dma_bandwidth: f64,
+    /// Cycles charged per DMA descriptor reconfiguration (the irregular
+    /// access penalty behind CT prediction's 50.32x — the smallest —
+    /// energy win).
+    pub dma_reconfig_cycles: u32,
+    /// Whether consecutive instructions double-buffer DMA behind compute
+    /// (the Table-3 ping-pong pattern). Disable to measure its benefit.
+    pub double_buffering: bool,
+    /// Segments per Misc-stage interpolation table (the paper sizes these
+    /// per non-linear function; 256 gives <1e-3 error everywhere).
+    pub interp_segments: usize,
+    /// InstBuf capacity in bytes (Figure 11; the paper gives no size —
+    /// 8 KB is assumed). Programs larger than the buffer stream through
+    /// it; the initial fill serialises before the first instruction.
+    pub instbuf_bytes: u32,
+}
+
+impl ArchConfig {
+    /// The paper's configuration.
+    #[must_use]
+    pub fn paper_default() -> ArchConfig {
+        ArchConfig {
+            num_fus: 16,
+            lanes: 16,
+            hotbuf_bytes: 8 * 1024,
+            coldbuf_bytes: 16 * 1024,
+            outputbuf_bytes: 8 * 1024,
+            freq_hz: 1.0e9,
+            dma_bandwidth: 250.0e9,
+            dma_reconfig_cycles: 64,
+            double_buffering: true,
+            interp_segments: 256,
+            instbuf_bytes: 8 * 1024,
+        }
+    }
+
+    /// HotBuf capacity in 16-bit elements.
+    #[must_use]
+    pub fn hotbuf_elems(&self) -> u32 {
+        self.hotbuf_bytes / 2
+    }
+
+    /// ColdBuf capacity in 16-bit elements.
+    #[must_use]
+    pub fn coldbuf_elems(&self) -> u32 {
+        self.coldbuf_bytes / 2
+    }
+
+    /// OutputBuf capacity in 32-bit elements.
+    #[must_use]
+    pub fn outputbuf_elems(&self) -> u32 {
+        self.outputbuf_bytes / 4
+    }
+
+    /// Peak MLU throughput in operations per second: each MLU contributes
+    /// 49 adders + 17 multipliers (Section 6.1's
+    /// `16 x (49 + 17) x 1 GHz = 1056 Gop/s`).
+    #[must_use]
+    pub fn peak_gops(&self) -> f64 {
+        let adders = self.lanes + self.lanes + (self.lanes - 1) + 1 + 1;
+        let multipliers = self.lanes + 1;
+        f64::from(self.num_fus) * f64::from(adders + multipliers) * self.freq_hz / 1.0e9
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_fus == 0 || self.lanes == 0 {
+            return Err(ConfigError::ZeroCompute);
+        }
+        if self.hotbuf_bytes == 0 || self.coldbuf_bytes == 0 || self.outputbuf_bytes == 0 {
+            return Err(ConfigError::ZeroBuffer);
+        }
+        if !(self.freq_hz > 0.0) || !(self.dma_bandwidth > 0.0) {
+            return Err(ConfigError::ZeroRate);
+        }
+        if self.interp_segments == 0 {
+            return Err(ConfigError::ZeroInterp);
+        }
+        Ok(())
+    }
+
+    /// Bytes the DMA moves per cycle at the configured clock.
+    #[must_use]
+    pub fn dma_bytes_per_cycle(&self) -> f64 {
+        self.dma_bandwidth / self.freq_hz
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> ArchConfig {
+        ArchConfig::paper_default()
+    }
+}
+
+/// Errors from [`ArchConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// No functional units or lanes.
+    ZeroCompute,
+    /// A buffer has zero capacity.
+    ZeroBuffer,
+    /// Clock or DMA bandwidth is non-positive.
+    ZeroRate,
+    /// Interpolation tables need at least one segment.
+    ZeroInterp,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCompute => f.write_str("num_fus and lanes must be non-zero"),
+            ConfigError::ZeroBuffer => f.write_str("buffer capacities must be non-zero"),
+            ConfigError::ZeroRate => f.write_str("clock and DMA bandwidth must be positive"),
+            ConfigError::ZeroInterp => {
+                f.write_str("interpolation tables need at least one segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_6_1() {
+        let c = ArchConfig::paper_default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_fus, 16);
+        assert_eq!(c.lanes, 16);
+        // 16 x (49 + 17) x 1 GHz = 1056 Gop/s.
+        assert!((c.peak_gops() - 1056.0).abs() < 1e-9);
+        assert_eq!(c.hotbuf_elems(), 4096);
+        assert_eq!(c.coldbuf_elems(), 8192);
+        assert_eq!(c.outputbuf_elems(), 2048);
+        assert!((c.dma_bytes_per_cycle() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut c = ArchConfig::paper_default();
+        c.num_fus = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCompute));
+        let mut c = ArchConfig::paper_default();
+        c.outputbuf_bytes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBuffer));
+        let mut c = ArchConfig::paper_default();
+        c.freq_hz = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroRate));
+        let mut c = ArchConfig::paper_default();
+        c.interp_segments = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroInterp));
+    }
+}

@@ -1,0 +1,127 @@
+//! The energy model, calibrated to Table 5.
+//!
+//! Each functional block contributes `P_block x (s + (1 - s) x activity)
+//! x time`, where `s` is the static/clock share that burns regardless of
+//! work. At full activity the total power equals the paper's 596 mW.
+
+use crate::config::ArchConfig;
+use crate::layout;
+use crate::stats::ComponentEnergy;
+use crate::timing::InstTiming;
+
+/// Static (leakage + clock) share of each block's power.
+const STATIC_SHARE: f64 = 0.35;
+
+/// Converts instruction timings into per-component energy.
+#[derive(Clone, Debug)]
+pub struct EnergyModel {
+    freq_hz: f64,
+    /// Block powers in watts.
+    p_fus: f64,
+    p_hot: f64,
+    p_cold: f64,
+    p_out: f64,
+    p_control: f64,
+    p_other: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model for a configuration, scaling Table-5 block powers
+    /// linearly with FU count and buffer sizes relative to the paper's
+    /// design point.
+    #[must_use]
+    pub fn new(config: &ArchConfig) -> EnergyModel {
+        let paper = ArchConfig::paper_default();
+        let l = layout::paper_layout();
+        let power = |name: &str| -> f64 {
+            l.blocks.iter().find(|b| b.name == name).map_or(0.0, |b| b.power_mw) * 1e-3
+        };
+        let fu_scale = f64::from(config.num_fus * config.lanes)
+            / f64::from(paper.num_fus * paper.lanes);
+        EnergyModel {
+            freq_hz: config.freq_hz,
+            p_fus: power("Function Units") * fu_scale,
+            p_hot: power("HotBuf") * f64::from(config.hotbuf_bytes)
+                / f64::from(paper.hotbuf_bytes),
+            p_cold: power("ColdBuf") * f64::from(config.coldbuf_bytes)
+                / f64::from(paper.coldbuf_bytes),
+            p_out: power("OutputBuf") * f64::from(config.outputbuf_bytes)
+                / f64::from(paper.outputbuf_bytes),
+            p_control: power("Control Module"),
+            p_other: power("Other") + 143.0e-3, // clock network
+        }
+    }
+
+    /// Full-activity power in watts (the Table-5 596 mW at the paper's
+    /// design point).
+    #[must_use]
+    pub fn peak_power(&self) -> f64 {
+        self.p_fus + self.p_hot + self.p_cold + self.p_out + self.p_control + self.p_other
+    }
+
+    /// Energy of one instruction given its timing and the cycles it
+    /// occupied end-to-end (`elapsed` covers DMA overlap).
+    #[must_use]
+    pub fn instruction_energy(&self, timing: &InstTiming, elapsed: u64) -> ComponentEnergy {
+        let t_total = elapsed as f64 / self.freq_hz;
+        let t_compute = (timing.compute_cycles.min(elapsed)) as f64 / self.freq_hz;
+        let t_dma = (timing.dma_cycles.min(elapsed)) as f64 / self.freq_hz;
+        let blended = |p: f64, active: f64| -> f64 {
+            p * (STATIC_SHARE * t_total + (1.0 - STATIC_SHARE) * active)
+        };
+        ComponentEnergy {
+            fus: blended(self.p_fus, t_compute),
+            // Input buffers are exercised by both compute streaming and
+            // DMA fills.
+            hotbuf: blended(self.p_hot, t_compute.max(t_dma)),
+            coldbuf: blended(self.p_cold, t_compute.max(t_dma)),
+            outputbuf: blended(self.p_out, t_compute.max(t_dma)),
+            control: blended(self.p_control, t_total),
+            other: blended(self.p_other, t_total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_power_matches_table5() {
+        let m = EnergyModel::new(&ArchConfig::paper_default());
+        let p = m.peak_power() * 1e3;
+        assert!((p - 604.0).abs() < 10.0, "peak {p} mW vs paper 596 mW");
+    }
+
+    #[test]
+    fn busy_instruction_burns_more_than_idle() {
+        let m = EnergyModel::new(&ArchConfig::paper_default());
+        let busy = InstTiming { compute_cycles: 1000, dma_cycles: 100, ..Default::default() };
+        let idle = InstTiming { compute_cycles: 10, dma_cycles: 100, ..Default::default() };
+        let eb = m.instruction_energy(&busy, 1000).total();
+        let ei = m.instruction_energy(&idle, 1000).total();
+        assert!(eb > ei);
+        // Never above peak power x time.
+        assert!(eb <= m.peak_power() * 1000.0 / 1e9 * 1.001);
+    }
+
+    #[test]
+    fn scaling_reduces_component_power() {
+        let mut half = ArchConfig::paper_default();
+        half.coldbuf_bytes /= 2;
+        half.num_fus /= 2;
+        let m_full = EnergyModel::new(&ArchConfig::paper_default());
+        let m_half = EnergyModel::new(&half);
+        assert!(m_half.peak_power() < m_full.peak_power());
+    }
+
+    #[test]
+    fn energy_splits_by_component() {
+        let m = EnergyModel::new(&ArchConfig::paper_default());
+        let t = InstTiming { compute_cycles: 500, dma_cycles: 500, ..Default::default() };
+        let e = m.instruction_energy(&t, 500);
+        assert!(e.fus > 0.0);
+        assert!(e.control > 0.0);
+        assert!((e.total() - (e.fus + e.hotbuf + e.coldbuf + e.outputbuf + e.control + e.other)).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,1016 @@
+//! The control module and functional executor.
+//!
+//! "The control module fetches instructions from the InstBuf, decodes the
+//! instructions, and sends operation signals to all FUs" (Section 4). The
+//! executor here does exactly that over a [`Program`]: per instruction it
+//! performs the DMA LOADs, streams the buffer operands through the decoded
+//! MLU/ALU dataflow with bit-accurate 16-bit arithmetic in the 16-bit
+//! stages, disposes results per the OutputBuf slot, and charges the
+//! [`timing`] model's cycles with DMA double-buffered behind compute (the
+//! Table-3 ping-pong).
+
+use crate::buffer::{Buffer, BufferKind};
+use crate::config::{ArchConfig, ConfigError};
+use crate::energy::EnergyModel;
+use crate::isa::{Instruction, Program, ReadOp, WriteOp};
+use crate::ksorter::KSorter;
+use crate::memory::Dram;
+use crate::stats::ExecStats;
+use crate::timing::{self, DecodeError, Mode};
+use core::fmt;
+use pudiannao_softfp::{taylor_ln, F16, InterpTable, NonLinearFn};
+use std::collections::HashMap;
+
+/// Errors raised during execution.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// Invalid architecture configuration.
+    Config(ConfigError),
+    /// The FU slot decodes to no supported dataflow.
+    Decode(DecodeError),
+    /// A buffer slot exceeds its buffer's capacity.
+    BufferOverflow {
+        /// Which buffer.
+        buffer: BufferKind,
+        /// Element offset requested.
+        addr: u32,
+        /// Elements requested.
+        elems: u64,
+    },
+    /// A DRAM range is out of bounds.
+    DramOverflow {
+        /// Element address requested.
+        addr: u64,
+        /// Elements requested.
+        elems: u64,
+    },
+    /// The instruction's slots are inconsistent with its mode.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Config(e) => write!(f, "configuration: {e}"),
+            ExecError::Decode(e) => write!(f, "decode: {e}"),
+            ExecError::BufferOverflow { buffer, addr, elems } => {
+                write!(f, "{buffer} overflow: {elems} elems at offset {addr}")
+            }
+            ExecError::DramOverflow { addr, elems } => {
+                write!(f, "DRAM overflow: {elems} elems at {addr}")
+            }
+            ExecError::Malformed(msg) => write!(f, "malformed instruction: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ConfigError> for ExecError {
+    fn from(e: ConfigError) -> ExecError {
+        ExecError::Config(e)
+    }
+}
+
+impl From<DecodeError> for ExecError {
+    fn from(e: DecodeError) -> ExecError {
+        ExecError::Decode(e)
+    }
+}
+
+/// The simulated accelerator.
+///
+/// Buffer contents persist across [`Accelerator::run`] calls, exactly as
+/// SRAM contents persist across instruction sequences on the chip.
+pub struct Accelerator {
+    config: ArchConfig,
+    energy: EnergyModel,
+    hot: Buffer,
+    cold: Buffer,
+    out: Buffer,
+    interp: HashMap<NonLinearFn, InterpTable>,
+}
+
+impl Accelerator {
+    /// Builds an accelerator from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(config: ArchConfig) -> Result<Accelerator, ExecError> {
+        config.validate()?;
+        Ok(Accelerator {
+            energy: EnergyModel::new(&config),
+            hot: Buffer::new(BufferKind::Hot, config.hotbuf_bytes),
+            cold: Buffer::new(BufferKind::Cold, config.coldbuf_bytes),
+            out: Buffer::new(BufferKind::Output, config.outputbuf_bytes),
+            interp: HashMap::new(),
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Executes a program against `dram`, returning aggregate statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any bounds violation, decode failure, or slot inconsistency aborts
+    /// execution with a typed error; DRAM and buffers keep whatever the
+    /// already-executed prefix wrote.
+    pub fn run(&mut self, program: &Program, dram: &mut Dram) -> Result<ExecStats, ExecError> {
+        let mut stats = ExecStats::default();
+        // Instruction fetch: the whole program streams through the
+        // InstBuf (refills overlap execution); the initial fill
+        // serialises before the first instruction issues.
+        let fetch_bytes = program.len() as u64 * timing::INSTRUCTION_BYTES;
+        stats.dma_bytes += fetch_bytes;
+        stats.cycles += (fetch_bytes.min(u64::from(self.config.instbuf_bytes)) as f64
+            / self.config.dma_bytes_per_cycle())
+        .ceil() as u64;
+        let mut first = true;
+        for inst in program.instructions() {
+            let t = timing::instruction_timing(&self.config, inst)?;
+            self.exec_functional(inst, dram)?;
+            let elapsed = if first || !self.config.double_buffering {
+                t.compute_cycles + t.dma_cycles
+            } else {
+                t.compute_cycles.max(t.dma_cycles)
+            };
+            first = false;
+            stats.cycles += elapsed;
+            stats.instructions += 1;
+            stats.compute_cycles += t.compute_cycles;
+            stats.dma_cycles += t.dma_cycles;
+            stats.dma_bytes += t.dma_bytes;
+            stats.mlu_ops += t.mlu_ops;
+            stats.alu_ops += t.alu_ops;
+            stats.energy += self.energy.instruction_energy(&t, elapsed);
+        }
+        Ok(stats)
+    }
+
+    fn check_buffer(&self, buffer: BufferKind, addr: u32, elems: u64) -> Result<(), ExecError> {
+        let buf = match buffer {
+            BufferKind::Hot => &self.hot,
+            BufferKind::Cold => &self.cold,
+            BufferKind::Output => &self.out,
+        };
+        if buf.in_bounds(addr, elems) {
+            Ok(())
+        } else {
+            Err(ExecError::BufferOverflow { buffer, addr, elems })
+        }
+    }
+
+    fn check_dram(dram: &Dram, addr: u64, elems: u64) -> Result<(), ExecError> {
+        if dram.in_bounds(addr, elems) {
+            Ok(())
+        } else {
+            Err(ExecError::DramOverflow { addr, elems })
+        }
+    }
+
+    /// Performs the LOAD side of a buffer slot.
+    fn load_input(
+        buf: &mut Buffer,
+        slot: &crate::isa::BufferRead,
+        dram: &Dram,
+    ) -> Result<(), ExecError> {
+        if slot.op == ReadOp::Load && slot.elems() > 0 {
+            if !buf.in_bounds(slot.addr, slot.elems()) {
+                return Err(ExecError::BufferOverflow {
+                    buffer: buf.kind(),
+                    addr: slot.addr,
+                    elems: slot.elems(),
+                });
+            }
+            if slot.dram_row_stride == 0 || slot.dram_row_stride == u64::from(slot.stride) {
+                Self::check_dram(dram, slot.dram_addr, slot.elems())?;
+                let data = dram.slice(slot.dram_addr, slot.elems() as usize);
+                buf.write(slot.addr, data);
+            } else {
+                // 2D transfer: one descriptor, strided row starts.
+                let span = slot.dram_row_stride * u64::from(slot.iter.saturating_sub(1))
+                    + u64::from(slot.stride);
+                Self::check_dram(dram, slot.dram_addr, span)?;
+                for r in 0..slot.iter {
+                    let src = slot.dram_addr + u64::from(r) * slot.dram_row_stride;
+                    let data = dram.slice(src, slot.stride as usize);
+                    buf.write(slot.addr + r * slot.stride, data);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_functional(&mut self, inst: &Instruction, dram: &mut Dram) -> Result<(), ExecError> {
+        let mode = timing::decode(&inst.fu, inst.hot.iter)?;
+
+        // DMA in. Tree-step node words bypass the 16-bit HotBuf
+        // quantisation (they are integers/pointers streamed as raw words),
+        // so their hot slot is consumed directly from DRAM in `compute`.
+        if mode != Mode::TreeStep {
+            Self::load_input(&mut self.hot, &inst.hot, dram)?;
+        }
+        Self::load_input(&mut self.cold, &inst.cold, dram)?;
+        if inst.out.read_op == ReadOp::Load && inst.out.elems() > 0 {
+            Self::check_dram(dram, inst.out.read_dram_addr, inst.out.elems())?;
+            self.check_buffer(BufferKind::Output, inst.out.addr, inst.out.elems())?;
+            let data = dram.slice(inst.out.read_dram_addr, inst.out.elems() as usize);
+            self.out.write(inst.out.addr, data);
+        }
+
+        // Operand bounds for the streamed reads.
+        if inst.hot.op != ReadOp::Null && mode != Mode::TreeStep {
+            self.check_buffer(BufferKind::Hot, inst.hot.addr, inst.hot.elems())?;
+        }
+        if inst.cold.op != ReadOp::Null {
+            self.check_buffer(BufferKind::Cold, inst.cold.addr, inst.cold.elems())?;
+        }
+        if inst.out.elems() > 0 {
+            self.check_buffer(BufferKind::Output, inst.out.addr, inst.out.elems())?;
+        }
+
+        // Compute.
+        let results = self.compute(mode, inst, dram)?;
+
+        // Dispose results.
+        if !results.is_empty() {
+            self.out.write(inst.out.addr, &results);
+            if inst.out.write_op == WriteOp::Store {
+                Self::check_dram(dram, inst.out.write_dram_addr, results.len() as u64)?;
+                dram.write_f32(inst.out.write_dram_addr, &results);
+            }
+        }
+        Ok(())
+    }
+
+    fn hot_row(&self, inst: &Instruction, h: u32) -> &[f32] {
+        self.hot
+            .read(inst.hot.addr + h * inst.hot.stride, inst.hot.stride as usize)
+    }
+
+    fn cold_row(&self, inst: &Instruction, c: u32) -> &[f32] {
+        self.cold
+            .read(inst.cold.addr + c * inst.cold.stride, inst.cold.stride as usize)
+    }
+
+    fn interp_table(&mut self, f: NonLinearFn) -> &InterpTable {
+        let segments = self.config.interp_segments;
+        self.interp.entry(f).or_insert_with(|| {
+            InterpTable::for_function(f, segments)
+                .expect("validated non-zero segment count")
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn compute(
+        &mut self,
+        mode: Mode,
+        inst: &Instruction,
+        dram: &Dram,
+    ) -> Result<Vec<f32>, ExecError> {
+        let lanes = self.config.lanes as usize;
+        let width = inst.cold.stride as usize;
+        let out_stride = inst.out.stride as usize;
+        let seeded = inst.out.read_op != ReadOp::Null;
+
+        match mode {
+            Mode::Distance { sort_k, activation } => {
+                if inst.out.iter != inst.cold.iter {
+                    return Err(ExecError::Malformed("distance: out.iter must equal cold.iter"));
+                }
+                if inst.hot.stride != inst.cold.stride {
+                    return Err(ExecError::Malformed("distance: row widths must match"));
+                }
+                match sort_k {
+                    Some(k) => {
+                        let k = k as usize;
+                        if out_stride != 2 * k {
+                            return Err(ExecError::Malformed(
+                                "distance+sort: out.stride must be 2k",
+                            ));
+                        }
+                        let mut results = Vec::with_capacity(inst.out.elems() as usize);
+                        for c in 0..inst.cold.iter {
+                            let mut sorter = KSorter::new(k);
+                            if seeded {
+                                let seed = self.out.read(
+                                    inst.out.addr + c * inst.out.stride,
+                                    out_stride,
+                                );
+                                let pairs: Vec<(f32, u64)> = seed
+                                    .chunks_exact(2)
+                                    .map(|p| (p[0], p[1] as u64))
+                                    .collect();
+                                sorter.seed(&pairs);
+                            }
+                            for h in 0..inst.hot.iter {
+                                let d = f16_squared_distance(
+                                    self.hot_row(inst, h),
+                                    self.cold_row(inst, c),
+                                    lanes,
+                                );
+                                sorter.offer(d, inst.hot_row_base + u64::from(h));
+                            }
+                            results.extend(sorter.to_output());
+                        }
+                        Ok(results)
+                    }
+                    None => {
+                        if seeded {
+                            return Err(ExecError::Malformed(
+                                "plain distance does not accumulate",
+                            ));
+                        }
+                        if out_stride < inst.hot.iter as usize {
+                            return Err(ExecError::Malformed(
+                                "distance: out.stride must hold hot.iter values",
+                            ));
+                        }
+                        let mut results = vec![0.0f32; inst.out.elems() as usize];
+                        for c in 0..inst.cold.iter {
+                            for h in 0..inst.hot.iter {
+                                results[c as usize * out_stride + h as usize] =
+                                    f16_squared_distance(
+                                        self.hot_row(inst, h),
+                                        self.cold_row(inst, c),
+                                        lanes,
+                                    );
+                            }
+                        }
+                        if let Some(f) = activation {
+                            let table = self.interp_table(f).clone();
+                            for v in &mut results {
+                                *v = table.eval(*v);
+                            }
+                        }
+                        Ok(results)
+                    }
+                }
+            }
+            Mode::Dot { activation, pairwise } => {
+                if inst.out.iter != inst.cold.iter {
+                    return Err(ExecError::Malformed("dot: out.iter must equal cold.iter"));
+                }
+                let hot_rows = if pairwise { inst.hot.iter } else { 1 };
+                if out_stride < hot_rows as usize {
+                    return Err(ExecError::Malformed("dot: out.stride too small"));
+                }
+                if inst.hot.stride != inst.cold.stride {
+                    return Err(ExecError::Malformed("dot: row widths must match"));
+                }
+                let n_out = inst.out.elems() as usize;
+                let mut results = vec![0.0f32; n_out];
+                if seeded {
+                    results.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                }
+                for c in 0..inst.cold.iter {
+                    for h in 0..hot_rows {
+                        let d = f16_dot(self.hot_row(inst, h), self.cold_row(inst, c), lanes);
+                        results[c as usize * out_stride + h as usize] += d;
+                    }
+                }
+                if let Some(f) = activation {
+                    let table = self.interp_table(f).clone();
+                    for v in &mut results {
+                        *v = table.eval(*v);
+                    }
+                }
+                Ok(results)
+            }
+            Mode::Count(op) => {
+                if inst.out.iter != inst.hot.iter || out_stride != width {
+                    return Err(ExecError::Malformed(
+                        "count: out must be hot.iter rows of cold width",
+                    ));
+                }
+                if inst.hot.stride != inst.cold.stride {
+                    return Err(ExecError::Malformed("count: row widths must match"));
+                }
+                let n_out = inst.out.elems() as usize;
+                let mut counts = vec![0.0f32; n_out];
+                if seeded {
+                    counts.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                }
+                for c in 0..inst.cold.iter {
+                    for h in 0..inst.hot.iter {
+                        let cand = self.hot_row(inst, h);
+                        let row = self.cold_row(inst, c);
+                        for (pos, (&x, &cd)) in row.iter().zip(cand).enumerate() {
+                            let hit = match op {
+                                crate::isa::CounterOp::CountEq => x == cd,
+                                crate::isa::CounterOp::CountGt => x > cd,
+                                crate::isa::CounterOp::Null => unreachable!("decoded as Count"),
+                            };
+                            if hit {
+                                counts[h as usize * out_stride + pos] += 1.0;
+                            }
+                        }
+                    }
+                }
+                Ok(counts)
+            }
+            Mode::WeightedSum => {
+                // out[j] (+)= sum_r hot[r] * cold[r][j]: products in
+                // binary16, accumulation in the 32-bit Acc stage.
+                if inst.out.iter != 1 || out_stride != width {
+                    return Err(ExecError::Malformed(
+                        "weighted-sum: out must be one row of cold width",
+                    ));
+                }
+                if inst.hot.iter != 1 || inst.hot.stride != inst.cold.iter {
+                    return Err(ExecError::Malformed(
+                        "weighted-sum: hot must be one row of cold.iter scalars",
+                    ));
+                }
+                let scalars = self.hot_row(inst, 0).to_vec();
+                let mut results = vec![0.0f32; width];
+                if seeded {
+                    results.copy_from_slice(self.out.read(inst.out.addr, width));
+                }
+                for r in 0..inst.cold.iter {
+                    let w = F16::from_f32(scalars[r as usize]);
+                    let row = self.cold_row(inst, r);
+                    for (j, &x) in row.iter().enumerate() {
+                        results[j] += (w * F16::from_f32(x)).to_f32();
+                    }
+                }
+                Ok(results)
+            }
+            Mode::ProductReduce => {
+                if inst.out.iter != inst.cold.iter || out_stride != 1 {
+                    return Err(ExecError::Malformed(
+                        "product: out must be one value per cold row",
+                    ));
+                }
+                let n_out = inst.out.elems() as usize;
+                let mut results = vec![1.0f32; n_out];
+                if seeded {
+                    results.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                }
+                for c in 0..inst.cold.iter {
+                    let row = self.cold_row(inst, c);
+                    let mut p = results[c as usize];
+                    for &v in row {
+                        p *= v;
+                    }
+                    results[c as usize] = p;
+                }
+                Ok(results)
+            }
+            Mode::AluDiv | Mode::AluMul => {
+                let op_name = if mode == Mode::AluDiv { "div" } else { "mul-rows" };
+                if !seeded {
+                    return Err(ExecError::Malformed("elementwise ALU op needs seeded output rows"));
+                }
+                if inst.out.iter != inst.cold.iter || out_stride != width {
+                    return Err(ExecError::Malformed("elementwise ALU op: shapes must match"));
+                }
+                let _ = op_name;
+                let mut results = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
+                for c in 0..inst.cold.iter {
+                    let row = self.cold_row(inst, c);
+                    for (j, &d) in row.iter().enumerate() {
+                        let idx = c as usize * out_stride + j;
+                        results[idx] = if mode == Mode::AluMul {
+                            results[idx] * d
+                        } else if d != 0.0 {
+                            results[idx] / d
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                Ok(results)
+            }
+            Mode::AluLog { terms } => {
+                if !seeded {
+                    return Err(ExecError::Malformed("log: output rows must be seeded"));
+                }
+                let mut results = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
+                for v in &mut results {
+                    *v = taylor_ln(*v, terms);
+                }
+                Ok(results)
+            }
+            Mode::TreeStep => {
+                // Nodes are integer/pointer words: stream them straight
+                // from DRAM (the hardware moves them as raw words, not
+                // fp16; the 16-bit buffers would corrupt child indices).
+                if inst.hot.op != ReadOp::Load || inst.hot.stride != 4 {
+                    return Err(ExecError::Malformed(
+                        "tree-step: hot must LOAD 4-element node rows",
+                    ));
+                }
+                if !seeded || inst.out.iter != inst.cold.iter || out_stride != 1 {
+                    return Err(ExecError::Malformed(
+                        "tree-step: out must be one seeded state per instance",
+                    ));
+                }
+                Self::check_dram(dram, inst.hot.dram_addr, inst.hot.elems())?;
+                let nodes = dram.slice(inst.hot.dram_addr, inst.hot.elems() as usize).to_vec();
+                let base = inst.hot_row_base;
+                let mut state = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
+                for c in 0..inst.cold.iter {
+                    let s = state[c as usize];
+                    if s < 0.0 {
+                        continue; // already at a leaf
+                    }
+                    let n = s as u64;
+                    if n < base || n >= base + u64::from(inst.hot.iter) {
+                        continue; // belongs to another subtree
+                    }
+                    let row = &nodes[((n - base) * 4) as usize..((n - base) * 4 + 4) as usize];
+                    if row[0] < 0.0 {
+                        // Leaf: encode the class as -(1 + class).
+                        state[c as usize] = -(1.0 + row[1]);
+                    } else {
+                        let feature = row[0] as usize;
+                        if feature >= width {
+                            return Err(ExecError::Malformed("tree-step: feature out of range"));
+                        }
+                        let x = self.cold_row(inst, c)[feature];
+                        state[c as usize] = if x <= row[1] { row[2] } else { row[3] };
+                    }
+                }
+                Ok(state)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Accelerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Accelerator").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+/// Squared distance with the MLU's stage widths: subtraction and squaring
+/// in binary16, lane-tree summation in binary16, cross-chunk accumulation
+/// at 32 bits (the Acc stage).
+fn f16_squared_distance(a: &[f32], b: &[f32], lanes: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
+        let prods: Vec<F16> = ca
+            .iter()
+            .zip(cb)
+            .map(|(&x, &y)| {
+                let d = F16::from_f32(x) - F16::from_f32(y);
+                d * d
+            })
+            .collect();
+        acc += f16_tree_sum(&prods).to_f32();
+    }
+    acc
+}
+
+/// Dot product with the MLU's stage widths.
+fn f16_dot(a: &[f32], b: &[f32], lanes: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
+        let prods: Vec<F16> =
+            ca.iter().zip(cb).map(|(&x, &y)| F16::from_f32(x) * F16::from_f32(y)).collect();
+        acc += f16_tree_sum(&prods).to_f32();
+    }
+    acc
+}
+
+/// Sums values in binary16 with the adder tree's pairwise reduction order.
+fn f16_tree_sum(values: &[F16]) -> F16 {
+    match values.len() {
+        0 => F16::ZERO,
+        1 => values[0],
+        n => {
+            let (lo, hi) = values.split_at(n.div_ceil(2));
+            f16_tree_sum(lo) + f16_tree_sum(hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, BufferRead, CounterOp, FuOps, OutputSlot};
+
+    fn accel() -> Accelerator {
+        Accelerator::new(ArchConfig::paper_default()).unwrap()
+    }
+
+    fn run_one(inst: Instruction, dram: &mut Dram) -> Result<ExecStats, ExecError> {
+        accel().run(&Program::new(vec![inst]).unwrap(), dram)
+    }
+
+    #[test]
+    fn distance_matches_software_f16_reference() {
+        let mut dram = Dram::new(4096);
+        let a: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..16).map(|i| 1.0 - i as f32 * 0.05).collect();
+        dram.write_f32(0, &a);
+        dram.write_f32(100, &b);
+        let inst = Instruction {
+            name: "dist".into(),
+            hot: BufferRead::load(0, 0, 16, 1),
+            cold: BufferRead::load(100, 0, 16, 1),
+            out: OutputSlot::store(500, 1, 1),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        let got = dram.read_f32(500, 1)[0];
+        let expect = f16_squared_distance(
+            &a.iter().map(|&v| F16::from_f32(v).to_f32()).collect::<Vec<_>>(),
+            &b.iter().map(|&v| F16::from_f32(v).to_f32()).collect::<Vec<_>>(),
+            16,
+        );
+        assert_eq!(got, expect);
+        // And close to the exact distance.
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((got - exact).abs() < 0.05, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn distance_with_sorter_finds_nearest() {
+        let mut dram = Dram::new(8192);
+        // 8 hot rows at increasing distance from the one cold row.
+        for h in 0..8 {
+            let row: Vec<f32> = (0..16).map(|_| h as f32).collect();
+            dram.write_f32(h * 16, &row);
+        }
+        dram.write_f32(1000, &[2.1f32; 16]); // nearest hot row: 2
+        let inst = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(0, 0, 16, 8),
+            cold: BufferRead::load(1000, 0, 16, 1),
+            out: OutputSlot::store(2000, 6, 1), // k = 3 -> 2k = 6
+            fu: FuOps::distance(Some(3)),
+            hot_row_base: 100,
+        };
+        run_one(inst, &mut dram).unwrap();
+        let out = dram.read_f32(2000, 6);
+        // Distances are 16 * (2.1 - h)^2: nearest h = 2, then 3, then 1.
+        assert_eq!(out[1], 102.0); // nearest reference tag = base + 2
+        assert_eq!(out[3], 103.0);
+        assert_eq!(out[5], 101.0);
+        assert!(out[0] <= out[2] && out[2] <= out[4]);
+    }
+
+    #[test]
+    fn sorter_partials_resume_across_instructions() {
+        // Two instructions each covering half the references, with the
+        // Table-3 accumulate pattern, must equal one covering all.
+        let mut dram = Dram::new(8192);
+        for h in 0..8 {
+            let row: Vec<f32> = (0..16).map(|j| ((h * 31 + j * 7) % 13) as f32).collect();
+            dram.write_f32(h * 16, &row);
+        }
+        dram.write_f32(1000, &[5.0f32; 16]);
+
+        let full = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(0, 0, 16, 8),
+            cold: BufferRead::load(1000, 0, 16, 1),
+            out: OutputSlot::store(2000, 4, 1),
+            fu: FuOps::distance(Some(2)),
+            hot_row_base: 0,
+        };
+        run_one(full, &mut dram).unwrap();
+        let expect = dram.read_f32(2000, 4);
+
+        let first_half = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(0, 0, 16, 4),
+            cold: BufferRead::load(1000, 0, 16, 1),
+            out: OutputSlot::write(0, 4, 1),
+            fu: FuOps::distance(Some(2)),
+            hot_row_base: 0,
+        };
+        let second_half = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(64, 0, 16, 4),
+            cold: BufferRead::read(0, 16, 1),
+            out: OutputSlot::accumulate_store(0, 4, 1, 3000),
+            fu: FuOps::distance(Some(2)),
+            hot_row_base: 4,
+        };
+        let mut a = accel();
+        a.run(&Program::new(vec![first_half, second_half]).unwrap(), &mut dram).unwrap();
+        assert_eq!(dram.read_f32(3000, 4), expect);
+    }
+
+    #[test]
+    fn broadcast_dot_with_partials_and_activation() {
+        let mut dram = Dram::new(8192);
+        let theta: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) / 32.0).collect();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32) / 32.0).collect();
+        dram.write_f32(0, &theta);
+        dram.write_f32(100, &x);
+        // Split the dot into two 16-element halves with accumulation, then
+        // a sigmoid on the final block.
+        let first = Instruction {
+            name: "dnn".into(),
+            hot: BufferRead::load(0, 0, 16, 1),
+            cold: BufferRead::load(100, 0, 16, 1),
+            out: OutputSlot::write(0, 1, 1),
+            fu: FuOps::dot_broadcast(None),
+            hot_row_base: 0,
+        };
+        let second = Instruction {
+            name: "dnn".into(),
+            hot: BufferRead::load(16, 0, 16, 1),
+            cold: BufferRead::load(116, 0, 16, 1),
+            out: OutputSlot::accumulate_store(0, 1, 1, 4000),
+            fu: FuOps::dot_broadcast(Some(NonLinearFn::Sigmoid)),
+            hot_row_base: 0,
+        };
+        let mut a = accel();
+        a.run(&Program::new(vec![first, second]).unwrap(), &mut dram).unwrap();
+        let got = dram.read_f32(4000, 1)[0];
+        let exact: f32 = theta.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let expect = 1.0 / (1.0 + (-exact).exp());
+        assert!((got - expect).abs() < 5e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn pairwise_dot_fills_matrix() {
+        let mut dram = Dram::new(8192);
+        for h in 0..3 {
+            dram.write_f32(h * 8, &[(h + 1) as f32; 8]);
+        }
+        for c in 0..2 {
+            dram.write_f32(1000 + c * 8, &[(c + 1) as f32 * 0.5; 8]);
+        }
+        let inst = Instruction {
+            name: "svm".into(),
+            hot: BufferRead::load(0, 0, 8, 3),
+            cold: BufferRead::load(1000, 0, 8, 2),
+            out: OutputSlot::store(2000, 3, 2),
+            fu: FuOps::dot_broadcast(None),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        let out = dram.read_f32(2000, 6);
+        // out[c][h] = 8 * (h+1) * (c+1) * 0.5
+        assert_eq!(out, vec![4.0, 8.0, 12.0, 8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn counting_accumulates_per_candidate_and_position() {
+        let mut dram = Dram::new(8192);
+        // Candidates: row 0 = all zeros, row 1 = all ones.
+        dram.write_f32(0, &[0.0f32; 4]);
+        dram.write_f32(4, &[1.0f32; 4]);
+        // Instances.
+        dram.write_f32(100, &[0.0, 1.0, 1.0, 0.0]);
+        dram.write_f32(104, &[0.0, 0.0, 1.0, 2.0]);
+        let inst = Instruction {
+            name: "nb".into(),
+            hot: BufferRead::load(0, 0, 4, 2),
+            cold: BufferRead::load(100, 0, 4, 2),
+            out: OutputSlot::store(3000, 4, 2),
+            fu: FuOps::count(CounterOp::CountEq),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        let counts = dram.read_f32(3000, 8);
+        // candidate 0 (value 0): positions [2, 1, 0, 1]
+        assert_eq!(&counts[0..4], &[2.0, 1.0, 0.0, 1.0]);
+        // candidate 1 (value 1): positions [0, 1, 2, 0]
+        assert_eq!(&counts[4..8], &[0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn count_gt_thresholds() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[0.5f32, 0.5]); // thresholds
+        dram.write_f32(100, &[0.6, 0.4]);
+        dram.write_f32(102, &[0.7, 0.9]);
+        let inst = Instruction {
+            name: "ct".into(),
+            hot: BufferRead::load(0, 0, 2, 1),
+            cold: BufferRead::load(100, 0, 2, 2),
+            out: OutputSlot::store(200, 2, 1),
+            fu: FuOps::count(CounterOp::CountGt),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        assert_eq!(dram.read_f32(200, 2), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn product_reduce_multiplies_rows() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[0.5f32, 0.5, 0.5, 0.5]);
+        dram.write_f32(4, &[1.0f32, 2.0, 3.0, 1.0]);
+        let inst = Instruction {
+            name: "nb-pred".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(0, 0, 4, 2),
+            out: OutputSlot::store(100, 1, 2),
+            fu: FuOps::product_reduce(),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        let out = dram.read_f32(100, 2);
+        assert!((out[0] - 0.0625).abs() < 1e-4);
+        assert!((out[1] - 6.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn alu_div_normalises() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[10.0f32, 20.0]); // numerators (centroid sums)
+        dram.write_f32(10, &[2.0f32, 4.0]); // denominators (counts)
+        let inst = Instruction {
+            name: "kmeans-upd".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(10, 0, 2, 1),
+            out: OutputSlot {
+                read_op: ReadOp::Load,
+                read_dram_addr: 0,
+                addr: 0,
+                stride: 2,
+                iter: 1,
+                write_op: WriteOp::Store,
+                write_dram_addr: 100,
+            },
+            fu: FuOps::alu_only(AluOp::Div),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        assert_eq!(dram.read_f32(100, 2), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn tree_step_advances_and_classifies() {
+        let mut dram = Dram::new(4096);
+        // Tree: node 0 splits feature 0 at 0.5 -> children 1 (leaf class
+        // 7) and 2 (leaf class 9). Node rows: [feature, thr, left, right].
+        dram.write_f32(0, &[0.0, 0.5, 1.0, 2.0]);
+        dram.write_f32(4, &[-1.0, 7.0, 0.0, 0.0]);
+        dram.write_f32(8, &[-1.0, 9.0, 0.0, 0.0]);
+        // Two instances.
+        dram.write_f32(100, &[0.3, 0.0]);
+        dram.write_f32(102, &[0.9, 0.0]);
+        // Seed states at the root (node 0).
+        dram.write_f32(200, &[0.0, 0.0]);
+        let step = |level: &str| Instruction {
+            name: level.into(),
+            hot: BufferRead::load(0, 0, 4, 3),
+            cold: BufferRead::load(100, 0, 2, 2),
+            out: OutputSlot {
+                read_op: ReadOp::Load,
+                read_dram_addr: 200,
+                addr: 0,
+                stride: 1,
+                iter: 2,
+                write_op: WriteOp::Store,
+                write_dram_addr: 200,
+            },
+            fu: FuOps::alu_only(AluOp::TreeStep),
+            hot_row_base: 0,
+        };
+        let mut a = accel();
+        a.run(&Program::new(vec![step("l0"), step("l1")]).unwrap(), &mut dram).unwrap();
+        let state = dram.read_f32(200, 2);
+        assert_eq!(state, vec![-8.0, -10.0]); // -(1 + class)
+    }
+
+    #[test]
+    fn alu_mul_rows_multiplies_elementwise() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[2.0f32, 3.0]); // seed rows
+        dram.write_f32(10, &[4.0f32, 0.5]); // cold rows
+        let inst = Instruction {
+            name: "mul".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(10, 0, 2, 1),
+            out: OutputSlot {
+                read_op: ReadOp::Load,
+                read_dram_addr: 0,
+                addr: 0,
+                stride: 2,
+                iter: 1,
+                write_op: WriteOp::Store,
+                write_dram_addr: 100,
+            },
+            fu: FuOps::alu_only(crate::isa::AluOp::MulRows),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        assert_eq!(dram.read_f32(100, 2), vec![8.0, 1.5]);
+    }
+
+    #[test]
+    fn alu_mul_requires_seed() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(10, &[4.0f32, 0.5]);
+        let inst = Instruction {
+            name: "mul".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(10, 0, 2, 1),
+            out: OutputSlot::store(100, 2, 1),
+            fu: FuOps::alu_only(crate::isa::AluOp::MulRows),
+            hot_row_base: 0,
+        };
+        assert!(matches!(run_one(inst, &mut dram), Err(ExecError::Malformed(_))));
+    }
+
+    #[test]
+    fn weighted_sum_matches_software() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[0.5f32, 2.0, -1.0]); // scalars (3 rows)
+        dram.write_f32(10, &[1.0f32, 2.0]); // row 0
+        dram.write_f32(12, &[3.0f32, 4.0]); // row 1
+        dram.write_f32(14, &[5.0f32, 6.0]); // row 2
+        let inst = Instruction {
+            name: "wsum".into(),
+            hot: BufferRead::load(0, 0, 3, 1),
+            cold: BufferRead::load(10, 0, 2, 3),
+            out: OutputSlot::store(100, 2, 1),
+            fu: FuOps::weighted_sum(),
+            hot_row_base: 0,
+        };
+        run_one(inst, &mut dram).unwrap();
+        // 0.5*[1,2] + 2*[3,4] - 1*[5,6] = [1.5, 3]
+        assert_eq!(dram.read_f32(100, 2), vec![1.5, 3.0]);
+    }
+
+    #[test]
+    fn bounds_errors_are_typed() {
+        let mut dram = Dram::new(64);
+        let too_big = Instruction {
+            name: "x".into(),
+            hot: BufferRead::load(0, 0, 16, 10_000),
+            cold: BufferRead::load(0, 0, 16, 1),
+            out: OutputSlot::store(0, 1, 1),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        match run_one(too_big, &mut dram) {
+            Err(ExecError::DramOverflow { .. }) | Err(ExecError::BufferOverflow { .. }) => {}
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[0.0; 32]);
+        let inst = Instruction {
+            name: "bad".into(),
+            hot: BufferRead::load(0, 0, 16, 1),
+            cold: BufferRead::load(0, 0, 16, 4),
+            out: OutputSlot::store(100, 1, 3), // out.iter != cold.iter
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        assert!(matches!(run_one(inst, &mut dram), Err(ExecError::Malformed(_))));
+    }
+
+    #[test]
+    fn stats_accumulate_across_instructions() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[1.0; 64]);
+        let inst = Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 2),
+            cold: BufferRead::load(32, 0, 16, 2),
+            out: OutputSlot::store(200, 2, 2),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let program = Program::new(vec![inst.clone(), inst]).unwrap();
+        let stats = accel().run(&program, &mut dram).unwrap();
+        assert_eq!(stats.instructions, 2);
+        assert!(stats.cycles > 0);
+        assert!(stats.energy.total() > 0.0);
+        assert!(stats.dma_bytes > 0);
+        assert!(stats.fu_utilization() > 0.0);
+    }
+
+    #[test]
+    fn double_buffering_overlaps_dma() {
+        let mut dram = Dram::new(1 << 16);
+        let mk = || Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 64),
+            cold: BufferRead::load(2048, 0, 16, 32),
+            out: OutputSlot::store(8192, 64, 32),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let program = Program::new(vec![mk(), mk(), mk(), mk()]).unwrap();
+        let overlapped = accel().run(&program, &mut dram).unwrap();
+        let mut cfg = ArchConfig::paper_default();
+        cfg.double_buffering = false;
+        let serial = Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        assert!(overlapped.cycles < serial.cycles);
+    }
+}

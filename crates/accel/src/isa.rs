@@ -1,0 +1,613 @@
+//! The PuDianNao instruction set (Table 2).
+//!
+//! "Each instruction contains five slots: CM, HotBuf, ColdBuf, OutputBuf,
+//! and FU." The buffer slots carry read/write operations with address,
+//! stride and iteration fields; the FU slot carries one opcode per MLU
+//! pipeline stage plus an ALU opcode. The control module broadcasts each
+//! decoded instruction to all FUs, which execute synchronously.
+//!
+//! Compared with Table 2 the encoding here is explicit where the paper is
+//! implicit: `LOAD` operations name their DRAM source directly (the paper
+//! configures the DMA out-of-band), and instructions that feed the
+//! k-sorter carry the global index of their first Hot row so sorted
+//! results can identify which reference instance they came from.
+
+use core::fmt;
+use pudiannao_softfp::NonLinearFn;
+
+/// Read operation for a buffer slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReadOp {
+    /// Slot unused.
+    #[default]
+    Null,
+    /// DMA the region from DRAM into the buffer, then stream it.
+    Load,
+    /// Stream data already resident in the buffer (the Table-3 reuse
+    /// pattern for centroids).
+    Read,
+}
+
+/// Write operation for the output slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WriteOp {
+    /// Discard results (rare; e.g. pure counting into the counter stage's
+    /// accumulators would still STORE — Null is for ALU-only helpers).
+    #[default]
+    Null,
+    /// Keep results in the OutputBuf only (partial sums to be reused).
+    Write,
+    /// Keep results in the OutputBuf and DMA them to DRAM.
+    Store,
+}
+
+/// A HotBuf or ColdBuf read descriptor: `iter` rows of `stride` 16-bit
+/// elements, starting at buffer element `addr` (and DMA'd from f32 DRAM
+/// element `dram_addr` when `op` is [`ReadOp::Load`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BufferRead {
+    /// The operation.
+    pub op: ReadOp,
+    /// DRAM source (f32 element index) for `Load`.
+    pub dram_addr: u64,
+    /// Elements between consecutive row starts in DRAM (2D DMA); `0`
+    /// means rows are dense (`stride` apart). Lets tiled kernels pull a
+    /// column slice out of a wider row-major matrix in one descriptor.
+    pub dram_row_stride: u64,
+    /// Buffer element offset.
+    pub addr: u32,
+    /// Row length in elements.
+    pub stride: u32,
+    /// Number of rows.
+    pub iter: u32,
+}
+
+impl BufferRead {
+    /// An unused slot.
+    #[must_use]
+    pub const fn null() -> BufferRead {
+        BufferRead { op: ReadOp::Null, dram_addr: 0, dram_row_stride: 0, addr: 0, stride: 0, iter: 0 }
+    }
+
+    /// A `LOAD`: DMA `iter x stride` dense f32 elements from DRAM
+    /// `dram_addr` into the buffer at `addr` (converted to 16-bit), then
+    /// stream them.
+    #[must_use]
+    pub const fn load(dram_addr: u64, addr: u32, stride: u32, iter: u32) -> BufferRead {
+        BufferRead { op: ReadOp::Load, dram_addr, dram_row_stride: 0, addr, stride, iter }
+    }
+
+    /// A 2D `LOAD`: `iter` rows of `stride` elements whose DRAM row starts
+    /// are `dram_row_stride` apart (a column slice of a wider matrix).
+    #[must_use]
+    pub const fn load_2d(
+        dram_addr: u64,
+        dram_row_stride: u64,
+        addr: u32,
+        stride: u32,
+        iter: u32,
+    ) -> BufferRead {
+        BufferRead { op: ReadOp::Load, dram_addr, dram_row_stride, addr, stride, iter }
+    }
+
+    /// A `READ`: stream `iter x stride` elements already in the buffer.
+    #[must_use]
+    pub const fn read(addr: u32, stride: u32, iter: u32) -> BufferRead {
+        BufferRead { op: ReadOp::Read, dram_addr: 0, dram_row_stride: 0, addr, stride, iter }
+    }
+
+    /// Total elements streamed.
+    #[must_use]
+    pub const fn elems(&self) -> u64 {
+        self.stride as u64 * self.iter as u64
+    }
+}
+
+/// The OutputBuf slot: optional seeding of partial results (read side)
+/// and disposition of new results (write side).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct OutputSlot {
+    /// How partial results are seeded before execution.
+    pub read_op: ReadOp,
+    /// DRAM source (f32 element index) when `read_op` is `Load`.
+    pub read_dram_addr: u64,
+    /// OutputBuf element offset of the seed region (and of the result
+    /// region — results overwrite/accumulate in place).
+    pub addr: u32,
+    /// Result row length in 32-bit elements.
+    pub stride: u32,
+    /// Result row count.
+    pub iter: u32,
+    /// How results are disposed.
+    pub write_op: WriteOp,
+    /// DRAM destination (f32 element index) when `write_op` is `Store`.
+    pub write_dram_addr: u64,
+}
+
+impl OutputSlot {
+    /// No output (ALU-only instructions).
+    #[must_use]
+    pub const fn null() -> OutputSlot {
+        OutputSlot {
+            read_op: ReadOp::Null,
+            read_dram_addr: 0,
+            addr: 0,
+            stride: 0,
+            iter: 0,
+            write_op: WriteOp::Null,
+            write_dram_addr: 0,
+        }
+    }
+
+    /// Fresh results written to OutputBuf offset 0 and stored to DRAM.
+    #[must_use]
+    pub const fn store(write_dram_addr: u64, stride: u32, iter: u32) -> OutputSlot {
+        OutputSlot {
+            read_op: ReadOp::Null,
+            read_dram_addr: 0,
+            addr: 0,
+            stride,
+            iter,
+            write_op: WriteOp::Store,
+            write_dram_addr,
+        }
+    }
+
+    /// Fresh results kept in the OutputBuf at `addr` (partials).
+    #[must_use]
+    pub const fn write(addr: u32, stride: u32, iter: u32) -> OutputSlot {
+        OutputSlot {
+            read_op: ReadOp::Null,
+            read_dram_addr: 0,
+            addr,
+            stride,
+            iter,
+            write_op: WriteOp::Write,
+            write_dram_addr: 0,
+        }
+    }
+
+    /// Accumulate onto partials already in the OutputBuf at `addr`,
+    /// keeping the result there.
+    #[must_use]
+    pub const fn accumulate(addr: u32, stride: u32, iter: u32) -> OutputSlot {
+        OutputSlot {
+            read_op: ReadOp::Read,
+            read_dram_addr: 0,
+            addr,
+            stride,
+            iter,
+            write_op: WriteOp::Write,
+            write_dram_addr: 0,
+        }
+    }
+
+    /// Accumulate onto partials, then store the result to DRAM.
+    #[must_use]
+    pub const fn accumulate_store(
+        addr: u32,
+        stride: u32,
+        iter: u32,
+        write_dram_addr: u64,
+    ) -> OutputSlot {
+        OutputSlot {
+            read_op: ReadOp::Read,
+            read_dram_addr: 0,
+            addr,
+            stride,
+            iter,
+            write_op: WriteOp::Store,
+            write_dram_addr,
+        }
+    }
+
+    /// Total result elements.
+    #[must_use]
+    pub const fn elems(&self) -> u64 {
+        self.stride as u64 * self.iter as u64
+    }
+}
+
+/// Counter-stage opcode: "each pair of inputs will be fed to a
+/// bitwise-AND unit or be compared by a comparer unit, and the value will
+/// then be added to an accumulator."
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Count elements equal to the candidate (NB's discrete matching).
+    CountEq,
+    /// Count elements exceeding the candidate (CT's threshold counting).
+    CountGt,
+}
+
+/// Adder-stage opcode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AdderOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Elementwise addition.
+    Add,
+    /// Elementwise subtraction (distance computations).
+    Sub,
+}
+
+/// Multiplier-stage opcode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MultOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Elementwise multiplication.
+    Mult,
+}
+
+/// Adder-tree-stage opcode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TreeOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Sum the lane products into one value.
+    Add,
+}
+
+/// Acc-stage opcode (32-bit accumulation of partial tree sums).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AccOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Additive accumulation across chunks.
+    Acc,
+    /// Multiplicative accumulation (NB prediction's probability products;
+    /// implemented with the Misc multiplier and OutputBuf round-trips,
+    /// which is exactly why the paper's NB prediction underperforms).
+    Mul,
+}
+
+/// Misc-stage opcode: linear interpolation or the k-sorter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MiscOp {
+    /// Stage bypassed.
+    #[default]
+    Null,
+    /// Keep the k smallest accumulated values per cold row, with their
+    /// global hot-row indices (k-NN / k-Means).
+    Sort {
+        /// How many smallest values to keep.
+        k: u32,
+    },
+    /// Piecewise-linear non-linear function on the accumulated value.
+    Interp(NonLinearFn),
+}
+
+/// ALU opcode — the per-FU scalar unit for "miscellaneous operations that
+/// are not supported by the MLU (e.g., division and conditional
+/// assignment)", fp converters, and the Taylor-series log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// No ALU work.
+    #[default]
+    Null,
+    /// Elementwise division of the seeded output row by the cold stream
+    /// (centroid normalisation, probability normalisation).
+    Div,
+    /// Elementwise multiplication of the seeded output rows by the cold
+    /// rows (activation-derivative products in back-propagation).
+    MulRows,
+    /// Natural log via the Taylor expansion with the given number of
+    /// terms (ID3's entropy computations; the paper uses 10).
+    Log {
+        /// Taylor terms.
+        terms: u32,
+    },
+    /// One comparison level of a decision-tree walk: for each cold
+    /// instance, compare the feature selected by its current node and
+    /// advance the node pointer (CT prediction).
+    TreeStep,
+}
+
+/// The FU slot: one opcode per MLU stage plus the ALU opcode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FuOps {
+    /// Counter stage.
+    pub counter: CounterOp,
+    /// Adder stage.
+    pub adder: AdderOp,
+    /// Multiplier stage.
+    pub mult: MultOp,
+    /// Adder-tree stage.
+    pub tree: TreeOp,
+    /// Acc stage.
+    pub acc: AccOp,
+    /// Misc stage.
+    pub misc: MiscOp,
+    /// ALU.
+    pub alu: AluOp,
+}
+
+impl FuOps {
+    /// Squared-distance configuration (`SUB, MULT, ADD, ACC`), optionally
+    /// feeding the k-sorter — the Table-3 k-Means/k-NN setup.
+    #[must_use]
+    pub const fn distance(sort_k: Option<u32>) -> FuOps {
+        FuOps {
+            counter: CounterOp::Null,
+            adder: AdderOp::Sub,
+            mult: MultOp::Mult,
+            tree: TreeOp::Add,
+            acc: AccOp::Acc,
+            misc: match sort_k {
+                Some(k) => MiscOp::Sort { k },
+                None => MiscOp::Null,
+            },
+            alu: AluOp::Null,
+        }
+    }
+
+    /// Dot-product configuration (`MULT, ADD, ACC`), optionally followed
+    /// by an interpolated non-linear function (DNN activations, SVM
+    /// kernels). Pairing is broadcast when the Hot slot has one row
+    /// (LR / DNN) and pairwise when it has several (SVM kernel matrix).
+    #[must_use]
+    pub const fn dot_broadcast(activation: Option<NonLinearFn>) -> FuOps {
+        FuOps {
+            counter: CounterOp::Null,
+            adder: AdderOp::Null,
+            mult: MultOp::Mult,
+            tree: TreeOp::Add,
+            acc: AccOp::Acc,
+            misc: match activation {
+                Some(f) => MiscOp::Interp(f),
+                None => MiscOp::Null,
+            },
+            alu: AluOp::Null,
+        }
+    }
+
+    /// Counting configuration (NB / CT training).
+    #[must_use]
+    pub const fn count(op: CounterOp) -> FuOps {
+        FuOps {
+            counter: op,
+            adder: AdderOp::Null,
+            mult: MultOp::Null,
+            tree: TreeOp::Null,
+            acc: AccOp::Null,
+            misc: MiscOp::Null,
+            alu: AluOp::Null,
+        }
+    }
+
+    /// Weighted-column-sum configuration (`ADD, MULT, ACC`): the
+    /// transpose-matvec used by gradient accumulation and BP updates.
+    #[must_use]
+    pub const fn weighted_sum() -> FuOps {
+        FuOps {
+            counter: CounterOp::Null,
+            adder: AdderOp::Add,
+            mult: MultOp::Mult,
+            tree: TreeOp::Null,
+            acc: AccOp::Acc,
+            misc: MiscOp::Null,
+            alu: AluOp::Null,
+        }
+    }
+
+    /// Probability-product configuration (NB prediction).
+    #[must_use]
+    pub const fn product_reduce() -> FuOps {
+        FuOps {
+            counter: CounterOp::Null,
+            adder: AdderOp::Null,
+            mult: MultOp::Mult,
+            tree: TreeOp::Null,
+            acc: AccOp::Mul,
+            misc: MiscOp::Null,
+            alu: AluOp::Null,
+        }
+    }
+
+    /// ALU-only configuration (division, log, tree walking).
+    #[must_use]
+    pub const fn alu_only(op: AluOp) -> FuOps {
+        FuOps {
+            counter: CounterOp::Null,
+            adder: AdderOp::Null,
+            mult: MultOp::Null,
+            tree: TreeOp::Null,
+            acc: AccOp::Null,
+            misc: MiscOp::Null,
+            alu: op,
+        }
+    }
+}
+
+/// One PuDianNao instruction (one row of Table 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instruction {
+    /// CM slot: the instruction's name tag (e.g. `"k-means"`).
+    pub name: String,
+    /// HotBuf slot.
+    pub hot: BufferRead,
+    /// ColdBuf slot.
+    pub cold: BufferRead,
+    /// OutputBuf slot.
+    pub out: OutputSlot,
+    /// FU slot.
+    pub fu: FuOps,
+    /// Global index of the first Hot row — payload for k-sorter results.
+    pub hot_row_base: u64,
+}
+
+impl Default for Instruction {
+    fn default() -> Instruction {
+        Instruction {
+            name: String::new(),
+            hot: BufferRead::null(),
+            cold: BufferRead::null(),
+            out: OutputSlot::null(),
+            fu: FuOps::default(),
+            hot_row_base: 0,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} | hot {:?}@{}+{}x{} | cold {:?}@{}+{}x{} | out {:?}/{:?}@{}+{}x{} | {:?}",
+            self.name,
+            self.hot.op,
+            self.hot.addr,
+            self.hot.stride,
+            self.hot.iter,
+            self.cold.op,
+            self.cold.addr,
+            self.cold.stride,
+            self.cold.iter,
+            self.out.read_op,
+            self.out.write_op,
+            self.out.addr,
+            self.out.stride,
+            self.out.iter,
+            self.fu
+        )
+    }
+}
+
+/// A validated instruction sequence.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wraps an instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] for an empty sequence.
+    pub fn new(instructions: Vec<Instruction>) -> Result<Program, ProgramError> {
+        if instructions.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        Ok(Program { instructions })
+    }
+
+    /// The instructions in order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty (never true for a constructed one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Concatenates another program after this one.
+    pub fn extend(&mut self, other: Program) {
+        self.instructions.extend(other.instructions);
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Instruction;
+    type IntoIter = std::vec::IntoIter<Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.into_iter()
+    }
+}
+
+/// Errors constructing a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgramError {
+    /// No instructions.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => f.write_str("a program needs at least one instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_constructors() {
+        let h = BufferRead::load(100, 0, 16, 128);
+        assert_eq!(h.op, ReadOp::Load);
+        assert_eq!(h.elems(), 2048);
+        let r = BufferRead::read(4, 8, 2);
+        assert_eq!(r.op, ReadOp::Read);
+        assert_eq!(r.elems(), 16);
+        assert_eq!(BufferRead::null().elems(), 0);
+
+        let o = OutputSlot::accumulate_store(0, 4, 8, 999);
+        assert_eq!(o.read_op, ReadOp::Read);
+        assert_eq!(o.write_op, WriteOp::Store);
+        assert_eq!(o.write_dram_addr, 999);
+        assert_eq!(o.elems(), 32);
+    }
+
+    #[test]
+    fn fu_op_presets() {
+        let d = FuOps::distance(Some(20));
+        assert_eq!(d.adder, AdderOp::Sub);
+        assert_eq!(d.misc, MiscOp::Sort { k: 20 });
+        let dot = FuOps::dot_broadcast(Some(NonLinearFn::Sigmoid));
+        assert_eq!(dot.adder, AdderOp::Null);
+        assert!(matches!(dot.misc, MiscOp::Interp(NonLinearFn::Sigmoid)));
+        let c = FuOps::count(CounterOp::CountGt);
+        assert_eq!(c.counter, CounterOp::CountGt);
+        assert_eq!(FuOps::alu_only(AluOp::Div).alu, AluOp::Div);
+        assert_eq!(FuOps::product_reduce().acc, AccOp::Mul);
+    }
+
+    #[test]
+    fn program_validation_and_iteration() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ProgramError::Empty);
+        let inst = Instruction { name: "t".into(), ..Default::default() };
+        let mut p = Program::new(vec![inst.clone()]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        p.extend(Program::new(vec![inst]).unwrap());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.into_iter().count(), 2);
+    }
+
+    #[test]
+    fn instruction_displays() {
+        let inst = Instruction {
+            name: "k-means".into(),
+            hot: BufferRead::load(0, 0, 16, 128),
+            cold: BufferRead::load(16384, 0, 16, 256),
+            out: OutputSlot::store(1_064_960, 16, 16),
+            fu: FuOps::distance(Some(1)),
+            hot_row_base: 0,
+        };
+        let s = inst.to_string();
+        assert!(s.contains("k-means"));
+        assert!(s.contains("Load"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The k-sorter module of the Misc stage.
+//!
+//! "The k-sorter module is used to find the smallest k values from the
+//! outputs of Acc stage, which is a common operation in k-Means and
+//! k-NN." The hardware keeps a sorted register file of k entries per
+//! lane; this model mirrors that with an insertion network.
+
+/// A streaming smallest-k selector over `(value, tag)` pairs, where the
+/// tag identifies the hot row (reference instance / centroid) a distance
+/// came from.
+#[derive(Clone, Debug)]
+pub struct KSorter {
+    k: usize,
+    /// Sorted ascending by value.
+    entries: Vec<(f32, u64)>,
+}
+
+impl KSorter {
+    /// A selector for the `k` smallest values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> KSorter {
+        assert!(k > 0, "k must be > 0");
+        KSorter { k, entries: Vec::with_capacity(k + 1) }
+    }
+
+    /// Seeds the sorter from previously stored `(value, tag)` pairs (the
+    /// Table-3 pattern of reloading partial results when a new centroid
+    /// block arrives). Pairs with non-finite values are ignored.
+    pub fn seed(&mut self, pairs: &[(f32, u64)]) {
+        for &(v, t) in pairs {
+            if v.is_finite() {
+                self.offer(v, t);
+            }
+        }
+    }
+
+    /// Offers one candidate.
+    pub fn offer(&mut self, value: f32, tag: u64) {
+        if self.entries.len() == self.k {
+            let worst = self.entries.last().expect("k > 0").0;
+            if value >= worst {
+                return;
+            }
+        }
+        let pos = self.entries.partition_point(|&(v, _)| v <= value);
+        self.entries.insert(pos, (value, tag));
+        self.entries.truncate(self.k);
+    }
+
+    /// Current entries, ascending; fewer than `k` if fewer were offered.
+    #[must_use]
+    pub fn entries(&self) -> &[(f32, u64)] {
+        &self.entries
+    }
+
+    /// Flattens to `[v0, tag0, v1, tag1, ...]` padded with `f32::INFINITY`
+    /// / 0 pairs up to `k` — the OutputBuf storage layout.
+    #[must_use]
+    pub fn to_output(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.k * 2);
+        for &(v, t) in &self.entries {
+            out.push(v);
+            out.push(t as f32);
+        }
+        while out.len() < self.k * 2 {
+            out.push(f32::INFINITY);
+            out.push(0.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_smallest_sorted() {
+        let mut s = KSorter::new(3);
+        for (i, v) in [5.0f32, 2.0, 9.0, 1.0, 7.0, 0.5].iter().enumerate() {
+            s.offer(*v, i as u64);
+        }
+        let tags: Vec<u64> = s.entries().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![5, 3, 1]); // values 0.5, 1.0, 2.0
+        assert!(s.entries().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn seed_resumes_partial_results() {
+        let mut first = KSorter::new(2);
+        first.offer(3.0, 10);
+        first.offer(1.0, 11);
+        let stored: Vec<(f32, u64)> =
+            first.entries().to_vec();
+        let mut second = KSorter::new(2);
+        second.seed(&stored);
+        second.offer(2.0, 20);
+        let tags: Vec<u64> = second.entries().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![11, 20]);
+    }
+
+    #[test]
+    fn output_layout_pads_with_infinity() {
+        let mut s = KSorter::new(3);
+        s.offer(4.0, 7);
+        let out = s.to_output();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 7.0);
+        assert_eq!(out[2], f32::INFINITY);
+    }
+
+    #[test]
+    fn seed_ignores_padding() {
+        let mut s = KSorter::new(2);
+        s.seed(&[(f32::INFINITY, 0), (1.5, 3)]);
+        assert_eq!(s.entries(), &[(1.5, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be > 0")]
+    fn zero_k_panics() {
+        let _ = KSorter::new(0);
+    }
+}

@@ -1,0 +1,184 @@
+//! The Table-5 layout model: area, power and critical path of the
+//! placed-and-routed design.
+//!
+//! We cannot re-run Synopsys DC/ICC on TSMC 65 nm, so the paper's reported
+//! numbers become model constants; the value the model adds is (a) a
+//! machine-readable Table 5 for the reproduction harness, and (b) a naive
+//! linear scaling rule for ablations (halving buffers, changing FU count).
+
+use core::fmt;
+
+/// One row of Table 5.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutRow {
+    /// Component or block name.
+    pub name: &'static str,
+    /// Area in square micrometres.
+    pub area_um2: f64,
+    /// Power in milliwatts.
+    pub power_mw: f64,
+}
+
+/// The full layout characterisation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayoutReport {
+    /// Total area in square micrometres (paper: 3,513,437 = 3.51 mm²).
+    pub total_area_um2: f64,
+    /// Total power in milliwatts (paper: 596 mW).
+    pub total_power_mw: f64,
+    /// Critical path in nanoseconds (paper: 0.99 ns -> 1 GHz).
+    pub critical_path_ns: f64,
+    /// Component-type breakdown (combinational / buffers / registers /
+    /// clock network).
+    pub components: Vec<LayoutRow>,
+    /// Functional-block breakdown (FUs / buffers / control).
+    pub blocks: Vec<LayoutRow>,
+}
+
+/// Area ratio of a 16-bit to a 32-bit floating-point multiplier after
+/// place-and-route: "the area of the 16-bit multiplier is only 20.07% the
+/// area of the 32-bit multiplier" (Section 3.1.1).
+pub const MULTIPLIER_16_TO_32_AREA_RATIO: f64 = 0.2007;
+
+/// The paper's Table 5.
+#[must_use]
+pub fn paper_layout() -> LayoutReport {
+    LayoutReport {
+        total_area_um2: 3_513_437.0,
+        total_power_mw: 596.0,
+        critical_path_ns: 0.99,
+        components: vec![
+            LayoutRow { name: "Combinational", area_um2: 771_943.0, power_mw: 173.0 },
+            LayoutRow { name: "On-chip buffers", area_um2: 2_201_138.0, power_mw: 187.0 },
+            LayoutRow { name: "Registers", area_um2: 200_196.0, power_mw: 86.0 },
+            LayoutRow { name: "Clock network", area_um2: 40_154.0, power_mw: 143.0 },
+        ],
+        blocks: vec![
+            LayoutRow { name: "Function Units", area_um2: 681_012.0, power_mw: 117.0 },
+            LayoutRow { name: "ColdBuf", area_um2: 1_167_232.0, power_mw: 78.0 },
+            LayoutRow { name: "HotBuf", area_um2: 578_829.0, power_mw: 47.0 },
+            LayoutRow { name: "OutputBuf", area_um2: 586_361.0, power_mw: 51.0 },
+            LayoutRow { name: "Control Module", area_um2: 481_737.0, power_mw: 127.0 },
+            LayoutRow { name: "Other", area_um2: 18_266.0, power_mw: 41.0 },
+        ],
+    }
+}
+
+impl LayoutReport {
+    /// Area share of a block, in percent of the total.
+    #[must_use]
+    pub fn area_percent(&self, name: &str) -> Option<f64> {
+        self.blocks
+            .iter()
+            .chain(&self.components)
+            .find(|r| r.name == name)
+            .map(|r| 100.0 * r.area_um2 / self.total_area_um2)
+    }
+
+    /// Naive linear rescaling for ablations: FU area/power scale with
+    /// `fu_factor`, each buffer with its own factor. Control and other
+    /// stay fixed. Returns a new report with recomputed totals.
+    #[must_use]
+    pub fn scaled(&self, fu_factor: f64, hot_factor: f64, cold_factor: f64, out_factor: f64) -> LayoutReport {
+        let factor_for = |name: &str| match name {
+            "Function Units" => fu_factor,
+            "HotBuf" => hot_factor,
+            "ColdBuf" => cold_factor,
+            "OutputBuf" => out_factor,
+            _ => 1.0,
+        };
+        let blocks: Vec<LayoutRow> = self
+            .blocks
+            .iter()
+            .map(|r| LayoutRow {
+                name: r.name,
+                area_um2: r.area_um2 * factor_for(r.name),
+                power_mw: r.power_mw * factor_for(r.name),
+            })
+            .collect();
+        let total_area_um2 = blocks.iter().map(|r| r.area_um2).sum();
+        let total_power_mw = blocks.iter().map(|r| r.power_mw).sum();
+        LayoutReport {
+            total_area_um2,
+            total_power_mw,
+            critical_path_ns: self.critical_path_ns,
+            components: self.components.clone(),
+            blocks,
+        }
+    }
+}
+
+impl fmt::Display for LayoutReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ACCELERATOR: {:.0} um^2, {:.0} mW, critical path {:.2} ns",
+            self.total_area_um2, self.total_power_mw, self.critical_path_ns
+        )?;
+        for row in self.components.iter().chain(&self.blocks) {
+            writeln!(
+                f,
+                "  {:<16} {:>12.0} um^2 ({:>5.2}%)  {:>6.0} mW ({:>5.2}%)",
+                row.name,
+                row.area_um2,
+                100.0 * row.area_um2 / self.total_area_um2,
+                row.power_mw,
+                100.0 * row.power_mw / self.total_power_mw
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let l = paper_layout();
+        assert_eq!(l.total_area_um2, 3_513_437.0);
+        assert_eq!(l.total_power_mw, 596.0);
+        assert_eq!(l.critical_path_ns, 0.99);
+        // "the most area-consuming part is ColdBuf (33.22%)"
+        let cold = l.area_percent("ColdBuf").unwrap();
+        assert!((cold - 33.22).abs() < 0.05, "{cold}");
+        // "on-chip buffers consume 62.64% ... of the total area"
+        let bufs = l.area_percent("On-chip buffers").unwrap();
+        assert!((bufs - 62.64).abs() < 0.05, "{bufs}");
+        // "All 16 FUs uses 19.38% area"
+        let fus = l.area_percent("Function Units").unwrap();
+        assert!((fus - 19.38).abs() < 0.05, "{fus}");
+    }
+
+    #[test]
+    fn block_sum_is_close_to_total() {
+        let l = paper_layout();
+        let sum: f64 = l.blocks.iter().map(|r| r.area_um2).sum();
+        assert!((sum - l.total_area_um2).abs() / l.total_area_um2 < 0.01);
+    }
+
+    #[test]
+    fn scaling_ablation() {
+        let l = paper_layout();
+        let halved = l.scaled(1.0, 0.5, 0.5, 0.5);
+        assert!(halved.total_area_um2 < l.total_area_um2);
+        let fu_area = |r: &LayoutReport| {
+            r.blocks.iter().find(|b| b.name == "Function Units").unwrap().area_um2
+        };
+        assert_eq!(fu_area(&halved), fu_area(&l));
+        assert!(halved.total_power_mw < l.total_power_mw);
+    }
+
+    #[test]
+    fn display_prints_table() {
+        let s = paper_layout().to_string();
+        assert!(s.contains("ColdBuf"));
+        assert!(s.contains("596 mW"));
+    }
+
+    #[test]
+    fn unknown_block_is_none() {
+        assert!(paper_layout().area_percent("GPU").is_none());
+    }
+}

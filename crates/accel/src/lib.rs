@@ -1,0 +1,83 @@
+//! Cycle-level simulator of the PuDianNao ML accelerator (Section 3).
+//!
+//! The paper evaluated PuDianNao two ways: a Verilog design synthesised at
+//! TSMC 65 nm, and "an in-house cycle-by-cycle C simulator of PuDianNao,
+//! carefully calibrated to the verilog design" used for all large-scale
+//! results. This crate is that simulator, rebuilt in Rust:
+//!
+//! - [`ArchConfig`] — the microarchitecture parameters: 16 functional
+//!   units, each an MLU processing 16 features/cycle plus a small ALU;
+//!   HotBuf (8 KB), ColdBuf (16 KB), OutputBuf (8 KB); 1 GHz clock; DMA
+//!   up to 250 GB/s.
+//! - [`isa`] — the Table-2 instruction format: five slots (CM, HotBuf,
+//!   ColdBuf, OutputBuf, FU), with per-stage MLU opcodes and an ALU
+//!   opcode.
+//! - [`Accelerator`] — fetch/decode/execute over a [`Program`] against a
+//!   simulated DRAM ([`Dram`]), with double-buffered DMA (the Table-3
+//!   ping-pong pattern), bit-accurate 16-bit datapath arithmetic in the
+//!   Adder/Multiplier/Adder-tree stages, 32-bit Counter/Acc/Misc stages,
+//!   linear-interpolation non-linear functions, and a hardware k-sorter.
+//! - [`timing`] — the per-instruction cycle formulas, shared by the
+//!   executor and the analytic phase models so that full-paper-scale
+//!   runtimes (10^12 cycles) can be predicted without 10^14 functional
+//!   MACs.
+//! - [`layout`] / [`EnergyModel`] — the Table-5 area/power breakdown
+//!   (3.51 mm², 596 mW, 0.99 ns critical path) as model constants.
+//!
+//! # Example
+//!
+//! ```
+//! use pudiannao_accel::{isa, Accelerator, ArchConfig, Dram};
+//!
+//! // Dot-product of a stored vector against 4 streamed vectors.
+//! let config = ArchConfig::paper_default();
+//! let mut dram = Dram::new(1 << 20);
+//! let theta: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+//! dram.write_f32(0, &theta);
+//! for v in 0..4u64 {
+//!     let x: Vec<f32> = (0..16).map(|i| (i + v as usize) as f32 / 8.0).collect();
+//!     dram.write_f32(1024 + v * 16, &x);
+//! }
+//! let inst = isa::Instruction {
+//!     name: "lr-predict".into(),
+//!     hot: isa::BufferRead::load(0, 0, 16, 1),
+//!     cold: isa::BufferRead::load(1024, 0, 16, 4),
+//!     out: isa::OutputSlot::store(4096, 1, 4),
+//!     fu: isa::FuOps::dot_broadcast(None),
+//!     hot_row_base: 0,
+//! };
+//! let mut accel = Accelerator::new(config)?;
+//! let stats = accel.run(&isa::Program::new(vec![inst])?, &mut dram)?;
+//! assert!(stats.cycles > 0);
+//! let y = dram.read_f32(4096, 4);
+//! // Exact dot is sum(i^2)/128 = 9.6875; the fp16 datapath is within rounding.
+//! assert!((y[0] - 9.6875).abs() < 0.05);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
+// it also rejects NaN, which is exactly what config checks want.
+
+
+mod buffer;
+mod config;
+mod energy;
+mod exec;
+pub mod isa;
+mod ksorter;
+pub mod layout;
+mod memory;
+mod stats;
+pub mod timing;
+
+pub use buffer::{Buffer, BufferKind};
+pub use config::{ArchConfig, ConfigError};
+pub use energy::EnergyModel;
+pub use exec::{Accelerator, ExecError};
+pub use isa::Program;
+pub use ksorter::KSorter;
+pub use memory::Dram;
+pub use stats::{ComponentEnergy, ExecStats};

@@ -1,0 +1,119 @@
+//! The simulated off-chip DRAM.
+
+use core::fmt;
+
+/// Flat f32-element-addressed DRAM.
+///
+/// The paper stores 32-bit floating-point data off-chip; the ALU's
+/// converters narrow values to 16 bits as they enter HotBuf/ColdBuf.
+/// Modelling DRAM at f32-element granularity keeps addresses small and
+/// conversions explicit.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_accel::Dram;
+///
+/// let mut dram = Dram::new(1024);
+/// dram.write_f32(10, &[1.0, 2.0, 3.0]);
+/// assert_eq!(dram.read_f32(10, 3), vec![1.0, 2.0, 3.0]);
+/// ```
+#[derive(Clone)]
+pub struct Dram {
+    data: Vec<f32>,
+}
+
+impl Dram {
+    /// Allocates `elems` zeroed f32 elements.
+    #[must_use]
+    pub fn new(elems: usize) -> Dram {
+        Dram { data: vec![0.0; elems] }
+    }
+
+    /// Capacity in f32 elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the DRAM has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads `len` elements starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    #[must_use]
+    pub fn read_f32(&self, addr: u64, len: usize) -> Vec<f32> {
+        let a = addr as usize;
+        self.data[a..a + len].to_vec()
+    }
+
+    /// Borrows `len` elements starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    #[must_use]
+    pub fn slice(&self, addr: u64, len: usize) -> &[f32] {
+        let a = addr as usize;
+        &self.data[a..a + len]
+    }
+
+    /// Writes `values` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the capacity.
+    pub fn write_f32(&mut self, addr: u64, values: &[f32]) {
+        let a = addr as usize;
+        self.data[a..a + values.len()].copy_from_slice(values);
+    }
+
+    /// Checks that `[addr, addr + len)` fits.
+    #[must_use]
+    pub fn in_bounds(&self, addr: u64, len: u64) -> bool {
+        addr.checked_add(len).is_some_and(|end| end as usize <= self.data.len())
+    }
+}
+
+impl fmt::Debug for Dram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dram({} f32 elems)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = Dram::new(16);
+        assert_eq!(d.len(), 16);
+        assert!(!d.is_empty());
+        d.write_f32(4, &[1.5, -2.5]);
+        assert_eq!(d.read_f32(4, 2), vec![1.5, -2.5]);
+        assert_eq!(d.slice(5, 1), &[-2.5]);
+        assert_eq!(d.read_f32(0, 1), vec![0.0]);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let d = Dram::new(8);
+        assert!(d.in_bounds(0, 8));
+        assert!(!d.in_bounds(1, 8));
+        assert!(!d.in_bounds(u64::MAX, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_read_panics() {
+        let d = Dram::new(4);
+        let _ = d.read_f32(2, 4);
+    }
+}

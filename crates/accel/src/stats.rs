@@ -1,0 +1,176 @@
+//! Execution statistics.
+
+use core::fmt;
+use core::ops::AddAssign;
+
+/// Per-component energy in joules, mirroring Table 5's functional blocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComponentEnergy {
+    /// Functional units (MLUs + ALUs).
+    pub fus: f64,
+    /// HotBuf.
+    pub hotbuf: f64,
+    /// ColdBuf.
+    pub coldbuf: f64,
+    /// OutputBuf.
+    pub outputbuf: f64,
+    /// Control module.
+    pub control: f64,
+    /// Clock network and everything else.
+    pub other: f64,
+}
+
+impl ComponentEnergy {
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.fus + self.hotbuf + self.coldbuf + self.outputbuf + self.control + self.other
+    }
+}
+
+impl AddAssign for ComponentEnergy {
+    fn add_assign(&mut self, rhs: ComponentEnergy) {
+        self.fus += rhs.fus;
+        self.hotbuf += rhs.hotbuf;
+        self.coldbuf += rhs.coldbuf;
+        self.outputbuf += rhs.outputbuf;
+        self.control += rhs.control;
+        self.other += rhs.other;
+    }
+}
+
+/// Aggregate statistics of one program execution (or one analytically
+/// modelled phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total elapsed cycles (compute and DMA overlapped per the
+    /// double-buffering configuration).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles the FUs were busy.
+    pub compute_cycles: u64,
+    /// Cycles the DMA was busy.
+    pub dma_cycles: u64,
+    /// Bytes moved between DRAM and the buffers.
+    pub dma_bytes: u64,
+    /// MLU arithmetic operations.
+    pub mlu_ops: u64,
+    /// ALU arithmetic operations.
+    pub alu_ops: u64,
+    /// Energy by component.
+    pub energy: ComponentEnergy,
+}
+
+impl ExecStats {
+    /// Wall-clock seconds at the given frequency.
+    #[must_use]
+    pub fn seconds(&self, freq_hz: f64) -> f64 {
+        self.cycles as f64 / freq_hz
+    }
+
+    /// FU busy fraction.
+    #[must_use]
+    pub fn fu_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.compute_cycles as f64 / self.cycles as f64).min(1.0)
+    }
+
+    /// Achieved arithmetic throughput in Gop/s.
+    #[must_use]
+    pub fn gops(&self, freq_hz: f64) -> f64 {
+        let s = self.seconds(freq_hz);
+        if s == 0.0 {
+            return 0.0;
+        }
+        (self.mlu_ops + self.alu_ops) as f64 / s / 1.0e9
+    }
+
+    /// Average power in watts.
+    #[must_use]
+    pub fn average_power(&self, freq_hz: f64) -> f64 {
+        let s = self.seconds(freq_hz);
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.energy.total() / s
+    }
+
+    /// Merges another run's statistics into this one (sequential
+    /// composition: cycles add).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.compute_cycles += other.compute_cycles;
+        self.dma_cycles += other.dma_cycles;
+        self.dma_bytes += other.dma_bytes;
+        self.mlu_ops += other.mlu_ops;
+        self.alu_ops += other.alu_ops;
+        self.energy += other.energy;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instructions, {} DMA bytes, {:.3} mJ",
+            self.cycles,
+            self.instructions,
+            self.dma_bytes,
+            self.energy.total() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_energy_totals() {
+        let e = ComponentEnergy {
+            fus: 1.0,
+            hotbuf: 2.0,
+            coldbuf: 3.0,
+            outputbuf: 4.0,
+            control: 5.0,
+            other: 6.0,
+        };
+        assert_eq!(e.total(), 21.0);
+        let mut a = e;
+        a += e;
+        assert_eq!(a.total(), 42.0);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = ExecStats {
+            cycles: 1000,
+            compute_cycles: 800,
+            mlu_ops: 2_000_000,
+            energy: ComponentEnergy { fus: 0.5e-6, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(s.seconds(1e9), 1e-6);
+        assert_eq!(s.fu_utilization(), 0.8);
+        assert!((s.gops(1e9) - 2000.0).abs() < 1e-9);
+        assert!((s.average_power(1e9) - 0.5).abs() < 1e-12);
+        assert_eq!(ExecStats::default().fu_utilization(), 0.0);
+        assert_eq!(ExecStats::default().gops(1e9), 0.0);
+        assert_eq!(ExecStats::default().average_power(1e9), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecStats { cycles: 10, instructions: 1, ..Default::default() };
+        let b = ExecStats { cycles: 5, instructions: 2, dma_bytes: 100, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.instructions, 3);
+        assert_eq!(a.dma_bytes, 100);
+        assert!(a.to_string().contains("15 cycles"));
+    }
+}

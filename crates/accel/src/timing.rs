@@ -1,0 +1,375 @@
+//! Per-instruction timing model.
+//!
+//! These formulas are the single source of truth for instruction cost:
+//! the functional executor charges them as it runs, and the analytic
+//! phase models in `pudiannao-codegen` aggregate the same formulas over
+//! full-paper-scale workloads (where functional execution of ~10^14 MACs
+//! would be infeasible). A unit test in `exec` pins the two paths to each
+//! other.
+
+use crate::config::ArchConfig;
+use crate::isa::{AluOp, CounterOp, FuOps, Instruction, MiscOp, ReadOp, WriteOp};
+use core::fmt;
+
+/// Extra OutputBuf round-trips NB's probability products need: without a
+/// big register file, each partial product is written back and re-read
+/// ("PuDianNao ... has to frequently move data between FUs and on-chip
+/// buffers, resulting in the observed performance loss" on NB prediction).
+pub const PRODUCT_ROUNDTRIP_PENALTY: u64 = 10;
+
+/// Cycles per scalar division on the ALU.
+pub const DIV_LATENCY: u64 = 8;
+
+/// Cycles to issue one DMA descriptor that continues a *regular* stride
+/// pattern (pipelined with the transfer). Irregular patterns — tree-node
+/// ranges, gathered probability rows — pay the full
+/// [`ArchConfig::dma_reconfig_cycles`] instead: "PuDianNao frequently
+/// reconfigures its DMA to support irregular memory accesses (e.g.,
+/// linked list) for loading components of the ID3 classification tree."
+pub const REGULAR_DESCRIPTOR_CYCLES: u64 = 4;
+
+/// Pipeline depth of the MLU (fill cost per instruction).
+pub const PIPELINE_DEPTH: u64 = 6;
+
+/// Encoded size of one instruction in the InstBuf: Table 2's five slots
+/// with their address/stride/iteration fields fit comfortably in 64
+/// bytes.
+pub const INSTRUCTION_BYTES: u64 = 64;
+
+/// The execution mode an instruction's FU slot decodes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Squared distances between every hot row and every cold row
+    /// (`SUB, MULT, ADD-tree, ACC`), optionally k-sorted per cold row or
+    /// passed through the interpolation unit (RBF-style kernels).
+    Distance {
+        /// k-sorter configuration.
+        sort_k: Option<u32>,
+        /// Misc-stage non-linear function on each distance (mutually
+        /// exclusive with sorting).
+        activation: Option<pudiannao_softfp::NonLinearFn>,
+    },
+    /// Dot products (`MULT, ADD-tree, ACC`), optionally through the
+    /// interpolation unit. Broadcast (hot row 0 against each cold row)
+    /// when the hot slot has one row; pairwise otherwise.
+    Dot {
+        /// Non-linear function applied to each accumulated value.
+        activation: Option<pudiannao_softfp::NonLinearFn>,
+        /// Pairwise (true) or broadcast (false).
+        pairwise: bool,
+    },
+    /// Counter-stage counting: `counts[h][pos] += pred(cold[c][pos],
+    /// hot[h][pos])`.
+    Count(CounterOp),
+    /// Weighted column sum (`ADD, MULT, ACC` with the tree bypassed):
+    /// `out[j] += sum_r hot[r] * cold[r][j]` — the transpose-matvec that
+    /// gradient accumulation (LR training) and back-propagation's delta
+    /// and weight updates reduce to.
+    WeightedSum,
+    /// Multiplicative reduction per cold row (NB prediction).
+    ProductReduce,
+    /// ALU elementwise division of seeded output rows by cold rows.
+    AluDiv,
+    /// ALU elementwise multiplication of seeded output rows by cold rows.
+    AluMul,
+    /// ALU Taylor-series natural log of seeded output rows.
+    AluLog {
+        /// Taylor terms.
+        terms: u32,
+    },
+    /// One decision-tree comparison level for every cold instance.
+    TreeStep,
+}
+
+/// Errors decoding the FU slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The stage-opcode combination matches no supported dataflow.
+    UnsupportedCombination,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnsupportedCombination => {
+                f.write_str("FU stage opcodes match no supported dataflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes the FU slot (plus the hot-slot row count, which disambiguates
+/// broadcast vs pairwise dots) into an execution [`Mode`].
+///
+/// # Errors
+///
+/// [`DecodeError::UnsupportedCombination`] if the opcodes match no mode.
+pub fn decode(fu: &FuOps, hot_iter: u32) -> Result<Mode, DecodeError> {
+    use crate::isa::{AccOp, AdderOp, MultOp, TreeOp};
+    if fu.counter != CounterOp::Null {
+        return Ok(Mode::Count(fu.counter));
+    }
+    match fu.alu {
+        AluOp::Div => return Ok(Mode::AluDiv),
+        AluOp::MulRows => return Ok(Mode::AluMul),
+        AluOp::Log { terms } => return Ok(Mode::AluLog { terms }),
+        AluOp::TreeStep => return Ok(Mode::TreeStep),
+        AluOp::Null => {}
+    }
+    match (fu.adder, fu.mult, fu.tree, fu.acc) {
+        (AdderOp::Sub, MultOp::Mult, TreeOp::Add, AccOp::Acc) => {
+            let (sort_k, activation) = match fu.misc {
+                MiscOp::Sort { k } => (Some(k), None),
+                MiscOp::Null => (None, None),
+                MiscOp::Interp(f) => (None, Some(f)),
+            };
+            Ok(Mode::Distance { sort_k, activation })
+        }
+        (AdderOp::Null, MultOp::Mult, TreeOp::Add, AccOp::Acc) => {
+            let activation = match fu.misc {
+                MiscOp::Interp(f) => Some(f),
+                MiscOp::Null => None,
+                MiscOp::Sort { .. } => return Err(DecodeError::UnsupportedCombination),
+            };
+            Ok(Mode::Dot { activation, pairwise: hot_iter > 1 })
+        }
+        (AdderOp::Null, MultOp::Mult, TreeOp::Null, AccOp::Mul) => Ok(Mode::ProductReduce),
+        (AdderOp::Add, MultOp::Mult, TreeOp::Null, AccOp::Acc) => Ok(Mode::WeightedSum),
+        _ => Err(DecodeError::UnsupportedCombination),
+    }
+}
+
+/// Timing and activity of one instruction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstTiming {
+    /// Compute cycles (MLU/ALU busy).
+    pub compute_cycles: u64,
+    /// DMA cycles (transfers + descriptor reconfiguration).
+    pub dma_cycles: u64,
+    /// Bytes moved over the DMA.
+    pub dma_bytes: u64,
+    /// DMA descriptors programmed (LOAD/STORE slots in the instruction).
+    pub dma_reconfigs: u32,
+    /// Arithmetic operations executed on MLUs (for energy/utilisation).
+    pub mlu_ops: u64,
+    /// Arithmetic operations executed on ALUs.
+    pub alu_ops: u64,
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+/// Computes the timing of one instruction under `config`.
+///
+/// # Errors
+///
+/// Propagates [`decode`] failures.
+pub fn instruction_timing(
+    config: &ArchConfig,
+    inst: &Instruction,
+) -> Result<InstTiming, DecodeError> {
+    let mode = decode(&inst.fu, inst.hot.iter)?;
+    let fus = u64::from(config.num_fus);
+    let lanes = u64::from(config.lanes);
+    let hot_rows = u64::from(inst.hot.iter);
+    let cold_rows = u64::from(inst.cold.iter);
+    let width = u64::from(inst.cold.stride.max(inst.hot.stride));
+    let chunks = div_ceil(width, lanes);
+    let cold_groups = div_ceil(cold_rows, fus);
+
+    // FUs parallelise over the (hot row, cold row) pair space: each FU
+    // owns one pair per round and streams its chunks, so small blocks on
+    // either side still fill the array as long as the product is >= fus.
+    let pair_groups = |pairs: u64| div_ceil(pairs.max(1), fus);
+
+    let (compute, mlu_ops, alu_ops) = match mode {
+        Mode::Distance { activation, .. } => {
+            let cycles = pair_groups(hot_rows * cold_rows) * chunks;
+            let mut ops = 2 * hot_rows * cold_rows * width; // sub + mul (+tree/acc folded)
+            if activation.is_some() {
+                ops += hot_rows * cold_rows;
+            }
+            (cycles, ops, 0)
+        }
+        Mode::Dot { pairwise, activation } => {
+            let h = if pairwise { hot_rows.max(1) } else { 1 };
+            let cycles = pair_groups(h * cold_rows) * chunks;
+            let mut ops = 2 * h * cold_rows * width;
+            if activation.is_some() {
+                ops += h * cold_rows; // one interp mul-add per result
+            }
+            (cycles, ops, 0)
+        }
+        Mode::Count(_) => {
+            let cycles = pair_groups(hot_rows * cold_rows) * chunks;
+            (cycles, hot_rows * cold_rows * width, 0)
+        }
+        Mode::ProductReduce => {
+            let cycles = cold_groups * chunks * PRODUCT_ROUNDTRIP_PENALTY;
+            (cycles, cold_rows * width, 0)
+        }
+        Mode::WeightedSum => {
+            // Each FU scales one cold row by its hot scalar per round;
+            // partial rows merge in the OutputBuf accumulators.
+            let cycles = cold_groups * chunks;
+            (cycles, 2 * cold_rows * width, 0)
+        }
+        Mode::AluDiv => {
+            let elems = inst.out.elems();
+            (div_ceil(elems, fus) * DIV_LATENCY, 0, elems)
+        }
+        Mode::AluMul => {
+            let elems = inst.out.elems();
+            (div_ceil(elems, fus) * 2, 0, elems)
+        }
+        Mode::AluLog { terms } => {
+            let elems = inst.out.elems();
+            (div_ceil(elems, fus) * u64::from(terms.max(1)) * 2, 0, elems * u64::from(terms))
+        }
+        Mode::TreeStep => (cold_groups.max(1), 0, cold_rows),
+    };
+
+    // DMA traffic: every LOAD pulls f32 elements from DRAM; STORE pushes
+    // f32 results back.
+    let mut bytes = 0u64;
+    let mut reconfigs = 0u32;
+    if inst.hot.op == ReadOp::Load {
+        bytes += inst.hot.elems() * 4;
+        reconfigs += 1;
+    }
+    if inst.cold.op == ReadOp::Load {
+        bytes += inst.cold.elems() * 4;
+        reconfigs += 1;
+    }
+    if inst.out.read_op == ReadOp::Load {
+        bytes += inst.out.elems() * 4;
+        reconfigs += 1;
+    }
+    if inst.out.write_op == WriteOp::Store {
+        bytes += inst.out.elems() * 4;
+        reconfigs += 1;
+    }
+    let transfer = (bytes as f64 / config.dma_bytes_per_cycle()).ceil() as u64;
+    let descriptor_cost = if matches!(mode, Mode::TreeStep | Mode::ProductReduce) {
+        u64::from(config.dma_reconfig_cycles)
+    } else {
+        REGULAR_DESCRIPTOR_CYCLES
+    };
+    let dma_cycles = transfer + u64::from(reconfigs) * descriptor_cost;
+
+    Ok(InstTiming {
+        compute_cycles: compute + PIPELINE_DEPTH,
+        dma_cycles,
+        dma_bytes: bytes,
+        dma_reconfigs: reconfigs,
+        mlu_ops,
+        alu_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BufferRead, FuOps, Instruction, OutputSlot};
+
+    fn kmeans_like() -> Instruction {
+        Instruction {
+            name: "k-means".into(),
+            hot: BufferRead::load(0, 0, 16, 128),
+            cold: BufferRead::load(16384, 0, 16, 256),
+            out: OutputSlot::store(1_064_960, 2, 256),
+            fu: FuOps::distance(Some(1)),
+            hot_row_base: 0,
+        }
+    }
+
+    #[test]
+    fn decode_modes() {
+        assert_eq!(
+            decode(&FuOps::distance(None), 4).unwrap(),
+            Mode::Distance { sort_k: None, activation: None }
+        );
+        assert_eq!(
+            decode(&FuOps::dot_broadcast(None), 1).unwrap(),
+            Mode::Dot { activation: None, pairwise: false }
+        );
+        assert_eq!(
+            decode(&FuOps::dot_broadcast(None), 32).unwrap(),
+            Mode::Dot { activation: None, pairwise: true }
+        );
+        assert_eq!(
+            decode(&FuOps::count(CounterOp::CountEq), 2).unwrap(),
+            Mode::Count(CounterOp::CountEq)
+        );
+        assert_eq!(decode(&FuOps::product_reduce(), 1).unwrap(), Mode::ProductReduce);
+        assert_eq!(decode(&FuOps::alu_only(AluOp::TreeStep), 1).unwrap(), Mode::TreeStep);
+        // Sort on a dot product is not a hardware dataflow.
+        let mut bad = FuOps::dot_broadcast(None);
+        bad.misc = MiscOp::Sort { k: 5 };
+        assert_eq!(decode(&bad, 1).unwrap_err(), DecodeError::UnsupportedCombination);
+    }
+
+    #[test]
+    fn distance_cycles_match_hand_count() {
+        let cfg = ArchConfig::paper_default();
+        let t = instruction_timing(&cfg, &kmeans_like()).unwrap();
+        // ceil(128 x 256 pairs / 16 FUs) x ceil(16/16) chunks.
+        assert_eq!(t.compute_cycles, 128 * 256 / 16 + PIPELINE_DEPTH);
+        // Loads: (128 + 256) rows x 16 elems x 4 B; store: 512 elems x 4 B.
+        assert_eq!(t.dma_bytes, (128 + 256) * 16 * 4 + 512 * 4);
+        assert_eq!(t.dma_reconfigs, 3);
+        // Regular strides: descriptors are cheap to issue.
+        assert!(t.dma_cycles < u64::from(cfg.dma_reconfig_cycles) * 3);
+        assert_eq!(t.mlu_ops, 2 * 128 * 256 * 16);
+    }
+
+    #[test]
+    fn broadcast_dot_is_hot_rows_independent() {
+        let cfg = ArchConfig::paper_default();
+        let inst = Instruction {
+            name: "lr".into(),
+            hot: BufferRead::load(0, 0, 256, 1),
+            cold: BufferRead::load(1024, 0, 256, 64),
+            out: OutputSlot::store(9000, 1, 64),
+            fu: FuOps::dot_broadcast(None),
+            hot_row_base: 0,
+        };
+        let t = instruction_timing(&cfg, &inst).unwrap();
+        // ceil(64 pairs / 16 FUs) x ceil(256/16) chunks = 4 x 16.
+        assert_eq!(t.compute_cycles, 64 + PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn product_reduce_pays_roundtrip_penalty() {
+        let cfg = ArchConfig::paper_default();
+        let mut inst = Instruction {
+            name: "nb-pred".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(0, 0, 16, 64),
+            out: OutputSlot::store(9000, 1, 64),
+            fu: FuOps::product_reduce(),
+            hot_row_base: 0,
+        };
+        let slow = instruction_timing(&cfg, &inst).unwrap();
+        inst.fu = FuOps::dot_broadcast(None);
+        inst.hot = BufferRead::load(4096, 0, 16, 1);
+        let fast = instruction_timing(&cfg, &inst).unwrap();
+        assert!(
+            slow.compute_cycles - PIPELINE_DEPTH
+                == (fast.compute_cycles - PIPELINE_DEPTH) * PRODUCT_ROUNDTRIP_PENALTY
+        );
+    }
+
+    #[test]
+    fn more_fus_cut_cycles() {
+        let mut cfg = ArchConfig::paper_default();
+        let base = instruction_timing(&cfg, &kmeans_like()).unwrap().compute_cycles;
+        cfg.num_fus = 32;
+        let wider = instruction_timing(&cfg, &kmeans_like()).unwrap().compute_cycles;
+        assert!(wider < base);
+    }
+}

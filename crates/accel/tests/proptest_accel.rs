@@ -1,0 +1,171 @@
+//! Property-based tests for the accelerator simulator.
+
+use proptest::prelude::*;
+use pudiannao_accel::isa::{BufferRead, FuOps, Instruction, OutputSlot, Program};
+use pudiannao_accel::{timing, Accelerator, ArchConfig, Dram, KSorter};
+use pudiannao_softfp::F16;
+
+/// Software oracle for the MLU's distance datapath: quantise inputs,
+/// subtract/square in binary16, tree-sum 16-lane chunks in binary16,
+/// accumulate at 32 bits.
+fn f16_distance_oracle(a: &[f32], b: &[f32]) -> f32 {
+    fn tree(vals: &[F16]) -> F16 {
+        match vals.len() {
+            0 => F16::ZERO,
+            1 => vals[0],
+            n => {
+                let (lo, hi) = vals.split_at(n.div_ceil(2));
+                tree(lo) + tree(hi)
+            }
+        }
+    }
+    let mut acc = 0.0f32;
+    for (ca, cb) in a.chunks(16).zip(b.chunks(16)) {
+        let prods: Vec<F16> = ca
+            .iter()
+            .zip(cb)
+            .map(|(&x, &y)| {
+                let d = F16::from_f32(x) - F16::from_f32(y);
+                d * d
+            })
+            .collect();
+        acc += tree(&prods).to_f32();
+    }
+    acc
+}
+
+fn small_value() -> impl Strategy<Value = f32> {
+    (-4.0f32..4.0).prop_map(|v| F16::from_f32(v).to_f32())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The executed distance instruction reproduces the software oracle
+    /// bit-for-bit on arbitrary small inputs.
+    #[test]
+    fn distance_instruction_matches_oracle(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(small_value(), 24), 2..6),
+        query in proptest::collection::vec(small_value(), 24),
+    ) {
+        let n = rows.len();
+        let mut dram = Dram::new(1 << 16);
+        for (i, r) in rows.iter().enumerate() {
+            dram.write_f32((i * 24) as u64, r);
+        }
+        dram.write_f32(2000, &query);
+        let inst = Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 24, n as u32),
+            cold: BufferRead::load(2000, 0, 24, 1),
+            out: OutputSlot::store(4000, n as u32, 1),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let mut accel = Accelerator::new(ArchConfig::paper_default()).unwrap();
+        accel.run(&Program::new(vec![inst]).unwrap(), &mut dram).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let got = dram.read_f32(4000 + i as u64, 1)[0];
+            prop_assert_eq!(got.to_bits(), f16_distance_oracle(r, &query).to_bits());
+        }
+    }
+
+    /// The hardware k-sorter returns exactly the k smallest values with
+    /// their tags, in ascending order.
+    #[test]
+    fn ksorter_matches_std_sort(
+        values in proptest::collection::vec(-1e4f32..1e4, 1..60),
+        k in 1usize..12,
+    ) {
+        let mut sorter = KSorter::new(k);
+        for (i, &v) in values.iter().enumerate() {
+            sorter.offer(v, i as u64);
+        }
+        let mut expect: Vec<(f32, usize)> =
+            values.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        expect.truncate(k);
+        let got = sorter.entries();
+        prop_assert_eq!(got.len(), expect.len().min(values.len()));
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.0, e.0);
+        }
+        // Ascending order.
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    /// Compute cycles grow monotonically with the cold-row count.
+    #[test]
+    fn timing_monotone_in_cold_rows(rows_a in 1u32..200, rows_b in 1u32..200) {
+        let cfg = ArchConfig::paper_default();
+        let mk = |rows: u32| Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 4),
+            cold: BufferRead::load(1000, 0, 16, rows),
+            out: OutputSlot::store(100_000, 4, rows),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let ta = timing::instruction_timing(&cfg, &mk(rows_a)).unwrap();
+        let tb = timing::instruction_timing(&cfg, &mk(rows_b)).unwrap();
+        if rows_a <= rows_b {
+            prop_assert!(ta.compute_cycles <= tb.compute_cycles);
+            prop_assert!(ta.dma_bytes <= tb.dma_bytes);
+        } else {
+            prop_assert!(ta.compute_cycles >= tb.compute_cycles);
+        }
+    }
+
+    /// Splitting a hot sweep into two accumulating instructions never
+    /// changes the k-sorter result (the Table-3 partials invariant).
+    #[test]
+    fn sorter_partials_are_associative(
+        seed in 0u64..1000,
+        split in 1usize..7,
+    ) {
+        let n = 8usize;
+        let mut dram = Dram::new(1 << 16);
+        // Deterministic pseudo-random rows from the seed.
+        for i in 0..n {
+            let row: Vec<f32> = (0..16)
+                .map(|j| (((seed as usize + i * 31 + j * 7) % 17) as f32) / 4.0)
+                .collect();
+            dram.write_f32((i * 16) as u64, &row);
+        }
+        dram.write_f32(1000, &[1.0f32; 16]);
+        let k = 3u32;
+        let full = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(0, 0, 16, n as u32),
+            cold: BufferRead::load(1000, 0, 16, 1),
+            out: OutputSlot::store(4000, 2 * k, 1),
+            fu: FuOps::distance(Some(k)),
+            hot_row_base: 0,
+        };
+        let mut accel = Accelerator::new(ArchConfig::paper_default()).unwrap();
+        accel.run(&Program::new(vec![full]).unwrap(), &mut dram).unwrap();
+        let expect = dram.read_f32(4000, 2 * k as usize);
+
+        let first = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load(0, 0, 16, split as u32),
+            cold: BufferRead::load(1000, 0, 16, 1),
+            out: OutputSlot::write(0, 2 * k, 1),
+            fu: FuOps::distance(Some(k)),
+            hot_row_base: 0,
+        };
+        let second = Instruction {
+            name: "knn".into(),
+            hot: BufferRead::load((split * 16) as u64, 0, 16, (n - split) as u32),
+            cold: BufferRead::read(0, 16, 1),
+            out: OutputSlot::accumulate_store(0, 2 * k, 1, 5000),
+            fu: FuOps::distance(Some(k)),
+            hot_row_base: split as u64,
+        };
+        let mut accel2 = Accelerator::new(ArchConfig::paper_default()).unwrap();
+        accel2.run(&Program::new(vec![first, second]).unwrap(), &mut dram).unwrap();
+        let got = dram.read_f32(5000, 2 * k as usize);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Device-neutral workload characterisation of the 13 phases.
+
+use pudiannao_codegen::phases::{Phase, Workload};
+
+/// Useful arithmetic and compulsory memory traffic of one phase — the
+/// quantities a roofline model needs. Device-specific inefficiencies
+/// (cache misses beyond compulsory, divergence, sort passes) live in the
+/// per-device efficiency factors, not here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseCharacter {
+    /// Floating-point (or compare/count) operations.
+    pub flops: f64,
+    /// Compulsory bytes moved (each operand touched once).
+    pub bytes: f64,
+}
+
+fn dnn_flops_per_instance(layers: &[usize]) -> f64 {
+    layers.windows(2).map(|p| 2.0 * p[0] as f64 * p[1] as f64).sum()
+}
+
+fn dnn_weight_bytes(layers: &[usize]) -> f64 {
+    layers.windows(2).map(|p| 4.0 * p[0] as f64 * p[1] as f64).sum()
+}
+
+/// Characterises a phase at the given workload sizes.
+#[must_use]
+pub fn characterize(phase: Phase, w: &Workload) -> PhaseCharacter {
+    let f4 = 4.0; // bytes per f32
+    match phase {
+        Phase::KnnPrediction => {
+            let pairs = w.train as f64 * w.test as f64;
+            PhaseCharacter {
+                // sub + mul + add per feature pair, plus the top-k
+                // maintenance per pair.
+                flops: pairs * (3.0 * w.features as f64 + f64::from(w.knn_k).log2().ceil()),
+                bytes: (w.train + w.test) as f64 * w.features as f64 * f4
+                    + w.test as f64 * f64::from(w.knn_k) * 2.0 * f4,
+            }
+        }
+        Phase::KMeansClustering => {
+            let pairs = w.train as f64 * w.kmeans_k as f64 * w.kmeans_iters as f64;
+            PhaseCharacter {
+                flops: pairs * 3.0 * w.features as f64,
+                bytes: (w.train + w.kmeans_k) as f64 * w.features as f64 * f4
+                    * w.kmeans_iters as f64,
+            }
+        }
+        Phase::DnnPrediction => PhaseCharacter {
+            flops: dnn_flops_per_instance(&w.dnn_layers) * w.test as f64,
+            bytes: dnn_weight_bytes(&w.dnn_layers)
+                + w.test as f64 * w.dnn_layers[0] as f64 * f4,
+        },
+        Phase::DnnPretraining => PhaseCharacter {
+            // CD-1: three propagations plus the outer-product update.
+            flops: dnn_flops_per_instance(&w.dnn_layers) * w.train as f64 * 4.0,
+            bytes: dnn_weight_bytes(&w.dnn_layers) * 2.0
+                + w.train as f64 * w.dnn_layers[0] as f64 * f4,
+        },
+        Phase::DnnGlobalTraining => PhaseCharacter {
+            // BP: forward, backward, update.
+            flops: dnn_flops_per_instance(&w.dnn_layers) * w.train as f64 * 3.0,
+            bytes: dnn_weight_bytes(&w.dnn_layers) * 2.0
+                + w.train as f64 * w.dnn_layers[0] as f64 * f4,
+        },
+        Phase::LrTraining => PhaseCharacter {
+            // Dot sweep + gradient sweep per epoch.
+            flops: 4.0 * w.train as f64 * w.features as f64,
+            bytes: w.train as f64 * w.features as f64 * f4,
+        },
+        Phase::LrPrediction => PhaseCharacter {
+            flops: 2.0 * w.test as f64 * w.features as f64,
+            bytes: w.test as f64 * w.features as f64 * f4,
+        },
+        Phase::SvmTraining => {
+            let pairs = w.train as f64 * w.train as f64;
+            PhaseCharacter {
+                // Kernel matrix: distance + exp per pair.
+                flops: pairs * (3.0 * w.features as f64 + 8.0),
+                bytes: w.train as f64 * w.features as f64 * f4 + pairs * f4,
+            }
+        }
+        Phase::SvmPrediction => {
+            let svs = (w.train as f64 * w.sv_fraction).max(1.0);
+            let pairs = svs * w.test as f64;
+            PhaseCharacter {
+                flops: pairs * (3.0 * w.features as f64 + 8.0) + 2.0 * pairs,
+                bytes: (svs + w.test as f64) * w.features as f64 * f4,
+            }
+        }
+        Phase::NbTraining => PhaseCharacter {
+            // One compare per (instance, feature, value) plus a counter
+            // update per (instance, feature).
+            flops: w.nb_instances as f64
+                * w.nb_features as f64
+                * (w.nb_values as f64 + 1.0),
+            bytes: w.nb_instances as f64 * (w.nb_features + 1) as f64 * f4,
+        },
+        Phase::NbPrediction => PhaseCharacter {
+            flops: w.nb_instances as f64 * w.nb_classes as f64 * (w.nb_features + 1) as f64,
+            bytes: w.nb_instances as f64
+                * w.nb_classes as f64
+                * (w.nb_features + 1) as f64
+                * f4,
+        },
+        Phase::CtTraining => PhaseCharacter {
+            // Per level: compare every instance's features against the
+            // candidate thresholds.
+            flops: f64::from(w.ct_depth)
+                * w.ct_train as f64
+                * w.ct_features as f64
+                * w.ct_thresholds as f64,
+            bytes: f64::from(w.ct_depth) * w.ct_train as f64 * w.ct_features as f64 * f4,
+        },
+        Phase::CtPrediction => PhaseCharacter {
+            flops: w.ct_test as f64 * f64::from(w.ct_depth) * 2.0,
+            bytes: w.ct_test as f64 * w.ct_features as f64 * f4
+                + (1u64 << w.ct_depth) as f64 * 16.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_phases_characterise_positively() {
+        let w = Workload::paper();
+        for phase in Phase::ALL {
+            let c = characterize(phase, &w);
+            assert!(c.flops > 0.0, "{phase}");
+            assert!(c.bytes > 0.0, "{phase}");
+        }
+    }
+
+    #[test]
+    fn heavyweight_phases_rank_correctly() {
+        let w = Workload::paper();
+        // ~60000^2 x (3 x 784 + 8) = 8.5e12.
+        let svm = characterize(Phase::SvmTraining, &w).flops;
+        assert!(svm > 8.0e12 && svm < 9.0e12, "{svm:e}");
+        // DNN pre-training (4 passes over a ~51M-synapse net x 60000
+        // instances) is the largest phase by raw arithmetic.
+        let pre = characterize(Phase::DnnPretraining, &w).flops;
+        for phase in Phase::ALL {
+            assert!(pre >= characterize(phase, &w).flops, "{phase}");
+        }
+    }
+
+    #[test]
+    fn nb_phases_are_tiny_by_comparison() {
+        let w = Workload::paper();
+        let nb = characterize(Phase::NbTraining, &w).flops;
+        let knn = characterize(Phase::KnnPrediction, &w).flops;
+        assert!(nb < knn / 1e3);
+    }
+
+    #[test]
+    fn dnn_passes_order() {
+        let w = Workload::paper();
+        let pred = characterize(Phase::DnnPrediction, &w).flops;
+        let pre = characterize(Phase::DnnPretraining, &w).flops;
+        let train = characterize(Phase::DnnGlobalTraining, &w).flops;
+        assert!(pre > train && train > pred);
+    }
+}

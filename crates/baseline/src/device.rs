@@ -1,0 +1,252 @@
+//! Device models and per-phase efficiency factors.
+
+use crate::character::PhaseCharacter;
+use pudiannao_codegen::phases::Phase;
+
+/// Which baseline device a model describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// NVIDIA K20M (the paper's main baseline).
+    GpuK20m,
+    /// Intel Xeon E5-4620 with 256-bit SIMD (the Figure-13 reference).
+    CpuE5_4620,
+}
+
+/// A roofline device model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceModel {
+    /// Device identity.
+    pub kind: DeviceKind,
+    /// Peak single-precision throughput in flop/s.
+    pub peak_flops: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Power floor in watts (always burned while the phase runs).
+    pub power_base: f64,
+    /// Additional power at full compute activity, in watts.
+    pub power_dynamic: f64,
+    /// Fixed per-phase overhead in seconds (kernel launches, host sync).
+    pub launch_overhead: f64,
+}
+
+/// The NVIDIA K20M: 3.52 TFlops SP peak, 208 GB/s GDDR5 (Section 5).
+///
+/// The power split is calibrated so that phase-average board power lands
+/// in the 55-110 W range — consistent with the paper's reported 128.41x
+/// average energy ratio against PuDianNao's 596 mW at a 1.20x average
+/// speedup (which implies ~64 W average GPU power during these kernels,
+/// i.e. measured dynamic power well below the 225 W TDP).
+#[must_use]
+pub fn gpu_k20m() -> DeviceModel {
+    DeviceModel {
+        kind: DeviceKind::GpuK20m,
+        peak_flops: 3.52e12,
+        mem_bandwidth: 208.0e9,
+        power_base: 40.0,
+        power_dynamic: 110.0,
+        launch_overhead: 5.0e-6,
+    }
+}
+
+/// The Xeon E5-4620: 8 Sandy Bridge cores at 2.2 GHz with 256-bit AVX
+/// (8-wide FMA-less: 8 adds + 8 muls per cycle per core => ~281 GFlops),
+/// ~40 GB/s of DDR3 bandwidth, 95 W TDP.
+#[must_use]
+pub fn cpu_e5_4620() -> DeviceModel {
+    DeviceModel {
+        kind: DeviceKind::CpuE5_4620,
+        peak_flops: 281.6e9,
+        mem_bandwidth: 40.0e9,
+        power_base: 45.0,
+        power_dynamic: 50.0,
+        launch_overhead: 0.0,
+    }
+}
+
+/// Per-phase achievable fractions of a device's roofline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseEfficiency {
+    /// Fraction of peak compute achieved on the arithmetic.
+    pub compute: f64,
+    /// Fraction of peak bandwidth achieved on the traffic.
+    pub bandwidth: f64,
+    /// Work inflation: extra passes/operations the device needs beyond
+    /// the useful work (e.g. GPU top-k selection passes).
+    pub work_multiplier: f64,
+}
+
+/// Per-phase efficiency factors for each device.
+///
+/// These encode the architectural story behind Figures 13, 15 and 16:
+///
+/// - **k-NN**: distance computation maps well to the GPU, but top-k
+///   selection costs extra passes and consumes "remarkable energy on
+///   sorting with its general-purpose functional units".
+/// - **NB/CT training**: histogram counting serialises on atomic updates
+///   and diverges; both baselines run far below peak.
+/// - **NB prediction**: plain register-resident products — the GPU's
+///   "large register file" makes this its *best* phase (PuDianNao's
+///   worst, 0.37x).
+/// - **SVM prediction**: transcendental kernel functions and scattered
+///   support-vector access; PuDianNao's interpolation unit wins (2.92x).
+/// - **CT prediction**: divergent pointer chasing.
+#[must_use]
+pub fn efficiency(kind: DeviceKind, phase: Phase) -> PhaseEfficiency {
+    let (compute, bandwidth, work_multiplier) = match kind {
+        DeviceKind::GpuK20m => match phase {
+            // Distance kernels vectorise well, but k-selection over
+            // 60000 candidates costs multiple extra passes (the paper:
+            // "the GPU consumes remarkable energy on sorting").
+            Phase::KnnPrediction => (0.323, 0.60, 2.93),
+            // Only k = 10 centroids: reduction-dominated, poorly occupied.
+            Phase::KMeansClustering => (0.22, 0.185, 1.2),
+            // Batched GEMM + activation; K20-era cuBLAS on tall-skinny
+            // shapes with fused sigmoids.
+            Phase::DnnPrediction => (0.285, 0.65, 1.0),
+            Phase::DnnPretraining => (0.28, 0.65, 1.1),
+            Phase::DnnGlobalTraining => (0.28, 0.65, 1.1),
+            // GEMV-like: bandwidth-bound.
+            Phase::LrTraining => (0.30, 0.45, 1.1),
+            Phase::LrPrediction => (0.30, 0.50, 1.0),
+            // Kernel-matrix computation with exp and a 14 GB result.
+            Phase::SvmTraining => (0.155, 0.55, 1.1),
+            // Transcendental kernel functions on scattered support
+            // vectors — PuDianNao's interpolation unit wins 2.92x here.
+            Phase::SvmPrediction => (0.0604, 0.40, 1.45),
+            // Histogram counting: atomic serialisation and divergence.
+            Phase::NbTraining => (0.06, 0.50, 1.5),
+            // Register-resident probability products: the GPU's best
+            // phase (PuDianNao's worst, 0.37x).
+            Phase::NbPrediction => (0.50, 0.95, 1.0),
+            Phase::CtTraining => (0.08, 0.30, 1.3),
+            // Divergent pointer chasing at ~5% of effective bandwidth.
+            Phase::CtPrediction => (0.04, 0.045, 1.5),
+        },
+        // Multicore AVX C++ rarely sustains more than 10-25% of peak on
+        // these kernels (gather-heavy, short vectors, atomics); these
+        // factors put the GPU 10-30x ahead phase by phase, matching the
+        // Figure-13 average of 17.74x and the 15-49x / 10-60x surveys the
+        // paper cites.
+        DeviceKind::CpuE5_4620 => match phase {
+            Phase::KnnPrediction => (0.08, 0.30, 1.3),
+            Phase::KMeansClustering => (0.08, 0.30, 1.1),
+            Phase::DnnPrediction => (0.11, 0.30, 1.0),
+            Phase::DnnPretraining => (0.11, 0.30, 1.1),
+            Phase::DnnGlobalTraining => (0.11, 0.30, 1.1),
+            Phase::LrTraining => (0.09, 0.30, 1.1),
+            Phase::LrPrediction => (0.09, 0.30, 1.0),
+            Phase::SvmTraining => (0.09, 0.30, 1.1),
+            Phase::SvmPrediction => (0.022, 0.21, 1.2),
+            Phase::NbTraining => (0.022, 0.18, 1.2),
+            Phase::NbPrediction => (0.08, 0.27, 1.0),
+            Phase::CtTraining => (0.032, 0.21, 1.2),
+            Phase::CtPrediction => (0.016, 0.12, 1.2),
+        },
+    };
+    PhaseEfficiency { compute, bandwidth, work_multiplier }
+}
+
+/// Time and energy a device spends on a characterised phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceEstimate {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy in joules.
+    pub joules: f64,
+    /// Whether the compute roof (true) or memory roof (false) bound the
+    /// phase.
+    pub compute_bound: bool,
+}
+
+/// Applies the roofline: `t = max(work / (peak x eff), bytes / (bw x
+/// eff))`, energy from the base/dynamic power split weighted by how
+/// compute-bound the phase is.
+#[must_use]
+pub fn estimate(
+    device: &DeviceModel,
+    eff: &PhaseEfficiency,
+    character: &PhaseCharacter,
+) -> DeviceEstimate {
+    let work = character.flops * eff.work_multiplier;
+    let t_compute = work / (device.peak_flops * eff.compute);
+    let t_memory = character.bytes / (device.mem_bandwidth * eff.bandwidth);
+    let seconds = t_compute.max(t_memory) + device.launch_overhead;
+    let compute_bound = t_compute >= t_memory;
+    // Dynamic power follows whichever subsystem is working: the compute
+    // units (including wasted selection/divergence passes, hence the
+    // work multiplier) or the memory system (weighted at half — DRAM
+    // burns less than the SMs).
+    let compute_util =
+        eff.compute * eff.work_multiplier * if compute_bound { 1.0 } else { t_compute / t_memory };
+    let memory_util =
+        0.5 * eff.bandwidth * if compute_bound { t_memory / t_compute.max(1e-30) } else { 1.0 };
+    let activity = compute_util.max(memory_util).clamp(0.0, 1.0);
+    let power = device.power_base + device.power_dynamic * activity;
+    DeviceEstimate { seconds, joules: power * seconds, compute_bound }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::character::characterize;
+    use pudiannao_codegen::phases::Workload;
+
+    #[test]
+    fn device_constants() {
+        let gpu = gpu_k20m();
+        assert_eq!(gpu.peak_flops, 3.52e12);
+        assert_eq!(gpu.mem_bandwidth, 208.0e9);
+        let cpu = cpu_e5_4620();
+        assert!(gpu.peak_flops / cpu.peak_flops > 10.0);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_every_phase() {
+        let w = Workload::paper();
+        for phase in Phase::ALL {
+            let c = characterize(phase, &w);
+            let g = estimate(&gpu_k20m(), &efficiency(DeviceKind::GpuK20m, phase), &c);
+            let p = estimate(&cpu_e5_4620(), &efficiency(DeviceKind::CpuE5_4620, phase), &c);
+            assert!(p.seconds > g.seconds, "{phase}: GPU should win");
+        }
+    }
+
+    #[test]
+    fn gpu_over_cpu_average_matches_figure13_band() {
+        // Figure 13: average 17.74x, and the paper cites 15-49x / 10-60x
+        // surveys. Check our geometric mean lands in a sane band.
+        let w = Workload::paper();
+        let mut log_sum = 0.0;
+        for phase in Phase::ALL {
+            let c = characterize(phase, &w);
+            let g = estimate(&gpu_k20m(), &efficiency(DeviceKind::GpuK20m, phase), &c);
+            let p = estimate(&cpu_e5_4620(), &efficiency(DeviceKind::CpuE5_4620, phase), &c);
+            log_sum += (p.seconds / g.seconds).ln();
+        }
+        let geo_mean = (log_sum / 13.0).exp();
+        assert!(
+            (8.0..30.0).contains(&geo_mean),
+            "GPU/CPU geometric-mean speedup {geo_mean:.1} outside the Figure-13 band"
+        );
+    }
+
+    #[test]
+    fn memory_bound_phases_are_detected() {
+        let c = PhaseCharacter { flops: 1.0, bytes: 1e12 };
+        let eff = PhaseEfficiency { compute: 1.0, bandwidth: 1.0, work_multiplier: 1.0 };
+        let e = estimate(&gpu_k20m(), &eff, &c);
+        assert!(!e.compute_bound);
+        let c2 = PhaseCharacter { flops: 1e15, bytes: 1.0 };
+        assert!(estimate(&gpu_k20m(), &eff, &c2).compute_bound);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let c = PhaseCharacter { flops: 3.52e12, bytes: 1.0 };
+        let eff = PhaseEfficiency { compute: 1.0, bandwidth: 1.0, work_multiplier: 1.0 };
+        let e = estimate(&gpu_k20m(), &eff, &c);
+        // 1 second at full activity: base + dynamic watts.
+        assert!((e.seconds - (1.0 + 5.0e-6)).abs() < 1e-6);
+        assert!((e.joules - 150.0 * e.seconds).abs() < 1e-3);
+    }
+}

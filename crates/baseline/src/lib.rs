@@ -1,0 +1,28 @@
+//! Analytical baseline models for the PuDianNao evaluation.
+//!
+//! The paper compares PuDianNao against an NVIDIA K20M GPU ("3.52 TFlops
+//! peak, 5GB GDDR5, 208GB/s memory bandwidth, 28nm technology, CUDA
+//! SDK5.5") and validates that GPU against a 256-bit-SIMD Xeon E5-4620
+//! (Figure 13: the GPU averages 17.74x over the CPU, in line with the
+//! 15-49x and 10-60x ranges the paper cites). We cannot run that
+//! hardware, so this crate models both devices with a roofline: each
+//! phase's useful arithmetic and compulsory memory traffic
+//! ([`PhaseCharacter`]) meet per-device, per-phase efficiency factors
+//! ([`efficiency`]) that encode the *architectural* reasons a phase runs
+//! well or badly — GPU sorting overhead on k-NN, atomic-update counting
+//! for NB/CT training, divergent tree walks, transcendental-heavy SVM
+//! prediction. The factors are first-principles estimates, documented
+//! inline; EXPERIMENTS.md compares the resulting shape against the
+//! paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod character;
+mod device;
+
+pub use character::{characterize, PhaseCharacter};
+pub use device::{
+    cpu_e5_4620, efficiency, estimate, gpu_k20m, DeviceEstimate, DeviceKind, DeviceModel,
+    PhaseEfficiency,
+};

@@ -1,0 +1,107 @@
+//! Criterion benches for the accelerator simulator's kernel execution —
+//! how fast the *simulator* runs, per simulated phase kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pudiannao_accel::{isa, Accelerator, ArchConfig, Dram};
+use pudiannao_codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
+use pudiannao_codegen::dot::{BroadcastDot, BroadcastPlan};
+use pudiannao_codegen::nb::{candidate_rows, NbTrainKernel, NbTrainPlan};
+
+fn dram_with_noise(elems: usize) -> Dram {
+    let mut dram = Dram::new(elems);
+    let values: Vec<f32> = (0..4096).map(|i| (i % 97) as f32 / 97.0).collect();
+    let mut at = 0u64;
+    while (at as usize) + values.len() <= elems / 2 {
+        dram.write_f32(at, &values);
+        at += values.len() as u64;
+    }
+    dram
+}
+
+fn bench_distance_program(c: &mut Criterion) {
+    let cfg = ArchConfig::paper_default();
+    let kernel = DistanceKernel {
+        name: "k-means",
+        features: 32,
+        hot_rows: 64,
+        cold_rows: 512,
+        post: DistancePost::Sort { k: 1 },
+    };
+    let plan = DistancePlan { hot_dram: 0, cold_dram: 100_000, out_dram: 800_000 };
+    let program = kernel.generate(&cfg, &plan).expect("generates");
+    c.bench_function("accel/distance_sort_64x512x32", |b| {
+        b.iter_batched(
+            || (Accelerator::new(cfg.clone()).expect("valid"), dram_with_noise(1 << 20)),
+            |(mut accel, mut dram)| accel.run(&program, &mut dram).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_dot_program(c: &mut Criterion) {
+    let cfg = ArchConfig::paper_default();
+    let kernel = BroadcastDot { name: "lr", width: 1024, cold_rows: 256, activation: None };
+    let plan = BroadcastPlan { hot_dram: 0, cold_dram: 100_000, out_dram: 800_000 };
+    let program = kernel.generate(&cfg, &plan).expect("generates");
+    c.bench_function("accel/broadcast_dot_1024x256", |b| {
+        b.iter_batched(
+            || (Accelerator::new(cfg.clone()).expect("valid"), dram_with_noise(1 << 20)),
+            |(mut accel, mut dram)| accel.run(&program, &mut dram).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_count_program(c: &mut Criterion) {
+    let cfg = ArchConfig::paper_default();
+    let kernel = NbTrainKernel { features: 8, values: 5, class_counts: vec![512; 5] };
+    let plan = NbTrainPlan { instances_dram: 0, candidates_dram: 200_000, counters_dram: 300_000 };
+    let program = kernel.generate(&cfg, &plan).expect("generates");
+    c.bench_function("accel/nb_count_2560x8x5", |b| {
+        b.iter_batched(
+            || {
+                let mut dram = Dram::new(1 << 20);
+                // Integer-coded features in 0..5.
+                for i in 0..2560usize {
+                    let row: Vec<f32> = (0..8).map(|j| ((i + j) % 5) as f32).collect();
+                    dram.write_f32((i * 8) as u64, &row);
+                }
+                dram.write_f32(200_000, &candidate_rows(5, 8));
+                (Accelerator::new(cfg.clone()).expect("valid"), dram)
+            },
+            |(mut accel, mut dram)| accel.run(&program, &mut dram).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_single_instruction(c: &mut Criterion) {
+    let cfg = ArchConfig::paper_default();
+    let inst = isa::Instruction {
+        name: "dist".into(),
+        hot: isa::BufferRead::load(0, 0, 16, 64),
+        cold: isa::BufferRead::load(4096, 0, 16, 32),
+        out: isa::OutputSlot::store(500_000, 64, 32),
+        fu: isa::FuOps::distance(None),
+        hot_row_base: 0,
+    };
+    let program = isa::Program::new(vec![inst]).expect("non-empty");
+    c.bench_function("accel/one_distance_instruction_64x32x16", |b| {
+        b.iter_batched(
+            || (Accelerator::new(cfg.clone()).expect("valid"), dram_with_noise(1 << 20)),
+            |(mut accel, mut dram)| accel.run(&program, &mut dram).expect("runs"),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_distance_program, bench_dot_program, bench_count_program, bench_single_instruction
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the golden ML implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pudiannao_datasets::synth;
+use pudiannao_mlkit::{kmeans, knn, linreg, nb, tree};
+
+fn bench_knn(c: &mut Criterion) {
+    let data = synth::gaussian_blobs(&synth::BlobsConfig {
+        instances: 1000,
+        features: 32,
+        classes: 4,
+        spread: 0.1,
+        seed: 1,
+    });
+    let model = knn::KnnClassifier::fit(&data, knn::KnnConfig { k: 5, ..Default::default() })
+        .expect("fits");
+    let queries = data.features.select_rows(&(0..100).collect::<Vec<_>>());
+    c.bench_function("mlkit/knn_predict_100q_1000r_32f", |b| {
+        b.iter(|| model.predict(&queries).expect("predicts"));
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let data = synth::gaussian_blobs(&synth::BlobsConfig {
+        instances: 1000,
+        features: 16,
+        classes: 8,
+        spread: 0.08,
+        seed: 2,
+    });
+    c.bench_function("mlkit/kmeans_fit_1000x16_k8", |b| {
+        b.iter(|| {
+            kmeans::KMeans::fit(
+                &data.features,
+                kmeans::KMeansConfig { k: 8, max_iters: 20, seed: 3, ..Default::default() },
+            )
+            .expect("fits")
+        });
+    });
+}
+
+fn bench_linreg(c: &mut Criterion) {
+    let (data, _) = synth::linear_teacher(500, 32, 0.01, 4);
+    c.bench_function("mlkit/linreg_fit_500x32", |b| {
+        b.iter(|| {
+            linreg::LinearRegression::fit(
+                &data,
+                linreg::LinRegConfig { epochs: 50, ..Default::default() },
+            )
+            .expect("fits")
+        });
+    });
+}
+
+fn bench_nb_and_tree(c: &mut Criterion) {
+    let cat = synth::categorical(&synth::CategoricalConfig {
+        instances: 2000,
+        features: 8,
+        values: 5,
+        classes: 5,
+        seed: 5,
+    });
+    c.bench_function("mlkit/nb_fit_2000x8", |b| {
+        b.iter(|| {
+            nb::NaiveBayes::fit(&cat, nb::NbConfig { values: 5, ..Default::default() })
+                .expect("fits")
+        });
+    });
+    let teacher = synth::tree_teacher(1000, 8, 5, 4, 6);
+    c.bench_function("mlkit/id3_fit_1000x8_depth5", |b| {
+        b.iter(|| tree::DecisionTree::fit(&teacher, tree::TreeConfig::default()).expect("fits"));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_knn, bench_kmeans, bench_linreg, bench_nb_and_tree
+}
+criterion_main!(benches);

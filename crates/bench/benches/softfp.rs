@@ -1,0 +1,63 @@
+//! Criterion benches for the binary16 software floats.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pudiannao_softfp::{int_path, F16, InterpTable, NonLinearFn};
+
+fn bench_f16_ops(c: &mut Criterion) {
+    let xs: Vec<F16> = (0..1024).map(|i| F16::from_f32(i as f32 * 0.01 - 5.0)).collect();
+    let ys: Vec<F16> = (0..1024).map(|i| F16::from_f32(3.0 - i as f32 * 0.005)).collect();
+
+    c.bench_function("softfp/f16_mul_widening_1k", |b| {
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc += black_box(x) * black_box(y);
+            }
+            acc
+        });
+    });
+
+    c.bench_function("softfp/f16_mul_integer_path_1k", |b| {
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for (&x, &y) in xs.iter().zip(&ys) {
+                acc = int_path::add(acc, int_path::mul(black_box(x), black_box(y)));
+            }
+            acc
+        });
+    });
+
+    c.bench_function("softfp/f32_to_f16_round_trip_1k", |b| {
+        b.iter(|| {
+            let mut sum = 0.0f32;
+            for i in 0..1024 {
+                sum += F16::from_f32(black_box(i as f32 * 0.37)).to_f32();
+            }
+            sum
+        });
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let table = InterpTable::for_function(NonLinearFn::Sigmoid, 256).expect("valid");
+    c.bench_function("softfp/interp_sigmoid_1k", |b| {
+        b.iter(|| {
+            let mut sum = 0.0f32;
+            for i in 0..1024 {
+                sum += table.eval(black_box(i as f32 * 0.01 - 5.0));
+            }
+            sum
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_f16_ops, bench_interp
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs every reproduction experiment and writes `repro_summary.json`.
+
+use pudiannao_bench::{evaluation, locality, ExperimentReport};
+
+fn main() {
+    let reports: Vec<ExperimentReport> = vec![
+        locality::fig02_knn_tiling(),
+        locality::fig04_kmeans_tiling(),
+        locality::fig05_dnn_tiling(),
+        locality::fig08_lr_tiling(),
+        locality::fig09_svm_tiling(),
+        locality::fig10_reuse_distance(),
+        evaluation::table1_precision(),
+        evaluation::table3_codegen(),
+        evaluation::table5_layout(),
+        evaluation::fig14_floorplan(),
+        evaluation::fig13_gpu_vs_cpu(),
+        evaluation::fig15_speedup(),
+        evaluation::fig16_energy(),
+        evaluation::ablation_buffers(),
+        evaluation::ablation_sorter(),
+        evaluation::ablation_interp(),
+        evaluation::ablation_scaling(),
+        evaluation::time_fractions(),
+    ];
+    let json = serde_json::to_string_pretty(&reports).expect("reports serialise");
+    std::fs::write("repro_summary.json", &json).expect("writable working directory");
+    println!("\nwrote repro_summary.json ({} experiments)", reports.len());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper experiment; see `pudiannao_bench::locality`.
+fn main() {
+    let _ = pudiannao_bench::locality::fig10_reuse_distance();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper experiment; see `pudiannao_bench::evaluation`.
+fn main() {
+    let _ = pudiannao_bench::evaluation::fig14_floorplan();
+}

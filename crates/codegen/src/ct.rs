@@ -1,0 +1,446 @@
+//! Classification-tree program generation (Section 2.7).
+//!
+//! Training reuses the Counter stage with greater-than comparisons (the
+//! threshold-counting task). Prediction walks instances through the tree
+//! level-synchronously with the ALU's tree-step: every instruction
+//! advances all live instances one level, loading that level's node range
+//! over the DMA — the irregular, reconfiguration-heavy access pattern
+//! that gives CT prediction the smallest energy win in Figure 16.
+
+use crate::error::CodegenError;
+use pudiannao_accel::isa::{
+    AluOp, BufferRead, CounterOp, FuOps, Instruction, OutputSlot, Program, ReadOp, WriteOp,
+};
+use pudiannao_accel::ArchConfig;
+
+/// Threshold counting for one tree node's split search: counts, per
+/// candidate threshold row, how many instances exceed each feature's
+/// threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtCountKernel {
+    /// Features per instance.
+    pub features: usize,
+    /// Candidate threshold rows (each row: one threshold per feature).
+    pub thresholds: usize,
+    /// Instances reaching this node.
+    pub instances: usize,
+}
+
+/// DRAM placement for [`CtCountKernel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtCountPlan {
+    /// Instances, row-major.
+    pub instances_dram: u64,
+    /// Threshold rows, `thresholds x features`.
+    pub thresholds_dram: u64,
+    /// Counters out, `thresholds x features`.
+    pub counters_dram: u64,
+}
+
+impl CtCountKernel {
+    /// Generates the counting program.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] / [`CodegenError::RowTooWide`] /
+    /// [`CodegenError::OutputTooWide`] per the buffer constraints.
+    pub fn generate(&self, cfg: &ArchConfig, plan: &CtCountPlan) -> Result<Program, CodegenError> {
+        if self.features == 0 || self.thresholds == 0 || self.instances == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let f = self.features;
+        let hot_half = cfg.hotbuf_elems() as usize / 2;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        let out_cap = cfg.outputbuf_elems() as usize;
+        if self.thresholds * f > hot_half {
+            return Err(CodegenError::RowTooWide {
+                width: self.thresholds * f,
+                available: hot_half,
+            });
+        }
+        if self.thresholds * f > out_cap {
+            return Err(CodegenError::OutputTooWide {
+                required: self.thresholds * f,
+                available: out_cap,
+            });
+        }
+        let block = (cold_half / f).max(1);
+        let mut insts = Vec::new();
+        let mut c0 = 0usize;
+        let mut parity = 0u32;
+        while c0 < self.instances {
+            let cb = block.min(self.instances - c0);
+            let first = c0 == 0;
+            let last = c0 + cb == self.instances;
+            let hot = if first {
+                BufferRead::load(plan.thresholds_dram, 0, f as u32, self.thresholds as u32)
+            } else {
+                BufferRead::read(0, f as u32, self.thresholds as u32)
+            };
+            let cold = BufferRead::load(
+                plan.instances_dram + (c0 * f) as u64,
+                parity * (cold_half as u32),
+                f as u32,
+                cb as u32,
+            );
+            parity ^= 1;
+            let out = match (first, last) {
+                (true, true) => OutputSlot::store(plan.counters_dram, f as u32, self.thresholds as u32),
+                (true, false) => OutputSlot::write(0, f as u32, self.thresholds as u32),
+                (false, true) => OutputSlot::accumulate_store(
+                    0,
+                    f as u32,
+                    self.thresholds as u32,
+                    plan.counters_dram,
+                ),
+                (false, false) => OutputSlot::accumulate(0, f as u32, self.thresholds as u32),
+            };
+            insts.push(Instruction {
+                name: "ct-train".into(),
+                hot,
+                cold,
+                out,
+                fu: FuOps::count(CounterOp::CountGt),
+                hot_row_base: 0,
+            });
+            c0 += cb;
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+/// A complete binary tree in heap order for the tree-walk kernel.
+///
+/// Node `i`'s children are `2i + 1` and `2i + 2`. Each node is 4 f32
+/// words: `[feature, threshold, left, right]` for splits and
+/// `[-1, class, 0, 0]` for leaves. A tree of `depth` levels has
+/// `2^depth - 1` nodes, with leaves at the last level (shallower leaves
+/// are allowed — deeper slots below them are padded).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeapTree {
+    depth: u32,
+    words: Vec<f32>,
+}
+
+impl HeapTree {
+    /// Creates a tree of `depth` levels filled with class-0 leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or above 24.
+    #[must_use]
+    pub fn new(depth: u32) -> HeapTree {
+        assert!((1..=24).contains(&depth), "depth must be in 1..=24");
+        let nodes = (1usize << depth) - 1;
+        let mut words = Vec::with_capacity(nodes * 4);
+        for _ in 0..nodes {
+            words.extend_from_slice(&[-1.0, 0.0, 0.0, 0.0]);
+        }
+        HeapTree { depth, words }
+    }
+
+    /// Tree depth in levels.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.words.len() / 4
+    }
+
+    /// The raw node words for DRAM upload.
+    #[must_use]
+    pub fn words(&self) -> &[f32] {
+        &self.words
+    }
+
+    /// Sets node `i` to a split on `feature <= threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` has no children within the depth.
+    pub fn set_split(&mut self, i: usize, feature: usize, threshold: f32) {
+        assert!(2 * i + 2 < self.nodes(), "node {i} has no children at depth {}", self.depth);
+        self.words[i * 4..i * 4 + 4].copy_from_slice(&[
+            feature as f32,
+            threshold,
+            (2 * i + 1) as f32,
+            (2 * i + 2) as f32,
+        ]);
+    }
+
+    /// Sets node `i` to a leaf with the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_leaf(&mut self, i: usize, class: usize) {
+        assert!(i < self.nodes());
+        self.words[i * 4..i * 4 + 4].copy_from_slice(&[-1.0, class as f32, 0.0, 0.0]);
+    }
+
+    /// Software reference walk (for oracles in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk leaves the node array (malformed tree).
+    #[must_use]
+    pub fn classify(&self, x: &[f32]) -> usize {
+        let mut i = 0usize;
+        loop {
+            let n = &self.words[i * 4..i * 4 + 4];
+            if n[0] < 0.0 {
+                return n[1] as usize;
+            }
+            i = if x[n[0] as usize] <= n[1] { n[2] as usize } else { n[3] as usize };
+        }
+    }
+
+    /// First node index of a level.
+    #[must_use]
+    pub fn level_start(level: u32) -> usize {
+        (1usize << level) - 1
+    }
+
+    /// Node count of a level.
+    #[must_use]
+    pub fn level_len(level: u32) -> usize {
+        1usize << level
+    }
+}
+
+/// Level-synchronous tree-walk prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeWalkKernel {
+    /// Tree depth in levels.
+    pub depth: u32,
+    /// Features per instance.
+    pub features: usize,
+    /// Instances to classify.
+    pub instances: usize,
+}
+
+/// DRAM placement for [`TreeWalkKernel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeWalkPlan {
+    /// Heap-ordered tree node words ([`HeapTree::words`]).
+    pub tree_dram: u64,
+    /// Instances, row-major.
+    pub instances_dram: u64,
+    /// Per-instance walker state; the caller zeroes it (all walkers at
+    /// the root), and after the program it holds `-(1 + class)`.
+    pub states_dram: u64,
+}
+
+impl TreeWalkKernel {
+    /// Generates the walk: instance blocks outer, levels inner. Every
+    /// level instruction LOADs that level's node range (the tree-reload
+    /// traffic the subtree strategy of Section 2.7 targets) and round-
+    /// trips the walker states through DRAM.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] / [`CodegenError::RowTooWide`] per
+    /// the buffer constraints.
+    pub fn generate(&self, cfg: &ArchConfig, plan: &TreeWalkPlan) -> Result<Program, CodegenError> {
+        if self.depth == 0 || self.features == 0 || self.instances == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let f = self.features;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        if f > cold_half {
+            return Err(CodegenError::RowTooWide { width: f, available: cold_half });
+        }
+        let block = (cold_half / f).min(cfg.outputbuf_elems() as usize).max(1);
+        let mut insts = Vec::new();
+        let mut c0 = 0usize;
+        let mut parity = 0u32;
+        while c0 < self.instances {
+            let cb = block.min(self.instances - c0);
+            let cold_addr = parity * (cold_half as u32);
+            parity ^= 1;
+            for level in 0..self.depth {
+                let start = HeapTree::level_start(level);
+                let len = HeapTree::level_len(level);
+                let states = plan.states_dram + c0 as u64;
+                insts.push(Instruction {
+                    name: "ct-predict".into(),
+                    hot: BufferRead::load(
+                        plan.tree_dram + (start * 4) as u64,
+                        0,
+                        4,
+                        len as u32,
+                    ),
+                    cold: if level == 0 {
+                        BufferRead::load(
+                            plan.instances_dram + (c0 * f) as u64,
+                            cold_addr,
+                            f as u32,
+                            cb as u32,
+                        )
+                    } else {
+                        BufferRead::read(cold_addr, f as u32, cb as u32)
+                    },
+                    out: OutputSlot {
+                        read_op: ReadOp::Load,
+                        read_dram_addr: states,
+                        addr: 0,
+                        stride: 1,
+                        iter: cb as u32,
+                        write_op: WriteOp::Store,
+                        write_dram_addr: states,
+                    },
+                    fu: FuOps::alu_only(AluOp::TreeStep),
+                    hot_row_base: start as u64,
+                });
+            }
+            c0 += cb;
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+
+    /// Decodes a final walker state into a class label.
+    #[must_use]
+    pub fn decode_state(state: f32) -> Option<usize> {
+        if state < 0.0 {
+            Some((-state - 1.0) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pudiannao_accel::{Accelerator, Dram};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn threshold_counting_matches_software() {
+        let cfg = ArchConfig::paper_default();
+        let (features, thresholds, n) = (6usize, 3usize, 40usize);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dram = Dram::new(1 << 16);
+        let mut data = Vec::new();
+        for i in 0..n {
+            let row: Vec<f32> = (0..features).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            // Quantise to f16 up front so == comparisons below are exact.
+            let row: Vec<f32> =
+                row.iter().map(|&v| pudiannao_softfp::F16::from_f32(v).to_f32()).collect();
+            dram.write_f32((i * features) as u64, &row);
+            data.push(row);
+        }
+        let mut thr = Vec::new();
+        for t in 0..thresholds {
+            let row: Vec<f32> = (0..features)
+                .map(|_| pudiannao_softfp::F16::from_f32((t as f32 + 1.0) * 0.25).to_f32())
+                .collect();
+            dram.write_f32(10_000 + (t * features) as u64, &row);
+            thr.push(row);
+        }
+        let kernel = CtCountKernel { features, thresholds, instances: n };
+        let plan =
+            CtCountPlan { instances_dram: 0, thresholds_dram: 10_000, counters_dram: 20_000 };
+        Accelerator::new(cfg.clone())
+            .unwrap()
+            .run(&kernel.generate(&cfg, &plan).unwrap(), &mut dram)
+            .unwrap();
+        let counters = dram.read_f32(20_000, thresholds * features);
+        for t in 0..thresholds {
+            for f in 0..features {
+                let expect = data.iter().filter(|r| r[f] > thr[t][f]).count() as f32;
+                assert_eq!(counters[t * features + f], expect, "t={t} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_walk_matches_software_classifier() {
+        let cfg = ArchConfig::paper_default();
+        let mut tree = HeapTree::new(4);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Random splits in the first 3 levels, random leaves at level 3.
+        for i in 0..HeapTree::level_start(3) {
+            tree.set_split(i, rng.gen_range(0..6), rng.gen_range(0.25..0.75));
+        }
+        for i in HeapTree::level_start(3)..tree.nodes() {
+            tree.set_leaf(i, rng.gen_range(0..4));
+        }
+        let n = 64usize;
+        let mut dram = Dram::new(1 << 20);
+        dram.write_f32(0, tree.words());
+        let mut data = Vec::new();
+        for i in 0..n {
+            let row: Vec<f32> = (0..6).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            let row: Vec<f32> =
+                row.iter().map(|&v| pudiannao_softfp::F16::from_f32(v).to_f32()).collect();
+            dram.write_f32(50_000 + (i * 6) as u64, &row);
+            data.push(row);
+        }
+        dram.write_f32(100_000, &vec![0.0f32; n]); // walkers at the root
+        let kernel = TreeWalkKernel { depth: 4, features: 6, instances: n };
+        let plan = TreeWalkPlan { tree_dram: 0, instances_dram: 50_000, states_dram: 100_000 };
+        Accelerator::new(cfg.clone())
+            .unwrap()
+            .run(&kernel.generate(&cfg, &plan).unwrap(), &mut dram)
+            .unwrap();
+        let states = dram.read_f32(100_000, n);
+        for (i, row) in data.iter().enumerate() {
+            let got = TreeWalkKernel::decode_state(states[i]);
+            assert_eq!(got, Some(tree.classify(row)), "instance {i}");
+        }
+    }
+
+    #[test]
+    fn shallow_leaves_finish_early() {
+        let cfg = ArchConfig::paper_default();
+        let mut tree = HeapTree::new(3);
+        tree.set_split(0, 0, 0.5);
+        tree.set_leaf(1, 5); // left child is a leaf at level 1
+        tree.set_split(2, 1, 0.5);
+        tree.set_leaf(5, 6);
+        tree.set_leaf(6, 7);
+        let mut dram = Dram::new(1 << 16);
+        dram.write_f32(0, tree.words());
+        dram.write_f32(1000, &[0.2, 0.9]); // goes left -> leaf 5 at level 1
+        dram.write_f32(1002, &[0.9, 0.9]); // right then right -> class 7
+        dram.write_f32(2000, &[0.0, 0.0]);
+        let kernel = TreeWalkKernel { depth: 3, features: 2, instances: 2 };
+        let plan = TreeWalkPlan { tree_dram: 0, instances_dram: 1000, states_dram: 2000 };
+        Accelerator::new(cfg.clone())
+            .unwrap()
+            .run(&kernel.generate(&cfg, &plan).unwrap(), &mut dram)
+            .unwrap();
+        let states = dram.read_f32(2000, 2);
+        assert_eq!(TreeWalkKernel::decode_state(states[0]), Some(5));
+        assert_eq!(TreeWalkKernel::decode_state(states[1]), Some(7));
+    }
+
+    #[test]
+    fn heap_tree_helpers() {
+        let tree = HeapTree::new(3);
+        assert_eq!(tree.nodes(), 7);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(HeapTree::level_start(0), 0);
+        assert_eq!(HeapTree::level_start(2), 3);
+        assert_eq!(HeapTree::level_len(2), 4);
+        assert_eq!(TreeWalkKernel::decode_state(-3.0), Some(2));
+        assert_eq!(TreeWalkKernel::decode_state(4.0), None);
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = ArchConfig::paper_default();
+        assert!(CtCountKernel { features: 0, thresholds: 1, instances: 1 }
+            .generate(&cfg, &CtCountPlan { instances_dram: 0, thresholds_dram: 0, counters_dram: 0 })
+            .is_err());
+        assert!(TreeWalkKernel { depth: 0, features: 2, instances: 2 }
+            .generate(&cfg, &TreeWalkPlan { tree_dram: 0, instances_dram: 0, states_dram: 0 })
+            .is_err());
+    }
+}

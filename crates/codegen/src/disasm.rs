@@ -1,0 +1,163 @@
+//! Table-3-style program listings.
+//!
+//! Renders a [`Program`] in the paper's five-slot column format so a
+//! generated k-Means program can be compared, row by row, with Table 3.
+
+use pudiannao_accel::isa::{
+    AccOp, AdderOp, AluOp, CounterOp, Instruction, MiscOp, MultOp, Program, ReadOp, TreeOp,
+    WriteOp,
+};
+
+fn read_op(op: ReadOp) -> &'static str {
+    match op {
+        ReadOp::Null => "NULL",
+        ReadOp::Load => "LOAD",
+        ReadOp::Read => "READ",
+    }
+}
+
+fn write_op(op: WriteOp) -> &'static str {
+    match op {
+        WriteOp::Null => "NULL",
+        WriteOp::Write => "WRITE",
+        WriteOp::Store => "STORE",
+    }
+}
+
+fn fu_column(inst: &Instruction) -> String {
+    let counter = match inst.fu.counter {
+        CounterOp::Null => "NULL",
+        CounterOp::CountEq => "CNT-EQ",
+        CounterOp::CountGt => "CNT-GT",
+    };
+    let adder = match inst.fu.adder {
+        AdderOp::Null => "NULL",
+        AdderOp::Add => "ADD",
+        AdderOp::Sub => "SUB",
+    };
+    let mult = match inst.fu.mult {
+        MultOp::Null => "NULL",
+        MultOp::Mult => "MULT",
+    };
+    let tree = match inst.fu.tree {
+        TreeOp::Null => "NULL",
+        TreeOp::Add => "ADD",
+    };
+    let acc = match inst.fu.acc {
+        AccOp::Null => "NULL",
+        AccOp::Acc => "ACC",
+        AccOp::Mul => "MUL",
+    };
+    let misc = match inst.fu.misc {
+        MiscOp::Null => "NULL".to_string(),
+        MiscOp::Sort { k } => format!("SORT{k}"),
+        MiscOp::Interp(f) => format!("{f}").to_uppercase(),
+    };
+    let alu = match inst.fu.alu {
+        AluOp::Null => "NULL".to_string(),
+        AluOp::Div => "DIV".to_string(),
+        AluOp::MulRows => "MULR".to_string(),
+        AluOp::Log { terms } => format!("LOG{terms}"),
+        AluOp::TreeStep => "TSTEP".to_string(),
+    };
+    format!("{counter} {adder} {mult} {tree} {acc} {misc} {alu}")
+}
+
+/// Renders one instruction as a Table-3 row.
+#[must_use]
+pub fn line(inst: &Instruction) -> String {
+    format!(
+        "{:<12}| {:<4} {:>8} {:>5} {:>5} | {:<4} {:>8} {:>5} {:>5} | {:<4} {:<5} {:>8} {:>8} {:>4} {:>4} | {}",
+        inst.name,
+        read_op(inst.hot.op),
+        inst.hot.dram_addr,
+        inst.hot.stride,
+        inst.hot.iter,
+        read_op(inst.cold.op),
+        inst.cold.dram_addr,
+        inst.cold.stride,
+        inst.cold.iter,
+        read_op(inst.out.read_op),
+        write_op(inst.out.write_op),
+        inst.out.read_dram_addr,
+        inst.out.write_dram_addr,
+        inst.out.stride,
+        inst.out.iter,
+        fu_column(inst),
+    )
+}
+
+/// Renders a whole program with the Table-2 header; long programs are
+/// elided in the middle (`head`/`tail` rows kept).
+#[must_use]
+pub fn listing(program: &Program, head: usize, tail: usize) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "CM          | HotBuf: OP DRAMADDR STRD ITER | ColdBuf: OP DRAMADDR STRD ITER | \
+         OutputBuf: RD WR RADDR WADDR STRD ITER | FU: CNT ADD MULT TREE ACC MISC ALU\n",
+    );
+    let n = program.len();
+    for (i, inst) in program.instructions().iter().enumerate() {
+        if i >= head && i < n.saturating_sub(tail) {
+            if i == head {
+                out.push_str(&format!("... ({} rows elided) ...\n", n - head - tail));
+            }
+            continue;
+        }
+        out.push_str(&line(inst));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{DistanceKernel, DistancePlan, DistancePost};
+    use pudiannao_accel::ArchConfig;
+
+    fn sample_program() -> Program {
+        let kernel = DistanceKernel {
+            name: "k-means",
+            features: 16,
+            hot_rows: 128,
+            cold_rows: 1024,
+            post: DistancePost::Sort { k: 1 },
+        };
+        kernel
+            .generate(
+                &ArchConfig::paper_default(),
+                &DistancePlan { hot_dram: 0, cold_dram: 16384, out_dram: 1_064_960 },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn listing_has_table3_vocabulary() {
+        let listing = listing(&sample_program(), 2, 1);
+        assert!(listing.contains("k-means"));
+        assert!(listing.contains("LOAD"));
+        assert!(listing.contains("READ"));
+        assert!(listing.contains("STORE"));
+        assert!(listing.contains("SUB MULT ADD ACC SORT1"));
+        assert!(listing.contains("elided"));
+    }
+
+    #[test]
+    fn first_instruction_loads_then_reuses_centroids() {
+        let program = sample_program();
+        let rows: Vec<String> = program.instructions().iter().map(line).collect();
+        assert!(rows[0].starts_with("k-means"));
+        assert!(rows[0].contains("LOAD"));
+        // Second instruction re-READs the resident centroids (Table 3's
+        // second row).
+        assert!(rows[1].trim_start().split('|').nth(1).unwrap().contains("READ"));
+    }
+
+    #[test]
+    fn short_program_is_not_elided() {
+        let p = Program::new(vec![sample_program().instructions()[0].clone()]).unwrap();
+        let s = listing(&p, 10, 10);
+        assert!(!s.contains("elided"));
+    }
+}

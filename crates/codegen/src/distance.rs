@@ -1,0 +1,408 @@
+//! Tiled distance-kernel generation: k-NN prediction, k-Means assignment,
+//! and SVM kernel evaluations (distance + RBF interpolation).
+//!
+//! The generated programs follow Table 3's structure: the reused operand
+//! set lives in HotBuf (loaded once if it fits a half, otherwise streamed
+//! in ping-pong halves), instances stream through ColdBuf halves, and
+//! partial results (k-sorter state) accumulate in the OutputBuf until the
+//! last hot block stores them to DRAM.
+
+use crate::error::CodegenError;
+use pudiannao_accel::isa::{BufferRead, FuOps, Instruction, OutputSlot, Program};
+use pudiannao_accel::ArchConfig;
+use pudiannao_softfp::NonLinearFn;
+
+/// What happens to each accumulated distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DistancePost {
+    /// Store the full distance matrix row per cold row.
+    Plain,
+    /// Keep the k smallest per cold row (k-NN / k-Means assignment).
+    Sort {
+        /// Neighbours to keep.
+        k: u32,
+    },
+    /// Apply an interpolated non-linear function (e.g. the RBF kernel
+    /// `exp(-d)`; fold `gamma` into the data scaling beforehand).
+    Interp(NonLinearFn),
+}
+
+/// A pairwise-distance workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceKernel {
+    /// Instruction name tag (CM slot).
+    pub name: &'static str,
+    /// Features per row.
+    pub features: usize,
+    /// Rows of the reused set (references / centroids / support vectors).
+    pub hot_rows: usize,
+    /// Rows of the streamed set (queries / instances).
+    pub cold_rows: usize,
+    /// Result disposition.
+    pub post: DistancePost,
+}
+
+/// DRAM placement of the kernel's operands (f32 element addresses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistancePlan {
+    /// Hot rows, row-major `hot_rows x features`.
+    pub hot_dram: u64,
+    /// Cold rows, row-major `cold_rows x features`.
+    pub cold_dram: u64,
+    /// Results: `cold_rows x out_stride` (see [`DistanceKernel::out_stride`]).
+    pub out_dram: u64,
+}
+
+/// The tiling the generator chose (exposed for tests and phase models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistanceTiling {
+    /// Hot rows per block.
+    pub hot_block: usize,
+    /// Cold rows per block.
+    pub cold_block: usize,
+    /// Whether the whole hot set stays resident (loaded once).
+    pub hot_resident: bool,
+}
+
+impl DistanceKernel {
+    /// Result elements per cold row.
+    #[must_use]
+    pub fn out_stride(&self) -> usize {
+        match self.post {
+            DistancePost::Plain | DistancePost::Interp(_) => self.hot_rows,
+            DistancePost::Sort { k } => 2 * k as usize,
+        }
+    }
+
+    /// Computes the tiling for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] for zero dimensions,
+    /// [`CodegenError::RowTooWide`] / [`CodegenError::OutputTooWide`] when
+    /// no legal tiling exists, and [`CodegenError::Unsupported`] for a
+    /// full-matrix output whose hot set cannot stay resident.
+    pub fn tiling(&self, cfg: &ArchConfig) -> Result<DistanceTiling, CodegenError> {
+        if self.features == 0 || self.hot_rows == 0 || self.cold_rows == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        if let DistancePost::Sort { k: 0 } = self.post {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let hot_half = cfg.hotbuf_elems() as usize / 2;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        let out_cap = cfg.outputbuf_elems() as usize;
+        if self.features > hot_half {
+            return Err(CodegenError::RowTooWide { width: self.features, available: hot_half });
+        }
+        if self.features > cold_half {
+            return Err(CodegenError::RowTooWide { width: self.features, available: cold_half });
+        }
+        let hot_resident = self.hot_rows * self.features <= hot_half;
+        let hot_block = if hot_resident { self.hot_rows } else { hot_half / self.features };
+        if matches!(self.post, DistancePost::Plain | DistancePost::Interp(_)) && !hot_resident {
+            return Err(CodegenError::Unsupported(
+                "full-matrix distance output needs the hot set resident; \
+                 tile the hot set at a higher level or use Sort",
+            ));
+        }
+        let stride = self.out_stride();
+        if stride > out_cap {
+            return Err(CodegenError::OutputTooWide { required: stride, available: out_cap });
+        }
+        let cold_block = (cold_half / self.features).min(out_cap / stride).min(self.cold_rows);
+        if cold_block == 0 {
+            return Err(CodegenError::RowTooWide { width: self.features, available: cold_half });
+        }
+        Ok(DistanceTiling { hot_block, cold_block, hot_resident })
+    }
+
+    /// Generates the full program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DistanceKernel::tiling`] failures.
+    pub fn generate(
+        &self,
+        cfg: &ArchConfig,
+        plan: &DistancePlan,
+    ) -> Result<Program, CodegenError> {
+        let t = self.tiling(cfg)?;
+        let f = self.features as u32;
+        let hot_half = cfg.hotbuf_elems() / 2;
+        let cold_half = cfg.coldbuf_elems() / 2;
+        let stride = self.out_stride() as u32;
+        let fu = match self.post {
+            DistancePost::Plain => FuOps::distance(None),
+            DistancePost::Sort { k } => FuOps::distance(Some(k)),
+            DistancePost::Interp(func) => {
+                let mut ops = FuOps::distance(None);
+                ops.misc = pudiannao_accel::isa::MiscOp::Interp(func);
+                ops
+            }
+        };
+
+        let n_hot_blocks = self.hot_rows.div_ceil(t.hot_block);
+        let mut insts = Vec::new();
+        let mut c0 = 0usize;
+        let mut cold_parity = 0u32;
+        while c0 < self.cold_rows {
+            let cb = t.cold_block.min(self.cold_rows - c0);
+            let cold_addr = cold_parity * cold_half;
+            cold_parity ^= 1;
+            for hbi in 0..n_hot_blocks {
+                let h0 = hbi * t.hot_block;
+                let hb = t.hot_block.min(self.hot_rows - h0);
+                let first_of_block = hbi == 0;
+                let last_of_block = hbi == n_hot_blocks - 1;
+
+                let hot = if t.hot_resident {
+                    if insts.is_empty() {
+                        BufferRead::load(plan.hot_dram, 0, f, hb as u32)
+                    } else {
+                        BufferRead::read(0, f, hb as u32)
+                    }
+                } else {
+                    BufferRead::load(
+                        plan.hot_dram + (h0 * self.features) as u64,
+                        (hbi as u32 % 2) * hot_half,
+                        f,
+                        hb as u32,
+                    )
+                };
+                let cold = if first_of_block {
+                    BufferRead::load(
+                        plan.cold_dram + (c0 * self.features) as u64,
+                        cold_addr,
+                        f,
+                        cb as u32,
+                    )
+                } else {
+                    BufferRead::read(cold_addr, f, cb as u32)
+                };
+                let dest = plan.out_dram + (c0 * self.out_stride()) as u64;
+                let out = match (first_of_block, last_of_block) {
+                    (true, true) => OutputSlot::store(dest, stride, cb as u32),
+                    (true, false) => OutputSlot::write(0, stride, cb as u32),
+                    (false, true) => OutputSlot::accumulate_store(0, stride, cb as u32, dest),
+                    (false, false) => OutputSlot::accumulate(0, stride, cb as u32),
+                };
+                insts.push(Instruction {
+                    name: self.name.into(),
+                    hot,
+                    cold,
+                    out,
+                    fu,
+                    hot_row_base: h0 as u64,
+                });
+            }
+            c0 += cb;
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pudiannao_accel::{Accelerator, Dram};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fill(dram: &mut Dram, addr: u64, n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let row: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0..1.0)).collect();
+            dram.write_f32(addr + (i * 16) as u64, &row);
+            rows.push(row);
+        }
+        rows
+    }
+
+    fn nearest(rows: &[Vec<f32>], q: &[f32]) -> usize {
+        let mut best = (0, f32::INFINITY);
+        for (i, r) in rows.iter().enumerate() {
+            let d: f32 = r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn kmeans_assignment_matches_software_nearest_centroid() {
+        let cfg = ArchConfig::paper_default();
+        let mut dram = Dram::new(1 << 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let centroids = fill(&mut dram, 0, 8, &mut rng);
+        let instances = fill(&mut dram, 10_000, 300, &mut rng);
+        let kernel = DistanceKernel {
+            name: "k-means",
+            features: 16,
+            hot_rows: 8,
+            cold_rows: 300,
+            post: DistancePost::Sort { k: 1 },
+        };
+        let plan = DistancePlan { hot_dram: 0, cold_dram: 10_000, out_dram: 500_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        let mut accel = Accelerator::new(cfg).unwrap();
+        accel.run(&program, &mut dram).unwrap();
+        for (i, inst) in instances.iter().enumerate() {
+            let out = dram.read_f32(500_000 + (i * 2) as u64, 2);
+            assert_eq!(out[1] as usize, nearest(&centroids, inst), "instance {i}");
+        }
+    }
+
+    #[test]
+    fn knn_topk_matches_software_with_streamed_references() {
+        // Reference set too large for the HotBuf half: forces the
+        // multi-block accumulate path of Table 3.
+        let cfg = ArchConfig::paper_default();
+        let features = 64usize;
+        let refs_n = 100usize; // 100 x 64 = 6400 elems > 2048-elem half
+        let mut dram = Dram::new(1 << 20);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut refs = Vec::new();
+        for i in 0..refs_n {
+            let row: Vec<f32> = (0..features).map(|_| rng.gen_range(0.0..1.0)).collect();
+            dram.write_f32((i * features) as u64, &row);
+            refs.push(row);
+        }
+        let queries_at = 200_000u64;
+        let mut queries = Vec::new();
+        for i in 0..20 {
+            let row: Vec<f32> = (0..features).map(|_| rng.gen_range(0.0..1.0)).collect();
+            dram.write_f32(queries_at + (i * features) as u64, &row);
+            queries.push(row);
+        }
+        let k = 5u32;
+        let kernel = DistanceKernel {
+            name: "k-NN",
+            features,
+            hot_rows: refs_n,
+            cold_rows: queries.len(),
+            post: DistancePost::Sort { k },
+        };
+        let tiling = kernel.tiling(&cfg).unwrap();
+        assert!(!tiling.hot_resident);
+        let plan = DistancePlan { hot_dram: 0, cold_dram: queries_at, out_dram: 600_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        let mut accel = Accelerator::new(cfg).unwrap();
+        accel.run(&program, &mut dram).unwrap();
+
+        for (qi, q) in queries.iter().enumerate() {
+            let out = dram.read_f32(600_000 + (qi * 2 * k as usize) as u64, 2 * k as usize);
+            let got: Vec<usize> = out.chunks(2).map(|p| p[1] as usize).collect();
+            // Software reference ranking on the same f16-quantised data
+            // ordering (distances are close; compare index sets loosely by
+            // checking each returned neighbour is within the true top-k by
+            // a small rank margin).
+            let mut dists: Vec<(f32, usize)> = refs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    (r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>(), i)
+                })
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let topk: Vec<usize> = dists.iter().take(k as usize + 2).map(|&(_, i)| i).collect();
+            for g in &got {
+                assert!(topk.contains(g), "query {qi}: {g} not among true nearest {topk:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_matrix_requires_resident_hot_set() {
+        let cfg = ArchConfig::paper_default();
+        let kernel = DistanceKernel {
+            name: "svm",
+            features: 64,
+            hot_rows: 100,
+            cold_rows: 10,
+            post: DistancePost::Plain,
+        };
+        assert_eq!(
+            kernel.tiling(&cfg).unwrap_err(),
+            CodegenError::Unsupported(
+                "full-matrix distance output needs the hot set resident; \
+                 tile the hot set at a higher level or use Sort",
+            )
+        );
+    }
+
+    #[test]
+    fn rbf_kernel_matrix_matches_exp_of_distance() {
+        let cfg = ArchConfig::paper_default();
+        let mut dram = Dram::new(1 << 20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows = fill(&mut dram, 0, 6, &mut rng);
+        let qs = fill(&mut dram, 5_000, 4, &mut rng);
+        let kernel = DistanceKernel {
+            name: "svm-k",
+            features: 16,
+            hot_rows: 6,
+            cold_rows: 4,
+            post: DistancePost::Interp(NonLinearFn::ExpNeg),
+        };
+        let plan = DistancePlan { hot_dram: 0, cold_dram: 5_000, out_dram: 20_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        for (c, q) in qs.iter().enumerate() {
+            for (h, r) in rows.iter().enumerate() {
+                let got = dram.read_f32(20_000 + (c * 6 + h) as u64, 1)[0];
+                let d: f32 = r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                let expect = (-d).exp();
+                assert!((got - expect).abs() < 2e-2, "({c},{h}): {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_respects_output_capacity() {
+        let cfg = ArchConfig::paper_default();
+        let kernel = DistanceKernel {
+            name: "knn",
+            features: 4,
+            hot_rows: 100_000,
+            cold_rows: 1000,
+            post: DistancePost::Sort { k: 256 }, // 512 f32 per cold row
+        };
+        let t = kernel.tiling(&cfg).unwrap();
+        assert!(t.cold_block * 512 <= cfg.outputbuf_elems() as usize);
+        // k too large for the OutputBuf at all:
+        let bad = DistanceKernel { post: DistancePost::Sort { k: 2000 }, ..kernel };
+        assert!(matches!(bad.tiling(&cfg), Err(CodegenError::OutputTooWide { .. })));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let cfg = ArchConfig::paper_default();
+        for kernel in [
+            DistanceKernel { name: "x", features: 0, hot_rows: 1, cold_rows: 1, post: DistancePost::Plain },
+            DistanceKernel { name: "x", features: 4, hot_rows: 0, cold_rows: 1, post: DistancePost::Plain },
+            DistanceKernel { name: "x", features: 4, hot_rows: 1, cold_rows: 1, post: DistancePost::Sort { k: 0 } },
+        ] {
+            assert_eq!(kernel.tiling(&cfg).unwrap_err(), CodegenError::EmptyWorkload);
+        }
+    }
+
+    #[test]
+    fn program_shape_matches_block_math() {
+        let cfg = ArchConfig::paper_default();
+        let kernel = DistanceKernel {
+            name: "knn",
+            features: 64,
+            hot_rows: 96, // 3 hot blocks of 32
+            cold_rows: 50,
+            post: DistancePost::Sort { k: 4 },
+        };
+        let t = kernel.tiling(&cfg).unwrap();
+        assert_eq!(t.hot_block, 32);
+        let plan = DistancePlan { hot_dram: 0, cold_dram: 100_000, out_dram: 200_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        let cold_blocks = 50usize.div_ceil(t.cold_block);
+        assert_eq!(program.len(), cold_blocks * 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! Tiled dot-product generation: LR prediction/training sweeps and DNN
+//! layer passes.
+//!
+//! Two mappings, matching Section 2's locality analysis:
+//!
+//! - [`BroadcastDot`] — one shared vector (LR's `theta`, or one instance's
+//!   activations) stays hot while rows stream cold; partial sums spill to
+//!   DRAM between width tiles, exactly the Figure-7 tiling.
+//! - [`BatchedMatmul`] — a *batch* of instances stays hot while weight
+//!   rows stream cold exactly once (the DNN mapping where "neurons of the
+//!   g-th layer will be used Nb times ... while each synapse is only used
+//!   once").
+
+use crate::error::CodegenError;
+use pudiannao_accel::isa::{BufferRead, FuOps, Instruction, OutputSlot, Program, ReadOp, WriteOp};
+use pudiannao_accel::ArchConfig;
+use pudiannao_softfp::NonLinearFn;
+
+/// `out[r] = f(sum_j hot[j] * cold[r][j])` over all cold rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BroadcastDot {
+    /// Instruction name tag.
+    pub name: &'static str,
+    /// Vector length `d`.
+    pub width: usize,
+    /// Number of cold rows (instances).
+    pub cold_rows: usize,
+    /// Optional Misc-stage non-linearity on the final accumulation.
+    pub activation: Option<NonLinearFn>,
+}
+
+/// DRAM placement for [`BroadcastDot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BroadcastPlan {
+    /// The shared vector, `width` f32 elements.
+    pub hot_dram: u64,
+    /// Cold rows, row-major `cold_rows x width`.
+    pub cold_dram: u64,
+    /// Results, `cold_rows` f32 elements (also holds partial sums
+    /// between width tiles).
+    pub out_dram: u64,
+}
+
+impl BroadcastDot {
+    /// Chosen `(tile_width, cold_block)` for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] for zero dimensions.
+    pub fn tiling(&self, cfg: &ArchConfig) -> Result<(usize, usize), CodegenError> {
+        if self.width == 0 || self.cold_rows == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let hot_half = cfg.hotbuf_elems() as usize / 2;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        let tile = self.width.min(hot_half);
+        let cold_block = (cold_half / tile)
+            .min(cfg.outputbuf_elems() as usize)
+            .min(self.cold_rows)
+            .max(1);
+        if cold_half < tile {
+            return Err(CodegenError::RowTooWide { width: tile, available: cold_half });
+        }
+        Ok((tile, cold_block))
+    }
+
+    /// Generates the program: width tiles outer, cold blocks inner, with
+    /// partial sums spilled to `out_dram` between tiles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BroadcastDot::tiling`] failures.
+    pub fn generate(
+        &self,
+        cfg: &ArchConfig,
+        plan: &BroadcastPlan,
+    ) -> Result<Program, CodegenError> {
+        let (tile, cold_block) = self.tiling(cfg)?;
+        let hot_half = cfg.hotbuf_elems() / 2;
+        let cold_half = cfg.coldbuf_elems() / 2;
+        let n_tiles = self.width.div_ceil(tile);
+        let mut insts = Vec::new();
+        let mut cold_parity = 0u32;
+        for ti in 0..n_tiles {
+            let j0 = ti * tile;
+            let tw = tile.min(self.width - j0);
+            let last_tile = ti == n_tiles - 1;
+            let mut c0 = 0usize;
+            let mut first_in_tile = true;
+            while c0 < self.cold_rows {
+                let cb = cold_block.min(self.cold_rows - c0);
+                let hot = if first_in_tile {
+                    BufferRead::load(
+                        plan.hot_dram + j0 as u64,
+                        (ti as u32 % 2) * hot_half,
+                        tw as u32,
+                        1,
+                    )
+                } else {
+                    BufferRead::read((ti as u32 % 2) * hot_half, tw as u32, 1)
+                };
+                first_in_tile = false;
+                let cold = BufferRead::load_2d(
+                    plan.cold_dram + (c0 * self.width + j0) as u64,
+                    self.width as u64,
+                    cold_parity * cold_half,
+                    tw as u32,
+                    cb as u32,
+                );
+                cold_parity ^= 1;
+                let dest = plan.out_dram + c0 as u64;
+                let out = OutputSlot {
+                    read_op: if ti == 0 { ReadOp::Null } else { ReadOp::Load },
+                    read_dram_addr: dest,
+                    addr: 0,
+                    stride: 1,
+                    iter: cb as u32,
+                    write_op: WriteOp::Store,
+                    write_dram_addr: dest,
+                };
+                let fu = FuOps::dot_broadcast(if last_tile { self.activation } else { None });
+                insts.push(Instruction {
+                    name: self.name.into(),
+                    hot,
+                    cold,
+                    out,
+                    fu,
+                    hot_row_base: 0,
+                });
+                c0 += cb;
+            }
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+/// Batched layer pass: `out[c][h] = f(sum_j hot[h][j] * cold[c][j])`,
+/// where hot rows are an instance batch and cold rows are weight rows
+/// (streamed exactly once per batch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchedMatmul {
+    /// Instruction name tag.
+    pub name: &'static str,
+    /// Shared vector length per row (`Na`, the input-neuron count).
+    pub width: usize,
+    /// Hot rows (instance batch size, must fit the HotBuf half).
+    pub batch: usize,
+    /// Cold rows (output neurons `Nb`).
+    pub cold_rows: usize,
+    /// Non-linearity applied after the final width tile.
+    pub activation: Option<NonLinearFn>,
+}
+
+/// DRAM placement for [`BatchedMatmul`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatmulPlan {
+    /// Instance batch, row-major `batch x width`.
+    pub hot_dram: u64,
+    /// Weight rows, row-major `cold_rows x width`.
+    pub cold_dram: u64,
+    /// Results, row-major `cold_rows x batch` (also partial-sum spill).
+    pub out_dram: u64,
+}
+
+impl BatchedMatmul {
+    /// Chosen `(tile_width, cold_block)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] for zero dimensions;
+    /// [`CodegenError::RowTooWide`] if the batch cannot fit one tile
+    /// column in the HotBuf half; [`CodegenError::OutputTooWide`] if one
+    /// output row of `batch` values exceeds the OutputBuf.
+    pub fn tiling(&self, cfg: &ArchConfig) -> Result<(usize, usize), CodegenError> {
+        if self.width == 0 || self.batch == 0 || self.cold_rows == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let hot_half = cfg.hotbuf_elems() as usize / 2;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        let out_cap = cfg.outputbuf_elems() as usize;
+        let tile = (hot_half / self.batch).min(self.width);
+        if tile == 0 {
+            return Err(CodegenError::RowTooWide { width: self.batch, available: hot_half });
+        }
+        if self.batch > out_cap {
+            return Err(CodegenError::OutputTooWide { required: self.batch, available: out_cap });
+        }
+        let cold_block = (cold_half / tile).min(out_cap / self.batch).min(self.cold_rows).max(1);
+        Ok((tile, cold_block))
+    }
+
+    /// Generates the program: width tiles outer, weight blocks inner,
+    /// partial output rows spilled to DRAM between tiles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatchedMatmul::tiling`] failures.
+    pub fn generate(&self, cfg: &ArchConfig, plan: &MatmulPlan) -> Result<Program, CodegenError> {
+        let (tile, cold_block) = self.tiling(cfg)?;
+        let hot_half = cfg.hotbuf_elems() / 2;
+        let cold_half = cfg.coldbuf_elems() / 2;
+        let n_tiles = self.width.div_ceil(tile);
+        let mut insts = Vec::new();
+        let mut cold_parity = 0u32;
+        for ti in 0..n_tiles {
+            let j0 = ti * tile;
+            let tw = tile.min(self.width - j0);
+            let last_tile = ti == n_tiles - 1;
+            let mut first_in_tile = true;
+            let mut c0 = 0usize;
+            while c0 < self.cold_rows {
+                let cb = cold_block.min(self.cold_rows - c0);
+                let hot = if first_in_tile {
+                    BufferRead::load_2d(
+                        plan.hot_dram + j0 as u64,
+                        self.width as u64,
+                        (ti as u32 % 2) * hot_half,
+                        tw as u32,
+                        self.batch as u32,
+                    )
+                } else {
+                    BufferRead::read((ti as u32 % 2) * hot_half, tw as u32, self.batch as u32)
+                };
+                first_in_tile = false;
+                let cold = BufferRead::load_2d(
+                    plan.cold_dram + (c0 * self.width + j0) as u64,
+                    self.width as u64,
+                    cold_parity * cold_half,
+                    tw as u32,
+                    cb as u32,
+                );
+                cold_parity ^= 1;
+                let dest = plan.out_dram + (c0 * self.batch) as u64;
+                let out = OutputSlot {
+                    read_op: if ti == 0 { ReadOp::Null } else { ReadOp::Load },
+                    read_dram_addr: dest,
+                    addr: 0,
+                    stride: self.batch as u32,
+                    iter: cb as u32,
+                    write_op: WriteOp::Store,
+                    write_dram_addr: dest,
+                };
+                let fu = FuOps::dot_broadcast(if last_tile { self.activation } else { None });
+                insts.push(Instruction {
+                    name: self.name.into(),
+                    hot,
+                    cold,
+                    out,
+                    fu,
+                    hot_row_base: 0,
+                });
+                c0 += cb;
+            }
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pudiannao_accel::{Accelerator, Dram};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn broadcast_dot_matches_software_over_tiles() {
+        // width 3000 forces two width tiles (hot half = 2048 elems).
+        let cfg = ArchConfig::paper_default();
+        let width = 3000usize;
+        let rows = 10usize;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dram = Dram::new(1 << 20);
+        let theta: Vec<f32> = (0..width).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        dram.write_f32(0, &theta);
+        let mut data = Vec::new();
+        for r in 0..rows {
+            let row: Vec<f32> = (0..width).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            dram.write_f32(10_000 + (r * width) as u64, &row);
+            data.push(row);
+        }
+        let kernel =
+            BroadcastDot { name: "lr", width, cold_rows: rows, activation: None };
+        let plan = BroadcastPlan { hot_dram: 0, cold_dram: 10_000, out_dram: 900_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        assert!(program.len() >= 2, "expected multiple tiles");
+        Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        for (r, row) in data.iter().enumerate() {
+            let got = dram.read_f32(900_000 + r as u64, 1)[0];
+            let exact: f32 = theta.iter().zip(row).map(|(a, b)| a * b).sum();
+            assert!((got - exact).abs() < 0.3, "row {r}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn broadcast_dot_with_sigmoid_activation() {
+        let cfg = ArchConfig::paper_default();
+        let width = 32usize;
+        let mut dram = Dram::new(1 << 16);
+        let theta = vec![0.05f32; width];
+        dram.write_f32(0, &theta);
+        let row = vec![0.5f32; width];
+        dram.write_f32(1000, &row);
+        let kernel = BroadcastDot {
+            name: "dnn",
+            width,
+            cold_rows: 1,
+            activation: Some(NonLinearFn::Sigmoid),
+        };
+        let plan = BroadcastPlan { hot_dram: 0, cold_dram: 1000, out_dram: 2000 };
+        Accelerator::new(cfg.clone())
+            .unwrap()
+            .run(&kernel.generate(&cfg, &plan).unwrap(), &mut dram)
+            .unwrap();
+        let got = dram.read_f32(2000, 1)[0];
+        let z = 0.05f32 * 0.5 * width as f32;
+        let expect = 1.0 / (1.0 + (-z).exp());
+        assert!((got - expect).abs() < 5e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn batched_matmul_matches_software_layer() {
+        let cfg = ArchConfig::paper_default();
+        let (width, batch, neurons) = (100usize, 8usize, 24usize);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dram = Dram::new(1 << 20);
+        let mut xs = Vec::new();
+        for b in 0..batch {
+            let row: Vec<f32> = (0..width).map(|_| rng.gen_range(0.0..1.0)).collect();
+            dram.write_f32((b * width) as u64, &row);
+            xs.push(row);
+        }
+        let mut ws = Vec::new();
+        for n in 0..neurons {
+            let row: Vec<f32> = (0..width).map(|_| rng.gen_range(-0.1..0.1)).collect();
+            dram.write_f32(100_000 + (n * width) as u64, &row);
+            ws.push(row);
+        }
+        let kernel = BatchedMatmul {
+            name: "dnn",
+            width,
+            batch,
+            cold_rows: neurons,
+            activation: Some(NonLinearFn::Sigmoid),
+        };
+        let plan = MatmulPlan { hot_dram: 0, cold_dram: 100_000, out_dram: 800_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        for n in 0..neurons {
+            for b in 0..batch {
+                let got = dram.read_f32(800_000 + (n * batch + b) as u64, 1)[0];
+                let z: f32 = ws[n].iter().zip(&xs[b]).map(|(a, x)| a * x).sum();
+                let expect = 1.0 / (1.0 + (-z).exp());
+                assert!((got - expect).abs() < 1e-2, "({n},{b}): {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_streams_weights_once() {
+        let cfg = ArchConfig::paper_default();
+        let kernel = BatchedMatmul {
+            name: "dnn",
+            width: 1024,
+            batch: 4,
+            cold_rows: 512,
+            activation: None,
+        };
+        let plan = MatmulPlan { hot_dram: 0, cold_dram: 1 << 20, out_dram: 1 << 22 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        // Sum cold LOAD elements across the program: must equal the weight
+        // matrix exactly once.
+        let weight_elems: u64 = program
+            .instructions()
+            .iter()
+            .map(|i| i.cold.elems())
+            .sum();
+        assert_eq!(weight_elems, 1024 * 512);
+    }
+
+    #[test]
+    fn tiling_validation() {
+        let cfg = ArchConfig::paper_default();
+        assert!(matches!(
+            BroadcastDot { name: "x", width: 0, cold_rows: 1, activation: None }.tiling(&cfg),
+            Err(CodegenError::EmptyWorkload)
+        ));
+        assert!(matches!(
+            BatchedMatmul { name: "x", width: 8, batch: 5000, cold_rows: 4, activation: None }
+                .tiling(&cfg),
+            Err(CodegenError::RowTooWide { .. })
+        ));
+        assert!(matches!(
+            BatchedMatmul { name: "x", width: 8, batch: 2049, cold_rows: 4, activation: None }
+                .tiling(&cfg),
+            Err(CodegenError::RowTooWide { .. }) | Err(CodegenError::OutputTooWide { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Code-generation errors.
+
+use core::fmt;
+
+/// Errors raised while generating a program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// A single row does not fit in the relevant buffer half, so no legal
+    /// tiling exists.
+    RowTooWide {
+        /// Row width in elements.
+        width: usize,
+        /// Available elements.
+        available: usize,
+    },
+    /// The output block would not fit the OutputBuf.
+    OutputTooWide {
+        /// Required elements.
+        required: usize,
+        /// Available elements.
+        available: usize,
+    },
+    /// A workload dimension was zero.
+    EmptyWorkload,
+    /// The requested configuration is not supported by the generator.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::RowTooWide { width, available } => {
+                write!(f, "row of {width} elements exceeds the {available}-element buffer half")
+            }
+            CodegenError::OutputTooWide { required, available } => {
+                write!(f, "output block of {required} elements exceeds OutputBuf ({available})")
+            }
+            CodegenError::EmptyWorkload => f.write_str("workload has a zero dimension"),
+            CodegenError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodegenError::RowTooWide { width: 9000, available: 2048 }
+            .to_string()
+            .contains("9000"));
+        assert!(CodegenError::OutputTooWide { required: 4096, available: 2048 }
+            .to_string()
+            .contains("OutputBuf"));
+        assert_eq!(CodegenError::EmptyWorkload.to_string(), "workload has a zero dimension");
+    }
+}

@@ -1,0 +1,38 @@
+//! The PuDianNao code generator (Section 4).
+//!
+//! "In order to facilitate programmers, we implement a code generator to
+//! generate instructions for different ML techniques." This crate is that
+//! generator: given a workload shape and the architecture configuration,
+//! each module emits a [`Program`] with the Table-3 tiling and ping-pong
+//! double-buffering pattern, plus a disassembler that renders Table-3
+//! style listings.
+//!
+//! | module | phases covered |
+//! |---|---|
+//! | [`distance`] | k-NN prediction, k-Means assignment, SVM kernel matrix / prediction kernels |
+//! | [`dot`] | LR training & prediction, DNN feedforward / BP / RBM passes |
+//! | [`nb`] | NB training (counting) and prediction (probability products) |
+//! | [`ct`] | CT training (threshold counting) and prediction (level-synchronous tree walk) |
+//! | [`pipelines`] | whole-technique chains: multi-layer MLP feedforward, SVM prediction, the k-Means update step |
+//! | [`phases`] | the 13-phase registry with analytic full-scale cost models |
+//! | [`disasm`] | Table-3 rendering |
+//!
+//! [`Program`]: pudiannao_accel::Program
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
+// it also rejects NaN, which is exactly what config checks want.
+
+
+pub mod ct;
+pub mod disasm;
+pub mod distance;
+pub mod dot;
+mod error;
+pub mod nb;
+pub mod phases;
+pub mod pipelines;
+
+pub use error::CodegenError;

@@ -1,0 +1,317 @@
+//! Naive-Bayes program generation (Section 2.6).
+//!
+//! Training counts feature-value occurrences per class with the Counter
+//! stage; instances are expected **grouped by label** in DRAM — the
+//! pre-processing the paper recommends ("one can pre-process training
+//! instances so that they are grouped according to their labels").
+//! Prediction multiplies conditional probabilities per class with the
+//! ProductReduce dataflow (the phase where PuDianNao trails the GPU).
+
+use crate::error::CodegenError;
+use pudiannao_accel::isa::{BufferRead, CounterOp, FuOps, Instruction, OutputSlot, Program};
+use pudiannao_accel::ArchConfig;
+
+/// NB training counting over class-grouped instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NbTrainKernel {
+    /// Discrete features per instance.
+    pub features: usize,
+    /// Values per feature (`a`).
+    pub values: usize,
+    /// Instances per class group, in DRAM order.
+    pub class_counts: Vec<usize>,
+}
+
+/// DRAM placement for NB training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbTrainPlan {
+    /// Instances grouped by class, row-major `sum(class_counts) x features`.
+    pub instances_dram: u64,
+    /// Candidate rows, `values x features` (see [`candidate_rows`]).
+    pub candidates_dram: u64,
+    /// Counters out: `classes x values x features`.
+    pub counters_dram: u64,
+}
+
+/// Builds the candidate rows the Counter stage compares against: row `v`
+/// holds value `v` at every feature position.
+#[must_use]
+pub fn candidate_rows(values: usize, features: usize) -> Vec<f32> {
+    let mut rows = Vec::with_capacity(values * features);
+    for v in 0..values {
+        rows.extend(std::iter::repeat_n(v as f32, features));
+    }
+    rows
+}
+
+impl NbTrainKernel {
+    /// Generates one counting pass per class group, accumulating the
+    /// class's `values x features` counter block in the OutputBuf and
+    /// storing it when the group ends.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] for zero dimensions;
+    /// [`CodegenError::RowTooWide`] / [`CodegenError::OutputTooWide`] when
+    /// the candidate set or counter block does not fit.
+    pub fn generate(&self, cfg: &ArchConfig, plan: &NbTrainPlan) -> Result<Program, CodegenError> {
+        if self.features == 0 || self.values == 0 || self.class_counts.is_empty() {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let f = self.features;
+        let hot_half = cfg.hotbuf_elems() as usize / 2;
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        let out_cap = cfg.outputbuf_elems() as usize;
+        if self.values * f > hot_half {
+            return Err(CodegenError::RowTooWide { width: self.values * f, available: hot_half });
+        }
+        if self.values * f > out_cap {
+            return Err(CodegenError::OutputTooWide { required: self.values * f, available: out_cap });
+        }
+        let cold_block = (cold_half / f).max(1);
+        let counters_per_class = (self.values * f) as u64;
+
+        let mut insts = Vec::new();
+        let mut row0 = 0usize;
+        let mut cold_parity = 0u32;
+        for (class, &count) in self.class_counts.iter().enumerate() {
+            if count == 0 {
+                row0 += count;
+                continue;
+            }
+            let dest = plan.counters_dram + class as u64 * counters_per_class;
+            let mut c0 = 0usize;
+            while c0 < count {
+                let cb = cold_block.min(count - c0);
+                let first = c0 == 0;
+                let last = c0 + cb == count;
+                let hot = if insts.is_empty() {
+                    BufferRead::load(plan.candidates_dram, 0, f as u32, self.values as u32)
+                } else {
+                    BufferRead::read(0, f as u32, self.values as u32)
+                };
+                let cold = BufferRead::load(
+                    plan.instances_dram + ((row0 + c0) * f) as u64,
+                    cold_parity * (cold_half as u32),
+                    f as u32,
+                    cb as u32,
+                );
+                cold_parity ^= 1;
+                let out = match (first, last) {
+                    (true, true) => OutputSlot::store(dest, f as u32, self.values as u32),
+                    (true, false) => OutputSlot::write(0, f as u32, self.values as u32),
+                    (false, true) => {
+                        OutputSlot::accumulate_store(0, f as u32, self.values as u32, dest)
+                    }
+                    (false, false) => OutputSlot::accumulate(0, f as u32, self.values as u32),
+                };
+                insts.push(Instruction {
+                    name: "nb-train".into(),
+                    hot,
+                    cold,
+                    out,
+                    fu: FuOps::count(CounterOp::CountEq),
+                    hot_row_base: 0,
+                });
+                c0 += cb;
+            }
+            row0 += count;
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+/// NB prediction: probability products per (instance, class) row.
+///
+/// The DMA gathers each instance's per-feature conditional probabilities
+/// (selected by its feature values) plus the class prior into one row of
+/// `features + 1` values; this kernel multiplies the rows down to
+/// posterior scores. The gather itself is data-dependent — on hardware it
+/// is DMA descriptor work, here the host pre-gathers into
+/// `rows_dram` (see the integration tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbPredictKernel {
+    /// Number of rows (`instances x classes`).
+    pub rows: usize,
+    /// Row width (`features + 1` for the prior).
+    pub width: usize,
+}
+
+/// DRAM placement for NB prediction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbPredictPlan {
+    /// Gathered probability rows, row-major `rows x width`.
+    pub rows_dram: u64,
+    /// Posterior scores out, `rows` f32 values.
+    pub out_dram: u64,
+}
+
+impl NbPredictKernel {
+    /// Generates the product-reduction program.
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError::EmptyWorkload`] for zero dimensions;
+    /// [`CodegenError::RowTooWide`] if one row exceeds a ColdBuf half.
+    pub fn generate(
+        &self,
+        cfg: &ArchConfig,
+        plan: &NbPredictPlan,
+    ) -> Result<Program, CodegenError> {
+        if self.rows == 0 || self.width == 0 {
+            return Err(CodegenError::EmptyWorkload);
+        }
+        let cold_half = cfg.coldbuf_elems() as usize / 2;
+        if self.width > cold_half {
+            return Err(CodegenError::RowTooWide { width: self.width, available: cold_half });
+        }
+        let block = (cold_half / self.width).min(cfg.outputbuf_elems() as usize).max(1);
+        let mut insts = Vec::new();
+        let mut r0 = 0usize;
+        let mut parity = 0u32;
+        while r0 < self.rows {
+            let rb = block.min(self.rows - r0);
+            insts.push(Instruction {
+                name: "nb-predict".into(),
+                hot: BufferRead::null(),
+                cold: BufferRead::load(
+                    plan.rows_dram + (r0 * self.width) as u64,
+                    parity * (cold_half as u32),
+                    self.width as u32,
+                    rb as u32,
+                ),
+                out: OutputSlot::store(plan.out_dram + r0 as u64, 1, rb as u32),
+                fu: FuOps::product_reduce(),
+                hot_row_base: 0,
+            });
+            parity ^= 1;
+            r0 += rb;
+        }
+        Program::new(insts).map_err(|_| CodegenError::EmptyWorkload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pudiannao_accel::{Accelerator, Dram};
+
+    #[test]
+    fn candidate_rows_layout() {
+        let rows = candidate_rows(3, 2);
+        assert_eq!(rows, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn training_counts_match_software_frequencies() {
+        let cfg = ArchConfig::paper_default();
+        let (features, values) = (4usize, 3usize);
+        // Two classes, grouped: class 0 = 3 instances, class 1 = 2.
+        let data: Vec<Vec<f32>> = vec![
+            vec![0.0, 1.0, 2.0, 0.0],
+            vec![0.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+            vec![2.0, 0.0, 0.0, 1.0],
+            vec![2.0, 0.0, 1.0, 1.0],
+        ];
+        let mut dram = Dram::new(1 << 16);
+        for (i, row) in data.iter().enumerate() {
+            dram.write_f32((i * features) as u64, row);
+        }
+        dram.write_f32(1000, &candidate_rows(values, features));
+        let kernel = NbTrainKernel { features, values, class_counts: vec![3, 2] };
+        let plan = NbTrainPlan { instances_dram: 0, candidates_dram: 1000, counters_dram: 2000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+
+        // Software counts.
+        let groups: [&[Vec<f32>]; 2] = [&data[0..3], &data[3..5]];
+        for (class, group) in groups.iter().enumerate() {
+            let counters =
+                dram.read_f32(2000 + (class * values * features) as u64, values * features);
+            for v in 0..values {
+                for f in 0..features {
+                    let expect =
+                        group.iter().filter(|r| r[f] == v as f32).count() as f32;
+                    assert_eq!(
+                        counters[v * features + f],
+                        expect,
+                        "class {class} value {v} feature {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn training_blocks_accumulate_across_instructions() {
+        // A class group bigger than one cold block must still produce the
+        // same counters as a single pass.
+        let cfg = ArchConfig::paper_default();
+        let features = 512usize; // cold half = 4096 elems -> 8 rows/block
+        let n = 20usize;
+        let mut dram = Dram::new(1 << 20);
+        for i in 0..n {
+            let row: Vec<f32> = (0..features).map(|j| ((i + j) % 2) as f32).collect();
+            dram.write_f32((i * features) as u64, &row);
+        }
+        dram.write_f32(100_000, &candidate_rows(2, features));
+        let kernel = NbTrainKernel { features, values: 2, class_counts: vec![n] };
+        let plan =
+            NbTrainPlan { instances_dram: 0, candidates_dram: 100_000, counters_dram: 200_000 };
+        let program = kernel.generate(&cfg, &plan).unwrap();
+        assert!(program.len() > 1, "expected multiple cold blocks");
+        Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        let counters = dram.read_f32(200_000, 2 * features);
+        // Position j: value (i + j) % 2 -> exactly 10 of each.
+        for j in 0..features {
+            assert_eq!(counters[j], 10.0, "value 0, feature {j}");
+            assert_eq!(counters[features + j], 10.0, "value 1, feature {j}");
+        }
+    }
+
+    #[test]
+    fn prediction_products_match_software() {
+        let cfg = ArchConfig::paper_default();
+        let rows: Vec<Vec<f32>> = vec![
+            vec![0.5, 0.25, 0.2],
+            vec![0.9, 0.8, 0.1],
+            vec![1.0, 1.0, 1.0],
+        ];
+        let mut dram = Dram::new(1 << 16);
+        for (i, r) in rows.iter().enumerate() {
+            dram.write_f32((i * 3) as u64, r);
+        }
+        let kernel = NbPredictKernel { rows: 3, width: 3 };
+        let plan = NbPredictPlan { rows_dram: 0, out_dram: 1000 };
+        Accelerator::new(cfg.clone())
+            .unwrap()
+            .run(&kernel.generate(&cfg, &plan).unwrap(), &mut dram)
+            .unwrap();
+        let out = dram.read_f32(1000, 3);
+        for (i, r) in rows.iter().enumerate() {
+            let expect: f32 = r.iter().product();
+            assert!((out[i] - expect).abs() < 1e-3, "row {i}: {} vs {expect}", out[i]);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let cfg = ArchConfig::paper_default();
+        assert!(NbTrainKernel { features: 0, values: 2, class_counts: vec![1] }
+            .generate(&cfg, &NbTrainPlan { instances_dram: 0, candidates_dram: 0, counters_dram: 0 })
+            .is_err());
+        assert!(matches!(
+            NbTrainKernel { features: 2048, values: 4, class_counts: vec![1] }.generate(
+                &cfg,
+                &NbTrainPlan { instances_dram: 0, candidates_dram: 0, counters_dram: 0 }
+            ),
+            Err(CodegenError::RowTooWide { .. })
+        ));
+        assert!(matches!(
+            NbPredictKernel { rows: 4, width: 9000 }
+                .generate(&cfg, &NbPredictPlan { rows_dram: 0, out_dram: 0 }),
+            Err(CodegenError::RowTooWide { .. })
+        ));
+    }
+}

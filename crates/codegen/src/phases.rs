@@ -1,0 +1,618 @@
+//! The 13 benchmark phases (Table 4 + footnote 4) and their accelerator
+//! cost models.
+//!
+//! "Many ML techniques have two phases each (training and prediction
+//! phases), but k-NN and k-Means only have one phase, and DNN has two
+//! different training phases, pre-training and global training" — giving
+//! the 13 x-axis points of Figures 15 and 16.
+//!
+//! For each phase, [`model_phase`] computes full-paper-scale execution
+//! statistics by aggregating the *same* per-instruction timing formulas
+//! the functional executor charges ([`pudiannao_accel::timing`]): small
+//! phases generate and cost their real programs; the huge ones (k-NN's
+//! ~10^14 MACs) cost one representative block and scale by the block
+//! count, which is exact for uniform bodies and within one ragged block
+//! otherwise. An integration test pins the model to functionally executed
+//! programs at small scale.
+
+use crate::ct::{CtCountKernel, CtCountPlan, TreeWalkKernel, TreeWalkPlan};
+use crate::distance::{DistanceKernel, DistancePlan, DistancePost};
+use crate::dot::{BatchedMatmul, BroadcastDot, BroadcastPlan, MatmulPlan};
+use crate::error::CodegenError;
+use crate::nb::{NbPredictKernel, NbPredictPlan, NbTrainKernel, NbTrainPlan};
+use core::fmt;
+use pudiannao_accel::isa::Program;
+use pudiannao_accel::{timing, ArchConfig, EnergyModel, ExecStats};
+use pudiannao_softfp::NonLinearFn;
+
+/// One of the 13 evaluated phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// k-NN prediction (its only phase).
+    KnnPrediction,
+    /// k-Means clustering (its only phase; one Lloyd iteration).
+    KMeansClustering,
+    /// DNN feedforward over the testing set.
+    DnnPrediction,
+    /// DNN RBM pre-training epoch over the training set.
+    DnnPretraining,
+    /// DNN back-propagation epoch over the training set.
+    DnnGlobalTraining,
+    /// Linear-regression gradient-descent epoch.
+    LrTraining,
+    /// Linear-regression prediction.
+    LrPrediction,
+    /// SVM SMO training (kernel-matrix computation).
+    SvmTraining,
+    /// SVM prediction over the testing set.
+    SvmPrediction,
+    /// Naive-Bayes training (counting).
+    NbTraining,
+    /// Naive-Bayes prediction (probability products).
+    NbPrediction,
+    /// Classification-tree (ID3) training (threshold counting).
+    CtTraining,
+    /// Classification-tree prediction (tree walk).
+    CtPrediction,
+}
+
+impl Phase {
+    /// All 13 phases in Figure-15 order.
+    pub const ALL: [Phase; 13] = [
+        Phase::KnnPrediction,
+        Phase::KMeansClustering,
+        Phase::DnnPrediction,
+        Phase::DnnPretraining,
+        Phase::DnnGlobalTraining,
+        Phase::LrTraining,
+        Phase::LrPrediction,
+        Phase::SvmTraining,
+        Phase::SvmPrediction,
+        Phase::NbTraining,
+        Phase::NbPrediction,
+        Phase::CtTraining,
+        Phase::CtPrediction,
+    ];
+
+    /// Short label used in figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::KnnPrediction => "kNN",
+            Phase::KMeansClustering => "k-Means",
+            Phase::DnnPrediction => "DNN-pred",
+            Phase::DnnPretraining => "DNN-pre",
+            Phase::DnnGlobalTraining => "DNN-train",
+            Phase::LrTraining => "LR-train",
+            Phase::LrPrediction => "LR-pred",
+            Phase::SvmTraining => "SVM-train",
+            Phase::SvmPrediction => "SVM-pred",
+            Phase::NbTraining => "NB-train",
+            Phase::NbPrediction => "NB-pred",
+            Phase::CtTraining => "CT-train",
+            Phase::CtPrediction => "CT-pred",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Benchmark problem sizes (Table 4) plus the modelling assumptions the
+/// paper leaves implicit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// MNIST training / reference instances.
+    pub train: usize,
+    /// MNIST testing instances.
+    pub test: usize,
+    /// MNIST feature dimensionality.
+    pub features: usize,
+    /// k for k-NN (20).
+    pub knn_k: u32,
+    /// k-Means cluster count (10).
+    pub kmeans_k: usize,
+    /// Lloyd iterations modelled for the k-Means phase.
+    pub kmeans_iters: usize,
+    /// DNN layer widths, input first (784, 4096 x 4, 10).
+    pub dnn_layers: Vec<usize>,
+    /// Instance batch held in HotBuf during DNN passes.
+    pub dnn_batch: usize,
+    /// Fraction of training instances that end up support vectors
+    /// (assumption: 0.1; the paper does not report the count).
+    pub sv_fraction: f64,
+    /// UCI-Nursery instances.
+    pub nb_instances: usize,
+    /// UCI-Nursery features (8).
+    pub nb_features: usize,
+    /// Values per NB feature (5).
+    pub nb_values: usize,
+    /// NB classes (5).
+    pub nb_classes: usize,
+    /// Covertype training instances (522000).
+    pub ct_train: usize,
+    /// Covertype testing instances (59012).
+    pub ct_test: usize,
+    /// Covertype features (54).
+    pub ct_features: usize,
+    /// Modelled ID3 tree depth (assumption: 12 levels).
+    pub ct_depth: u32,
+    /// Candidate thresholds per feature during training.
+    pub ct_thresholds: usize,
+}
+
+impl Workload {
+    /// Full Table-4 sizes.
+    #[must_use]
+    pub fn paper() -> Workload {
+        Workload {
+            train: 60000,
+            test: 10000,
+            features: 784,
+            knn_k: 20,
+            kmeans_k: 10,
+            kmeans_iters: 1,
+            dnn_layers: vec![784, 4096, 4096, 4096, 4096, 10],
+            dnn_batch: 64,
+            sv_fraction: 0.1,
+            nb_instances: 12960,
+            nb_features: 8,
+            nb_values: 5,
+            nb_classes: 5,
+            ct_train: 522_000,
+            ct_test: 59012,
+            ct_features: 54,
+            ct_depth: 12,
+            ct_thresholds: 16,
+        }
+    }
+
+    /// Sizes divided by `factor` (minimums keep every phase legal) — used
+    /// by tests that functionally execute the modelled programs.
+    #[must_use]
+    pub fn scaled(factor: usize) -> Workload {
+        let f = factor.max(1);
+        let p = Workload::paper();
+        Workload {
+            train: (p.train / f).max(64),
+            test: (p.test / f).max(32),
+            features: (p.features / f).max(16),
+            knn_k: p.knn_k.min(8),
+            kmeans_k: p.kmeans_k,
+            kmeans_iters: 1,
+            dnn_layers: p.dnn_layers.iter().map(|&w| (w / f).max(8)).collect(),
+            dnn_batch: p.dnn_batch,
+            sv_fraction: p.sv_fraction,
+            nb_instances: (p.nb_instances / f).max(64),
+            nb_features: p.nb_features,
+            nb_values: p.nb_values,
+            nb_classes: p.nb_classes,
+            ct_train: (p.ct_train / f).max(64),
+            ct_test: (p.ct_test / f).max(64),
+            ct_features: p.ct_features.min(16),
+            ct_depth: 8,
+            ct_thresholds: p.ct_thresholds,
+        }
+    }
+}
+
+/// Sums the timing model over a program without functional execution —
+/// cheap per instruction, identical cycle accounting to
+/// [`pudiannao_accel::Accelerator::run`].
+#[must_use]
+pub fn program_stats(cfg: &ArchConfig, program: &Program) -> ExecStats {
+    let energy = EnergyModel::new(cfg);
+    let mut stats = ExecStats::default();
+    // Instruction-fetch accounting mirrors `Accelerator::run` exactly
+    // (pinned by the model-vs-execution integration test).
+    let fetch_bytes = program.len() as u64 * timing::INSTRUCTION_BYTES;
+    stats.dma_bytes += fetch_bytes;
+    stats.cycles += (fetch_bytes.min(u64::from(cfg.instbuf_bytes)) as f64
+        / cfg.dma_bytes_per_cycle())
+    .ceil() as u64;
+    let mut first = true;
+    for inst in program.instructions() {
+        let t = timing::instruction_timing(cfg, inst)
+            .expect("generated programs always decode");
+        let elapsed = if first || !cfg.double_buffering {
+            t.compute_cycles + t.dma_cycles
+        } else {
+            t.compute_cycles.max(t.dma_cycles)
+        };
+        first = false;
+        stats.cycles += elapsed;
+        stats.instructions += 1;
+        stats.compute_cycles += t.compute_cycles;
+        stats.dma_cycles += t.dma_cycles;
+        stats.dma_bytes += t.dma_bytes;
+        stats.mlu_ops += t.mlu_ops;
+        stats.alu_ops += t.alu_ops;
+        stats.energy += energy.instruction_energy(&t, elapsed);
+    }
+    stats
+}
+
+fn scale_stats(s: &ExecStats, factor: f64) -> ExecStats {
+    let scale_u = |v: u64| -> u64 { (v as f64 * factor).round() as u64 };
+    let mut energy = s.energy;
+    energy.fus *= factor;
+    energy.hotbuf *= factor;
+    energy.coldbuf *= factor;
+    energy.outputbuf *= factor;
+    energy.control *= factor;
+    energy.other *= factor;
+    ExecStats {
+        cycles: scale_u(s.cycles),
+        instructions: scale_u(s.instructions),
+        compute_cycles: scale_u(s.compute_cycles),
+        dma_cycles: scale_u(s.dma_cycles),
+        dma_bytes: scale_u(s.dma_bytes),
+        mlu_ops: scale_u(s.mlu_ops),
+        alu_ops: scale_u(s.alu_ops),
+        energy,
+    }
+}
+
+fn sub_stats(a: &ExecStats, b: &ExecStats) -> ExecStats {
+    let sub_u = |x: u64, y: u64| x.saturating_sub(y);
+    let mut energy = a.energy;
+    energy.fus -= b.energy.fus;
+    energy.hotbuf -= b.energy.hotbuf;
+    energy.coldbuf -= b.energy.coldbuf;
+    energy.outputbuf -= b.energy.outputbuf;
+    energy.control -= b.energy.control;
+    energy.other -= b.energy.other;
+    ExecStats {
+        cycles: sub_u(a.cycles, b.cycles),
+        instructions: sub_u(a.instructions, b.instructions),
+        compute_cycles: sub_u(a.compute_cycles, b.compute_cycles),
+        dma_cycles: sub_u(a.dma_cycles, b.dma_cycles),
+        dma_bytes: sub_u(a.dma_bytes, b.dma_bytes),
+        mlu_ops: sub_u(a.mlu_ops, b.mlu_ops),
+        alu_ops: sub_u(a.alu_ops, b.alu_ops),
+        energy,
+    }
+}
+
+/// Costs a distance-style phase from a generated prefix: the first cold
+/// block carries startup costs (hot-set load, un-overlapped first DMA);
+/// steady-state blocks are measured as the difference between a
+/// three-block and a one-block program, so double-buffering and the
+/// resident-hot READ pattern are accounted exactly.
+fn distance_phase_stats(
+    cfg: &ArchConfig,
+    kernel: &DistanceKernel,
+) -> Result<ExecStats, CodegenError> {
+    let tiling = kernel.tiling(cfg)?;
+    let plan = DistancePlan { hot_dram: 0, cold_dram: 1 << 40, out_dram: 1 << 41 };
+    let blocks = kernel.cold_rows.div_ceil(tiling.cold_block);
+    let gen = |n_blocks: usize| -> Result<ExecStats, CodegenError> {
+        let prefix = DistanceKernel {
+            cold_rows: (n_blocks * tiling.cold_block).min(kernel.cold_rows),
+            ..kernel.clone()
+        };
+        Ok(program_stats(cfg, &prefix.generate(cfg, &plan)?))
+    };
+    let p1 = gen(1)?;
+    if blocks <= 1 {
+        return Ok(p1);
+    }
+    let n = blocks.min(3);
+    let pn = gen(n)?;
+    let steady = scale_stats(&sub_stats(&pn, &p1), 1.0 / (n - 1) as f64);
+    let mut total = p1;
+    total.merge(&scale_stats(&steady, (blocks - 1) as f64));
+    Ok(total)
+}
+
+/// Costs a pairwise kernel computation (SVM kernel matrix) whose hot set
+/// does not stay resident: hot blocks stream per cold block, results
+/// stream out block-tiled.
+fn pairwise_kernel_stats(
+    cfg: &ArchConfig,
+    features: usize,
+    hot_rows: usize,
+    cold_rows: usize,
+) -> Result<ExecStats, CodegenError> {
+    use pudiannao_accel::isa::{BufferRead, FuOps, Instruction, MiscOp, OutputSlot};
+    let hot_half = cfg.hotbuf_elems() as usize / 2;
+    let cold_half = cfg.coldbuf_elems() as usize / 2;
+    let out_cap = cfg.outputbuf_elems() as usize;
+    if features > hot_half || features > cold_half {
+        return Err(CodegenError::RowTooWide { width: features, available: hot_half });
+    }
+    let hb = (hot_half / features).min(hot_rows).max(1);
+    let cb = (cold_half / features).min(out_cap / hb).min(cold_rows).max(1);
+    let mut fu = FuOps::distance(None);
+    fu.misc = MiscOp::Interp(NonLinearFn::ExpNeg);
+    // Per cold block: the first hot block LOADs the cold rows, the
+    // remaining hot blocks re-READ them (the Table-3 reuse pattern).
+    let mk = |cold_loads: bool| Instruction {
+        name: "svm-kernel".into(),
+        hot: BufferRead::load(0, 0, features as u32, hb as u32),
+        cold: if cold_loads {
+            BufferRead::load(1 << 40, 0, features as u32, cb as u32)
+        } else {
+            BufferRead::read(0, features as u32, cb as u32)
+        },
+        out: OutputSlot::store(1 << 41, hb as u32, cb as u32),
+        fu,
+        hot_row_base: 0,
+    };
+    let hot_blocks = (hot_rows as f64 / hb as f64).ceil();
+    let cold_blocks = (cold_rows as f64 / cb as f64).ceil();
+    // Steady-state costing: measure each instruction kind inside a
+    // two-instruction program so the double-buffered (max of compute and
+    // DMA) accounting applies, not the serial first-instruction cost.
+    let steady = |inst: Instruction| -> ExecStats {
+        let warm = Program::new(vec![mk(false), inst]).expect("non-empty");
+        let both = program_stats(cfg, &warm);
+        let alone = program_stats(cfg, &Program::new(vec![mk(false)]).expect("non-empty"));
+        sub_stats(&both, &alone)
+    };
+    let first = steady(mk(true));
+    let rest = steady(mk(false));
+    let mut total = scale_stats(&first, cold_blocks);
+    total.merge(&scale_stats(&rest, cold_blocks * (hot_blocks - 1.0).max(0.0)));
+    Ok(total)
+}
+
+/// Costs one DNN layer pass over `instances` (forward direction), scaled
+/// by `passes` (backward and update passes share the structure —
+/// footnote 1: "from a computer architecture perspective, they are the
+/// same").
+fn dnn_layer_stats(
+    cfg: &ArchConfig,
+    width: usize,
+    neurons: usize,
+    instances: usize,
+    batch: usize,
+    passes: f64,
+) -> Result<ExecStats, CodegenError> {
+    let kernel = BatchedMatmul {
+        name: "dnn",
+        width,
+        batch: batch.min(instances),
+        cold_rows: neurons,
+        activation: Some(NonLinearFn::Sigmoid),
+    };
+    let plan = MatmulPlan { hot_dram: 0, cold_dram: 1 << 40, out_dram: 1 << 41 };
+    let program = kernel.generate(cfg, &plan)?;
+    let per_batch = program_stats(cfg, &program);
+    let batches = instances as f64 / kernel.batch as f64;
+    Ok(scale_stats(&per_batch, batches * passes))
+}
+
+/// Costs a broadcast-dot sweep (LR) over `rows`, scaled by `passes`.
+fn lr_sweep_stats(
+    cfg: &ArchConfig,
+    width: usize,
+    rows: usize,
+    passes: f64,
+) -> Result<ExecStats, CodegenError> {
+    let kernel = BroadcastDot { name: "lr", width, cold_rows: rows, activation: None };
+    let plan = BroadcastPlan { hot_dram: 0, cold_dram: 1 << 40, out_dram: 1 << 41 };
+    let program = kernel.generate(cfg, &plan)?;
+    Ok(scale_stats(&program_stats(cfg, &program), passes))
+}
+
+/// Computes full-scale execution statistics for a phase.
+///
+/// # Errors
+///
+/// Propagates tiling failures (a workload/feature size no legal program
+/// exists for).
+pub fn model_phase(
+    cfg: &ArchConfig,
+    phase: Phase,
+    w: &Workload,
+) -> Result<ExecStats, CodegenError> {
+    match phase {
+        Phase::KnnPrediction => distance_phase_stats(
+            cfg,
+            &DistanceKernel {
+                name: "k-NN",
+                features: w.features,
+                hot_rows: w.train,
+                cold_rows: w.test,
+                post: DistancePost::Sort { k: w.knn_k },
+            },
+        ),
+        Phase::KMeansClustering => {
+            let per_iter = distance_phase_stats(
+                cfg,
+                &DistanceKernel {
+                    name: "k-means",
+                    features: w.features,
+                    hot_rows: w.kmeans_k,
+                    cold_rows: w.train,
+                    post: DistancePost::Sort { k: 1 },
+                },
+            )?;
+            Ok(scale_stats(&per_iter, w.kmeans_iters as f64))
+        }
+        Phase::DnnPrediction | Phase::DnnPretraining | Phase::DnnGlobalTraining => {
+            let (instances, passes) = match phase {
+                Phase::DnnPrediction => (w.test, 1.0),
+                // CD-1: v->h, h->v', v'->h', plus the outer-product
+                // update streaming W once more.
+                Phase::DnnPretraining => (w.train, 4.0),
+                // BP: forward, backward delta, weight update.
+                _ => (w.train, 3.0),
+            };
+            let mut total = ExecStats::default();
+            for pair in w.dnn_layers.windows(2) {
+                total.merge(&dnn_layer_stats(
+                    cfg,
+                    pair[0],
+                    pair[1],
+                    instances,
+                    w.dnn_batch,
+                    passes,
+                )?);
+            }
+            Ok(total)
+        }
+        Phase::LrTraining => {
+            // One GD epoch: the theta.x sweep plus the gradient update
+            // sweep (a second streaming pass over X).
+            lr_sweep_stats(cfg, w.features, w.train, 2.0)
+        }
+        Phase::LrPrediction => lr_sweep_stats(cfg, w.features, w.test, 1.0),
+        Phase::SvmTraining => {
+            // SMO's dominant cost: the N x N kernel matrix.
+            pairwise_kernel_stats(cfg, w.features, w.train, w.train)
+        }
+        Phase::SvmPrediction => {
+            let svs = ((w.train as f64 * w.sv_fraction) as usize).max(1);
+            // Kernel values between SVs and queries...
+            let mut total = pairwise_kernel_stats(cfg, w.features, svs, w.test)?;
+            // ...then the alpha-weighted sum per query.
+            total.merge(&lr_sweep_stats(cfg, svs, w.test, 1.0)?);
+            Ok(total)
+        }
+        Phase::NbTraining => {
+            let per_class = w.nb_instances / w.nb_classes.max(1);
+            let kernel = NbTrainKernel {
+                features: w.nb_features,
+                values: w.nb_values,
+                class_counts: vec![per_class; w.nb_classes],
+            };
+            let plan = NbTrainPlan {
+                instances_dram: 0,
+                candidates_dram: 1 << 40,
+                counters_dram: 1 << 41,
+            };
+            Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
+        }
+        Phase::NbPrediction => {
+            let kernel = NbPredictKernel {
+                rows: w.nb_instances * w.nb_classes,
+                width: w.nb_features + 1,
+            };
+            let plan = NbPredictPlan { rows_dram: 0, out_dram: 1 << 40 };
+            Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
+        }
+        Phase::CtTraining => {
+            // Per level: a threshold-counting pass over all training
+            // instances (nodes at one level partition the data, so the
+            // level's total counting work is one full pass), plus the
+            // entropy logs.
+            let count = CtCountKernel {
+                features: w.ct_features,
+                thresholds: w.ct_thresholds,
+                instances: w.ct_train,
+            };
+            let plan = CtCountPlan {
+                instances_dram: 0,
+                thresholds_dram: 1 << 40,
+                counters_dram: 1 << 41,
+            };
+            let per_level = program_stats(cfg, &count.generate(cfg, &plan)?);
+            Ok(scale_stats(&per_level, f64::from(w.ct_depth)))
+        }
+        Phase::CtPrediction => {
+            let kernel = TreeWalkKernel {
+                depth: w.ct_depth,
+                features: w.ct_features,
+                instances: w.ct_test,
+            };
+            let plan =
+                TreeWalkPlan { tree_dram: 0, instances_dram: 1 << 40, states_dram: 1 << 41 };
+            Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_phases_model_at_paper_scale() {
+        let cfg = ArchConfig::paper_default();
+        let w = Workload::paper();
+        for phase in Phase::ALL {
+            let stats = model_phase(&cfg, phase, &w).unwrap_or_else(|e| {
+                panic!("{phase}: {e}");
+            });
+            assert!(stats.cycles > 0, "{phase}");
+            assert!(stats.energy.total() > 0.0, "{phase}");
+        }
+    }
+
+    #[test]
+    fn knn_dominates_lr_prediction() {
+        // 60000x10000x784 distance work dwarfs 10000x784 dots.
+        let cfg = ArchConfig::paper_default();
+        let w = Workload::paper();
+        let knn = model_phase(&cfg, Phase::KnnPrediction, &w).unwrap();
+        let lr = model_phase(&cfg, Phase::LrPrediction, &w).unwrap();
+        assert!(knn.cycles > lr.cycles * 100);
+    }
+
+    #[test]
+    fn dnn_pretraining_is_the_biggest_phase() {
+        // Four CD-1 passes over a ~51M-synapse network x 60000 instances
+        // outweighs even the SVM kernel matrix.
+        let cfg = ArchConfig::paper_default();
+        let w = Workload::paper();
+        let pre = model_phase(&cfg, Phase::DnnPretraining, &w).unwrap();
+        for phase in Phase::ALL {
+            if phase != Phase::DnnPretraining {
+                let s = model_phase(&cfg, phase, &w).unwrap();
+                assert!(pre.cycles >= s.cycles, "{phase} exceeds DNN pre-training");
+            }
+        }
+    }
+
+    #[test]
+    fn ct_prediction_is_dma_reconfig_bound() {
+        let cfg = ArchConfig::paper_default();
+        let w = Workload::paper();
+        let ct = model_phase(&cfg, Phase::CtPrediction, &w).unwrap();
+        // The signature inefficiency of the phase: DMA cycles dominate
+        // compute cycles.
+        assert!(ct.dma_cycles > ct.compute_cycles, "{ct:?}");
+    }
+
+    #[test]
+    fn average_power_stays_near_table5() {
+        let cfg = ArchConfig::paper_default();
+        let w = Workload::paper();
+        let knn = model_phase(&cfg, Phase::KnnPrediction, &w).unwrap();
+        let power = knn.average_power(cfg.freq_hz);
+        assert!(
+            power > 0.596 * 0.3 && power < 0.65,
+            "power {power} W out of range vs the 596 mW budget"
+        );
+    }
+
+    #[test]
+    fn phase_labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 13);
+        assert_eq!(Phase::KnnPrediction.to_string(), "kNN");
+    }
+
+    #[test]
+    fn scaled_workload_shrinks_monotonically() {
+        let w100 = Workload::scaled(100);
+        let paper = Workload::paper();
+        assert!(w100.train < paper.train);
+        assert!(w100.features <= paper.features);
+        let knn_small = model_phase(
+            &ArchConfig::paper_default(),
+            Phase::KnnPrediction,
+            &w100,
+        )
+        .unwrap();
+        let knn_full =
+            model_phase(&ArchConfig::paper_default(), Phase::KnnPrediction, &paper).unwrap();
+        assert!(knn_small.cycles < knn_full.cycles / 1000);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic synthetic datasets for the PuDianNao reproduction.
+//!
+//! The paper benchmarks on MNIST and three UCI datasets (Nursery,
+//! Covertype, Gas — Table 4). Those files are not available here, so this
+//! crate generates synthetic stand-ins with the **same problem sizes** and
+//! the statistical structure each experiment depends on:
+//!
+//! - bandwidth/tiling experiments depend only on shape (instance counts,
+//!   feature dimensionality) — any data works;
+//! - accuracy experiments (Table 1) depend on *learnability* — the
+//!   generators plant real structure (Gaussian class clusters, a linear
+//!   teacher model, class-conditional categorical distributions, a
+//!   ground-truth decision tree) so each ML technique has signal to find.
+//!
+//! All generators are seeded and fully deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use pudiannao_datasets::synth;
+//!
+//! let data = synth::gaussian_blobs(&synth::BlobsConfig {
+//!     instances: 300,
+//!     features: 16,
+//!     classes: 3,
+//!     spread: 0.2,
+//!     seed: 7,
+//! });
+//! assert_eq!(data.len(), 300);
+//! assert_eq!(data.features.cols(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
+// it also rejects NaN, which is exactly what config checks want.
+
+
+mod matrix;
+pub mod preprocess;
+mod split;
+pub mod synth;
+
+pub use matrix::Matrix;
+pub use split::{train_test_split, Split};
+
+/// A labelled dataset: a dense feature matrix plus one label per row.
+///
+/// `L` is `usize` for classification and `f32` for regression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset<L> {
+    /// Row-major feature matrix; one row per instance.
+    pub features: Matrix,
+    /// One label per row of `features`.
+    pub labels: Vec<L>,
+}
+
+/// Classification dataset (labels are class indices).
+pub type ClassDataset = Dataset<usize>;
+/// Regression dataset (labels are real responses).
+pub type RegDataset = Dataset<f32>;
+
+impl<L> Dataset<L> {
+    /// Builds a dataset, checking that labels match the matrix rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != features.rows()`.
+    #[must_use]
+    pub fn new(features: Matrix, labels: Vec<L>) -> Dataset<L> {
+        assert_eq!(
+            labels.len(),
+            features.rows(),
+            "one label required per feature row"
+        );
+        Dataset { features, labels }
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// One instance's feature slice.
+    #[must_use]
+    pub fn instance(&self, i: usize) -> &[f32] {
+        self.features.row(i)
+    }
+}
+
+impl Dataset<usize> {
+    /// Number of distinct classes (max label + 1); 0 when empty.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_accessors() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let d = Dataset::new(m, vec![0usize, 1]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.instance(1), &[3.0, 4.0]);
+        assert_eq!(d.classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label required per feature row")]
+    fn mismatched_labels_panic() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let _ = Dataset::new(m, vec![0usize]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d: ClassDataset = Dataset::new(Matrix::zeros(0, 4), vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.classes(), 0);
+    }
+}

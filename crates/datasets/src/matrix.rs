@@ -1,0 +1,200 @@
+//! A minimal dense row-major matrix.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense, row-major `f32` matrix.
+///
+/// Kept deliberately small: the ML algorithms in `pudiannao-mlkit` only
+/// need row access, element access and iteration. Rows are instances.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(1, 2)] = 5.0;
+/// assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+/// assert_eq!(m.rows(), 2);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Matrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "buffer must be rows * cols long");
+        Matrix { data, rows, cols }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f32]]) -> Matrix {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { data, rows: rows.len(), cols }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// The flat row-major buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Selects a subset of rows into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { data, rows: indices.len(), cols: self.cols }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 1)] = 7.0;
+        m.row_mut(1)[0] = 8.0;
+        assert_eq!(m.into_vec(), vec![0.0, 7.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_rows_matches() {
+        let m = Matrix::from_vec(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[3.0, 1.0]);
+        assert_eq!(s.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must be rows * cols long")]
+    fn bad_from_vec_panics() {
+        let _ = Matrix::from_vec(vec![1.0; 5], 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m[(0, 1)];
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        assert_eq!(format!("{:?}", Matrix::zeros(3, 4)), "Matrix(3x4)");
+    }
+}

@@ -1,0 +1,89 @@
+//! Train/test splitting.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test partition of a dataset.
+#[derive(Clone, Debug)]
+pub struct Split<L> {
+    /// Training portion.
+    pub train: Dataset<L>,
+    /// Testing portion.
+    pub test: Dataset<L>,
+}
+
+/// Splits a dataset into train and test portions after a seeded shuffle.
+///
+/// `test_fraction` is clamped to `[0, 1]`; at least one instance stays in
+/// the training set when the dataset is non-empty.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::{synth, train_test_split};
+///
+/// let data = synth::linearly_separable(100, 4, 0.5, 1);
+/// let split = train_test_split(&data, 0.25, 42);
+/// assert_eq!(split.train.len(), 75);
+/// assert_eq!(split.test.len(), 25);
+/// ```
+#[must_use]
+pub fn train_test_split<L: Clone>(data: &Dataset<L>, test_fraction: f64, seed: u64) -> Split<L> {
+    let n = data.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut n_test = (n as f64 * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    if n > 0 && n_test >= n {
+        n_test = n - 1;
+    }
+    let (test_idx, train_idx) = indices.split_at(n_test);
+    let take = |idx: &[usize]| {
+        Dataset::new(
+            data.features.select_rows(idx),
+            idx.iter().map(|&i| data.labels[i].clone()).collect(),
+        )
+    };
+    Split { train: take(train_idx), test: take(test_idx) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn split_sizes_and_determinism() {
+        let data = synth::linearly_separable(101, 4, 0.5, 1);
+        let a = train_test_split(&data, 0.3, 7);
+        let b = train_test_split(&data, 0.3, 7);
+        assert_eq!(a.train.len() + a.test.len(), 101);
+        assert_eq!(a.test.len(), 30);
+        assert_eq!(a.train.labels, b.train.labels);
+        assert_eq!(a.train.features, b.train.features);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let data = synth::linearly_separable(10, 4, 0.5, 1);
+        let all_train = train_test_split(&data, 0.0, 7);
+        assert_eq!(all_train.test.len(), 0);
+        // Even at fraction 1.0 one training instance remains.
+        let nearly_all_test = train_test_split(&data, 1.0, 7);
+        assert_eq!(nearly_all_test.train.len(), 1);
+    }
+
+    #[test]
+    fn split_partitions_without_duplicates() {
+        let data = synth::linear_teacher(50, 3, 0.0, 2).0;
+        let s = train_test_split(&data, 0.5, 3);
+        // Every original label value count is preserved across the split.
+        let mut orig: Vec<f32> = data.labels.clone();
+        let mut joined: Vec<f32> = s.train.labels.iter().chain(&s.test.labels).copied().collect();
+        orig.sort_by(f32::total_cmp);
+        joined.sort_by(f32::total_cmp);
+        assert_eq!(orig, joined);
+    }
+}

@@ -1,0 +1,406 @@
+//! Synthetic dataset generators, including paper-size presets (Table 4).
+
+use crate::matrix::Matrix;
+use crate::{ClassDataset, Dataset, RegDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a standard-normal value via Box-Muller (avoids needing
+/// `rand_distr`).
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (core::f32::consts::TAU * u2).cos()
+}
+
+/// Configuration for [`gaussian_blobs`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlobsConfig {
+    /// Total instances, distributed round-robin over classes.
+    pub instances: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Number of classes (cluster centres).
+    pub classes: usize,
+    /// Cluster standard deviation; centres live on the unit hypercube, so
+    /// `spread` well below 0.5 keeps classes separable.
+    pub spread: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Gaussian class clusters — the MNIST stand-in for k-NN, k-Means, SVM and
+/// DNN classification experiments.
+///
+/// Each class gets a random centre in `[0, 1]^d`; instances are the centre
+/// plus isotropic Gaussian noise.
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or `features == 0`.
+#[must_use]
+pub fn gaussian_blobs(config: &BlobsConfig) -> ClassDataset {
+    assert!(config.classes > 0 && config.features > 0, "degenerate blob config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let centres: Vec<Vec<f32>> = (0..config.classes)
+        .map(|_| (0..config.features).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let mut x = Matrix::zeros(config.instances, config.features);
+    let mut labels = Vec::with_capacity(config.instances);
+    for i in 0..config.instances {
+        let class = i % config.classes;
+        labels.push(class);
+        let row = x.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = centres[class][j] + config.spread * normal(&mut rng);
+        }
+    }
+    Dataset::new(x, labels)
+}
+
+/// Linearly separable binary data with the given margin — the workload
+/// where the paper's introduction notes a linear classifier beats a
+/// complex neural network.
+///
+/// A random unit normal `w` defines the separating hyperplane through the
+/// origin; points are sampled and pushed `margin` away from the plane on
+/// their side.
+#[must_use]
+pub fn linearly_separable(instances: usize, features: usize, margin: f32, seed: u64) -> ClassDataset {
+    assert!(features > 0, "features must be non-zero");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w: Vec<f32> = (0..features).map(|_| normal(&mut rng)).collect();
+    let norm = w.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+    w.iter_mut().for_each(|v| *v /= norm);
+    let mut x = Matrix::zeros(instances, features);
+    let mut labels = Vec::with_capacity(instances);
+    for i in 0..instances {
+        let row = x.row_mut(i);
+        for v in row.iter_mut() {
+            *v = normal(&mut rng);
+        }
+        let proj: f32 = row.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let side = if proj >= 0.0 { 1.0 } else { -1.0 };
+        // Push away from the plane to create the margin.
+        for (v, wi) in row.iter_mut().zip(&w) {
+            *v += side * margin * wi;
+        }
+        labels.push(usize::from(side > 0.0));
+    }
+    Dataset::new(x, labels)
+}
+
+/// Linear-teacher regression data: `y = theta . x + intercept + noise`.
+/// Returns the dataset together with the ground-truth coefficients
+/// (intercept first), so tests can check recovery.
+#[must_use]
+pub fn linear_teacher(
+    instances: usize,
+    features: usize,
+    noise: f32,
+    seed: u64,
+) -> (RegDataset, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let theta: Vec<f32> = (0..=features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut x = Matrix::zeros(instances, features);
+    let mut y = Vec::with_capacity(instances);
+    for i in 0..instances {
+        let row = x.row_mut(i);
+        for v in row.iter_mut() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mut t = theta[0];
+        for (j, v) in row.iter().enumerate() {
+            t += theta[j + 1] * v;
+        }
+        y.push(t + noise * normal(&mut rng));
+    }
+    (Dataset::new(x, y), theta)
+}
+
+/// Configuration for [`categorical`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CategoricalConfig {
+    /// Instances.
+    pub instances: usize,
+    /// Discrete features.
+    pub features: usize,
+    /// Values per feature (encoded as `0.0..values as f32`).
+    pub values: usize,
+    /// Classes.
+    pub classes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Class-conditional categorical data — the UCI-Nursery stand-in for
+/// naive Bayes. Each (class, feature) pair gets a biased value
+/// distribution (one preferred value drawn with 60% probability), so NB's
+/// conditional-probability tables carry real signal.
+///
+/// # Panics
+///
+/// Panics if `values == 0` or `classes == 0`.
+#[must_use]
+pub fn categorical(config: &CategoricalConfig) -> ClassDataset {
+    assert!(config.values > 0 && config.classes > 0, "degenerate categorical config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // preferred[class][feature]
+    let preferred: Vec<Vec<usize>> = (0..config.classes)
+        .map(|_| (0..config.features).map(|_| rng.gen_range(0..config.values)).collect())
+        .collect();
+    let mut x = Matrix::zeros(config.instances, config.features);
+    let mut labels = Vec::with_capacity(config.instances);
+    for i in 0..config.instances {
+        let class = i % config.classes;
+        labels.push(class);
+        let row = x.row_mut(i);
+        for (f, v) in row.iter_mut().enumerate() {
+            let value = if rng.gen_bool(0.6) {
+                preferred[class][f]
+            } else {
+                rng.gen_range(0..config.values)
+            };
+            *v = value as f32;
+        }
+    }
+    Dataset::new(x, labels)
+}
+
+/// Data labelled by a random ground-truth decision tree over continuous
+/// features — the UCI-Covertype stand-in for ID3/CART experiments.
+///
+/// Features are uniform in `[0, 1]`; a random binary tree of `depth`
+/// threshold splits assigns each leaf a class. Trees trained on this data
+/// can in principle reach 100% accuracy, so accuracy measures tree-learner
+/// quality, not label noise.
+#[must_use]
+pub fn tree_teacher(
+    instances: usize,
+    features: usize,
+    depth: u32,
+    classes: usize,
+    seed: u64,
+) -> ClassDataset {
+    assert!(features > 0 && classes > 0 && depth > 0, "degenerate tree config");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Complete binary teacher tree stored implicitly: per internal node a
+    // (feature, threshold); per leaf a class.
+    let internal = (1usize << depth) - 1;
+    let teacher: Vec<(usize, f32)> = (0..internal)
+        .map(|_| (rng.gen_range(0..features), rng.gen_range(0.25..0.75)))
+        .collect();
+    let leaves: Vec<usize> = (0..(1usize << depth)).map(|_| rng.gen_range(0..classes)).collect();
+    let mut x = Matrix::zeros(instances, features);
+    let mut labels = Vec::with_capacity(instances);
+    for i in 0..instances {
+        let row = x.row_mut(i);
+        for v in row.iter_mut() {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        let mut node = 0usize;
+        for _ in 0..depth {
+            let (f, t) = teacher[node];
+            node = node * 2 + if row[f] <= t { 1 } else { 2 };
+        }
+        labels.push(leaves[node - internal]);
+    }
+    Dataset::new(x, labels)
+}
+
+/// Paper problem sizes from Table 4 (full scale — large!). Use the
+/// `scaled` constructor for tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperSizes {
+    /// k-NN / SVM / LR / DNN reference-or-training instances (MNIST: 60000).
+    pub train: usize,
+    /// Testing instances (MNIST: 10000).
+    pub test: usize,
+    /// Feature dimensionality (MNIST: 784).
+    pub features: usize,
+    /// k for k-NN (20) and k-Means clusters (10).
+    pub knn_k: usize,
+    /// k-Means cluster count.
+    pub kmeans_k: usize,
+    /// DNN hidden width (paper: L2..L5 = 4096).
+    pub dnn_hidden: usize,
+    /// DNN output classes (10).
+    pub dnn_out: usize,
+}
+
+impl PaperSizes {
+    /// Full Table-4 sizes.
+    #[must_use]
+    pub fn full() -> PaperSizes {
+        PaperSizes {
+            train: 60000,
+            test: 10000,
+            features: 784,
+            knn_k: 20,
+            kmeans_k: 10,
+            dnn_hidden: 4096,
+            dnn_out: 10,
+        }
+    }
+
+    /// Sizes divided by `factor` (min 1 each), preserving shape ratios —
+    /// for tests and quick runs.
+    #[must_use]
+    pub fn scaled(factor: usize) -> PaperSizes {
+        let f = factor.max(1);
+        let full = PaperSizes::full();
+        PaperSizes {
+            train: (full.train / f).max(1),
+            test: (full.test / f).max(1),
+            features: (full.features / f).max(4),
+            knn_k: full.knn_k.min((full.train / f).max(1)),
+            kmeans_k: full.kmeans_k,
+            dnn_hidden: (full.dnn_hidden / f).max(8),
+            dnn_out: full.dnn_out,
+        }
+    }
+}
+
+/// UCI-Nursery-sized categorical data for the NB benchmark (Table 4:
+/// 12960 instances, 8 features, 5 classes).
+#[must_use]
+pub fn nursery_like(seed: u64) -> ClassDataset {
+    categorical(&CategoricalConfig { instances: 12960, features: 8, values: 5, classes: 5, seed })
+}
+
+/// UCI-Covertype-sized threshold-separable data for the CT benchmark
+/// (Table 4: 522000 training + 59012 testing instances; Covertype has 54
+/// features and 7 cover types). Returns (train, test).
+#[must_use]
+pub fn covertype_like(seed: u64) -> (ClassDataset, ClassDataset) {
+    (
+        tree_teacher(522_000, 54, 12, 7, seed),
+        tree_teacher(59_012, 54, 12, 7, seed), // same teacher: same seed
+    )
+}
+
+/// UCI-Gas-like continuous sensor data (the Section-2 profiling dataset):
+/// 128-dimensional drifting Gaussian classes.
+#[must_use]
+pub fn gas_like(instances: usize, seed: u64) -> ClassDataset {
+    gaussian_blobs(&BlobsConfig { instances, features: 128, classes: 6, spread: 0.25, seed })
+}
+
+/// MNIST-sized Gaussian-cluster data for the k-NN/k-Means/SVM/LR/DNN
+/// benchmarks (Table 4: 60000 reference + 10000 testing instances, 784
+/// features, 10 classes). Returns (reference, testing). Large: ~220 MB of
+/// f32 features; use [`PaperSizes::scaled`] shapes for tests.
+#[must_use]
+pub fn mnist_like(seed: u64) -> (ClassDataset, ClassDataset) {
+    let sizes = PaperSizes::full();
+    let all = gaussian_blobs(&BlobsConfig {
+        instances: sizes.train + sizes.test,
+        features: sizes.features,
+        classes: 10,
+        spread: 0.25,
+        seed,
+    });
+    let train_idx: Vec<usize> = (0..sizes.train).collect();
+    let test_idx: Vec<usize> = (sizes.train..sizes.train + sizes.test).collect();
+    (
+        crate::Dataset::new(
+            all.features.select_rows(&train_idx),
+            train_idx.iter().map(|&i| all.labels[i]).collect(),
+        ),
+        crate::Dataset::new(
+            all.features.select_rows(&test_idx),
+            test_idx.iter().map(|&i| all.labels[i]).collect(),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic_and_separable() {
+        let cfg = BlobsConfig { instances: 200, features: 8, classes: 4, spread: 0.05, seed: 3 };
+        let a = gaussian_blobs(&cfg);
+        let b = gaussian_blobs(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.classes(), 4);
+        // With tiny spread, nearest-centroid classification is perfect:
+        // instances of the same class are closer to each other on average.
+        let d_same = dist(a.instance(0), a.instance(4)); // both class 0
+        let d_diff = dist(a.instance(0), a.instance(1)); // class 0 vs 1
+        assert!(d_same < d_diff, "{d_same} vs {d_diff}");
+    }
+
+    fn dist(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+    }
+
+    #[test]
+    fn separable_data_has_margin() {
+        let d = linearly_separable(100, 8, 1.0, 9);
+        assert_eq!(d.len(), 100);
+        // Both classes present.
+        assert!(d.labels.contains(&0));
+        assert!(d.labels.contains(&1));
+    }
+
+    #[test]
+    fn linear_teacher_is_noiseless_when_asked() {
+        let (d, theta) = linear_teacher(50, 6, 0.0, 11);
+        assert_eq!(theta.len(), 7);
+        for i in 0..d.len() {
+            let mut y = theta[0];
+            for (j, v) in d.instance(i).iter().enumerate() {
+                y += theta[j + 1] * v;
+            }
+            assert!((y - d.labels[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn categorical_values_in_range() {
+        let cfg = CategoricalConfig { instances: 500, features: 8, values: 5, classes: 5, seed: 1 };
+        let d = categorical(&cfg);
+        for i in 0..d.len() {
+            for &v in d.instance(i) {
+                assert!((0.0..5.0).contains(&v) && v.fract() == 0.0);
+            }
+        }
+        assert_eq!(d.classes(), 5);
+    }
+
+    #[test]
+    fn tree_teacher_labels_follow_thresholds() {
+        // Same seed twice -> identical labels; different seed -> usually not.
+        let a = tree_teacher(300, 6, 4, 3, 5);
+        let b = tree_teacher(300, 6, 4, 3, 5);
+        assert_eq!(a, b);
+        let c = tree_teacher(300, 6, 4, 3, 6);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn named_presets_have_paper_shapes() {
+        let n = nursery_like(1);
+        assert_eq!(n.len(), 12960);
+        assert_eq!(n.features.cols(), 8);
+        assert_eq!(n.classes(), 5);
+        let g = gas_like(100, 2);
+        assert_eq!(g.features.cols(), 128);
+        // Same-seed covertype train/test share the teacher: a tree that
+        // fits train transfers to test (checked in mlkit integration).
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let full = PaperSizes::full();
+        assert_eq!(full.train, 60000);
+        assert_eq!(full.features, 784);
+        let s = PaperSizes::scaled(100);
+        assert_eq!(s.train, 600);
+        assert_eq!(s.test, 100);
+        assert!(s.features >= 4);
+        assert!(s.knn_k <= s.train);
+    }
+}

@@ -1,0 +1,515 @@
+//! The set-associative cache model behind the Section-2 experiments.
+
+use crate::access::{Access, AccessKind};
+use core::fmt;
+
+/// Replacement policy for a cache set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used line (the paper's implied policy).
+    #[default]
+    Lru,
+    /// Evict the oldest-filled line regardless of use.
+    Fifo,
+}
+
+/// Write policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate: stores fill the line and dirty it;
+    /// dirty evictions cost a line of off-chip write traffic.
+    #[default]
+    WriteBackAllocate,
+    /// Write-through without allocation ("write-around"): stores that miss
+    /// go straight to memory, costing their own bytes, and do not disturb
+    /// the cache. Matches streaming-output behaviour.
+    WriteAroundNoAllocate,
+}
+
+/// Configuration of a [`Cache`].
+///
+/// Defaults (via [`CacheConfig::paper_default`]) reproduce the paper's
+/// in-house simulator: 32 KB, enough banks to feed a 256-bit SIMD engine
+/// every cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a multiple of `line_bytes * ways`.
+    pub capacity_bytes: u32,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// The configuration of the paper's in-house locality simulator:
+    /// 32 KB, 64-byte lines, 8-way LRU, write-back write-allocate.
+    #[must_use]
+    pub fn paper_default() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+        }
+    }
+
+    /// Number of sets implied by the configuration.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.capacity_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: capacities
+    /// and line sizes must be non-zero powers of two, and the capacity
+    /// must divide evenly into `ways` lines per set.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::BadLineSize(self.line_bytes));
+        }
+        if self.ways == 0 {
+            return Err(CacheConfigError::ZeroWays);
+        }
+        let set_bytes = self.line_bytes * self.ways;
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(set_bytes) {
+            return Err(CacheConfigError::BadCapacity(self.capacity_bytes));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(CacheConfigError::BadCapacity(self.capacity_bytes));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::paper_default()
+    }
+}
+
+/// Error from [`CacheConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheConfigError {
+    /// Line size was zero or not a power of two.
+    BadLineSize(u32),
+    /// Associativity was zero.
+    ZeroWays,
+    /// Capacity was zero, not a multiple of the set size, or implies a
+    /// non-power-of-two set count.
+    BadCapacity(u32),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::BadLineSize(n) => {
+                write!(f, "line size {n} must be a non-zero power of two")
+            }
+            CacheConfigError::ZeroWays => f.write_str("associativity must be non-zero"),
+            CacheConfigError::BadCapacity(n) => write!(
+                f,
+                "capacity {n} must be a non-zero power-of-two multiple of the set size"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// Traffic and hit/miss statistics accumulated by a [`Cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed (and filled a line).
+    pub read_misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Bytes fetched from off-chip memory (line fills).
+    pub offchip_read_bytes: u64,
+    /// Bytes written to off-chip memory (dirty evictions or write-around
+    /// stores).
+    pub offchip_write_bytes: u64,
+    /// Lines evicted (clean or dirty).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total off-chip traffic in bytes, the quantity Figures 2/4/5/8/9
+    /// report as "memory bandwidth requirement" once divided by time.
+    #[must_use]
+    pub fn offchip_bytes(&self) -> u64 {
+        self.offchip_read_bytes + self.offchip_write_bytes
+    }
+
+    /// Total accesses of both kinds.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Miss ratio over all accesses; 0 when no accesses happened.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.read_misses + self.write_misses) as f64 / total as f64
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp or FIFO fill order.
+    stamp: u64,
+}
+
+/// A banked set-associative cache.
+///
+/// Accesses spanning multiple lines are split internally, so a 32-byte
+/// SIMD operand crossing a 64-byte line boundary costs two lookups —
+/// exactly as banked hardware would behave.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_memsim::{Access, Addr, Cache, CacheConfig, VarClass};
+///
+/// let mut cache = Cache::new(CacheConfig::paper_default())?;
+/// cache.access(Access::read(Addr(0), 32, VarClass::Hot));
+/// cache.access(Access::read(Addr(0), 32, VarClass::Hot));
+/// assert_eq!(cache.stats().read_hits, 1);
+/// assert_eq!(cache.stats().read_misses, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheConfig::validate`] failures.
+    pub fn new(config: CacheConfig) -> Result<Cache, CacheConfigError> {
+        config.validate()?;
+        let sets = config.sets();
+        Ok(Cache {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: u64::from(sets - 1),
+            sets: vec![vec![Line::default(); config.ways as usize]; sets as usize],
+            stats: CacheStats::default(),
+            tick: 0,
+            config,
+        })
+    }
+
+    /// The configuration this cache was built with.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    /// Performs one access, splitting it across cache lines as needed.
+    pub fn access(&mut self, access: Access) {
+        let start_line = access.addr.0 >> self.line_shift;
+        let end_line = (access.addr.0 + u64::from(access.bytes.max(1)) - 1) >> self.line_shift;
+        for line_addr in start_line..=end_line {
+            self.access_line(line_addr, access.kind, access.bytes);
+        }
+    }
+
+    fn access_line(&mut self, line_addr: u64, kind: AccessKind, bytes: u32) {
+        self.tick += 1;
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let line_bytes = u64::from(self.config.line_bytes);
+
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            match kind {
+                AccessKind::Read => self.stats.read_hits += 1,
+                AccessKind::Write => {
+                    self.stats.write_hits += 1;
+                    match self.config.write_policy {
+                        WritePolicy::WriteBackAllocate => line.dirty = true,
+                        WritePolicy::WriteAroundNoAllocate => {
+                            // Write-through on hit: bytes go to memory too.
+                            self.stats.offchip_write_bytes +=
+                                u64::from(bytes).min(line_bytes);
+                        }
+                    }
+                }
+            }
+            if self.config.replacement == ReplacementPolicy::Lru {
+                line.stamp = self.tick;
+            }
+            return;
+        }
+
+        // Miss.
+        match kind {
+            AccessKind::Read => {
+                self.stats.read_misses += 1;
+                self.stats.offchip_read_bytes += line_bytes;
+                self.fill(set_idx, tag, false);
+            }
+            AccessKind::Write => {
+                self.stats.write_misses += 1;
+                match self.config.write_policy {
+                    WritePolicy::WriteBackAllocate => {
+                        // Fetch-on-write then dirty the line.
+                        self.stats.offchip_read_bytes += line_bytes;
+                        self.fill(set_idx, tag, true);
+                    }
+                    WritePolicy::WriteAroundNoAllocate => {
+                        self.stats.offchip_write_bytes += u64::from(bytes).min(line_bytes);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill(&mut self, set_idx: usize, tag: u64, dirty: bool) {
+        let line_bytes = u64::from(self.config.line_bytes);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        let victim = if let Some(invalid) = set.iter_mut().find(|l| !l.valid) {
+            invalid
+        } else {
+            let v = set
+                .iter_mut()
+                .min_by_key(|l| l.stamp)
+                .expect("ways >= 1 guaranteed by validate");
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.offchip_write_bytes += line_bytes;
+            }
+            v
+        };
+        *victim = Line { tag, valid: true, dirty, stamp: tick };
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Addr, VarClass};
+
+    fn read(addr: u64, bytes: u32) -> Access {
+        Access::read(Addr(addr), bytes, VarClass::Hot)
+    }
+
+    fn write(addr: u64, bytes: u32) -> Access {
+        Access::write(Addr(addr), bytes, VarClass::Output)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::paper_default().validate().is_ok());
+        let mut bad = CacheConfig::paper_default();
+        bad.line_bytes = 48;
+        assert_eq!(bad.validate(), Err(CacheConfigError::BadLineSize(48)));
+        bad = CacheConfig::paper_default();
+        bad.ways = 0;
+        assert_eq!(bad.validate(), Err(CacheConfigError::ZeroWays));
+        bad = CacheConfig::paper_default();
+        bad.capacity_bytes = 1000;
+        assert!(matches!(bad.validate(), Err(CacheConfigError::BadCapacity(_))));
+        assert_eq!(CacheConfig::paper_default().sets(), 64);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::paper_default()).unwrap();
+        c.access(read(0, 32));
+        c.access(read(0, 32));
+        c.access(read(32, 32)); // same 64B line
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 2);
+        assert_eq!(c.stats().offchip_read_bytes, 64);
+    }
+
+    #[test]
+    fn line_crossing_access_splits() {
+        let mut c = Cache::new(CacheConfig::paper_default()).unwrap();
+        c.access(read(48, 32)); // spans lines 0 and 1
+        assert_eq!(c.stats().read_misses, 2);
+        assert_eq!(c.stats().offchip_read_bytes, 128);
+    }
+
+    #[test]
+    fn capacity_evictions_with_lru() {
+        let cfg = CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut c = Cache::new(cfg).unwrap();
+        // 8 sets x 2 ways. Touch 3 lines mapping to set 0: 0, 512, 1024.
+        c.access(read(0, 4));
+        c.access(read(512, 4));
+        c.access(read(0, 4)); // refresh line 0
+        c.access(read(1024, 4)); // evicts 512 (LRU)
+        c.access(read(0, 4)); // still a hit
+        c.access(read(512, 4)); // miss again
+        assert_eq!(c.stats().read_hits, 2);
+        assert_eq!(c.stats().read_misses, 4);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn fifo_differs_from_lru() {
+        let mut cfg = CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+            replacement: ReplacementPolicy::Fifo,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut c = Cache::new(cfg.clone()).unwrap();
+        c.access(read(0, 4));
+        c.access(read(512, 4));
+        c.access(read(0, 4)); // FIFO ignores the refresh
+        c.access(read(1024, 4)); // evicts 0 under FIFO
+        c.access(read(0, 4)); // miss under FIFO
+        assert_eq!(c.stats().read_misses, 4);
+
+        cfg.replacement = ReplacementPolicy::Lru;
+        let mut c = Cache::new(cfg).unwrap();
+        c.access(read(0, 4));
+        c.access(read(512, 4));
+        c.access(read(0, 4));
+        c.access(read(1024, 4)); // evicts 512 under LRU
+        c.access(read(0, 4)); // hit under LRU
+        assert_eq!(c.stats().read_misses, 3);
+    }
+
+    #[test]
+    fn write_back_dirty_eviction_costs_traffic() {
+        let cfg = CacheConfig {
+            capacity_bytes: 128,
+            line_bytes: 64,
+            ways: 1,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut c = Cache::new(cfg).unwrap();
+        c.access(write(0, 4)); // miss: fetch 64, dirty
+        assert_eq!(c.stats().offchip_read_bytes, 64);
+        assert_eq!(c.stats().offchip_write_bytes, 0);
+        c.access(read(128, 4)); // maps to set 0, evicts dirty line
+        assert_eq!(c.stats().offchip_write_bytes, 64);
+    }
+
+    #[test]
+    fn write_around_streams_to_memory() {
+        let cfg = CacheConfig {
+            write_policy: WritePolicy::WriteAroundNoAllocate,
+            ..CacheConfig::paper_default()
+        };
+        let mut c = Cache::new(cfg).unwrap();
+        c.access(write(0, 4));
+        c.access(write(4, 4));
+        assert_eq!(c.stats().write_misses, 2);
+        assert_eq!(c.stats().offchip_write_bytes, 8);
+        assert_eq!(c.stats().offchip_read_bytes, 0);
+        // Cache contents untouched: a read still misses.
+        c.access(read(0, 4));
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(CacheConfig::paper_default()).unwrap();
+        c.access(read(0, 32));
+        c.reset();
+        assert_eq!(c.stats(), &CacheStats::default());
+        c.access(read(0, 32));
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let s = CacheStats {
+            read_hits: 6,
+            read_misses: 2,
+            write_hits: 1,
+            write_misses: 1,
+            offchip_read_bytes: 128,
+            offchip_write_bytes: 64,
+            evictions: 0,
+        };
+        assert_eq!(s.offchip_bytes(), 192);
+        assert_eq!(s.accesses(), 10);
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_capacity_misses() {
+        let mut c = Cache::new(CacheConfig::paper_default()).unwrap();
+        // 16 KB working set in a 32 KB cache: second sweep must fully hit.
+        for pass in 0..2 {
+            for addr in (0..16 * 1024).step_by(64) {
+                c.access(read(addr, 32));
+            }
+            if pass == 0 {
+                assert_eq!(c.stats().read_misses, 256);
+            }
+        }
+        assert_eq!(c.stats().read_misses, 256);
+        assert_eq!(c.stats().read_hits, 256);
+    }
+}

@@ -1,0 +1,159 @@
+//! Linear-regression prediction `Y = theta X` — Figure 8.
+//!
+//! The coefficient vector `theta` is reused for every testing instance
+//! while instance features stream through once. With `d = 16384`
+//! coefficients (64 KB), `theta` cannot stay cached across instances, so
+//! the paper tiles the coefficient loop and reports a 46.7% reduction —
+//! the same structure as DNN feedforward. Gradient-descent training
+//! evaluates the same `theta . x(i)` products, so this kernel covers both
+//! LR phases.
+
+use super::{for_each_chunk, TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, STREAM_BASE};
+use crate::access::{Access, Addr, VarClass};
+use crate::cache::CacheConfig;
+use crate::engine::{BandwidthReport, SimdEngine};
+
+/// Shape of the LR prediction workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinRegShape {
+    /// Coefficients per model (`d`; the paper's study uses 16384).
+    pub coefficients: usize,
+    /// Testing instances (`n`).
+    pub instances: usize,
+}
+
+impl LinRegShape {
+    fn theta_addr(&self, j: usize) -> u64 {
+        REFERENCE_BASE + j as u64 * F32_BYTES
+    }
+
+    fn x_addr(&self, n: usize, j: usize) -> u64 {
+        STREAM_BASE + (n * self.coefficients + j) as u64 * F32_BYTES
+    }
+
+    fn y_addr(&self, n: usize) -> u64 {
+        OUTPUT_BASE + n as u64 * F32_BYTES
+    }
+}
+
+fn emit_dot<S: TraceSink>(
+    shape: &LinRegShape,
+    n: usize,
+    j0: usize,
+    j1: usize,
+    first_block: bool,
+    sink: &mut S,
+) {
+    let len = (j1 - j0) as u64 * F32_BYTES;
+    let mut chunks = Vec::new();
+    for_each_chunk(0, len, |off, bytes| chunks.push((off, bytes)));
+    let last = chunks.len().saturating_sub(1);
+    for (idx, &(off, bytes)) in chunks.iter().enumerate() {
+        let mut ops = vec![
+            Access::read(Addr(shape.theta_addr(j0) + off), bytes, VarClass::Hot),
+            Access::read(Addr(shape.x_addr(n, j0) + off), bytes, VarClass::Stream),
+        ];
+        if idx == last {
+            if !first_block {
+                ops.push(Access::read(
+                    Addr(shape.y_addr(n)),
+                    F32_BYTES as u32,
+                    VarClass::Output,
+                ));
+            }
+            ops.push(Access::write(
+                Addr(shape.y_addr(n)),
+                F32_BYTES as u32,
+                VarClass::Output,
+            ));
+        }
+        sink.op(&ops);
+    }
+}
+
+/// Untiled prediction: each instance consumes the full coefficient vector.
+pub fn untiled<S: TraceSink>(shape: &LinRegShape, sink: &mut S) {
+    for n in 0..shape.instances {
+        emit_dot(shape, n, 0, shape.coefficients, true, sink);
+    }
+}
+
+/// Coefficient-tiled prediction with block size `t`: a block of `theta`
+/// stays cached while all instances stream their matching feature slice.
+///
+/// # Panics
+///
+/// Panics if `t` is zero.
+pub fn tiled<S: TraceSink>(shape: &LinRegShape, t: usize, sink: &mut S) {
+    assert!(t > 0, "tile size must be non-zero");
+    let mut j0 = 0;
+    while j0 < shape.coefficients {
+        let j1 = (j0 + t).min(shape.coefficients);
+        for n in 0..shape.instances {
+            emit_dot(shape, n, j0, j1, j0 == 0, sink);
+        }
+        j0 = j1;
+    }
+}
+
+/// Bandwidth of the untiled kernel (left bar of Figure 8).
+#[must_use]
+pub fn untiled_bandwidth(shape: &LinRegShape, cache: &CacheConfig) -> BandwidthReport {
+    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
+    untiled(shape, &mut engine);
+    engine.report()
+}
+
+/// Bandwidth of the tiled kernel (right bar of Figure 8).
+#[must_use]
+pub fn tiled_bandwidth(shape: &LinRegShape, t: usize, cache: &CacheConfig) -> BandwidthReport {
+    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
+    tiled(shape, t, &mut engine);
+    engine.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: LinRegShape = LinRegShape { coefficients: 16384, instances: 64 };
+
+    #[test]
+    fn tiling_reduces_bandwidth_by_paper_magnitude() {
+        let cfg = CacheConfig::paper_default();
+        let u = untiled_bandwidth(&SHAPE, &cfg);
+        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let reduction = t.reduction_vs(&u);
+        // Paper: 46.7% (instance streaming is the irreducible half).
+        assert!(
+            (35.0..55.0).contains(&reduction),
+            "reduction {reduction:.1}% outside the paper band"
+        );
+    }
+
+    #[test]
+    fn feature_stream_is_the_floor() {
+        let cfg = CacheConfig::paper_default();
+        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let stream_bytes = (SHAPE.coefficients * SHAPE.instances) as u64 * F32_BYTES;
+        assert!(t.offchip_bytes >= stream_bytes);
+    }
+
+    #[test]
+    fn op_counts_match_between_variants() {
+        let cfg = CacheConfig::paper_default();
+        assert_eq!(
+            untiled_bandwidth(&SHAPE, &cfg).ops,
+            tiled_bandwidth(&SHAPE, 1000, &cfg).ops
+        );
+    }
+
+    #[test]
+    fn small_models_gain_nothing() {
+        let shape = LinRegShape { coefficients: 1024, instances: 64 };
+        let cfg = CacheConfig::paper_default();
+        let u = untiled_bandwidth(&shape, &cfg);
+        let t = tiled_bandwidth(&shape, 256, &cfg);
+        assert!(t.reduction_vs(&u).abs() < 10.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Trace generators for every loop nest analysed in Section 2.
+//!
+//! Each sub-module reproduces one ML technique's time-dominant kernel in
+//! both the paper's *original* (untiled) and *tiled* forms:
+//!
+//! | module | paper figures | kernel |
+//! |---|---|---|
+//! | [`knn`] | Figures 1, 2, 3 | distance calculations |
+//! | [`kmeans`] | Figure 4 | distance calculations (centroids vs instances) |
+//! | [`dnn`] | Figures 5, 6, 7 | feedforward `y = f(Wx)` |
+//! | [`linreg`] | Figure 8 | prediction `Y = theta X` |
+//! | [`svm`] | Figure 9 | kernel-matrix computation |
+//! | [`nb`] | Figure 10b | training-phase counting |
+//! | [`ct`] | Section 2.7 | counting and tree-tiled prediction |
+//!
+//! The generators emit SIMD-operand accesses into a [`TraceSink`] — either
+//! a [`SimdEngine`] (for bandwidth, Figures 2/4/5/8/9) or a
+//! [`ReuseProfiler`] (for Figure 10). Each module offers `*_bandwidth`
+//! convenience wrappers that run the trace through a fresh engine.
+//!
+//! [`SimdEngine`]: crate::SimdEngine
+//! [`ReuseProfiler`]: crate::ReuseProfiler
+
+pub mod ct;
+pub mod dnn;
+pub mod kmeans;
+pub mod knn;
+pub mod linreg;
+pub mod nb;
+pub mod svm;
+
+use crate::access::Access;
+use crate::engine::SimdEngine;
+use crate::reuse::ReuseProfiler;
+
+/// Receiver of kernel traces: one call per SIMD operation with its
+/// operand accesses.
+pub trait TraceSink {
+    /// Consumes one SIMD operation.
+    fn op(&mut self, operands: &[Access]);
+}
+
+impl TraceSink for SimdEngine {
+    fn op(&mut self, operands: &[Access]) {
+        SimdEngine::op(self, operands);
+    }
+}
+
+impl TraceSink for ReuseProfiler {
+    fn op(&mut self, operands: &[Access]) {
+        for a in operands {
+            self.touch_access(a);
+        }
+    }
+}
+
+/// Base address for testing instances / instances being processed.
+pub const TESTING_BASE: u64 = 0x1000_0000;
+/// Base address for reference instances / centroids / support vectors /
+/// model coefficients.
+pub const REFERENCE_BASE: u64 = 0x2000_0000;
+/// Base address for outputs (distance matrices, predictions, counters).
+pub const OUTPUT_BASE: u64 = 0x3000_0000;
+/// Base address for streamed, never-reused data (synapse matrices).
+pub const STREAM_BASE: u64 = 0x4000_0000;
+
+/// Bytes in one fp32 feature.
+pub const F32_BYTES: u64 = 4;
+
+/// Splits a contiguous `len_bytes`-long vector starting at `base` into
+/// 32-byte SIMD chunks, calling `f` with each chunk's (address, bytes).
+pub(crate) fn for_each_chunk(base: u64, len_bytes: u64, mut f: impl FnMut(u64, u32)) {
+    let mut off = 0;
+    while off < len_bytes {
+        let chunk = (len_bytes - off).min(u64::from(crate::engine::SIMD_WIDTH_BYTES));
+        f(base + off, chunk as u32);
+        off += chunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_exactly() {
+        let mut seen = Vec::new();
+        for_each_chunk(100, 70, |a, b| seen.push((a, b)));
+        assert_eq!(seen, vec![(100, 32), (132, 32), (164, 6)]);
+        let total: u32 = seen.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn chunking_empty_vector() {
+        let mut called = false;
+        for_each_chunk(0, 0, |_, _| called = true);
+        assert!(!called);
+    }
+}

@@ -1,0 +1,172 @@
+//! Naive-Bayes training-phase counting — Section 2.6 and Figure 10b.
+//!
+//! Training streams instances once; each feature value is compared against
+//! its `a` candidate values (back-to-back reuses at distance ~1) and the
+//! matching conditional-probability counter is incremented. Counters are
+//! reused **stochastically** — "the reuse of a temporary counter happens
+//! only when a specific feature of the current instance takes a specific
+//! value ... decided by data characteristics instead of algorithm
+//! characteristics" — so no tiling strategy applies, and the profiled
+//! variables fall into exactly two reuse-distance classes.
+
+use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use crate::access::{Access, Addr, VarClass};
+use crate::cache::CacheConfig;
+use crate::engine::{BandwidthReport, SimdEngine};
+use crate::reuse::{ReuseProfiler, ReuseSummary};
+
+/// Shape of the NB training workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NbShape {
+    /// Training instances.
+    pub instances: usize,
+    /// Discrete features per instance (`d`; UCI Nursery has 8).
+    pub features: usize,
+    /// Values each feature can take (`a`).
+    pub values: usize,
+    /// Classes (`b`; UCI Nursery has 5).
+    pub classes: usize,
+}
+
+impl NbShape {
+    /// Total temporary counters (`d * a * b`).
+    #[must_use]
+    pub fn counters(&self) -> usize {
+        self.features * self.values * self.classes
+    }
+
+    fn feature_addr(&self, n: usize, i: usize) -> u64 {
+        TESTING_BASE + (n * (self.features + 1) + i) as u64 * F32_BYTES
+    }
+
+    fn label_addr(&self, n: usize) -> u64 {
+        self.feature_addr(n, self.features)
+    }
+
+    fn candidate_addr(&self, i: usize, v: usize) -> u64 {
+        REFERENCE_BASE + (i * self.values + v) as u64 * F32_BYTES
+    }
+
+    fn counter_addr(&self, i: usize, v: usize, c: usize) -> u64 {
+        OUTPUT_BASE
+            + ((i * self.values + v) * self.classes + c) as u64 * F32_BYTES
+    }
+}
+
+/// Deterministic mixing function standing in for data-dependent feature
+/// values (a splitmix64 step).
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Emits the NB training counting pass: one comparison op per candidate
+/// value per feature, then one counter increment (read-modify-write).
+pub fn training<S: TraceSink>(shape: &NbShape, seed: u64, sink: &mut S) {
+    for n in 0..shape.instances {
+        let label = (mix(seed ^ n as u64) % shape.classes as u64) as usize;
+        for i in 0..shape.features {
+            let value =
+                (mix(seed ^ mix((n * shape.features + i) as u64)) % shape.values as u64) as usize;
+            // Compare the feature value against each candidate: the
+            // feature (and label) are re-touched immediately each time.
+            for v in 0..shape.values {
+                sink.op(&[
+                    Access::read(Addr(shape.feature_addr(n, i)), 4, VarClass::Hot),
+                    Access::read(Addr(shape.candidate_addr(i, v)), 4, VarClass::Hot),
+                    Access::read(Addr(shape.label_addr(n)), 4, VarClass::Hot),
+                ]);
+            }
+            // Increment the selected counter.
+            let counter = Addr(shape.counter_addr(i, value, label));
+            sink.op(&[
+                Access::read(counter, 4, VarClass::Output),
+                Access::write(counter, 4, VarClass::Output),
+            ]);
+        }
+    }
+}
+
+/// Bandwidth of the training pass.
+#[must_use]
+pub fn training_bandwidth(shape: &NbShape, seed: u64, cache: &CacheConfig) -> BandwidthReport {
+    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
+    training(shape, seed, &mut engine);
+    engine.report()
+}
+
+/// Per-variable reuse profile of the training pass — the data behind
+/// Figure 10b, which clusters into two classes (instance data at distance
+/// ~1; counters spread over a wide interval).
+#[must_use]
+pub fn training_reuse(shape: &NbShape, seed: u64) -> ReuseSummary {
+    let mut profiler = ReuseProfiler::new(F32_BYTES as u32);
+    training(shape, seed, &mut profiler);
+    profiler.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::VarClass;
+
+    const SHAPE: NbShape = NbShape { instances: 512, features: 8, values: 4, classes: 5 };
+
+    #[test]
+    fn counter_count() {
+        assert_eq!(SHAPE.counters(), 160);
+    }
+
+    #[test]
+    fn reuse_profile_has_two_classes() {
+        let summary = training_reuse(&SHAPE, 42);
+        let classes = summary.classes(8.0);
+        assert!(
+            classes.len() >= 2,
+            "expected >=2 reuse classes (Figure 10b), got {classes:?}"
+        );
+        // Instance data reuses at ~1 instruction; counters far apart.
+        let by_class = summary.mean_distance_by_class();
+        assert!(by_class[&VarClass::Hot] < 10.0, "{by_class:?}");
+        assert!(by_class[&VarClass::Output] > 100.0, "{by_class:?}");
+    }
+
+    #[test]
+    fn small_counter_table_stays_cached() {
+        let cfg = CacheConfig::paper_default();
+        let r = training_bandwidth(&SHAPE, 7, &cfg);
+        // Traffic should be close to the compulsory instance stream:
+        // (features+1) values x 4 bytes per instance, line-rounded.
+        let stream = (SHAPE.instances * (SHAPE.features + 1) * 4) as u64;
+        assert!(r.offchip_bytes < stream * 4, "traffic {} vs stream {}", r.offchip_bytes, stream);
+    }
+
+    #[test]
+    fn huge_counter_table_thrashes() {
+        // d*a*b counters far beyond the cache: counting traffic explodes,
+        // which is why the paper groups instances by label instead of
+        // tiling.
+        let big = NbShape { instances: 512, features: 64, values: 64, classes: 16 };
+        let small = NbShape { instances: 512, features: 64, values: 64, classes: 1 };
+        let cfg = CacheConfig::paper_default();
+        let rb = training_bandwidth(&big, 7, &cfg);
+        let rs = training_bandwidth(&small, 7, &cfg);
+        // Same compute per feature, wildly different traffic per op.
+        assert!(
+            rb.gb_per_s() > rs.gb_per_s() * 2.0,
+            "big {} vs small {}",
+            rb.gb_per_s(),
+            rs.gb_per_s()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = CacheConfig::paper_default();
+        let a = training_bandwidth(&SHAPE, 1, &cfg);
+        let b = training_bandwidth(&SHAPE, 1, &cfg);
+        assert_eq!(a, b);
+    }
+}

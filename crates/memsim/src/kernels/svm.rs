@@ -1,0 +1,157 @@
+//! SVM kernel-matrix computation (training) and kernel evaluation
+//! (prediction) — Figure 9.
+//!
+//! SMO training's dominant cost is the `N x N` kernel matrix over training
+//! instances; its locality is that of k-NN's distance calculations "except
+//! that for each pair of instances, kernel matrix computation computes the
+//! value of kernel function instead of computing the distance" — so the
+//! same 32x32 tiling applies and the paper reports the same 93.9%
+//! reduction. Prediction computes kernel values between support vectors
+//! and testing instances, which is exactly the k-NN pairwise shape.
+
+use super::{for_each_chunk, knn, TraceSink, F32_BYTES, OUTPUT_BASE, TESTING_BASE};
+use crate::access::{Access, Addr, VarClass};
+use crate::cache::CacheConfig;
+use crate::engine::{BandwidthReport, SimdEngine};
+
+/// Shape of the training-phase kernel-matrix computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelMatrixShape {
+    /// Training instances (`N`).
+    pub train: usize,
+    /// Features per instance (Figure 9 uses `d = 32`).
+    pub features: usize,
+}
+
+impl KernelMatrixShape {
+    fn x_addr(&self, i: usize) -> u64 {
+        TESTING_BASE + (i * self.features) as u64 * F32_BYTES
+    }
+
+    fn k_addr(&self, i: usize, j: usize) -> u64 {
+        OUTPUT_BASE + (i * self.train + j) as u64 * F32_BYTES
+    }
+}
+
+/// Emits `k(x_i, x_j)`: dot-product chunks plus one non-linear evaluation
+/// op (the interpolation the Misc stage performs), writing `K[i,j]`.
+fn emit_kernel<S: TraceSink>(shape: &KernelMatrixShape, i: usize, j: usize, sink: &mut S) {
+    let len = shape.features as u64 * F32_BYTES;
+    for_each_chunk(0, len, |off, bytes| {
+        sink.op(&[
+            Access::read(Addr(shape.x_addr(i) + off), bytes, VarClass::Hot),
+            Access::read(Addr(shape.x_addr(j) + off), bytes, VarClass::Cold),
+        ]);
+    });
+    // Kernel-function evaluation on the accumulated dot product.
+    sink.op(&[Access::write(
+        Addr(shape.k_addr(i, j)),
+        F32_BYTES as u32,
+        VarClass::Output,
+    )]);
+}
+
+/// Untiled kernel-matrix nest: `for i { for j { K[i,j] = k(x_i, x_j) } }`.
+pub fn untiled<S: TraceSink>(shape: &KernelMatrixShape, sink: &mut S) {
+    for i in 0..shape.train {
+        for j in 0..shape.train {
+            emit_kernel(shape, i, j, sink);
+        }
+    }
+}
+
+/// Tiled kernel-matrix nest with `ti x tj` blocks (paper: 32 x 32).
+///
+/// # Panics
+///
+/// Panics if `ti` or `tj` is zero.
+pub fn tiled<S: TraceSink>(shape: &KernelMatrixShape, ti: usize, tj: usize, sink: &mut S) {
+    assert!(ti > 0 && tj > 0, "tile sizes must be non-zero");
+    let mut i0 = 0;
+    while i0 < shape.train {
+        let i1 = (i0 + ti).min(shape.train);
+        let mut j0 = 0;
+        while j0 < shape.train {
+            let j1 = (j0 + tj).min(shape.train);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    emit_kernel(shape, i, j, sink);
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
+/// Bandwidth of the untiled kernel-matrix computation (Figure 9, left).
+#[must_use]
+pub fn untiled_bandwidth(shape: &KernelMatrixShape, cache: &CacheConfig) -> BandwidthReport {
+    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
+    untiled(shape, &mut engine);
+    engine.report()
+}
+
+/// Bandwidth of the tiled kernel-matrix computation (Figure 9, right).
+#[must_use]
+pub fn tiled_bandwidth(
+    shape: &KernelMatrixShape,
+    ti: usize,
+    tj: usize,
+    cache: &CacheConfig,
+) -> BandwidthReport {
+    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
+    tiled(shape, ti, tj, &mut engine);
+    engine.report()
+}
+
+/// Prediction phase: kernel values between `support_vectors` and
+/// `testing` instances — structurally the k-NN pairwise kernel, reusing
+/// its generators directly ("the minor differences are that reference
+/// instances in k-NN are replaced with support vectors").
+#[must_use]
+pub fn prediction_shape(
+    support_vectors: usize,
+    testing: usize,
+    features: usize,
+) -> knn::DistanceShape {
+    knn::DistanceShape { testing, reference: support_vectors, features }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: KernelMatrixShape = KernelMatrixShape { train: 512, features: 32 };
+
+    #[test]
+    fn tiling_reduces_bandwidth_by_paper_magnitude() {
+        let cfg = CacheConfig::paper_default();
+        let u = untiled_bandwidth(&SHAPE, &cfg);
+        let t = tiled_bandwidth(&SHAPE, 32, 32, &cfg);
+        let reduction = t.reduction_vs(&u);
+        // Paper: 93.9%, matching k-NN.
+        assert!(reduction > 80.0, "reduction {reduction:.1}%");
+        assert_eq!(u.ops, t.ops);
+    }
+
+    #[test]
+    fn kernel_adds_one_misc_op_per_pair() {
+        let cfg = CacheConfig::paper_default();
+        let r = untiled_bandwidth(&SHAPE, &cfg);
+        // 4 dot chunks + 1 kernel-evaluation op per pair.
+        assert_eq!(r.ops, (SHAPE.train * SHAPE.train * 5) as u64);
+    }
+
+    #[test]
+    fn prediction_delegates_to_knn_shape() {
+        // Support vectors span 64 KB (2x the cache) so tiling pays off.
+        let shape = prediction_shape(512, 64, 32);
+        assert_eq!(shape.reference, 512);
+        assert_eq!(shape.testing, 64);
+        let cfg = CacheConfig::paper_default();
+        let u = knn::untiled_bandwidth(&shape, &cfg);
+        let t = knn::tiled_bandwidth(&shape, 32, 32, &cfg);
+        assert!(t.reduction_vs(&u) > 50.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Memory-hierarchy simulation for the PuDianNao locality analysis.
+//!
+//! Section 2 of the paper analyses seven ML techniques "with an in-house
+//! cache simulator, which has 32KB cache (clocked at 1GHz) which has enough
+//! banks to support a 256-bit SIMD engine. To focus on memory behaviors, we
+//! assume that the SIMD engine can calculate any function with three
+//! 256-bit inputs (e.g., f(a, b, c)) at one cycle."
+//!
+//! This crate rebuilds that infrastructure:
+//!
+//! - [`Cache`] — a banked set-associative cache with pluggable replacement
+//!   and write policies, counting exactly the off-chip traffic the paper's
+//!   bandwidth figures report.
+//! - [`SimdEngine`] — the 256-bit, 3-input, 1-op/cycle front end that
+//!   drives the cache and converts traffic into a bandwidth *requirement*
+//!   (bytes per cycle at 1 GHz).
+//! - [`ReuseProfiler`] — the per-variable reuse-distance instrumentation
+//!   behind Figure 10, including the class clustering that motivates the
+//!   HotBuf / ColdBuf / OutputBuf split.
+//! - [`kernels`] — faithful trace generators for every loop nest the paper
+//!   lists (Figures 1, 3, 6, 7 and the analogous SVM / LR / NB / CT
+//!   kernels), each in untiled and tiled form, regenerating Figures 2, 4,
+//!   5, 8 and 9.
+//!
+//! # Example: the k-NN tiling experiment (Figure 2)
+//!
+//! ```
+//! use pudiannao_memsim::{kernels, CacheConfig};
+//!
+//! // References span 64 KB, twice the 32 KB cache, as at paper scale.
+//! let shape = kernels::knn::DistanceShape { testing: 64, reference: 512, features: 32 };
+//! let untiled = kernels::knn::untiled_bandwidth(&shape, &CacheConfig::paper_default());
+//! let tiled = kernels::knn::tiled_bandwidth(&shape, 32, 32, &CacheConfig::paper_default());
+//! assert!(tiled.offchip_bytes < untiled.offchip_bytes / 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
+// it also rejects NaN, which is exactly what config checks want.
+
+
+mod access;
+mod cache;
+mod engine;
+pub mod kernels;
+mod reuse;
+
+pub use access::{Access, AccessKind, Addr, VarClass};
+pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy, WritePolicy};
+pub use engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+pub use reuse::{ReuseClass, ReuseProfiler, ReuseSummary, VariableReuse};

@@ -1,0 +1,595 @@
+//! Deep neural network (Section 2.3): MLP feedforward, back-propagation
+//! global training, and RBM contrastive-divergence pre-training.
+//!
+//! "A DNN has three computation modes, feedforward computation ...,
+//! pre-training which locally tune the synapses between each pair of
+//! adjacent layers, and global training which globally tune synapses with
+//! the Back Propagation (BP) algorithm." Pre-training "can be done by
+//! training Restricted Boltzmann Machines". All three modes are dominated
+//! by the same dot-product structure (footnote 1), which is why one MLU
+//! datapath serves them all.
+
+use crate::precision::Precision;
+use crate::{Error, Result};
+use pudiannao_datasets::{ClassDataset, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Neuron activation function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Logistic sigmoid (the paper's canonical example).
+    #[default]
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[must_use]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value.
+    #[must_use]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// One fully connected layer: `y = f(W x + b)`, with `W` stored row-major
+/// as `outputs x inputs` (each output neuron's weights contiguous — the
+/// tiled access order of Figure 7).
+#[derive(Clone, Debug)]
+pub struct Layer {
+    weights: Matrix,
+    bias: Vec<f32>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Layer {
+        // Xavier-style init keeps sigmoid nets trainable.
+        let scale = (6.0 / (inputs + outputs) as f32).sqrt();
+        let mut w = Matrix::zeros(outputs, inputs);
+        for r in 0..outputs {
+            for v in w.row_mut(r) {
+                *v = rng.gen_range(-scale..scale);
+            }
+        }
+        Layer { weights: w, bias: vec![0.0; outputs] }
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The weight matrix, `outputs x inputs` row-major.
+    #[must_use]
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The bias vector, one entry per output neuron.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+/// Configuration for [`Mlp`] construction and training.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer widths (the paper's MNIST DNN uses four 4096 layers).
+    pub hidden: Vec<usize>,
+    /// Activation for every layer.
+    pub activation: Activation,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Training epochs (full passes).
+    pub epochs: usize,
+    /// Seed for weight init and shuffling.
+    pub seed: u64,
+    /// Arithmetic mode for the dot products and weight storage (Table 1).
+    pub precision: Precision,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![16],
+            activation: Activation::Sigmoid,
+            learning_rate: 0.5,
+            epochs: 50,
+            seed: 0,
+            precision: Precision::F32,
+        }
+    }
+}
+
+/// A multi-layer perceptron classifier.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::synth;
+/// use pudiannao_mlkit::dnn::{Mlp, MlpConfig};
+///
+/// let data = synth::gaussian_blobs(&synth::BlobsConfig {
+///     instances: 200, features: 8, classes: 3, spread: 0.08, seed: 3,
+/// });
+/// let mut mlp = Mlp::new(8, 3, &MlpConfig::default())?;
+/// mlp.train(&data)?;
+/// let acc = pudiannao_mlkit::metrics::accuracy(&mlp.predict(&data.features)?, &data.labels);
+/// assert!(acc > 0.9);
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Builds a randomly initialised network `inputs -> hidden... -> outputs`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if any width is zero or the learning rate
+    /// is not positive.
+    pub fn new(inputs: usize, outputs: usize, config: &MlpConfig) -> Result<Mlp> {
+        if inputs == 0 || outputs == 0 || config.hidden.contains(&0) {
+            return Err(Error::InvalidConfig("layer widths must be non-zero"));
+        }
+        if !(config.learning_rate > 0.0) {
+            return Err(Error::InvalidConfig("learning rate must be positive"));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut widths = vec![inputs];
+        widths.extend_from_slice(&config.hidden);
+        widths.push(outputs);
+        let layers = widths
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Ok(Mlp { layers, config: config.clone() })
+    }
+
+    /// Number of layers (hidden + output).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers in order (for exporting weights to an accelerator).
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Layer widths including the input: `[in, h1, ..., out]`.
+    #[must_use]
+    pub fn widths(&self) -> Vec<usize> {
+        let mut w = vec![self.layers[0].inputs()];
+        w.extend(self.layers.iter().map(Layer::outputs));
+        w
+    }
+
+    /// Feedforward computation: returns the activations of every layer
+    /// (index 0 is the input itself) — the paper's `Y = X (x) W` pass.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the input width differs.
+    pub fn feedforward(&self, x: &[f32]) -> Result<Vec<Vec<f32>>> {
+        if x.len() != self.layers[0].inputs() {
+            return Err(Error::DimensionMismatch {
+                expected: self.layers[0].inputs(),
+                actual: x.len(),
+            });
+        }
+        let p = self.config.precision;
+        let mut acts = vec![x.to_vec()];
+        for layer in &self.layers {
+            let prev = acts.last().expect("at least the input activation");
+            let mut out = Vec::with_capacity(layer.outputs());
+            for o in 0..layer.outputs() {
+                let z = p.dot(layer.weights.row(o), prev) + layer.bias[o];
+                out.push(self.config.activation.apply(z));
+            }
+            acts.push(out);
+        }
+        Ok(acts)
+    }
+
+    /// Network output for one input.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the input width differs.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>> {
+        Ok(self.feedforward(x)?.pop().expect("feedforward returns >= 1 activation"))
+    }
+
+    /// One backpropagation update on a single (input, one-hot target)
+    /// pair; returns the squared error before the update.
+    fn backprop_one(&mut self, x: &[f32], target: &[f32]) -> Result<f32> {
+        let acts = self.feedforward(x)?;
+        let p = self.config.precision;
+        let lr = self.config.learning_rate;
+        let out = acts.last().expect("non-empty activations");
+        let err: f32 = out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum();
+
+        // Output-layer delta.
+        let mut delta: Vec<f32> = out
+            .iter()
+            .zip(target)
+            .map(|(&o, &t)| (o - t) * self.config.activation.derivative_from_output(o))
+            .collect();
+
+        for l in (0..self.layers.len()).rev() {
+            let input = &acts[l];
+            // Delta for the next (shallower) layer, before weights change.
+            let prev_delta: Option<Vec<f32>> = if l > 0 {
+                let layer = &self.layers[l];
+                let mut pd = vec![0.0f32; layer.inputs()];
+                for (o, &d) in delta.iter().enumerate() {
+                    let wrow = layer.weights.row(o);
+                    for (j, v) in pd.iter_mut().enumerate() {
+                        *v += d * wrow[j];
+                    }
+                }
+                let below = &acts[l];
+                for (v, &a) in pd.iter_mut().zip(below) {
+                    *v *= self.config.activation.derivative_from_output(a);
+                }
+                Some(pd)
+            } else {
+                None
+            };
+            // Weight update: w -= lr * delta (x) input, quantised per mode.
+            let layer = &mut self.layers[l];
+            for (o, &d) in delta.iter().enumerate() {
+                let row = layer.weights.row_mut(o);
+                p.axpy(-lr * d, input, row);
+                layer.bias[o] = p.quantize(layer.bias[o] - lr * d);
+            }
+            if let Some(pd) = prev_delta {
+                delta = pd;
+            }
+        }
+        Ok(err)
+    }
+
+    /// Global training: per-sample SGD with one-hot squared-error targets
+    /// (the BP algorithm of Section 2.3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDataset`] for empty data, [`Error::DimensionMismatch`]
+    /// if widths differ, [`Error::InvalidConfig`] if a label exceeds the
+    /// output width.
+    pub fn train(&mut self, data: &ClassDataset) -> Result<f64> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let outputs = self.layers.last().expect("at least one layer").outputs();
+        if data.classes() > outputs {
+            return Err(Error::InvalidConfig("label exceeds output layer width"));
+        }
+        let mut last_loss = 0.0f64;
+        for _ in 0..self.config.epochs {
+            last_loss = 0.0;
+            for i in 0..data.len() {
+                let mut target = vec![0.0f32; outputs];
+                target[data.labels[i]] = 1.0;
+                last_loss += f64::from(self.backprop_one(data.instance(i), &target)?);
+            }
+            last_loss /= data.len() as f64;
+        }
+        Ok(last_loss)
+    }
+
+    /// Predicts the arg-max output class for each query row.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the input width differs.
+    pub fn predict(&self, queries: &Matrix) -> Result<Vec<usize>> {
+        (0..queries.rows())
+            .map(|i| {
+                let out = self.forward(queries.row(i))?;
+                Ok(out
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite activations"))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0))
+            })
+            .collect()
+    }
+
+    /// Layer-wise RBM pre-training (contrastive divergence) on unlabeled
+    /// inputs: each hidden layer's weights are initialised from an RBM
+    /// trained on the previous layer's activations, then serve "as the
+    /// initial synapses of global training".
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the input width differs.
+    pub fn pretrain(&mut self, inputs: &Matrix, epochs: usize, lr: f32) -> Result<()> {
+        if inputs.cols() != self.layers[0].inputs() {
+            return Err(Error::DimensionMismatch {
+                expected: self.layers[0].inputs(),
+                actual: inputs.cols(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5242_4D00);
+        let mut current = inputs.clone();
+        // Pre-train every layer except the output layer.
+        let trainable = self.layers.len().saturating_sub(1);
+        for l in 0..trainable {
+            let (vis, hid) = (self.layers[l].inputs(), self.layers[l].outputs());
+            let mut rbm = Rbm::new(vis, hid, self.config.seed ^ l as u64);
+            for _ in 0..epochs {
+                rbm.cd1_epoch(&current, lr, &mut rng);
+            }
+            // Transfer RBM weights into the layer.
+            self.layers[l].weights = rbm.weights.clone();
+            self.layers[l].bias = rbm.hidden_bias.clone();
+            // Propagate activations for the next layer's RBM.
+            let mut next = Matrix::zeros(current.rows(), hid);
+            for r in 0..current.rows() {
+                let h = rbm.hidden_probabilities(current.row(r));
+                next.row_mut(r).copy_from_slice(&h);
+            }
+            current = next;
+        }
+        Ok(())
+    }
+}
+
+/// A Restricted Boltzmann Machine with binary units, trained by CD-1.
+#[derive(Clone, Debug)]
+pub struct Rbm {
+    weights: Matrix,
+    visible_bias: Vec<f32>,
+    hidden_bias: Vec<f32>,
+}
+
+impl Rbm {
+    /// Randomly initialised RBM with `visible` and `hidden` units.
+    #[must_use]
+    pub fn new(visible: usize, hidden: usize, seed: u64) -> Rbm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Matrix::zeros(hidden, visible);
+        for r in 0..hidden {
+            for v in w.row_mut(r) {
+                *v = rng.gen_range(-0.1..0.1);
+            }
+        }
+        Rbm { weights: w, visible_bias: vec![0.0; visible], hidden_bias: vec![0.0; hidden] }
+    }
+
+    /// `p(h_j = 1 | v)` for every hidden unit.
+    #[must_use]
+    pub fn hidden_probabilities(&self, v: &[f32]) -> Vec<f32> {
+        (0..self.hidden_bias.len())
+            .map(|j| {
+                let z: f32 = self.weights.row(j).iter().zip(v).map(|(w, x)| w * x).sum();
+                sigmoid(z + self.hidden_bias[j])
+            })
+            .collect()
+    }
+
+    /// `p(v_i = 1 | h)` for every visible unit.
+    #[must_use]
+    pub fn visible_probabilities(&self, h: &[f32]) -> Vec<f32> {
+        (0..self.visible_bias.len())
+            .map(|i| {
+                let z: f32 = (0..self.hidden_bias.len())
+                    .map(|j| self.weights[(j, i)] * h[j])
+                    .sum();
+                sigmoid(z + self.visible_bias[i])
+            })
+            .collect()
+    }
+
+    /// One CD-1 epoch over the rows of `data` (Gibbs sampling with one
+    /// reconstruction step — the pre-training mode of Section 2.3).
+    pub fn cd1_epoch(&mut self, data: &Matrix, lr: f32, rng: &mut StdRng) {
+        for r in 0..data.rows() {
+            let v0 = data.row(r);
+            let h0 = self.hidden_probabilities(v0);
+            let h0_sample: Vec<f32> =
+                h0.iter().map(|&p| f32::from(rng.gen_bool(f64::from(p.clamp(0.0, 1.0))))).collect();
+            let v1 = self.visible_probabilities(&h0_sample);
+            let h1 = self.hidden_probabilities(&v1);
+            for j in 0..self.hidden_bias.len() {
+                let row = self.weights.row_mut(j);
+                for i in 0..row.len() {
+                    row[i] += lr * (h0[j] * v0[i] - h1[j] * v1[i]);
+                }
+                self.hidden_bias[j] += lr * (h0[j] - h1[j]);
+            }
+            for i in 0..self.visible_bias.len() {
+                self.visible_bias[i] += lr * (v0[i] - v1[i]);
+            }
+        }
+    }
+
+    /// Mean squared reconstruction error over the rows of `data`.
+    #[must_use]
+    pub fn reconstruction_error(&self, data: &Matrix) -> f64 {
+        if data.rows() == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for r in 0..data.rows() {
+            let v0 = data.row(r);
+            let h = self.hidden_probabilities(v0);
+            let v1 = self.visible_probabilities(&h);
+            total += v0
+                .iter()
+                .zip(&v1)
+                .map(|(&a, &b)| f64::from((a - b) * (a - b)))
+                .sum::<f64>();
+        }
+        total / (data.rows() * data.cols()) as f64
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use pudiannao_datasets::{synth, train_test_split, ClassDataset};
+
+    fn blobs() -> ClassDataset {
+        synth::gaussian_blobs(&synth::BlobsConfig {
+            instances: 300,
+            features: 8,
+            classes: 3,
+            spread: 0.08,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn learns_blob_classification() {
+        let split = train_test_split(&blobs(), 0.25, 1);
+        let mut mlp = Mlp::new(8, 3, &MlpConfig::default()).unwrap();
+        let loss = mlp.train(&split.train).unwrap();
+        let acc = accuracy(&mlp.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.9, "accuracy {acc}, loss {loss}");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        // The classic non-linear benchmark: impossible without a hidden
+        // layer, learnable with one.
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let labels = vec![0usize, 1, 1, 0];
+        let data = ClassDataset::new(x, labels.clone());
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 4000,
+            learning_rate: 1.0,
+            seed: 2,
+            ..Default::default()
+        };
+        let mut mlp = Mlp::new(2, 2, &cfg).unwrap();
+        mlp.train(&data).unwrap();
+        assert_eq!(mlp.predict(&data.features).unwrap(), labels);
+    }
+
+    #[test]
+    fn feedforward_shapes() {
+        let mlp = Mlp::new(4, 2, &MlpConfig { hidden: vec![7, 5], ..Default::default() }).unwrap();
+        assert_eq!(mlp.layer_count(), 3);
+        assert_eq!(mlp.widths(), vec![4, 7, 5, 2]);
+        let acts = mlp.feedforward(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(acts.len(), 4);
+        assert_eq!(acts[1].len(), 7);
+        assert_eq!(acts[3].len(), 2);
+        // Sigmoid keeps everything in (0, 1).
+        assert!(acts[3].iter().all(|&v| v > 0.0 && v < 1.0));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = blobs();
+        let cfg = MlpConfig { epochs: 1, ..Default::default() };
+        let mut mlp = Mlp::new(8, 3, &cfg).unwrap();
+        let first = mlp.train(&data).unwrap();
+        let mut later = first;
+        for _ in 0..20 {
+            later = mlp.train(&data).unwrap();
+        }
+        assert!(later < first, "loss should fall: {first} -> {later}");
+    }
+
+    #[test]
+    fn pretraining_reduces_rbm_reconstruction_error() {
+        let data = blobs();
+        let mut rbm = Rbm::new(8, 16, 1);
+        let before = rbm.reconstruction_error(&data.features);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..15 {
+            rbm.cd1_epoch(&data.features, 0.1, &mut rng);
+        }
+        let after = rbm.reconstruction_error(&data.features);
+        assert!(after < before, "reconstruction error {before} -> {after}");
+    }
+
+    #[test]
+    fn pretrain_then_train_still_learns() {
+        let split = train_test_split(&blobs(), 0.25, 4);
+        let cfg = MlpConfig { hidden: vec![16, 12], epochs: 30, ..Default::default() };
+        let mut mlp = Mlp::new(8, 3, &cfg).unwrap();
+        mlp.pretrain(&split.train.features, 5, 0.1).unwrap();
+        mlp.train(&split.train).unwrap();
+        let acc = accuracy(&mlp.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mixed_precision_feedforward_tracks_f32() {
+        let data = blobs();
+        let mk = |precision| {
+            let cfg = MlpConfig { seed: 8, precision, ..Default::default() };
+            Mlp::new(8, 3, &cfg).unwrap()
+        };
+        let a = mk(Precision::F32);
+        let b = mk(Precision::Mixed);
+        // Same seed -> same weights; outputs must agree to ~f16 epsilon.
+        let oa = a.forward(data.instance(0)).unwrap();
+        let ob = b.forward(data.instance(0)).unwrap();
+        for (x, y) in oa.iter().zip(&ob) {
+            assert!((x - y).abs() < 5e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn activation_functions() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+        // derivative_from_output(sigmoid(0)) = 0.25.
+        assert!((Activation::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-6);
+        assert!((Activation::Tanh.derivative_from_output(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Mlp::new(0, 3, &MlpConfig::default()).is_err());
+        assert!(Mlp::new(4, 0, &MlpConfig::default()).is_err());
+        assert!(Mlp::new(4, 2, &MlpConfig { hidden: vec![0], ..Default::default() }).is_err());
+        assert!(
+            Mlp::new(4, 2, &MlpConfig { learning_rate: 0.0, ..Default::default() }).is_err()
+        );
+        let mlp = Mlp::new(4, 2, &MlpConfig::default()).unwrap();
+        assert!(matches!(
+            mlp.forward(&[1.0]),
+            Err(Error::DimensionMismatch { expected: 4, actual: 1 })
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! Golden implementations of the seven ML techniques PuDianNao supports.
+//!
+//! "We present an accelerator accommodating seven representative ML
+//! techniques, i.e., k-means, k-NN, naive bayes, support vector machine,
+//! linear regression, classification tree, and deep neural network."
+//! (Section 1). This crate implements every one of them in software, with
+//! both training and prediction phases where applicable:
+//!
+//! | module | technique | phases |
+//! |---|---|---|
+//! | [`knn`] | k-nearest neighbours | prediction (classify / regress) |
+//! | [`kmeans`] | k-means (Lloyd) | clustering |
+//! | [`linreg`] | linear regression | GD training + prediction |
+//! | [`svm`] | support vector machine (SMO) | training + prediction |
+//! | [`nb`] | discrete naive Bayes | training + prediction |
+//! | [`tree`] | classification tree (ID3 / C4.5 / CART) | training + prediction |
+//! | [`dnn`] | multi-layer perceptron + RBM | feedforward, BP training, CD-1 pre-training |
+//!
+//! These serve three purposes in the reproduction: (1) functional oracles
+//! that the accelerator simulator's outputs are checked against, (2) the
+//! substrate for the Table-1 precision study — the five techniques the
+//! paper evaluates there accept a [`Precision`] mode that routes their
+//! inner loops through bit-accurate binary16 arithmetic — and (3) the
+//! workload definitions the performance models characterise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
+// it also rejects NaN, which is exactly what config checks want.
+
+
+mod error;
+pub mod dnn;
+pub mod kmeans;
+pub mod knn;
+pub mod linreg;
+pub mod metrics;
+pub mod model_selection;
+pub mod nb;
+pub mod precision;
+pub mod svm;
+pub mod tree;
+
+pub use error::Error;
+pub use precision::Precision;
+
+/// Crate-wide result type.
+pub type Result<T> = core::result::Result<T, Error>;

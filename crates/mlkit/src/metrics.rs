@@ -1,0 +1,119 @@
+//! Evaluation metrics shared by the experiments.
+
+/// Fraction of positions where the two label sequences agree.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_mlkit::metrics::accuracy;
+/// assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+/// ```
+#[must_use]
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "label sequences must align");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Mean squared error between predictions and targets.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mse(predicted: &[f32], actual: &[f32]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "sequences must align");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (f64::from(p) - f64::from(a)).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Confusion matrix: `matrix[actual][predicted]` counts.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn confusion(predicted: &[usize], actual: &[usize], classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(predicted.len(), actual.len(), "label sequences must align");
+    let mut m = vec![vec![0u64; classes]; classes];
+    for (&p, &a) in predicted.iter().zip(actual) {
+        if p < classes && a < classes {
+            m[a][p] += 1;
+        }
+    }
+    m
+}
+
+/// Normalised mutual-information-free clustering quality: purity. For
+/// each cluster, the dominant true label's share, averaged over instances.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn cluster_purity(assignments: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), truth.len(), "sequences must align");
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let clusters = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let classes = truth.iter().copied().max().unwrap_or(0) + 1;
+    let mut counts = vec![vec![0u64; classes]; clusters];
+    for (&c, &t) in assignments.iter().zip(truth) {
+        counts[c][t] += 1;
+    }
+    let dominant: u64 = counts.iter().map(|row| row.iter().copied().max().unwrap_or(0)).sum();
+    dominant as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounds() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 1], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m[0][0], 2); // actual 0 predicted 0
+        assert_eq!(m[0][1], 1); // actual 0 predicted 1
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn purity_perfect_and_mixed() {
+        assert_eq!(cluster_purity(&[0, 0, 1, 1], &[2, 2, 3, 3]), 1.0);
+        assert_eq!(cluster_purity(&[0, 0, 0, 0], &[0, 0, 1, 1]), 0.5);
+        assert_eq!(cluster_purity(&[], &[]), 0.0);
+    }
+}

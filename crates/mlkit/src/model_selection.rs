@@ -1,0 +1,213 @@
+//! Model selection utilities: k-fold cross-validation.
+//!
+//! The no-free-lunch theorem the paper leans on ("any learning technique
+//! cannot perform universally better than another") is exactly why a
+//! polyvalent accelerator's user needs to *compare* techniques on their
+//! data; cross-validation is the standard instrument for that comparison.
+
+use crate::{Error, Result};
+use pudiannao_datasets::{ClassDataset, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A deterministic k-fold splitter over instance indices.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_mlkit::model_selection::KFold;
+///
+/// let folds = KFold::new(3, 42).split(10)?;
+/// assert_eq!(folds.len(), 3);
+/// let total: usize = folds.iter().map(|f| f.test.len()).sum();
+/// assert_eq!(total, 10); // every instance is tested exactly once
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KFold {
+    folds: usize,
+    seed: u64,
+}
+
+/// One fold: disjoint train/test index sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fold {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Held-out indices.
+    pub test: Vec<usize>,
+}
+
+impl KFold {
+    /// A splitter producing `folds` folds after a seeded shuffle.
+    #[must_use]
+    pub fn new(folds: usize, seed: u64) -> KFold {
+        KFold { folds, seed }
+    }
+
+    /// Splits `n` instances into folds.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if fewer than 2 folds are requested or
+    /// there are fewer instances than folds.
+    pub fn split(&self, n: usize) -> Result<Vec<Fold>> {
+        if self.folds < 2 {
+            return Err(Error::InvalidConfig("need at least 2 folds"));
+        }
+        if n < self.folds {
+            return Err(Error::InvalidConfig("need at least one instance per fold"));
+        }
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut StdRng::seed_from_u64(self.seed));
+        let mut folds = Vec::with_capacity(self.folds);
+        for f in 0..self.folds {
+            let lo = f * n / self.folds;
+            let hi = (f + 1) * n / self.folds;
+            let test: Vec<usize> = indices[lo..hi].to_vec();
+            let train: Vec<usize> =
+                indices[..lo].iter().chain(&indices[hi..]).copied().collect();
+            folds.push(Fold { train, test });
+        }
+        Ok(folds)
+    }
+}
+
+/// Cross-validated accuracy of an arbitrary fit-and-predict closure.
+///
+/// `fit_predict(train, test_features)` must return one label per test
+/// row; the mean per-fold accuracy is returned.
+///
+/// # Errors
+///
+/// Propagates splitter and closure errors.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::synth;
+/// use pudiannao_mlkit::knn::{KnnClassifier, KnnConfig};
+/// use pudiannao_mlkit::model_selection::cross_val_accuracy;
+///
+/// let data = synth::gaussian_blobs(&synth::BlobsConfig {
+///     instances: 150, features: 8, classes: 3, spread: 0.08, seed: 4,
+/// });
+/// let acc = cross_val_accuracy(&data, 5, 1, |train, test| {
+///     let model = KnnClassifier::fit(train, KnnConfig { k: 3, ..Default::default() })?;
+///     model.predict(test)
+/// })?;
+/// assert!(acc > 0.9);
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+pub fn cross_val_accuracy<F>(
+    data: &ClassDataset,
+    folds: usize,
+    seed: u64,
+    mut fit_predict: F,
+) -> Result<f64>
+where
+    F: FnMut(&ClassDataset, &pudiannao_datasets::Matrix) -> Result<Vec<usize>>,
+{
+    let splits = KFold::new(folds, seed).split(data.len())?;
+    let mut total = 0.0;
+    for fold in &splits {
+        let train = Dataset::new(
+            data.features.select_rows(&fold.train),
+            fold.train.iter().map(|&i| data.labels[i]).collect(),
+        );
+        let test_x = data.features.select_rows(&fold.test);
+        let predicted = fit_predict(&train, &test_x)?;
+        if predicted.len() != fold.test.len() {
+            return Err(Error::DimensionMismatch {
+                expected: fold.test.len(),
+                actual: predicted.len(),
+            });
+        }
+        let actual: Vec<usize> = fold.test.iter().map(|&i| data.labels[i]).collect();
+        total += crate::metrics::accuracy(&predicted, &actual);
+    }
+    Ok(total / splits.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{KnnClassifier, KnnConfig};
+    use crate::nb::{NaiveBayes, NbConfig};
+    use crate::tree::{DecisionTree, TreeConfig};
+    use pudiannao_datasets::synth;
+
+    #[test]
+    fn folds_partition_without_overlap() {
+        let folds = KFold::new(4, 9).split(21).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut seen = vec![false; 21];
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 21);
+            for &i in &f.test {
+                assert!(!seen[i], "instance {i} tested twice");
+                seen[i] = true;
+                assert!(!f.train.contains(&i));
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn splitter_is_deterministic() {
+        assert_eq!(KFold::new(3, 5).split(30).unwrap(), KFold::new(3, 5).split(30).unwrap());
+        assert_ne!(KFold::new(3, 5).split(30).unwrap(), KFold::new(3, 6).split(30).unwrap());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(KFold::new(1, 0).split(10).is_err());
+        assert!(KFold::new(5, 0).split(3).is_err());
+    }
+
+    #[test]
+    fn no_free_lunch_comparison_runs() {
+        // The paper's motivating workflow: compare techniques on one
+        // dataset. On tree-structured data the tree should beat NB.
+        let data = synth::tree_teacher(600, 6, 4, 3, 11);
+        let tree_acc = cross_val_accuracy(&data, 4, 1, |train, test| {
+            DecisionTree::fit(train, TreeConfig::default())?.predict(test)
+        })
+        .unwrap();
+        let knn_acc = cross_val_accuracy(&data, 4, 1, |train, test| {
+            KnnClassifier::fit(train, KnnConfig { k: 5, ..Default::default() })?.predict(test)
+        })
+        .unwrap();
+        assert!(tree_acc > 0.8, "tree {tree_acc}");
+        assert!(tree_acc > knn_acc, "tree {tree_acc} should beat k-NN {knn_acc} on tree data");
+
+        // And on class-conditional categorical data, NB beats the tree's
+        // axis splits less clearly — both should at least be competent.
+        let cat = synth::categorical(&synth::CategoricalConfig {
+            instances: 800,
+            features: 8,
+            values: 5,
+            classes: 4,
+            seed: 3,
+        });
+        let nb_acc = cross_val_accuracy(&cat, 4, 1, |train, test| {
+            NaiveBayes::fit(train, NbConfig { values: 5, ..Default::default() })?.predict(test)
+        })
+        .unwrap();
+        assert!(nb_acc > 0.7, "nb {nb_acc}");
+    }
+
+    #[test]
+    fn mismatched_prediction_length_is_reported() {
+        let data = synth::gaussian_blobs(&synth::BlobsConfig {
+            instances: 30,
+            features: 4,
+            classes: 2,
+            spread: 0.1,
+            seed: 2,
+        });
+        let err = cross_val_accuracy(&data, 3, 0, |_, _| Ok(vec![0])).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+}

@@ -1,0 +1,296 @@
+//! Discrete naive Bayes (Section 2.6).
+//!
+//! Training performs frequency estimates — "NB maintains a temporary
+//! counter for each item ... By streaming in features and label of
+//! training instances, NB completes all frequency estimates, and
+//! normalize the frequencies to get all conditional probabilities."
+//! Prediction multiplies the `d` per-feature conditional probabilities
+//! per class and takes the arg-max (the phase where PuDianNao loses to
+//! the GPU, 0.37x, for lack of a big register file).
+
+use crate::{Error, Result};
+use pudiannao_datasets::{ClassDataset, Matrix};
+
+/// Configuration for [`NaiveBayes::fit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NbConfig {
+    /// Number of discrete values each feature can take (`a`). Features
+    /// must be integer-coded in `0..values`.
+    pub values: usize,
+    /// Laplace smoothing strength added to every counter.
+    pub alpha: f64,
+    /// Evaluate posteriors as straight probability products (the paper's
+    /// hardware does repeated multiplications) instead of log-space sums.
+    /// Product space risks underflow for large `d`; the default follows
+    /// the hardware.
+    pub log_space: bool,
+}
+
+impl Default for NbConfig {
+    fn default() -> NbConfig {
+        NbConfig { values: 2, alpha: 1.0, log_space: false }
+    }
+}
+
+/// A trained discrete naive-Bayes classifier.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::synth;
+/// use pudiannao_mlkit::nb::{NaiveBayes, NbConfig};
+///
+/// let data = synth::categorical(&synth::CategoricalConfig {
+///     instances: 1000, features: 8, values: 5, classes: 5, seed: 4,
+/// });
+/// let model = NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() })?;
+/// let pred = model.predict(&data.features)?;
+/// let acc = pudiannao_mlkit::metrics::accuracy(&pred, &data.labels);
+/// assert!(acc > 0.8);
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    /// `p(F_i = v | C = c)` flattened as `[(i * values + v) * classes + c]`.
+    cond: Vec<f64>,
+    /// `p(C = c)`.
+    prior: Vec<f64>,
+    features: usize,
+    values: usize,
+    classes: usize,
+    log_space: bool,
+}
+
+impl NaiveBayes {
+    /// Estimates priors and conditional-probability tables by counting.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDataset`] for empty data; [`Error::InvalidConfig`] if
+    /// `values` is zero or a feature value falls outside `0..values`.
+    pub fn fit(data: &ClassDataset, config: NbConfig) -> Result<NaiveBayes> {
+        let n = data.len();
+        let d = data.features.cols();
+        if n == 0 || d == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        if config.values == 0 {
+            return Err(Error::InvalidConfig("values must be > 0"));
+        }
+        if !(config.alpha >= 0.0) {
+            return Err(Error::InvalidConfig("alpha must be non-negative"));
+        }
+        let classes = data.classes();
+        let a = config.values;
+
+        // The temporary counters of Section 2.6: d x a x b.
+        let mut counters = vec![0u64; d * a * classes];
+        let mut class_counts = vec![0u64; classes];
+        for i in 0..n {
+            let c = data.labels[i];
+            class_counts[c] += 1;
+            for (f, &raw) in data.instance(i).iter().enumerate() {
+                let v = raw as usize;
+                if raw < 0.0 || v >= a || raw.fract() != 0.0 {
+                    return Err(Error::InvalidConfig(
+                        "feature values must be integers in 0..values",
+                    ));
+                }
+                counters[(f * a + v) * classes + c] += 1;
+            }
+        }
+
+        // Normalise with Laplace smoothing.
+        let mut cond = vec![0.0f64; d * a * classes];
+        for f in 0..d {
+            for v in 0..a {
+                for c in 0..classes {
+                    let num = counters[(f * a + v) * classes + c] as f64 + config.alpha;
+                    let den = class_counts[c] as f64 + config.alpha * a as f64;
+                    cond[(f * a + v) * classes + c] = num / den;
+                }
+            }
+        }
+        let prior = class_counts.iter().map(|&k| k as f64 / n as f64).collect();
+        Ok(NaiveBayes {
+            cond,
+            prior,
+            features: d,
+            values: a,
+            classes,
+            log_space: config.log_space,
+        })
+    }
+
+    /// Number of classes learned.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The learned conditional probability `p(F_f = v | C = c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn conditional(&self, f: usize, v: usize, c: usize) -> f64 {
+        assert!(f < self.features && v < self.values && c < self.classes);
+        self.cond[(f * self.values + v) * self.classes + c]
+    }
+
+    /// Posterior scores for one instance, unnormalised (one per class).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs;
+    /// [`Error::InvalidConfig`] if a feature value is out of range.
+    pub fn posterior(&self, x: &[f32]) -> Result<Vec<f64>> {
+        if x.len() != self.features {
+            return Err(Error::DimensionMismatch { expected: self.features, actual: x.len() });
+        }
+        let mut scores = if self.log_space {
+            self.prior.iter().map(|p| p.max(1e-300).ln()).collect::<Vec<f64>>()
+        } else {
+            self.prior.clone()
+        };
+        for (f, &raw) in x.iter().enumerate() {
+            let v = raw as usize;
+            if raw < 0.0 || v >= self.values || raw.fract() != 0.0 {
+                return Err(Error::InvalidConfig(
+                    "feature values must be integers in 0..values",
+                ));
+            }
+            for (c, s) in scores.iter_mut().enumerate() {
+                let p = self.cond[(f * self.values + v) * self.classes + c];
+                if self.log_space {
+                    *s += p.ln();
+                } else {
+                    *s *= p;
+                }
+            }
+        }
+        Ok(scores)
+    }
+
+    /// Predicts the MAP class for one instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NaiveBayes::posterior`] errors.
+    pub fn predict_one(&self, x: &[f32]) -> Result<usize> {
+        let scores = self.posterior(x)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(c, _)| c)
+            .unwrap_or(0))
+    }
+
+    /// Predicts every row of `queries`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NaiveBayes::posterior`] errors.
+    pub fn predict(&self, queries: &Matrix) -> Result<Vec<usize>> {
+        (0..queries.rows()).map(|i| self.predict_one(queries.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use pudiannao_datasets::{synth, train_test_split};
+
+    fn nursery_like() -> ClassDataset {
+        // UCI Nursery shape: 12960 instances, 8 features, 5 classes
+        // (scaled down 4x for test speed).
+        synth::categorical(&synth::CategoricalConfig {
+            instances: 3240,
+            features: 8,
+            values: 5,
+            classes: 5,
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn learns_class_conditional_structure() {
+        let data = nursery_like();
+        let split = train_test_split(&data, 0.25, 1);
+        let model =
+            NaiveBayes::fit(&split.train, NbConfig { values: 5, ..Default::default() }).unwrap();
+        let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn log_space_and_product_space_agree() {
+        let data = nursery_like();
+        let split = train_test_split(&data, 0.5, 2);
+        let prod =
+            NaiveBayes::fit(&split.train, NbConfig { values: 5, ..Default::default() }).unwrap();
+        let logm = NaiveBayes::fit(
+            &split.train,
+            NbConfig { values: 5, log_space: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            prod.predict(&split.test.features).unwrap(),
+            logm.predict(&split.test.features).unwrap()
+        );
+    }
+
+    #[test]
+    fn conditionals_sum_to_one_over_values() {
+        let data = nursery_like();
+        let model =
+            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        for f in 0..8 {
+            for c in 0..model.classes() {
+                let total: f64 = (0..5).map(|v| model.conditional(f, v, c)).sum();
+                assert!((total - 1.0).abs() < 1e-9, "f={f} c={c}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_avoids_zero_probabilities() {
+        let data = nursery_like();
+        let model =
+            NaiveBayes::fit(&data, NbConfig { values: 6, ..Default::default() }).unwrap();
+        // Value 5 never occurs (generator emits 0..5), yet smoothing keeps
+        // its probability positive.
+        assert!(model.conditional(0, 5, 0) > 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        let data = nursery_like();
+        assert!(matches!(
+            NaiveBayes::fit(&data, NbConfig { values: 3, ..Default::default() }),
+            Err(Error::InvalidConfig(_))
+        ));
+        let model =
+            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        assert!(matches!(model.predict_one(&[9.0; 8]), Err(Error::InvalidConfig(_))));
+        assert!(matches!(
+            model.predict_one(&[0.0; 3]),
+            Err(Error::DimensionMismatch { expected: 8, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        let data = nursery_like();
+        let model =
+            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        // Round-robin labels: priors all ~1/5.
+        let p: Vec<f64> = (0..5).map(|c| model.prior[c]).collect();
+        for v in p {
+            assert!((v - 0.2).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Arithmetic-precision modes for the Table-1 study.
+//!
+//! PuDianNao's MLU uses 16-bit floating-point units in its Adder,
+//! Multiplier and Adder-tree stages, but keeps the Counter, Acc and Misc
+//! stages at 32 bits "to avoid potential overflow" (Section 3.1.1).
+//! Table 1 quantifies that choice: training with *everything* at 16 bits
+//! wrecks SVM (37.7%) and LR (78.2%) accuracy, while the mixed scheme
+//! stays within a point of full fp32.
+//!
+//! [`Precision`] selects which scheme the ML kernels' inner loops use:
+//!
+//! - [`Precision::F32`] — reference fp32 everywhere;
+//! - [`Precision::F16All`] — products *and* accumulation rounded to
+//!   binary16 (the "all 16bits" column);
+//! - [`Precision::Mixed`] — products in binary16, accumulation in fp32
+//!   (the hardware's "32bits&16bits" column).
+
+use pudiannao_softfp::F16;
+
+/// Arithmetic mode used by the precision-aware kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full 32-bit floating point (reference).
+    #[default]
+    F32,
+    /// Everything at binary16, including accumulators.
+    F16All,
+    /// PuDianNao's scheme: binary16 multiplies/adds feeding a 32-bit
+    /// accumulator.
+    Mixed,
+}
+
+impl Precision {
+    /// Rounds a scalar through the mode's storage format.
+    #[inline]
+    #[must_use]
+    pub fn quantize(self, x: f32) -> f32 {
+        match self {
+            Precision::F32 => x,
+            Precision::F16All | Precision::Mixed => F16::from_f32(x).to_f32(),
+        }
+    }
+
+    /// One multiply in the mode's datapath (inputs are quantised first,
+    /// matching operands read from a 16-bit buffer).
+    #[inline]
+    #[must_use]
+    pub fn mul(self, a: f32, b: f32) -> f32 {
+        match self {
+            Precision::F32 => a * b,
+            Precision::F16All | Precision::Mixed => {
+                (F16::from_f32(a) * F16::from_f32(b)).to_f32()
+            }
+        }
+    }
+
+    /// Dot product of two slices in the mode's datapath.
+    ///
+    /// - `F32`: fp32 multiply-accumulate.
+    /// - `F16All`: binary16 products accumulated in binary16.
+    /// - `Mixed`: binary16 products accumulated in fp32 (the Acc stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn dot(self, xs: &[f32], ys: &[f32]) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "dot product needs equal lengths");
+        match self {
+            Precision::F32 => xs.iter().zip(ys).map(|(a, b)| a * b).sum(),
+            Precision::F16All => {
+                let mut acc = F16::ZERO;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    acc += F16::from_f32(a) * F16::from_f32(b);
+                }
+                acc.to_f32()
+            }
+            Precision::Mixed => {
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    acc += (F16::from_f32(a) * F16::from_f32(b)).to_f32();
+                }
+                acc
+            }
+        }
+    }
+
+    /// Squared Euclidean distance in the mode's datapath: differences and
+    /// squares at the mode's width, accumulation per the mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn squared_distance(self, xs: &[f32], ys: &[f32]) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "distance needs equal lengths");
+        match self {
+            Precision::F32 => xs.iter().zip(ys).map(|(a, b)| (a - b) * (a - b)).sum(),
+            Precision::F16All => {
+                let mut acc = F16::ZERO;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    let d = F16::from_f32(a) - F16::from_f32(b);
+                    acc += d * d;
+                }
+                acc.to_f32()
+            }
+            Precision::Mixed => {
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    let d = F16::from_f32(a) - F16::from_f32(b);
+                    acc += (d * d).to_f32();
+                }
+                acc
+            }
+        }
+    }
+
+    /// `y += alpha * x` elementwise in the mode's datapath (used by the
+    /// gradient-descent updates). The update product is computed at the
+    /// mode's width; the stored parameter is quantised afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn axpy(self, alpha: f32, xs: &[f32], ys: &mut [f32]) {
+        assert_eq!(xs.len(), ys.len(), "axpy needs equal lengths");
+        match self {
+            Precision::F32 => {
+                for (y, &x) in ys.iter_mut().zip(xs) {
+                    *y += alpha * x;
+                }
+            }
+            Precision::F16All => {
+                let a = F16::from_f32(alpha);
+                for (y, &x) in ys.iter_mut().zip(xs) {
+                    let updated = F16::from_f32(*y) + a * F16::from_f32(x);
+                    *y = updated.to_f32();
+                }
+            }
+            Precision::Mixed => {
+                let a = F16::from_f32(alpha);
+                for (y, &x) in ys.iter_mut().zip(xs) {
+                    // 16-bit product, 32-bit accumulate-and-store: the
+                    // accumulating side lives in the 32-bit Acc stage /
+                    // OutputBuf, which is exactly why the paper's mixed
+                    // scheme trains well while all-16-bit stalls.
+                    let prod = (a * F16::from_f32(x)).to_f32();
+                    *y += prod;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_mode_is_exact_reference() {
+        let xs = [1.5f32, 2.5, -3.0];
+        let ys = [0.5f32, 4.0, 2.0];
+        assert_eq!(Precision::F32.dot(&xs, &ys), 1.5 * 0.5 + 2.5 * 4.0 - 3.0 * 2.0);
+        assert_eq!(Precision::F32.quantize(0.1), 0.1);
+    }
+
+    #[test]
+    fn f16_quantization_rounds() {
+        let q = Precision::Mixed.quantize(0.1);
+        assert_ne!(q, 0.1);
+        assert!((q - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mixed_accumulates_better_than_all16() {
+        // Summing many small products: binary16 accumulation stalls once
+        // the accumulator's ulp exceeds the addend (the classic Table-1
+        // failure), while the mixed mode keeps absorbing them.
+        let n = 4096;
+        let xs = vec![0.5f32; n];
+        let ys = vec![0.5f32; n];
+        let exact = 0.25 * n as f32; // 1024
+        let all16 = Precision::F16All.dot(&xs, &ys);
+        let mixed = Precision::Mixed.dot(&xs, &ys);
+        assert!((mixed - exact).abs() / exact < 1e-3, "mixed={mixed}");
+        assert!((all16 - exact).abs() / exact > 0.2, "all16={all16} should stall");
+    }
+
+    #[test]
+    fn distances_agree_at_fp32_scale() {
+        let xs = [0.1f32, 0.9, 0.3];
+        let ys = [0.2f32, 0.1, 0.4];
+        let d32 = Precision::F32.squared_distance(&xs, &ys);
+        let dmx = Precision::Mixed.squared_distance(&xs, &ys);
+        assert!((d32 - dmx).abs() < 1e-2);
+    }
+
+    #[test]
+    fn axpy_modes() {
+        let xs = [1.0f32, 2.0];
+        let mut y32 = [0.0f32, 0.0];
+        Precision::F32.axpy(0.5, &xs, &mut y32);
+        assert_eq!(y32, [0.5, 1.0]);
+        let mut y16 = [0.0f32, 0.0];
+        Precision::F16All.axpy(0.5, &xs, &mut y16);
+        assert_eq!(y16, [0.5, 1.0]); // exactly representable
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_dot_panics() {
+        let _ = Precision::F32.dot(&[1.0], &[1.0, 2.0]);
+    }
+}

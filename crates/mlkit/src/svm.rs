@@ -1,0 +1,473 @@
+//! Support vector machine (Section 2.5) trained with SMO.
+//!
+//! "A common training algorithm is Sequential Minimal Optimization (SMO).
+//! The most time-consuming step in SMO is to compute the N x N kernel
+//! matrix." Prediction evaluates `y = sum_i alpha_i y_i k(x, x_i) + b`
+//! over the support vectors; the kernel function itself is what the Misc
+//! stage's linear-interpolation unit accelerates.
+
+use crate::precision::Precision;
+use crate::{Error, Result};
+use pudiannao_datasets::{ClassDataset, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kernel functions supported by the SVM (the paper names the radial
+/// basis function and tanh kernels as interpolation-unit clients).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// `k(a, b) = a . b`.
+    Linear,
+    /// `k(a, b) = exp(-gamma * ||a - b||^2)`.
+    Rbf {
+        /// Width parameter.
+        gamma: f32,
+    },
+    /// `k(a, b) = (a . b + coef)^degree`.
+    Poly {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant.
+        coef: f32,
+    },
+    /// `k(a, b) = tanh(scale * a . b + offset)`.
+    Sigmoid {
+        /// Dot-product scale.
+        scale: f32,
+        /// Additive offset.
+        offset: f32,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two instances in the given datapath: the
+    /// dot product / distance uses the mode's arithmetic, the non-linear
+    /// wrapper runs at 32 bits (it is Misc-stage work).
+    #[must_use]
+    pub fn eval(&self, precision: Precision, a: &[f32], b: &[f32]) -> f32 {
+        match *self {
+            Kernel::Linear => precision.dot(a, b),
+            Kernel::Rbf { gamma } => (-gamma * precision.squared_distance(a, b)).exp(),
+            Kernel::Poly { degree, coef } => (precision.dot(a, b) + coef).powi(degree as i32),
+            Kernel::Sigmoid { scale, offset } => (scale * precision.dot(a, b) + offset).tanh(),
+        }
+    }
+}
+
+/// Configuration for SVM training.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvmConfig {
+    /// Box constraint C (soft-margin strength).
+    pub c: f32,
+    /// KKT violation tolerance.
+    pub tol: f32,
+    /// Consecutive full passes without updates before SMO stops.
+    pub max_passes: usize,
+    /// Hard cap on total passes (guards non-convergence).
+    pub max_iters: usize,
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Arithmetic mode for kernel computations (Table 1).
+    pub precision: Precision,
+    /// RNG seed for SMO's second-multiplier choice.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> SvmConfig {
+        SvmConfig {
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 3,
+            max_iters: 200,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            precision: Precision::F32,
+            seed: 0,
+        }
+    }
+}
+
+/// A binary SVM with labels in {-1, +1}.
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::synth;
+/// use pudiannao_mlkit::svm::{BinarySvm, Kernel, SvmConfig};
+///
+/// let data = synth::linearly_separable(120, 6, 1.0, 3);
+/// let y: Vec<f32> = data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+/// let cfg = SvmConfig { kernel: Kernel::Linear, ..Default::default() };
+/// let model = BinarySvm::fit(&data.features, &y, cfg)?;
+/// assert!(model.support_vectors() > 0);
+/// let mut correct = 0;
+/// for i in 0..data.len() {
+///     if (model.decision(data.instance(i))? > 0.0) == (y[i] > 0.0) {
+///         correct += 1;
+///     }
+/// }
+/// assert!(correct as f64 / data.len() as f64 > 0.95);
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BinarySvm {
+    support: Matrix,
+    /// Per support vector: `alpha_i * y_i`.
+    alpha_y: Vec<f32>,
+    bias: f32,
+    kernel: Kernel,
+    precision: Precision,
+}
+
+impl BinarySvm {
+    /// Trains with simplified SMO.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDataset`] for empty inputs,
+    /// [`Error::DimensionMismatch`] if `y` and `x` disagree,
+    /// [`Error::InvalidConfig`] for non-positive `c` or labels outside
+    /// {-1, +1}.
+    pub fn fit(x: &Matrix, y: &[f32], config: SvmConfig) -> Result<BinarySvm> {
+        let n = x.rows();
+        if n == 0 || x.cols() == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        if y.len() != n {
+            return Err(Error::DimensionMismatch { expected: n, actual: y.len() });
+        }
+        if !(config.c > 0.0) {
+            return Err(Error::InvalidConfig("C must be positive"));
+        }
+        if y.iter().any(|&v| v != 1.0 && v != -1.0) {
+            return Err(Error::InvalidConfig("binary labels must be -1 or +1"));
+        }
+
+        let p = config.precision;
+        // Kernel matrix cache — the quantity the paper identifies as SMO's
+        // dominant cost.
+        let kmat: Vec<f32> = {
+            let mut m = vec![0.0f32; n * n];
+            for i in 0..n {
+                for j in i..n {
+                    let v = config.kernel.eval(p, x.row(i), x.row(j));
+                    m[i * n + j] = v;
+                    m[j * n + i] = v;
+                }
+            }
+            m
+        };
+        let k = |i: usize, j: usize| kmat[i * n + j];
+
+        let mut alpha = vec![0.0f32; n];
+        let mut b = 0.0f32;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // In the all-16-bit mode the optimiser state itself lives in
+        // 16-bit storage and the decision sums accumulate at 16 bits —
+        // this, not the kernel values, is what wrecks the paper's
+        // all-16-bit SVM accuracy (Table 1: 37.7%).
+        let q = |v: f32| -> f32 {
+            if p == crate::precision::Precision::F16All {
+                pudiannao_softfp::F16::from_f32(v).to_f32()
+            } else {
+                v
+            }
+        };
+        let f = |alpha: &[f32], b: f32, i: usize| -> f32 {
+            if p == crate::precision::Precision::F16All {
+                let mut s = pudiannao_softfp::F16::from_f32(b);
+                for j in 0..n {
+                    if alpha[j] != 0.0 {
+                        let term = pudiannao_softfp::F16::from_f32(alpha[j] * y[j])
+                            * pudiannao_softfp::F16::from_f32(k(j, i));
+                        s += term;
+                    }
+                }
+                return s.to_f32();
+            }
+            let mut s = b;
+            for j in 0..n {
+                if alpha[j] != 0.0 {
+                    s += alpha[j] * y[j] * k(j, i);
+                }
+            }
+            s
+        };
+
+        let mut passes = 0;
+        let mut iters = 0;
+        while passes < config.max_passes && iters < config.max_iters {
+            iters += 1;
+            let mut changed = 0;
+            for i in 0..n {
+                let e_i = f(&alpha, b, i) - y[i];
+                let violates = (y[i] * e_i < -config.tol && alpha[i] < config.c)
+                    || (y[i] * e_i > config.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = f(&alpha, b, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if y[i] != y[j] {
+                    ((aj_old - ai_old).max(0.0), (config.c + aj_old - ai_old).min(config.c))
+                } else {
+                    ((ai_old + aj_old - config.c).max(0.0), (ai_old + aj_old).min(config.c))
+                };
+                if lo >= hi {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (e_i - e_j) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = q(ai);
+                alpha[j] = q(aj);
+                let b1 = b - e_i
+                    - y[i] * (ai - ai_old) * k(i, i)
+                    - y[j] * (aj - aj_old) * k(i, j);
+                let b2 = b - e_j
+                    - y[i] * (ai - ai_old) * k(i, j)
+                    - y[j] * (aj - aj_old) * k(j, j);
+                b = q(if ai > 0.0 && ai < config.c {
+                    b1
+                } else if aj > 0.0 && aj < config.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                });
+                changed += 1;
+            }
+            passes = if changed == 0 { passes + 1 } else { 0 };
+        }
+
+        // Compact to support vectors only.
+        let sv_idx: Vec<usize> = (0..n).filter(|&i| alpha[i] > 0.0).collect();
+        let support = x.select_rows(&sv_idx);
+        let alpha_y = sv_idx.iter().map(|&i| alpha[i] * y[i]).collect();
+        Ok(BinarySvm { support, alpha_y, bias: b, kernel: config.kernel, precision: p })
+    }
+
+    /// Number of support vectors retained.
+    #[must_use]
+    pub fn support_vectors(&self) -> usize {
+        self.alpha_y.len()
+    }
+
+    /// The decision value `sum_i alpha_i y_i k(x, sv_i) + b`; positive
+    /// means class +1.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs.
+    pub fn decision(&self, x: &[f32]) -> Result<f32> {
+        if x.len() != self.support.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: self.support.cols(),
+                actual: x.len(),
+            });
+        }
+        if self.precision == Precision::F16All {
+            // 16-bit accumulation at prediction time, too.
+            let mut s = pudiannao_softfp::F16::from_f32(self.bias);
+            for (sv, &ay) in self.support.iter_rows().zip(&self.alpha_y) {
+                s += pudiannao_softfp::F16::from_f32(ay)
+                    * pudiannao_softfp::F16::from_f32(self.kernel.eval(self.precision, x, sv));
+            }
+            return Ok(s.to_f32());
+        }
+        let mut s = self.bias;
+        for (sv, &ay) in self.support.iter_rows().zip(&self.alpha_y) {
+            s += ay * self.kernel.eval(self.precision, x, sv);
+        }
+        Ok(s)
+    }
+}
+
+/// Multi-class SVM via one-vs-rest over [`BinarySvm`].
+#[derive(Clone, Debug)]
+pub struct SvmClassifier {
+    machines: Vec<BinarySvm>,
+}
+
+impl SvmClassifier {
+    /// Trains one binary machine per class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BinarySvm::fit`] errors; [`Error::EmptyDataset`] when
+    /// the dataset has no instances.
+    pub fn fit(data: &ClassDataset, config: SvmConfig) -> Result<SvmClassifier> {
+        if data.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        let classes = data.classes();
+        let mut machines = Vec::with_capacity(classes);
+        for c in 0..classes {
+            let y: Vec<f32> =
+                data.labels.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+            machines.push(BinarySvm::fit(&data.features, &y, config)?);
+        }
+        Ok(SvmClassifier { machines })
+    }
+
+    /// Predicts the class with the largest decision value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs.
+    pub fn predict_one(&self, x: &[f32]) -> Result<usize> {
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (c, m) in self.machines.iter().enumerate() {
+            let d = m.decision(x)?;
+            if d > best.1 {
+                best = (c, d);
+            }
+        }
+        Ok(best.0)
+    }
+
+    /// Predicts every row of `queries`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs.
+    pub fn predict(&self, queries: &Matrix) -> Result<Vec<usize>> {
+        (0..queries.rows()).map(|i| self.predict_one(queries.row(i))).collect()
+    }
+
+    /// Total support vectors across the per-class machines.
+    #[must_use]
+    pub fn support_vectors(&self) -> usize {
+        self.machines.iter().map(BinarySvm::support_vectors).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use pudiannao_datasets::{synth, train_test_split};
+
+    #[test]
+    fn linear_kernel_separates_linear_data() {
+        let data = synth::linearly_separable(200, 8, 1.0, 21);
+        let split = train_test_split(&data, 0.3, 1);
+        let cfg = SvmConfig { kernel: Kernel::Linear, ..Default::default() };
+        let model = SvmClassifier::fit(&split.train, cfg).unwrap();
+        let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn rbf_kernel_separates_blobs() {
+        let data = synth::gaussian_blobs(&synth::BlobsConfig {
+            instances: 300,
+            features: 8,
+            classes: 3,
+            spread: 0.08,
+            seed: 5,
+        });
+        let split = train_test_split(&data, 0.3, 2);
+        let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 2.0 }, ..Default::default() };
+        let model = SvmClassifier::fit(&split.train, cfg).unwrap();
+        let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn kernels_evaluate_sanely() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let p = Precision::F32;
+        assert_eq!(Kernel::Linear.eval(p, &a, &b), 0.0);
+        assert_eq!(Kernel::Linear.eval(p, &a, &a), 1.0);
+        assert!((Kernel::Rbf { gamma: 1.0 }.eval(p, &a, &a) - 1.0).abs() < 1e-6);
+        assert!(Kernel::Rbf { gamma: 1.0 }.eval(p, &a, &b) < 1.0);
+        assert_eq!(Kernel::Poly { degree: 2, coef: 1.0 }.eval(p, &a, &b), 1.0);
+        let s = Kernel::Sigmoid { scale: 1.0, offset: 0.0 }.eval(p, &a, &a);
+        assert!((s - 1.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decision_sign_matches_binary_labels() {
+        let data = synth::linearly_separable(150, 4, 1.5, 8);
+        let y: Vec<f32> =
+            data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let cfg = SvmConfig { kernel: Kernel::Linear, ..Default::default() };
+        let m = BinarySvm::fit(&data.features, &y, cfg).unwrap();
+        let correct = (0..data.len())
+            .filter(|&i| (m.decision(data.instance(i)).unwrap() > 0.0) == (y[i] > 0.0))
+            .count();
+        assert!(correct >= 140, "{correct}/150");
+        assert!(m.support_vectors() < data.len(), "not every point should be a SV");
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f32() {
+        let data = synth::gaussian_blobs(&synth::BlobsConfig {
+            instances: 200,
+            features: 8,
+            classes: 2,
+            spread: 0.1,
+            seed: 13,
+        });
+        let split = train_test_split(&data, 0.3, 3);
+        let acc_of = |precision| {
+            let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 2.0 }, precision, ..Default::default() };
+            let m = SvmClassifier::fit(&split.train, cfg).unwrap();
+            accuracy(&m.predict(&split.test.features).unwrap(), &split.test.labels)
+        };
+        let a32 = acc_of(Precision::F32);
+        let amx = acc_of(Precision::Mixed);
+        assert!(amx > a32 - 0.05, "f32 {a32} vs mixed {amx}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let data = synth::linearly_separable(20, 4, 1.0, 1);
+        let y: Vec<f32> = vec![0.5; 20];
+        assert!(matches!(
+            BinarySvm::fit(&data.features, &y, SvmConfig::default()),
+            Err(Error::InvalidConfig(_))
+        ));
+        let y2: Vec<f32> = vec![1.0; 19];
+        assert!(matches!(
+            BinarySvm::fit(&data.features, &y2, SvmConfig::default()),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        let yok: Vec<f32> = vec![1.0; 20];
+        assert!(matches!(
+            BinarySvm::fit(&data.features, &yok, SvmConfig { c: 0.0, ..Default::default() }),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn decision_rejects_wrong_width() {
+        let data = synth::linearly_separable(30, 4, 1.0, 2);
+        let y: Vec<f32> =
+            data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let m = BinarySvm::fit(
+            &data.features,
+            &y,
+            SvmConfig { kernel: Kernel::Linear, ..Default::default() },
+        )
+        .unwrap();
+        assert!(matches!(
+            m.decision(&[1.0]),
+            Err(Error::DimensionMismatch { expected: 4, actual: 1 })
+        ));
+    }
+}

@@ -1,0 +1,436 @@
+//! Classification trees (Section 2.7): ID3, C4.5 and CART metrics.
+//!
+//! "Different CTs may use different learning metrics. For example, CART
+//! uses Gini impurity, ID3 uses information gain, and C4.5 uses
+//! information gain ratio. However, the most time-consuming operations of
+//! all CTs are counting." The paper evaluates ID3 on UCI Covertype, and
+//! computes the logarithms that information gain needs on the ALU via a
+//! 10-term Taylor expansion — [`LogMode`] reproduces both choices.
+
+use crate::{Error, Result};
+use pudiannao_datasets::{ClassDataset, Matrix};
+use pudiannao_softfp::taylor_log2;
+
+/// Split-quality metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SplitMetric {
+    /// Information gain (ID3) — the paper's benchmarked variant.
+    #[default]
+    InfoGain,
+    /// Information gain ratio (C4.5).
+    GainRatio,
+    /// Gini impurity decrease (CART).
+    Gini,
+}
+
+/// How logarithms are evaluated during training.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LogMode {
+    /// Library `log2` (reference).
+    #[default]
+    Exact,
+    /// The accelerator ALU's Taylor-series approximation with the given
+    /// number of terms (the paper finds 10 sufficient).
+    Taylor(u32),
+}
+
+impl LogMode {
+    fn log2(self, x: f64) -> f64 {
+        match self {
+            LogMode::Exact => x.log2(),
+            LogMode::Taylor(terms) => f64::from(taylor_log2(x as f32, terms)),
+        }
+    }
+}
+
+/// Configuration for [`DecisionTree::fit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TreeConfig {
+    /// Split metric.
+    pub metric: SplitMetric,
+    /// Log evaluation mode (entropy-based metrics only).
+    pub log_mode: LogMode,
+    /// Maximum tree depth.
+    pub max_depth: u32,
+    /// Minimum instances required to attempt a split.
+    pub min_samples_split: usize,
+    /// Candidate thresholds evaluated per feature (quantile cuts).
+    pub candidate_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            metric: SplitMetric::InfoGain,
+            log_mode: LogMode::Exact,
+            max_depth: 12,
+            min_samples_split: 2,
+            candidate_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Index of the `<= threshold` child in the node arena.
+        left: usize,
+        /// Index of the `> threshold` child.
+        right: usize,
+    },
+}
+
+/// A trained classification tree with threshold splits, stored as a flat
+/// node arena (the layout the accelerator's DMA walks at prediction time).
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_datasets::synth;
+/// use pudiannao_mlkit::tree::{DecisionTree, TreeConfig};
+///
+/// let data = synth::tree_teacher(800, 6, 4, 3, 5);
+/// let model = DecisionTree::fit(&data, TreeConfig::default())?;
+/// let pred = model.predict(&data.features)?;
+/// let acc = pudiannao_mlkit::metrics::accuracy(&pred, &data.labels);
+/// assert!(acc > 0.9);
+/// # Ok::<(), pudiannao_mlkit::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    features: usize,
+    classes: usize,
+}
+
+struct Builder<'a> {
+    data: &'a ClassDataset,
+    config: TreeConfig,
+    classes: usize,
+    nodes: Vec<Node>,
+}
+
+impl Builder<'_> {
+    fn impurity(&self, counts: &[usize], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let t = total as f64;
+        match self.config.metric {
+            SplitMetric::InfoGain | SplitMetric::GainRatio => {
+                // Entropy.
+                -counts
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let p = c as f64 / t;
+                        p * self.config.log_mode.log2(p)
+                    })
+                    .sum::<f64>()
+            }
+            SplitMetric::Gini => {
+                1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+            }
+        }
+    }
+
+    fn class_counts(&self, idx: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &i in idx {
+            counts[self.data.labels[i]] += 1;
+        }
+        counts
+    }
+
+    fn majority(counts: &[usize]) -> usize {
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    /// Finds the best (feature, threshold) over quantile candidate cuts;
+    /// returns the score improvement and the split, if any is positive.
+    fn best_split(&self, idx: &[usize]) -> Option<(usize, f32, f64)> {
+        let parent_counts = self.class_counts(idx);
+        let parent_impurity = self.impurity(&parent_counts, idx.len());
+        let d = self.data.features.cols();
+        let mut best: Option<(usize, f32, f64)> = None;
+        let mut values: Vec<f32> = Vec::with_capacity(idx.len());
+        for f in 0..d {
+            values.clear();
+            values.extend(idx.iter().map(|&i| self.data.instance(i)[f]));
+            values.sort_by(f32::total_cmp);
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Quantile candidate thresholds (midpoints between distinct
+            // neighbouring values at quantile positions).
+            let cands = self.config.candidate_thresholds.max(1).min(values.len() - 1);
+            for c in 0..cands {
+                let pos = (c + 1) * (values.len() - 1) / (cands + 1);
+                let pos = pos.min(values.len() - 2);
+                let threshold = (values[pos] + values[pos + 1]) / 2.0;
+                // Count the two sides.
+                let mut left = vec![0usize; self.classes];
+                let mut right = vec![0usize; self.classes];
+                let mut n_left = 0usize;
+                for &i in idx {
+                    if self.data.instance(i)[f] <= threshold {
+                        left[self.data.labels[i]] += 1;
+                        n_left += 1;
+                    } else {
+                        right[self.data.labels[i]] += 1;
+                    }
+                }
+                let n_right = idx.len() - n_left;
+                if n_left == 0 || n_right == 0 {
+                    continue;
+                }
+                let w_left = n_left as f64 / idx.len() as f64;
+                let w_right = 1.0 - w_left;
+                let child = w_left * self.impurity(&left, n_left)
+                    + w_right * self.impurity(&right, n_right);
+                let mut gain = parent_impurity - child;
+                if self.config.metric == SplitMetric::GainRatio {
+                    let split_info = -(w_left * self.config.log_mode.log2(w_left)
+                        + w_right * self.config.log_mode.log2(w_right));
+                    if split_info > 1e-12 {
+                        gain /= split_info;
+                    }
+                }
+                if gain > best.map_or(1e-12, |b| b.2) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, idx: &[usize], depth: u32) -> usize {
+        let counts = self.class_counts(idx);
+        let majority = Self::majority(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold, _)) = self.best_split(idx) else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.data.instance(i)[feature] <= threshold);
+        // Reserve this node's slot before recursing so children get later
+        // indices (prediction walks strictly forward).
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority });
+        let left = self.build(&li, depth + 1);
+        let right = self.build(&ri, depth + 1);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        slot
+    }
+}
+
+impl DecisionTree {
+    /// Trains a tree on the dataset.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDataset`] for empty data; [`Error::InvalidConfig`]
+    /// for a zero depth or zero candidate thresholds.
+    pub fn fit(data: &ClassDataset, config: TreeConfig) -> Result<DecisionTree> {
+        if data.is_empty() || data.features.cols() == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        if config.max_depth == 0 {
+            return Err(Error::InvalidConfig("max_depth must be > 0"));
+        }
+        if config.candidate_thresholds == 0 {
+            return Err(Error::InvalidConfig("candidate_thresholds must be > 0"));
+        }
+        let classes = data.classes();
+        let mut builder = Builder { data, config, classes, nodes: Vec::new() };
+        let idx: Vec<usize> = (0..data.len()).collect();
+        builder.build(&idx, 0);
+        Ok(DecisionTree { nodes: builder.nodes, features: data.features.cols(), classes })
+    }
+
+    /// Number of nodes (internal + leaves).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Maximum root-to-leaf depth.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        fn walk(nodes: &[Node], i: usize) -> u32 {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Number of classes the tree can emit.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Predicts one instance by walking root to leaf.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs.
+    pub fn predict_one(&self, x: &[f32]) -> Result<usize> {
+        if x.len() != self.features {
+            return Err(Error::DimensionMismatch { expected: self.features, actual: x.len() });
+        }
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { class } => return Ok(class),
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of `queries`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DimensionMismatch`] if the feature width differs.
+    pub fn predict(&self, queries: &Matrix) -> Result<Vec<usize>> {
+        (0..queries.rows()).map(|i| self.predict_one(queries.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use pudiannao_datasets::{synth, train_test_split};
+
+    fn teacher_data() -> ClassDataset {
+        synth::tree_teacher(3000, 8, 5, 4, 77)
+    }
+
+    #[test]
+    fn id3_learns_tree_teacher() {
+        let split = train_test_split(&teacher_data(), 0.25, 1);
+        let model = DecisionTree::fit(&split.train, TreeConfig::default()).unwrap();
+        let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert!(model.depth() <= 12);
+        assert_eq!(model.leaf_count() + model.leaf_count() - 1, model.node_count(),
+            "binary tree: nodes = 2 * leaves - 1");
+    }
+
+    #[test]
+    fn all_three_metrics_learn() {
+        let split = train_test_split(&teacher_data(), 0.25, 2);
+        for metric in [SplitMetric::InfoGain, SplitMetric::GainRatio, SplitMetric::Gini] {
+            let model = DecisionTree::fit(
+                &split.train,
+                TreeConfig { metric, ..Default::default() },
+            )
+            .unwrap();
+            let acc =
+                accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+            assert!(acc > 0.8, "{metric:?}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn taylor_log_matches_exact_log_accuracy() {
+        // The paper's claim: 10 Taylor terms remove the approximation's
+        // accuracy loss for ID3.
+        let split = train_test_split(&teacher_data(), 0.25, 3);
+        let exact = DecisionTree::fit(&split.train, TreeConfig::default()).unwrap();
+        let taylor = DecisionTree::fit(
+            &split.train,
+            TreeConfig { log_mode: LogMode::Taylor(10), ..Default::default() },
+        )
+        .unwrap();
+        let acc_exact =
+            accuracy(&exact.predict(&split.test.features).unwrap(), &split.test.labels);
+        let acc_taylor =
+            accuracy(&taylor.predict(&split.test.features).unwrap(), &split.test.labels);
+        assert!(
+            (acc_exact - acc_taylor).abs() < 0.02,
+            "exact {acc_exact} vs taylor {acc_taylor}"
+        );
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let data = teacher_data();
+        let model =
+            DecisionTree::fit(&data, TreeConfig { max_depth: 3, ..Default::default() }).unwrap();
+        assert!(model.depth() <= 3);
+        assert!(model.node_count() <= 15);
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let data = ClassDataset::new(
+            pudiannao_datasets::Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            vec![1, 1],
+        );
+        let model = DecisionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(model.node_count(), 1);
+        assert_eq!(model.predict_one(&[9.0, 9.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let data = teacher_data();
+        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 0, ..Default::default() })
+            .is_err());
+        assert!(DecisionTree::fit(
+            &data,
+            TreeConfig { candidate_thresholds: 0, ..Default::default() }
+        )
+        .is_err());
+        let model = DecisionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert!(matches!(
+            model.predict_one(&[0.0; 3]),
+            Err(Error::DimensionMismatch { expected: 8, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn deeper_trees_fit_better_on_train() {
+        let data = teacher_data();
+        let acc_at = |depth| {
+            let m = DecisionTree::fit(&data, TreeConfig { max_depth: depth, ..Default::default() })
+                .unwrap();
+            accuracy(&m.predict(&data.features).unwrap(), &data.labels)
+        };
+        assert!(acc_at(8) >= acc_at(2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests on the ML-algorithm invariants.
+
+use proptest::prelude::*;
+use pudiannao_datasets::{ClassDataset, Dataset, Matrix};
+use pudiannao_mlkit::{kmeans, knn, metrics, nb, tree};
+
+/// A random small classification dataset with integer-coded features in
+/// `0..values` (suitable for NB) that also works as continuous data for
+/// trees and k-NN.
+fn categorical_dataset(
+    max_rows: usize,
+    features: usize,
+    values: usize,
+    classes: usize,
+) -> impl Strategy<Value = ClassDataset> {
+    (2..max_rows)
+        .prop_flat_map(move |rows| {
+            (
+                proptest::collection::vec(0..values, rows * features),
+                proptest::collection::vec(0..classes, rows),
+            )
+        })
+        .prop_map(move |(feats, labels)| {
+            let data: Vec<f32> = feats.into_iter().map(|v| v as f32).collect();
+            let rows = labels.len();
+            Dataset::new(Matrix::from_vec(data, rows, features), labels)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// NB's product-space and log-space posteriors pick the same class,
+    /// except where the two top posteriors are numerically tied (the two
+    /// evaluation orders may then round to different argmaxes).
+    #[test]
+    fn nb_log_and_product_space_agree(data in categorical_dataset(40, 4, 3, 3)) {
+        let prod = nb::NaiveBayes::fit(&data, nb::NbConfig { values: 3, ..Default::default() });
+        let logm = nb::NaiveBayes::fit(
+            &data,
+            nb::NbConfig { values: 3, log_space: true, ..Default::default() },
+        );
+        let (prod, logm) = (prod.unwrap(), logm.unwrap());
+        let a = prod.predict(&data.features).unwrap();
+        let b = logm.predict(&data.features).unwrap();
+        for i in 0..data.len() {
+            if a[i] != b[i] {
+                let scores = prod.posterior(data.instance(i)).unwrap();
+                let rel = (scores[a[i]] - scores[b[i]]).abs()
+                    / scores[a[i]].abs().max(1e-300);
+                prop_assert!(
+                    rel < 1e-5,
+                    "instance {}: classes {} vs {} differ beyond a tie ({rel})",
+                    i, a[i], b[i]
+                );
+            }
+        }
+    }
+
+    /// NB conditional probabilities are a proper distribution per
+    /// (feature, class).
+    #[test]
+    fn nb_conditionals_normalise(data in categorical_dataset(40, 4, 3, 3)) {
+        let model =
+            nb::NaiveBayes::fit(&data, nb::NbConfig { values: 3, ..Default::default() }).unwrap();
+        for f in 0..4 {
+            for c in 0..model.classes() {
+                let total: f64 = (0..3).map(|v| model.conditional(f, v, c)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for v in 0..3 {
+                    let p = model.conditional(f, v, c);
+                    prop_assert!(p > 0.0 && p < 1.0);
+                }
+            }
+        }
+    }
+
+    /// Decision trees respect their depth bound and only emit seen labels.
+    #[test]
+    fn tree_respects_depth_and_label_range(
+        data in categorical_dataset(60, 4, 5, 4),
+        depth in 1u32..6,
+    ) {
+        let model = tree::DecisionTree::fit(
+            &data,
+            tree::TreeConfig { max_depth: depth, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(model.depth() <= depth);
+        let classes = data.classes();
+        for p in model.predict(&data.features).unwrap() {
+            prop_assert!(p < classes);
+        }
+        // Binary tree arithmetic: nodes = 2 * leaves - 1.
+        prop_assert_eq!(model.node_count(), 2 * model.leaf_count() - 1);
+    }
+
+    /// k-NN with k = 1 memorises any training set without duplicate
+    /// feature rows.
+    #[test]
+    fn knn_k1_memorises(data in categorical_dataset(40, 6, 8, 3)) {
+        // Deduplicate identical rows (they can carry conflicting labels).
+        let mut seen = std::collections::HashSet::new();
+        let mut keep = Vec::new();
+        for i in 0..data.len() {
+            let key: Vec<u32> = data.instance(i).iter().map(|v| v.to_bits()).collect();
+            if seen.insert(key) {
+                keep.push(i);
+            }
+        }
+        prop_assume!(keep.len() >= 2);
+        let dedup = Dataset::new(
+            data.features.select_rows(&keep),
+            keep.iter().map(|&i| data.labels[i]).collect(),
+        );
+        let model =
+            knn::KnnClassifier::fit(&dedup, knn::KnnConfig { k: 1, ..Default::default() })
+                .unwrap();
+        prop_assert_eq!(model.predict(&dedup.features).unwrap(), dedup.labels);
+    }
+
+    /// k-Means assignments are always valid cluster indices and the
+    /// reported inertia is non-negative and consistent with `assign`.
+    #[test]
+    fn kmeans_invariants(data in categorical_dataset(50, 3, 6, 2), k in 1usize..4) {
+        prop_assume!(data.len() >= k);
+        let model = kmeans::KMeans::fit(
+            &data.features,
+            kmeans::KMeansConfig { k, seed: 7, max_iters: 20, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(model.inertia() >= 0.0);
+        for (i, &a) in model.assignments().iter().enumerate() {
+            prop_assert!(a < k);
+            prop_assert_eq!(model.assign(data.instance(i)).unwrap(), a);
+        }
+    }
+
+    /// Metric sanity: accuracy is symmetric in agreement and bounded.
+    #[test]
+    fn accuracy_bounds_and_symmetry(
+        a in proptest::collection::vec(0usize..4, 1..30),
+    ) {
+        let b: Vec<usize> = a.iter().map(|&x| (x + 1) % 4).collect();
+        prop_assert_eq!(metrics::accuracy(&a, &a), 1.0);
+        prop_assert_eq!(metrics::accuracy(&a, &b), 0.0);
+        let acc = metrics::accuracy(&a, &a.iter().rev().copied().collect::<Vec<_>>());
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,319 @@
+//! Pure-integer binary16 add and multiply.
+//!
+//! These mirror how the hardware units in PuDianNao's Adder / Multiplier /
+//! Adder-tree stages actually work: unpack, align/multiply significands in
+//! integer arithmetic, renormalise, round to nearest-even, repack. They
+//! exist to *cross-check* the fast `f32`-widening path used by [`F16`]'s
+//! operators — the two must agree on every input (verified exhaustively for
+//! add over random pairs and by proptest).
+//!
+//! [`F16`]: crate::F16
+
+use crate::F16;
+
+const EXP_MASK: u16 = 0x7C00;
+const FRAC_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+
+/// Unpacked representation: (sign, biased exponent, significand).
+///
+/// For normals the significand carries the implicit leading one at bit 10;
+/// subnormals are reported with `exp == 0` and their raw fraction.
+fn unpack(x: F16) -> (bool, i32, u32) {
+    let bits = x.to_bits();
+    let sign = bits & SIGN_MASK != 0;
+    let exp = i32::from((bits & EXP_MASK) >> 10);
+    let frac = u32::from(bits & FRAC_MASK);
+    if exp == 0 {
+        (sign, 0, frac)
+    } else {
+        (sign, exp, frac | 0x400)
+    }
+}
+
+/// Rounds a positive significand `sig` with `extra` low guard bits to a
+/// 11-bit significand, nearest-even, and packs it with biased exponent
+/// `exp` and sign. Handles carry-out, overflow to infinity, and
+/// subnormal/zero underflow.
+fn round_pack(sign: bool, mut exp: i32, mut sig: u64, extra: u32) -> F16 {
+    debug_assert!(extra >= 1);
+    // Normalise so the leading 1 (if any) sits at bit (10 + extra).
+    let top = 10 + extra;
+    if sig == 0 {
+        return if sign { F16::NEG_ZERO } else { F16::ZERO };
+    }
+    let mut msb = 63 - sig.leading_zeros();
+    while msb > top {
+        // Shift right, preserving sticky.
+        let sticky = sig & 1;
+        sig = (sig >> 1) | sticky;
+        exp += 1;
+        msb -= 1;
+    }
+    while msb < top && exp > 1 {
+        sig <<= 1;
+        exp -= 1;
+        msb += 1;
+    }
+    if exp <= 0 {
+        // Shift into the subnormal range: denormalise by (1 - exp) so the
+        // remaining scale matches biased exponent 1 (the subnormal scale).
+        let shift = (1 - exp) as u32;
+        if shift >= 63 {
+            sig = u64::from(sig != 0);
+        } else {
+            let sticky = u64::from(sig & ((1 << shift) - 1) != 0);
+            sig = (sig >> shift) | sticky;
+        }
+        exp = 1;
+    }
+    // Round away the `extra` guard bits.
+    let halfway = 1u64 << (extra - 1);
+    let rem = sig & ((1 << extra) - 1);
+    let mut out = sig >> extra;
+    if rem > halfway || (rem == halfway && out & 1 == 1) {
+        out += 1;
+    }
+    let mut exp_out = exp as u32;
+    if out >= 0x800 {
+        // Carry out of the significand: renormalise.
+        out >>= 1;
+        exp_out += 1;
+    }
+    if out < 0x400 {
+        // No implicit bit: subnormal (only reachable with exp == 1, whose
+        // scale equals the subnormal scale) — pack with exponent field 0.
+        debug_assert_eq!(exp_out, 1);
+        exp_out = 0;
+    }
+    if exp_out >= 0x1F {
+        return if sign { F16::NEG_INFINITY } else { F16::INFINITY };
+    }
+    let bits = (u16::from(sign) << 15) | ((exp_out as u16) << 10) | (out as u16 & FRAC_MASK);
+    F16::from_bits(bits)
+}
+
+/// Binary16 addition implemented entirely in integer arithmetic, with
+/// round-to-nearest-even. Agrees bit-for-bit with `F16::add`.
+///
+/// ```
+/// use pudiannao_softfp::{int_path, F16};
+/// let a = F16::from_f32(1.0);
+/// let b = F16::from_f32(2.0f32.powi(-11)); // half an ulp of 1.0
+/// assert_eq!(int_path::add(a, b), a + b);
+/// ```
+#[must_use]
+pub fn add(a: F16, b: F16) -> F16 {
+    if a.is_nan() || b.is_nan() {
+        return F16::NAN;
+    }
+    match (a.is_infinite(), b.is_infinite()) {
+        (true, true) => {
+            return if a.is_sign_negative() == b.is_sign_negative() {
+                a
+            } else {
+                F16::NAN
+            };
+        }
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    let (sa, mut ea, fa) = unpack(a);
+    let (sb, mut eb, fb) = unpack(b);
+    // Treat subnormals as exponent 1 with no implicit bit.
+    if ea == 0 {
+        ea = 1;
+    }
+    if eb == 0 {
+        eb = 1;
+    }
+    // 3 guard bits (guard, round, sticky) are enough for one rounding.
+    const G: u32 = 3;
+    let mut xa = (u64::from(fa)) << G;
+    let mut xb = (u64::from(fb)) << G;
+    let exp = ea.max(eb);
+    let align = |x: u64, d: i32| -> u64 {
+        if d == 0 {
+            x
+        } else if d >= 63 {
+            u64::from(x != 0)
+        } else {
+            let sticky = u64::from(x & ((1 << d) - 1) != 0);
+            (x >> d) | sticky
+        }
+    };
+    xa = align(xa, exp - ea);
+    xb = align(xb, exp - eb);
+
+    if sa == sb {
+        round_pack(sa, exp, xa + xb, G)
+    } else {
+        let (sign, diff) = if xa >= xb { (sa, xa - xb) } else { (sb, xb - xa) };
+        if diff == 0 {
+            // IEEE: exact zero sum has +0 in round-to-nearest.
+            return F16::ZERO;
+        }
+        round_pack(sign, exp, diff, G)
+    }
+}
+
+/// Binary16 multiplication implemented entirely in integer arithmetic,
+/// with round-to-nearest-even. Agrees bit-for-bit with `F16::mul`.
+///
+/// ```
+/// use pudiannao_softfp::{int_path, F16};
+/// let a = F16::from_f32(3.0);
+/// let b = F16::from_f32(1.0 / 3.0);
+/// assert_eq!(int_path::mul(a, b), a * b);
+/// ```
+#[must_use]
+pub fn mul(a: F16, b: F16) -> F16 {
+    if a.is_nan() || b.is_nan() {
+        return F16::NAN;
+    }
+    let sign = a.is_sign_negative() != b.is_sign_negative();
+    if a.is_infinite() || b.is_infinite() {
+        if a.is_zero() || b.is_zero() {
+            return F16::NAN; // inf * 0
+        }
+        return if sign { F16::NEG_INFINITY } else { F16::INFINITY };
+    }
+    if a.is_zero() || b.is_zero() {
+        return if sign { F16::NEG_ZERO } else { F16::ZERO };
+    }
+    let (_, mut ea, mut fa) = unpack(a);
+    let (_, mut eb, mut fb) = unpack(b);
+    // Normalise subnormal inputs.
+    let norm = |e: &mut i32, f: &mut u32| {
+        if *e == 0 {
+            *e = 1;
+            while *f & 0x400 == 0 {
+                *f <<= 1;
+                *e -= 1;
+            }
+        }
+    };
+    norm(&mut ea, &mut fa);
+    norm(&mut eb, &mut fb);
+    // Product of two 11-bit significands is 21-22 bits; the leading 1 is at
+    // bit 20 or 21. Interpret as significand with 10 fractional ulp bits +
+    // 11 guard bits.
+    let prod = u64::from(fa) * u64::from(fb);
+    // Exponent algebra: value = fa*2^(ea-15-10) * fb*2^(eb-15-10)
+    //                         = prod * 2^(ea+eb-30-20).
+    // round_pack expects value = sig * 2^(exp-15-10-extra) with the leading
+    // one at bit (10+extra); with extra=11 and the leading one at bit 21,
+    // exp must satisfy: prod * 2^(exp-15-10-11) == prod * 2^(ea+eb-50)
+    // -> exp = ea + eb - 14.
+    round_pack(sign, ea + eb - 14, prod, 11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+
+    #[test]
+    fn add_matches_f32_path_on_samples() {
+        let samples = [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 1.5, 2048.0, 65504.0, -65504.0, 0.1, 0.2, 1e-5, -1e-5,
+            6.1e-5, 3.0517578e-5, 5.9604645e-8, 1000.25, 0.33333,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (a, b) = (f(x), f(y));
+                assert_eq!(
+                    add(a, b).to_bits(),
+                    (a + b).to_bits(),
+                    "add({x}, {y}) = {:?} vs {:?}",
+                    add(a, b),
+                    a + b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_f32_path_on_samples() {
+        let samples = [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 1.5, 255.0, 65504.0, 0.1, 0.33333, 1e-5, -1e-5,
+            5.9604645e-8, 3.14159, 2.71828, 256.0,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (a, b) = (f(x), f(y));
+                assert_eq!(
+                    mul(a, b).to_bits(),
+                    (a * b).to_bits(),
+                    "mul({x}, {y}) = {:?} vs {:?}",
+                    mul(a, b),
+                    a * b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_special_cases() {
+        assert!(add(F16::INFINITY, F16::NEG_INFINITY).is_nan());
+        assert_eq!(add(F16::INFINITY, F16::INFINITY), F16::INFINITY);
+        assert_eq!(add(F16::INFINITY, f(1.0)), F16::INFINITY);
+        assert!(add(F16::NAN, f(1.0)).is_nan());
+        // Exact cancellation yields +0 under round-to-nearest.
+        assert_eq!(add(f(1.5), f(-1.5)).to_bits(), 0x0000);
+        // Overflow.
+        assert_eq!(add(F16::MAX, F16::MAX), F16::INFINITY);
+    }
+
+    #[test]
+    fn mul_special_cases() {
+        assert!(mul(F16::INFINITY, F16::ZERO).is_nan());
+        assert_eq!(mul(F16::INFINITY, f(-2.0)), F16::NEG_INFINITY);
+        assert_eq!(mul(f(-0.0), f(2.0)).to_bits(), 0x8000);
+        assert_eq!(mul(F16::MAX, f(2.0)), F16::INFINITY);
+        // Subnormal x normal.
+        let sub = F16::MIN_POSITIVE_SUBNORMAL;
+        assert_eq!(mul(sub, f(2.0)).to_bits(), 0x0002);
+        // Underflow to zero.
+        assert_eq!(mul(sub, f(0.25)).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn exhaustive_add_one_operand_fixed() {
+        // Exhaustive in one operand against the widening path.
+        for fixed in [f(1.0), f(-3.5), F16::MIN_POSITIVE, f(1024.0)] {
+            for bits in (0..=u16::MAX).step_by(7) {
+                let x = F16::from_bits(bits);
+                if x.is_nan() {
+                    continue;
+                }
+                assert_eq!(
+                    add(fixed, x).to_bits(),
+                    (fixed + x).to_bits(),
+                    "fixed={fixed:?} x={x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_mul_one_operand_fixed() {
+        for fixed in [f(3.0), f(-0.125), F16::MIN_POSITIVE, f(255.9)] {
+            for bits in (0..=u16::MAX).step_by(7) {
+                let x = F16::from_bits(bits);
+                if x.is_nan() {
+                    continue;
+                }
+                assert_eq!(
+                    mul(fixed, x).to_bits(),
+                    (fixed * x).to_bits(),
+                    "fixed={fixed:?} x={x:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Linear-interpolation tables — the Misc stage's non-linear function unit.
+//!
+//! The MLU's Misc stage "integrates two modules, linear interpolation
+//! module and k-sorter module. The linear interpolation module is used to
+//! approximatively calculate non-linear functions involved in ML techniques
+//! (e.g. sigmoid and tanh). Different non-linear functions correspond to
+//! different interpolation tables." (Section 3.1.1)
+//!
+//! [`InterpTable`] models exactly that: a table of uniformly spaced
+//! segments over `[lo, hi]`, each holding a slope/intercept pair, evaluated
+//! at 32-bit precision (the Misc stage is one of the 32-bit stages).
+
+use core::fmt;
+
+/// Non-linear functions PuDianNao's workloads need from the Misc stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NonLinearFn {
+    /// Logistic sigmoid, `1 / (1 + e^-x)` — DNN activations.
+    Sigmoid,
+    /// Hyperbolic tangent — DNN activations, SVM tanh kernel.
+    Tanh,
+    /// `e^x` — building block for several kernels.
+    Exp,
+    /// `e^(-x)` on `[0, hi]` — the radial-basis-function (Gaussian) kernel
+    /// of SVM takes `exp(-gamma * ||a-b||^2)` with a non-negative argument.
+    ExpNeg,
+    /// Derivative of the sigmoid expressed in x: `s(x) * (1 - s(x))` —
+    /// used by DNN back-propagation.
+    SigmoidDeriv,
+}
+
+impl NonLinearFn {
+    /// Evaluates the exact function in f64 (the reference the table
+    /// approximates).
+    #[must_use]
+    pub fn exact(self, x: f64) -> f64 {
+        match self {
+            NonLinearFn::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            NonLinearFn::Tanh => x.tanh(),
+            NonLinearFn::Exp => x.exp(),
+            NonLinearFn::ExpNeg => (-x).exp(),
+            NonLinearFn::SigmoidDeriv => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+        }
+    }
+
+    /// The input range that the hardware table covers for this function.
+    /// Outside the range the table clamps, matching saturating hardware.
+    #[must_use]
+    pub fn default_range(self) -> (f64, f64) {
+        match self {
+            NonLinearFn::Sigmoid | NonLinearFn::SigmoidDeriv => (-8.0, 8.0),
+            NonLinearFn::Tanh => (-4.0, 4.0),
+            NonLinearFn::Exp => (-8.0, 4.0),
+            NonLinearFn::ExpNeg => (0.0, 16.0),
+        }
+    }
+}
+
+impl fmt::Display for NonLinearFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NonLinearFn::Sigmoid => "sigmoid",
+            NonLinearFn::Tanh => "tanh",
+            NonLinearFn::Exp => "exp",
+            NonLinearFn::ExpNeg => "exp-neg",
+            NonLinearFn::SigmoidDeriv => "sigmoid-deriv",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors constructing an interpolation table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// The requested segment count was zero.
+    EmptyTable,
+    /// The range was empty or not finite.
+    BadRange,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::EmptyTable => f.write_str("interpolation table needs >= 1 segment"),
+            InterpError::BadRange => f.write_str("interpolation range must be finite and non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A piecewise-linear interpolation table, as held in the Misc stage.
+///
+/// The table covers `[lo, hi]` with `segments` equal-width pieces. Each
+/// piece stores `(slope, intercept)` in f32, and evaluation computes
+/// `slope * x + intercept` — one multiply and one add, exactly the
+/// hardware datapath. Inputs outside the range clamp to the boundary
+/// values (saturating behaviour).
+///
+/// # Examples
+///
+/// ```
+/// use pudiannao_softfp::{InterpTable, NonLinearFn};
+///
+/// let table = InterpTable::for_function(NonLinearFn::Sigmoid, 256)?;
+/// let y = table.eval(0.0);
+/// assert!((y - 0.5).abs() < 1e-4);
+/// assert!(table.max_abs_error(10_000) < 1e-3);
+/// # Ok::<(), pudiannao_softfp::InterpError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct InterpTable {
+    function: NonLinearFn,
+    lo: f32,
+    hi: f32,
+    inv_step: f32,
+    /// (slope, intercept) per segment.
+    entries: Vec<(f32, f32)>,
+    /// Saturation values below/above the range.
+    sat_lo: f32,
+    sat_hi: f32,
+}
+
+impl InterpTable {
+    /// Builds a table for `function` over its default hardware range with
+    /// the given number of segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::EmptyTable`] if `segments == 0`.
+    pub fn for_function(function: NonLinearFn, segments: usize) -> Result<InterpTable, InterpError> {
+        let (lo, hi) = function.default_range();
+        InterpTable::with_range(function, lo, hi, segments)
+    }
+
+    /// Builds a table for `function` over a custom range `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::EmptyTable`] if `segments == 0`, or
+    /// [`InterpError::BadRange`] if the range is empty or not finite.
+    pub fn with_range(
+        function: NonLinearFn,
+        lo: f64,
+        hi: f64,
+        segments: usize,
+    ) -> Result<InterpTable, InterpError> {
+        if segments == 0 {
+            return Err(InterpError::EmptyTable);
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(InterpError::BadRange);
+        }
+        let step = (hi - lo) / segments as f64;
+        let mut entries = Vec::with_capacity(segments);
+        for i in 0..segments {
+            let x0 = lo + i as f64 * step;
+            let x1 = x0 + step;
+            let y0 = function.exact(x0);
+            let y1 = function.exact(x1);
+            let slope = (y1 - y0) / step;
+            let intercept = y0 - slope * x0;
+            entries.push((slope as f32, intercept as f32));
+        }
+        Ok(InterpTable {
+            function,
+            lo: lo as f32,
+            hi: hi as f32,
+            inv_step: (1.0 / step) as f32,
+            entries,
+            sat_lo: function.exact(lo) as f32,
+            sat_hi: function.exact(hi) as f32,
+        })
+    }
+
+    /// The function this table approximates.
+    #[must_use]
+    pub fn function(&self) -> NonLinearFn {
+        self.function
+    }
+
+    /// Number of segments in the table.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The covered input range.
+    #[must_use]
+    pub fn range(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+
+    /// Evaluates the table at `x`: one table lookup, one multiply, one add.
+    /// Inputs outside the range saturate; NaN saturates low.
+    #[must_use]
+    pub fn eval(&self, x: f32) -> f32 {
+        if !(x >= self.lo) {
+            return self.sat_lo;
+        }
+        if x >= self.hi {
+            return self.sat_hi;
+        }
+        let idx = ((x - self.lo) * self.inv_step) as usize;
+        let idx = idx.min(self.entries.len() - 1);
+        let (slope, intercept) = self.entries[idx];
+        slope * x + intercept
+    }
+
+    /// Maximum absolute error against the exact function, probed on
+    /// `probes` evenly spaced points across the range (plus both endpoints).
+    #[must_use]
+    pub fn max_abs_error(&self, probes: usize) -> f64 {
+        let lo = f64::from(self.lo);
+        let hi = f64::from(self.hi);
+        let n = probes.max(2);
+        let mut worst = 0.0f64;
+        for i in 0..=n {
+            let x = lo + (hi - lo) * i as f64 / n as f64;
+            let err = (f64::from(self.eval(x as f32)) - self.function.exact(x)).abs();
+            worst = worst.max(err);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_table_accuracy_scales_with_segments() {
+        let coarse = InterpTable::for_function(NonLinearFn::Sigmoid, 16).unwrap();
+        let fine = InterpTable::for_function(NonLinearFn::Sigmoid, 256).unwrap();
+        let ec = coarse.max_abs_error(4000);
+        let ef = fine.max_abs_error(4000);
+        assert!(ef < ec, "finer table should be more accurate: {ef} vs {ec}");
+        // Linear interpolation error scales ~ 1/segments^2.
+        assert!(ef < ec / 16.0, "expected ~256x improvement, got {ec}/{ef}");
+        assert!(ef < 1e-4);
+    }
+
+    #[test]
+    fn all_functions_have_reasonable_tables() {
+        for func in [
+            NonLinearFn::Sigmoid,
+            NonLinearFn::Tanh,
+            NonLinearFn::Exp,
+            NonLinearFn::ExpNeg,
+            NonLinearFn::SigmoidDeriv,
+        ] {
+            let table = InterpTable::for_function(func, 512).unwrap();
+            let err = table.max_abs_error(5000);
+            assert!(err < 5e-3, "{func}: error {err}");
+        }
+    }
+
+    #[test]
+    fn saturation_outside_range() {
+        let t = InterpTable::for_function(NonLinearFn::Sigmoid, 64).unwrap();
+        // Clamped evaluations agree with the boundary (up to one f32
+        // rounding between the stored saturation value and the segment
+        // formula evaluated at the endpoint).
+        assert!((t.eval(-100.0) - t.eval(-8.0)).abs() < 1e-6);
+        assert!((t.eval(100.0) - t.eval(8.0)).abs() < 1e-6);
+        assert!(t.eval(-100.0) < 0.001);
+        assert!(t.eval(100.0) > 0.999);
+        // NaN saturates low rather than propagating (hardware comparators).
+        assert_eq!(t.eval(f32::NAN), t.eval(-100.0));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            InterpTable::for_function(NonLinearFn::Tanh, 0).unwrap_err(),
+            InterpError::EmptyTable
+        );
+        assert_eq!(
+            InterpTable::with_range(NonLinearFn::Tanh, 1.0, 1.0, 8).unwrap_err(),
+            InterpError::BadRange
+        );
+        assert_eq!(
+            InterpTable::with_range(NonLinearFn::Tanh, f64::NAN, 1.0, 8).unwrap_err(),
+            InterpError::BadRange
+        );
+    }
+
+    #[test]
+    fn segment_boundaries_are_continuous() {
+        // At shared segment endpoints both segments evaluate the exact
+        // function, so eval is continuous there.
+        let t = InterpTable::for_function(NonLinearFn::Tanh, 32).unwrap();
+        let (lo, hi) = t.range();
+        let step = (hi - lo) / 32.0;
+        for i in 1..32 {
+            let x = lo + i as f32 * step;
+            let below = t.eval(x - 1e-4);
+            let above = t.eval(x + 1e-4);
+            assert!((below - above).abs() < 1e-3, "jump at segment {i}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = InterpTable::for_function(NonLinearFn::Exp, 128).unwrap();
+        assert_eq!(t.segments(), 128);
+        assert_eq!(t.function(), NonLinearFn::Exp);
+        assert_eq!(t.range(), (-8.0, 4.0));
+        assert_eq!(format!("{}", NonLinearFn::ExpNeg), "exp-neg");
+    }
+}

@@ -1,0 +1,134 @@
+//! The ALU's Taylor-series logarithm.
+//!
+//! Training classification trees needs `log` for information gain; rather
+//! than a full log unit, PuDianNao's ALU "compute[s] approximations with
+//! the Taylor expansion of `log(1-x)`", and the paper found that "the first
+//! 10 items of the Taylor series have been sufficient to remove the
+//! accuracy loss" on UCI datasets (Section 3.1.2).
+
+/// Evaluates `ln(1 - x)` by its Taylor series truncated to `terms` terms:
+/// `-(x + x^2/2 + x^3/3 + ... + x^terms/terms)`.
+///
+/// The series converges for `|x| < 1`; ID3's arguments are probabilities
+/// mapped into that range. With the paper's 10 terms the error for
+/// `x in [0, 0.5]` is below `1e-4`.
+///
+/// ```
+/// use pudiannao_softfp::taylor_log1m;
+/// let approx = taylor_log1m(0.3, 10);
+/// assert!((approx - (1.0f32 - 0.3).ln()) .abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn taylor_log1m(x: f32, terms: u32) -> f32 {
+    let mut sum = 0.0f32;
+    let mut pow = 1.0f32;
+    for k in 1..=terms.max(1) {
+        pow *= x;
+        sum += pow / k as f32;
+    }
+    -sum
+}
+
+/// Natural logarithm for positive inputs via range reduction plus the
+/// `log(1-x)` Taylor series — the way software on the accelerator's ALU
+/// computes a general `ln`.
+///
+/// The argument is decomposed as `v = m * 2^e` with `m in [2/3, 4/3)`, and
+/// `ln(m)` is evaluated as `taylor_log1m(1 - m)`. Returns NaN for
+/// non-positive or non-finite input.
+///
+/// ```
+/// use pudiannao_softfp::taylor_ln;
+/// assert!((taylor_ln(2.718_281_8, 10) - 1.0).abs() < 1e-4);
+/// assert!(taylor_ln(-1.0, 10).is_nan());
+/// ```
+#[must_use]
+pub fn taylor_ln(v: f32, terms: u32) -> f32 {
+    if !(v > 0.0) || !v.is_finite() {
+        return f32::NAN;
+    }
+    const LN2: f32 = core::f32::consts::LN_2;
+    // Range-reduce into [2/3, 4/3): |1 - m| <= 1/3, fast convergence.
+    let mut e = 0i32;
+    let mut m = v;
+    while m >= 4.0 / 3.0 {
+        m *= 0.5;
+        e += 1;
+    }
+    while m < 2.0 / 3.0 {
+        m *= 2.0;
+        e -= 1;
+    }
+    taylor_log1m(1.0 - m, terms) + e as f32 * LN2
+}
+
+/// Base-2 logarithm built on [`taylor_ln`]; ID3's information gain uses
+/// `log2` of empirical probabilities.
+///
+/// ```
+/// use pudiannao_softfp::taylor_log2;
+/// assert!((taylor_log2(8.0, 10) - 3.0).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn taylor_log2(v: f32, terms: u32) -> f32 {
+    taylor_ln(v, terms) / core::f32::consts::LN_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_terms_match_paper_accuracy_claim() {
+        // "first 10 items ... sufficient": error below 1e-4 over the
+        // probability range ID3 uses.
+        for i in 1..100 {
+            let p = i as f32 / 100.0;
+            let exact = p.ln();
+            let approx = taylor_ln(p, 10);
+            assert!(
+                (approx - exact).abs() < 1e-4,
+                "p={p}: approx={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_terms_are_less_accurate() {
+        let x = 0.333f32;
+        let exact = (1.0 - x).ln();
+        let e3 = (taylor_log1m(x, 3) - exact).abs();
+        let e10 = (taylor_log1m(x, 10) - exact).abs();
+        assert!(e10 < e3);
+        assert!(e3 > 1e-4, "3 terms should be visibly wrong: {e3}");
+    }
+
+    #[test]
+    fn ln_handles_wide_range() {
+        for v in [1e-6f32, 0.01, 0.5, 1.0, 2.0, 10.0, 1e6] {
+            let err = (taylor_ln(v, 12) - v.ln()).abs();
+            assert!(err < 1e-3, "v={v}: err={err}");
+        }
+        assert_eq!(taylor_ln(1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_nan() {
+        assert!(taylor_ln(0.0, 10).is_nan());
+        assert!(taylor_ln(-3.0, 10).is_nan());
+        assert!(taylor_ln(f32::NAN, 10).is_nan());
+        assert!(taylor_ln(f32::INFINITY, 10).is_nan());
+    }
+
+    #[test]
+    fn log2_consistency() {
+        assert!((taylor_log2(1024.0, 10) - 10.0).abs() < 1e-3);
+        assert!((taylor_log2(0.5, 10) + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_terms_clamps_to_one_term() {
+        // terms=0 behaves like terms=1 rather than returning 0.
+        assert_eq!(taylor_log1m(0.25, 0), taylor_log1m(0.25, 1));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the binary16 implementation.
+
+use proptest::prelude::*;
+use pudiannao_softfp::{int_path, F16};
+
+/// Arbitrary finite (possibly subnormal) binary16 via its bit pattern.
+fn any_finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_filter_map("finite", |bits| {
+        let x = F16::from_bits(bits);
+        (x.is_finite()).then_some(x)
+    })
+}
+
+/// Any non-NaN binary16, including infinities.
+fn any_non_nan_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_filter_map("non-nan", |bits| {
+        let x = F16::from_bits(bits);
+        (!x.is_nan()).then_some(x)
+    })
+}
+
+proptest! {
+    /// f16 -> f32 -> f16 is the identity on every non-NaN value.
+    #[test]
+    fn round_trip_via_f32(x in any_non_nan_f16()) {
+        prop_assert_eq!(F16::from_f32(x.to_f32()).to_bits(), x.to_bits());
+    }
+
+    /// Conversion from f32 picks one of the two neighbouring f16 values
+    /// and never errs by more than half an ulp.
+    #[test]
+    fn conversion_is_nearest(v in -70000.0f32..70000.0) {
+        let x = F16::from_f32(v);
+        if x.is_finite() {
+            let here = f64::from(x.to_f32());
+            let below = f64::from(x.prev().to_f32());
+            let above = f64::from(x.next().to_f32());
+            let v = f64::from(v);
+            let err = (here - v).abs();
+            prop_assert!(err <= (below - v).abs() + 1e-12);
+            prop_assert!(err <= (above - v).abs() + 1e-12);
+        }
+    }
+
+    /// Integer-path addition agrees bit-for-bit with the f32-widening path.
+    #[test]
+    fn int_add_matches_widening(a in any_non_nan_f16(), b in any_non_nan_f16()) {
+        let lhs = int_path::add(a, b);
+        let rhs = a + b;
+        if lhs.is_nan() {
+            prop_assert!(rhs.is_nan());
+        } else {
+            prop_assert_eq!(lhs.to_bits(), rhs.to_bits(), "a={:?} b={:?}", a, b);
+        }
+    }
+
+    /// Integer-path multiplication agrees bit-for-bit with the widening path.
+    #[test]
+    fn int_mul_matches_widening(a in any_non_nan_f16(), b in any_non_nan_f16()) {
+        let lhs = int_path::mul(a, b);
+        let rhs = a * b;
+        if lhs.is_nan() {
+            prop_assert!(rhs.is_nan());
+        } else {
+            prop_assert_eq!(lhs.to_bits(), rhs.to_bits(), "a={:?} b={:?}", a, b);
+        }
+    }
+
+    /// Addition is commutative (up to NaN).
+    #[test]
+    fn add_commutes(a in any_finite_f16(), b in any_finite_f16()) {
+        prop_assert_eq!((a + b).to_bits(), (b + a).to_bits());
+    }
+
+    /// Multiplication is commutative (up to NaN).
+    #[test]
+    fn mul_commutes(a in any_finite_f16(), b in any_finite_f16()) {
+        prop_assert_eq!((a * b).to_bits(), (b * a).to_bits());
+    }
+
+    /// x + 0 == x for every finite x (except -0 + +0 = +0).
+    #[test]
+    fn additive_identity(x in any_finite_f16()) {
+        if x.is_zero() {
+            prop_assert!((x + F16::ZERO).is_zero());
+        } else {
+            prop_assert_eq!((x + F16::ZERO).to_bits(), x.to_bits());
+        }
+    }
+
+    /// x * 1 == x exactly for every finite x.
+    #[test]
+    fn multiplicative_identity(x in any_finite_f16()) {
+        prop_assert_eq!((x * F16::ONE).to_bits(), x.to_bits());
+    }
+
+    /// Negation is an involution on bits.
+    #[test]
+    fn neg_involution(x in any_non_nan_f16()) {
+        prop_assert_eq!((-(-x)).to_bits(), x.to_bits());
+    }
+
+    /// Ordering agrees with f32 ordering.
+    #[test]
+    fn ordering_matches_f32(a in any_finite_f16(), b in any_finite_f16()) {
+        prop_assert_eq!(a.partial_cmp(&b), a.to_f32().partial_cmp(&b.to_f32()));
+    }
+
+    /// next() is strictly increasing on finite values (as reals),
+    /// except across the two zeros which compare equal.
+    #[test]
+    fn next_monotone(x in any_finite_f16()) {
+        let n = x.next();
+        prop_assert!(n.to_f32() >= x.to_f32());
+        if !x.is_zero() {
+            prop_assert!(n.to_f32() > x.to_f32() || n.is_infinite());
+        }
+    }
+
+    /// from_f64 never differs from the true nearest by more than the
+    /// distance to the other neighbour.
+    #[test]
+    fn from_f64_is_nearest(v in -70000.0f64..70000.0) {
+        let x = F16::from_f64(v);
+        if x.is_finite() {
+            let err = (f64::from(x.to_f32()) - v).abs();
+            let e_lo = (f64::from(x.prev().to_f32()) - v).abs();
+            let e_hi = (f64::from(x.next().to_f32()) - v).abs();
+            prop_assert!(err <= e_lo + 1e-15 && err <= e_hi + 1e-15);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The paper's motivating scenario: the same accelerator serving several
+//! ML techniques on one classification task.
+//!
+//! A scaled-down MNIST stand-in is classified by four of the seven
+//! techniques (k-NN, SVM, naive Bayes on discretised features, and an
+//! MLP), then the k-NN prediction phase is replayed on the simulated
+//! accelerator: its hardware k-sorter output drives the same majority
+//! vote, and the labels must match software.
+//!
+//! Run with: `cargo run --release --example mnist_pipeline`
+
+use pudiannao::accel::{Accelerator, ArchConfig, Dram};
+use pudiannao::codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
+use pudiannao::datasets::preprocess::Discretizer;
+use pudiannao::datasets::{synth, train_test_split, Dataset};
+use pudiannao::mlkit::metrics::accuracy;
+use pudiannao::mlkit::{dnn, knn, nb, svm};
+
+const K: usize = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // MNIST at 1/50 scale: 1200 training / 240 testing instances,
+    // 64 features, 10 classes.
+    let data = synth::gaussian_blobs(&synth::BlobsConfig {
+        instances: 1440,
+        features: 64,
+        classes: 10,
+        spread: 0.40,
+        seed: 42,
+    });
+    let split = train_test_split(&data, 240.0 / 1440.0, 9);
+    println!(
+        "dataset: {} train / {} test, {} features, {} classes\n",
+        split.train.len(),
+        split.test.len(),
+        64,
+        10
+    );
+
+    // --- k-NN ---
+    let knn_model =
+        knn::KnnClassifier::fit(&split.train, knn::KnnConfig { k: K, ..Default::default() })?;
+    let knn_pred = knn_model.predict(&split.test.features)?;
+    println!("k-NN (k={K}):        accuracy {:.3}", accuracy(&knn_pred, &split.test.labels));
+
+    // --- SVM (RBF) ---
+    let svm_model = svm::SvmClassifier::fit(
+        &split.train,
+        svm::SvmConfig { kernel: svm::Kernel::Rbf { gamma: 0.2 }, max_iters: 30, ..Default::default() },
+    )?;
+    let svm_pred = svm_model.predict(&split.test.features)?;
+    println!(
+        "SVM (RBF, {} SVs): accuracy {:.3}",
+        svm_model.support_vectors(),
+        accuracy(&svm_pred, &split.test.labels)
+    );
+
+    // --- naive Bayes on discretised features ---
+    let disc = Discretizer::fit(&split.train.features, 8);
+    let nb_train = Dataset::new(disc.transform(&split.train.features), split.train.labels.clone());
+    let nb_model = nb::NaiveBayes::fit(&nb_train, nb::NbConfig { values: 8, ..Default::default() })?;
+    let nb_pred = nb_model.predict(&disc.transform(&split.test.features))?;
+    println!("naive Bayes (8 bins): accuracy {:.3}", accuracy(&nb_pred, &split.test.labels));
+
+    // --- MLP ---
+    let mut mlp = dnn::Mlp::new(
+        64,
+        10,
+        &dnn::MlpConfig { hidden: vec![32], epochs: 60, learning_rate: 0.3, seed: 3, ..Default::default() },
+    )?;
+    mlp.train(&split.train)?;
+    let mlp_pred = mlp.predict(&split.test.features)?;
+    println!("MLP (64-32-10):      accuracy {:.3}", accuracy(&mlp_pred, &split.test.labels));
+
+    // --- replay k-NN prediction on the accelerator ---
+    let mut dram = Dram::new(1 << 21);
+    const REFS_AT: u64 = 0;
+    const QUERIES_AT: u64 = 400_000;
+    const OUT_AT: u64 = 900_000;
+    for (i, row) in split.train.features.iter_rows().enumerate() {
+        dram.write_f32(REFS_AT + (i * 64) as u64, row);
+    }
+    for (i, row) in split.test.features.iter_rows().enumerate() {
+        dram.write_f32(QUERIES_AT + (i * 64) as u64, row);
+    }
+    let kernel = DistanceKernel {
+        name: "k-NN",
+        features: 64,
+        hot_rows: split.train.len(),
+        cold_rows: split.test.len(),
+        post: DistancePost::Sort { k: K as u32 },
+    };
+    let config = ArchConfig::paper_default();
+    let program = kernel
+        .generate(&config, &DistancePlan { hot_dram: REFS_AT, cold_dram: QUERIES_AT, out_dram: OUT_AT })?;
+    let stats = Accelerator::new(config.clone())?.run(&program, &mut dram)?;
+    println!(
+        "\naccelerator k-NN phase: {} instructions, {} cycles ({:.1} us), {:.1} GB DMA-equivalent/s",
+        stats.instructions,
+        stats.cycles,
+        stats.seconds(config.freq_hz) * 1e6,
+        stats.dma_bytes as f64 / stats.seconds(config.freq_hz) / 1e9,
+    );
+
+    // Vote on the hardware k-sorter output.
+    let mut accel_pred = Vec::with_capacity(split.test.len());
+    for q in 0..split.test.len() {
+        let pairs = dram.read_f32(OUT_AT + (q * 2 * K) as u64, 2 * K);
+        let mut votes = [0usize; 10];
+        for p in pairs.chunks(2) {
+            votes[split.train.labels[p[1] as usize]] += 1;
+        }
+        let best = votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(c, _)| c);
+        accel_pred.push(best.unwrap_or(0));
+    }
+    let agree = accuracy(&accel_pred, &knn_pred);
+    println!("accelerator vs software k-NN label agreement: {:.3}", agree);
+    assert!(agree > 0.97, "fp16 distance ranking should match software");
+    Ok(())
+}

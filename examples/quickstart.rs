@@ -1,0 +1,90 @@
+//! Quickstart: cluster data on the simulated PuDianNao accelerator.
+//!
+//! Generates Gaussian blobs, runs the k-Means assignment step on the
+//! accelerator (distance computation + the hardware k-sorter with k = 1,
+//! exactly the Table-3 program), and checks the result against the
+//! software reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pudiannao::accel::{Accelerator, ArchConfig, Dram};
+use pudiannao::codegen::disasm;
+use pudiannao::codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
+use pudiannao::datasets::synth;
+use pudiannao::mlkit::kmeans::{KMeans, KMeansConfig};
+use pudiannao::mlkit::metrics::cluster_purity;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: 4 Gaussian clusters, 16 features.
+    let data = synth::gaussian_blobs(&synth::BlobsConfig {
+        instances: 1024,
+        features: 16,
+        classes: 4,
+        spread: 0.06,
+        seed: 7,
+    });
+
+    // 2. Software k-Means provides the centroids (training is iterative;
+    //    the accelerator's bread and butter is the assignment sweep).
+    let software = KMeans::fit(&data.features, KMeansConfig { k: 4, seed: 1, ..Default::default() })?;
+    println!("software k-means: {} iterations, inertia {:.2}", software.iterations(), software.inertia());
+
+    // 3. Lay out DRAM: centroids (hot), instances (cold), results.
+    let mut dram = Dram::new(1 << 20);
+    const CENTROIDS_AT: u64 = 0;
+    const INSTANCES_AT: u64 = 4096;
+    const RESULTS_AT: u64 = 500_000;
+    for c in 0..4 {
+        dram.write_f32(CENTROIDS_AT + (c * 16) as u64, software.centroids().row(c));
+    }
+    for i in 0..data.len() {
+        dram.write_f32(INSTANCES_AT + (i * 16) as u64, data.instance(i));
+    }
+
+    // 4. Generate the assignment program (Section 4's code generator) and
+    //    run it.
+    let kernel = DistanceKernel {
+        name: "k-means",
+        features: 16,
+        hot_rows: 4,
+        cold_rows: data.len(),
+        post: DistancePost::Sort { k: 1 },
+    };
+    let config = ArchConfig::paper_default();
+    let plan = DistancePlan { hot_dram: CENTROIDS_AT, cold_dram: INSTANCES_AT, out_dram: RESULTS_AT };
+    let program = kernel.generate(&config, &plan)?;
+    println!("\ngenerated program ({} instructions):", program.len());
+    print!("{}", disasm::listing(&program, 3, 1));
+
+    let mut accel = Accelerator::new(config.clone())?;
+    let stats = accel.run(&program, &mut dram)?;
+    println!("\naccelerator: {stats}");
+    println!(
+        "  {:.1} us at 1 GHz, {:.1}% FU utilisation, {:.3} mW average power",
+        stats.seconds(config.freq_hz) * 1e6,
+        stats.fu_utilization() * 100.0,
+        stats.average_power(config.freq_hz) * 1e3,
+    );
+
+    // 5. Read back assignments ([distance, centroid-index] per instance)
+    //    and compare with software.
+    let mut agree = 0usize;
+    let mut accel_assignments = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let pair = dram.read_f32(RESULTS_AT + (i * 2) as u64, 2);
+        let assigned = pair[1] as usize;
+        accel_assignments.push(assigned);
+        if assigned == software.assignments()[i] {
+            agree += 1;
+        }
+    }
+    println!(
+        "\nassignments agree with software on {agree}/{} instances ({:.2}%)",
+        data.len(),
+        100.0 * agree as f64 / data.len() as f64
+    );
+    let purity = cluster_purity(&accel_assignments, &data.labels);
+    println!("accelerator clustering purity vs true labels: {purity:.3}");
+    assert!(agree as f64 / data.len() as f64 > 0.99, "fp16 datapath should agree with software");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! PuDianNao reproduction — facade crate.
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring how a
+//! downstream user would consume the project. See the individual crates
+//! for detailed docs:
+//!
+//! - [`softfp`] — bit-accurate binary16, interpolation tables, Taylor log.
+//! - [`memsim`] — Section-2 cache simulator and locality analysis.
+//! - [`datasets`] — deterministic synthetic datasets at paper sizes.
+//! - [`mlkit`] — golden implementations of the seven ML techniques.
+//! - [`accel`] — the PuDianNao cycle-level accelerator simulator.
+//! - [`codegen`] — the Section-4 code generator (13 phases).
+//! - [`baseline`] — analytical GPU/CPU performance and energy models.
+//!
+//! # Example: one instruction, end to end
+//!
+//! ```
+//! use pudiannao::accel::{isa, Accelerator, ArchConfig, Dram};
+//!
+//! let mut dram = Dram::new(4096);
+//! dram.write_f32(0, &[1.0, 2.0, 3.0, 4.0]); // a stored vector
+//! dram.write_f32(100, &[4.0, 3.0, 2.0, 1.0]); // a streamed vector
+//! let inst = isa::Instruction {
+//!     name: "dot".into(),
+//!     hot: isa::BufferRead::load(0, 0, 4, 1),
+//!     cold: isa::BufferRead::load(100, 0, 4, 1),
+//!     out: isa::OutputSlot::store(200, 1, 1),
+//!     fu: isa::FuOps::dot_broadcast(None),
+//!     hot_row_base: 0,
+//! };
+//! let program = isa::Program::new(vec![inst])?;
+//! let stats = Accelerator::new(ArchConfig::paper_default())?.run(&program, &mut dram)?;
+//! assert_eq!(dram.read_f32(200, 1)[0], 20.0); // 4 + 6 + 6 + 4
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pudiannao_accel as accel;
+pub use pudiannao_baseline as baseline;
+pub use pudiannao_codegen as codegen;
+pub use pudiannao_datasets as datasets;
+pub use pudiannao_memsim as memsim;
+pub use pudiannao_mlkit as mlkit;
+pub use pudiannao_softfp as softfp;

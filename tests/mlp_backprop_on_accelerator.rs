@@ -1,0 +1,208 @@
+//! DNN global training on the accelerator: a full forward + backward SGD
+//! step composed from the weighted-sum and elementwise-ALU dataflows,
+//! checked against a hand-rolled software back-propagation reference.
+
+use pudiannao::accel::{Accelerator, ArchConfig, Dram};
+use pudiannao::codegen::pipelines::{MlpBackprop, MlpBackpropPlan, MlpForward, MlpForwardPlan};
+use pudiannao::softfp::NonLinearFn;
+
+const WIDTHS: [usize; 3] = [6, 5, 3];
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Software reference: forward activations per layer (unaugmented).
+fn forward_sw(weights: &[Vec<Vec<f32>>], x: &[f32]) -> Vec<Vec<f32>> {
+    let mut acts = vec![x.to_vec()];
+    for layer in weights {
+        let prev = acts.last().expect("non-empty").clone();
+        let mut out = Vec::with_capacity(layer.len());
+        for row in layer {
+            let mut z = row[0]; // bias
+            for (j, &w) in row[1..].iter().enumerate() {
+                z += w * prev[j];
+            }
+            out.push(sigmoid(z));
+        }
+        acts.push(out);
+    }
+    acts
+}
+
+/// Software reference: one SGD step, returning the updated weights.
+fn backprop_sw(
+    weights: &[Vec<Vec<f32>>],
+    acts: &[Vec<f32>],
+    target: &[f32],
+    lr: f32,
+) -> Vec<Vec<Vec<f32>>> {
+    let mut new_weights = weights.to_vec();
+    let last = acts.last().expect("non-empty");
+    let mut delta: Vec<f32> = last
+        .iter()
+        .zip(target)
+        .map(|(&a, &t)| (a - t) * a * (1.0 - a))
+        .collect();
+    for l in (0..weights.len()).rev() {
+        let prev = &acts[l];
+        // Back-propagated delta for the layer below (before the update).
+        let mut next_delta = vec![0.0f32; prev.len()];
+        for (o, d) in delta.iter().enumerate() {
+            for (j, nd) in next_delta.iter_mut().enumerate() {
+                *nd += d * weights[l][o][j + 1];
+            }
+        }
+        for (j, nd) in next_delta.iter_mut().enumerate() {
+            *nd *= prev[j] * (1.0 - prev[j]);
+        }
+        // Weight update.
+        for (o, d) in delta.iter().enumerate() {
+            new_weights[l][o][0] -= lr * d;
+            for (j, &a) in prev.iter().enumerate() {
+                new_weights[l][o][j + 1] -= lr * d * a;
+            }
+        }
+        delta = next_delta;
+    }
+    new_weights
+}
+
+#[test]
+fn accelerator_sgd_step_matches_software_backprop() {
+    let lr = 0.5f32;
+    // Deterministic small weights.
+    let mut weights: Vec<Vec<Vec<f32>>> = Vec::new();
+    for l in 0..WIDTHS.len() - 1 {
+        let (na, nb) = (WIDTHS[l], WIDTHS[l + 1]);
+        let layer: Vec<Vec<f32>> = (0..nb)
+            .map(|o| {
+                (0..=na)
+                    .map(|j| (((l * 31 + o * 7 + j * 3) % 13) as f32 - 6.0) / 12.0)
+                    .collect()
+            })
+            .collect();
+        weights.push(layer);
+    }
+    let x: Vec<f32> = (0..WIDTHS[0]).map(|j| ((j * 5 % 8) as f32) / 8.0).collect();
+    let target = [1.0f32, 0.0, 0.0];
+
+    // --- DRAM layout ---
+    let mut dram = Dram::new(1 << 16);
+    let mut at = 0u64;
+    let mut weight_bases = Vec::new();
+    for layer in &weights {
+        weight_bases.push(at);
+        for row in layer {
+            dram.write_f32(at, row);
+            at += row.len() as u64;
+        }
+    }
+    let mut act_bases = Vec::new();
+    for (l, &w) in WIDTHS.iter().enumerate() {
+        act_bases.push(at);
+        let mut row = vec![0.0f32; w + 1];
+        row[0] = 1.0;
+        if l == 0 {
+            row[1..].copy_from_slice(&x);
+        }
+        dram.write_f32(at, &row);
+        at += row.len() as u64;
+    }
+    let max_w = WIDTHS.iter().max().unwrap() + 1;
+    let out_delta_at = at;
+    at += WIDTHS[2] as u64;
+    let delta_scratch_at = at + 1; // +1 headroom for the bias-slot trick
+    at = delta_scratch_at + (WIDTHS.len() * max_w) as u64;
+    let tmp_at = at;
+    at += 3 * max_w as u64;
+    let ones_at = at;
+    dram.write_f32(ones_at, &vec![1.0f32; max_w]);
+    at += max_w as u64;
+    let neg_lr_at = at;
+    dram.write_f32(neg_lr_at, &[-lr]);
+    let neg_one_at = at + 1;
+    dram.write_f32(neg_one_at, &[-1.0]);
+
+    // --- forward on the accelerator ---
+    let cfg = ArchConfig::paper_default();
+    let forward = MlpForward {
+        widths: WIDTHS.to_vec(),
+        batch: 1,
+        activation: NonLinearFn::Sigmoid,
+    };
+    let fplan = MlpForwardPlan { weights: weight_bases.clone(), activations: act_bases.clone() };
+    let mut accel = Accelerator::new(cfg.clone()).unwrap();
+    accel.run(&forward.generate(&cfg, &fplan).expect("forward generates"), &mut dram).unwrap();
+
+    // Host computes the tiny output-layer delta from the accelerator's
+    // own activations.
+    let a_out = dram.read_f32(act_bases[2] + 1, WIDTHS[2]);
+    let out_delta: Vec<f32> = a_out
+        .iter()
+        .zip(&target)
+        .map(|(&a, &t)| (a - t) * a * (1.0 - a))
+        .collect();
+    dram.write_f32(out_delta_at, &out_delta);
+
+    // --- backward on the accelerator ---
+    let backprop = MlpBackprop { widths: WIDTHS.to_vec() };
+    let bplan = MlpBackpropPlan {
+        weights: weight_bases.clone(),
+        activations: act_bases.clone(),
+        out_delta_dram: out_delta_at,
+        delta_scratch_dram: delta_scratch_at,
+        tmp_dram: tmp_at,
+        ones_dram: ones_at,
+        neg_lr_dram: neg_lr_at,
+        neg_one_dram: neg_one_at,
+    };
+    let program = backprop.generate(&cfg, &bplan).expect("backward generates");
+    let stats = accel.run(&program, &mut dram).unwrap();
+    assert!(stats.instructions > 0);
+
+    // --- software reference on the same initial weights ---
+    let acts = forward_sw(&weights, &x);
+    let expected = backprop_sw(&weights, &acts, &target, lr);
+
+    for (l, layer) in expected.iter().enumerate() {
+        for (o, row) in layer.iter().enumerate() {
+            let got = dram.read_f32(weight_bases[l] + (o * row.len()) as u64, row.len());
+            for (j, (&g, &e)) in got.iter().zip(row).enumerate() {
+                assert!(
+                    (g - e).abs() < 2e-2,
+                    "layer {l} neuron {o} weight {j}: accel {g} vs software {e}"
+                );
+            }
+        }
+    }
+
+    // The step must reduce the squared error.
+    let loss = |w: &[Vec<Vec<f32>>]| -> f32 {
+        let a = forward_sw(w, &x);
+        a.last()
+            .unwrap()
+            .iter()
+            .zip(&target)
+            .map(|(&o, &t)| (o - t) * (o - t))
+            .sum()
+    };
+    let updated: Vec<Vec<Vec<f32>>> = (0..weights.len())
+        .map(|l| {
+            (0..weights[l].len())
+                .map(|o| {
+                    dram.read_f32(
+                        weight_bases[l] + (o * (WIDTHS[l] + 1)) as u64,
+                        WIDTHS[l] + 1,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    assert!(
+        loss(&updated) < loss(&weights),
+        "SGD step must reduce the loss: {} -> {}",
+        loss(&weights),
+        loss(&updated)
+    );
+}

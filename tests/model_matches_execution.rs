@@ -1,0 +1,132 @@
+//! Pins the analytic cost models to the functional executor: the same
+//! program must be charged identical cycles whether it is executed
+//! functionally (`Accelerator::run`) or costed analytically
+//! (`phases::program_stats`), and the representative-block phase models
+//! must agree with the full generated program on divisible shapes.
+
+use pudiannao::accel::{Accelerator, ArchConfig, Dram};
+use pudiannao::codegen::ct::{HeapTree, TreeWalkKernel, TreeWalkPlan};
+use pudiannao::codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
+use pudiannao::codegen::nb::{candidate_rows, NbPredictKernel, NbPredictPlan, NbTrainKernel, NbTrainPlan};
+use pudiannao::codegen::phases::{model_phase, program_stats, Phase, Workload};
+
+fn run_and_compare(program: &pudiannao::accel::Program, dram: &mut Dram) {
+    let cfg = ArchConfig::paper_default();
+    let executed = Accelerator::new(cfg.clone()).expect("valid").run(program, dram).expect("runs");
+    let modelled = program_stats(&cfg, program);
+    assert_eq!(executed.cycles, modelled.cycles, "cycle accounting must match");
+    assert_eq!(executed.dma_bytes, modelled.dma_bytes);
+    assert_eq!(executed.compute_cycles, modelled.compute_cycles);
+    assert_eq!(executed.instructions, modelled.instructions);
+    assert!((executed.energy.total() - modelled.energy.total()).abs() < 1e-12);
+}
+
+#[test]
+fn executed_and_modelled_stats_agree_for_nb_training() {
+    let (features, values) = (8usize, 5usize);
+    let mut dram = Dram::new(1 << 20);
+    for i in 0..900usize {
+        let row: Vec<f32> = (0..features).map(|j| ((i + j) % values) as f32).collect();
+        dram.write_f32((i * features) as u64, &row);
+    }
+    dram.write_f32(100_000, &candidate_rows(values, features));
+    let kernel = NbTrainKernel { features, values, class_counts: vec![300; 3] };
+    let program = kernel
+        .generate(
+            &ArchConfig::paper_default(),
+            &NbTrainPlan { instances_dram: 0, candidates_dram: 100_000, counters_dram: 200_000 },
+        )
+        .expect("generates");
+    run_and_compare(&program, &mut dram);
+}
+
+#[test]
+fn executed_and_modelled_stats_agree_for_nb_prediction() {
+    let mut dram = Dram::new(1 << 20);
+    for i in 0..(500 * 9) {
+        dram.write_f32(i as u64, &[0.5 + (i % 3) as f32 * 0.1]);
+    }
+    let kernel = NbPredictKernel { rows: 500, width: 9 };
+    let program = kernel
+        .generate(
+            &ArchConfig::paper_default(),
+            &NbPredictPlan { rows_dram: 0, out_dram: 100_000 },
+        )
+        .expect("generates");
+    run_and_compare(&program, &mut dram);
+}
+
+#[test]
+fn executed_and_modelled_stats_agree_for_tree_walk() {
+    let mut tree = HeapTree::new(6);
+    for i in 0..HeapTree::level_start(5) {
+        tree.set_split(i, i % 4, 0.5);
+    }
+    for i in HeapTree::level_start(5)..tree.nodes() {
+        tree.set_leaf(i, i % 3);
+    }
+    let mut dram = Dram::new(1 << 20);
+    dram.write_f32(0, tree.words());
+    for i in 0..300usize {
+        let row: Vec<f32> = (0..4).map(|j| ((i * 7 + j) % 10) as f32 / 10.0).collect();
+        dram.write_f32(50_000 + (i * 4) as u64, &row);
+    }
+    dram.write_f32(100_000, &vec![0.0f32; 300]);
+    let kernel = TreeWalkKernel { depth: 6, features: 4, instances: 300 };
+    let program = kernel
+        .generate(
+            &ArchConfig::paper_default(),
+            &TreeWalkPlan { tree_dram: 0, instances_dram: 50_000, states_dram: 100_000 },
+        )
+        .expect("generates");
+    run_and_compare(&program, &mut dram);
+}
+
+#[test]
+fn distance_phase_model_matches_full_program_on_divisible_shapes() {
+    let cfg = ArchConfig::paper_default();
+    // features 32: hot block = 64 rows, cold block divides evenly.
+    let kernel = DistanceKernel {
+        name: "k-NN",
+        features: 32,
+        hot_rows: 192, // 3 hot blocks of 64
+        cold_rows: 512,
+        post: DistancePost::Sort { k: 4 },
+    };
+    let tiling = kernel.tiling(&cfg).expect("legal");
+    assert_eq!(512 % tiling.cold_block, 0, "test requires divisible blocks");
+    let plan = DistancePlan { hot_dram: 0, cold_dram: 1 << 30, out_dram: 1 << 31 };
+    let full = program_stats(&cfg, &kernel.generate(&cfg, &plan).expect("generates"));
+    // The phase model reconstructs the same totals from a 3-block prefix.
+    let w = Workload {
+        train: 192,
+        test: 512,
+        features: 32,
+        knn_k: 4,
+        ..Workload::paper()
+    };
+    let modelled = model_phase(&cfg, Phase::KnnPrediction, &w).expect("models");
+    let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b as f64;
+    assert!(
+        rel(modelled.cycles, full.cycles) < 0.01,
+        "modelled {} vs generated {}",
+        modelled.cycles,
+        full.cycles
+    );
+    assert_eq!(modelled.instructions, full.instructions);
+    assert!(rel(modelled.dma_bytes, full.dma_bytes) < 0.01);
+}
+
+#[test]
+fn all_phases_model_at_scaled_workload() {
+    let cfg = ArchConfig::paper_default();
+    let w = Workload::scaled(50);
+    for phase in Phase::ALL {
+        let stats = model_phase(&cfg, phase, &w).unwrap_or_else(|e| panic!("{phase}: {e}"));
+        assert!(stats.cycles > 0, "{phase}");
+        assert!(stats.instructions > 0, "{phase}");
+        // Power must stay within the physical envelope.
+        let p = stats.average_power(cfg.freq_hz);
+        assert!(p > 0.0 && p < 0.7, "{phase}: {p} W");
+    }
+}
