@@ -61,6 +61,7 @@ impl fmt::Display for BufferKind {
 pub struct Buffer {
     kind: BufferKind,
     data: Vec<f32>,
+    footprint: usize,
 }
 
 impl Buffer {
@@ -68,7 +69,7 @@ impl Buffer {
     #[must_use]
     pub fn new(kind: BufferKind, capacity_bytes: u32) -> Buffer {
         let elems = (capacity_bytes / kind.elem_bytes()) as usize;
-        Buffer { kind, data: vec![0.0; elems] }
+        Buffer { kind, data: vec![0.0; elems], footprint: 0 }
     }
 
     /// The buffer's kind.
@@ -98,6 +99,7 @@ impl Buffer {
     /// bounds before writing and reports a typed error instead.
     pub fn write(&mut self, addr: u32, values: &[f32]) {
         let a = addr as usize;
+        self.footprint = self.footprint.max(a + values.len());
         let dst = &mut self.data[a..a + values.len()];
         match self.kind {
             BufferKind::Hot | BufferKind::Cold => {
@@ -118,6 +120,14 @@ impl Buffer {
     pub fn read(&self, addr: u32, len: usize) -> &[f32] {
         let a = addr as usize;
         &self.data[a..a + len]
+    }
+
+    /// High-water occupancy in elements: the largest `addr + len` any
+    /// write has touched since allocation (SRAM contents persist across
+    /// runs, so this is cumulative).
+    #[must_use]
+    pub fn footprint_elems(&self) -> usize {
+        self.footprint
     }
 }
 
@@ -145,6 +155,16 @@ mod tests {
         let mut o = Buffer::new(BufferKind::Output, 64);
         o.write(0, &[0.1]);
         assert_eq!(o.read(0, 1)[0], 0.1); // 32-bit buffer keeps f32
+    }
+
+    #[test]
+    fn footprint_tracks_write_high_water() {
+        let mut b = Buffer::new(BufferKind::Output, 64);
+        assert_eq!(b.footprint_elems(), 0);
+        b.write(4, &[1.0, 2.0]);
+        assert_eq!(b.footprint_elems(), 6);
+        b.write(0, &[3.0]); // lower write does not shrink the high water
+        assert_eq!(b.footprint_elems(), 6);
     }
 
     #[test]

@@ -114,6 +114,36 @@ impl ArchConfig {
     pub fn dma_bytes_per_cycle(&self) -> f64 {
         self.dma_bandwidth / self.freq_hz
     }
+
+    /// A short stable fingerprint of every parameter, embedded in run
+    /// reports so numbers measured on different hardware points are never
+    /// silently compared. Equal configurations always fingerprint equally;
+    /// any field change produces (with overwhelming probability) a
+    /// different value.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        // Canonical field string hashed with FNV-1a 64 (no external deps).
+        let canon = format!(
+            "fus={};lanes={};hot={};cold={};out={};freq={:e};dma={:e};reconf={};dbuf={};interp={};instbuf={}",
+            self.num_fus,
+            self.lanes,
+            self.hotbuf_bytes,
+            self.coldbuf_bytes,
+            self.outputbuf_bytes,
+            self.freq_hz,
+            self.dma_bandwidth,
+            self.dma_reconfig_cycles,
+            self.double_buffering,
+            self.interp_segments,
+            self.instbuf_bytes,
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canon.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("arch-{hash:016x}")
+    }
 }
 
 impl Default for ArchConfig {
@@ -167,6 +197,20 @@ mod tests {
         assert_eq!(c.coldbuf_elems(), 8192);
         assert_eq!(c.outputbuf_elems(), 2048);
         assert!((c.dma_bytes_per_cycle() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let a = ArchConfig::paper_default();
+        let b = ArchConfig::paper_default();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().starts_with("arch-"));
+        let mut c = ArchConfig::paper_default();
+        c.num_fus = 32;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = ArchConfig::paper_default();
+        d.double_buffering = false;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -36,13 +36,12 @@ impl EnergyModel {
         let power = |name: &str| -> f64 {
             l.blocks.iter().find(|b| b.name == name).map_or(0.0, |b| b.power_mw) * 1e-3
         };
-        let fu_scale = f64::from(config.num_fus * config.lanes)
-            / f64::from(paper.num_fus * paper.lanes);
+        let fu_scale =
+            f64::from(config.num_fus * config.lanes) / f64::from(paper.num_fus * paper.lanes);
         EnergyModel {
             freq_hz: config.freq_hz,
             p_fus: power("Function Units") * fu_scale,
-            p_hot: power("HotBuf") * f64::from(config.hotbuf_bytes)
-                / f64::from(paper.hotbuf_bytes),
+            p_hot: power("HotBuf") * f64::from(config.hotbuf_bytes) / f64::from(paper.hotbuf_bytes),
             p_cold: power("ColdBuf") * f64::from(config.coldbuf_bytes)
                 / f64::from(paper.coldbuf_bytes),
             p_out: power("OutputBuf") * f64::from(config.outputbuf_bytes)
@@ -122,6 +121,9 @@ mod tests {
         let e = m.instruction_energy(&t, 500);
         assert!(e.fus > 0.0);
         assert!(e.control > 0.0);
-        assert!((e.total() - (e.fus + e.hotbuf + e.coldbuf + e.outputbuf + e.control + e.other)).abs() < 1e-18);
+        assert!(
+            (e.total() - (e.fus + e.hotbuf + e.coldbuf + e.outputbuf + e.control + e.other)).abs()
+                < 1e-18
+        );
     }
 }

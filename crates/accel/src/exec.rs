@@ -16,9 +16,10 @@ use crate::isa::{Instruction, Program, ReadOp, WriteOp};
 use crate::ksorter::KSorter;
 use crate::memory::Dram;
 use crate::stats::ExecStats;
-use crate::timing::{self, DecodeError, Mode};
+use crate::timing::{self, DecodeError, InstTiming, Mode};
+use crate::trace::{RunReport, TraceConfig, TraceReport};
 use core::fmt;
-use pudiannao_softfp::{taylor_ln, F16, InterpTable, NonLinearFn};
+use pudiannao_softfp::{taylor_ln, InterpTable, NonLinearFn, F16};
 use std::collections::HashMap;
 
 /// Errors raised during execution.
@@ -79,6 +80,59 @@ impl From<DecodeError> for ExecError {
     }
 }
 
+/// Charges the InstBuf fetch of an `instructions`-long program to `stats`:
+/// the whole program streams through the InstBuf (refills overlap
+/// execution); the initial fill serialises before the first instruction
+/// issues.
+///
+/// The functional executor and the analytic phase models in
+/// `pudiannao-codegen` both charge through this helper, so the two paths
+/// cannot drift.
+pub fn charge_fetch(config: &ArchConfig, stats: &mut ExecStats, instructions: u64) {
+    let fetch_bytes = instructions * timing::INSTRUCTION_BYTES;
+    stats.dma_bytes += fetch_bytes;
+    stats.cycles += (fetch_bytes.min(u64::from(config.instbuf_bytes)) as f64
+        / config.dma_bytes_per_cycle())
+    .ceil() as u64;
+}
+
+/// Charges one instruction's [`InstTiming`] to `stats` and returns the
+/// cycles it occupied the machine. When `overlapped`, the instruction's
+/// DMA runs behind the previous instruction's compute (the Table-3
+/// ping-pong) and only the slower of the two advances the clock; DMA
+/// cycles not hidden by compute are counted as stall cycles. The first
+/// instruction of a program (nothing to overlap with) and every
+/// instruction with double-buffering disabled charge serially.
+pub fn charge_instruction(
+    energy: &EnergyModel,
+    stats: &mut ExecStats,
+    t: &InstTiming,
+    overlapped: bool,
+) -> u64 {
+    let elapsed = if overlapped {
+        t.compute_cycles.max(t.dma_cycles)
+    } else {
+        t.compute_cycles + t.dma_cycles
+    };
+    stats.cycles += elapsed;
+    stats.instructions += 1;
+    stats.compute_cycles += t.compute_cycles;
+    stats.dma_cycles += t.dma_cycles;
+    stats.dma_bytes += t.dma_bytes;
+    stats.mlu_ops += t.mlu_ops;
+    stats.alu_ops += t.alu_ops;
+    stats.stage_cycles += t.stage_cycles;
+    stats.dma_stall_cycles +=
+        if overlapped { t.dma_cycles.saturating_sub(t.compute_cycles) } else { t.dma_cycles };
+    if t.reconfigured_dma {
+        stats.dma_reconfig_descriptors += u64::from(t.dma_reconfigs);
+    } else {
+        stats.dma_regular_descriptors += u64::from(t.dma_reconfigs);
+    }
+    stats.energy += energy.instruction_energy(t, elapsed);
+    elapsed
+}
+
 /// The simulated accelerator.
 ///
 /// Buffer contents persist across [`Accelerator::run`] calls, exactly as
@@ -90,10 +144,12 @@ pub struct Accelerator {
     cold: Buffer,
     out: Buffer,
     interp: HashMap<NonLinearFn, InterpTable>,
+    trace_config: Option<TraceConfig>,
 }
 
 impl Accelerator {
-    /// Builds an accelerator from a validated configuration.
+    /// Builds an accelerator from a validated configuration. Tracing
+    /// starts disabled; see [`Accelerator::enable_trace`].
     ///
     /// # Errors
     ///
@@ -106,6 +162,7 @@ impl Accelerator {
             cold: Buffer::new(BufferKind::Cold, config.coldbuf_bytes),
             out: Buffer::new(BufferKind::Output, config.outputbuf_bytes),
             interp: HashMap::new(),
+            trace_config: None,
             config,
         })
     }
@@ -116,43 +173,65 @@ impl Accelerator {
         &self.config
     }
 
-    /// Executes a program against `dram`, returning aggregate statistics.
+    /// Enables tracing for subsequent runs: each [`Accelerator::run`]
+    /// returns a populated [`RunReport::trace`]. Tracing observes the run
+    /// without perturbing it — [`ExecStats`] are identical with tracing
+    /// on or off.
+    pub fn enable_trace(&mut self, config: TraceConfig) {
+        self.trace_config = Some(config);
+    }
+
+    /// Disables tracing for subsequent runs.
+    pub fn disable_trace(&mut self) {
+        self.trace_config = None;
+    }
+
+    /// The active trace configuration, if any.
+    #[must_use]
+    pub fn trace_config(&self) -> Option<&TraceConfig> {
+        self.trace_config.as_ref()
+    }
+
+    /// Executes a program against `dram`, returning a [`RunReport`] with
+    /// the run's aggregate statistics, the trace (when enabled via
+    /// [`Accelerator::enable_trace`]), and the configuration fingerprint.
     ///
     /// # Errors
     ///
     /// Any bounds violation, decode failure, or slot inconsistency aborts
     /// execution with a typed error; DRAM and buffers keep whatever the
     /// already-executed prefix wrote.
-    pub fn run(&mut self, program: &Program, dram: &mut Dram) -> Result<ExecStats, ExecError> {
+    pub fn run(&mut self, program: &Program, dram: &mut Dram) -> Result<RunReport, ExecError> {
         let mut stats = ExecStats::default();
-        // Instruction fetch: the whole program streams through the
-        // InstBuf (refills overlap execution); the initial fill
-        // serialises before the first instruction issues.
-        let fetch_bytes = program.len() as u64 * timing::INSTRUCTION_BYTES;
-        stats.dma_bytes += fetch_bytes;
-        stats.cycles += (fetch_bytes.min(u64::from(self.config.instbuf_bytes)) as f64
-            / self.config.dma_bytes_per_cycle())
-        .ceil() as u64;
+        let mut trace = self.trace_config.as_ref().map(TraceReport::new);
+        charge_fetch(&self.config, &mut stats, program.len() as u64);
         let mut first = true;
-        for inst in program.instructions() {
+        for (index, inst) in program.instructions().iter().enumerate() {
             let t = timing::instruction_timing(&self.config, inst)?;
             self.exec_functional(inst, dram)?;
-            let elapsed = if first || !self.config.double_buffering {
-                t.compute_cycles + t.dma_cycles
-            } else {
-                t.compute_cycles.max(t.dma_cycles)
-            };
+            let overlapped = !first && self.config.double_buffering;
             first = false;
-            stats.cycles += elapsed;
-            stats.instructions += 1;
-            stats.compute_cycles += t.compute_cycles;
-            stats.dma_cycles += t.dma_cycles;
-            stats.dma_bytes += t.dma_bytes;
-            stats.mlu_ops += t.mlu_ops;
-            stats.alu_ops += t.alu_ops;
-            stats.energy += self.energy.instruction_energy(&t, elapsed);
+            let issue_cycle = stats.cycles;
+            charge_instruction(&self.energy, &mut stats, &t, overlapped);
+            if let Some(trace) = trace.as_mut() {
+                let mode = timing::decode(&inst.fu, inst.hot.iter)?;
+                trace.record_instruction(
+                    index as u64,
+                    inst,
+                    &mode,
+                    &t,
+                    issue_cycle,
+                    stats.cycles,
+                    overlapped,
+                );
+            }
         }
-        Ok(stats)
+        if let Some(trace) = trace.as_mut() {
+            trace.set_high_water(BufferKind::Hot, self.hot.footprint_elems() as u64);
+            trace.set_high_water(BufferKind::Cold, self.cold.footprint_elems() as u64);
+            trace.set_high_water(BufferKind::Output, self.out.footprint_elems() as u64);
+        }
+        Ok(RunReport { label: None, stats, trace, config_fingerprint: self.config.fingerprint() })
     }
 
     fn check_buffer(&self, buffer: BufferKind, addr: u32, elems: u64) -> Result<(), ExecError> {
@@ -252,20 +331,17 @@ impl Accelerator {
     }
 
     fn hot_row(&self, inst: &Instruction, h: u32) -> &[f32] {
-        self.hot
-            .read(inst.hot.addr + h * inst.hot.stride, inst.hot.stride as usize)
+        self.hot.read(inst.hot.addr + h * inst.hot.stride, inst.hot.stride as usize)
     }
 
     fn cold_row(&self, inst: &Instruction, c: u32) -> &[f32] {
-        self.cold
-            .read(inst.cold.addr + c * inst.cold.stride, inst.cold.stride as usize)
+        self.cold.read(inst.cold.addr + c * inst.cold.stride, inst.cold.stride as usize)
     }
 
     fn interp_table(&mut self, f: NonLinearFn) -> &InterpTable {
         let segments = self.config.interp_segments;
         self.interp.entry(f).or_insert_with(|| {
-            InterpTable::for_function(f, segments)
-                .expect("validated non-zero segment count")
+            InterpTable::for_function(f, segments).expect("validated non-zero segment count")
         })
     }
 
@@ -301,14 +377,10 @@ impl Accelerator {
                         for c in 0..inst.cold.iter {
                             let mut sorter = KSorter::new(k);
                             if seeded {
-                                let seed = self.out.read(
-                                    inst.out.addr + c * inst.out.stride,
-                                    out_stride,
-                                );
-                                let pairs: Vec<(f32, u64)> = seed
-                                    .chunks_exact(2)
-                                    .map(|p| (p[0], p[1] as u64))
-                                    .collect();
+                                let seed =
+                                    self.out.read(inst.out.addr + c * inst.out.stride, out_stride);
+                                let pairs: Vec<(f32, u64)> =
+                                    seed.chunks_exact(2).map(|p| (p[0], p[1] as u64)).collect();
                                 sorter.seed(&pairs);
                             }
                             for h in 0..inst.hot.iter {
@@ -325,9 +397,7 @@ impl Accelerator {
                     }
                     None => {
                         if seeded {
-                            return Err(ExecError::Malformed(
-                                "plain distance does not accumulate",
-                            ));
+                            return Err(ExecError::Malformed("plain distance does not accumulate"));
                         }
                         if out_stride < inst.hot.iter as usize {
                             return Err(ExecError::Malformed(
@@ -468,7 +538,9 @@ impl Accelerator {
             Mode::AluDiv | Mode::AluMul => {
                 let op_name = if mode == Mode::AluDiv { "div" } else { "mul-rows" };
                 if !seeded {
-                    return Err(ExecError::Malformed("elementwise ALU op needs seeded output rows"));
+                    return Err(ExecError::Malformed(
+                        "elementwise ALU op needs seeded output rows",
+                    ));
                 }
                 if inst.out.iter != inst.cold.iter || out_stride != width {
                     return Err(ExecError::Malformed("elementwise ALU op: shapes must match"));
@@ -603,7 +675,7 @@ mod tests {
         Accelerator::new(ArchConfig::paper_default()).unwrap()
     }
 
-    fn run_one(inst: Instruction, dram: &mut Dram) -> Result<ExecStats, ExecError> {
+    fn run_one(inst: Instruction, dram: &mut Dram) -> Result<RunReport, ExecError> {
         accel().run(&Program::new(vec![inst]).unwrap(), dram)
     }
 
@@ -987,7 +1059,7 @@ mod tests {
             hot_row_base: 0,
         };
         let program = Program::new(vec![inst.clone(), inst]).unwrap();
-        let stats = accel().run(&program, &mut dram).unwrap();
+        let stats = accel().run(&program, &mut dram).unwrap().stats;
         assert_eq!(stats.instructions, 2);
         assert!(stats.cycles > 0);
         assert!(stats.energy.total() > 0.0);
@@ -1007,10 +1079,108 @@ mod tests {
             hot_row_base: 0,
         };
         let program = Program::new(vec![mk(), mk(), mk(), mk()]).unwrap();
-        let overlapped = accel().run(&program, &mut dram).unwrap();
+        let overlapped = accel().run(&program, &mut dram).unwrap().stats;
         let mut cfg = ArchConfig::paper_default();
         cfg.double_buffering = false;
-        let serial = Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
+        let serial = Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap().stats;
         assert!(overlapped.cycles < serial.cycles);
+        // The hidden DMA cycles show up as stalls only when they exceed
+        // compute; serial execution stalls for every DMA cycle.
+        assert_eq!(serial.dma_stall_cycles, serial.dma_cycles);
+        assert!(overlapped.dma_stall_cycles < serial.dma_stall_cycles);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_stats() {
+        let mut dram_a = Dram::new(4096);
+        let mut dram_b = Dram::new(4096);
+        dram_a.write_f32(0, &[1.0; 64]);
+        dram_b.write_f32(0, &[1.0; 64]);
+        let mk = || Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 2),
+            cold: BufferRead::load(32, 0, 16, 2),
+            out: OutputSlot::store(200, 2, 2),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let program = Program::new(vec![mk(), mk()]).unwrap();
+        let plain = accel().run(&program, &mut dram_a).unwrap();
+        let mut traced_accel = accel();
+        traced_accel.enable_trace(crate::trace::TraceConfig::full());
+        let traced = traced_accel.run(&program, &mut dram_b).unwrap();
+        assert_eq!(plain.stats, traced.stats);
+        assert!(plain.trace.is_none());
+        assert!(traced.trace.is_some());
+        assert_eq!(plain.config_fingerprint, traced.config_fingerprint);
+        assert_eq!(dram_a.read_f32(200, 4), dram_b.read_f32(200, 4));
+    }
+
+    #[test]
+    fn trace_counts_buffer_traffic_and_events() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[1.0; 64]);
+        let inst = Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 2),
+            cold: BufferRead::load(32, 0, 16, 2),
+            out: OutputSlot::store(200, 2, 2),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        let mut a = accel();
+        a.enable_trace(crate::trace::TraceConfig::full());
+        let report = a.run(&Program::new(vec![inst.clone(), inst]).unwrap(), &mut dram).unwrap();
+        let trace = report.trace.unwrap();
+        // Two instructions, each DMA-filling and streaming 32 hot elems.
+        assert_eq!(trace.hotbuf.writes, 2);
+        assert_eq!(trace.hotbuf.write_elems, 64);
+        assert_eq!(trace.hotbuf.read_elems, 64);
+        assert_eq!(trace.coldbuf.write_elems, 64);
+        // Each instruction writes 4 results and the store drains them.
+        assert_eq!(trace.outputbuf.write_elems, 8);
+        assert_eq!(trace.outputbuf.read_elems, 8);
+        assert_eq!(trace.hotbuf.high_water_elems, 32);
+        // Second instruction overlapped its DMA behind the first.
+        assert_eq!(trace.ping_pong_flips, 1);
+        let events = trace.events();
+        assert!(events.iter().any(|e| e.kind() == "issue"));
+        assert!(events.iter().any(|e| e.kind() == "dma_start"));
+        assert!(events.iter().any(|e| e.kind() == "ping_pong_flip"));
+        assert_eq!(trace.events_dropped, 0);
+        // Cycle stamps never decrease instruction-to-instruction.
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].cycle() <= w[1].cycle() || w[0].kind() == "dma_complete"));
+    }
+
+    #[test]
+    fn trace_classifies_alu_ops() {
+        let mut dram = Dram::new(4096);
+        dram.write_f32(0, &[10.0f32, 20.0]);
+        dram.write_f32(10, &[2.0f32, 4.0]);
+        let inst = Instruction {
+            name: "kmeans-upd".into(),
+            hot: BufferRead::null(),
+            cold: BufferRead::load(10, 0, 2, 1),
+            out: OutputSlot {
+                read_op: ReadOp::Load,
+                read_dram_addr: 0,
+                addr: 0,
+                stride: 2,
+                iter: 1,
+                write_op: WriteOp::Store,
+                write_dram_addr: 100,
+            },
+            fu: FuOps::alu_only(AluOp::Div),
+            hot_row_base: 0,
+        };
+        let mut a = accel();
+        a.enable_trace(crate::trace::TraceConfig::counters());
+        let report = a.run(&Program::new(vec![inst]).unwrap(), &mut dram).unwrap();
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.alu_ops.div, report.stats.alu_ops);
+        assert_eq!(trace.alu_ops.total(), report.stats.alu_ops);
+        assert_eq!(trace.alu_ops.tree_step, 0);
     }
 }

@@ -66,7 +66,14 @@ impl BufferRead {
     /// An unused slot.
     #[must_use]
     pub const fn null() -> BufferRead {
-        BufferRead { op: ReadOp::Null, dram_addr: 0, dram_row_stride: 0, addr: 0, stride: 0, iter: 0 }
+        BufferRead {
+            op: ReadOp::Null,
+            dram_addr: 0,
+            dram_row_stride: 0,
+            addr: 0,
+            stride: 0,
+            iter: 0,
+        }
     }
 
     /// A `LOAD`: DMA `iter x stride` dense f32 elements from DRAM
@@ -456,6 +463,184 @@ impl Default for Instruction {
     }
 }
 
+impl Instruction {
+    /// Starts a fluent [`InstructionBuilder`] with the given CM name tag.
+    /// The builder covers the common slot patterns; assign to
+    /// [`InstructionBuilder::hot`], [`InstructionBuilder::cold`] or
+    /// [`InstructionBuilder::out`] directly for anything it doesn't.
+    ///
+    /// ```
+    /// use pudiannao_accel::isa::{FuOps, Instruction};
+    ///
+    /// let inst: Instruction = Instruction::builder("k-means")
+    ///     .hot_load(0, 0, 16, 128)
+    ///     .cold_load(16384, 0, 16, 256)
+    ///     .out_store(1_064_960, 2, 256)
+    ///     .fu(FuOps::distance(Some(1)))
+    ///     .build();
+    /// assert_eq!(inst.name, "k-means");
+    /// assert_eq!(inst.hot.elems(), 2048);
+    /// ```
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> InstructionBuilder {
+        InstructionBuilder { inst: Instruction { name: name.into(), ..Instruction::default() } }
+    }
+}
+
+/// Fluent constructor for [`Instruction`], started by
+/// [`Instruction::builder`]. Every method moves and returns the builder;
+/// finish with [`InstructionBuilder::build`] (or pass the builder itself
+/// anywhere an `impl Into<Instruction>` is accepted, e.g.
+/// [`ProgramBuilder::instruction`]).
+#[derive(Clone, Debug)]
+pub struct InstructionBuilder {
+    inst: Instruction,
+}
+
+impl InstructionBuilder {
+    /// HotBuf `LOAD`: DMA `iter x stride` dense f32 elements from DRAM
+    /// `dram_addr` into the buffer at `addr`, then stream them.
+    #[must_use]
+    pub fn hot_load(mut self, dram_addr: u64, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.hot = BufferRead::load(dram_addr, addr, stride, iter);
+        self
+    }
+
+    /// HotBuf 2D `LOAD` with `dram_row_stride` elements between DRAM row
+    /// starts (a column slice of a wider matrix).
+    #[must_use]
+    pub fn hot_load_2d(
+        mut self,
+        dram_addr: u64,
+        dram_row_stride: u64,
+        addr: u32,
+        stride: u32,
+        iter: u32,
+    ) -> Self {
+        self.inst.hot = BufferRead::load_2d(dram_addr, dram_row_stride, addr, stride, iter);
+        self
+    }
+
+    /// HotBuf `READ`: stream data already resident in the buffer.
+    #[must_use]
+    pub fn hot_read(mut self, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.hot = BufferRead::read(addr, stride, iter);
+        self
+    }
+
+    /// Sets the HotBuf slot verbatim.
+    #[must_use]
+    pub fn hot(mut self, slot: BufferRead) -> Self {
+        self.inst.hot = slot;
+        self
+    }
+
+    /// ColdBuf `LOAD`.
+    #[must_use]
+    pub fn cold_load(mut self, dram_addr: u64, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.cold = BufferRead::load(dram_addr, addr, stride, iter);
+        self
+    }
+
+    /// ColdBuf 2D `LOAD`.
+    #[must_use]
+    pub fn cold_load_2d(
+        mut self,
+        dram_addr: u64,
+        dram_row_stride: u64,
+        addr: u32,
+        stride: u32,
+        iter: u32,
+    ) -> Self {
+        self.inst.cold = BufferRead::load_2d(dram_addr, dram_row_stride, addr, stride, iter);
+        self
+    }
+
+    /// ColdBuf `READ`.
+    #[must_use]
+    pub fn cold_read(mut self, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.cold = BufferRead::read(addr, stride, iter);
+        self
+    }
+
+    /// Sets the ColdBuf slot verbatim.
+    #[must_use]
+    pub fn cold(mut self, slot: BufferRead) -> Self {
+        self.inst.cold = slot;
+        self
+    }
+
+    /// Output: fresh results written to OutputBuf offset 0 and stored to
+    /// DRAM at `write_dram_addr`.
+    #[must_use]
+    pub fn out_store(mut self, write_dram_addr: u64, stride: u32, iter: u32) -> Self {
+        self.inst.out = OutputSlot::store(write_dram_addr, stride, iter);
+        self
+    }
+
+    /// Output: fresh partials kept in the OutputBuf at `addr`.
+    #[must_use]
+    pub fn out_write(mut self, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.out = OutputSlot::write(addr, stride, iter);
+        self
+    }
+
+    /// Output: accumulate onto partials at `addr`, keeping the result
+    /// there.
+    #[must_use]
+    pub fn out_accumulate(mut self, addr: u32, stride: u32, iter: u32) -> Self {
+        self.inst.out = OutputSlot::accumulate(addr, stride, iter);
+        self
+    }
+
+    /// Output: accumulate onto partials at `addr`, then store to DRAM.
+    #[must_use]
+    pub fn out_accumulate_store(
+        mut self,
+        addr: u32,
+        stride: u32,
+        iter: u32,
+        write_dram_addr: u64,
+    ) -> Self {
+        self.inst.out = OutputSlot::accumulate_store(addr, stride, iter, write_dram_addr);
+        self
+    }
+
+    /// Sets the OutputBuf slot verbatim (seeded ALU shapes, custom
+    /// read/write combinations).
+    #[must_use]
+    pub fn out(mut self, slot: OutputSlot) -> Self {
+        self.inst.out = slot;
+        self
+    }
+
+    /// Sets the FU slot.
+    #[must_use]
+    pub fn fu(mut self, ops: FuOps) -> Self {
+        self.inst.fu = ops;
+        self
+    }
+
+    /// Sets the global index of the first Hot row (k-sorter payload).
+    #[must_use]
+    pub fn hot_row_base(mut self, base: u64) -> Self {
+        self.inst.hot_row_base = base;
+        self
+    }
+
+    /// Finishes the instruction.
+    #[must_use]
+    pub fn build(self) -> Instruction {
+        self.inst
+    }
+}
+
+impl From<InstructionBuilder> for Instruction {
+    fn from(b: InstructionBuilder) -> Instruction {
+        b.build()
+    }
+}
+
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -520,6 +705,65 @@ impl Program {
     /// Concatenates another program after this one.
     pub fn extend(&mut self, other: Program) {
         self.instructions.extend(other.instructions);
+    }
+
+    /// Starts a fluent [`ProgramBuilder`].
+    ///
+    /// ```
+    /// use pudiannao_accel::isa::{FuOps, Instruction, Program};
+    ///
+    /// let program = Program::builder()
+    ///     .instruction(
+    ///         Instruction::builder("dot")
+    ///             .hot_load(0, 0, 16, 1)
+    ///             .cold_load(1024, 0, 16, 4)
+    ///             .out_store(4096, 1, 4)
+    ///             .fu(FuOps::dot_broadcast(None)),
+    ///     )
+    ///     .build()?;
+    /// assert_eq!(program.len(), 1);
+    /// # Ok::<(), pudiannao_accel::isa::ProgramError>(())
+    /// ```
+    #[must_use]
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder { instructions: Vec::new() }
+    }
+}
+
+/// Fluent constructor for [`Program`], started by [`Program::builder`].
+/// Accepts finished [`Instruction`]s and in-flight [`InstructionBuilder`]s
+/// interchangeably.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    instructions: Vec<Instruction>,
+}
+
+impl ProgramBuilder {
+    /// Appends one instruction.
+    #[must_use]
+    pub fn instruction(mut self, inst: impl Into<Instruction>) -> Self {
+        self.instructions.push(inst.into());
+        self
+    }
+
+    /// Appends a sequence of instructions.
+    #[must_use]
+    pub fn instructions<I, T>(mut self, insts: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Instruction>,
+    {
+        self.instructions.extend(insts.into_iter().map(Into::into));
+        self
+    }
+
+    /// Validates and finishes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Empty`] if no instruction was appended.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        Program::new(self.instructions)
     }
 }
 
@@ -594,6 +838,76 @@ mod tests {
         p.extend(Program::new(vec![inst]).unwrap());
         assert_eq!(p.len(), 2);
         assert_eq!(p.into_iter().count(), 2);
+    }
+
+    #[test]
+    fn builder_matches_raw_construction() {
+        let built = Instruction::builder("k-means")
+            .hot_load(0, 0, 16, 128)
+            .cold_load(16384, 0, 16, 256)
+            .out_store(1_064_960, 2, 256)
+            .fu(FuOps::distance(Some(1)))
+            .hot_row_base(7)
+            .build();
+        let raw = Instruction {
+            name: "k-means".into(),
+            hot: BufferRead::load(0, 0, 16, 128),
+            cold: BufferRead::load(16384, 0, 16, 256),
+            out: OutputSlot::store(1_064_960, 2, 256),
+            fu: FuOps::distance(Some(1)),
+            hot_row_base: 7,
+        };
+        assert_eq!(built, raw);
+    }
+
+    #[test]
+    fn builder_covers_every_slot_shape() {
+        let i = Instruction::builder("a")
+            .hot_load_2d(0, 64, 0, 16, 4)
+            .cold_read(8, 4, 2)
+            .out_accumulate(0, 4, 2)
+            .build();
+        assert_eq!(i.hot.dram_row_stride, 64);
+        assert_eq!(i.cold.op, ReadOp::Read);
+        assert_eq!(i.out.read_op, ReadOp::Read);
+        assert_eq!(i.out.write_op, WriteOp::Write);
+
+        let i = Instruction::builder("b")
+            .hot_read(0, 4, 1)
+            .cold_load_2d(100, 32, 0, 8, 2)
+            .out_accumulate_store(4, 2, 1, 999)
+            .build();
+        assert_eq!(i.hot.op, ReadOp::Read);
+        assert_eq!(i.cold.dram_row_stride, 32);
+        assert_eq!(i.out.write_dram_addr, 999);
+
+        let i = Instruction::builder("c")
+            .hot(BufferRead::null())
+            .cold(BufferRead::load(0, 0, 2, 1))
+            .out(OutputSlot::write(3, 2, 1))
+            .fu(FuOps::alu_only(AluOp::Div))
+            .build();
+        assert_eq!(i.hot.op, ReadOp::Null);
+        assert_eq!(i.out.addr, 3);
+        assert_eq!(i.fu.alu, AluOp::Div);
+
+        let i = Instruction::builder("d").out_write(5, 1, 1).build();
+        assert_eq!(i.out.write_op, WriteOp::Write);
+        assert_eq!(i.out.addr, 5);
+    }
+
+    #[test]
+    fn program_builder_accepts_builders_and_instructions() {
+        let program = Program::builder()
+            .instruction(Instruction::builder("one").cold_load(0, 0, 4, 1))
+            .instruction(Instruction { name: "two".into(), ..Default::default() })
+            .instructions((0..2).map(|i| Instruction::builder(format!("gen{i}"))))
+            .build()
+            .unwrap();
+        assert_eq!(program.len(), 4);
+        assert_eq!(program.instructions()[0].name, "one");
+        assert_eq!(program.instructions()[3].name, "gen1");
+        assert_eq!(Program::builder().build().unwrap_err(), ProgramError::Empty);
     }
 
     #[test]

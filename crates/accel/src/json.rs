@@ -1,0 +1,327 @@
+//! Minimal JSON document builder.
+//!
+//! The workspace builds fully offline, so instead of `serde_json` the
+//! observability layer emits reports through this small value model. It
+//! supports exactly what machine-readable run reports need: ordered
+//! objects, arrays, strings with escaping, booleans, and numbers that
+//! round-trip `u64` counters exactly (floats print with enough digits to
+//! reconstruct the `f64`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pudiannao_accel::json::Value;
+//!
+//! let doc = Value::object()
+//!     .with("cycles", 1024u64)
+//!     .with("label", "k-means")
+//!     .with("stages", Value::array(vec![Value::from("Adder"), Value::from("Acc")]));
+//! assert_eq!(
+//!     doc.to_string(),
+//!     r#"{"cycles":1024,"label":"k-means","stages":["Adder","Acc"]}"#
+//! );
+//! ```
+
+use core::fmt;
+
+/// A JSON value. Object fields keep insertion order so reports diff
+/// cleanly across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer, printed exactly.
+    UInt(u64),
+    /// Signed integer, printed exactly.
+    Int(i64),
+    /// Floating point; non-finite values serialise as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// An array of the given values.
+    #[must_use]
+    pub fn array(values: Vec<Value>) -> Value {
+        Value::Array(values)
+    }
+
+    /// Appends a field to an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Value {
+        self.set(key, value);
+        self
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        match self {
+            Value::Object(fields) => fields.push((key.into(), value.into())),
+            other => panic!("cannot set a field on non-object JSON value {other:?}"),
+        }
+    }
+
+    /// Appends an element to an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(&mut self, value: impl Into<Value>) {
+        match self {
+            Value::Array(values) => values.push(value.into()),
+            other => panic!("cannot push onto non-array JSON value {other:?}"),
+        }
+    }
+
+    /// Looks up a field of an object (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(values) if !values.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in values.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < values.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            compact => {
+                use fmt::Write;
+                let _ = write!(out, "{compact}");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) if x.is_finite() => {
+                // Shortest representation that round-trips f64.
+                let s = format!("{x}");
+                f.write_str(&s)?;
+                if !s.contains(['.', 'e', 'E']) {
+                    f.write_str(".0")?;
+                }
+                Ok(())
+            }
+            Value::Float(_) => f.write_str("null"),
+            Value::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Value::Array(values) => {
+                f.write_str("[")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut buf, k);
+                    write!(f, "{buf}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::UInt(u64::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::UInt(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialisation() {
+        let v = Value::object()
+            .with("a", 1u64)
+            .with("b", -2i64)
+            .with("c", 0.5f64)
+            .with("d", true)
+            .with("e", Value::Null)
+            .with("f", Value::array(vec![Value::from("x"), Value::from(3u64)]));
+        assert_eq!(v.to_string(), r#"{"a":1,"b":-2,"c":0.5,"d":true,"e":null,"f":["x",3]}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let v = Value::from("line\n\"quote\"\\tab\t\u{1}");
+        assert_eq!(v.to_string(), "\"line\\n\\\"quote\\\"\\\\tab\\t\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        assert_eq!(Value::from(2.0f64).to_string(), "2.0");
+        assert_eq!(Value::from(f64::NAN).to_string(), "null");
+        let x = 0.1f64 + 0.2;
+        let printed = Value::from(x).to_string();
+        assert_eq!(printed.parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn pretty_printing_nests() {
+        let v = Value::object()
+            .with("empty", Value::object())
+            .with("list", Value::array(vec![Value::from(1u64), Value::from(2u64)]));
+        let s = v.to_string_pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("  \"empty\": {}"));
+        assert!(s.contains("  \"list\": [\n    1,\n    2\n  ]"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn exact_u64_counters() {
+        let big = u64::MAX;
+        assert_eq!(Value::from(big).to_string(), big.to_string());
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let v = Value::object().with("k", 7u64);
+        assert_eq!(v.get("k"), Some(&Value::UInt(7)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("k"), None);
+    }
+}

@@ -94,8 +94,7 @@ mod tests {
         let mut first = KSorter::new(2);
         first.offer(3.0, 10);
         first.offer(1.0, 11);
-        let stored: Vec<(f32, u64)> =
-            first.entries().to_vec();
+        let stored: Vec<(f32, u64)> = first.entries().to_vec();
         let mut second = KSorter::new(2);
         second.seed(&stored);
         second.offer(2.0, 20);

@@ -79,7 +79,13 @@ impl LayoutReport {
     /// `fu_factor`, each buffer with its own factor. Control and other
     /// stay fixed. Returns a new report with recomputed totals.
     #[must_use]
-    pub fn scaled(&self, fu_factor: f64, hot_factor: f64, cold_factor: f64, out_factor: f64) -> LayoutReport {
+    pub fn scaled(
+        &self,
+        fu_factor: f64,
+        hot_factor: f64,
+        cold_factor: f64,
+        out_factor: f64,
+    ) -> LayoutReport {
         let factor_for = |name: &str| match name {
             "Function Units" => fu_factor,
             "HotBuf" => hot_factor,

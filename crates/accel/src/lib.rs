@@ -23,14 +23,18 @@
 //!   MACs.
 //! - [`layout`] / [`EnergyModel`] — the Table-5 area/power breakdown
 //!   (3.51 mm², 596 mW, 0.99 ns critical path) as model constants.
+//! - [`trace`] — the observability layer: every run returns a
+//!   [`RunReport`] (statistics + configuration fingerprint, JSON
+//!   exportable), and [`Accelerator::enable_trace`] adds per-buffer
+//!   activity counters, ALU op classification, and a bounded event ring
+//!   without perturbing the statistics.
 //!
 //! # Example
 //!
 //! ```
-//! use pudiannao_accel::{isa, Accelerator, ArchConfig, Dram};
+//! use pudiannao_accel::{isa, Accelerator, ArchConfig, Dram, Error};
 //!
 //! // Dot-product of a stored vector against 4 streamed vectors.
-//! let config = ArchConfig::paper_default();
 //! let mut dram = Dram::new(1 << 20);
 //! let theta: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
 //! dram.write_f32(0, &theta);
@@ -38,21 +42,24 @@
 //!     let x: Vec<f32> = (0..16).map(|i| (i + v as usize) as f32 / 8.0).collect();
 //!     dram.write_f32(1024 + v * 16, &x);
 //! }
-//! let inst = isa::Instruction {
-//!     name: "lr-predict".into(),
-//!     hot: isa::BufferRead::load(0, 0, 16, 1),
-//!     cold: isa::BufferRead::load(1024, 0, 16, 4),
-//!     out: isa::OutputSlot::store(4096, 1, 4),
-//!     fu: isa::FuOps::dot_broadcast(None),
-//!     hot_row_base: 0,
-//! };
-//! let mut accel = Accelerator::new(config)?;
-//! let stats = accel.run(&isa::Program::new(vec![inst])?, &mut dram)?;
-//! assert!(stats.cycles > 0);
+//! let program = isa::Program::builder()
+//!     .instruction(
+//!         isa::Instruction::builder("lr-predict")
+//!             .hot_load(0, 0, 16, 1)
+//!             .cold_load(1024, 0, 16, 4)
+//!             .out_store(4096, 1, 4)
+//!             .fu(isa::FuOps::dot_broadcast(None)),
+//!     )
+//!     .build()?;
+//! let mut accel = Accelerator::new(ArchConfig::paper_default())?;
+//! let report = accel.run(&program, &mut dram)?;
+//! assert!(report.stats.cycles > 0);
+//! // Per-stage busy cycles partition the FU busy time exactly.
+//! assert_eq!(report.stats.stage_cycles.total(), report.stats.compute_cycles);
 //! let y = dram.read_f32(4096, 4);
 //! // Exact dot is sum(i^2)/128 = 9.6875; the fp16 datapath is within rounding.
 //! assert!((y[0] - 9.6875).abs() < 0.05);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,23 +68,27 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
 mod buffer;
 mod config;
 mod energy;
+mod error;
 mod exec;
 pub mod isa;
+pub mod json;
 mod ksorter;
 pub mod layout;
 mod memory;
 mod stats;
 pub mod timing;
+pub mod trace;
 
 pub use buffer::{Buffer, BufferKind};
 pub use config::{ArchConfig, ConfigError};
 pub use energy::EnergyModel;
-pub use exec::{Accelerator, ExecError};
+pub use error::Error;
+pub use exec::{charge_fetch, charge_instruction, Accelerator, ExecError};
 pub use isa::Program;
 pub use ksorter::KSorter;
 pub use memory::Dram;
-pub use stats::{ComponentEnergy, ExecStats};
+pub use stats::{ComponentEnergy, ExecStats, MluStage, StageCycles};
+pub use trace::{RunReport, TraceConfig, TraceEvent, TraceReport};

@@ -21,13 +21,14 @@ use core::fmt;
 #[derive(Clone)]
 pub struct Dram {
     data: Vec<f32>,
+    write_footprint: u64,
 }
 
 impl Dram {
     /// Allocates `elems` zeroed f32 elements.
     #[must_use]
     pub fn new(elems: usize) -> Dram {
-        Dram { data: vec![0.0; elems] }
+        Dram { data: vec![0.0; elems], write_footprint: 0 }
     }
 
     /// Capacity in f32 elements.
@@ -71,7 +72,16 @@ impl Dram {
     /// Panics if the range exceeds the capacity.
     pub fn write_f32(&mut self, addr: u64, values: &[f32]) {
         let a = addr as usize;
+        self.write_footprint = self.write_footprint.max((a + values.len()) as u64);
         self.data[a..a + values.len()].copy_from_slice(values);
+    }
+
+    /// High-water write footprint in elements: the largest `addr + len`
+    /// any write has touched since allocation. Bounds how much DRAM a
+    /// workload (host staging plus accelerator stores) actually used.
+    #[must_use]
+    pub fn write_footprint_elems(&self) -> u64 {
+        self.write_footprint
     }
 
     /// Checks that `[addr, addr + len)` fits.
@@ -100,6 +110,9 @@ mod tests {
         assert_eq!(d.read_f32(4, 2), vec![1.5, -2.5]);
         assert_eq!(d.slice(5, 1), &[-2.5]);
         assert_eq!(d.read_f32(0, 1), vec![0.0]);
+        assert_eq!(d.write_footprint_elems(), 6);
+        d.write_f32(0, &[1.0]);
+        assert_eq!(d.write_footprint_elems(), 6);
     }
 
     #[test]

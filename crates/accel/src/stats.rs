@@ -1,7 +1,142 @@
 //! Execution statistics.
 
+use crate::json::Value;
 use core::fmt;
 use core::ops::AddAssign;
+
+/// One stage of the MLU pipeline (Counter, Adder, Multiplier, Adder-tree,
+/// Acc, Misc — Section 4.1), plus the per-FU scalar ALU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MluStage {
+    /// Counter stage (bitwise-AND / comparer + accumulator).
+    Counter,
+    /// Adder stage.
+    Adder,
+    /// Multiplier stage.
+    Multiplier,
+    /// Adder-tree stage.
+    AdderTree,
+    /// 32-bit accumulation stage.
+    Acc,
+    /// Misc stage (k-sorter / linear interpolation).
+    Misc,
+    /// The scalar ALU attached to each FU.
+    Alu,
+}
+
+impl MluStage {
+    /// All stages, in pipeline order (ALU last).
+    pub const ALL: [MluStage; 7] = [
+        MluStage::Counter,
+        MluStage::Adder,
+        MluStage::Multiplier,
+        MluStage::AdderTree,
+        MluStage::Acc,
+        MluStage::Misc,
+        MluStage::Alu,
+    ];
+
+    /// Stable name used in reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            MluStage::Counter => "counter",
+            MluStage::Adder => "adder",
+            MluStage::Multiplier => "multiplier",
+            MluStage::AdderTree => "adder_tree",
+            MluStage::Acc => "acc",
+            MluStage::Misc => "misc",
+            MluStage::Alu => "alu",
+        }
+    }
+}
+
+impl fmt::Display for MluStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Busy-cycle attribution per MLU stage.
+///
+/// Each instruction's compute occupancy is divided across the stages its
+/// dataflow exercises (evenly, remainder to the first active stage), so
+/// summing every stage always yields exactly [`ExecStats::compute_cycles`]
+/// — and therefore never exceeds [`ExecStats::cycles`]. A stage's count is
+/// "the share of FU busy time this stage's work accounts for", not "cycles
+/// the stage's latches toggled" (in a systolic pipeline every active stage
+/// toggles every cycle, which would multiply-count the same cycle).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StageCycles {
+    /// Counter-stage share.
+    pub counter: u64,
+    /// Adder-stage share.
+    pub adder: u64,
+    /// Multiplier-stage share.
+    pub multiplier: u64,
+    /// Adder-tree share.
+    pub adder_tree: u64,
+    /// Acc-stage share.
+    pub acc: u64,
+    /// Misc-stage share.
+    pub misc: u64,
+    /// ALU share.
+    pub alu: u64,
+}
+
+impl StageCycles {
+    /// The counter for one stage.
+    #[must_use]
+    pub const fn get(&self, stage: MluStage) -> u64 {
+        match stage {
+            MluStage::Counter => self.counter,
+            MluStage::Adder => self.adder,
+            MluStage::Multiplier => self.multiplier,
+            MluStage::AdderTree => self.adder_tree,
+            MluStage::Acc => self.acc,
+            MluStage::Misc => self.misc,
+            MluStage::Alu => self.alu,
+        }
+    }
+
+    /// Mutable access to one stage's counter.
+    pub fn get_mut(&mut self, stage: MluStage) -> &mut u64 {
+        match stage {
+            MluStage::Counter => &mut self.counter,
+            MluStage::Adder => &mut self.adder,
+            MluStage::Multiplier => &mut self.multiplier,
+            MluStage::AdderTree => &mut self.adder_tree,
+            MluStage::Acc => &mut self.acc,
+            MluStage::Misc => &mut self.misc,
+            MluStage::Alu => &mut self.alu,
+        }
+    }
+
+    /// Total attributed busy cycles (equals the owning run's
+    /// `compute_cycles`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        MluStage::ALL.iter().map(|&s| self.get(s)).sum()
+    }
+
+    /// JSON object with one field per stage, in pipeline order.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut obj = Value::object();
+        for stage in MluStage::ALL {
+            obj.set(stage.name(), self.get(stage));
+        }
+        obj
+    }
+}
+
+impl AddAssign for StageCycles {
+    fn add_assign(&mut self, rhs: StageCycles) {
+        for stage in MluStage::ALL {
+            *self.get_mut(stage) += rhs.get(stage);
+        }
+    }
+}
 
 /// Per-component energy in joules, mirroring Table 5's functional blocks.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -60,6 +195,17 @@ pub struct ExecStats {
     pub alu_ops: u64,
     /// Energy by component.
     pub energy: ComponentEnergy,
+    /// Busy-cycle attribution per MLU stage (sums to `compute_cycles`).
+    pub stage_cycles: StageCycles,
+    /// DMA descriptors issued that continued a regular stride pattern.
+    pub dma_regular_descriptors: u64,
+    /// DMA descriptors that required reconfiguring the engine for an
+    /// irregular access pattern (tree-node ranges, gathered rows).
+    pub dma_reconfig_descriptors: u64,
+    /// Cycles execution waited on the DMA: the full transfer when it
+    /// serialises (first instruction, or double-buffering off), otherwise
+    /// only the portion not hidden behind compute.
+    pub dma_stall_cycles: u64,
 }
 
 impl ExecStats {
@@ -109,6 +255,38 @@ impl ExecStats {
         self.mlu_ops += other.mlu_ops;
         self.alu_ops += other.alu_ops;
         self.energy += other.energy;
+        self.stage_cycles += other.stage_cycles;
+        self.dma_regular_descriptors += other.dma_regular_descriptors;
+        self.dma_reconfig_descriptors += other.dma_reconfig_descriptors;
+        self.dma_stall_cycles += other.dma_stall_cycles;
+    }
+
+    /// JSON object with every counter and the per-component energy.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("cycles", self.cycles)
+            .with("instructions", self.instructions)
+            .with("compute_cycles", self.compute_cycles)
+            .with("dma_cycles", self.dma_cycles)
+            .with("dma_bytes", self.dma_bytes)
+            .with("mlu_ops", self.mlu_ops)
+            .with("alu_ops", self.alu_ops)
+            .with("stage_cycles", self.stage_cycles.to_json())
+            .with("dma_regular_descriptors", self.dma_regular_descriptors)
+            .with("dma_reconfig_descriptors", self.dma_reconfig_descriptors)
+            .with("dma_stall_cycles", self.dma_stall_cycles)
+            .with(
+                "energy_joules",
+                Value::object()
+                    .with("fus", self.energy.fus)
+                    .with("hotbuf", self.energy.hotbuf)
+                    .with("coldbuf", self.energy.coldbuf)
+                    .with("outputbuf", self.energy.outputbuf)
+                    .with("control", self.energy.control)
+                    .with("other", self.energy.other)
+                    .with("total", self.energy.total()),
+            )
     }
 }
 
@@ -166,11 +344,55 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = ExecStats { cycles: 10, instructions: 1, ..Default::default() };
-        let b = ExecStats { cycles: 5, instructions: 2, dma_bytes: 100, ..Default::default() };
+        let b = ExecStats {
+            cycles: 5,
+            instructions: 2,
+            dma_bytes: 100,
+            stage_cycles: StageCycles { adder: 3, alu: 1, ..Default::default() },
+            dma_regular_descriptors: 2,
+            dma_reconfig_descriptors: 1,
+            dma_stall_cycles: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.instructions, 3);
         assert_eq!(a.dma_bytes, 100);
+        assert_eq!(a.stage_cycles.adder, 3);
+        assert_eq!(a.stage_cycles.total(), 4);
+        assert_eq!(a.dma_regular_descriptors, 2);
+        assert_eq!(a.dma_reconfig_descriptors, 1);
+        assert_eq!(a.dma_stall_cycles, 4);
         assert!(a.to_string().contains("15 cycles"));
+    }
+
+    #[test]
+    fn stage_cycles_accessors_cover_all_stages() {
+        let mut s = StageCycles::default();
+        for (i, stage) in MluStage::ALL.into_iter().enumerate() {
+            *s.get_mut(stage) = i as u64 + 1;
+            assert_eq!(s.get(stage), i as u64 + 1);
+            assert_eq!(stage.to_string(), stage.name());
+        }
+        assert_eq!(s.total(), (1..=7).sum::<u64>());
+        let mut doubled = s;
+        doubled += s;
+        assert_eq!(doubled.total(), 2 * s.total());
+    }
+
+    #[test]
+    fn stats_serialise_to_json() {
+        let s = ExecStats {
+            cycles: 100,
+            compute_cycles: 60,
+            stage_cycles: StageCycles { multiplier: 40, acc: 20, ..Default::default() },
+            dma_regular_descriptors: 5,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("cycles"), Some(&Value::UInt(100)));
+        assert_eq!(j.get("stage_cycles").and_then(|v| v.get("multiplier")), Some(&Value::UInt(40)));
+        assert!(j.get("energy_joules").is_some());
+        assert!(j.to_string().contains("\"dma_regular_descriptors\":5"));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::config::ArchConfig;
 use crate::isa::{AluOp, CounterOp, FuOps, Instruction, MiscOp, ReadOp, WriteOp};
+use crate::stats::{MluStage, StageCycles};
 use core::fmt;
 
 /// Extra OutputBuf round-trips NB's probability products need: without a
@@ -157,6 +158,58 @@ pub struct InstTiming {
     pub mlu_ops: u64,
     /// Arithmetic operations executed on ALUs.
     pub alu_ops: u64,
+    /// `compute_cycles` attributed across the pipeline stages this
+    /// instruction's dataflow exercises (see [`StageCycles`]).
+    pub stage_cycles: StageCycles,
+    /// Whether this instruction's DMA descriptors required reconfiguring
+    /// the engine for an irregular access pattern (vs continuing a regular
+    /// stride).
+    pub reconfigured_dma: bool,
+}
+
+/// The pipeline stages a mode's dataflow exercises, in pipeline order.
+#[must_use]
+pub fn active_stages(mode: &Mode) -> Vec<MluStage> {
+    match mode {
+        Mode::Distance { sort_k, activation } => {
+            let mut stages =
+                vec![MluStage::Adder, MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc];
+            if sort_k.is_some() || activation.is_some() {
+                stages.push(MluStage::Misc);
+            }
+            stages
+        }
+        Mode::Dot { activation, .. } => {
+            let mut stages = vec![MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc];
+            if activation.is_some() {
+                stages.push(MluStage::Misc);
+            }
+            stages
+        }
+        Mode::Count(_) => vec![MluStage::Counter],
+        Mode::WeightedSum => vec![MluStage::Adder, MluStage::Multiplier, MluStage::Acc],
+        // NB's probability products run on the Misc multiplier with
+        // OutputBuf round-trips through the Acc stage.
+        Mode::ProductReduce => vec![MluStage::Multiplier, MluStage::Acc, MluStage::Misc],
+        Mode::AluDiv | Mode::AluMul | Mode::AluLog { .. } | Mode::TreeStep => vec![MluStage::Alu],
+    }
+}
+
+/// Divides `compute_cycles` across `stages` (evenly, remainder to the
+/// first), so the per-stage counters of a run sum to exactly its
+/// `compute_cycles`.
+fn attribute_stages(stages: &[MluStage], compute_cycles: u64) -> StageCycles {
+    let mut out = StageCycles::default();
+    if stages.is_empty() {
+        return out;
+    }
+    let n = stages.len() as u64;
+    let share = compute_cycles / n;
+    let remainder = compute_cycles % n;
+    for (i, &stage) in stages.iter().enumerate() {
+        *out.get_mut(stage) = share + if i == 0 { remainder } else { 0 };
+    }
+    out
 }
 
 fn div_ceil(a: u64, b: u64) -> u64 {
@@ -254,20 +307,24 @@ pub fn instruction_timing(
         reconfigs += 1;
     }
     let transfer = (bytes as f64 / config.dma_bytes_per_cycle()).ceil() as u64;
-    let descriptor_cost = if matches!(mode, Mode::TreeStep | Mode::ProductReduce) {
+    let reconfigured_dma = matches!(mode, Mode::TreeStep | Mode::ProductReduce);
+    let descriptor_cost = if reconfigured_dma {
         u64::from(config.dma_reconfig_cycles)
     } else {
         REGULAR_DESCRIPTOR_CYCLES
     };
     let dma_cycles = transfer + u64::from(reconfigs) * descriptor_cost;
 
+    let compute_cycles = compute + PIPELINE_DEPTH;
     Ok(InstTiming {
-        compute_cycles: compute + PIPELINE_DEPTH,
+        compute_cycles,
         dma_cycles,
         dma_bytes: bytes,
         dma_reconfigs: reconfigs,
         mlu_ops,
         alu_ops,
+        stage_cycles: attribute_stages(&active_stages(&mode), compute_cycles),
+        reconfigured_dma,
     })
 }
 
@@ -362,6 +419,56 @@ mod tests {
             slow.compute_cycles - PIPELINE_DEPTH
                 == (fast.compute_cycles - PIPELINE_DEPTH) * PRODUCT_ROUNDTRIP_PENALTY
         );
+    }
+
+    #[test]
+    fn stage_attribution_conserves_compute_cycles() {
+        let cfg = ArchConfig::paper_default();
+        let t = instruction_timing(&cfg, &kmeans_like()).unwrap();
+        // Distance-with-sort exercises Adder..Acc plus Misc; the split
+        // must account for every compute cycle exactly once.
+        assert_eq!(t.stage_cycles.total(), t.compute_cycles);
+        assert!(t.stage_cycles.adder > 0);
+        assert!(t.stage_cycles.misc > 0);
+        assert_eq!(t.stage_cycles.counter, 0);
+        assert_eq!(t.stage_cycles.alu, 0);
+        assert!(!t.reconfigured_dma);
+    }
+
+    #[test]
+    fn irregular_modes_flag_dma_reconfiguration() {
+        let cfg = ArchConfig::paper_default();
+        let tree = Instruction {
+            name: "ct".into(),
+            hot: BufferRead::load(0, 0, 4, 8),
+            cold: BufferRead::load(64, 0, 4, 8),
+            out: OutputSlot::store(900, 1, 8),
+            fu: FuOps::alu_only(AluOp::TreeStep),
+            hot_row_base: 0,
+        };
+        let t = instruction_timing(&cfg, &tree).unwrap();
+        assert!(t.reconfigured_dma);
+        assert_eq!(t.stage_cycles.total(), t.compute_cycles);
+        assert_eq!(t.stage_cycles.alu, t.compute_cycles);
+        assert!(!instruction_timing(&cfg, &kmeans_like()).unwrap().reconfigured_dma);
+    }
+
+    #[test]
+    fn every_mode_attributes_at_least_one_stage() {
+        for mode in [
+            Mode::Distance { sort_k: None, activation: None },
+            Mode::Distance { sort_k: Some(3), activation: None },
+            Mode::Dot { activation: Some(pudiannao_softfp::NonLinearFn::Sigmoid), pairwise: false },
+            Mode::Count(CounterOp::CountEq),
+            Mode::WeightedSum,
+            Mode::ProductReduce,
+            Mode::AluDiv,
+            Mode::AluMul,
+            Mode::AluLog { terms: 10 },
+            Mode::TreeStep,
+        ] {
+            assert!(!active_stages(&mode).is_empty(), "{mode:?}");
+        }
     }
 
     #[test]

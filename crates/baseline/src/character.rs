@@ -41,14 +41,15 @@ pub fn characterize(phase: Phase, w: &Workload) -> PhaseCharacter {
             let pairs = w.train as f64 * w.kmeans_k as f64 * w.kmeans_iters as f64;
             PhaseCharacter {
                 flops: pairs * 3.0 * w.features as f64,
-                bytes: (w.train + w.kmeans_k) as f64 * w.features as f64 * f4
+                bytes: (w.train + w.kmeans_k) as f64
+                    * w.features as f64
+                    * f4
                     * w.kmeans_iters as f64,
             }
         }
         Phase::DnnPrediction => PhaseCharacter {
             flops: dnn_flops_per_instance(&w.dnn_layers) * w.test as f64,
-            bytes: dnn_weight_bytes(&w.dnn_layers)
-                + w.test as f64 * w.dnn_layers[0] as f64 * f4,
+            bytes: dnn_weight_bytes(&w.dnn_layers) + w.test as f64 * w.dnn_layers[0] as f64 * f4,
         },
         Phase::DnnPretraining => PhaseCharacter {
             // CD-1: three propagations plus the outer-product update.
@@ -90,17 +91,12 @@ pub fn characterize(phase: Phase, w: &Workload) -> PhaseCharacter {
         Phase::NbTraining => PhaseCharacter {
             // One compare per (instance, feature, value) plus a counter
             // update per (instance, feature).
-            flops: w.nb_instances as f64
-                * w.nb_features as f64
-                * (w.nb_values as f64 + 1.0),
+            flops: w.nb_instances as f64 * w.nb_features as f64 * (w.nb_values as f64 + 1.0),
             bytes: w.nb_instances as f64 * (w.nb_features + 1) as f64 * f4,
         },
         Phase::NbPrediction => PhaseCharacter {
             flops: w.nb_instances as f64 * w.nb_classes as f64 * (w.nb_features + 1) as f64,
-            bytes: w.nb_instances as f64
-                * w.nb_classes as f64
-                * (w.nb_features + 1) as f64
-                * f4,
+            bytes: w.nb_instances as f64 * w.nb_classes as f64 * (w.nb_features + 1) as f64 * f4,
         },
         Phase::CtTraining => PhaseCharacter {
             // Per level: compare every instance's features against the

@@ -1,7 +1,7 @@
 //! Criterion benches for the binary16 software floats.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use pudiannao_softfp::{int_path, F16, InterpTable, NonLinearFn};
+use pudiannao_softfp::{int_path, InterpTable, NonLinearFn, F16};
 
 fn bench_f16_ops(c: &mut Criterion) {
     let xs: Vec<F16> = (0..1024).map(|i| F16::from_f32(i as f32 * 0.01 - 5.0)).collect();

@@ -1,5 +1,8 @@
-//! Runs every reproduction experiment and writes `repro_summary.json`.
+//! Runs every reproduction experiment and writes `repro_summary.json`
+//! plus `phase_reports.json` (one machine-readable `RunReport` per
+//! Figure-15 phase).
 
+use pudiannao_accel::json::Value;
 use pudiannao_bench::{evaluation, locality, ExperimentReport};
 
 fn main() {
@@ -23,7 +26,13 @@ fn main() {
         evaluation::ablation_scaling(),
         evaluation::time_fractions(),
     ];
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialise");
+    let json =
+        Value::array(reports.iter().map(ExperimentReport::to_json).collect()).to_string_pretty();
     std::fs::write("repro_summary.json", &json).expect("writable working directory");
     println!("\nwrote repro_summary.json ({} experiments)", reports.len());
+
+    let phase_json = evaluation::phase_reports_json();
+    std::fs::write("phase_reports.json", phase_json.to_string_pretty())
+        .expect("writable working directory");
+    println!("wrote phase_reports.json (13 per-phase run reports)");
 }

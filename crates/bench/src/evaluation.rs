@@ -2,12 +2,13 @@
 //! the design-choice ablations.
 
 use crate::{banner, series_row, Check, ExperimentReport};
-use pudiannao_accel::{layout, ArchConfig};
+use pudiannao_accel::json::Value;
+use pudiannao_accel::{layout, ArchConfig, RunReport};
 use pudiannao_baseline as baseline;
 use pudiannao_baseline::DeviceKind;
+use pudiannao_codegen::disasm;
 use pudiannao_codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
 use pudiannao_codegen::phases::{model_phase, Phase, Workload};
-use pudiannao_codegen::disasm;
 use pudiannao_datasets::{synth, train_test_split};
 use pudiannao_mlkit::metrics::{accuracy, cluster_purity, mse};
 use pudiannao_mlkit::{dnn, kmeans, knn, linreg, svm, Precision};
@@ -54,12 +55,10 @@ pub fn table1_precision() -> ExperimentReport {
             ..Default::default()
         };
         let m = svm::SvmClassifier::fit(&raw_split.train, cfg).expect("svm fit");
-        accuracy(
-            &m.predict(&raw_split.test.features).expect("svm predict"),
-            &raw_split.test.labels,
-        )
+        accuracy(&m.predict(&raw_split.test.features).expect("svm predict"), &raw_split.test.labels)
     };
-    let (s32, s16, smx) = (svm_acc(Precision::F32), svm_acc(Precision::F16All), svm_acc(Precision::Mixed));
+    let (s32, s16, smx) =
+        (svm_acc(Precision::F32), svm_acc(Precision::F16All), svm_acc(Precision::Mixed));
 
     // --- k-NN on its own (normalised) benchmark ---
     let data = synth::gaussian_blobs(&synth::BlobsConfig {
@@ -75,7 +74,8 @@ pub fn table1_precision() -> ExperimentReport {
         let m = knn::KnnClassifier::fit(&split.train, cfg).expect("knn fit");
         accuracy(&m.predict(&split.test.features).expect("knn predict"), &split.test.labels)
     };
-    let (k32, k16, kmx) = (knn_acc(Precision::F32), knn_acc(Precision::F16All), knn_acc(Precision::Mixed));
+    let (k32, k16, kmx) =
+        (knn_acc(Precision::F32), knn_acc(Precision::F16All), knn_acc(Precision::Mixed));
 
     // --- k-Means (purity against generating labels) ---
     let blob4 = synth::gaussian_blobs(&synth::BlobsConfig {
@@ -96,7 +96,8 @@ pub fn table1_precision() -> ExperimentReport {
         let m = kmeans::KMeans::fit(&blob4.features, cfg).expect("kmeans fit");
         cluster_purity(m.assignments(), &blob4.labels)
     };
-    let (m32, m16, mmx) = (km_acc(Precision::F32), km_acc(Precision::F16All), km_acc(Precision::Mixed));
+    let (m32, m16, mmx) =
+        (km_acc(Precision::F32), km_acc(Precision::F16All), km_acc(Precision::Mixed));
 
     // --- LR (regression quality expressed as 1 / (1 + MSE)) ---
     let (reg, _) = synth::linear_teacher(300, 16, 0.0, 7);
@@ -112,7 +113,8 @@ pub fn table1_precision() -> ExperimentReport {
         // to ~100% and the stalled all-16 fit (~1e-4) to well below it.
         1.0 / (1.0 + mse(&m.predict(&reg.features).expect("lr predict"), &reg.labels) * 1e4)
     };
-    let (l32, l16, lmx) = (lr_quality(Precision::F32), lr_quality(Precision::F16All), lr_quality(Precision::Mixed));
+    let (l32, l16, lmx) =
+        (lr_quality(Precision::F32), lr_quality(Precision::F16All), lr_quality(Precision::Mixed));
 
     // --- DNN (MLP) ---
     let dnn_acc = |precision| {
@@ -121,7 +123,8 @@ pub fn table1_precision() -> ExperimentReport {
         m.train(&split.train).expect("mlp train");
         accuracy(&m.predict(&split.test.features).expect("mlp predict"), &split.test.labels)
     };
-    let (d32, d16, dmx) = (dnn_acc(Precision::F32), dnn_acc(Precision::F16All), dnn_acc(Precision::Mixed));
+    let (d32, d16, dmx) =
+        (dnn_acc(Precision::F32), dnn_acc(Precision::F16All), dnn_acc(Precision::Mixed));
 
     let rows: [(&str, f64, f64, f64, f64, f64); 5] = [
         ("SVM", s32, s16, smx, 37.7, 98.2),
@@ -226,6 +229,29 @@ fn phase_table() -> Vec<(Phase, f64, f64, f64, f64, f64, f64)> {
             )
         })
         .collect()
+}
+
+/// One machine-readable [`RunReport`] per Figure-15 phase, modelled at
+/// paper scale on the paper configuration. The per-stage busy-cycle
+/// breakdown in each report sums to that phase's `compute_cycles` (and so
+/// never exceeds its total cycles).
+#[must_use]
+pub fn phase_run_reports() -> Vec<RunReport> {
+    let cfg = ArchConfig::paper_default();
+    let w = Workload::paper();
+    Phase::ALL
+        .iter()
+        .map(|&phase| {
+            let stats = model_phase(&cfg, phase, &w).expect("phase models at paper scale");
+            RunReport::from_stats(phase.label(), stats, &cfg)
+        })
+        .collect()
+}
+
+/// The [`phase_run_reports`] as one JSON array, ready to write to disk.
+#[must_use]
+pub fn phase_reports_json() -> Value {
+    Value::array(phase_run_reports().iter().map(RunReport::to_json).collect())
 }
 
 /// Figure 13: GPU speedup over the SIMD CPU per phase.
@@ -358,11 +384,7 @@ pub fn ablation_interp() -> ExperimentReport {
             last = err;
         }
         let fine = InterpTable::for_function(func, 256).expect("valid table").max_abs_error(20_000);
-        checks.push(Check::new(
-            format!("{func} error at 256 segments (< 1e-3)"),
-            0.0,
-            fine,
-        ));
+        checks.push(Check::new(format!("{func} error at 256 segments (< 1e-3)"), 0.0, fine));
     }
     ExperimentReport { id: "ablation-interp".into(), title: "interp resolution".into(), checks }
 }
@@ -396,9 +418,7 @@ pub fn ablation_scaling() -> ExperimentReport {
             ..paper.clone()
         };
         let t = |phase| {
-            model_phase(&cfg, phase, &w)
-                .map(|s| s.seconds(cfg.freq_hz))
-                .unwrap_or(f64::NAN)
+            model_phase(&cfg, phase, &w).map(|s| s.seconds(cfg.freq_hz)).unwrap_or(f64::NAN)
         };
         let area = layout::paper_layout()
             .scaled(
@@ -468,8 +488,9 @@ pub fn time_fractions() -> ExperimentReport {
         seed: 3,
     });
     let split = train_test_split(&data, 0.2, 1);
-    let model = knn::KnnClassifier::fit(&split.train, knn::KnnConfig { k: 20, ..Default::default() })
-        .expect("fits");
+    let model =
+        knn::KnnClassifier::fit(&split.train, knn::KnnConfig { k: 20, ..Default::default() })
+            .expect("fits");
     let t0 = Instant::now();
     let _ = model.predict(&split.test.features).expect("predicts");
     let total = t0.elapsed().as_secs_f64();
@@ -497,8 +518,10 @@ pub fn time_fractions() -> ExperimentReport {
     for _ in 0..km.iterations().min(10) {
         for i in 0..data.len() {
             for c in 0..10 {
-                sink2 += Precision::F32
-                    .squared_distance(data.instance(i), km.centroids().row(c % km.centroids().rows()));
+                sink2 += Precision::F32.squared_distance(
+                    data.instance(i),
+                    km.centroids().row(c % km.centroids().rows()),
+                );
             }
         }
     }
@@ -511,7 +534,11 @@ pub fn time_fractions() -> ExperimentReport {
     c1.print();
     c2.print();
     println!("  (wall-clock on this host's software implementations; the paper\n   measured an Intel Xeon E5-4620 on UCI Gas)");
-    ExperimentReport { id: "section2-time".into(), title: "time fractions".into(), checks: vec![c1, c2] }
+    ExperimentReport {
+        id: "section2-time".into(),
+        title: "time fractions".into(),
+        checks: vec![c1, c2],
+    }
 }
 
 /// Figure 14: the chip floorplan. We cannot place-and-route, but the
@@ -539,12 +566,7 @@ pub fn fig14_floorplan() -> ExperimentReport {
     for row in &l.blocks {
         let share = row.area_um2 / l.total_area_um2;
         let lines = ((share * TOTAL_LINES).round() as usize).max(1);
-        let label = format!(
-            "{} {} ({:.2}%)",
-            abbrev(row.name),
-            row.name,
-            100.0 * share
-        );
+        let label = format!("{} {} ({:.2}%)", abbrev(row.name), row.name, 100.0 * share);
         for i in 0..lines {
             if i == lines / 2 {
                 println!("  |{label:^WIDTH$}|");
@@ -560,11 +582,7 @@ pub fn fig14_floorplan() -> ExperimentReport {
         33.22,
         l.area_percent("ColdBuf").unwrap_or(0.0),
     ));
-    checks.push(Check::new(
-        "die area (mm^2)",
-        3.51,
-        l.total_area_um2 / 1e6,
-    ));
+    checks.push(Check::new("die area (mm^2)", 3.51, l.total_area_um2 / 1e6));
     for c in &checks {
         c.print();
     }

@@ -11,10 +11,10 @@
 pub mod evaluation;
 pub mod locality;
 
-use serde::Serialize;
+use pudiannao_accel::json::Value;
 
 /// One paper-vs-measured comparison point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Check {
     /// What is being compared (e.g. "k-NN tiled bandwidth reduction, %").
     pub metric: String,
@@ -51,6 +51,15 @@ impl Check {
             100.0 * (self.measured - self.paper) / self.paper.abs().max(1e-12),
         );
     }
+
+    /// JSON object for the summary file.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("metric", self.metric.as_str())
+            .with("paper", self.paper)
+            .with("measured", self.measured)
+    }
 }
 
 /// Prints the standard experiment banner.
@@ -64,7 +73,7 @@ pub fn series_row(label: &str, value: f64, unit: &str) {
 }
 
 /// An experiment result bundle for the JSON summary.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Experiment identifier ("fig02", "table1", ...).
     pub id: String,
@@ -72,6 +81,17 @@ pub struct ExperimentReport {
     pub title: String,
     /// All paper-vs-measured checks.
     pub checks: Vec<Check>,
+}
+
+impl ExperimentReport {
+    /// JSON object for the summary file.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("id", self.id.as_str())
+            .with("title", self.title.as_str())
+            .with("checks", Value::array(self.checks.iter().map(Check::to_json).collect()))
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +112,8 @@ mod tests {
             title: "t".into(),
             checks: vec![Check::new("m", 1.0, 1.1)],
         };
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_string();
         assert!(json.contains("fig02"));
+        assert!(json.contains("\"paper\":1.0"));
     }
 }

@@ -35,11 +35,8 @@ pub fn fig04_kmeans_tiling() -> ExperimentReport {
     let tiled = kernels::kmeans::tiled_bandwidth(&shape, 32, 32, &cfg);
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
-    let check = Check::new(
-        "bandwidth reduction from tiling (%)",
-        92.5,
-        tiled.reduction_vs(&untiled),
-    );
+    let check =
+        Check::new("bandwidth reduction from tiling (%)", 92.5, tiled.reduction_vs(&untiled));
     check.print();
     ExperimentReport {
         id: "fig04".into(),
@@ -58,11 +55,8 @@ pub fn fig05_dnn_tiling() -> ExperimentReport {
     let tiled = kernels::dnn::tiled_bandwidth(&shape, 4096, &cfg);
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
-    let check = Check::new(
-        "bandwidth reduction from tiling (%)",
-        46.7,
-        tiled.reduction_vs(&untiled),
-    );
+    let check =
+        Check::new("bandwidth reduction from tiling (%)", 46.7, tiled.reduction_vs(&untiled));
     check.print();
     ExperimentReport {
         id: "fig05".into(),
@@ -81,11 +75,8 @@ pub fn fig08_lr_tiling() -> ExperimentReport {
     let tiled = kernels::linreg::tiled_bandwidth(&shape, 4096, &cfg);
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
-    let check = Check::new(
-        "bandwidth reduction from tiling (%)",
-        46.7,
-        tiled.reduction_vs(&untiled),
-    );
+    let check =
+        Check::new("bandwidth reduction from tiling (%)", 46.7, tiled.reduction_vs(&untiled));
     check.print();
     ExperimentReport {
         id: "fig08".into(),
@@ -104,11 +95,8 @@ pub fn fig09_svm_tiling() -> ExperimentReport {
     let tiled = kernels::svm::tiled_bandwidth(&shape, 32, 32, &cfg);
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
-    let check = Check::new(
-        "bandwidth reduction from tiling (%)",
-        93.9,
-        tiled.reduction_vs(&untiled),
-    );
+    let check =
+        Check::new("bandwidth reduction from tiling (%)", 93.9, tiled.reduction_vs(&untiled));
     check.print();
     ExperimentReport {
         id: "fig09".into(),
@@ -133,8 +121,7 @@ pub fn fig10_reuse_distance() -> ExperimentReport {
         );
     }
     // (b) NB training: 2 classes (instance data at ~1; counters spread).
-    let nb_shape =
-        kernels::nb::NbShape { instances: 512, features: 8, values: 4, classes: 5 };
+    let nb_shape = kernels::nb::NbShape { instances: 512, features: 8, values: 4, classes: 5 };
     let nb = kernels::nb::training_reuse(&nb_shape, 42);
     let nb_classes = nb.classes(8.0);
     for (i, c) in nb_classes.iter().enumerate() {

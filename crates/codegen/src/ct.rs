@@ -85,7 +85,9 @@ impl CtCountKernel {
             );
             parity ^= 1;
             let out = match (first, last) {
-                (true, true) => OutputSlot::store(plan.counters_dram, f as u32, self.thresholds as u32),
+                (true, true) => {
+                    OutputSlot::store(plan.counters_dram, f as u32, self.thresholds as u32)
+                }
                 (true, false) => OutputSlot::write(0, f as u32, self.thresholds as u32),
                 (false, true) => OutputSlot::accumulate_store(
                     0,
@@ -268,12 +270,7 @@ impl TreeWalkKernel {
                 let states = plan.states_dram + c0 as u64;
                 insts.push(Instruction {
                     name: "ct-predict".into(),
-                    hot: BufferRead::load(
-                        plan.tree_dram + (start * 4) as u64,
-                        0,
-                        4,
-                        len as u32,
-                    ),
+                    hot: BufferRead::load(plan.tree_dram + (start * 4) as u64, 0, 4, len as u32),
                     cold: if level == 0 {
                         BufferRead::load(
                             plan.instances_dram + (c0 * f) as u64,
@@ -437,7 +434,10 @@ mod tests {
     fn validation() {
         let cfg = ArchConfig::paper_default();
         assert!(CtCountKernel { features: 0, thresholds: 1, instances: 1 }
-            .generate(&cfg, &CtCountPlan { instances_dram: 0, thresholds_dram: 0, counters_dram: 0 })
+            .generate(
+                &cfg,
+                &CtCountPlan { instances_dram: 0, thresholds_dram: 0, counters_dram: 0 }
+            )
             .is_err());
         assert!(TreeWalkKernel { depth: 0, features: 2, instances: 2 }
             .generate(&cfg, &TreeWalkPlan { tree_dram: 0, instances_dram: 0, states_dram: 0 })

@@ -4,8 +4,7 @@
 //! generated k-Means program can be compared, row by row, with Table 3.
 
 use pudiannao_accel::isa::{
-    AccOp, AdderOp, AluOp, CounterOp, Instruction, MiscOp, MultOp, Program, ReadOp, TreeOp,
-    WriteOp,
+    AccOp, AdderOp, AluOp, CounterOp, Instruction, MiscOp, MultOp, Program, ReadOp, TreeOp, WriteOp,
 };
 
 fn read_op(op: ReadOp) -> &'static str {

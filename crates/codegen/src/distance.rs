@@ -122,11 +122,7 @@ impl DistanceKernel {
     /// # Errors
     ///
     /// Propagates [`DistanceKernel::tiling`] failures.
-    pub fn generate(
-        &self,
-        cfg: &ArchConfig,
-        plan: &DistancePlan,
-    ) -> Result<Program, CodegenError> {
+    pub fn generate(&self, cfg: &ArchConfig, plan: &DistancePlan) -> Result<Program, CodegenError> {
         let t = self.tiling(cfg)?;
         let f = self.features as u32;
         let hot_half = cfg.hotbuf_elems() / 2;
@@ -248,9 +244,22 @@ mod tests {
         let program = kernel.generate(&cfg, &plan).unwrap();
         let mut accel = Accelerator::new(cfg).unwrap();
         accel.run(&program, &mut dram).unwrap();
+        let sq_dist =
+            |r: &[f32], q: &[f32]| -> f32 { r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum() };
         for (i, inst) in instances.iter().enumerate() {
             let out = dram.read_f32(500_000 + (i * 2) as u64, 2);
-            assert_eq!(out[1] as usize, nearest(&centroids, inst), "instance {i}");
+            let chosen = out[1] as usize;
+            let best = nearest(&centroids, inst);
+            if chosen != best {
+                // The fp16 datapath may flip the argmin when two centroids
+                // are closer than fp16 resolution; accept those near-ties.
+                let d_chosen = sq_dist(&centroids[chosen], inst);
+                let d_best = sq_dist(&centroids[best], inst);
+                assert!(
+                    (d_chosen - d_best).abs() <= 2e-3 * d_best.max(1.0),
+                    "instance {i}: chose centroid {chosen} (d={d_chosen}) over {best} (d={d_best})"
+                );
+            }
         }
     }
 
@@ -301,9 +310,7 @@ mod tests {
             let mut dists: Vec<(f32, usize)> = refs
                 .iter()
                 .enumerate()
-                .map(|(i, r)| {
-                    (r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>(), i)
-                })
+                .map(|(i, r)| (r.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum::<f32>(), i))
                 .collect();
             dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let topk: Vec<usize> = dists.iter().take(k as usize + 2).map(|&(_, i)| i).collect();
@@ -380,9 +387,27 @@ mod tests {
     fn zero_dimensions_rejected() {
         let cfg = ArchConfig::paper_default();
         for kernel in [
-            DistanceKernel { name: "x", features: 0, hot_rows: 1, cold_rows: 1, post: DistancePost::Plain },
-            DistanceKernel { name: "x", features: 4, hot_rows: 0, cold_rows: 1, post: DistancePost::Plain },
-            DistanceKernel { name: "x", features: 4, hot_rows: 1, cold_rows: 1, post: DistancePost::Sort { k: 0 } },
+            DistanceKernel {
+                name: "x",
+                features: 0,
+                hot_rows: 1,
+                cold_rows: 1,
+                post: DistancePost::Plain,
+            },
+            DistanceKernel {
+                name: "x",
+                features: 4,
+                hot_rows: 0,
+                cold_rows: 1,
+                post: DistancePost::Plain,
+            },
+            DistanceKernel {
+                name: "x",
+                features: 4,
+                hot_rows: 1,
+                cold_rows: 1,
+                post: DistancePost::Sort { k: 0 },
+            },
         ] {
             assert_eq!(kernel.tiling(&cfg).unwrap_err(), CodegenError::EmptyWorkload);
         }

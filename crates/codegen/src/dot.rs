@@ -54,10 +54,8 @@ impl BroadcastDot {
         let hot_half = cfg.hotbuf_elems() as usize / 2;
         let cold_half = cfg.coldbuf_elems() as usize / 2;
         let tile = self.width.min(hot_half);
-        let cold_block = (cold_half / tile)
-            .min(cfg.outputbuf_elems() as usize)
-            .min(self.cold_rows)
-            .max(1);
+        let cold_block =
+            (cold_half / tile).min(cfg.outputbuf_elems() as usize).min(self.cold_rows).max(1);
         if cold_half < tile {
             return Err(CodegenError::RowTooWide { width: tile, available: cold_half });
         }
@@ -279,8 +277,7 @@ mod tests {
             dram.write_f32(10_000 + (r * width) as u64, &row);
             data.push(row);
         }
-        let kernel =
-            BroadcastDot { name: "lr", width, cold_rows: rows, activation: None };
+        let kernel = BroadcastDot { name: "lr", width, cold_rows: rows, activation: None };
         let plan = BroadcastPlan { hot_dram: 0, cold_dram: 10_000, out_dram: 900_000 };
         let program = kernel.generate(&cfg, &plan).unwrap();
         assert!(program.len() >= 2, "expected multiple tiles");
@@ -346,10 +343,10 @@ mod tests {
         let plan = MatmulPlan { hot_dram: 0, cold_dram: 100_000, out_dram: 800_000 };
         let program = kernel.generate(&cfg, &plan).unwrap();
         Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
-        for n in 0..neurons {
-            for b in 0..batch {
+        for (n, w) in ws.iter().enumerate() {
+            for (b, x) in xs.iter().enumerate() {
                 let got = dram.read_f32(800_000 + (n * batch + b) as u64, 1)[0];
-                let z: f32 = ws[n].iter().zip(&xs[b]).map(|(a, x)| a * x).sum();
+                let z: f32 = w.iter().zip(x).map(|(a, x)| a * x).sum();
                 let expect = 1.0 / (1.0 + (-z).exp());
                 assert!((got - expect).abs() < 1e-2, "({n},{b}): {got} vs {expect}");
             }
@@ -359,22 +356,13 @@ mod tests {
     #[test]
     fn batched_matmul_streams_weights_once() {
         let cfg = ArchConfig::paper_default();
-        let kernel = BatchedMatmul {
-            name: "dnn",
-            width: 1024,
-            batch: 4,
-            cold_rows: 512,
-            activation: None,
-        };
+        let kernel =
+            BatchedMatmul { name: "dnn", width: 1024, batch: 4, cold_rows: 512, activation: None };
         let plan = MatmulPlan { hot_dram: 0, cold_dram: 1 << 20, out_dram: 1 << 22 };
         let program = kernel.generate(&cfg, &plan).unwrap();
         // Sum cold LOAD elements across the program: must equal the weight
         // matrix exactly once.
-        let weight_elems: u64 = program
-            .instructions()
-            .iter()
-            .map(|i| i.cold.elems())
-            .sum();
+        let weight_elems: u64 = program.instructions().iter().map(|i| i.cold.elems()).sum();
         assert_eq!(weight_elems, 1024 * 512);
     }
 

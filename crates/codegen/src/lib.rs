@@ -25,7 +25,6 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
 pub mod ct;
 pub mod disasm;
 pub mod distance;

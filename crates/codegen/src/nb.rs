@@ -66,7 +66,10 @@ impl NbTrainKernel {
             return Err(CodegenError::RowTooWide { width: self.values * f, available: hot_half });
         }
         if self.values * f > out_cap {
-            return Err(CodegenError::OutputTooWide { required: self.values * f, available: out_cap });
+            return Err(CodegenError::OutputTooWide {
+                required: self.values * f,
+                available: out_cap,
+            });
         }
         let cold_block = (cold_half / f).max(1);
         let counters_per_class = (self.values * f) as u64;
@@ -231,8 +234,7 @@ mod tests {
                 dram.read_f32(2000 + (class * values * features) as u64, values * features);
             for v in 0..values {
                 for f in 0..features {
-                    let expect =
-                        group.iter().filter(|r| r[f] == v as f32).count() as f32;
+                    let expect = group.iter().filter(|r| r[f] == v as f32).count() as f32;
                     assert_eq!(
                         counters[v * features + f],
                         expect,
@@ -273,11 +275,8 @@ mod tests {
     #[test]
     fn prediction_products_match_software() {
         let cfg = ArchConfig::paper_default();
-        let rows: Vec<Vec<f32>> = vec![
-            vec![0.5, 0.25, 0.2],
-            vec![0.9, 0.8, 0.1],
-            vec![1.0, 1.0, 1.0],
-        ];
+        let rows: Vec<Vec<f32>> =
+            vec![vec![0.5, 0.25, 0.2], vec![0.9, 0.8, 0.1], vec![1.0, 1.0, 1.0]];
         let mut dram = Dram::new(1 << 16);
         for (i, r) in rows.iter().enumerate() {
             dram.write_f32((i * 3) as u64, r);
@@ -299,7 +298,10 @@ mod tests {
     fn validation() {
         let cfg = ArchConfig::paper_default();
         assert!(NbTrainKernel { features: 0, values: 2, class_counts: vec![1] }
-            .generate(&cfg, &NbTrainPlan { instances_dram: 0, candidates_dram: 0, counters_dram: 0 })
+            .generate(
+                &cfg,
+                &NbTrainPlan { instances_dram: 0, candidates_dram: 0, counters_dram: 0 }
+            )
             .is_err());
         assert!(matches!(
             NbTrainKernel { features: 2048, values: 4, class_counts: vec![1] }.generate(

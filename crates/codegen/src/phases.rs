@@ -22,7 +22,10 @@ use crate::error::CodegenError;
 use crate::nb::{NbPredictKernel, NbPredictPlan, NbTrainKernel, NbTrainPlan};
 use core::fmt;
 use pudiannao_accel::isa::Program;
-use pudiannao_accel::{timing, ArchConfig, EnergyModel, ExecStats};
+use pudiannao_accel::{
+    charge_fetch, charge_instruction, timing, ArchConfig, EnergyModel, ExecStats, MluStage,
+    StageCycles,
+};
 use pudiannao_softfp::NonLinearFn;
 
 /// One of the 13 evaluated phases.
@@ -206,31 +209,17 @@ impl Workload {
 pub fn program_stats(cfg: &ArchConfig, program: &Program) -> ExecStats {
     let energy = EnergyModel::new(cfg);
     let mut stats = ExecStats::default();
-    // Instruction-fetch accounting mirrors `Accelerator::run` exactly
-    // (pinned by the model-vs-execution integration test).
-    let fetch_bytes = program.len() as u64 * timing::INSTRUCTION_BYTES;
-    stats.dma_bytes += fetch_bytes;
-    stats.cycles += (fetch_bytes.min(u64::from(cfg.instbuf_bytes)) as f64
-        / cfg.dma_bytes_per_cycle())
-    .ceil() as u64;
+    // Fetch and per-instruction accounting go through the accel crate's
+    // shared charge helpers — the same code `Accelerator::run` charges —
+    // so the analytic and functional paths cannot drift (additionally
+    // pinned by the model-vs-execution integration test).
+    charge_fetch(cfg, &mut stats, program.len() as u64);
     let mut first = true;
     for inst in program.instructions() {
-        let t = timing::instruction_timing(cfg, inst)
-            .expect("generated programs always decode");
-        let elapsed = if first || !cfg.double_buffering {
-            t.compute_cycles + t.dma_cycles
-        } else {
-            t.compute_cycles.max(t.dma_cycles)
-        };
+        let t = timing::instruction_timing(cfg, inst).expect("generated programs always decode");
+        let overlapped = !first && cfg.double_buffering;
         first = false;
-        stats.cycles += elapsed;
-        stats.instructions += 1;
-        stats.compute_cycles += t.compute_cycles;
-        stats.dma_cycles += t.dma_cycles;
-        stats.dma_bytes += t.dma_bytes;
-        stats.mlu_ops += t.mlu_ops;
-        stats.alu_ops += t.alu_ops;
-        stats.energy += energy.instruction_energy(&t, elapsed);
+        charge_instruction(&energy, &mut stats, &t, overlapped);
     }
     stats
 }
@@ -244,15 +233,32 @@ fn scale_stats(s: &ExecStats, factor: f64) -> ExecStats {
     energy.outputbuf *= factor;
     energy.control *= factor;
     energy.other *= factor;
+    let mut stage_cycles = StageCycles::default();
+    for stage in MluStage::ALL {
+        *stage_cycles.get_mut(stage) = scale_u(s.stage_cycles.get(stage));
+    }
+    // Per-stage rounding can drift the stage total a few cycles from the
+    // independently scaled compute total; reconcile on the busiest stage
+    // so `stage_cycles.total() == compute_cycles` stays an invariant.
+    let compute_cycles = scale_u(s.compute_cycles);
+    if let Some(&busiest) = MluStage::ALL.iter().max_by_key(|&&stage| stage_cycles.get(stage)) {
+        let total = stage_cycles.total();
+        let slot = stage_cycles.get_mut(busiest);
+        *slot = (*slot + compute_cycles).saturating_sub(total);
+    }
     ExecStats {
         cycles: scale_u(s.cycles),
         instructions: scale_u(s.instructions),
-        compute_cycles: scale_u(s.compute_cycles),
+        compute_cycles,
         dma_cycles: scale_u(s.dma_cycles),
         dma_bytes: scale_u(s.dma_bytes),
         mlu_ops: scale_u(s.mlu_ops),
         alu_ops: scale_u(s.alu_ops),
         energy,
+        stage_cycles,
+        dma_regular_descriptors: scale_u(s.dma_regular_descriptors),
+        dma_reconfig_descriptors: scale_u(s.dma_reconfig_descriptors),
+        dma_stall_cycles: scale_u(s.dma_stall_cycles),
     }
 }
 
@@ -265,6 +271,10 @@ fn sub_stats(a: &ExecStats, b: &ExecStats) -> ExecStats {
     energy.outputbuf -= b.energy.outputbuf;
     energy.control -= b.energy.control;
     energy.other -= b.energy.other;
+    let mut stage_cycles = StageCycles::default();
+    for stage in MluStage::ALL {
+        *stage_cycles.get_mut(stage) = sub_u(a.stage_cycles.get(stage), b.stage_cycles.get(stage));
+    }
     ExecStats {
         cycles: sub_u(a.cycles, b.cycles),
         instructions: sub_u(a.instructions, b.instructions),
@@ -274,6 +284,10 @@ fn sub_stats(a: &ExecStats, b: &ExecStats) -> ExecStats {
         mlu_ops: sub_u(a.mlu_ops, b.mlu_ops),
         alu_ops: sub_u(a.alu_ops, b.alu_ops),
         energy,
+        stage_cycles,
+        dma_regular_descriptors: sub_u(a.dma_regular_descriptors, b.dma_regular_descriptors),
+        dma_reconfig_descriptors: sub_u(a.dma_reconfig_descriptors, b.dma_reconfig_descriptors),
+        dma_stall_cycles: sub_u(a.dma_stall_cycles, b.dma_stall_cycles),
     }
 }
 
@@ -481,18 +495,13 @@ pub fn model_phase(
                 values: w.nb_values,
                 class_counts: vec![per_class; w.nb_classes],
             };
-            let plan = NbTrainPlan {
-                instances_dram: 0,
-                candidates_dram: 1 << 40,
-                counters_dram: 1 << 41,
-            };
+            let plan =
+                NbTrainPlan { instances_dram: 0, candidates_dram: 1 << 40, counters_dram: 1 << 41 };
             Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
         }
         Phase::NbPrediction => {
-            let kernel = NbPredictKernel {
-                rows: w.nb_instances * w.nb_classes,
-                width: w.nb_features + 1,
-            };
+            let kernel =
+                NbPredictKernel { rows: w.nb_instances * w.nb_classes, width: w.nb_features + 1 };
             let plan = NbPredictPlan { rows_dram: 0, out_dram: 1 << 40 };
             Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
         }
@@ -506,22 +515,15 @@ pub fn model_phase(
                 thresholds: w.ct_thresholds,
                 instances: w.ct_train,
             };
-            let plan = CtCountPlan {
-                instances_dram: 0,
-                thresholds_dram: 1 << 40,
-                counters_dram: 1 << 41,
-            };
+            let plan =
+                CtCountPlan { instances_dram: 0, thresholds_dram: 1 << 40, counters_dram: 1 << 41 };
             let per_level = program_stats(cfg, &count.generate(cfg, &plan)?);
             Ok(scale_stats(&per_level, f64::from(w.ct_depth)))
         }
         Phase::CtPrediction => {
-            let kernel = TreeWalkKernel {
-                depth: w.ct_depth,
-                features: w.ct_features,
-                instances: w.ct_test,
-            };
-            let plan =
-                TreeWalkPlan { tree_dram: 0, instances_dram: 1 << 40, states_dram: 1 << 41 };
+            let kernel =
+                TreeWalkKernel { depth: w.ct_depth, features: w.ct_features, instances: w.ct_test };
+            let plan = TreeWalkPlan { tree_dram: 0, instances_dram: 1 << 40, states_dram: 1 << 41 };
             Ok(program_stats(cfg, &kernel.generate(cfg, &plan)?))
         }
     }
@@ -605,12 +607,8 @@ mod tests {
         let paper = Workload::paper();
         assert!(w100.train < paper.train);
         assert!(w100.features <= paper.features);
-        let knn_small = model_phase(
-            &ArchConfig::paper_default(),
-            Phase::KnnPrediction,
-            &w100,
-        )
-        .unwrap();
+        let knn_small =
+            model_phase(&ArchConfig::paper_default(), Phase::KnnPrediction, &w100).unwrap();
         let knn_full =
             model_phase(&ArchConfig::paper_default(), Phase::KnnPrediction, &paper).unwrap();
         assert!(knn_small.cycles < knn_full.cycles / 1000);

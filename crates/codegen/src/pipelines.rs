@@ -271,16 +271,16 @@ mod tests {
             dram.write_f32((c * f) as u64, &vec![(c as f32 + 1.0) * 10.0; f]);
         }
         let counts = [2.0f32, 5.0, 10.0];
-        for c in 0..k {
-            dram.write_f32(1000 + (c * f) as u64, &vec![counts[c]; f]);
+        for (c, &count) in counts.iter().enumerate() {
+            dram.write_f32(1000 + (c * f) as u64, &vec![count; f]);
         }
         let program = kmeans_update_program(&cfg, k, f, 0, 1000, 2000).unwrap();
         Accelerator::new(cfg).unwrap().run(&program, &mut dram).unwrap();
         let expected = [5.0f32, 4.0, 3.0];
-        for c in 0..k {
+        for (c, &want) in expected.iter().enumerate() {
             let row = dram.read_f32(2000 + (c * f) as u64, f);
             for &v in &row {
-                assert_eq!(v, expected[c], "cluster {c}");
+                assert_eq!(v, want, "cluster {c}");
             }
         }
     }
@@ -289,8 +289,7 @@ mod tests {
     fn kmeans_update_blocks_over_output_capacity() {
         let cfg = ArchConfig::paper_default();
         // 8 clusters x 1024 features = 2 per block (OutputBuf 2048 elems).
-        let program =
-            kmeans_update_program(&cfg, 8, 1024, 0, 100_000, 200_000).unwrap();
+        let program = kmeans_update_program(&cfg, 8, 1024, 0, 100_000, 200_000).unwrap();
         assert_eq!(program.len(), 4);
         assert!(kmeans_update_program(&cfg, 1, 4096, 0, 0, 0).is_err());
     }
@@ -476,8 +475,7 @@ mod lr_step_tests {
             accel.run(&program, &mut dram).unwrap();
             let mut grad = vec![0.0f32; d];
             for (row, &y) in xs.iter().zip(&ys) {
-                let err: f32 =
-                    row.iter().zip(&theta_sw).map(|(a, b)| a * b).sum::<f32>() - y;
+                let err: f32 = row.iter().zip(&theta_sw).map(|(a, b)| a * b).sum::<f32>() - y;
                 for (g, &x) in grad.iter_mut().zip(row) {
                     *g += err * x;
                 }
@@ -491,11 +489,7 @@ mod lr_step_tests {
             assert!((a - s).abs() < 0.1, "theta[{j}]: accel {a} vs software {s}");
         }
         // And both must be approaching the teacher.
-        let dist: f32 = theta_accel
-            .iter()
-            .zip(&theta_star)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let dist: f32 = theta_accel.iter().zip(&theta_star).map(|(a, b)| (a - b) * (a - b)).sum();
         let dist0: f32 = theta_star.iter().map(|v| v * v).sum();
         // Ill-conditioned directions (features in [0,1) share a large mean
         // component) converge slowly; 7x error reduction in 120 steps is
@@ -599,10 +593,7 @@ impl MlpBackprop {
         for pair in self.widths.windows(2) {
             let (na, nb) = (pair[0] + 1, pair[1]);
             if na > hot_half || nb > hot_half || nb * na > cold_half {
-                return Err(CodegenError::RowTooWide {
-                    width: nb * na,
-                    available: cold_half,
-                });
+                return Err(CodegenError::RowTooWide { width: nb * na, available: cold_half });
             }
         }
         let layers = self.widths.len() - 1;

@@ -36,7 +36,6 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
 mod matrix;
 pub mod preprocess;
 mod split;
@@ -69,11 +68,7 @@ impl<L> Dataset<L> {
     /// Panics if `labels.len() != features.rows()`.
     #[must_use]
     pub fn new(features: Matrix, labels: Vec<L>) -> Dataset<L> {
-        assert_eq!(
-            labels.len(),
-            features.rows(),
-            "one label required per feature row"
-        );
+        assert_eq!(labels.len(), features.rows(), "one label required per feature row");
         Dataset { features, labels }
     }
 

@@ -41,11 +41,8 @@ impl MinMaxScaler {
                 maxs[c] = maxs[c].max(v);
             }
         }
-        let scales = mins
-            .iter()
-            .zip(&maxs)
-            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
-            .collect();
+        let scales =
+            mins.iter().zip(&maxs).map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 }).collect();
         if train.rows() == 0 {
             mins.iter_mut().for_each(|m| *m = 0.0);
         }

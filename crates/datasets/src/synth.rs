@@ -66,7 +66,12 @@ pub fn gaussian_blobs(config: &BlobsConfig) -> ClassDataset {
 /// origin; points are sampled and pushed `margin` away from the plane on
 /// their side.
 #[must_use]
-pub fn linearly_separable(instances: usize, features: usize, margin: f32, seed: u64) -> ClassDataset {
+pub fn linearly_separable(
+    instances: usize,
+    features: usize,
+    margin: f32,
+    seed: u64,
+) -> ClassDataset {
     assert!(features > 0, "features must be non-zero");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w: Vec<f32> = (0..features).map(|_| normal(&mut rng)).collect();
@@ -187,9 +192,8 @@ pub fn tree_teacher(
     // Complete binary teacher tree stored implicitly: per internal node a
     // (feature, threshold); per leaf a class.
     let internal = (1usize << depth) - 1;
-    let teacher: Vec<(usize, f32)> = (0..internal)
-        .map(|_| (rng.gen_range(0..features), rng.gen_range(0.25..0.75)))
-        .collect();
+    let teacher: Vec<(usize, f32)> =
+        (0..internal).map(|_| (rng.gen_range(0..features), rng.gen_range(0.25..0.75))).collect();
     let leaves: Vec<usize> = (0..(1usize << depth)).map(|_| rng.gen_range(0..classes)).collect();
     let mut x = Matrix::zeros(instances, features);
     let mut labels = Vec::with_capacity(instances);

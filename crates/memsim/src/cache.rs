@@ -116,10 +116,9 @@ impl fmt::Display for CacheConfigError {
                 write!(f, "line size {n} must be a non-zero power of two")
             }
             CacheConfigError::ZeroWays => f.write_str("associativity must be non-zero"),
-            CacheConfigError::BadCapacity(n) => write!(
-                f,
-                "capacity {n} must be a non-zero power-of-two multiple of the set size"
-            ),
+            CacheConfigError::BadCapacity(n) => {
+                write!(f, "capacity {n} must be a non-zero power-of-two multiple of the set size")
+            }
         }
     }
 }
@@ -189,14 +188,14 @@ struct Line {
 /// # Examples
 ///
 /// ```
-/// use pudiannao_memsim::{Access, Addr, Cache, CacheConfig, VarClass};
+/// use pudiannao_memsim::{Access, Addr, Cache, CacheConfig, CacheConfigError, VarClass};
 ///
 /// let mut cache = Cache::new(CacheConfig::paper_default())?;
 /// cache.access(Access::read(Addr(0), 32, VarClass::Hot));
 /// cache.access(Access::read(Addr(0), 32, VarClass::Hot));
 /// assert_eq!(cache.stats().read_hits, 1);
 /// assert_eq!(cache.stats().read_misses, 1);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), CacheConfigError>(())
 /// ```
 #[derive(Clone)]
 pub struct Cache {
@@ -275,8 +274,7 @@ impl Cache {
                         WritePolicy::WriteBackAllocate => line.dirty = true,
                         WritePolicy::WriteAroundNoAllocate => {
                             // Write-through on hit: bytes go to memory too.
-                            self.stats.offchip_write_bytes +=
-                                u64::from(bytes).min(line_bytes);
+                            self.stats.offchip_write_bytes += u64::from(bytes).min(line_bytes);
                         }
                     }
                 }
@@ -317,10 +315,8 @@ impl Cache {
         let victim = if let Some(invalid) = set.iter_mut().find(|l| !l.valid) {
             invalid
         } else {
-            let v = set
-                .iter_mut()
-                .min_by_key(|l| l.stamp)
-                .expect("ways >= 1 guaranteed by validate");
+            let v =
+                set.iter_mut().min_by_key(|l| l.stamp).expect("ways >= 1 guaranteed by validate");
             self.stats.evictions += 1;
             if v.dirty {
                 self.stats.offchip_write_bytes += line_bytes;

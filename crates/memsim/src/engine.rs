@@ -19,7 +19,7 @@ pub const SIMD_WIDTH_BYTES: u32 = 32;
 /// # Examples
 ///
 /// ```
-/// use pudiannao_memsim::{Access, Addr, CacheConfig, SimdEngine, VarClass};
+/// use pudiannao_memsim::{Access, Addr, CacheConfig, CacheConfigError, SimdEngine, VarClass};
 ///
 /// let mut engine = SimdEngine::new(CacheConfig::paper_default())?;
 /// engine.op(&[
@@ -29,7 +29,7 @@ pub const SIMD_WIDTH_BYTES: u32 = 32;
 /// let report = engine.report();
 /// assert_eq!(report.cycles, 1);
 /// assert_eq!(report.offchip_bytes, 128); // two 64-byte line fills
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), CacheConfigError>(())
 /// ```
 pub struct SimdEngine {
     cache: Cache,

@@ -101,10 +101,7 @@ pub fn prediction_untiled<S: TraceSink>(shape: &TreeShape, seed: u64, sink: &mut
 ///
 /// Panics if `top_depth` is zero or not less than the tree depth.
 pub fn prediction_tiled<S: TraceSink>(shape: &TreeShape, top_depth: u32, seed: u64, sink: &mut S) {
-    assert!(
-        top_depth > 0 && top_depth < shape.depth,
-        "top_depth must be in 1..depth"
-    );
+    assert!(top_depth > 0 && top_depth < shape.depth, "top_depth must be in 1..depth");
     let exit_base = OUTPUT_BASE + 0x0100_0000;
     // Pass 1: all instances through the top subtree.
     let mut exits = vec![0u64; shape.instances];
@@ -116,26 +113,18 @@ pub fn prediction_tiled<S: TraceSink>(shape: &TreeShape, top_depth: u32, seed: u
         }
         *exit = idx;
         // Spill the exit pointer.
-        sink.op(&[Access::write(
-            Addr(exit_base + n as u64 * F32_BYTES),
-            4,
-            VarClass::Output,
-        )]);
+        sink.op(&[Access::write(Addr(exit_base + n as u64 * F32_BYTES), 4, VarClass::Output)]);
     }
     // Pass 2: per bottom subtree, process the instances routed to it.
     let first_bottom = 1u64 << top_depth;
     let last_bottom = (1u64 << (top_depth + 1)) - 1;
     for subtree_root in first_bottom..=last_bottom {
-        for n in 0..shape.instances {
-            if exits[n] != subtree_root {
+        for (n, &exit) in exits.iter().enumerate() {
+            if exit != subtree_root {
                 continue;
             }
             // Reload the exit pointer.
-            sink.op(&[Access::read(
-                Addr(exit_base + n as u64 * F32_BYTES),
-                4,
-                VarClass::Output,
-            )]);
+            sink.op(&[Access::read(Addr(exit_base + n as u64 * F32_BYTES), 4, VarClass::Output)]);
             let mut idx = subtree_root;
             for level in top_depth..shape.depth {
                 visit_node(shape, n, idx, sink);

@@ -60,17 +60,9 @@ fn emit_row<S: TraceSink>(
         ];
         if idx == last {
             if !first_block {
-                ops.push(Access::read(
-                    Addr(shape.y_addr(i)),
-                    F32_BYTES as u32,
-                    VarClass::Output,
-                ));
+                ops.push(Access::read(Addr(shape.y_addr(i)), F32_BYTES as u32, VarClass::Output));
             }
-            ops.push(Access::write(
-                Addr(shape.y_addr(i)),
-                F32_BYTES as u32,
-                VarClass::Output,
-            ));
+            ops.push(Access::write(Addr(shape.y_addr(i)), F32_BYTES as u32, VarClass::Output));
         }
         sink.op(&ops);
     }

@@ -58,11 +58,7 @@ fn emit_distance<S: TraceSink>(shape: &KMeansShape, c: usize, n: usize, sink: &m
             Access::read(Addr(shape.instance_addr(n) + off), bytes, VarClass::Cold),
         ];
         if idx == last {
-            ops.push(Access::write(
-                Addr(shape.dis_addr(c, n)),
-                F32_BYTES as u32,
-                VarClass::Output,
-            ));
+            ops.push(Access::write(Addr(shape.dis_addr(c, n)), F32_BYTES as u32, VarClass::Output));
         }
         sink.op(&ops);
     }
@@ -151,10 +147,7 @@ mod tests {
     fn ragged_tiles_cover_all_pairs() {
         let shape = KMeansShape { instances: 100, centroids: 7, features: 16 };
         let cfg = CacheConfig::paper_default();
-        assert_eq!(
-            untiled_bandwidth(&shape, &cfg).ops,
-            tiled_bandwidth(&shape, 3, 33, &cfg).ops
-        );
+        assert_eq!(untiled_bandwidth(&shape, &cfg).ops, tiled_bandwidth(&shape, 3, 33, &cfg).ops);
     }
 
     #[test]

@@ -67,9 +67,7 @@ fn emit_distance<S: TraceSink>(
             Access::read(Addr(shape.testing_addr(i) + off), bytes, VarClass::Hot),
             Access::read(Addr(shape.reference_addr(j) + off), bytes, VarClass::Cold),
         ];
-        if touch_acc {
-            ops.push(Access::write(dis, F32_BYTES as u32, VarClass::Output));
-        } else if c == last {
+        if touch_acc || c == last {
             ops.push(Access::write(dis, F32_BYTES as u32, VarClass::Output));
         }
         sink.op(&ops);

@@ -55,17 +55,9 @@ fn emit_dot<S: TraceSink>(
         ];
         if idx == last {
             if !first_block {
-                ops.push(Access::read(
-                    Addr(shape.y_addr(n)),
-                    F32_BYTES as u32,
-                    VarClass::Output,
-                ));
+                ops.push(Access::read(Addr(shape.y_addr(n)), F32_BYTES as u32, VarClass::Output));
             }
-            ops.push(Access::write(
-                Addr(shape.y_addr(n)),
-                F32_BYTES as u32,
-                VarClass::Output,
-            ));
+            ops.push(Access::write(Addr(shape.y_addr(n)), F32_BYTES as u32, VarClass::Output));
         }
         sink.op(&ops);
     }
@@ -142,10 +134,7 @@ mod tests {
     #[test]
     fn op_counts_match_between_variants() {
         let cfg = CacheConfig::paper_default();
-        assert_eq!(
-            untiled_bandwidth(&SHAPE, &cfg).ops,
-            tiled_bandwidth(&SHAPE, 1000, &cfg).ops
-        );
+        assert_eq!(untiled_bandwidth(&SHAPE, &cfg).ops, tiled_bandwidth(&SHAPE, 1000, &cfg).ops);
     }
 
     #[test]

@@ -48,8 +48,7 @@ impl NbShape {
     }
 
     fn counter_addr(&self, i: usize, v: usize, c: usize) -> u64 {
-        OUTPUT_BASE
-            + ((i * self.values + v) * self.classes + c) as u64 * F32_BYTES
+        OUTPUT_BASE + ((i * self.values + v) * self.classes + c) as u64 * F32_BYTES
     }
 }
 
@@ -123,10 +122,7 @@ mod tests {
     fn reuse_profile_has_two_classes() {
         let summary = training_reuse(&SHAPE, 42);
         let classes = summary.classes(8.0);
-        assert!(
-            classes.len() >= 2,
-            "expected >=2 reuse classes (Figure 10b), got {classes:?}"
-        );
+        assert!(classes.len() >= 2, "expected >=2 reuse classes (Figure 10b), got {classes:?}");
         // Instance data reuses at ~1 instruction; counters far apart.
         let by_class = summary.mean_distance_by_class();
         assert!(by_class[&VarClass::Hot] < 10.0, "{by_class:?}");

@@ -44,11 +44,7 @@ fn emit_kernel<S: TraceSink>(shape: &KernelMatrixShape, i: usize, j: usize, sink
         ]);
     });
     // Kernel-function evaluation on the accumulated dot product.
-    sink.op(&[Access::write(
-        Addr(shape.k_addr(i, j)),
-        F32_BYTES as u32,
-        VarClass::Output,
-    )]);
+    sink.op(&[Access::write(Addr(shape.k_addr(i, j)), F32_BYTES as u32, VarClass::Output)]);
 }
 
 /// Untiled kernel-matrix nest: `for i { for j { K[i,j] = k(x_i, x_j) } }`.

@@ -40,7 +40,6 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
 mod access;
 mod cache;
 mod engine;
@@ -48,6 +47,6 @@ pub mod kernels;
 mod reuse;
 
 pub use access::{Access, AccessKind, Addr, VarClass};
-pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy, WritePolicy};
+pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats, ReplacementPolicy, WritePolicy};
 pub use engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 pub use reuse::{ReuseClass, ReuseProfiler, ReuseSummary, VariableReuse};

@@ -7,14 +7,8 @@ use pudiannao_memsim::{
 };
 
 fn any_access() -> impl Strategy<Value = Access> {
-    (0u64..(1 << 16), prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)]).prop_map(
-        |(addr, kind)| Access {
-            addr: Addr(addr),
-            bytes: 4,
-            kind,
-            class: VarClass::Hot,
-        },
-    )
+    (0u64..(1 << 16), prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)])
+        .prop_map(|(addr, kind)| Access { addr: Addr(addr), bytes: 4, kind, class: VarClass::Hot })
 }
 
 proptest! {

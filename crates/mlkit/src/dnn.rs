@@ -163,10 +163,7 @@ impl Mlp {
         let mut widths = vec![inputs];
         widths.extend_from_slice(&config.hidden);
         widths.push(outputs);
-        let layers = widths
-            .windows(2)
-            .map(|w| Layer::new(w[0], w[1], &mut rng))
-            .collect();
+        let layers = widths.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
         Ok(Mlp { layers, config: config.clone() })
     }
 
@@ -402,9 +399,7 @@ impl Rbm {
     pub fn visible_probabilities(&self, h: &[f32]) -> Vec<f32> {
         (0..self.visible_bias.len())
             .map(|i| {
-                let z: f32 = (0..self.hidden_bias.len())
-                    .map(|j| self.weights[(j, i)] * h[j])
-                    .sum();
+                let z: f32 = (0..self.hidden_bias.len()).map(|j| self.weights[(j, i)] * h[j]).sum();
                 sigmoid(z + self.visible_bias[i])
             })
             .collect()
@@ -444,11 +439,7 @@ impl Rbm {
             let v0 = data.row(r);
             let h = self.hidden_probabilities(v0);
             let v1 = self.visible_probabilities(&h);
-            total += v0
-                .iter()
-                .zip(&v1)
-                .map(|(&a, &b)| f64::from((a - b) * (a - b)))
-                .sum::<f64>();
+            total += v0.iter().zip(&v1).map(|(&a, &b)| f64::from((a - b) * (a - b))).sum::<f64>();
         }
         total / (data.rows() * data.cols()) as f64
     }
@@ -583,9 +574,7 @@ mod tests {
         assert!(Mlp::new(0, 3, &MlpConfig::default()).is_err());
         assert!(Mlp::new(4, 0, &MlpConfig::default()).is_err());
         assert!(Mlp::new(4, 2, &MlpConfig { hidden: vec![0], ..Default::default() }).is_err());
-        assert!(
-            Mlp::new(4, 2, &MlpConfig { learning_rate: 0.0, ..Default::default() }).is_err()
-        );
+        assert!(Mlp::new(4, 2, &MlpConfig { learning_rate: 0.0, ..Default::default() }).is_err());
         let mlp = Mlp::new(4, 2, &MlpConfig::default()).unwrap();
         assert!(matches!(
             mlp.forward(&[1.0]),

@@ -138,9 +138,7 @@ impl KMeans {
                 for (j, t) in target.iter_mut().enumerate() {
                     *t = sums[(c, j)] * inv;
                 }
-                movement += config
-                    .precision
-                    .squared_distance(&old, centroids.row(c));
+                movement += config.precision.squared_distance(&old, centroids.row(c));
             }
             if movement <= config.tol {
                 break;
@@ -225,9 +223,8 @@ fn init_random(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
 fn init_plus_plus(data: &Matrix, k: usize, precision: Precision, rng: &mut StdRng) -> Matrix {
     let n = data.rows();
     let mut picked = vec![rng.gen_range(0..n)];
-    let mut dists: Vec<f32> = (0..n)
-        .map(|i| precision.squared_distance(data.row(i), data.row(picked[0])))
-        .collect();
+    let mut dists: Vec<f32> =
+        (0..n).map(|i| precision.squared_distance(data.row(i), data.row(picked[0]))).collect();
     while picked.len() < k {
         let total: f64 = dists.iter().map(|&d| f64::from(d)).sum();
         let next = if total <= 0.0 {
@@ -245,10 +242,10 @@ fn init_plus_plus(data: &Matrix, k: usize, precision: Precision, rng: &mut StdRn
             chosen
         };
         picked.push(next);
-        for i in 0..n {
+        for (i, slot) in dists.iter_mut().enumerate() {
             let d = precision.squared_distance(data.row(i), data.row(next));
-            if d < dists[i] {
-                dists[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
     }

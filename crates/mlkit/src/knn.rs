@@ -70,9 +70,7 @@ impl<T: Copy> KSmallest<T> {
         {
             return;
         }
-        let pos = self
-            .entries
-            .partition_point(|&(d, _)| d <= distance);
+        let pos = self.entries.partition_point(|&(d, _)| d <= distance);
         self.entries.insert(pos, (distance, payload));
         self.entries.truncate(self.k);
     }
@@ -84,7 +82,11 @@ impl<T: Copy> KSmallest<T> {
     }
 }
 
-fn pairwise_order(n_test: usize, n_refs: usize, tile: Option<(usize, usize)>) -> Vec<(usize, usize)> {
+fn pairwise_order(
+    n_test: usize,
+    n_refs: usize,
+    tile: Option<(usize, usize)>,
+) -> Vec<(usize, usize)> {
     let mut order = Vec::with_capacity(n_test * n_refs);
     match tile {
         None => {
@@ -270,7 +272,8 @@ mod tests {
     #[test]
     fn classifies_held_out_blobs() {
         let split = train_test_split(&blobs(), 0.25, 5);
-        let model = KnnClassifier::fit(&split.train, KnnConfig { k: 5, ..Default::default() }).unwrap();
+        let model =
+            KnnClassifier::fit(&split.train, KnnConfig { k: 5, ..Default::default() }).unwrap();
         let pred = model.predict(&split.test.features).unwrap();
         let acc = accuracy(&pred, &split.test.labels);
         assert!(acc > 0.95, "accuracy {acc}");
@@ -279,7 +282,8 @@ mod tests {
     #[test]
     fn tiled_and_untiled_predictions_match() {
         let split = train_test_split(&blobs(), 0.25, 5);
-        let base = KnnClassifier::fit(&split.train, KnnConfig { k: 7, ..Default::default() }).unwrap();
+        let base =
+            KnnClassifier::fit(&split.train, KnnConfig { k: 7, ..Default::default() }).unwrap();
         let tiled = KnnClassifier::fit(
             &split.train,
             KnnConfig { k: 7, tile: Some((13, 29)), ..Default::default() },
@@ -294,7 +298,8 @@ mod tests {
     #[test]
     fn mixed_precision_matches_f32_on_normalised_data() {
         let split = train_test_split(&blobs(), 0.25, 5);
-        let f32m = KnnClassifier::fit(&split.train, KnnConfig { k: 5, ..Default::default() }).unwrap();
+        let f32m =
+            KnnClassifier::fit(&split.train, KnnConfig { k: 5, ..Default::default() }).unwrap();
         let mixed = KnnClassifier::fit(
             &split.train,
             KnnConfig { k: 5, precision: Precision::Mixed, ..Default::default() },

@@ -29,9 +29,8 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
-mod error;
 pub mod dnn;
+mod error;
 pub mod kmeans;
 pub mod knn;
 pub mod linreg;

@@ -178,9 +178,7 @@ mod tests {
         let free = LinearRegression::fit(&data, LinRegConfig::default()).unwrap();
         let ridge =
             LinearRegression::fit(&data, LinRegConfig { l2: 50.0, ..Default::default() }).unwrap();
-        let norm = |m: &LinearRegression| {
-            m.coefficients()[1..].iter().map(|c| c * c).sum::<f32>()
-        };
+        let norm = |m: &LinearRegression| m.coefficients()[1..].iter().map(|c| c * c).sum::<f32>();
         assert!(norm(&ridge) < norm(&free));
     }
 
@@ -190,16 +188,12 @@ mod tests {
         let (data, _) = synth::linear_teacher(300, 16, 0.0, 7);
         let cfg = LinRegConfig { epochs: 500, learning_rate: 0.1, ..Default::default() };
         let f32m = LinearRegression::fit(&data, cfg).unwrap();
-        let f16m = LinearRegression::fit(
-            &data,
-            LinRegConfig { precision: Precision::F16All, ..cfg },
-        )
-        .unwrap();
-        let mixed = LinearRegression::fit(
-            &data,
-            LinRegConfig { precision: Precision::Mixed, ..cfg },
-        )
-        .unwrap();
+        let f16m =
+            LinearRegression::fit(&data, LinRegConfig { precision: Precision::F16All, ..cfg })
+                .unwrap();
+        let mixed =
+            LinearRegression::fit(&data, LinRegConfig { precision: Precision::Mixed, ..cfg })
+                .unwrap();
         let err = |m: &LinearRegression| mse(&m.predict(&data.features).unwrap(), &data.labels);
         let (e32, e16, emx) = (err(&f32m), err(&f16m), err(&mixed));
         assert!(e16 > emx * 1.5, "all-16 {e16} should be worse than mixed {emx}");
@@ -221,8 +215,9 @@ mod tests {
             LinRegConfig { learning_rate: 0.0, ..Default::default() }
         )
         .is_err());
-        assert!(LinearRegression::fit(&data, LinRegConfig { epochs: 0, ..Default::default() })
-            .is_err());
+        assert!(
+            LinearRegression::fit(&data, LinRegConfig { epochs: 0, ..Default::default() }).is_err()
+        );
         let model = LinearRegression::fit(&data, LinRegConfig::default()).unwrap();
         assert!(matches!(
             model.predict_one(&[1.0]),

@@ -37,11 +37,7 @@ pub fn mse(predicted: &[f32], actual: &[f32]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted
-        .iter()
-        .zip(actual)
-        .map(|(&p, &a)| (f64::from(p) - f64::from(a)).powi(2))
-        .sum::<f64>()
+    predicted.iter().zip(actual).map(|(&p, &a)| (f64::from(p) - f64::from(a)).powi(2)).sum::<f64>()
         / predicted.len() as f64
 }
 

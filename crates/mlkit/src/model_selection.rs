@@ -66,8 +66,7 @@ impl KFold {
             let lo = f * n / self.folds;
             let hi = (f + 1) * n / self.folds;
             let test: Vec<usize> = indices[lo..hi].to_vec();
-            let train: Vec<usize> =
-                indices[..lo].iter().chain(&indices[hi..]).copied().collect();
+            let train: Vec<usize> = indices[..lo].iter().chain(&indices[hi..]).copied().collect();
             folds.push(Fold { train, test });
         }
         Ok(folds)

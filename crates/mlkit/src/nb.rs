@@ -112,14 +112,7 @@ impl NaiveBayes {
             }
         }
         let prior = class_counts.iter().map(|&k| k as f64 / n as f64).collect();
-        Ok(NaiveBayes {
-            cond,
-            prior,
-            features: d,
-            values: a,
-            classes,
-            log_space: config.log_space,
-        })
+        Ok(NaiveBayes { cond, prior, features: d, values: a, classes, log_space: config.log_space })
     }
 
     /// Number of classes learned.
@@ -157,9 +150,7 @@ impl NaiveBayes {
         for (f, &raw) in x.iter().enumerate() {
             let v = raw as usize;
             if raw < 0.0 || v >= self.values || raw.fract() != 0.0 {
-                return Err(Error::InvalidConfig(
-                    "feature values must be integers in 0..values",
-                ));
+                return Err(Error::InvalidConfig("feature values must be integers in 0..values"));
             }
             for (c, s) in scores.iter_mut().enumerate() {
                 let p = self.cond[(f * self.values + v) * self.classes + c];
@@ -246,8 +237,7 @@ mod tests {
     #[test]
     fn conditionals_sum_to_one_over_values() {
         let data = nursery_like();
-        let model =
-            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        let model = NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
         for f in 0..8 {
             for c in 0..model.classes() {
                 let total: f64 = (0..5).map(|v| model.conditional(f, v, c)).sum();
@@ -259,8 +249,7 @@ mod tests {
     #[test]
     fn smoothing_avoids_zero_probabilities() {
         let data = nursery_like();
-        let model =
-            NaiveBayes::fit(&data, NbConfig { values: 6, ..Default::default() }).unwrap();
+        let model = NaiveBayes::fit(&data, NbConfig { values: 6, ..Default::default() }).unwrap();
         // Value 5 never occurs (generator emits 0..5), yet smoothing keeps
         // its probability positive.
         assert!(model.conditional(0, 5, 0) > 0.0);
@@ -273,8 +262,7 @@ mod tests {
             NaiveBayes::fit(&data, NbConfig { values: 3, ..Default::default() }),
             Err(Error::InvalidConfig(_))
         ));
-        let model =
-            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        let model = NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
         assert!(matches!(model.predict_one(&[9.0; 8]), Err(Error::InvalidConfig(_))));
         assert!(matches!(
             model.predict_one(&[0.0; 3]),
@@ -285,8 +273,7 @@ mod tests {
     #[test]
     fn priors_reflect_class_balance() {
         let data = nursery_like();
-        let model =
-            NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
+        let model = NaiveBayes::fit(&data, NbConfig { values: 5, ..Default::default() }).unwrap();
         // Round-robin labels: priors all ~1/5.
         let p: Vec<f64> = (0..5).map(|c| model.prior[c]).collect();
         for v in p {

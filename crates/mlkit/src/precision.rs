@@ -48,9 +48,7 @@ impl Precision {
     pub fn mul(self, a: f32, b: f32) -> f32 {
         match self {
             Precision::F32 => a * b,
-            Precision::F16All | Precision::Mixed => {
-                (F16::from_f32(a) * F16::from_f32(b)).to_f32()
-            }
+            Precision::F16All | Precision::Mixed => (F16::from_f32(a) * F16::from_f32(b)).to_f32(),
         }
     }
 

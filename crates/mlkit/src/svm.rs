@@ -234,12 +234,8 @@ impl BinarySvm {
                 let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                 alpha[i] = q(ai);
                 alpha[j] = q(aj);
-                let b1 = b - e_i
-                    - y[i] * (ai - ai_old) * k(i, i)
-                    - y[j] * (aj - aj_old) * k(i, j);
-                let b2 = b - e_j
-                    - y[i] * (ai - ai_old) * k(i, j)
-                    - y[j] * (aj - aj_old) * k(j, j);
+                let b1 = b - e_i - y[i] * (ai - ai_old) * k(i, i) - y[j] * (aj - aj_old) * k(i, j);
+                let b2 = b - e_j - y[i] * (ai - ai_old) * k(i, j) - y[j] * (aj - aj_old) * k(j, j);
                 b = q(if ai > 0.0 && ai < config.c {
                     b1
                 } else if aj > 0.0 && aj < config.c {
@@ -403,8 +399,7 @@ mod tests {
     #[test]
     fn decision_sign_matches_binary_labels() {
         let data = synth::linearly_separable(150, 4, 1.5, 8);
-        let y: Vec<f32> =
-            data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f32> = data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
         let cfg = SvmConfig { kernel: Kernel::Linear, ..Default::default() };
         let m = BinarySvm::fit(&data.features, &y, cfg).unwrap();
         let correct = (0..data.len())
@@ -425,7 +420,8 @@ mod tests {
         });
         let split = train_test_split(&data, 0.3, 3);
         let acc_of = |precision| {
-            let cfg = SvmConfig { kernel: Kernel::Rbf { gamma: 2.0 }, precision, ..Default::default() };
+            let cfg =
+                SvmConfig { kernel: Kernel::Rbf { gamma: 2.0 }, precision, ..Default::default() };
             let m = SvmClassifier::fit(&split.train, cfg).unwrap();
             accuracy(&m.predict(&split.test.features).unwrap(), &split.test.labels)
         };
@@ -457,8 +453,7 @@ mod tests {
     #[test]
     fn decision_rejects_wrong_width() {
         let data = synth::linearly_separable(30, 4, 1.0, 2);
-        let y: Vec<f32> =
-            data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f32> = data.labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
         let m = BinarySvm::fit(
             &data.features,
             &y,

@@ -133,9 +133,7 @@ impl Builder<'_> {
                     })
                     .sum::<f64>()
             }
-            SplitMetric::Gini => {
-                1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
-            }
+            SplitMetric::Gini => 1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>(),
         }
     }
 
@@ -148,12 +146,7 @@ impl Builder<'_> {
     }
 
     fn majority(counts: &[usize]) -> usize {
-        counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .map(|(k, _)| k)
-            .unwrap_or(0)
+        counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(k, _)| k).unwrap_or(0)
     }
 
     /// Finds the best (feature, threshold) over quantile candidate cuts;
@@ -227,9 +220,8 @@ impl Builder<'_> {
             self.nodes.push(Node::Leaf { class: majority });
             return self.nodes.len() - 1;
         };
-        let (li, ri): (Vec<usize>, Vec<usize>) = idx
-            .iter()
-            .partition(|&&i| self.data.instance(i)[feature] <= threshold);
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| self.data.instance(i)[feature] <= threshold);
         // Reserve this node's slot before recursing so children get later
         // indices (prediction walks strictly forward).
         let slot = self.nodes.len();
@@ -346,21 +338,21 @@ mod tests {
         let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
         assert!(acc > 0.85, "accuracy {acc}");
         assert!(model.depth() <= 12);
-        assert_eq!(model.leaf_count() + model.leaf_count() - 1, model.node_count(),
-            "binary tree: nodes = 2 * leaves - 1");
+        assert_eq!(
+            model.leaf_count() + model.leaf_count() - 1,
+            model.node_count(),
+            "binary tree: nodes = 2 * leaves - 1"
+        );
     }
 
     #[test]
     fn all_three_metrics_learn() {
         let split = train_test_split(&teacher_data(), 0.25, 2);
         for metric in [SplitMetric::InfoGain, SplitMetric::GainRatio, SplitMetric::Gini] {
-            let model = DecisionTree::fit(
-                &split.train,
-                TreeConfig { metric, ..Default::default() },
-            )
-            .unwrap();
-            let acc =
-                accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
+            let model =
+                DecisionTree::fit(&split.train, TreeConfig { metric, ..Default::default() })
+                    .unwrap();
+            let acc = accuracy(&model.predict(&split.test.features).unwrap(), &split.test.labels);
             assert!(acc > 0.8, "{metric:?}: accuracy {acc}");
         }
     }
@@ -376,14 +368,10 @@ mod tests {
             TreeConfig { log_mode: LogMode::Taylor(10), ..Default::default() },
         )
         .unwrap();
-        let acc_exact =
-            accuracy(&exact.predict(&split.test.features).unwrap(), &split.test.labels);
+        let acc_exact = accuracy(&exact.predict(&split.test.features).unwrap(), &split.test.labels);
         let acc_taylor =
             accuracy(&taylor.predict(&split.test.features).unwrap(), &split.test.labels);
-        assert!(
-            (acc_exact - acc_taylor).abs() < 0.02,
-            "exact {acc_exact} vs taylor {acc_taylor}"
-        );
+        assert!((acc_exact - acc_taylor).abs() < 0.02, "exact {acc_exact} vs taylor {acc_taylor}");
     }
 
     #[test]
@@ -409,8 +397,9 @@ mod tests {
     #[test]
     fn validation_errors() {
         let data = teacher_data();
-        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 0, ..Default::default() })
-            .is_err());
+        assert!(
+            DecisionTree::fit(&data, TreeConfig { max_depth: 0, ..Default::default() }).is_err()
+        );
         assert!(DecisionTree::fit(
             &data,
             TreeConfig { candidate_thresholds: 0, ..Default::default() }

@@ -96,11 +96,7 @@ impl F16 {
 
         if exp == 0xFF {
             // Inf or NaN.
-            return if frac == 0 {
-                F16(sign | EXP_MASK)
-            } else {
-                F16::NAN
-            };
+            return if frac == 0 { F16(sign | EXP_MASK) } else { F16::NAN };
         }
 
         // Unbiased exponent of the f32 value.
@@ -200,9 +196,7 @@ impl F16 {
                 continue;
             }
             let err = (f64::from(c.to_f32()) - value).abs();
-            if err < best_err
-                || (err == best_err && (c.to_bits() & 1) < (best.to_bits() & 1))
-            {
+            if err < best_err || (err == best_err && (c.to_bits() & 1) < (best.to_bits() & 1)) {
                 best = c;
                 best_err = err;
             }

@@ -109,11 +109,7 @@ pub fn add(a: F16, b: F16) -> F16 {
     }
     match (a.is_infinite(), b.is_infinite()) {
         (true, true) => {
-            return if a.is_sign_negative() == b.is_sign_negative() {
-                a
-            } else {
-                F16::NAN
-            };
+            return if a.is_sign_negative() == b.is_sign_negative() { a } else { F16::NAN };
         }
         (true, false) => return a,
         (false, true) => return b,
@@ -220,8 +216,24 @@ mod tests {
     #[test]
     fn add_matches_f32_path_on_samples() {
         let samples = [
-            0.0f32, -0.0, 1.0, -1.0, 0.5, 1.5, 2048.0, 65504.0, -65504.0, 0.1, 0.2, 1e-5, -1e-5,
-            6.1e-5, 3.0517578e-5, 5.9604645e-8, 1000.25, 0.33333,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            2048.0,
+            65504.0,
+            -65504.0,
+            0.1,
+            0.2,
+            1e-5,
+            -1e-5,
+            6.1e-5,
+            3.0517578e-5,
+            5.9604645e-8,
+            1000.25,
+            0.33333,
         ];
         for &x in &samples {
             for &y in &samples {
@@ -240,8 +252,22 @@ mod tests {
     #[test]
     fn mul_matches_f32_path_on_samples() {
         let samples = [
-            0.0f32, -0.0, 1.0, -1.0, 0.5, 1.5, 255.0, 65504.0, 0.1, 0.33333, 1e-5, -1e-5,
-            5.9604645e-8, 3.14159, 2.71828, 256.0,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            1.5,
+            255.0,
+            65504.0,
+            0.1,
+            0.33333,
+            1e-5,
+            -1e-5,
+            5.9604645e-8,
+            std::f32::consts::PI,
+            std::f32::consts::E,
+            256.0,
         ];
         for &x in &samples {
             for &y in &samples {

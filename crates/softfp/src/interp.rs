@@ -87,7 +87,9 @@ impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterpError::EmptyTable => f.write_str("interpolation table needs >= 1 segment"),
-            InterpError::BadRange => f.write_str("interpolation range must be finite and non-empty"),
+            InterpError::BadRange => {
+                f.write_str("interpolation range must be finite and non-empty")
+            }
         }
     }
 }
@@ -133,7 +135,10 @@ impl InterpTable {
     /// # Errors
     ///
     /// Returns [`InterpError::EmptyTable`] if `segments == 0`.
-    pub fn for_function(function: NonLinearFn, segments: usize) -> Result<InterpTable, InterpError> {
+    pub fn for_function(
+        function: NonLinearFn,
+        segments: usize,
+    ) -> Result<InterpTable, InterpError> {
         let (lo, hi) = function.default_range();
         InterpTable::with_range(function, lo, hi, segments)
     }

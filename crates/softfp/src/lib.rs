@@ -41,7 +41,6 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
-
 mod f16;
 pub mod int_path;
 mod interp;

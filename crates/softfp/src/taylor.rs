@@ -86,10 +86,7 @@ mod tests {
             let p = i as f32 / 100.0;
             let exact = p.ln();
             let approx = taylor_ln(p, 10);
-            assert!(
-                (approx - exact).abs() < 1e-4,
-                "p={p}: approx={approx} exact={exact}"
-            );
+            assert!((approx - exact).abs() < 1e-4, "p={p}: approx={approx} exact={exact}");
         }
     }
 

@@ -17,10 +17,8 @@
 //!
 //! Run with: `cargo run --release --example custom_kernel`
 
-use pudiannao::accel::isa::{
-    AluOp, BufferRead, FuOps, Instruction, OutputSlot, Program, ReadOp, WriteOp,
-};
-use pudiannao::accel::{Accelerator, ArchConfig, Dram};
+use pudiannao::accel::isa::{AluOp, FuOps, Instruction, OutputSlot, Program, ReadOp, WriteOp};
+use pudiannao::accel::{Accelerator, ArchConfig, Dram, TraceConfig};
 use pudiannao::codegen::disasm;
 use pudiannao::softfp::NonLinearFn;
 
@@ -60,41 +58,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hot = training instances (reused for every query), cold = queries.
     let mut weight_fu = FuOps::distance(None);
     weight_fu.misc = pudiannao::accel::isa::MiscOp::Interp(NonLinearFn::ExpNeg);
-    let weights = Instruction {
-        name: "nw-weights".into(),
-        hot: BufferRead::load(X_AT, 0, F as u32, N_TRAIN as u32),
-        cold: BufferRead::load(Q_AT, 0, F as u32, N_QUERY as u32),
-        out: OutputSlot::store(W_AT, N_TRAIN as u32, N_QUERY as u32),
-        fu: weight_fu,
-        hot_row_base: 0,
-    };
+    let weights = Instruction::builder("nw-weights")
+        .hot_load(X_AT, 0, F as u32, N_TRAIN as u32)
+        .cold_load(Q_AT, 0, F as u32, N_QUERY as u32)
+        .out_store(W_AT, N_TRAIN as u32, N_QUERY as u32)
+        .fu(weight_fu);
 
     // Group 2a: numerator[q] = w[q] . targets (broadcast dot, hot = the
     // target vector).
-    let numerator = Instruction {
-        name: "nw-numer".into(),
-        hot: BufferRead::load(T_AT, 0, N_TRAIN as u32, 1),
-        cold: BufferRead::load(W_AT, 0, N_TRAIN as u32, N_QUERY as u32),
-        out: OutputSlot::store(NUM_AT, 1, N_QUERY as u32),
-        fu: FuOps::dot_broadcast(None),
-        hot_row_base: 0,
-    };
+    let numerator = Instruction::builder("nw-numer")
+        .hot_load(T_AT, 0, N_TRAIN as u32, 1)
+        .cold_load(W_AT, 0, N_TRAIN as u32, N_QUERY as u32)
+        .out_store(NUM_AT, 1, N_QUERY as u32)
+        .fu(FuOps::dot_broadcast(None));
     // Group 2b: denominator[q] = w[q] . ones.
-    let denominator = Instruction {
-        name: "nw-denom".into(),
-        hot: BufferRead::load(ONES_AT, 0, N_TRAIN as u32, 1),
-        cold: BufferRead::load(W_AT, 0, N_TRAIN as u32, N_QUERY as u32),
-        out: OutputSlot::store(DEN_AT, 1, N_QUERY as u32),
-        fu: FuOps::dot_broadcast(None),
-        hot_row_base: 0,
-    };
+    let denominator = Instruction::builder("nw-denom")
+        .hot_load(ONES_AT, 0, N_TRAIN as u32, 1)
+        .cold_load(W_AT, 0, N_TRAIN as u32, N_QUERY as u32)
+        .out_store(DEN_AT, 1, N_QUERY as u32)
+        .fu(FuOps::dot_broadcast(None));
 
-    // Group 3: y[q] = numerator[q] / denominator[q] on the ALU.
-    let divide = Instruction {
-        name: "nw-divide".into(),
-        hot: BufferRead::null(),
-        cold: BufferRead::load(DEN_AT, 0, N_QUERY as u32, 1),
-        out: OutputSlot {
+    // Group 3: y[q] = numerator[q] / denominator[q] on the ALU. The
+    // output slot both loads the numerators and stores the quotients, a
+    // shape with no shorthand, so it is spelled out.
+    let divide = Instruction::builder("nw-divide")
+        .cold_load(DEN_AT, 0, N_QUERY as u32, 1)
+        .out(OutputSlot {
             read_op: ReadOp::Load,
             read_dram_addr: NUM_AT,
             addr: 0,
@@ -102,19 +91,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             iter: 1,
             write_op: WriteOp::Store,
             write_dram_addr: Y_AT,
-        },
-        fu: FuOps::alu_only(AluOp::Div),
-        hot_row_base: 0,
-    };
+        })
+        .fu(FuOps::alu_only(AluOp::Div));
 
-    let program = Program::new(vec![weights, numerator, denominator, divide])?;
+    let program = Program::builder()
+        .instruction(weights)
+        .instruction(numerator)
+        .instruction(denominator)
+        .instruction(divide)
+        .build()?;
     println!("hand-written Nadaraya-Watson program:");
     print!("{}", disasm::listing(&program, 10, 0));
 
     let config = ArchConfig::paper_default();
     let mut accel = Accelerator::new(config.clone())?;
-    let stats = accel.run(&program, &mut dram)?;
-    println!("\n{stats}\n");
+    accel.enable_trace(TraceConfig::counters());
+    let report = accel.run(&program, &mut dram)?;
+    println!("\n{}\n", report.stats);
+    if let Some(trace) = &report.trace {
+        println!(
+            "trace: hot-buffer {} reads / {} writes, ALU ops {{div {}}}, {} ping-pong flips\n",
+            trace.hotbuf.reads, trace.hotbuf.writes, trace.alu_ops.div, trace.ping_pong_flips,
+        );
+    }
 
     // Compare with the software reference.
     println!("{:<8} {:>12} {:>12} {:>10}", "query", "accelerator", "software", "error");

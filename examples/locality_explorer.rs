@@ -19,12 +19,7 @@ fn main() {
     println!("  {:<8} {:>12} {:>12}", "tile", "GB/s", "reduction %");
     for tile in [4usize, 8, 16, 32, 64, 128] {
         let tiled = knn::tiled_bandwidth(&shape, tile, tile, &base);
-        println!(
-            "  {:<8} {:>12.3} {:>12.1}",
-            tile,
-            tiled.gb_per_s(),
-            tiled.reduction_vs(&untiled)
-        );
+        println!("  {:<8} {:>12.3} {:>12.1}", tile, tiled.gb_per_s(), tiled.reduction_vs(&untiled));
     }
 
     println!("\ncache-capacity sweep (32x32 tiles):");

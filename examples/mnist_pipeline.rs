@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- SVM (RBF) ---
     let svm_model = svm::SvmClassifier::fit(
         &split.train,
-        svm::SvmConfig { kernel: svm::Kernel::Rbf { gamma: 0.2 }, max_iters: 30, ..Default::default() },
+        svm::SvmConfig {
+            kernel: svm::Kernel::Rbf { gamma: 0.2 },
+            max_iters: 30,
+            ..Default::default()
+        },
     )?;
     let svm_pred = svm_model.predict(&split.test.features)?;
     println!(
@@ -58,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- naive Bayes on discretised features ---
     let disc = Discretizer::fit(&split.train.features, 8);
     let nb_train = Dataset::new(disc.transform(&split.train.features), split.train.labels.clone());
-    let nb_model = nb::NaiveBayes::fit(&nb_train, nb::NbConfig { values: 8, ..Default::default() })?;
+    let nb_model =
+        nb::NaiveBayes::fit(&nb_train, nb::NbConfig { values: 8, ..Default::default() })?;
     let nb_pred = nb_model.predict(&disc.transform(&split.test.features))?;
     println!("naive Bayes (8 bins): accuracy {:.3}", accuracy(&nb_pred, &split.test.labels));
 
@@ -66,7 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mlp = dnn::Mlp::new(
         64,
         10,
-        &dnn::MlpConfig { hidden: vec![32], epochs: 60, learning_rate: 0.3, seed: 3, ..Default::default() },
+        &dnn::MlpConfig {
+            hidden: vec![32],
+            epochs: 60,
+            learning_rate: 0.3,
+            seed: 3,
+            ..Default::default()
+        },
     )?;
     mlp.train(&split.train)?;
     let mlp_pred = mlp.predict(&split.test.features)?;
@@ -91,9 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         post: DistancePost::Sort { k: K as u32 },
     };
     let config = ArchConfig::paper_default();
-    let program = kernel
-        .generate(&config, &DistancePlan { hot_dram: REFS_AT, cold_dram: QUERIES_AT, out_dram: OUT_AT })?;
-    let stats = Accelerator::new(config.clone())?.run(&program, &mut dram)?;
+    let program = kernel.generate(
+        &config,
+        &DistancePlan { hot_dram: REFS_AT, cold_dram: QUERIES_AT, out_dram: OUT_AT },
+    )?;
+    let stats = Accelerator::new(config.clone())?.run(&program, &mut dram)?.stats;
     println!(
         "\naccelerator k-NN phase: {} instructions, {} cycles ({:.1} us), {:.1} GB DMA-equivalent/s",
         stats.instructions,

@@ -22,16 +22,12 @@ fn evaluate(name: &str, data: &ClassDataset) -> Result<(), Box<dyn std::error::E
     let classes = data.classes();
 
     let linear_svm = cross_val_accuracy(data, folds, 1, |train, test| {
-        let cfg = svm::SvmConfig {
-            kernel: svm::Kernel::Linear,
-            max_iters: 40,
-            ..Default::default()
-        };
+        let cfg =
+            svm::SvmConfig { kernel: svm::Kernel::Linear, max_iters: 40, ..Default::default() };
         svm::SvmClassifier::fit(train, cfg)?.predict(test)
     })?;
     let knn_acc = cross_val_accuracy(data, folds, 1, |train, test| {
-        knn::KnnClassifier::fit(train, knn::KnnConfig { k: 5, ..Default::default() })?
-            .predict(test)
+        knn::KnnClassifier::fit(train, knn::KnnConfig { k: 5, ..Default::default() })?.predict(test)
     })?;
     let tree_acc = cross_val_accuracy(data, folds, 1, |train, test| {
         tree::DecisionTree::fit(train, tree::TreeConfig::default())?.predict(test)

@@ -26,8 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Software k-Means provides the centroids (training is iterative;
     //    the accelerator's bread and butter is the assignment sweep).
-    let software = KMeans::fit(&data.features, KMeansConfig { k: 4, seed: 1, ..Default::default() })?;
-    println!("software k-means: {} iterations, inertia {:.2}", software.iterations(), software.inertia());
+    let software =
+        KMeans::fit(&data.features, KMeansConfig { k: 4, seed: 1, ..Default::default() })?;
+    println!(
+        "software k-means: {} iterations, inertia {:.2}",
+        software.iterations(),
+        software.inertia()
+    );
 
     // 3. Lay out DRAM: centroids (hot), instances (cold), results.
     let mut dram = Dram::new(1 << 20);
@@ -51,14 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         post: DistancePost::Sort { k: 1 },
     };
     let config = ArchConfig::paper_default();
-    let plan = DistancePlan { hot_dram: CENTROIDS_AT, cold_dram: INSTANCES_AT, out_dram: RESULTS_AT };
+    let plan =
+        DistancePlan { hot_dram: CENTROIDS_AT, cold_dram: INSTANCES_AT, out_dram: RESULTS_AT };
     let program = kernel.generate(&config, &plan)?;
     println!("\ngenerated program ({} instructions):", program.len());
     print!("{}", disasm::listing(&program, 3, 1));
 
     let mut accel = Accelerator::new(config.clone())?;
-    let stats = accel.run(&program, &mut dram)?;
-    println!("\naccelerator: {stats}");
+    let report = accel.run(&program, &mut dram)?;
+    let stats = &report.stats;
+    println!("\naccelerator: {stats}  [{}]", report.config_fingerprint);
     println!(
         "  {:.1} us at 1 GHz, {:.1}% FU utilisation, {:.3} mW average power",
         stats.seconds(config.freq_hz) * 1e6,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, tests. Run before every commit.
+#
+#   scripts/check.sh          # full gate
+#   scripts/check.sh --fast   # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --workspace --release
+fi
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "OK: all checks passed"

@@ -15,24 +15,56 @@
 //! # Example: one instruction, end to end
 //!
 //! ```
-//! use pudiannao::accel::{isa, Accelerator, ArchConfig, Dram};
+//! use pudiannao::accel::{isa, Accelerator, ArchConfig, Dram, Error};
 //!
 //! let mut dram = Dram::new(4096);
 //! dram.write_f32(0, &[1.0, 2.0, 3.0, 4.0]); // a stored vector
 //! dram.write_f32(100, &[4.0, 3.0, 2.0, 1.0]); // a streamed vector
-//! let inst = isa::Instruction {
-//!     name: "dot".into(),
-//!     hot: isa::BufferRead::load(0, 0, 4, 1),
-//!     cold: isa::BufferRead::load(100, 0, 4, 1),
-//!     out: isa::OutputSlot::store(200, 1, 1),
-//!     fu: isa::FuOps::dot_broadcast(None),
-//!     hot_row_base: 0,
-//! };
-//! let program = isa::Program::new(vec![inst])?;
-//! let stats = Accelerator::new(ArchConfig::paper_default())?.run(&program, &mut dram)?;
+//! let program = isa::Program::builder()
+//!     .instruction(
+//!         isa::Instruction::builder("dot")
+//!             .hot_load(0, 0, 4, 1)
+//!             .cold_load(100, 0, 4, 1)
+//!             .out_store(200, 1, 1)
+//!             .fu(isa::FuOps::dot_broadcast(None)),
+//!     )
+//!     .build()?;
+//! let report = Accelerator::new(ArchConfig::paper_default())?.run(&program, &mut dram)?;
 //! assert_eq!(dram.read_f32(200, 1)[0], 20.0); // 4 + 6 + 6 + 4
-//! assert!(stats.cycles > 0);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! assert!(report.stats.cycles > 0);
+//! # Ok::<(), Error>(())
+//! ```
+//!
+//! # Observability
+//!
+//! Enable tracing to decompose a run into per-stage busy cycles and
+//! per-buffer traffic; the resulting [`accel::RunReport`] exports to
+//! JSON for cross-commit diffing. This is the README's example, kept
+//! runnable here:
+//!
+//! ```
+//! use pudiannao::accel::{isa, Accelerator, ArchConfig, Dram, Error, TraceConfig};
+//!
+//! let mut dram = Dram::new(4096);
+//! dram.write_f32(0, &[1.0; 16]);
+//! dram.write_f32(100, &[2.0; 16]);
+//! let program = isa::Program::builder()
+//!     .instruction(
+//!         isa::Instruction::builder("dot")
+//!             .hot_load(0, 0, 16, 1)
+//!             .cold_load(100, 0, 16, 1)
+//!             .out_store(200, 1, 1)
+//!             .fu(isa::FuOps::dot_broadcast(None)),
+//!     )
+//!     .build()?;
+//! let mut accel = Accelerator::new(ArchConfig::paper_default())?;
+//! accel.enable_trace(TraceConfig::full());
+//! let report = accel.run(&program, &mut dram)?;
+//! let trace = report.trace.as_ref().unwrap();
+//! assert_eq!(report.stats.stage_cycles.total(), report.stats.compute_cycles);
+//! assert_eq!(trace.hotbuf.write_elems, 16);
+//! assert!(report.to_json_pretty().contains("\"stage_cycles\""));
+//! # Ok::<(), Error>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accel_matches_software-4a1f1f0ddff9fd8a.d: tests/accel_matches_software.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccel_matches_software-4a1f1f0ddff9fd8a.rmeta: tests/accel_matches_software.rs Cargo.toml
+
+tests/accel_matches_software.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

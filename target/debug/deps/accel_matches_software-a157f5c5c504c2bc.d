@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accel_matches_software-a157f5c5c504c2bc.d: tests/accel_matches_software.rs
+
+/root/repo/target/debug/deps/accel_matches_software-a157f5c5c504c2bc: tests/accel_matches_software.rs
+
+tests/accel_matches_software.rs:

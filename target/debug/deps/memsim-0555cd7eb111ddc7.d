@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memsim-0555cd7eb111ddc7.d: crates/bench/benches/memsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsim-0555cd7eb111ddc7.rmeta: crates/bench/benches/memsim.rs Cargo.toml
+
+crates/bench/benches/memsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlkit-c3286832e584cd14.d: crates/bench/benches/mlkit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlkit-c3286832e584cd14.rmeta: crates/bench/benches/mlkit.rs Cargo.toml
+
+crates/bench/benches/mlkit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

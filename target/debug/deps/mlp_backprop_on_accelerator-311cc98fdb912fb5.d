@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mlp_backprop_on_accelerator-311cc98fdb912fb5.d: tests/mlp_backprop_on_accelerator.rs
+
+/root/repo/target/debug/deps/mlp_backprop_on_accelerator-311cc98fdb912fb5: tests/mlp_backprop_on_accelerator.rs
+
+tests/mlp_backprop_on_accelerator.rs:

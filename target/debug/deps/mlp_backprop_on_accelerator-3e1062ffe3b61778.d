@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mlp_backprop_on_accelerator-3e1062ffe3b61778.d: tests/mlp_backprop_on_accelerator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmlp_backprop_on_accelerator-3e1062ffe3b61778.rmeta: tests/mlp_backprop_on_accelerator.rs Cargo.toml
+
+tests/mlp_backprop_on_accelerator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_matches_execution-de28f64ed3b637b6.d: tests/model_matches_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_matches_execution-de28f64ed3b637b6.rmeta: tests/model_matches_execution.rs Cargo.toml
+
+tests/model_matches_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

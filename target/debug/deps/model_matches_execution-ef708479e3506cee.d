@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_matches_execution-ef708479e3506cee.d: tests/model_matches_execution.rs
+
+/root/repo/target/debug/deps/model_matches_execution-ef708479e3506cee: tests/model_matches_execution.rs
+
+tests/model_matches_execution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipelines_match_software-47ca7a9f3269b303.d: tests/pipelines_match_software.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipelines_match_software-47ca7a9f3269b303.rmeta: tests/pipelines_match_software.rs Cargo.toml
+
+tests/pipelines_match_software.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipelines_match_software-d176c12833d5c10a.d: tests/pipelines_match_software.rs
+
+/root/repo/target/debug/deps/pipelines_match_software-d176c12833d5c10a: tests/pipelines_match_software.rs
+
+tests/pipelines_match_software.rs:

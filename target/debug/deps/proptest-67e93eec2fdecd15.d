@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-67e93eec2fdecd15.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-67e93eec2fdecd15.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-67e93eec2fdecd15.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

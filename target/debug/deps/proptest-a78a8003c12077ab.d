@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a78a8003c12077ab.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a78a8003c12077ab.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a78a8003c12077ab.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

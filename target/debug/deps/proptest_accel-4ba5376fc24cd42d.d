@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_accel-4ba5376fc24cd42d.d: crates/accel/tests/proptest_accel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_accel-4ba5376fc24cd42d.rmeta: crates/accel/tests/proptest_accel.rs Cargo.toml
+
+crates/accel/tests/proptest_accel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_accel-75ce337a9400e1a1.d: crates/accel/tests/proptest_accel.rs
+
+/root/repo/target/debug/deps/proptest_accel-75ce337a9400e1a1: crates/accel/tests/proptest_accel.rs
+
+crates/accel/tests/proptest_accel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_f16-1c0c64d72ed07ac1.d: crates/softfp/tests/proptest_f16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_f16-1c0c64d72ed07ac1.rmeta: crates/softfp/tests/proptest_f16.rs Cargo.toml
+
+crates/softfp/tests/proptest_f16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_f16-89a4ef4f0ce6bedd.d: crates/softfp/tests/proptest_f16.rs
+
+/root/repo/target/debug/deps/proptest_f16-89a4ef4f0ce6bedd: crates/softfp/tests/proptest_f16.rs
+
+crates/softfp/tests/proptest_f16.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_memsim-36c478fd3810a562.d: crates/memsim/tests/proptest_memsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_memsim-36c478fd3810a562.rmeta: crates/memsim/tests/proptest_memsim.rs Cargo.toml
+
+crates/memsim/tests/proptest_memsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

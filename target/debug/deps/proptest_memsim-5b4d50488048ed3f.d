@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_memsim-5b4d50488048ed3f.d: crates/memsim/tests/proptest_memsim.rs
+
+/root/repo/target/debug/deps/proptest_memsim-5b4d50488048ed3f: crates/memsim/tests/proptest_memsim.rs
+
+crates/memsim/tests/proptest_memsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mlkit-00aa63807e13f8ee.d: crates/mlkit/tests/proptest_mlkit.rs
+
+/root/repo/target/debug/deps/proptest_mlkit-00aa63807e13f8ee: crates/mlkit/tests/proptest_mlkit.rs
+
+crates/mlkit/tests/proptest_mlkit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mlkit-47b80f0d51c99826.d: crates/mlkit/tests/proptest_mlkit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mlkit-47b80f0d51c99826.rmeta: crates/mlkit/tests/proptest_mlkit.rs Cargo.toml
+
+crates/mlkit/tests/proptest_mlkit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

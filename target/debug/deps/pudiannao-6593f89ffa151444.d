@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pudiannao-6593f89ffa151444.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpudiannao-6593f89ffa151444.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpudiannao-6593f89ffa151444.rmeta: src/lib.rs
+
+src/lib.rs:

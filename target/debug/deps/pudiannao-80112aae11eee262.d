@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pudiannao-80112aae11eee262.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpudiannao-80112aae11eee262.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpudiannao-80112aae11eee262.rmeta: src/lib.rs
+
+src/lib.rs:

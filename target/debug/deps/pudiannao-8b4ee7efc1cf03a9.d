@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pudiannao-8b4ee7efc1cf03a9.d: src/lib.rs
+
+/root/repo/target/debug/deps/pudiannao-8b4ee7efc1cf03a9: src/lib.rs
+
+src/lib.rs:

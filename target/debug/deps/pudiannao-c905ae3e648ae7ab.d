@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pudiannao-c905ae3e648ae7ab.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao-c905ae3e648ae7ab.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

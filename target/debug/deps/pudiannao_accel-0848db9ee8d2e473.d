@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pudiannao_accel-0848db9ee8d2e473.d: crates/accel/src/lib.rs crates/accel/src/buffer.rs crates/accel/src/config.rs crates/accel/src/energy.rs crates/accel/src/error.rs crates/accel/src/exec.rs crates/accel/src/isa.rs crates/accel/src/json.rs crates/accel/src/ksorter.rs crates/accel/src/layout.rs crates/accel/src/memory.rs crates/accel/src/stats.rs crates/accel/src/timing.rs crates/accel/src/trace.rs
+
+/root/repo/target/debug/deps/libpudiannao_accel-0848db9ee8d2e473.rlib: crates/accel/src/lib.rs crates/accel/src/buffer.rs crates/accel/src/config.rs crates/accel/src/energy.rs crates/accel/src/error.rs crates/accel/src/exec.rs crates/accel/src/isa.rs crates/accel/src/json.rs crates/accel/src/ksorter.rs crates/accel/src/layout.rs crates/accel/src/memory.rs crates/accel/src/stats.rs crates/accel/src/timing.rs crates/accel/src/trace.rs
+
+/root/repo/target/debug/deps/libpudiannao_accel-0848db9ee8d2e473.rmeta: crates/accel/src/lib.rs crates/accel/src/buffer.rs crates/accel/src/config.rs crates/accel/src/energy.rs crates/accel/src/error.rs crates/accel/src/exec.rs crates/accel/src/isa.rs crates/accel/src/json.rs crates/accel/src/ksorter.rs crates/accel/src/layout.rs crates/accel/src/memory.rs crates/accel/src/stats.rs crates/accel/src/timing.rs crates/accel/src/trace.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/buffer.rs:
+crates/accel/src/config.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/error.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/isa.rs:
+crates/accel/src/json.rs:
+crates/accel/src/ksorter.rs:
+crates/accel/src/layout.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/stats.rs:
+crates/accel/src/timing.rs:
+crates/accel/src/trace.rs:

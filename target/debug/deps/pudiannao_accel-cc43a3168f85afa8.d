@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pudiannao_accel-cc43a3168f85afa8.d: crates/accel/src/lib.rs crates/accel/src/buffer.rs crates/accel/src/config.rs crates/accel/src/energy.rs crates/accel/src/error.rs crates/accel/src/exec.rs crates/accel/src/isa.rs crates/accel/src/json.rs crates/accel/src/ksorter.rs crates/accel/src/layout.rs crates/accel/src/memory.rs crates/accel/src/stats.rs crates/accel/src/timing.rs crates/accel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_accel-cc43a3168f85afa8.rmeta: crates/accel/src/lib.rs crates/accel/src/buffer.rs crates/accel/src/config.rs crates/accel/src/energy.rs crates/accel/src/error.rs crates/accel/src/exec.rs crates/accel/src/isa.rs crates/accel/src/json.rs crates/accel/src/ksorter.rs crates/accel/src/layout.rs crates/accel/src/memory.rs crates/accel/src/stats.rs crates/accel/src/timing.rs crates/accel/src/trace.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/buffer.rs:
+crates/accel/src/config.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/error.rs:
+crates/accel/src/exec.rs:
+crates/accel/src/isa.rs:
+crates/accel/src/json.rs:
+crates/accel/src/ksorter.rs:
+crates/accel/src/layout.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/stats.rs:
+crates/accel/src/timing.rs:
+crates/accel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

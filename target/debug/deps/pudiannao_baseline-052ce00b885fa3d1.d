@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pudiannao_baseline-052ce00b885fa3d1.d: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/debug/deps/libpudiannao_baseline-052ce00b885fa3d1.rlib: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/debug/deps/libpudiannao_baseline-052ce00b885fa3d1.rmeta: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/character.rs:
+crates/baseline/src/device.rs:

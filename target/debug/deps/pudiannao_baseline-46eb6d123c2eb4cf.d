@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pudiannao_baseline-46eb6d123c2eb4cf.d: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/debug/deps/pudiannao_baseline-46eb6d123c2eb4cf: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/character.rs:
+crates/baseline/src/device.rs:

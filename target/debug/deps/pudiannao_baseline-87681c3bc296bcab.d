@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pudiannao_baseline-87681c3bc296bcab.d: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/debug/deps/libpudiannao_baseline-87681c3bc296bcab.rlib: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/debug/deps/libpudiannao_baseline-87681c3bc296bcab.rmeta: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/character.rs:
+crates/baseline/src/device.rs:

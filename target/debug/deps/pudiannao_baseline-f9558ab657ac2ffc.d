@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pudiannao_baseline-f9558ab657ac2ffc.d: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_baseline-f9558ab657ac2ffc.rmeta: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/character.rs:
+crates/baseline/src/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

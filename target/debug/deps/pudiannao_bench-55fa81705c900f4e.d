@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pudiannao_bench-55fa81705c900f4e.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+
+/root/repo/target/debug/deps/libpudiannao_bench-55fa81705c900f4e.rlib: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+
+/root/repo/target/debug/deps/libpudiannao_bench-55fa81705c900f4e.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/evaluation.rs:
+crates/bench/src/locality.rs:

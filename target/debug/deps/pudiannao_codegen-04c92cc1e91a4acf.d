@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pudiannao_codegen-04c92cc1e91a4acf.d: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+/root/repo/target/debug/deps/pudiannao_codegen-04c92cc1e91a4acf: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/ct.rs:
+crates/codegen/src/disasm.rs:
+crates/codegen/src/distance.rs:
+crates/codegen/src/dot.rs:
+crates/codegen/src/error.rs:
+crates/codegen/src/nb.rs:
+crates/codegen/src/phases.rs:
+crates/codegen/src/pipelines.rs:

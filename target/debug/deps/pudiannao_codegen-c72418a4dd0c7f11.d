@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pudiannao_codegen-c72418a4dd0c7f11.d: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+/root/repo/target/debug/deps/libpudiannao_codegen-c72418a4dd0c7f11.rlib: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+/root/repo/target/debug/deps/libpudiannao_codegen-c72418a4dd0c7f11.rmeta: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/ct.rs:
+crates/codegen/src/disasm.rs:
+crates/codegen/src/distance.rs:
+crates/codegen/src/dot.rs:
+crates/codegen/src/error.rs:
+crates/codegen/src/nb.rs:
+crates/codegen/src/phases.rs:
+crates/codegen/src/pipelines.rs:

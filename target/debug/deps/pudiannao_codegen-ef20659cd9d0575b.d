@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pudiannao_codegen-ef20659cd9d0575b.d: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_codegen-ef20659cd9d0575b.rmeta: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/ct.rs:
+crates/codegen/src/disasm.rs:
+crates/codegen/src/distance.rs:
+crates/codegen/src/dot.rs:
+crates/codegen/src/error.rs:
+crates/codegen/src/nb.rs:
+crates/codegen/src/phases.rs:
+crates/codegen/src/pipelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pudiannao_datasets-07497d3813baf72c.d: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/pudiannao_datasets-07497d3813baf72c: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/matrix.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/split.rs:
+crates/datasets/src/synth.rs:

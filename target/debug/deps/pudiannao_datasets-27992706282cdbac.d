@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pudiannao_datasets-27992706282cdbac.d: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libpudiannao_datasets-27992706282cdbac.rlib: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libpudiannao_datasets-27992706282cdbac.rmeta: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/matrix.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/split.rs:
+crates/datasets/src/synth.rs:

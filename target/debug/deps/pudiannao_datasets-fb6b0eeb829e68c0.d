@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pudiannao_datasets-fb6b0eeb829e68c0.d: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libpudiannao_datasets-fb6b0eeb829e68c0.rlib: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/debug/deps/libpudiannao_datasets-fb6b0eeb829e68c0.rmeta: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/matrix.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/split.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pudiannao_datasets-fd7597ebd91f9953.d: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_datasets-fd7597ebd91f9953.rmeta: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/matrix.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/split.rs:
+crates/datasets/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

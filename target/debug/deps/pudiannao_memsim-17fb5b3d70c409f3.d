@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pudiannao_memsim-17fb5b3d70c409f3.d: crates/memsim/src/lib.rs crates/memsim/src/access.rs crates/memsim/src/cache.rs crates/memsim/src/engine.rs crates/memsim/src/kernels/mod.rs crates/memsim/src/kernels/ct.rs crates/memsim/src/kernels/dnn.rs crates/memsim/src/kernels/kmeans.rs crates/memsim/src/kernels/knn.rs crates/memsim/src/kernels/linreg.rs crates/memsim/src/kernels/nb.rs crates/memsim/src/kernels/svm.rs crates/memsim/src/reuse.rs
+
+/root/repo/target/debug/deps/libpudiannao_memsim-17fb5b3d70c409f3.rlib: crates/memsim/src/lib.rs crates/memsim/src/access.rs crates/memsim/src/cache.rs crates/memsim/src/engine.rs crates/memsim/src/kernels/mod.rs crates/memsim/src/kernels/ct.rs crates/memsim/src/kernels/dnn.rs crates/memsim/src/kernels/kmeans.rs crates/memsim/src/kernels/knn.rs crates/memsim/src/kernels/linreg.rs crates/memsim/src/kernels/nb.rs crates/memsim/src/kernels/svm.rs crates/memsim/src/reuse.rs
+
+/root/repo/target/debug/deps/libpudiannao_memsim-17fb5b3d70c409f3.rmeta: crates/memsim/src/lib.rs crates/memsim/src/access.rs crates/memsim/src/cache.rs crates/memsim/src/engine.rs crates/memsim/src/kernels/mod.rs crates/memsim/src/kernels/ct.rs crates/memsim/src/kernels/dnn.rs crates/memsim/src/kernels/kmeans.rs crates/memsim/src/kernels/knn.rs crates/memsim/src/kernels/linreg.rs crates/memsim/src/kernels/nb.rs crates/memsim/src/kernels/svm.rs crates/memsim/src/reuse.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/access.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/engine.rs:
+crates/memsim/src/kernels/mod.rs:
+crates/memsim/src/kernels/ct.rs:
+crates/memsim/src/kernels/dnn.rs:
+crates/memsim/src/kernels/kmeans.rs:
+crates/memsim/src/kernels/knn.rs:
+crates/memsim/src/kernels/linreg.rs:
+crates/memsim/src/kernels/nb.rs:
+crates/memsim/src/kernels/svm.rs:
+crates/memsim/src/reuse.rs:

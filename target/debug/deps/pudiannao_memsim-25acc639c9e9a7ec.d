@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pudiannao_memsim-25acc639c9e9a7ec.d: crates/memsim/src/lib.rs crates/memsim/src/access.rs crates/memsim/src/cache.rs crates/memsim/src/engine.rs crates/memsim/src/kernels/mod.rs crates/memsim/src/kernels/ct.rs crates/memsim/src/kernels/dnn.rs crates/memsim/src/kernels/kmeans.rs crates/memsim/src/kernels/knn.rs crates/memsim/src/kernels/linreg.rs crates/memsim/src/kernels/nb.rs crates/memsim/src/kernels/svm.rs crates/memsim/src/reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_memsim-25acc639c9e9a7ec.rmeta: crates/memsim/src/lib.rs crates/memsim/src/access.rs crates/memsim/src/cache.rs crates/memsim/src/engine.rs crates/memsim/src/kernels/mod.rs crates/memsim/src/kernels/ct.rs crates/memsim/src/kernels/dnn.rs crates/memsim/src/kernels/kmeans.rs crates/memsim/src/kernels/knn.rs crates/memsim/src/kernels/linreg.rs crates/memsim/src/kernels/nb.rs crates/memsim/src/kernels/svm.rs crates/memsim/src/reuse.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/access.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/engine.rs:
+crates/memsim/src/kernels/mod.rs:
+crates/memsim/src/kernels/ct.rs:
+crates/memsim/src/kernels/dnn.rs:
+crates/memsim/src/kernels/kmeans.rs:
+crates/memsim/src/kernels/knn.rs:
+crates/memsim/src/kernels/linreg.rs:
+crates/memsim/src/kernels/nb.rs:
+crates/memsim/src/kernels/svm.rs:
+crates/memsim/src/reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

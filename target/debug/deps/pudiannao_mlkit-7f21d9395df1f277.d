@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pudiannao_mlkit-7f21d9395df1f277.d: crates/mlkit/src/lib.rs crates/mlkit/src/dnn.rs crates/mlkit/src/error.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/knn.rs crates/mlkit/src/linreg.rs crates/mlkit/src/metrics.rs crates/mlkit/src/model_selection.rs crates/mlkit/src/nb.rs crates/mlkit/src/precision.rs crates/mlkit/src/svm.rs crates/mlkit/src/tree.rs
+
+/root/repo/target/debug/deps/libpudiannao_mlkit-7f21d9395df1f277.rlib: crates/mlkit/src/lib.rs crates/mlkit/src/dnn.rs crates/mlkit/src/error.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/knn.rs crates/mlkit/src/linreg.rs crates/mlkit/src/metrics.rs crates/mlkit/src/model_selection.rs crates/mlkit/src/nb.rs crates/mlkit/src/precision.rs crates/mlkit/src/svm.rs crates/mlkit/src/tree.rs
+
+/root/repo/target/debug/deps/libpudiannao_mlkit-7f21d9395df1f277.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/dnn.rs crates/mlkit/src/error.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/knn.rs crates/mlkit/src/linreg.rs crates/mlkit/src/metrics.rs crates/mlkit/src/model_selection.rs crates/mlkit/src/nb.rs crates/mlkit/src/precision.rs crates/mlkit/src/svm.rs crates/mlkit/src/tree.rs
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/dnn.rs:
+crates/mlkit/src/error.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/knn.rs:
+crates/mlkit/src/linreg.rs:
+crates/mlkit/src/metrics.rs:
+crates/mlkit/src/model_selection.rs:
+crates/mlkit/src/nb.rs:
+crates/mlkit/src/precision.rs:
+crates/mlkit/src/svm.rs:
+crates/mlkit/src/tree.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pudiannao_mlkit-b5098a52e06cc248.d: crates/mlkit/src/lib.rs crates/mlkit/src/dnn.rs crates/mlkit/src/error.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/knn.rs crates/mlkit/src/linreg.rs crates/mlkit/src/metrics.rs crates/mlkit/src/model_selection.rs crates/mlkit/src/nb.rs crates/mlkit/src/precision.rs crates/mlkit/src/svm.rs crates/mlkit/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpudiannao_mlkit-b5098a52e06cc248.rmeta: crates/mlkit/src/lib.rs crates/mlkit/src/dnn.rs crates/mlkit/src/error.rs crates/mlkit/src/kmeans.rs crates/mlkit/src/knn.rs crates/mlkit/src/linreg.rs crates/mlkit/src/metrics.rs crates/mlkit/src/model_selection.rs crates/mlkit/src/nb.rs crates/mlkit/src/precision.rs crates/mlkit/src/svm.rs crates/mlkit/src/tree.rs Cargo.toml
+
+crates/mlkit/src/lib.rs:
+crates/mlkit/src/dnn.rs:
+crates/mlkit/src/error.rs:
+crates/mlkit/src/kmeans.rs:
+crates/mlkit/src/knn.rs:
+crates/mlkit/src/linreg.rs:
+crates/mlkit/src/metrics.rs:
+crates/mlkit/src/model_selection.rs:
+crates/mlkit/src/nb.rs:
+crates/mlkit/src/precision.rs:
+crates/mlkit/src/svm.rs:
+crates/mlkit/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

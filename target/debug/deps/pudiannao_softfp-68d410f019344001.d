@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pudiannao_softfp-68d410f019344001.d: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+
+/root/repo/target/debug/deps/libpudiannao_softfp-68d410f019344001.rlib: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+
+/root/repo/target/debug/deps/libpudiannao_softfp-68d410f019344001.rmeta: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+
+crates/softfp/src/lib.rs:
+crates/softfp/src/f16.rs:
+crates/softfp/src/int_path.rs:
+crates/softfp/src/interp.rs:
+crates/softfp/src/taylor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2fee883ecc61b4ed.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2fee883ecc61b4ed.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2fee883ecc61b4ed.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

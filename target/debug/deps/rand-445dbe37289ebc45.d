@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-445dbe37289ebc45.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-445dbe37289ebc45.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-445dbe37289ebc45.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

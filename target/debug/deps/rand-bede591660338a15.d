@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-bede591660338a15.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-bede591660338a15: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

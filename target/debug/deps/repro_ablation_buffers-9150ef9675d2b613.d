@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_buffers-9150ef9675d2b613.d: crates/bench/src/bin/repro_ablation_buffers.rs
+
+/root/repo/target/debug/deps/repro_ablation_buffers-9150ef9675d2b613: crates/bench/src/bin/repro_ablation_buffers.rs
+
+crates/bench/src/bin/repro_ablation_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_buffers-c20ea80275523587.d: crates/bench/src/bin/repro_ablation_buffers.rs
+
+/root/repo/target/debug/deps/repro_ablation_buffers-c20ea80275523587: crates/bench/src/bin/repro_ablation_buffers.rs
+
+crates/bench/src/bin/repro_ablation_buffers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_interp-3d0773bb538b78c2.d: crates/bench/src/bin/repro_ablation_interp.rs
+
+/root/repo/target/debug/deps/repro_ablation_interp-3d0773bb538b78c2: crates/bench/src/bin/repro_ablation_interp.rs
+
+crates/bench/src/bin/repro_ablation_interp.rs:

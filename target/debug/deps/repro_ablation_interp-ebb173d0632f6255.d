@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_interp-ebb173d0632f6255.d: crates/bench/src/bin/repro_ablation_interp.rs
+
+/root/repo/target/debug/deps/repro_ablation_interp-ebb173d0632f6255: crates/bench/src/bin/repro_ablation_interp.rs
+
+crates/bench/src/bin/repro_ablation_interp.rs:

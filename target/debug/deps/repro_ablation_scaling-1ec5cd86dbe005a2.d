@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_ablation_scaling-1ec5cd86dbe005a2.d: crates/bench/src/bin/repro_ablation_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_ablation_scaling-1ec5cd86dbe005a2.rmeta: crates/bench/src/bin/repro_ablation_scaling.rs Cargo.toml
+
+crates/bench/src/bin/repro_ablation_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

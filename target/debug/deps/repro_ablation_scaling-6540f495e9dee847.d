@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_scaling-6540f495e9dee847.d: crates/bench/src/bin/repro_ablation_scaling.rs
+
+/root/repo/target/debug/deps/repro_ablation_scaling-6540f495e9dee847: crates/bench/src/bin/repro_ablation_scaling.rs
+
+crates/bench/src/bin/repro_ablation_scaling.rs:

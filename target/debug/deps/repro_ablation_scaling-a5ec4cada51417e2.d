@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_scaling-a5ec4cada51417e2.d: crates/bench/src/bin/repro_ablation_scaling.rs
+
+/root/repo/target/debug/deps/repro_ablation_scaling-a5ec4cada51417e2: crates/bench/src/bin/repro_ablation_scaling.rs
+
+crates/bench/src/bin/repro_ablation_scaling.rs:

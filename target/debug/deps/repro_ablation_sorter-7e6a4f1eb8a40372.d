@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_sorter-7e6a4f1eb8a40372.d: crates/bench/src/bin/repro_ablation_sorter.rs
+
+/root/repo/target/debug/deps/repro_ablation_sorter-7e6a4f1eb8a40372: crates/bench/src/bin/repro_ablation_sorter.rs
+
+crates/bench/src/bin/repro_ablation_sorter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_ablation_sorter-97f8e861a42be77d.d: crates/bench/src/bin/repro_ablation_sorter.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_ablation_sorter-97f8e861a42be77d.rmeta: crates/bench/src/bin/repro_ablation_sorter.rs Cargo.toml
+
+crates/bench/src/bin/repro_ablation_sorter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

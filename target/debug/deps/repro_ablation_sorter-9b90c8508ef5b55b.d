@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation_sorter-9b90c8508ef5b55b.d: crates/bench/src/bin/repro_ablation_sorter.rs
+
+/root/repo/target/debug/deps/repro_ablation_sorter-9b90c8508ef5b55b: crates/bench/src/bin/repro_ablation_sorter.rs
+
+crates/bench/src/bin/repro_ablation_sorter.rs:

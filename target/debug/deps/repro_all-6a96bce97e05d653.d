@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-6a96bce97e05d653.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-6a96bce97e05d653: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

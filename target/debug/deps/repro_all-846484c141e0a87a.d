@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-846484c141e0a87a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-846484c141e0a87a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

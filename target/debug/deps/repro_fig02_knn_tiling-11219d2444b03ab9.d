@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-11219d2444b03ab9.d: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-11219d2444b03ab9: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+crates/bench/src/bin/repro_fig02_knn_tiling.rs:

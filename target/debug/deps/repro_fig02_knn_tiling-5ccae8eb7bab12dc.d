@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-5ccae8eb7bab12dc.d: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-5ccae8eb7bab12dc: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+crates/bench/src/bin/repro_fig02_knn_tiling.rs:

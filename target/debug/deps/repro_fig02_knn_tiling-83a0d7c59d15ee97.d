@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-83a0d7c59d15ee97.d: crates/bench/src/bin/repro_fig02_knn_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig02_knn_tiling-83a0d7c59d15ee97.rmeta: crates/bench/src/bin/repro_fig02_knn_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig02_knn_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

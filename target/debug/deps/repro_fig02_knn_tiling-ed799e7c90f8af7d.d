@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig02_knn_tiling-ed799e7c90f8af7d.d: crates/bench/src/bin/repro_fig02_knn_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig02_knn_tiling-ed799e7c90f8af7d.rmeta: crates/bench/src/bin/repro_fig02_knn_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig02_knn_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig04_kmeans_tiling-25f48750e9bbe6a2.d: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig04_kmeans_tiling-25f48750e9bbe6a2: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+crates/bench/src/bin/repro_fig04_kmeans_tiling.rs:

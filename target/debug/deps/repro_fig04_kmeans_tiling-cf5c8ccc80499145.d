@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig04_kmeans_tiling-cf5c8ccc80499145.d: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig04_kmeans_tiling-cf5c8ccc80499145.rmeta: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig04_kmeans_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

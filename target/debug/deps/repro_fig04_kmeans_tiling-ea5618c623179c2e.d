@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig04_kmeans_tiling-ea5618c623179c2e.d: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig04_kmeans_tiling-ea5618c623179c2e: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+crates/bench/src/bin/repro_fig04_kmeans_tiling.rs:

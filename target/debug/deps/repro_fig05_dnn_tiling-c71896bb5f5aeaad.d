@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-c71896bb5f5aeaad.d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-c71896bb5f5aeaad: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+crates/bench/src/bin/repro_fig05_dnn_tiling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-e04be357c9259d1d.d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-e04be357c9259d1d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+crates/bench/src/bin/repro_fig05_dnn_tiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-ef3175c610c9be4c.d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig05_dnn_tiling-ef3175c610c9be4c.rmeta: crates/bench/src/bin/repro_fig05_dnn_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig05_dnn_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig05_dnn_tiling-ef456470b5393532.d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig05_dnn_tiling-ef456470b5393532.rmeta: crates/bench/src/bin/repro_fig05_dnn_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig05_dnn_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig08_lr_tiling-13e50bf51733fe37.d: crates/bench/src/bin/repro_fig08_lr_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig08_lr_tiling-13e50bf51733fe37.rmeta: crates/bench/src/bin/repro_fig08_lr_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig08_lr_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig08_lr_tiling-6ba51b8073d9a83e.d: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig08_lr_tiling-6ba51b8073d9a83e: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+crates/bench/src/bin/repro_fig08_lr_tiling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig08_lr_tiling-bf28247126091ad8.d: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig08_lr_tiling-bf28247126091ad8: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+crates/bench/src/bin/repro_fig08_lr_tiling.rs:

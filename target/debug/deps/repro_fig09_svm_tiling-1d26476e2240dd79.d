@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig09_svm_tiling-1d26476e2240dd79.d: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig09_svm_tiling-1d26476e2240dd79: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+crates/bench/src/bin/repro_fig09_svm_tiling.rs:

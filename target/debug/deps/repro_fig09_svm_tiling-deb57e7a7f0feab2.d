@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig09_svm_tiling-deb57e7a7f0feab2.d: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+/root/repo/target/debug/deps/repro_fig09_svm_tiling-deb57e7a7f0feab2: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+crates/bench/src/bin/repro_fig09_svm_tiling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig09_svm_tiling-fffc18cf05e9c4c7.d: crates/bench/src/bin/repro_fig09_svm_tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig09_svm_tiling-fffc18cf05e9c4c7.rmeta: crates/bench/src/bin/repro_fig09_svm_tiling.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig09_svm_tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-11bc3ebe8de8f254.d: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-11bc3ebe8de8f254: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+crates/bench/src/bin/repro_fig10_reuse_distance.rs:

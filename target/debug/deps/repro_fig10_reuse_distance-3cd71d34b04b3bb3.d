@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-3cd71d34b04b3bb3.d: crates/bench/src/bin/repro_fig10_reuse_distance.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig10_reuse_distance-3cd71d34b04b3bb3.rmeta: crates/bench/src/bin/repro_fig10_reuse_distance.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig10_reuse_distance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

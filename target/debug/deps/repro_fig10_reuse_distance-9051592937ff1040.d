@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-9051592937ff1040.d: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-9051592937ff1040: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+crates/bench/src/bin/repro_fig10_reuse_distance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig10_reuse_distance-c7242294a2d7e668.d: crates/bench/src/bin/repro_fig10_reuse_distance.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig10_reuse_distance-c7242294a2d7e668.rmeta: crates/bench/src/bin/repro_fig10_reuse_distance.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig10_reuse_distance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig13_gpu_vs_cpu-2c980b045cafc34a.d: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs
+
+/root/repo/target/debug/deps/repro_fig13_gpu_vs_cpu-2c980b045cafc34a: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs
+
+crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig13_gpu_vs_cpu-5b00de1a788e1f70.d: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig13_gpu_vs_cpu-5b00de1a788e1f70.rmeta: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

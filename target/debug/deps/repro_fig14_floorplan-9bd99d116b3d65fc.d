@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig14_floorplan-9bd99d116b3d65fc.d: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+/root/repo/target/debug/deps/repro_fig14_floorplan-9bd99d116b3d65fc: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+crates/bench/src/bin/repro_fig14_floorplan.rs:

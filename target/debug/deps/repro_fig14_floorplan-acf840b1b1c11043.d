@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig14_floorplan-acf840b1b1c11043.d: crates/bench/src/bin/repro_fig14_floorplan.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig14_floorplan-acf840b1b1c11043.rmeta: crates/bench/src/bin/repro_fig14_floorplan.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig14_floorplan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

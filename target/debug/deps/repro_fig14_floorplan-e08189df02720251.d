@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig14_floorplan-e08189df02720251.d: crates/bench/src/bin/repro_fig14_floorplan.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig14_floorplan-e08189df02720251.rmeta: crates/bench/src/bin/repro_fig14_floorplan.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig14_floorplan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

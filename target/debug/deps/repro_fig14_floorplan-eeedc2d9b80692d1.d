@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig14_floorplan-eeedc2d9b80692d1.d: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+/root/repo/target/debug/deps/repro_fig14_floorplan-eeedc2d9b80692d1: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+crates/bench/src/bin/repro_fig14_floorplan.rs:

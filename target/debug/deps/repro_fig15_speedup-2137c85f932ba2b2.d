@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig15_speedup-2137c85f932ba2b2.d: crates/bench/src/bin/repro_fig15_speedup.rs
+
+/root/repo/target/debug/deps/repro_fig15_speedup-2137c85f932ba2b2: crates/bench/src/bin/repro_fig15_speedup.rs
+
+crates/bench/src/bin/repro_fig15_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig15_speedup-db39598c18b6ef01.d: crates/bench/src/bin/repro_fig15_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig15_speedup-db39598c18b6ef01.rmeta: crates/bench/src/bin/repro_fig15_speedup.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig15_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig15_speedup-df41471dc985dad4.d: crates/bench/src/bin/repro_fig15_speedup.rs
+
+/root/repo/target/debug/deps/repro_fig15_speedup-df41471dc985dad4: crates/bench/src/bin/repro_fig15_speedup.rs
+
+crates/bench/src/bin/repro_fig15_speedup.rs:

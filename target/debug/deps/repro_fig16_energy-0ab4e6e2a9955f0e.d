@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig16_energy-0ab4e6e2a9955f0e.d: crates/bench/src/bin/repro_fig16_energy.rs
+
+/root/repo/target/debug/deps/repro_fig16_energy-0ab4e6e2a9955f0e: crates/bench/src/bin/repro_fig16_energy.rs
+
+crates/bench/src/bin/repro_fig16_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig16_energy-7d7a9e004fecdf6f.d: crates/bench/src/bin/repro_fig16_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig16_energy-7d7a9e004fecdf6f.rmeta: crates/bench/src/bin/repro_fig16_energy.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig16_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig16_energy-88fbc69df0577e69.d: crates/bench/src/bin/repro_fig16_energy.rs
+
+/root/repo/target/debug/deps/repro_fig16_energy-88fbc69df0577e69: crates/bench/src/bin/repro_fig16_energy.rs
+
+crates/bench/src/bin/repro_fig16_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1_precision-145869c2b063b0a6.d: crates/bench/src/bin/repro_table1_precision.rs
+
+/root/repo/target/debug/deps/repro_table1_precision-145869c2b063b0a6: crates/bench/src/bin/repro_table1_precision.rs
+
+crates/bench/src/bin/repro_table1_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1_precision-785123a3b3f0cd4d.d: crates/bench/src/bin/repro_table1_precision.rs
+
+/root/repo/target/debug/deps/repro_table1_precision-785123a3b3f0cd4d: crates/bench/src/bin/repro_table1_precision.rs
+
+crates/bench/src/bin/repro_table1_precision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table1_precision-c85076976fdbed36.d: crates/bench/src/bin/repro_table1_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table1_precision-c85076976fdbed36.rmeta: crates/bench/src/bin/repro_table1_precision.rs Cargo.toml
+
+crates/bench/src/bin/repro_table1_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

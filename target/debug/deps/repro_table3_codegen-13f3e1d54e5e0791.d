@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table3_codegen-13f3e1d54e5e0791.d: crates/bench/src/bin/repro_table3_codegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table3_codegen-13f3e1d54e5e0791.rmeta: crates/bench/src/bin/repro_table3_codegen.rs Cargo.toml
+
+crates/bench/src/bin/repro_table3_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

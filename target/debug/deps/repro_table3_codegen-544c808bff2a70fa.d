@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3_codegen-544c808bff2a70fa.d: crates/bench/src/bin/repro_table3_codegen.rs
+
+/root/repo/target/debug/deps/repro_table3_codegen-544c808bff2a70fa: crates/bench/src/bin/repro_table3_codegen.rs
+
+crates/bench/src/bin/repro_table3_codegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3_codegen-8b99c1c10059e0bb.d: crates/bench/src/bin/repro_table3_codegen.rs
+
+/root/repo/target/debug/deps/repro_table3_codegen-8b99c1c10059e0bb: crates/bench/src/bin/repro_table3_codegen.rs
+
+crates/bench/src/bin/repro_table3_codegen.rs:

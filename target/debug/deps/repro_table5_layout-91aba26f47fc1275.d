@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table5_layout-91aba26f47fc1275.d: crates/bench/src/bin/repro_table5_layout.rs
+
+/root/repo/target/debug/deps/repro_table5_layout-91aba26f47fc1275: crates/bench/src/bin/repro_table5_layout.rs
+
+crates/bench/src/bin/repro_table5_layout.rs:

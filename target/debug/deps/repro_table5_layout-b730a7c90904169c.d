@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table5_layout-b730a7c90904169c.d: crates/bench/src/bin/repro_table5_layout.rs
+
+/root/repo/target/debug/deps/repro_table5_layout-b730a7c90904169c: crates/bench/src/bin/repro_table5_layout.rs
+
+crates/bench/src/bin/repro_table5_layout.rs:

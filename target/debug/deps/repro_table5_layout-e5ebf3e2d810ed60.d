@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table5_layout-e5ebf3e2d810ed60.d: crates/bench/src/bin/repro_table5_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table5_layout-e5ebf3e2d810ed60.rmeta: crates/bench/src/bin/repro_table5_layout.rs Cargo.toml
+
+crates/bench/src/bin/repro_table5_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

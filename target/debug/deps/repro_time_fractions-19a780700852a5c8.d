@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_time_fractions-19a780700852a5c8.d: crates/bench/src/bin/repro_time_fractions.rs
+
+/root/repo/target/debug/deps/repro_time_fractions-19a780700852a5c8: crates/bench/src/bin/repro_time_fractions.rs
+
+crates/bench/src/bin/repro_time_fractions.rs:

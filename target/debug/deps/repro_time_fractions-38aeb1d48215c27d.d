@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_time_fractions-38aeb1d48215c27d.d: crates/bench/src/bin/repro_time_fractions.rs
+
+/root/repo/target/debug/deps/repro_time_fractions-38aeb1d48215c27d: crates/bench/src/bin/repro_time_fractions.rs
+
+crates/bench/src/bin/repro_time_fractions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_time_fractions-66bec8673e6b1d75.d: crates/bench/src/bin/repro_time_fractions.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_time_fractions-66bec8673e6b1d75.rmeta: crates/bench/src/bin/repro_time_fractions.rs Cargo.toml
+
+crates/bench/src/bin/repro_time_fractions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

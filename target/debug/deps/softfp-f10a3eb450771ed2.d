@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softfp-f10a3eb450771ed2.d: crates/bench/benches/softfp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftfp-f10a3eb450771ed2.rmeta: crates/bench/benches/softfp.rs Cargo.toml
+
+crates/bench/benches/softfp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_conservation-72155f962467f699.d: crates/accel/tests/trace_conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_conservation-72155f962467f699.rmeta: crates/accel/tests/trace_conservation.rs Cargo.toml
+
+crates/accel/tests/trace_conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_conservation-e9f8449a5eb92078.d: crates/accel/tests/trace_conservation.rs
+
+/root/repo/target/debug/deps/trace_conservation-e9f8449a5eb92078: crates/accel/tests/trace_conservation.rs
+
+crates/accel/tests/trace_conservation.rs:

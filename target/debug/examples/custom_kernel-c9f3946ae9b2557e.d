@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-c9f3946ae9b2557e.d: examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-c9f3946ae9b2557e: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/locality_explorer-33e9a0ee1cd0b177.d: examples/locality_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocality_explorer-33e9a0ee1cd0b177.rmeta: examples/locality_explorer.rs Cargo.toml
+
+examples/locality_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

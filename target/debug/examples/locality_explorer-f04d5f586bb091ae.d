@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/locality_explorer-f04d5f586bb091ae.d: examples/locality_explorer.rs
+
+/root/repo/target/debug/examples/locality_explorer-f04d5f586bb091ae: examples/locality_explorer.rs
+
+examples/locality_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mnist_pipeline-8c7f23fc43e71246.d: examples/mnist_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmnist_pipeline-8c7f23fc43e71246.rmeta: examples/mnist_pipeline.rs Cargo.toml
+
+examples/mnist_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

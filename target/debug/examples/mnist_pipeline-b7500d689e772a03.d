@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mnist_pipeline-b7500d689e772a03.d: examples/mnist_pipeline.rs
+
+/root/repo/target/debug/examples/mnist_pipeline-b7500d689e772a03: examples/mnist_pipeline.rs
+
+examples/mnist_pipeline.rs:

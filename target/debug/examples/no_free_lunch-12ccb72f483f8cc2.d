@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/no_free_lunch-12ccb72f483f8cc2.d: examples/no_free_lunch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libno_free_lunch-12ccb72f483f8cc2.rmeta: examples/no_free_lunch.rs Cargo.toml
+
+examples/no_free_lunch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/no_free_lunch-9d46fbf7b063aeb0.d: examples/no_free_lunch.rs
+
+/root/repo/target/debug/examples/no_free_lunch-9d46fbf7b063aeb0: examples/no_free_lunch.rs
+
+examples/no_free_lunch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4a0940d2baa7c784.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4a0940d2baa7c784: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pudiannao-d7ff024184f0344d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpudiannao-d7ff024184f0344d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpudiannao-d7ff024184f0344d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pudiannao_baseline-c922860fffce5a20.d: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/release/deps/libpudiannao_baseline-c922860fffce5a20.rlib: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+/root/repo/target/release/deps/libpudiannao_baseline-c922860fffce5a20.rmeta: crates/baseline/src/lib.rs crates/baseline/src/character.rs crates/baseline/src/device.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/character.rs:
+crates/baseline/src/device.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pudiannao_codegen-af192bb37baefb92.d: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+/root/repo/target/release/deps/libpudiannao_codegen-af192bb37baefb92.rlib: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+/root/repo/target/release/deps/libpudiannao_codegen-af192bb37baefb92.rmeta: crates/codegen/src/lib.rs crates/codegen/src/ct.rs crates/codegen/src/disasm.rs crates/codegen/src/distance.rs crates/codegen/src/dot.rs crates/codegen/src/error.rs crates/codegen/src/nb.rs crates/codegen/src/phases.rs crates/codegen/src/pipelines.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/ct.rs:
+crates/codegen/src/disasm.rs:
+crates/codegen/src/distance.rs:
+crates/codegen/src/dot.rs:
+crates/codegen/src/error.rs:
+crates/codegen/src/nb.rs:
+crates/codegen/src/phases.rs:
+crates/codegen/src/pipelines.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pudiannao_datasets-5e8e1851f8d12ed4.d: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libpudiannao_datasets-5e8e1851f8d12ed4.rlib: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+/root/repo/target/release/deps/libpudiannao_datasets-5e8e1851f8d12ed4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/matrix.rs crates/datasets/src/preprocess.rs crates/datasets/src/split.rs crates/datasets/src/synth.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/matrix.rs:
+crates/datasets/src/preprocess.rs:
+crates/datasets/src/split.rs:
+crates/datasets/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation_buffers-04688fa992680dd1.d: crates/bench/src/bin/repro_ablation_buffers.rs
+
+/root/repo/target/release/deps/repro_ablation_buffers-04688fa992680dd1: crates/bench/src/bin/repro_ablation_buffers.rs
+
+crates/bench/src/bin/repro_ablation_buffers.rs:

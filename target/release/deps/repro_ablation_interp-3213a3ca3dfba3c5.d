@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation_interp-3213a3ca3dfba3c5.d: crates/bench/src/bin/repro_ablation_interp.rs
+
+/root/repo/target/release/deps/repro_ablation_interp-3213a3ca3dfba3c5: crates/bench/src/bin/repro_ablation_interp.rs
+
+crates/bench/src/bin/repro_ablation_interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation_scaling-93dd8192791310e3.d: crates/bench/src/bin/repro_ablation_scaling.rs
+
+/root/repo/target/release/deps/repro_ablation_scaling-93dd8192791310e3: crates/bench/src/bin/repro_ablation_scaling.rs
+
+crates/bench/src/bin/repro_ablation_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation_sorter-dd6852b038dbf31e.d: crates/bench/src/bin/repro_ablation_sorter.rs
+
+/root/repo/target/release/deps/repro_ablation_sorter-dd6852b038dbf31e: crates/bench/src/bin/repro_ablation_sorter.rs
+
+crates/bench/src/bin/repro_ablation_sorter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-1a5000c4b6998372.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-1a5000c4b6998372: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig02_knn_tiling-0779b332b77bfe09.d: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+/root/repo/target/release/deps/repro_fig02_knn_tiling-0779b332b77bfe09: crates/bench/src/bin/repro_fig02_knn_tiling.rs
+
+crates/bench/src/bin/repro_fig02_knn_tiling.rs:

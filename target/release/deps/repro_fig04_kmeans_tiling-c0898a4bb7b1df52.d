@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig04_kmeans_tiling-c0898a4bb7b1df52.d: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+/root/repo/target/release/deps/repro_fig04_kmeans_tiling-c0898a4bb7b1df52: crates/bench/src/bin/repro_fig04_kmeans_tiling.rs
+
+crates/bench/src/bin/repro_fig04_kmeans_tiling.rs:

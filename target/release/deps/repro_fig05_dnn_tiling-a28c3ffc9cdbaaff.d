@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig05_dnn_tiling-a28c3ffc9cdbaaff.d: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+/root/repo/target/release/deps/repro_fig05_dnn_tiling-a28c3ffc9cdbaaff: crates/bench/src/bin/repro_fig05_dnn_tiling.rs
+
+crates/bench/src/bin/repro_fig05_dnn_tiling.rs:

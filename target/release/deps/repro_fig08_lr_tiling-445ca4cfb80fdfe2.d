@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig08_lr_tiling-445ca4cfb80fdfe2.d: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+/root/repo/target/release/deps/repro_fig08_lr_tiling-445ca4cfb80fdfe2: crates/bench/src/bin/repro_fig08_lr_tiling.rs
+
+crates/bench/src/bin/repro_fig08_lr_tiling.rs:

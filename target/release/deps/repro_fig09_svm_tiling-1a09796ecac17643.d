@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig09_svm_tiling-1a09796ecac17643.d: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+/root/repo/target/release/deps/repro_fig09_svm_tiling-1a09796ecac17643: crates/bench/src/bin/repro_fig09_svm_tiling.rs
+
+crates/bench/src/bin/repro_fig09_svm_tiling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig10_reuse_distance-0bd4976ff0fb49c8.d: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+/root/repo/target/release/deps/repro_fig10_reuse_distance-0bd4976ff0fb49c8: crates/bench/src/bin/repro_fig10_reuse_distance.rs
+
+crates/bench/src/bin/repro_fig10_reuse_distance.rs:

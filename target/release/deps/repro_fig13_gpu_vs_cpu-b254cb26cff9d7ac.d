@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig13_gpu_vs_cpu-b254cb26cff9d7ac.d: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs
+
+/root/repo/target/release/deps/repro_fig13_gpu_vs_cpu-b254cb26cff9d7ac: crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs
+
+crates/bench/src/bin/repro_fig13_gpu_vs_cpu.rs:

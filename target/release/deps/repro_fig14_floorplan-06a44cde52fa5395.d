@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig14_floorplan-06a44cde52fa5395.d: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+/root/repo/target/release/deps/repro_fig14_floorplan-06a44cde52fa5395: crates/bench/src/bin/repro_fig14_floorplan.rs
+
+crates/bench/src/bin/repro_fig14_floorplan.rs:

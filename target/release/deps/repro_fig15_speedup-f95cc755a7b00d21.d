@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig15_speedup-f95cc755a7b00d21.d: crates/bench/src/bin/repro_fig15_speedup.rs
+
+/root/repo/target/release/deps/repro_fig15_speedup-f95cc755a7b00d21: crates/bench/src/bin/repro_fig15_speedup.rs
+
+crates/bench/src/bin/repro_fig15_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig16_energy-9d8af2c67b681744.d: crates/bench/src/bin/repro_fig16_energy.rs
+
+/root/repo/target/release/deps/repro_fig16_energy-9d8af2c67b681744: crates/bench/src/bin/repro_fig16_energy.rs
+
+crates/bench/src/bin/repro_fig16_energy.rs:

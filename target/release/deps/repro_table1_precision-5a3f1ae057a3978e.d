@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1_precision-5a3f1ae057a3978e.d: crates/bench/src/bin/repro_table1_precision.rs
+
+/root/repo/target/release/deps/repro_table1_precision-5a3f1ae057a3978e: crates/bench/src/bin/repro_table1_precision.rs
+
+crates/bench/src/bin/repro_table1_precision.rs:

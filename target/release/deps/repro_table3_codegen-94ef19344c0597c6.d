@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3_codegen-94ef19344c0597c6.d: crates/bench/src/bin/repro_table3_codegen.rs
+
+/root/repo/target/release/deps/repro_table3_codegen-94ef19344c0597c6: crates/bench/src/bin/repro_table3_codegen.rs
+
+crates/bench/src/bin/repro_table3_codegen.rs:

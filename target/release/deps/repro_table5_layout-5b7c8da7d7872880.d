@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table5_layout-5b7c8da7d7872880.d: crates/bench/src/bin/repro_table5_layout.rs
+
+/root/repo/target/release/deps/repro_table5_layout-5b7c8da7d7872880: crates/bench/src/bin/repro_table5_layout.rs
+
+crates/bench/src/bin/repro_table5_layout.rs:

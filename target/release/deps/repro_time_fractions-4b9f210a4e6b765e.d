@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_time_fractions-4b9f210a4e6b765e.d: crates/bench/src/bin/repro_time_fractions.rs
+
+/root/repo/target/release/deps/repro_time_fractions-4b9f210a4e6b765e: crates/bench/src/bin/repro_time_fractions.rs
+
+crates/bench/src/bin/repro_time_fractions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_kernel-d242a97f92497250.d: examples/custom_kernel.rs
+
+/root/repo/target/release/examples/custom_kernel-d242a97f92497250: examples/custom_kernel.rs
+
+examples/custom_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mnist_pipeline-bacb1793abf2fdbb.d: examples/mnist_pipeline.rs
+
+/root/repo/target/release/examples/mnist_pipeline-bacb1793abf2fdbb: examples/mnist_pipeline.rs
+
+examples/mnist_pipeline.rs:

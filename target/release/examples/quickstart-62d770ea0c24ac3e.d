@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-62d770ea0c24ac3e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-62d770ea0c24ac3e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -39,11 +39,8 @@ fn backprop_sw(
 ) -> Vec<Vec<Vec<f32>>> {
     let mut new_weights = weights.to_vec();
     let last = acts.last().expect("non-empty");
-    let mut delta: Vec<f32> = last
-        .iter()
-        .zip(target)
-        .map(|(&a, &t)| (a - t) * a * (1.0 - a))
-        .collect();
+    let mut delta: Vec<f32> =
+        last.iter().zip(target).map(|(&a, &t)| (a - t) * a * (1.0 - a)).collect();
     for l in (0..weights.len()).rev() {
         let prev = &acts[l];
         // Back-propagated delta for the layer below (before the update).
@@ -77,9 +74,7 @@ fn accelerator_sgd_step_matches_software_backprop() {
         let (na, nb) = (WIDTHS[l], WIDTHS[l + 1]);
         let layer: Vec<Vec<f32>> = (0..nb)
             .map(|o| {
-                (0..=na)
-                    .map(|j| (((l * 31 + o * 7 + j * 3) % 13) as f32 - 6.0) / 12.0)
-                    .collect()
+                (0..=na).map(|j| (((l * 31 + o * 7 + j * 3) % 13) as f32 - 6.0) / 12.0).collect()
             })
             .collect();
         weights.push(layer);
@@ -126,11 +121,8 @@ fn accelerator_sgd_step_matches_software_backprop() {
 
     // --- forward on the accelerator ---
     let cfg = ArchConfig::paper_default();
-    let forward = MlpForward {
-        widths: WIDTHS.to_vec(),
-        batch: 1,
-        activation: NonLinearFn::Sigmoid,
-    };
+    let forward =
+        MlpForward { widths: WIDTHS.to_vec(), batch: 1, activation: NonLinearFn::Sigmoid };
     let fplan = MlpForwardPlan { weights: weight_bases.clone(), activations: act_bases.clone() };
     let mut accel = Accelerator::new(cfg.clone()).unwrap();
     accel.run(&forward.generate(&cfg, &fplan).expect("forward generates"), &mut dram).unwrap();
@@ -138,11 +130,8 @@ fn accelerator_sgd_step_matches_software_backprop() {
     // Host computes the tiny output-layer delta from the accelerator's
     // own activations.
     let a_out = dram.read_f32(act_bases[2] + 1, WIDTHS[2]);
-    let out_delta: Vec<f32> = a_out
-        .iter()
-        .zip(&target)
-        .map(|(&a, &t)| (a - t) * a * (1.0 - a))
-        .collect();
+    let out_delta: Vec<f32> =
+        a_out.iter().zip(&target).map(|(&a, &t)| (a - t) * a * (1.0 - a)).collect();
     dram.write_f32(out_delta_at, &out_delta);
 
     // --- backward on the accelerator ---
@@ -158,8 +147,8 @@ fn accelerator_sgd_step_matches_software_backprop() {
         neg_one_dram: neg_one_at,
     };
     let program = backprop.generate(&cfg, &bplan).expect("backward generates");
-    let stats = accel.run(&program, &mut dram).unwrap();
-    assert!(stats.instructions > 0);
+    let report = accel.run(&program, &mut dram).unwrap();
+    assert!(report.stats.instructions > 0);
 
     // --- software reference on the same initial weights ---
     let acts = forward_sw(&weights, &x);
@@ -180,21 +169,13 @@ fn accelerator_sgd_step_matches_software_backprop() {
     // The step must reduce the squared error.
     let loss = |w: &[Vec<Vec<f32>>]| -> f32 {
         let a = forward_sw(w, &x);
-        a.last()
-            .unwrap()
-            .iter()
-            .zip(&target)
-            .map(|(&o, &t)| (o - t) * (o - t))
-            .sum()
+        a.last().unwrap().iter().zip(&target).map(|(&o, &t)| (o - t) * (o - t)).sum()
     };
     let updated: Vec<Vec<Vec<f32>>> = (0..weights.len())
         .map(|l| {
             (0..weights[l].len())
                 .map(|o| {
-                    dram.read_f32(
-                        weight_bases[l] + (o * (WIDTHS[l] + 1)) as u64,
-                        WIDTHS[l] + 1,
-                    )
+                    dram.read_f32(weight_bases[l] + (o * (WIDTHS[l] + 1)) as u64, WIDTHS[l] + 1)
                 })
                 .collect()
         })

@@ -7,12 +7,15 @@
 use pudiannao::accel::{Accelerator, ArchConfig, Dram};
 use pudiannao::codegen::ct::{HeapTree, TreeWalkKernel, TreeWalkPlan};
 use pudiannao::codegen::distance::{DistanceKernel, DistancePlan, DistancePost};
-use pudiannao::codegen::nb::{candidate_rows, NbPredictKernel, NbPredictPlan, NbTrainKernel, NbTrainPlan};
+use pudiannao::codegen::nb::{
+    candidate_rows, NbPredictKernel, NbPredictPlan, NbTrainKernel, NbTrainPlan,
+};
 use pudiannao::codegen::phases::{model_phase, program_stats, Phase, Workload};
 
 fn run_and_compare(program: &pudiannao::accel::Program, dram: &mut Dram) {
     let cfg = ArchConfig::paper_default();
-    let executed = Accelerator::new(cfg.clone()).expect("valid").run(program, dram).expect("runs");
+    let executed =
+        Accelerator::new(cfg.clone()).expect("valid").run(program, dram).expect("runs").stats;
     let modelled = program_stats(&cfg, program);
     assert_eq!(executed.cycles, modelled.cycles, "cycle accounting must match");
     assert_eq!(executed.dma_bytes, modelled.dma_bytes);
@@ -48,10 +51,7 @@ fn executed_and_modelled_stats_agree_for_nb_prediction() {
     }
     let kernel = NbPredictKernel { rows: 500, width: 9 };
     let program = kernel
-        .generate(
-            &ArchConfig::paper_default(),
-            &NbPredictPlan { rows_dram: 0, out_dram: 100_000 },
-        )
+        .generate(&ArchConfig::paper_default(), &NbPredictPlan { rows_dram: 0, out_dram: 100_000 })
         .expect("generates");
     run_and_compare(&program, &mut dram);
 }
@@ -98,13 +98,7 @@ fn distance_phase_model_matches_full_program_on_divisible_shapes() {
     let plan = DistancePlan { hot_dram: 0, cold_dram: 1 << 30, out_dram: 1 << 31 };
     let full = program_stats(&cfg, &kernel.generate(&cfg, &plan).expect("generates"));
     // The phase model reconstructs the same totals from a 3-block prefix.
-    let w = Workload {
-        train: 192,
-        test: 512,
-        features: 32,
-        knn_k: 4,
-        ..Workload::paper()
-    };
+    let w = Workload { train: 192, test: 512, features: 32, knn_k: 4, ..Workload::paper() };
     let modelled = model_phase(&cfg, Phase::KnnPrediction, &w).expect("models");
     let rel = |a: u64, b: u64| (a as f64 - b as f64).abs() / b as f64;
     assert!(

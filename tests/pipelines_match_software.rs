@@ -61,8 +61,8 @@ fn mlp_forward_on_accelerator_matches_mlkit() {
     let cfg = ArchConfig::paper_default();
     let plan = MlpForwardPlan { weights: weight_bases, activations: act_bases.clone() };
     let program = net.generate(&cfg, &plan).expect("generates");
-    let stats = Accelerator::new(cfg).unwrap().run(&program, &mut dram).expect("runs");
-    assert!(stats.instructions >= (widths.len() as u64 - 1) * batch as u64);
+    let report = Accelerator::new(cfg).unwrap().run(&program, &mut dram).expect("runs");
+    assert!(report.stats.instructions >= (widths.len() as u64 - 1) * batch as u64);
 
     // Every instance's output layer must match the software forward pass
     // to fp16-datapath tolerance.
@@ -143,10 +143,7 @@ fn svm_prediction_on_accelerator_matches_mlkit_decision() {
                 a * (-d).exp()
             })
             .sum();
-        assert!(
-            (got - expect).abs() < 0.05,
-            "query {q}: accelerator {got} vs software {expect}"
-        );
+        assert!((got - expect).abs() < 0.05, "query {q}: accelerator {got} vs software {expect}");
     }
 }
 

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the API subset the workspace's `benches/` targets use:
+//! [`Criterion`] with `sample_size`/`measurement_time`/`bench_function`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It runs each registered routine a bounded number of times with
+//! wall-clock timing and prints a one-line mean per benchmark — enough to
+//! compare hot paths across PRs without the statistical machinery (or the
+//! compile time) of real criterion.
+
+// Stand-in for an external crate: keep clippy out of it.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value or the computation feeding
+/// it. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]. The stand-in
+/// regenerates the input on every iteration regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: real criterion amortises setup over many iterations.
+    SmallInput,
+    /// Large input: one setup per iteration.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, which is called once per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is on the clock.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+        }
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Caps the total time spent in one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iterations: 1, total: Duration::ZERO };
+        // Warm-up / calibration pass.
+        f(&mut b);
+        let per_iter = b.total.max(Duration::from_nanos(1));
+        let budgeted = (self.measurement_time.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iterations = budgeted.clamp(1, self.sample_size as u64);
+
+        let mut b = Bencher { iterations, total: Duration::ZERO };
+        f(&mut b);
+        let mean = b.total.as_secs_f64() / b.iterations as f64;
+        println!("bench {name:<40} {:>12.3} µs/iter ({} iters)", mean * 1e6, b.iterations);
+        self
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u32; 64], |v| v.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(5).measurement_time(Duration::from_millis(50));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        group();
+    }
+}

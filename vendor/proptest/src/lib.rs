@@ -1,0 +1,487 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API that the workspace's test
+//! suites use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), [`Strategy`] with `prop_map`,
+//! `prop_flat_map` and `prop_filter_map`, numeric-range and tuple
+//! strategies, [`collection::vec`], [`any`], [`Just`], [`prop_oneof!`],
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Failures report the panicking case's inputs via the normal
+//! assertion message instead. Case generation is deterministic per test
+//! (seeded from the test's name), so failures are reproducible.
+
+// Stand-in for an external crate: keep clippy out of it.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic generator used to drive strategies.
+///
+/// xorshift64* seeded from a hash of the owning test's name, so every test
+/// sees a stable stream across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw from an empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of values for property tests. Unlike real proptest there is no
+/// shrink tree; `new_value` draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    /// Generates a value, then draws from the strategy `f` builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> strategy::FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        strategy::FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`, retrying otherwise.
+    fn prop_filter_map<U, F>(self, name: &'static str, f: F) -> strategy::FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        strategy::FilterMap { inner: self, f, name }
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over every value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// Strategy combinator types.
+pub mod strategy {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) name: &'static str,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map {:?} rejected 10000 consecutive draws", self.name);
+        }
+    }
+
+    /// See [`super::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives; built by [`crate::prop_oneof!`].
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a choice over the given draw functions.
+        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            (self.options[i])(rng)
+        }
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.unit_f64() as f32 * (self.end - self.start);
+        v.clamp(self.start, self.end - f32::EPSILON * self.end.abs().max(1.0))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        v.clamp(self.start, self.end - f64::EPSILON * self.end.abs().max(1.0))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Returns the `[lo, hi)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing vectors of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Vector of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "cannot sample empty length range");
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.lo + rng.below(self.hi - self.lo);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. Each contained `fn` runs its body against
+/// `config.cases` deterministic random inputs drawn from the strategies
+/// named after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for _ in 0..config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                #[allow(unused_mut)]
+                let mut case = move || $body;
+                case();
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $({
+                let s = $s;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::new_value(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges, maps and vectors compose and stay in bounds.
+        #[test]
+        fn composed_strategies_stay_in_bounds(
+            v in crate::collection::vec((0..10usize).prop_map(|x| x * 2), 1..8),
+            x in -2.0f32..2.0,
+            flag in prop_oneof![Just(true), Just(false)],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e % 2 == 0 && e < 20));
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assume!(flag || !flag);
+            let bits = any::<u16>();
+            let _ = bits;
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_until_accepted() {
+        let s = (0..100usize).prop_filter_map("even", |n| (n % 2 == 0).then_some(n));
+        let mut rng = crate::TestRng::from_name("filter_map");
+        for _ in 0..200 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_links_dependent_values() {
+        let s = (1..5usize).prop_flat_map(|n| crate::collection::vec(0..n, n));
+        let mut rng = crate::TestRng::from_name("flat_map");
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < v.len()));
+        }
+    }
+}
