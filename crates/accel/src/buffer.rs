@@ -9,7 +9,7 @@
 //! OutputBuf."
 
 use core::fmt;
-use pudiannao_softfp::F16;
+use pudiannao_softfp::batch;
 
 /// Which of the three buffers, with its element width and porting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -91,7 +91,8 @@ impl Buffer {
     }
 
     /// Writes values at `addr`, rounding through binary16 for the 16-bit
-    /// buffers (the ALU's fp32-to-fp16 converter on the DMA path).
+    /// buffers (the ALU's fp32-to-fp16 converter on the DMA path) in one
+    /// fused quantise-and-store pass.
     ///
     /// # Panics
     ///
@@ -102,11 +103,7 @@ impl Buffer {
         self.footprint = self.footprint.max(a + values.len());
         let dst = &mut self.data[a..a + values.len()];
         match self.kind {
-            BufferKind::Hot | BufferKind::Cold => {
-                for (d, &v) in dst.iter_mut().zip(values) {
-                    *d = F16::from_f32(v).to_f32();
-                }
-            }
+            BufferKind::Hot | BufferKind::Cold => batch::quantize_f32_into(values, dst),
             BufferKind::Output => dst.copy_from_slice(values),
         }
     }

@@ -133,6 +133,27 @@ pub fn charge_instruction(
     elapsed
 }
 
+/// Reusable per-instruction working memory.
+///
+/// The executor's steady-state loop is allocation-free: every instruction
+/// stages its results (and the k-sorter register file) in this arena,
+/// which grows to the high-water size once and is reused for the rest of
+/// the accelerator's lifetime.
+#[derive(Debug)]
+struct Scratch {
+    /// Results staged for the OutputBuf write (and the DRAM store).
+    results: Vec<f32>,
+    /// The Misc stage's smallest-k register file, re-targeted per cold
+    /// row via [`KSorter::reset`].
+    sorter: KSorter,
+}
+
+impl Default for Scratch {
+    fn default() -> Scratch {
+        Scratch { results: Vec::new(), sorter: KSorter::new(1) }
+    }
+}
+
 /// The simulated accelerator.
 ///
 /// Buffer contents persist across [`Accelerator::run`] calls, exactly as
@@ -145,6 +166,7 @@ pub struct Accelerator {
     out: Buffer,
     interp: HashMap<NonLinearFn, InterpTable>,
     trace_config: Option<TraceConfig>,
+    scratch: Scratch,
 }
 
 impl Accelerator {
@@ -163,6 +185,7 @@ impl Accelerator {
             out: Buffer::new(BufferKind::Output, config.outputbuf_bytes),
             interp: HashMap::new(),
             trace_config: None,
+            scratch: Scratch::default(),
             config,
         })
     }
@@ -316,26 +339,19 @@ impl Accelerator {
             self.check_buffer(BufferKind::Output, inst.out.addr, inst.out.elems())?;
         }
 
-        // Compute.
-        let results = self.compute(mode, inst, dram)?;
+        // Compute into the scratch arena (no per-instruction allocation).
+        self.compute(mode, inst, dram)?;
 
         // Dispose results.
-        if !results.is_empty() {
-            self.out.write(inst.out.addr, &results);
+        if !self.scratch.results.is_empty() {
+            self.out.write(inst.out.addr, &self.scratch.results);
             if inst.out.write_op == WriteOp::Store {
-                Self::check_dram(dram, inst.out.write_dram_addr, results.len() as u64)?;
-                dram.write_f32(inst.out.write_dram_addr, &results);
+                let len = self.scratch.results.len() as u64;
+                Self::check_dram(dram, inst.out.write_dram_addr, len)?;
+                dram.write_f32(inst.out.write_dram_addr, &self.scratch.results);
             }
         }
         Ok(())
-    }
-
-    fn hot_row(&self, inst: &Instruction, h: u32) -> &[f32] {
-        self.hot.read(inst.hot.addr + h * inst.hot.stride, inst.hot.stride as usize)
-    }
-
-    fn cold_row(&self, inst: &Instruction, c: u32) -> &[f32] {
-        self.cold.read(inst.cold.addr + c * inst.cold.stride, inst.cold.stride as usize)
     }
 
     fn interp_table(&mut self, f: NonLinearFn) -> &InterpTable {
@@ -345,17 +361,32 @@ impl Accelerator {
         })
     }
 
+    /// Executes the decoded dataflow, leaving the results staged in
+    /// `self.scratch.results`. All working memory comes from the scratch
+    /// arena: the steady-state loop performs no heap allocation.
     #[allow(clippy::too_many_lines)]
-    fn compute(
-        &mut self,
-        mode: Mode,
-        inst: &Instruction,
-        dram: &Dram,
-    ) -> Result<Vec<f32>, ExecError> {
-        let lanes = self.config.lanes as usize;
+    fn compute(&mut self, mode: Mode, inst: &Instruction, dram: &Dram) -> Result<(), ExecError> {
+        // Materialise the interpolation table outside the destructured
+        // borrow region below (it needs `&mut self.interp` + `self.config`).
+        if let Mode::Distance { activation: Some(f), .. } | Mode::Dot { activation: Some(f), .. } =
+            mode
+        {
+            let _ = self.interp_table(f);
+        }
+
+        let Accelerator { config, hot, cold, out, interp, scratch, .. } = self;
+        let lanes = config.lanes as usize;
         let width = inst.cold.stride as usize;
         let out_stride = inst.out.stride as usize;
         let seeded = inst.out.read_op != ReadOp::Null;
+        let hot_row =
+            |h: u32| hot.read(inst.hot.addr + h * inst.hot.stride, inst.hot.stride as usize);
+        let cold_row =
+            |c: u32| cold.read(inst.cold.addr + c * inst.cold.stride, inst.cold.stride as usize);
+        let activation_table =
+            |f: NonLinearFn| interp.get(&f).expect("interp table materialised before compute");
+        let results = &mut scratch.results;
+        results.clear();
 
         match mode {
             Mode::Distance { sort_k, activation } => {
@@ -373,27 +404,21 @@ impl Accelerator {
                                 "distance+sort: out.stride must be 2k",
                             ));
                         }
-                        let mut results = Vec::with_capacity(inst.out.elems() as usize);
+                        let sorter = &mut scratch.sorter;
                         for c in 0..inst.cold.iter {
-                            let mut sorter = KSorter::new(k);
+                            sorter.reset(k);
                             if seeded {
                                 let seed =
-                                    self.out.read(inst.out.addr + c * inst.out.stride, out_stride);
-                                let pairs: Vec<(f32, u64)> =
-                                    seed.chunks_exact(2).map(|p| (p[0], p[1] as u64)).collect();
-                                sorter.seed(&pairs);
+                                    out.read(inst.out.addr + c * inst.out.stride, out_stride);
+                                sorter.seed_flat(seed);
                             }
                             for h in 0..inst.hot.iter {
-                                let d = f16_squared_distance(
-                                    self.hot_row(inst, h),
-                                    self.cold_row(inst, c),
-                                    lanes,
-                                );
+                                let d = f16_squared_distance(hot_row(h), cold_row(c), lanes);
                                 sorter.offer(d, inst.hot_row_base + u64::from(h));
                             }
-                            results.extend(sorter.to_output());
+                            sorter.write_output_into(results);
                         }
-                        Ok(results)
+                        Ok(())
                     }
                     None => {
                         if seeded {
@@ -404,24 +429,20 @@ impl Accelerator {
                                 "distance: out.stride must hold hot.iter values",
                             ));
                         }
-                        let mut results = vec![0.0f32; inst.out.elems() as usize];
+                        results.resize(inst.out.elems() as usize, 0.0);
                         for c in 0..inst.cold.iter {
                             for h in 0..inst.hot.iter {
                                 results[c as usize * out_stride + h as usize] =
-                                    f16_squared_distance(
-                                        self.hot_row(inst, h),
-                                        self.cold_row(inst, c),
-                                        lanes,
-                                    );
+                                    f16_squared_distance(hot_row(h), cold_row(c), lanes);
                             }
                         }
                         if let Some(f) = activation {
-                            let table = self.interp_table(f).clone();
-                            for v in &mut results {
+                            let table = activation_table(f);
+                            for v in results.iter_mut() {
                                 *v = table.eval(*v);
                             }
                         }
-                        Ok(results)
+                        Ok(())
                     }
                 }
             }
@@ -437,23 +458,24 @@ impl Accelerator {
                     return Err(ExecError::Malformed("dot: row widths must match"));
                 }
                 let n_out = inst.out.elems() as usize;
-                let mut results = vec![0.0f32; n_out];
                 if seeded {
-                    results.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                    results.extend_from_slice(out.read(inst.out.addr, n_out));
+                } else {
+                    results.resize(n_out, 0.0);
                 }
                 for c in 0..inst.cold.iter {
                     for h in 0..hot_rows {
-                        let d = f16_dot(self.hot_row(inst, h), self.cold_row(inst, c), lanes);
+                        let d = f16_dot(hot_row(h), cold_row(c), lanes);
                         results[c as usize * out_stride + h as usize] += d;
                     }
                 }
                 if let Some(f) = activation {
-                    let table = self.interp_table(f).clone();
-                    for v in &mut results {
+                    let table = activation_table(f);
+                    for v in results.iter_mut() {
                         *v = table.eval(*v);
                     }
                 }
-                Ok(results)
+                Ok(())
             }
             Mode::Count(op) => {
                 if inst.out.iter != inst.hot.iter || out_stride != width {
@@ -465,14 +487,15 @@ impl Accelerator {
                     return Err(ExecError::Malformed("count: row widths must match"));
                 }
                 let n_out = inst.out.elems() as usize;
-                let mut counts = vec![0.0f32; n_out];
                 if seeded {
-                    counts.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                    results.extend_from_slice(out.read(inst.out.addr, n_out));
+                } else {
+                    results.resize(n_out, 0.0);
                 }
                 for c in 0..inst.cold.iter {
                     for h in 0..inst.hot.iter {
-                        let cand = self.hot_row(inst, h);
-                        let row = self.cold_row(inst, c);
+                        let cand = hot_row(h);
+                        let row = cold_row(c);
                         for (pos, (&x, &cd)) in row.iter().zip(cand).enumerate() {
                             let hit = match op {
                                 crate::isa::CounterOp::CountEq => x == cd,
@@ -480,12 +503,12 @@ impl Accelerator {
                                 crate::isa::CounterOp::Null => unreachable!("decoded as Count"),
                             };
                             if hit {
-                                counts[h as usize * out_stride + pos] += 1.0;
+                                results[h as usize * out_stride + pos] += 1.0;
                             }
                         }
                     }
                 }
-                Ok(counts)
+                Ok(())
             }
             Mode::WeightedSum => {
                 // out[j] (+)= sum_r hot[r] * cold[r][j]: products in
@@ -500,19 +523,20 @@ impl Accelerator {
                         "weighted-sum: hot must be one row of cold.iter scalars",
                     ));
                 }
-                let scalars = self.hot_row(inst, 0).to_vec();
-                let mut results = vec![0.0f32; width];
                 if seeded {
-                    results.copy_from_slice(self.out.read(inst.out.addr, width));
+                    results.extend_from_slice(out.read(inst.out.addr, width));
+                } else {
+                    results.resize(width, 0.0);
                 }
+                let scalars = hot_row(0);
                 for r in 0..inst.cold.iter {
                     let w = F16::from_f32(scalars[r as usize]);
-                    let row = self.cold_row(inst, r);
+                    let row = cold_row(r);
                     for (j, &x) in row.iter().enumerate() {
                         results[j] += (w * F16::from_f32(x)).to_f32();
                     }
                 }
-                Ok(results)
+                Ok(())
             }
             Mode::ProductReduce => {
                 if inst.out.iter != inst.cold.iter || out_stride != 1 {
@@ -521,22 +545,22 @@ impl Accelerator {
                     ));
                 }
                 let n_out = inst.out.elems() as usize;
-                let mut results = vec![1.0f32; n_out];
                 if seeded {
-                    results.copy_from_slice(self.out.read(inst.out.addr, n_out));
+                    results.extend_from_slice(out.read(inst.out.addr, n_out));
+                } else {
+                    results.resize(n_out, 1.0);
                 }
                 for c in 0..inst.cold.iter {
-                    let row = self.cold_row(inst, c);
+                    let row = cold_row(c);
                     let mut p = results[c as usize];
                     for &v in row {
                         p *= v;
                     }
                     results[c as usize] = p;
                 }
-                Ok(results)
+                Ok(())
             }
             Mode::AluDiv | Mode::AluMul => {
-                let op_name = if mode == Mode::AluDiv { "div" } else { "mul-rows" };
                 if !seeded {
                     return Err(ExecError::Malformed(
                         "elementwise ALU op needs seeded output rows",
@@ -545,10 +569,9 @@ impl Accelerator {
                 if inst.out.iter != inst.cold.iter || out_stride != width {
                     return Err(ExecError::Malformed("elementwise ALU op: shapes must match"));
                 }
-                let _ = op_name;
-                let mut results = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
+                results.extend_from_slice(out.read(inst.out.addr, inst.out.elems() as usize));
                 for c in 0..inst.cold.iter {
-                    let row = self.cold_row(inst, c);
+                    let row = cold_row(c);
                     for (j, &d) in row.iter().enumerate() {
                         let idx = c as usize * out_stride + j;
                         results[idx] = if mode == Mode::AluMul {
@@ -560,17 +583,17 @@ impl Accelerator {
                         };
                     }
                 }
-                Ok(results)
+                Ok(())
             }
             Mode::AluLog { terms } => {
                 if !seeded {
                     return Err(ExecError::Malformed("log: output rows must be seeded"));
                 }
-                let mut results = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
-                for v in &mut results {
+                results.extend_from_slice(out.read(inst.out.addr, inst.out.elems() as usize));
+                for v in results.iter_mut() {
                     *v = taylor_ln(*v, terms);
                 }
-                Ok(results)
+                Ok(())
             }
             Mode::TreeStep => {
                 // Nodes are integer/pointer words: stream them straight
@@ -587,11 +610,11 @@ impl Accelerator {
                     ));
                 }
                 Self::check_dram(dram, inst.hot.dram_addr, inst.hot.elems())?;
-                let nodes = dram.slice(inst.hot.dram_addr, inst.hot.elems() as usize).to_vec();
+                let nodes = dram.slice(inst.hot.dram_addr, inst.hot.elems() as usize);
                 let base = inst.hot_row_base;
-                let mut state = self.out.read(inst.out.addr, inst.out.elems() as usize).to_vec();
+                results.extend_from_slice(out.read(inst.out.addr, inst.out.elems() as usize));
                 for c in 0..inst.cold.iter {
-                    let s = state[c as usize];
+                    let s = results[c as usize];
                     if s < 0.0 {
                         continue; // already at a leaf
                     }
@@ -602,17 +625,17 @@ impl Accelerator {
                     let row = &nodes[((n - base) * 4) as usize..((n - base) * 4 + 4) as usize];
                     if row[0] < 0.0 {
                         // Leaf: encode the class as -(1 + class).
-                        state[c as usize] = -(1.0 + row[1]);
+                        results[c as usize] = -(1.0 + row[1]);
                     } else {
                         let feature = row[0] as usize;
                         if feature >= width {
                             return Err(ExecError::Malformed("tree-step: feature out of range"));
                         }
-                        let x = self.cold_row(inst, c)[feature];
-                        state[c as usize] = if x <= row[1] { row[2] } else { row[3] };
+                        let x = cold_row(c)[feature];
+                        results[c as usize] = if x <= row[1] { row[2] } else { row[3] };
                     }
                 }
-                Ok(state)
+                Ok(())
             }
         }
     }
@@ -626,42 +649,54 @@ impl fmt::Debug for Accelerator {
 
 /// Squared distance with the MLU's stage widths: subtraction and squaring
 /// in binary16, lane-tree summation in binary16, cross-chunk accumulation
-/// at 32 bits (the Acc stage).
+/// at 32 bits (the Acc stage). The lane products are computed at the tree
+/// leaves (fused) instead of materialised in a buffer, so the reduction is
+/// allocation-free while keeping the adder tree's exact pairwise order.
 fn f16_squared_distance(a: &[f32], b: &[f32], lanes: usize) -> f32 {
     let mut acc = 0.0f32;
     for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
-        let prods: Vec<F16> = ca
-            .iter()
-            .zip(cb)
-            .map(|(&x, &y)| {
-                let d = F16::from_f32(x) - F16::from_f32(y);
-                d * d
-            })
-            .collect();
-        acc += f16_tree_sum(&prods).to_f32();
+        acc += tree_sum_sq(ca, cb).to_f32();
     }
     acc
 }
 
-/// Dot product with the MLU's stage widths.
+/// Dot product with the MLU's stage widths; fused like
+/// [`f16_squared_distance`].
 fn f16_dot(a: &[f32], b: &[f32], lanes: usize) -> f32 {
     let mut acc = 0.0f32;
     for (ca, cb) in a.chunks(lanes).zip(b.chunks(lanes)) {
-        let prods: Vec<F16> =
-            ca.iter().zip(cb).map(|(&x, &y)| F16::from_f32(x) * F16::from_f32(y)).collect();
-        acc += f16_tree_sum(&prods).to_f32();
+        acc += tree_sum_dot(ca, cb).to_f32();
     }
     acc
 }
 
-/// Sums values in binary16 with the adder tree's pairwise reduction order.
-fn f16_tree_sum(values: &[F16]) -> F16 {
-    match values.len() {
+/// Adder-tree reduction of the squared differences of one lane chunk,
+/// with the leaf computing `(a - b)^2` in binary16. Splitting at
+/// `ceil(n / 2)` reproduces the reduction order of summing a materialised
+/// product buffer, so results are bit-identical to the unfused form.
+fn tree_sum_sq(a: &[f32], b: &[f32]) -> F16 {
+    match a.len().min(b.len()) {
         0 => F16::ZERO,
-        1 => values[0],
+        1 => {
+            let d = F16::from_f32(a[0]) - F16::from_f32(b[0]);
+            d * d
+        }
         n => {
-            let (lo, hi) = values.split_at(n.div_ceil(2));
-            f16_tree_sum(lo) + f16_tree_sum(hi)
+            let mid = n.div_ceil(2);
+            tree_sum_sq(&a[..mid], &b[..mid]) + tree_sum_sq(&a[mid..n], &b[mid..n])
+        }
+    }
+}
+
+/// Adder-tree reduction of the lane products of one chunk, with the leaf
+/// computing `a * b` in binary16; same order as [`tree_sum_sq`].
+fn tree_sum_dot(a: &[f32], b: &[f32]) -> F16 {
+    match a.len().min(b.len()) {
+        0 => F16::ZERO,
+        1 => F16::from_f32(a[0]) * F16::from_f32(b[0]),
+        n => {
+            let mid = n.div_ceil(2);
+            tree_sum_dot(&a[..mid], &b[..mid]) + tree_sum_dot(&a[mid..n], &b[mid..n])
         }
     }
 }
@@ -1152,6 +1187,52 @@ mod tests {
         assert!(events
             .windows(2)
             .all(|w| w[0].cycle() <= w[1].cycle() || w[0].kind() == "dma_complete"));
+    }
+
+    /// Reference reduction: materialise the binary16 products, then sum
+    /// with the adder tree's pairwise order — the unfused form the fused
+    /// `tree_sum_*` helpers must match bit for bit.
+    fn f16_tree_sum(values: &[F16]) -> F16 {
+        match values.len() {
+            0 => F16::ZERO,
+            1 => values[0],
+            n => {
+                let (lo, hi) = values.split_at(n.div_ceil(2));
+                f16_tree_sum(lo) + f16_tree_sum(hi)
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tree_sums_match_materialised_reduction() {
+        for n in 0..=67usize {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37 - 3.0) * 1.7).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11 + 0.5) / 1.3).collect();
+            let sq_prods: Vec<F16> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let d = F16::from_f32(x) - F16::from_f32(y);
+                    d * d
+                })
+                .collect();
+            assert_eq!(
+                tree_sum_sq(&a, &b).to_bits(),
+                f16_tree_sum(&sq_prods).to_bits(),
+                "squared-distance reduction diverges at n = {n}"
+            );
+            let dot_prods: Vec<F16> =
+                a.iter().zip(&b).map(|(&x, &y)| F16::from_f32(x) * F16::from_f32(y)).collect();
+            assert_eq!(
+                tree_sum_dot(&a, &b).to_bits(),
+                f16_tree_sum(&dot_prods).to_bits(),
+                "dot reduction diverges at n = {n}"
+            );
+            for lanes in [1usize, 4, 16, 64] {
+                let expect: f32 = sq_prods.chunks(lanes).map(|c| f16_tree_sum(c).to_f32()).sum();
+                assert_eq!(f16_squared_distance(&a, &b, lanes), expect, "lanes {lanes} n {n}");
+            }
+        }
     }
 
     #[test]

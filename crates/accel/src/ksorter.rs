@@ -27,6 +27,20 @@ impl KSorter {
         KSorter { k, entries: Vec::with_capacity(k + 1) }
     }
 
+    /// Clears the register file and re-targets the selector at a new `k`,
+    /// keeping the allocation — the executor reuses one sorter across all
+    /// instructions instead of constructing one per cold row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be > 0");
+        self.k = k;
+        self.entries.clear();
+        self.entries.reserve(k + 1);
+    }
+
     /// Seeds the sorter from previously stored `(value, tag)` pairs (the
     /// Table-3 pattern of reloading partial results when a new centroid
     /// block arrives). Pairs with non-finite values are ignored.
@@ -34,6 +48,18 @@ impl KSorter {
         for &(v, t) in pairs {
             if v.is_finite() {
                 self.offer(v, t);
+            }
+        }
+    }
+
+    /// Seeds from the flattened OutputBuf layout `[v0, tag0, v1, tag1,
+    /// ...]` that [`KSorter::write_output_into`] produced, skipping the
+    /// infinity padding — the executor's resume path, with no intermediate
+    /// pair buffer.
+    pub fn seed_flat(&mut self, flat: &[f32]) {
+        for pair in flat.chunks_exact(2) {
+            if pair[0].is_finite() {
+                self.offer(pair[0], pair[1] as u64);
             }
         }
     }
@@ -62,15 +88,21 @@ impl KSorter {
     #[must_use]
     pub fn to_output(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.k * 2);
+        self.write_output_into(&mut out);
+        out
+    }
+
+    /// Appends the [`KSorter::to_output`] layout to `out` without
+    /// allocating a fresh vector — the executor's steady-state path.
+    pub fn write_output_into(&self, out: &mut Vec<f32>) {
         for &(v, t) in &self.entries {
             out.push(v);
             out.push(t as f32);
         }
-        while out.len() < self.k * 2 {
+        for _ in self.entries.len()..self.k {
             out.push(f32::INFINITY);
             out.push(0.0);
         }
-        out
     }
 }
 
@@ -124,5 +156,47 @@ mod tests {
     #[should_panic(expected = "k must be > 0")]
     fn zero_k_panics() {
         let _ = KSorter::new(0);
+    }
+
+    #[test]
+    fn reset_reuses_across_k() {
+        let mut s = KSorter::new(3);
+        s.offer(1.0, 1);
+        s.offer(2.0, 2);
+        s.reset(2);
+        assert!(s.entries().is_empty());
+        s.offer(9.0, 9);
+        s.offer(4.0, 4);
+        s.offer(5.0, 5);
+        let tags: Vec<u64> = s.entries().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![4, 5]);
+    }
+
+    #[test]
+    fn seed_flat_matches_seed_on_output_layout() {
+        let mut a = KSorter::new(2);
+        a.offer(3.0, 30);
+        let flat = a.to_output(); // [3.0, 30.0, inf, 0.0]
+        let mut by_pairs = KSorter::new(2);
+        by_pairs.seed(&[(3.0, 30), (f32::INFINITY, 0)]);
+        let mut by_flat = KSorter::new(2);
+        by_flat.seed_flat(&flat);
+        assert_eq!(by_flat.entries(), by_pairs.entries());
+    }
+
+    #[test]
+    fn write_output_into_appends_same_layout() {
+        let mut s = KSorter::new(3);
+        s.offer(4.0, 7);
+        let mut buf = vec![99.0];
+        s.write_output_into(&mut buf);
+        assert_eq!(&buf[1..], s.to_output().as_slice());
+        assert_eq!(buf[0], 99.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be > 0")]
+    fn reset_zero_k_panics() {
+        KSorter::new(1).reset(0);
     }
 }

@@ -168,30 +168,35 @@ pub struct InstTiming {
 }
 
 /// The pipeline stages a mode's dataflow exercises, in pipeline order.
+///
+/// Returns a static slice: this runs once per instruction inside
+/// [`instruction_timing`], and the executor's steady-state loop must not
+/// heap-allocate.
 #[must_use]
-pub fn active_stages(mode: &Mode) -> Vec<MluStage> {
+pub fn active_stages(mode: &Mode) -> &'static [MluStage] {
     match mode {
-        Mode::Distance { sort_k, activation } => {
-            let mut stages =
-                vec![MluStage::Adder, MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc];
-            if sort_k.is_some() || activation.is_some() {
-                stages.push(MluStage::Misc);
-            }
-            stages
+        Mode::Distance { sort_k: None, activation: None } => {
+            &[MluStage::Adder, MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc]
         }
-        Mode::Dot { activation, .. } => {
-            let mut stages = vec![MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc];
-            if activation.is_some() {
-                stages.push(MluStage::Misc);
-            }
-            stages
+        Mode::Distance { .. } => &[
+            MluStage::Adder,
+            MluStage::Multiplier,
+            MluStage::AdderTree,
+            MluStage::Acc,
+            MluStage::Misc,
+        ],
+        Mode::Dot { activation: None, .. } => {
+            &[MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc]
         }
-        Mode::Count(_) => vec![MluStage::Counter],
-        Mode::WeightedSum => vec![MluStage::Adder, MluStage::Multiplier, MluStage::Acc],
+        Mode::Dot { activation: Some(_), .. } => {
+            &[MluStage::Multiplier, MluStage::AdderTree, MluStage::Acc, MluStage::Misc]
+        }
+        Mode::Count(_) => &[MluStage::Counter],
+        Mode::WeightedSum => &[MluStage::Adder, MluStage::Multiplier, MluStage::Acc],
         // NB's probability products run on the Misc multiplier with
         // OutputBuf round-trips through the Acc stage.
-        Mode::ProductReduce => vec![MluStage::Multiplier, MluStage::Acc, MluStage::Misc],
-        Mode::AluDiv | Mode::AluMul | Mode::AluLog { .. } | Mode::TreeStep => vec![MluStage::Alu],
+        Mode::ProductReduce => &[MluStage::Multiplier, MluStage::Acc, MluStage::Misc],
+        Mode::AluDiv | Mode::AluMul | Mode::AluLog { .. } | Mode::TreeStep => &[MluStage::Alu],
     }
 }
 
@@ -323,7 +328,7 @@ pub fn instruction_timing(
         dma_reconfigs: reconfigs,
         mlu_ops,
         alu_ops,
-        stage_cycles: attribute_stages(&active_stages(&mode), compute_cycles),
+        stage_cycles: attribute_stages(active_stages(&mode), compute_cycles),
         reconfigured_dma,
     })
 }

@@ -1,0 +1,118 @@
+//! Hot-path benchmark harness: times every reproduction experiment and
+//! the softfp conversion kernels with `std::time::Instant`, then writes
+//! `BENCH_repro.json`.
+//!
+//! Experiments run sequentially here regardless of `REPRO_THREADS` (each
+//! timing must not contend with the others), with their stdout chatter
+//! left enabled — the timed quantity is the full experiment, exactly
+//! what `repro_all` runs. Softfp kernels are timed over fixed sweeps and
+//! reported in nanoseconds per conversion.
+
+use pudiannao_accel::json::Value;
+use pudiannao_bench::{evaluation, locality, ExperimentReport};
+use pudiannao_softfp::{batch, F16};
+use std::hint::black_box;
+use std::time::Instant;
+
+type Job = (&'static str, fn() -> ExperimentReport);
+
+const EXPERIMENTS: &[Job] = &[
+    ("fig02", locality::fig02_knn_tiling as fn() -> ExperimentReport),
+    ("fig04", locality::fig04_kmeans_tiling),
+    ("fig05", locality::fig05_dnn_tiling),
+    ("fig08", locality::fig08_lr_tiling),
+    ("fig09", locality::fig09_svm_tiling),
+    ("fig10", locality::fig10_reuse_distance),
+    ("table1", evaluation::table1_precision),
+    ("table3", evaluation::table3_codegen),
+    ("table5", evaluation::table5_layout),
+    ("fig14", evaluation::fig14_floorplan),
+    ("fig13", evaluation::fig13_gpu_vs_cpu),
+    ("fig15", evaluation::fig15_speedup),
+    ("fig16", evaluation::fig16_energy),
+    ("ablation-buffers", evaluation::ablation_buffers),
+    ("ablation-sorter", evaluation::ablation_sorter),
+    ("ablation-interp", evaluation::ablation_interp),
+    ("ablation-scaling", evaluation::ablation_scaling),
+    ("section2-time", evaluation::time_fractions),
+];
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times the widening path: every binary16 bit pattern through the LUT.
+fn bench_to_f32(rounds: u32) -> (f64, u64) {
+    let t = Instant::now();
+    let mut sink = 0.0f32;
+    for _ in 0..rounds {
+        for bits in 0..=u16::MAX {
+            sink += F16::from_bits(bits).to_f32();
+        }
+    }
+    black_box(sink);
+    (t.elapsed().as_secs_f64() * 1e9, u64::from(rounds) * 65_536)
+}
+
+/// Times the narrowing path: a dense f32 sweep through the fast rounder.
+fn bench_from_f32(rounds: u32) -> (f64, u64) {
+    let inputs: Vec<f32> = (0..1u32 << 16).map(|i| (i as f32 - 32768.0) * 0.3717).collect();
+    let t = Instant::now();
+    let mut sink = 0u32;
+    for _ in 0..rounds {
+        for &x in &inputs {
+            sink = sink.wrapping_add(u32::from(F16::from_f32(x).to_bits()));
+        }
+    }
+    black_box(sink);
+    (t.elapsed().as_secs_f64() * 1e9, u64::from(rounds) * u64::from(1u32 << 16))
+}
+
+/// Times the fused batch round-trip used by the accelerator buffers.
+fn bench_batch_quantize(rounds: u32) -> (f64, u64) {
+    let src: Vec<f32> = (0..1u32 << 16).map(|i| (i as f32 - 32768.0) * 0.011).collect();
+    let mut dst = vec![0.0f32; src.len()];
+    let t = Instant::now();
+    for _ in 0..rounds {
+        batch::quantize_f32_into(&src, &mut dst);
+        black_box(&dst);
+    }
+    (t.elapsed().as_secs_f64() * 1e9, u64::from(rounds) * src.len() as u64)
+}
+
+fn main() {
+    let total = Instant::now();
+    let mut experiment_rows = Vec::new();
+    for &(id, job) in EXPERIMENTS {
+        let t = Instant::now();
+        let report = job();
+        let ms = ms_since(t);
+        println!("[bench] {id:<18} {ms:>10.1} ms   ({} checks)", report.checks.len());
+        experiment_rows
+            .push(Value::object().with("id", id).with("ms", (ms * 1000.0).round() / 1000.0));
+    }
+
+    let mut softfp_rows = Vec::new();
+    for (name, (ns, ops)) in [
+        ("to_f32_lut", bench_to_f32(200)),
+        ("from_f32_fast", bench_from_f32(200)),
+        ("batch_quantize", bench_batch_quantize(200)),
+    ] {
+        let per_op = ns / ops as f64;
+        println!("[bench] softfp/{name:<20} {per_op:>8.3} ns/conversion");
+        softfp_rows.push(
+            Value::object()
+                .with("name", name)
+                .with("ns_per_op", (per_op * 1000.0).round() / 1000.0),
+        );
+    }
+
+    let total_ms = ms_since(total);
+    let json = Value::object()
+        .with("experiments", Value::array(experiment_rows))
+        .with("softfp", Value::array(softfp_rows))
+        .with("total_ms", (total_ms * 1000.0).round() / 1000.0);
+    std::fs::write("BENCH_repro.json", json.to_string_pretty())
+        .expect("writable working directory");
+    println!("[bench] total {total_ms:.1} ms; wrote BENCH_repro.json");
+}

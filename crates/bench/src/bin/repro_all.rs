@@ -1,31 +1,45 @@
 //! Runs every reproduction experiment and writes `repro_summary.json`
 //! plus `phase_reports.json` (one machine-readable `RunReport` per
 //! Figure-15 phase).
+//!
+//! The experiments are independent, so they run on the
+//! `pudiannao_bench::parallel` worker pool (capped by `REPRO_THREADS`;
+//! set it to 1 for fully sequential console output). Results are
+//! collected in experiment order, so both JSON files are byte-identical
+//! whatever the worker count — only the interleaving of the progress
+//! lines on stdout changes.
 
 use pudiannao_accel::json::Value;
-use pudiannao_bench::{evaluation, locality, ExperimentReport};
+use pudiannao_bench::{evaluation, locality, parallel, ExperimentReport};
+
+type Job = Box<dyn FnOnce() -> ExperimentReport + Send>;
 
 fn main() {
-    let reports: Vec<ExperimentReport> = vec![
-        locality::fig02_knn_tiling(),
-        locality::fig04_kmeans_tiling(),
-        locality::fig05_dnn_tiling(),
-        locality::fig08_lr_tiling(),
-        locality::fig09_svm_tiling(),
-        locality::fig10_reuse_distance(),
-        evaluation::table1_precision(),
-        evaluation::table3_codegen(),
-        evaluation::table5_layout(),
-        evaluation::fig14_floorplan(),
-        evaluation::fig13_gpu_vs_cpu(),
-        evaluation::fig15_speedup(),
-        evaluation::fig16_energy(),
-        evaluation::ablation_buffers(),
-        evaluation::ablation_sorter(),
-        evaluation::ablation_interp(),
-        evaluation::ablation_scaling(),
-        evaluation::time_fractions(),
+    let jobs: Vec<Job> = vec![
+        Box::new(locality::fig02_knn_tiling),
+        Box::new(locality::fig04_kmeans_tiling),
+        Box::new(locality::fig05_dnn_tiling),
+        Box::new(locality::fig08_lr_tiling),
+        Box::new(locality::fig09_svm_tiling),
+        Box::new(locality::fig10_reuse_distance),
+        Box::new(evaluation::table1_precision),
+        Box::new(evaluation::table3_codegen),
+        Box::new(evaluation::table5_layout),
+        Box::new(evaluation::fig14_floorplan),
+        Box::new(evaluation::fig13_gpu_vs_cpu),
+        Box::new(evaluation::fig15_speedup),
+        Box::new(evaluation::fig16_energy),
+        Box::new(evaluation::ablation_buffers),
+        Box::new(evaluation::ablation_sorter),
+        Box::new(evaluation::ablation_interp),
+        Box::new(evaluation::ablation_scaling),
+        Box::new(evaluation::time_fractions),
     ];
+    let workers = parallel::worker_count(jobs.len());
+    if workers > 1 {
+        println!("running {} experiments on {workers} workers", jobs.len());
+    }
+    let reports = parallel::run_indexed(jobs);
     let json =
         Value::array(reports.iter().map(ExperimentReport::to_json).collect()).to_string_pretty();
     std::fs::write("repro_summary.json", &json).expect("writable working directory");

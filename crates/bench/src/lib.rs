@@ -10,6 +10,7 @@
 
 pub mod evaluation;
 pub mod locality;
+pub mod parallel;
 
 use pudiannao_accel::json::Value;
 

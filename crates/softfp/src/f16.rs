@@ -36,6 +36,47 @@ const FRAC_MASK: u16 = 0x03FF;
 const SIGN_MASK: u16 = 0x8000;
 const QNAN_BITS: u16 = 0x7E00;
 
+/// The exact binary32 encoding of the binary16 value `bits` — the
+/// integer-only core of the scalar widening conversion, `const` so the
+/// lookup table below can be built at compile time.
+const fn to_f32_bits(bits: u16) -> u32 {
+    let sign = (bits as u32 >> 15) << 31;
+    let exp = ((bits & EXP_MASK) >> FRAC_BITS) as i32;
+    let frac = (bits & FRAC_MASK) as u32;
+
+    if exp == 0x1F {
+        // Inf or NaN; NaN payloads gain the binary32 quiet bit.
+        let quiet = if frac != 0 { 1u32 << 22 } else { 0 };
+        return sign | 0x7F80_0000 | (frac << 13) | quiet;
+    }
+    if exp == 0 {
+        if frac == 0 {
+            return sign;
+        }
+        // Subnormal: value is frac * 2^-24. Normalise the leading 1 of
+        // `frac` (bit position p = 10 - lead) up to f32 bit 23.
+        let lead = frac.leading_zeros() - 21; // zeros within the 11-bit window
+        let exp32 = (113 - lead as i32) as u32;
+        let frac32 = (frac << (lead + 13)) & 0x007F_FFFF;
+        return sign | (exp32 << 23) | frac32;
+    }
+    let exp32 = (exp - EXP_BIAS + 127) as u32;
+    sign | (exp32 << 23) | (frac << 13)
+}
+
+/// Every binary16 bit pattern widened to binary32, precomputed at compile
+/// time: `to_f32` is a single indexed load. 256 KiB, touched densely by
+/// every simulated 16-bit arithmetic op.
+static TO_F32_LUT: [f32; 1 << 16] = {
+    let mut table = [0.0f32; 1 << 16];
+    let mut i = 0usize;
+    while i < table.len() {
+        table[i] = f32::from_bits(to_f32_bits(i as u16));
+        i += 1;
+    }
+    table
+};
+
 impl F16 {
     /// Positive zero.
     pub const ZERO: F16 = F16(0x0000);
@@ -87,8 +128,38 @@ impl F16 {
     /// Values above the binary16 range become infinities; tiny values round
     /// into the subnormal range or to zero. NaN inputs become the canonical
     /// quiet NaN.
+    ///
+    /// This is the branch-reduced hot path: inputs whose result is a
+    /// normal binary16 (the overwhelming majority of real data) take a
+    /// single range test plus integer rounding; everything else falls back
+    /// to [`F16::from_f32_scalar`], which the equivalence tests pin this
+    /// function against bit-for-bit.
+    #[inline]
     #[must_use]
     pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let abs = bits & 0x7FFF_FFFF;
+        // Fast path: |x| in [2^-14, 2^16), i.e. f32 exponents 113..=142.
+        // The result is a normal binary16, or infinity when rounding a
+        // value in [65520, 65536) carries out of the mantissa — the carry
+        // propagates into the exponent field and lands exactly on 0x7C00.
+        if abs.wrapping_sub(0x3880_0000) < 0x0F00_0000 {
+            let sign = ((bits >> 16) & 0x8000) as u16;
+            // Round to nearest even at bit 13: adding 0xFFF plus the
+            // result's prospective LSB carries exactly when the remainder
+            // exceeds the halfway point, or ties with an odd LSB.
+            let rounded = abs + 0x0FFF + ((abs >> 13) & 1);
+            return F16(sign | ((rounded >> 13) - (112 << FRAC_BITS)) as u16);
+        }
+        F16::from_f32_scalar(value)
+    }
+
+    /// The reference scalar conversion from `f32`: handles every input
+    /// class (zero, subnormal, normal, overflow, infinity, NaN) with
+    /// explicit branches. [`F16::from_f32`] routes its fast path around
+    /// this; the exhaustive equivalence tests keep the two bit-identical.
+    #[must_use]
+    pub fn from_f32_scalar(value: f32) -> F16 {
         let bits = value.to_bits();
         let sign = ((bits >> 16) & 0x8000) as u16;
         let exp = ((bits >> 23) & 0xFF) as i32;
@@ -144,28 +215,24 @@ impl F16 {
 
     /// Converts to `f32`. This conversion is exact: every binary16 value is
     /// representable in binary32.
+    ///
+    /// Implemented as one load from a 64 Ki-entry lookup table indexed by
+    /// the raw bits — the hottest conversion in the simulator (every
+    /// widening arithmetic op performs two). The table is built at compile
+    /// time from [`F16::to_f32_scalar`], and an exhaustive all-65536-
+    /// pattern test keeps the two bit-identical.
+    #[inline]
     #[must_use]
     pub fn to_f32(self) -> f32 {
-        let sign = u32::from(self.0 >> 15) << 31;
-        let exp = i32::from((self.0 & EXP_MASK) >> FRAC_BITS);
-        let frac = u32::from(self.0 & FRAC_MASK);
+        TO_F32_LUT[self.0 as usize]
+    }
 
-        if exp == 0x1F {
-            return f32::from_bits(sign | 0x7F80_0000 | (frac << 13) | u32::from(frac != 0) << 22);
-        }
-        if exp == 0 {
-            if frac == 0 {
-                return f32::from_bits(sign);
-            }
-            // Subnormal: value is frac * 2^-24. Normalise the leading 1 of
-            // `frac` (bit position p = 10 - lead) up to f32 bit 23.
-            let lead = frac.leading_zeros() - 21; // zeros within the 11-bit window
-            let exp32 = (113 - lead as i32) as u32;
-            let frac32 = (frac << (lead + 13)) & 0x007F_FFFF;
-            return f32::from_bits(sign | (exp32 << 23) | frac32);
-        }
-        let exp32 = (exp - EXP_BIAS + 127) as u32;
-        f32::from_bits(sign | (exp32 << 23) | (frac << 13))
+    /// The reference scalar widening conversion (no lookup table).
+    /// [`F16::to_f32`] is a table lookup precomputed from this function;
+    /// the exhaustive equivalence tests keep the two bit-identical.
+    #[must_use]
+    pub fn to_f32_scalar(self) -> f32 {
+        f32::from_bits(to_f32_bits(self.0))
     }
 
     /// Converts from `f64`, rounding once to binary16.

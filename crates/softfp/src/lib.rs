@@ -18,6 +18,11 @@
 //!   rounding once to binary16 yields the correctly rounded binary16 result
 //!   for `+`, `-`, `*`, `/` and `sqrt`. A pure integer implementation of
 //!   add/mul ([`int_path`]) cross-checks this claim under proptest.
+//!   Conversions are built for speed: `to_f32` is one load from a
+//!   compile-time 64 Ki-entry table, `from_f32` takes a single branch for
+//!   every normal result, and [`batch`] fuses whole-slice conversions —
+//!   all bit-identical to the scalar reference paths (`from_f32_scalar`,
+//!   `to_f32_scalar`), proven by exhaustive tests.
 //! - [`InterpTable`] — the Misc stage's linear-interpolation unit, with
 //!   ready-made tables for sigmoid, tanh, exp, and the Gaussian kernel.
 //! - [`taylor_log1m`] / [`taylor_ln`] — the ALU's Taylor-series logarithm.
@@ -41,6 +46,7 @@
 // ^ `!(x > 0.0)` is used deliberately in validation: unlike `x <= 0.0`
 // it also rejects NaN, which is exactly what config checks want.
 
+pub mod batch;
 mod f16;
 pub mod int_path;
 mod interp;

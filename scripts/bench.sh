@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Times the reproduction hot path: builds the release binaries, runs
+# `bench_hotpath` (per-experiment wall-clock + softfp ns/conversion), and
+# leaves the machine-readable results in BENCH_repro.json at the repo root.
+#
+# Usage: scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release -q
+
+echo "== bench_hotpath =="
+./target/release/bench_hotpath | grep '^\[bench\]'
+
+echo "OK: wrote BENCH_repro.json"

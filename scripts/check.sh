@@ -3,11 +3,34 @@
 #
 #   scripts/check.sh          # full gate
 #   scripts/check.sh --fast   # skip the release build
+#   scripts/check.sh --bench  # hot-path timings + parallel-determinism check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "==> cargo build --release"
+    cargo build --workspace --release -q
+
+    echo "==> bench_hotpath"
+    ./target/release/bench_hotpath | grep '^\[bench\]'
+
+    echo "==> determinism: sequential vs REPRO_THREADS=4"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    (cd "$tmp" && REPRO_THREADS=1 "$OLDPWD/target/release/repro_all" >/dev/null)
+    mv "$tmp/repro_summary.json" "$tmp/seq_summary.json"
+    mv "$tmp/phase_reports.json" "$tmp/seq_phases.json"
+    (cd "$tmp" && REPRO_THREADS=4 "$OLDPWD/target/release/repro_all" >/dev/null)
+    cmp "$tmp/seq_summary.json" "$tmp/repro_summary.json"
+    cmp "$tmp/seq_phases.json" "$tmp/phase_reports.json"
+    echo "    repro_summary.json and phase_reports.json byte-identical"
+
+    echo "OK: bench + determinism passed"
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

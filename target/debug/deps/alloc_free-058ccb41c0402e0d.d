@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-058ccb41c0402e0d.d: crates/accel/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-058ccb41c0402e0d.rmeta: crates/accel/tests/alloc_free.rs Cargo.toml
+
+crates/accel/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

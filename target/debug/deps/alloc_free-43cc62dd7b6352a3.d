@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-43cc62dd7b6352a3.d: crates/accel/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-43cc62dd7b6352a3: crates/accel/tests/alloc_free.rs
+
+crates/accel/tests/alloc_free.rs:

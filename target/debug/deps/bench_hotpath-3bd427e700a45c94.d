@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hotpath-3bd427e700a45c94.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/debug/deps/bench_hotpath-3bd427e700a45c94: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/f16_equivalence-77d53250608e22ed.d: crates/softfp/tests/f16_equivalence.rs
+
+/root/repo/target/debug/deps/f16_equivalence-77d53250608e22ed: crates/softfp/tests/f16_equivalence.rs
+
+crates/softfp/tests/f16_equivalence.rs:

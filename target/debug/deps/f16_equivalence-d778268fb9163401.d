@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/f16_equivalence-d778268fb9163401.d: crates/softfp/tests/f16_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libf16_equivalence-d778268fb9163401.rmeta: crates/softfp/tests/f16_equivalence.rs Cargo.toml
+
+crates/softfp/tests/f16_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

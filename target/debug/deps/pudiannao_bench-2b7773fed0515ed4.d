@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/pudiannao_bench-2b7773fed0515ed4.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs Cargo.toml
+/root/repo/target/debug/deps/pudiannao_bench-2b7773fed0515ed4.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpudiannao_bench-2b7773fed0515ed4.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs Cargo.toml
+/root/repo/target/debug/deps/libpudiannao_bench-2b7773fed0515ed4.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/evaluation.rs:
 crates/bench/src/locality.rs:
+crates/bench/src/parallel.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

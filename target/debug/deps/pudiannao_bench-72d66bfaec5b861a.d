@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/pudiannao_bench-72d66bfaec5b861a.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs Cargo.toml
+/root/repo/target/debug/deps/pudiannao_bench-72d66bfaec5b861a.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpudiannao_bench-72d66bfaec5b861a.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs Cargo.toml
+/root/repo/target/debug/deps/libpudiannao_bench-72d66bfaec5b861a.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/evaluation.rs:
 crates/bench/src/locality.rs:
+crates/bench/src/parallel.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/pudiannao_bench-a140074cca1a8704.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/debug/deps/pudiannao_bench-a140074cca1a8704.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
-/root/repo/target/debug/deps/pudiannao_bench-a140074cca1a8704: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/debug/deps/pudiannao_bench-a140074cca1a8704: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/evaluation.rs:
 crates/bench/src/locality.rs:
+crates/bench/src/parallel.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/pudiannao_bench-d851d9125f217a12.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/debug/deps/pudiannao_bench-d851d9125f217a12.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
-/root/repo/target/debug/deps/libpudiannao_bench-d851d9125f217a12.rlib: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/debug/deps/libpudiannao_bench-d851d9125f217a12.rlib: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
-/root/repo/target/debug/deps/libpudiannao_bench-d851d9125f217a12.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/debug/deps/libpudiannao_bench-d851d9125f217a12.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/evaluation.rs:
 crates/bench/src/locality.rs:
+crates/bench/src/parallel.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/pudiannao_softfp-6afc8b579bf13651.d: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/debug/deps/pudiannao_softfp-6afc8b579bf13651.d: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
-/root/repo/target/debug/deps/libpudiannao_softfp-6afc8b579bf13651.rlib: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/debug/deps/libpudiannao_softfp-6afc8b579bf13651.rlib: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
-/root/repo/target/debug/deps/libpudiannao_softfp-6afc8b579bf13651.rmeta: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/debug/deps/libpudiannao_softfp-6afc8b579bf13651.rmeta: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
 crates/softfp/src/lib.rs:
+crates/softfp/src/batch.rs:
 crates/softfp/src/f16.rs:
 crates/softfp/src/int_path.rs:
 crates/softfp/src/interp.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/pudiannao_softfp-a08b3dca6384402d.d: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs Cargo.toml
+/root/repo/target/debug/deps/pudiannao_softfp-a08b3dca6384402d.d: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpudiannao_softfp-a08b3dca6384402d.rmeta: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs Cargo.toml
+/root/repo/target/debug/deps/libpudiannao_softfp-a08b3dca6384402d.rmeta: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs Cargo.toml
 
 crates/softfp/src/lib.rs:
+crates/softfp/src/batch.rs:
 crates/softfp/src/f16.rs:
 crates/softfp/src/int_path.rs:
 crates/softfp/src/interp.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/pudiannao_softfp-bbe3bf4961abd8aa.d: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/debug/deps/pudiannao_softfp-bbe3bf4961abd8aa.d: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
-/root/repo/target/debug/deps/pudiannao_softfp-bbe3bf4961abd8aa: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/debug/deps/pudiannao_softfp-bbe3bf4961abd8aa: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
 crates/softfp/src/lib.rs:
+crates/softfp/src/batch.rs:
 crates/softfp/src/f16.rs:
 crates/softfp/src/int_path.rs:
 crates/softfp/src/interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_hotpath-c965a1743f35930f.d: crates/bench/src/bin/bench_hotpath.rs
+
+/root/repo/target/release/deps/bench_hotpath-c965a1743f35930f: crates/bench/src/bin/bench_hotpath.rs
+
+crates/bench/src/bin/bench_hotpath.rs:

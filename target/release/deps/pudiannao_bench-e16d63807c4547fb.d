@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/pudiannao_bench-e16d63807c4547fb.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/release/deps/pudiannao_bench-e16d63807c4547fb.d: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
-/root/repo/target/release/deps/libpudiannao_bench-e16d63807c4547fb.rlib: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/release/deps/libpudiannao_bench-e16d63807c4547fb.rlib: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
-/root/repo/target/release/deps/libpudiannao_bench-e16d63807c4547fb.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs
+/root/repo/target/release/deps/libpudiannao_bench-e16d63807c4547fb.rmeta: crates/bench/src/lib.rs crates/bench/src/evaluation.rs crates/bench/src/locality.rs crates/bench/src/parallel.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/evaluation.rs:
 crates/bench/src/locality.rs:
+crates/bench/src/parallel.rs:

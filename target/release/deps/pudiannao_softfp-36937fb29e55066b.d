@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/pudiannao_softfp-36937fb29e55066b.d: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/release/deps/pudiannao_softfp-36937fb29e55066b.d: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
-/root/repo/target/release/deps/libpudiannao_softfp-36937fb29e55066b.rlib: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/release/deps/libpudiannao_softfp-36937fb29e55066b.rlib: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
-/root/repo/target/release/deps/libpudiannao_softfp-36937fb29e55066b.rmeta: crates/softfp/src/lib.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
+/root/repo/target/release/deps/libpudiannao_softfp-36937fb29e55066b.rmeta: crates/softfp/src/lib.rs crates/softfp/src/batch.rs crates/softfp/src/f16.rs crates/softfp/src/int_path.rs crates/softfp/src/interp.rs crates/softfp/src/taylor.rs
 
 crates/softfp/src/lib.rs:
+crates/softfp/src/batch.rs:
 crates/softfp/src/f16.rs:
 crates/softfp/src/int_path.rs:
 crates/softfp/src/interp.rs:
