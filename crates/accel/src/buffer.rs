@@ -9,7 +9,7 @@
 //! OutputBuf."
 
 use core::fmt;
-use pudiannao_softfp::batch;
+use pudiannao_softfp::{batch, F16};
 
 /// Which of the three buffers, with its element width and porting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -125,6 +125,40 @@ impl Buffer {
     #[must_use]
     pub fn footprint_elems(&self) -> usize {
         self.footprint
+    }
+
+    /// Flips one stored bit in the word at `addr` — a fault-injection
+    /// primitive, not an architectural operation. The flip happens at
+    /// the SRAM's native width (binary16 for HotBuf/ColdBuf, binary32
+    /// for OutputBuf); `bit` is taken modulo that width. Returns the
+    /// `(before, after)` values. Does not move the footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the capacity; fault injection only
+    /// targets occupied words.
+    pub fn flip_bit(&mut self, addr: u32, bit: u32) -> (f32, f32) {
+        let a = addr as usize;
+        let old = self.data[a];
+        let new = match self.kind {
+            BufferKind::Hot | BufferKind::Cold => {
+                F16::from_bits(F16::from_f32(old).to_bits() ^ (1u16 << (bit % 16))).to_f32()
+            }
+            BufferKind::Output => f32::from_bits(old.to_bits() ^ (1u32 << (bit % 32))),
+        };
+        self.data[a] = new;
+        (old, new)
+    }
+
+    /// Restores the word at `addr` to `value` verbatim (an ECC
+    /// correction writing back the decoded word): no quantisation pass,
+    /// no footprint update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the capacity.
+    pub fn restore(&mut self, addr: u32, value: f32) {
+        self.data[addr as usize] = value;
     }
 }
 

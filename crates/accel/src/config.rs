@@ -115,6 +115,16 @@ impl ArchConfig {
         self.dma_bandwidth / self.freq_hz
     }
 
+    /// This configuration with the MLU lane count replaced (floored at
+    /// one) — the shape the machine degrades to when faulty lanes are
+    /// masked.
+    #[must_use]
+    pub fn with_lanes(&self, lanes: u32) -> ArchConfig {
+        let mut c = self.clone();
+        c.lanes = lanes.max(1);
+        c
+    }
+
     /// A short stable fingerprint of every parameter, embedded in run
     /// reports so numbers measured on different hardware points are never
     /// silently compared. Equal configurations always fingerprint equally;

@@ -81,9 +81,27 @@ impl EnergyModel {
     }
 }
 
+/// Fractional energy overhead of storing `check_bits` ECC bits alongside
+/// every `data_bits`-bit word: the SRAM array (and its access energy)
+/// widens proportionally. SEC-DED over 16-bit words costs 6/16 = 37.5%
+/// extra buffer energy — the reason the paper's area-constrained design
+/// would choose protection per buffer, not blanket coverage.
+#[must_use]
+pub fn ecc_energy_overhead(check_bits: u32, data_bits: u32) -> f64 {
+    f64::from(check_bits) / f64::from(data_bits.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ecc_overhead_is_proportional() {
+        assert_eq!(ecc_energy_overhead(0, 16), 0.0);
+        assert_eq!(ecc_energy_overhead(6, 16), 0.375);
+        assert_eq!(ecc_energy_overhead(7, 32), 7.0 / 32.0);
+        assert_eq!(ecc_energy_overhead(1, 0), 1.0); // degenerate width guarded
+    }
 
     #[test]
     fn peak_power_matches_table5() {

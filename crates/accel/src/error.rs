@@ -43,6 +43,20 @@ pub enum Error {
     Export(std::io::Error),
 }
 
+impl Error {
+    /// The underlying [`ExecError`], when execution is what failed —
+    /// the campaign-style caller's hook for classifying run outcomes
+    /// (e.g. [`ExecError::is_fault_detection`]) without matching on the
+    /// non-exhaustive enum.
+    #[must_use]
+    pub fn as_exec(&self) -> Option<&ExecError> {
+        match self {
+            Error::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -110,6 +124,8 @@ mod tests {
 
         let e: Error = ExecError::Malformed("broken").into();
         assert!(e.to_string().contains("broken"));
+        assert!(e.as_exec().is_some());
+        assert!(Error::from(ProgramError::Empty).as_exec().is_none());
 
         let e: Error = DecodeError::UnsupportedCombination.into();
         assert!(matches!(e, Error::Exec(ExecError::Decode(_))));

@@ -12,6 +12,7 @@
 use crate::buffer::{Buffer, BufferKind};
 use crate::config::{ArchConfig, ConfigError};
 use crate::energy::EnergyModel;
+use crate::fault::{FaultConfig, FaultState};
 use crate::isa::{Instruction, Program, ReadOp, WriteOp};
 use crate::ksorter::KSorter;
 use crate::memory::Dram;
@@ -48,6 +49,53 @@ pub enum ExecError {
     },
     /// The instruction's slots are inconsistent with its mode.
     Malformed(&'static str),
+    /// An instruction's projected cost exceeded the watchdog's
+    /// per-instruction cycle budget (see
+    /// [`Hardening::watchdog_cycles`](crate::Hardening)).
+    Watchdog {
+        /// Program index of the offending instruction.
+        inst: u64,
+        /// Its projected compute + DMA cycles.
+        cycles: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// A buffer word's ECC detected an error it could not correct
+    /// (double-bit under SEC-DED, any odd-bit under parity).
+    UncorrectableEcc {
+        /// The buffer whose word failed the check.
+        buffer: BufferKind,
+        /// Element offset of the bad word.
+        addr: u32,
+    },
+    /// The instruction stream failed checksum validation at fetch.
+    InstStreamCorrupt {
+        /// Program index of the corrupted instruction word.
+        inst: u64,
+    },
+    /// An MLU lane failed its residue check with lane masking disabled.
+    LaneFault {
+        /// The faulty lane.
+        lane: u32,
+    },
+}
+
+impl ExecError {
+    /// Whether this error is the fault-resilience machinery *working* —
+    /// a defence detecting injected damage (watchdog, ECC detection,
+    /// fetch checksum, lane residue check) rather than a malformed
+    /// program or configuration. Campaign harnesses use this to separate
+    /// "detected" outcomes from genuine crashes.
+    #[must_use]
+    pub fn is_fault_detection(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Watchdog { .. }
+                | ExecError::UncorrectableEcc { .. }
+                | ExecError::InstStreamCorrupt { .. }
+                | ExecError::LaneFault { .. }
+        )
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -62,6 +110,21 @@ impl fmt::Display for ExecError {
                 write!(f, "DRAM overflow: {elems} elems at {addr}")
             }
             ExecError::Malformed(msg) => write!(f, "malformed instruction: {msg}"),
+            ExecError::Watchdog { inst, cycles, budget } => {
+                write!(
+                    f,
+                    "watchdog: instruction {inst} projected {cycles} cycles (budget {budget})"
+                )
+            }
+            ExecError::UncorrectableEcc { buffer, addr } => {
+                write!(f, "{buffer} ECC: uncorrectable error at offset {addr}")
+            }
+            ExecError::InstStreamCorrupt { inst } => {
+                write!(f, "instruction stream corrupt at index {inst} (checksum mismatch)")
+            }
+            ExecError::LaneFault { lane } => {
+                write!(f, "MLU lane {lane} failed its residue check")
+            }
         }
     }
 }
@@ -166,6 +229,7 @@ pub struct Accelerator {
     out: Buffer,
     interp: HashMap<NonLinearFn, InterpTable>,
     trace_config: Option<TraceConfig>,
+    fault: Option<FaultState>,
     scratch: Scratch,
 }
 
@@ -185,6 +249,7 @@ impl Accelerator {
             out: Buffer::new(BufferKind::Output, config.outputbuf_bytes),
             interp: HashMap::new(),
             trace_config: None,
+            fault: None,
             scratch: Scratch::default(),
             config,
         })
@@ -215,6 +280,31 @@ impl Accelerator {
         self.trace_config.as_ref()
     }
 
+    /// Enables deterministic fault injection and hardening for
+    /// subsequent runs: each [`Accelerator::run`] draws faults from the
+    /// plan's seeded RNG and returns a populated [`RunReport::fault`].
+    /// Like tracing, the layer costs one branch per instruction when
+    /// disabled; with an all-zero plan and no hardening it is provably
+    /// zero-impact — statistics and memory contents stay bit-identical.
+    ///
+    /// Masked lanes and latent buffer errors persist across runs (they
+    /// model physical damage); re-enabling resets both.
+    pub fn enable_faults(&mut self, config: FaultConfig) {
+        self.fault = Some(FaultState::new(config));
+    }
+
+    /// Disables fault injection for subsequent runs and clears any
+    /// masked lanes or latent errors.
+    pub fn disable_faults(&mut self) {
+        self.fault = None;
+    }
+
+    /// The active fault configuration, if any.
+    #[must_use]
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref().map(FaultState::config)
+    }
+
     /// Executes a program against `dram`, returning a [`RunReport`] with
     /// the run's aggregate statistics, the trace (when enabled via
     /// [`Accelerator::enable_trace`]), and the configuration fingerprint.
@@ -227,17 +317,58 @@ impl Accelerator {
     pub fn run(&mut self, program: &Program, dram: &mut Dram) -> Result<RunReport, ExecError> {
         let mut stats = ExecStats::default();
         let mut trace = self.trace_config.as_ref().map(TraceReport::new);
+        if let Some(f) = self.fault.as_mut() {
+            f.begin_run();
+        }
         charge_fetch(&self.config, &mut stats, program.len() as u64);
         let mut first = true;
         for (index, inst) in program.instructions().iter().enumerate() {
-            let t = timing::instruction_timing(&self.config, inst)?;
-            self.exec_functional(inst, dram)?;
+            // Fetch: the fault layer may hand back a corrupted copy of
+            // the instruction word (or a typed error when the stream
+            // checksum catches it).
+            let fetched = match self.fault.as_mut() {
+                Some(f) => f.fetch(index as u64, inst)?,
+                None => None,
+            };
+            let inst = fetched.as_ref().unwrap_or(inst);
+            let mode = timing::decode(&inst.fu, inst.hot.iter)?;
+            let is_mlu =
+                !matches!(mode, Mode::AluDiv | Mode::AluMul | Mode::AluLog { .. } | Mode::TreeStep);
+            // Lane check runs before timing so an instruction that masks
+            // a faulty lane is timed entirely at the reduced width.
+            {
+                let Accelerator { config, fault, .. } = &mut *self;
+                if let Some(f) = fault.as_mut() {
+                    f.lane_check(config, is_mlu)?;
+                }
+            }
+            let t = {
+                let timing_cfg = self
+                    .fault
+                    .as_ref()
+                    .and_then(FaultState::degraded_config)
+                    .unwrap_or(&self.config);
+                timing::instruction_timing(timing_cfg, inst)?
+            };
+            if let Some(budget) = self.fault.as_ref().and_then(FaultState::watchdog_cycles) {
+                let cycles = t.compute_cycles.saturating_add(t.dma_cycles);
+                if cycles > budget {
+                    return Err(ExecError::Watchdog { inst: index as u64, cycles, budget });
+                }
+            }
+            self.exec_functional(mode, inst, dram)?;
             let overlapped = !first && self.config.double_buffering;
             first = false;
             let issue_cycle = stats.cycles;
+            let energy_before = stats.energy;
             charge_instruction(&self.energy, &mut stats, &t, overlapped);
+            if let Some(f) = self.fault.as_mut() {
+                let overhead = f.take_overhead_cycles();
+                stats.cycles += overhead;
+                stats.fault_overhead_cycles += overhead;
+                f.apply_ecc_energy(&mut stats, &energy_before);
+            }
             if let Some(trace) = trace.as_mut() {
-                let mode = timing::decode(&inst.fu, inst.hot.iter)?;
                 trace.record_instruction(
                     index as u64,
                     inst,
@@ -247,6 +378,11 @@ impl Accelerator {
                     stats.cycles,
                     overlapped,
                 );
+                if let Some(f) = self.fault.as_mut() {
+                    f.drain_events_into(trace, index as u64, stats.cycles);
+                }
+            } else if let Some(f) = self.fault.as_mut() {
+                f.clear_events();
             }
         }
         if let Some(trace) = trace.as_mut() {
@@ -254,7 +390,13 @@ impl Accelerator {
             trace.set_high_water(BufferKind::Cold, self.cold.footprint_elems() as u64);
             trace.set_high_water(BufferKind::Output, self.out.footprint_elems() as u64);
         }
-        Ok(RunReport { label: None, stats, trace, config_fingerprint: self.config.fingerprint() })
+        Ok(RunReport {
+            label: None,
+            stats,
+            trace,
+            config_fingerprint: self.config.fingerprint(),
+            fault: self.fault.as_mut().map(FaultState::take_report),
+        })
     }
 
     fn check_buffer(&self, buffer: BufferKind, addr: u32, elems: u64) -> Result<(), ExecError> {
@@ -278,11 +420,15 @@ impl Accelerator {
         }
     }
 
-    /// Performs the LOAD side of a buffer slot.
+    /// Performs the LOAD side of a buffer slot. When faults are enabled,
+    /// the fresh fill supersedes any latent errors under it, and the
+    /// transfer itself may be corrupted in flight (before the ECC
+    /// encode, so buffer protection cannot see it).
     fn load_input(
         buf: &mut Buffer,
         slot: &crate::isa::BufferRead,
         dram: &Dram,
+        fault: &mut Option<FaultState>,
     ) -> Result<(), ExecError> {
         if slot.op == ReadOp::Load && slot.elems() > 0 {
             if !buf.in_bounds(slot.addr, slot.elems()) {
@@ -298,8 +444,12 @@ impl Accelerator {
                 buf.write(slot.addr, data);
             } else {
                 // 2D transfer: one descriptor, strided row starts.
-                let span = slot.dram_row_stride * u64::from(slot.iter.saturating_sub(1))
-                    + u64::from(slot.stride);
+                // Saturating span: an adversarial stride must surface as
+                // a typed DRAM overflow, not an arithmetic panic.
+                let span = slot
+                    .dram_row_stride
+                    .saturating_mul(u64::from(slot.iter.saturating_sub(1)))
+                    .saturating_add(u64::from(slot.stride));
                 Self::check_dram(dram, slot.dram_addr, span)?;
                 for r in 0..slot.iter {
                     let src = slot.dram_addr + u64::from(r) * slot.dram_row_stride;
@@ -307,48 +457,101 @@ impl Accelerator {
                     buf.write(slot.addr + r * slot.stride, data);
                 }
             }
+            if let Some(f) = fault.as_mut() {
+                f.note_write(buf.kind(), slot.addr, slot.elems());
+                f.corrupt_fill(buf, slot.addr, slot.elems());
+            }
         }
         Ok(())
     }
 
-    fn exec_functional(&mut self, inst: &Instruction, dram: &mut Dram) -> Result<(), ExecError> {
-        let mode = timing::decode(&inst.fu, inst.hot.iter)?;
-
+    fn exec_functional(
+        &mut self,
+        mode: Mode,
+        inst: &Instruction,
+        dram: &mut Dram,
+    ) -> Result<(), ExecError> {
         // DMA in. Tree-step node words bypass the 16-bit HotBuf
         // quantisation (they are integers/pointers streamed as raw words),
         // so their hot slot is consumed directly from DRAM in `compute`.
         if mode != Mode::TreeStep {
-            Self::load_input(&mut self.hot, &inst.hot, dram)?;
+            Self::load_input(&mut self.hot, &inst.hot, dram, &mut self.fault)?;
         }
-        Self::load_input(&mut self.cold, &inst.cold, dram)?;
+        Self::load_input(&mut self.cold, &inst.cold, dram, &mut self.fault)?;
         if inst.out.read_op == ReadOp::Load && inst.out.elems() > 0 {
             Self::check_dram(dram, inst.out.read_dram_addr, inst.out.elems())?;
             self.check_buffer(BufferKind::Output, inst.out.addr, inst.out.elems())?;
             let data = dram.slice(inst.out.read_dram_addr, inst.out.elems() as usize);
             self.out.write(inst.out.addr, data);
+            let Accelerator { out, fault, .. } = &mut *self;
+            if let Some(f) = fault.as_mut() {
+                f.note_write(BufferKind::Output, inst.out.addr, inst.out.elems());
+                f.corrupt_fill(out, inst.out.addr, inst.out.elems());
+            }
         }
 
-        // Operand bounds for the streamed reads.
+        // Soft-error window: upsets strike the occupied buffer words
+        // between the fills and the streamed reads below.
+        {
+            let Accelerator { hot, cold, out, fault, .. } = &mut *self;
+            if let Some(f) = fault.as_mut() {
+                f.inject_upsets(hot, cold, out);
+            }
+        }
+
+        // Operand bounds for the streamed reads, then the read-side ECC
+        // scrub of each region the instruction streams.
         if inst.hot.op != ReadOp::Null && mode != Mode::TreeStep {
             self.check_buffer(BufferKind::Hot, inst.hot.addr, inst.hot.elems())?;
+            let Accelerator { hot, fault, .. } = &mut *self;
+            if let Some(f) = fault.as_mut() {
+                f.scrub(hot, inst.hot.addr, inst.hot.elems())?;
+            }
         }
         if inst.cold.op != ReadOp::Null {
             self.check_buffer(BufferKind::Cold, inst.cold.addr, inst.cold.elems())?;
+            let Accelerator { cold, fault, .. } = &mut *self;
+            if let Some(f) = fault.as_mut() {
+                f.scrub(cold, inst.cold.addr, inst.cold.elems())?;
+            }
         }
         if inst.out.elems() > 0 {
             self.check_buffer(BufferKind::Output, inst.out.addr, inst.out.elems())?;
+            if inst.out.read_op != ReadOp::Null {
+                let Accelerator { out, fault, .. } = &mut *self;
+                if let Some(f) = fault.as_mut() {
+                    f.scrub(out, inst.out.addr, inst.out.elems())?;
+                }
+            }
         }
 
         // Compute into the scratch arena (no per-instruction allocation).
         self.compute(mode, inst, dram)?;
 
+        // Undetected lane faults and ALU upsets land in the staged
+        // results.
+        {
+            let is_mlu =
+                !matches!(mode, Mode::AluDiv | Mode::AluMul | Mode::AluLog { .. } | Mode::TreeStep);
+            let Accelerator { fault, scratch, .. } = &mut *self;
+            if let Some(f) = fault.as_mut() {
+                f.post_compute(is_mlu, &mut scratch.results);
+            }
+        }
+
         // Dispose results.
         if !self.scratch.results.is_empty() {
             self.out.write(inst.out.addr, &self.scratch.results);
+            let len = self.scratch.results.len() as u64;
+            if let Some(f) = self.fault.as_mut() {
+                f.note_write(BufferKind::Output, inst.out.addr, len);
+            }
             if inst.out.write_op == WriteOp::Store {
-                let len = self.scratch.results.len() as u64;
                 Self::check_dram(dram, inst.out.write_dram_addr, len)?;
                 dram.write_f32(inst.out.write_dram_addr, &self.scratch.results);
+                if let Some(f) = self.fault.as_mut() {
+                    f.corrupt_store(dram, inst.out.write_dram_addr, len);
+                }
             }
         }
         Ok(())
@@ -374,8 +577,11 @@ impl Accelerator {
             let _ = self.interp_table(f);
         }
 
-        let Accelerator { config, hot, cold, out, interp, scratch, .. } = self;
-        let lanes = config.lanes as usize;
+        let Accelerator { config, hot, cold, out, interp, scratch, fault, .. } = self;
+        // Masked (faulty) MLU lanes shrink the effective datapath width:
+        // same results via a different reduction chunking, at more cycles.
+        let masked = fault.as_ref().map_or(0, |f| f.masked_lanes());
+        let lanes = config.lanes.saturating_sub(masked).max(1) as usize;
         let width = inst.cold.stride as usize;
         let out_stride = inst.out.stride as usize;
         let seeded = inst.out.read_op != ReadOp::Null;
@@ -398,6 +604,9 @@ impl Accelerator {
                 }
                 match sort_k {
                     Some(k) => {
+                        if k == 0 {
+                            return Err(ExecError::Malformed("distance+sort: k must be positive"));
+                        }
                         let k = k as usize;
                         if out_stride != 2 * k {
                             return Err(ExecError::Malformed(
@@ -1263,5 +1472,205 @@ mod tests {
         assert_eq!(trace.alu_ops.div, report.stats.alu_ops);
         assert_eq!(trace.alu_ops.total(), report.stats.alu_ops);
         assert_eq!(trace.alu_ops.tree_step, 0);
+    }
+
+    use crate::fault::{FaultConfig, FaultPlan, Hardening};
+
+    /// A small two-instruction distance program plus its input data.
+    fn fault_fixture() -> (Program, Dram) {
+        let mut dram = Dram::new(8192);
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37 - 3.0) * 0.25).collect();
+        dram.write_f32(0, &data);
+        let mk = |out_addr: u64| Instruction {
+            name: "d".into(),
+            hot: BufferRead::load(0, 0, 16, 2),
+            cold: BufferRead::load(32, 0, 16, 2),
+            out: OutputSlot::store(out_addr, 2, 2),
+            fu: FuOps::distance(None),
+            hot_row_base: 0,
+        };
+        (Program::new(vec![mk(200), mk(300)]).unwrap(), dram)
+    }
+
+    #[test]
+    fn quiet_faults_never_perturb_stats_or_data() {
+        let (program, mut dram_a) = fault_fixture();
+        let mut dram_b = dram_a.clone();
+        let plain = accel().run(&program, &mut dram_a).unwrap();
+        let mut hardened = accel();
+        hardened.enable_faults(FaultConfig {
+            plan: FaultPlan::quiet(7),
+            hardening: Hardening { watchdog_cycles: Some(1 << 30), ..Hardening::default() },
+        });
+        let faulty = hardened.run(&program, &mut dram_b).unwrap();
+        assert_eq!(plain.stats, faulty.stats);
+        assert_eq!(dram_a.read_f32(200, 8), dram_b.read_f32(200, 8));
+        assert!(plain.fault.is_none());
+        let report = faulty.fault.unwrap();
+        assert_eq!(report.injected_total(), 0);
+        assert_eq!(report.overhead_cycles, 0);
+        assert!(hardened.fault_config().is_some());
+        hardened.disable_faults();
+        assert!(hardened.fault_config().is_none());
+    }
+
+    #[test]
+    fn watchdog_aborts_oversized_instructions() {
+        let (program, mut dram) = fault_fixture();
+        let mut a = accel();
+        a.enable_faults(FaultConfig {
+            plan: FaultPlan::quiet(1),
+            hardening: Hardening { watchdog_cycles: Some(1), ..Hardening::default() },
+        });
+        let err = a.run(&program, &mut dram).unwrap_err();
+        assert!(matches!(err, ExecError::Watchdog { budget: 1, .. }), "{err:?}");
+        assert!(err.is_fault_detection());
+    }
+
+    #[test]
+    fn secded_corrects_seeded_upsets_deterministically() {
+        let (program, clean_dram) = fault_fixture();
+        let golden = {
+            let mut d = clean_dram.clone();
+            accel().run(&program, &mut d).unwrap();
+            d.read_f32(200, 8).to_vec()
+        };
+        let mut corrected_somewhere = false;
+        for seed in 0..32u64 {
+            let config = FaultConfig {
+                plan: FaultPlan { buffer_upset_rate: 0.9, ..FaultPlan::quiet(seed) },
+                hardening: Hardening::secded(),
+            };
+            let run = |dram: &mut Dram| {
+                let mut a = accel();
+                a.enable_faults(config);
+                a.run(&program, dram).map(|r| r.fault.unwrap())
+            };
+            let mut dram_a = clean_dram.clone();
+            let mut dram_b = clean_dram.clone();
+            let got_a = run(&mut dram_a);
+            let got_b = run(&mut dram_b);
+            // Same seed -> byte-identical outcome, whatever it is.
+            match (&got_a, &got_b) {
+                (Ok(ra), Ok(rb)) => {
+                    assert_eq!(ra, rb);
+                    assert_eq!(dram_a.read_f32(200, 8), dram_b.read_f32(200, 8));
+                    if ra.corrected > 0 {
+                        corrected_somewhere = true;
+                        // Every upset this seed produced was repaired.
+                        assert_eq!(dram_a.read_f32(200, 8), golden[..]);
+                    }
+                }
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(format!("{ea}"), format!("{eb}"));
+                    assert!(ea.is_fault_detection(), "{ea:?}");
+                }
+                other => panic!("divergent outcomes for seed {seed}: {other:?}"),
+            }
+        }
+        assert!(corrected_somewhere, "no seed exercised a SEC-DED correction");
+    }
+
+    #[test]
+    fn stuck_lane_is_masked_and_degrades_gracefully() {
+        let (program, clean_dram) = fault_fixture();
+        let mut dram_a = clean_dram.clone();
+        let baseline = accel().run(&program, &mut dram_a).unwrap();
+        let golden = dram_a.read_f32(200, 8).to_vec();
+
+        let mut a = accel();
+        a.enable_faults(FaultConfig {
+            plan: FaultPlan { lane_stuck_at: Some(0), ..FaultPlan::quiet(3) },
+            hardening: Hardening::secded(),
+        });
+        let mut dram_b = clean_dram.clone();
+        let degraded = a.run(&program, &mut dram_b).unwrap();
+        let report = degraded.fault.unwrap();
+        assert_eq!(report.lanes_masked, 1);
+        assert_eq!(report.injected_lane, 1); // fires once, then stays masked
+        assert!(report.overhead_cycles > 0);
+        // Reduced lane count -> measurably more cycles.
+        assert!(
+            degraded.stats.cycles > baseline.stats.cycles,
+            "degraded {} vs baseline {}",
+            degraded.stats.cycles,
+            baseline.stats.cycles
+        );
+        assert_eq!(degraded.stats.fault_overhead_cycles, report.overhead_cycles);
+        // Different reduction chunking, same result within fp16 tolerance.
+        for (got, want) in dram_b.read_f32(200, 8).iter().zip(&golden) {
+            assert!((got - want).abs() <= 0.05 * want.abs().max(1.0), "{got} vs {want}");
+        }
+        // The damage persists into the next run on the same accelerator.
+        let mut dram_c = clean_dram.clone();
+        let next = a.run(&program, &mut dram_c).unwrap();
+        assert_eq!(next.fault.unwrap().lanes_masked, 1);
+        assert!(next.stats.cycles > baseline.stats.cycles);
+    }
+
+    #[test]
+    fn unmasked_stuck_lane_is_a_typed_error() {
+        let (program, mut dram) = fault_fixture();
+        let mut a = accel();
+        a.enable_faults(FaultConfig {
+            plan: FaultPlan { lane_stuck_at: Some(2), ..FaultPlan::quiet(3) },
+            hardening: Hardening { lane_masking: false, ..Hardening::secded() },
+        });
+        let err = a.run(&program, &mut dram).unwrap_err();
+        assert!(matches!(err, ExecError::LaneFault { lane: 2 }), "{err:?}");
+        assert!(err.is_fault_detection());
+    }
+
+    #[test]
+    fn ifetch_checksum_detects_corrupted_instructions() {
+        let (program, clean_dram) = fault_fixture();
+        let plan = FaultPlan { ifetch_corruption_rate: 1.0, ..FaultPlan::quiet(11) };
+        // Checksum fitted: typed detection on the first instruction.
+        let mut a = accel();
+        a.enable_faults(FaultConfig {
+            plan,
+            hardening: Hardening { ifetch_checksum: true, ..Hardening::default() },
+        });
+        let err = a.run(&program, &mut clean_dram.clone()).unwrap_err();
+        assert!(matches!(err, ExecError::InstStreamCorrupt { inst: 0 }), "{err:?}");
+        assert!(err.is_fault_detection());
+        // Unhardened: the corrupted instruction executes; whatever happens
+        // must be an Ok or a typed error, never a panic.
+        for seed in 0..16u64 {
+            let mut b = accel();
+            b.enable_faults(FaultConfig {
+                plan: FaultPlan { seed, ..plan },
+                hardening: Hardening::default(),
+            });
+            match b.run(&program, &mut clean_dram.clone()) {
+                Ok(report) => assert!(report.fault.unwrap().injected_ifetch > 0),
+                Err(e) => assert!(!e.is_fault_detection(), "undetectable without checksum: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dma_corruption_is_silent_data_corruption() {
+        let (program, clean_dram) = fault_fixture();
+        let mut dram_a = clean_dram.clone();
+        accel().run(&program, &mut dram_a).unwrap();
+        let golden = dram_a.read_f32(200, 8).to_vec();
+        let mut corrupted_somewhere = false;
+        for seed in 0..8u64 {
+            let mut a = accel();
+            // ECC everywhere, yet in-flight DMA corruption still slips by.
+            a.enable_faults(FaultConfig {
+                plan: FaultPlan { dma_corruption_rate: 1.0, ..FaultPlan::quiet(seed) },
+                hardening: Hardening::secded(),
+            });
+            let mut dram_b = clean_dram.clone();
+            let report = a.run(&program, &mut dram_b).unwrap().fault.unwrap();
+            assert!(report.injected_dma > 0);
+            assert!(report.silent > 0);
+            if dram_b.read_f32(200, 8) != golden[..] {
+                corrupted_somewhere = true;
+            }
+        }
+        assert!(corrupted_somewhere, "every in-flight corruption was masked");
     }
 }

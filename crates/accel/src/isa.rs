@@ -707,6 +707,23 @@ impl Program {
         self.instructions.extend(other.instructions);
     }
 
+    /// FNV-1a 64 checksum over the full rendering (every field, via
+    /// `Debug`) of every instruction — the reference value the fetch-path
+    /// integrity check validates corrupted instruction words against.
+    /// Equal programs always checksum equally; any field change flips it
+    /// (with overwhelming probability).
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for inst in &self.instructions {
+            for byte in format!("{inst:?}").bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
     /// Starts a fluent [`ProgramBuilder`].
     ///
     /// ```
@@ -838,6 +855,22 @@ mod tests {
         p.extend(Program::new(vec![inst]).unwrap());
         assert_eq!(p.len(), 2);
         assert_eq!(p.into_iter().count(), 2);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_content_sensitive() {
+        let inst = Instruction {
+            name: "t".into(),
+            hot: BufferRead::load(0, 0, 4, 2),
+            ..Default::default()
+        };
+        let a = Program::new(vec![inst.clone()]).unwrap();
+        let b = Program::new(vec![inst.clone()]).unwrap();
+        assert_eq!(a.checksum(), b.checksum());
+        let mut changed = inst;
+        changed.hot.dram_addr = 1;
+        let c = Program::new(vec![changed]).unwrap();
+        assert_ne!(a.checksum(), c.checksum());
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   exportable), and [`Accelerator::enable_trace`] adds per-buffer
 //!   activity counters, ALU op classification, and a bounded event ring
 //!   without perturbing the statistics.
+//! - [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   modelled defences ([`Hardening`]): parity/SEC-DED buffer words,
+//!   fetch checksums, a watchdog cycle budget, and graceful MLU-lane
+//!   degradation. Zero-cost and provably zero-impact when disabled.
 //!
 //! # Example
 //!
@@ -73,6 +77,7 @@ mod config;
 mod energy;
 mod error;
 mod exec;
+pub mod fault;
 pub mod isa;
 pub mod json;
 mod ksorter;
@@ -87,6 +92,7 @@ pub use config::{ArchConfig, ConfigError};
 pub use energy::EnergyModel;
 pub use error::Error;
 pub use exec::{charge_fetch, charge_instruction, Accelerator, ExecError};
+pub use fault::{EccMode, FaultConfig, FaultPlan, FaultReport, FaultSite, Hardening};
 pub use isa::Program;
 pub use ksorter::KSorter;
 pub use memory::Dram;

@@ -89,6 +89,22 @@ impl Dram {
     pub fn in_bounds(&self, addr: u64, len: u64) -> bool {
         addr.checked_add(len).is_some_and(|end| end as usize <= self.data.len())
     }
+
+    /// Flips one bit of the binary32 word at `addr` — a fault-injection
+    /// primitive modelling an in-flight DMA upset. `bit` is taken modulo
+    /// 32. Returns the `(before, after)` values; does not move the write
+    /// footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the capacity.
+    pub fn flip_bit(&mut self, addr: u64, bit: u32) -> (f32, f32) {
+        let a = addr as usize;
+        let old = self.data[a];
+        let new = f32::from_bits(old.to_bits() ^ (1u32 << (bit % 32)));
+        self.data[a] = new;
+        (old, new)
+    }
 }
 
 impl fmt::Debug for Dram {

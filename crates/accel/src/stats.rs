@@ -206,6 +206,10 @@ pub struct ExecStats {
     /// serialises (first instruction, or double-buffering off), otherwise
     /// only the portion not hidden behind compute.
     pub dma_stall_cycles: u64,
+    /// Cycles spent on fault-layer overheads — ECC checks and
+    /// corrections, lane replays, masking reconfiguration. Included in
+    /// `cycles`; always zero when faults are disabled.
+    pub fault_overhead_cycles: u64,
 }
 
 impl ExecStats {
@@ -259,12 +263,15 @@ impl ExecStats {
         self.dma_regular_descriptors += other.dma_regular_descriptors;
         self.dma_reconfig_descriptors += other.dma_reconfig_descriptors;
         self.dma_stall_cycles += other.dma_stall_cycles;
+        self.fault_overhead_cycles += other.fault_overhead_cycles;
     }
 
     /// JSON object with every counter and the per-component energy.
+    /// `fault_overhead_cycles` appears only when nonzero, so fault-free
+    /// reports stay byte-identical to the pre-fault-layer format.
     #[must_use]
     pub fn to_json(&self) -> Value {
-        Value::object()
+        let mut obj = Value::object()
             .with("cycles", self.cycles)
             .with("instructions", self.instructions)
             .with("compute_cycles", self.compute_cycles)
@@ -275,18 +282,21 @@ impl ExecStats {
             .with("stage_cycles", self.stage_cycles.to_json())
             .with("dma_regular_descriptors", self.dma_regular_descriptors)
             .with("dma_reconfig_descriptors", self.dma_reconfig_descriptors)
-            .with("dma_stall_cycles", self.dma_stall_cycles)
-            .with(
-                "energy_joules",
-                Value::object()
-                    .with("fus", self.energy.fus)
-                    .with("hotbuf", self.energy.hotbuf)
-                    .with("coldbuf", self.energy.coldbuf)
-                    .with("outputbuf", self.energy.outputbuf)
-                    .with("control", self.energy.control)
-                    .with("other", self.energy.other)
-                    .with("total", self.energy.total()),
-            )
+            .with("dma_stall_cycles", self.dma_stall_cycles);
+        if self.fault_overhead_cycles != 0 {
+            obj.set("fault_overhead_cycles", self.fault_overhead_cycles);
+        }
+        obj.with(
+            "energy_joules",
+            Value::object()
+                .with("fus", self.energy.fus)
+                .with("hotbuf", self.energy.hotbuf)
+                .with("coldbuf", self.energy.coldbuf)
+                .with("outputbuf", self.energy.outputbuf)
+                .with("control", self.energy.control)
+                .with("other", self.energy.other)
+                .with("total", self.energy.total()),
+        )
     }
 }
 
@@ -394,5 +404,16 @@ mod tests {
         assert_eq!(j.get("stage_cycles").and_then(|v| v.get("multiplier")), Some(&Value::UInt(40)));
         assert!(j.get("energy_joules").is_some());
         assert!(j.to_string().contains("\"dma_regular_descriptors\":5"));
+    }
+
+    #[test]
+    fn fault_overhead_serialises_only_when_nonzero() {
+        let clean = ExecStats { cycles: 10, ..Default::default() };
+        assert!(clean.to_json().get("fault_overhead_cycles").is_none());
+        let faulty = ExecStats { cycles: 10, fault_overhead_cycles: 3, ..Default::default() };
+        assert_eq!(faulty.to_json().get("fault_overhead_cycles"), Some(&Value::UInt(3)));
+        let mut merged = clean;
+        merged.merge(&faulty);
+        assert_eq!(merged.fault_overhead_cycles, 3);
     }
 }

@@ -37,6 +37,19 @@ pub const PIPELINE_DEPTH: u64 = 6;
 /// bytes.
 pub const INSTRUCTION_BYTES: u64 = 64;
 
+/// Cycles an ECC/parity check adds per protected streamed operand region
+/// (the syndrome pipeline adds a fixed latency ahead of the consuming
+/// stage; throughput is unaffected).
+pub const ECC_CHECK_CYCLES: u64 = 2;
+
+/// Cycles a SEC-DED single-bit correction adds per corrected word (stall
+/// while the corrected word is re-injected and scrubbed back).
+pub const SECDED_CORRECTION_CYCLES: u64 = 3;
+
+/// Cycles to flush and replay the MLU pipeline after a detected lane
+/// fault, or to reconfigure the lane map when masking a faulty lane.
+pub const LANE_REPLAY_CYCLES: u64 = 12;
+
 /// The execution mode an instruction's FU slot decodes to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
@@ -244,49 +257,59 @@ pub fn instruction_timing(
     // either side still fill the array as long as the product is >= fus.
     let pair_groups = |pairs: u64| div_ceil(pairs.max(1), fus);
 
+    // Saturating products throughout: adversarial instruction shapes can
+    // push pair counts or op counts past u64, and a saturated (absurd)
+    // cost must surface as a watchdog abort, not an overflow panic.
+    let pairs = hot_rows.saturating_mul(cold_rows);
     let (compute, mlu_ops, alu_ops) = match mode {
         Mode::Distance { activation, .. } => {
-            let cycles = pair_groups(hot_rows * cold_rows) * chunks;
-            let mut ops = 2 * hot_rows * cold_rows * width; // sub + mul (+tree/acc folded)
+            let cycles = pair_groups(pairs).saturating_mul(chunks);
+            let mut ops = pairs.saturating_mul(width).saturating_mul(2); // sub + mul
             if activation.is_some() {
-                ops += hot_rows * cold_rows;
+                ops = ops.saturating_add(pairs);
             }
             (cycles, ops, 0)
         }
         Mode::Dot { pairwise, activation } => {
             let h = if pairwise { hot_rows.max(1) } else { 1 };
-            let cycles = pair_groups(h * cold_rows) * chunks;
-            let mut ops = 2 * h * cold_rows * width;
+            let hc = h.saturating_mul(cold_rows);
+            let cycles = pair_groups(hc).saturating_mul(chunks);
+            let mut ops = hc.saturating_mul(width).saturating_mul(2);
             if activation.is_some() {
-                ops += h * cold_rows; // one interp mul-add per result
+                ops = ops.saturating_add(hc); // one interp mul-add per result
             }
             (cycles, ops, 0)
         }
         Mode::Count(_) => {
-            let cycles = pair_groups(hot_rows * cold_rows) * chunks;
-            (cycles, hot_rows * cold_rows * width, 0)
+            let cycles = pair_groups(pairs).saturating_mul(chunks);
+            (cycles, pairs.saturating_mul(width), 0)
         }
         Mode::ProductReduce => {
-            let cycles = cold_groups * chunks * PRODUCT_ROUNDTRIP_PENALTY;
-            (cycles, cold_rows * width, 0)
+            let cycles =
+                cold_groups.saturating_mul(chunks).saturating_mul(PRODUCT_ROUNDTRIP_PENALTY);
+            (cycles, cold_rows.saturating_mul(width), 0)
         }
         Mode::WeightedSum => {
             // Each FU scales one cold row by its hot scalar per round;
             // partial rows merge in the OutputBuf accumulators.
-            let cycles = cold_groups * chunks;
-            (cycles, 2 * cold_rows * width, 0)
+            let cycles = cold_groups.saturating_mul(chunks);
+            (cycles, cold_rows.saturating_mul(width).saturating_mul(2), 0)
         }
         Mode::AluDiv => {
             let elems = inst.out.elems();
-            (div_ceil(elems, fus) * DIV_LATENCY, 0, elems)
+            (div_ceil(elems, fus).saturating_mul(DIV_LATENCY), 0, elems)
         }
         Mode::AluMul => {
             let elems = inst.out.elems();
-            (div_ceil(elems, fus) * 2, 0, elems)
+            (div_ceil(elems, fus).saturating_mul(2), 0, elems)
         }
         Mode::AluLog { terms } => {
             let elems = inst.out.elems();
-            (div_ceil(elems, fus) * u64::from(terms.max(1)) * 2, 0, elems * u64::from(terms))
+            (
+                div_ceil(elems, fus).saturating_mul(u64::from(terms.max(1))).saturating_mul(2),
+                0,
+                elems.saturating_mul(u64::from(terms)),
+            )
         }
         Mode::TreeStep => (cold_groups.max(1), 0, cold_rows),
     };
@@ -296,19 +319,19 @@ pub fn instruction_timing(
     let mut bytes = 0u64;
     let mut reconfigs = 0u32;
     if inst.hot.op == ReadOp::Load {
-        bytes += inst.hot.elems() * 4;
+        bytes = bytes.saturating_add(inst.hot.elems().saturating_mul(4));
         reconfigs += 1;
     }
     if inst.cold.op == ReadOp::Load {
-        bytes += inst.cold.elems() * 4;
+        bytes = bytes.saturating_add(inst.cold.elems().saturating_mul(4));
         reconfigs += 1;
     }
     if inst.out.read_op == ReadOp::Load {
-        bytes += inst.out.elems() * 4;
+        bytes = bytes.saturating_add(inst.out.elems().saturating_mul(4));
         reconfigs += 1;
     }
     if inst.out.write_op == WriteOp::Store {
-        bytes += inst.out.elems() * 4;
+        bytes = bytes.saturating_add(inst.out.elems().saturating_mul(4));
         reconfigs += 1;
     }
     let transfer = (bytes as f64 / config.dma_bytes_per_cycle()).ceil() as u64;
@@ -318,9 +341,9 @@ pub fn instruction_timing(
     } else {
         REGULAR_DESCRIPTOR_CYCLES
     };
-    let dma_cycles = transfer + u64::from(reconfigs) * descriptor_cost;
+    let dma_cycles = transfer.saturating_add(u64::from(reconfigs).saturating_mul(descriptor_cost));
 
-    let compute_cycles = compute + PIPELINE_DEPTH;
+    let compute_cycles = compute.saturating_add(PIPELINE_DEPTH);
     Ok(InstTiming {
         compute_cycles,
         dma_cycles,

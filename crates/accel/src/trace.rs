@@ -137,6 +137,33 @@ pub enum TraceEvent {
         /// Cycle stamp.
         cycle: u64,
     },
+    /// The fault layer injected a fault while instruction `inst` executed.
+    FaultInjected {
+        /// Where the fault landed.
+        site: crate::fault::FaultSite,
+        /// Program index.
+        inst: u64,
+        /// Cycle stamp.
+        cycle: u64,
+    },
+    /// SEC-DED corrected a single-bit error read from a buffer.
+    FaultCorrected {
+        /// The buffer whose word was repaired.
+        buffer: BufferKind,
+        /// Program index.
+        inst: u64,
+        /// Cycle stamp.
+        cycle: u64,
+    },
+    /// A faulty MLU lane was masked; the machine continues degraded.
+    LaneMasked {
+        /// Lanes still active after masking.
+        lanes_left: u32,
+        /// Program index.
+        inst: u64,
+        /// Cycle stamp.
+        cycle: u64,
+    },
 }
 
 impl TraceEvent {
@@ -149,6 +176,9 @@ impl TraceEvent {
             TraceEvent::DmaStart { .. } => "dma_start",
             TraceEvent::DmaComplete { .. } => "dma_complete",
             TraceEvent::PingPongFlip { .. } => "ping_pong_flip",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultCorrected { .. } => "fault_corrected",
+            TraceEvent::LaneMasked { .. } => "lane_masked",
         }
     }
 
@@ -160,7 +190,10 @@ impl TraceEvent {
             | TraceEvent::Retire { cycle, .. }
             | TraceEvent::DmaStart { cycle, .. }
             | TraceEvent::DmaComplete { cycle, .. }
-            | TraceEvent::PingPongFlip { cycle, .. } => cycle,
+            | TraceEvent::PingPongFlip { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. }
+            | TraceEvent::FaultCorrected { cycle, .. }
+            | TraceEvent::LaneMasked { cycle, .. } => cycle,
         }
     }
 
@@ -176,6 +209,15 @@ impl TraceEvent {
                 .with("bytes", bytes)
                 .with("descriptors", descriptors)
                 .with("reconfigured", reconfigured),
+            TraceEvent::FaultInjected { site, inst, .. } => {
+                base.with("inst", inst).with("site", site.name())
+            }
+            TraceEvent::FaultCorrected { buffer, inst, .. } => {
+                base.with("inst", inst).with("buffer", buffer.to_string())
+            }
+            TraceEvent::LaneMasked { lanes_left, inst, .. } => {
+                base.with("inst", inst).with("lanes_left", lanes_left)
+            }
         }
     }
 }
@@ -303,6 +345,12 @@ impl TraceReport {
             self.ring_start = (self.ring_start + 1) % self.event_capacity;
             self.events_dropped += 1;
         }
+    }
+
+    /// Pushes a fault-layer event into the ring (same drop policy as
+    /// executor events).
+    pub(crate) fn push_fault(&mut self, event: TraceEvent) {
+        self.push_event(event);
     }
 
     fn buffer_mut(&mut self, kind: BufferKind) -> &mut BufferCounters {
@@ -451,6 +499,9 @@ pub struct RunReport {
     /// `stats` — lets report consumers refuse to diff across different
     /// hardware points.
     pub config_fingerprint: String,
+    /// What the fault layer injected and how it resolved, when fault
+    /// injection was enabled for the run.
+    pub fault: Option<crate::fault::FaultReport>,
 }
 
 impl RunReport {
@@ -466,17 +517,24 @@ impl RunReport {
             stats,
             trace: None,
             config_fingerprint: config.fingerprint(),
+            fault: None,
         }
     }
 
-    /// JSON object for the whole report.
+    /// JSON object for the whole report. The `fault` key appears only
+    /// when fault injection was enabled, so fault-free reports stay
+    /// byte-identical to the pre-fault-layer format.
     #[must_use]
     pub fn to_json(&self) -> Value {
-        Value::object()
+        let mut obj = Value::object()
             .with("label", self.label.clone())
             .with("config_fingerprint", self.config_fingerprint.as_str())
             .with("stats", self.stats.to_json())
-            .with("trace", self.trace.as_ref().map_or(Value::Null, TraceReport::to_json))
+            .with("trace", self.trace.as_ref().map_or(Value::Null, TraceReport::to_json));
+        if let Some(fault) = &self.fault {
+            obj.set("fault", fault.to_json());
+        }
+        obj
     }
 
     /// Pretty-printed JSON.
@@ -568,5 +626,25 @@ mod tests {
         assert_eq!(j.get("trace"), Some(&Value::Null));
         assert!(report.to_json_pretty().contains("\"stats\""));
         assert!(report.to_string().contains("phase:"));
+        // Fault-free reports carry no fault key at all.
+        assert!(j.get("fault").is_none());
+        let mut faulty = RunReport::from_stats("phase", ExecStats::default(), &cfg);
+        faulty.fault = Some(crate::fault::FaultReport::default());
+        assert!(faulty.to_json().get("fault").is_some());
+    }
+
+    #[test]
+    fn fault_events_serialise() {
+        use crate::fault::FaultSite;
+        let e = TraceEvent::FaultInjected { site: FaultSite::Dma, inst: 2, cycle: 17 };
+        assert_eq!(e.kind(), "fault_injected");
+        assert_eq!(e.cycle(), 17);
+        assert!(e.to_json().to_string().contains("\"site\":\"dma\""));
+        let c = TraceEvent::FaultCorrected { buffer: BufferKind::Hot, inst: 2, cycle: 18 };
+        assert_eq!(c.kind(), "fault_corrected");
+        assert!(c.to_json().to_string().contains("\"buffer\":\"HotBuf\""));
+        let m = TraceEvent::LaneMasked { lanes_left: 15, inst: 3, cycle: 20 };
+        assert_eq!(m.kind(), "lane_masked");
+        assert!(m.to_json().to_string().contains("\"lanes_left\":15"));
     }
 }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod evaluation;
+pub mod fault_campaign;
 pub mod locality;
 pub mod parallel;
 

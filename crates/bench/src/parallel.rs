@@ -15,12 +15,27 @@
 //! interleave their lines when more than one worker runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// Parses a `REPRO_THREADS`-style value: a positive worker count, or
-/// `None` when unset/unparsable (falling back to the hardware default).
+/// `None` when unset or invalid. An invalid value is reported loudly on
+/// stderr (once per process) instead of silently falling back — a typo'd
+/// `REPRO_THREADS=fulll` should not quietly change the worker count.
 fn parse_threads(raw: Option<&str>) -> Option<usize> {
-    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid REPRO_THREADS={raw:?} \
+                     (expected a positive integer); using the hardware default"
+                );
+            });
+            None
+        }
+    }
 }
 
 /// The number of workers [`run_indexed`] will use for `jobs` jobs: the

@@ -259,6 +259,7 @@ fn scale_stats(s: &ExecStats, factor: f64) -> ExecStats {
         dma_regular_descriptors: scale_u(s.dma_regular_descriptors),
         dma_reconfig_descriptors: scale_u(s.dma_reconfig_descriptors),
         dma_stall_cycles: scale_u(s.dma_stall_cycles),
+        fault_overhead_cycles: scale_u(s.fault_overhead_cycles),
     }
 }
 
@@ -288,6 +289,7 @@ fn sub_stats(a: &ExecStats, b: &ExecStats) -> ExecStats {
         dma_regular_descriptors: sub_u(a.dma_regular_descriptors, b.dma_regular_descriptors),
         dma_reconfig_descriptors: sub_u(a.dma_reconfig_descriptors, b.dma_reconfig_descriptors),
         dma_stall_cycles: sub_u(a.dma_stall_cycles, b.dma_stall_cycles),
+        fault_overhead_cycles: sub_u(a.fault_overhead_cycles, b.fault_overhead_cycles),
     }
 }
 

@@ -4,11 +4,48 @@
 #   scripts/check.sh          # full gate
 #   scripts/check.sh --fast   # skip the release build
 #   scripts/check.sh --bench  # hot-path timings + parallel-determinism check
+#   scripts/check.sh --faults # fixed-seed fault-campaign smoke + pinned outcomes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "==> cargo build --release -p pudiannao-bench"
+    cargo build --release -q -p pudiannao-bench
+
+    echo "==> fault_campaign --smoke (fixed seed)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/fault_campaign --smoke --out "$tmp/fault_campaign.json" \
+        | grep '^\[faults\]' > "$tmp/got.txt"
+    cat "$tmp/got.txt"
+
+    # Pinned outcome classification for the built-in smoke seed. Any
+    # change here means the fault layer's seeded behaviour shifted —
+    # update deliberately, never silently.
+    cat > "$tmp/want.txt" <<'EOF'
+[faults] masked 19
+[faults] corrected 3
+[faults] detected 12
+[faults] sdc 21
+[faults] crash 1
+EOF
+    cmp "$tmp/want.txt" "$tmp/got.txt"
+    echo "    outcome counts match the pinned expectation"
+
+    echo "==> determinism: REPRO_THREADS=1 vs 4"
+    REPRO_THREADS=1 ./target/release/fault_campaign --smoke \
+        --out "$tmp/seq.json" >/dev/null
+    REPRO_THREADS=4 ./target/release/fault_campaign --smoke \
+        --out "$tmp/par.json" >/dev/null
+    cmp "$tmp/seq.json" "$tmp/par.json"
+    echo "    fault_campaign.json byte-identical"
+
+    echo "OK: fault campaign smoke passed"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo build --release"
