@@ -389,6 +389,13 @@ impl Accelerator {
             trace.set_high_water(BufferKind::Hot, self.hot.footprint_elems() as u64);
             trace.set_high_water(BufferKind::Cold, self.cold.footprint_elems() as u64);
             trace.set_high_water(BufferKind::Output, self.out.footprint_elems() as u64);
+            if trace.events_dropped > 0 {
+                eprintln!(
+                    "warning: trace event ring overflowed; {} event(s) dropped — the timeline \
+                     is truncated (raise TraceConfig::event_capacity for a complete one)",
+                    trace.events_dropped
+                );
+            }
         }
         Ok(RunReport {
             label: None,
@@ -1387,13 +1394,15 @@ mod tests {
         assert_eq!(trace.hotbuf.high_water_elems, 32);
         // Second instruction overlapped its DMA behind the first.
         assert_eq!(trace.ping_pong_flips, 1);
-        let events = trace.events();
-        assert!(events.iter().any(|e| e.kind() == "issue"));
-        assert!(events.iter().any(|e| e.kind() == "dma_start"));
-        assert!(events.iter().any(|e| e.kind() == "ping_pong_flip"));
+        assert!(trace.events_iter().any(|e| e.kind() == "issue"));
+        assert!(trace.events_iter().any(|e| e.kind() == "dma_start"));
+        assert!(trace.events_iter().any(|e| e.kind() == "ping_pong_flip"));
         assert_eq!(trace.events_dropped, 0);
+        // The borrowing iterator and the cloning accessor agree.
+        assert!(trace.events_iter().copied().eq(trace.events()));
         // Cycle stamps never decrease instruction-to-instruction.
-        assert!(events
+        assert!(trace
+            .events()
             .windows(2)
             .all(|w| w[0].cycle() <= w[1].cycle() || w[0].kind() == "dma_complete"));
     }

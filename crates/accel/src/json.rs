@@ -1,11 +1,13 @@
-//! Minimal JSON document builder.
+//! Minimal JSON document builder and parser.
 //!
 //! The workspace builds fully offline, so instead of `serde_json` the
 //! observability layer emits reports through this small value model. It
 //! supports exactly what machine-readable run reports need: ordered
 //! objects, arrays, strings with escaping, booleans, and numbers that
 //! round-trip `u64` counters exactly (floats print with enough digits to
-//! reconstruct the `f64`).
+//! reconstruct the `f64`). [`parse`] reads the same documents back —
+//! report consumers (the perf-regression gate, the timeline validator)
+//! work on parsed [`Value`]s rather than regexes over report text.
 //!
 //! # Examples
 //!
@@ -103,6 +105,45 @@ impl Value {
         }
     }
 
+    /// The value as a `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(values) => Some(values),
+            _ => None,
+        }
+    }
+
     /// Pretty-prints with two-space indentation and a trailing newline.
     #[must_use]
     pub fn to_string_pretty(&self) -> String {
@@ -147,6 +188,265 @@ impl Value {
                 let _ = write!(out, "{compact}");
             }
         }
+    }
+}
+
+/// Where and why [`parse`] rejected a document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What was wrong there.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Integers without a fraction or exponent become [`Value::UInt`] /
+/// [`Value::Int`] (so `u64` counters round-trip exactly); everything else
+/// numeric becomes [`Value::Float`]. Trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// [`ParseError`] with the byte offset of the first violation.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut values = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(values));
+        }
+        loop {
+            self.skip_ws();
+            values.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(values));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let nibble = match d {
+                b'0'..=b'9' => u32::from(d - b'0'),
+                b'a'..=b'f' => u32::from(d - b'a') + 10,
+                b'A'..=b'F' => u32::from(d - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            code = code * 16 + nibble;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected \\u for low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy the full UTF-8 scalar starting here.
+                    let rest = &self.bytes[self.pos..];
+                    let s = core::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError { offset: start, message: "invalid number" })
     }
 }
 
@@ -323,5 +623,77 @@ mod tests {
         assert_eq!(v.get("k"), Some(&Value::UInt(7)));
         assert_eq!(v.get("missing"), None);
         assert_eq!(Value::Null.get("k"), None);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0.5").unwrap(), Value::Float(0.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse(&u64::MAX.to_string()).unwrap(), Value::UInt(u64::MAX));
+        // Integer too big for u64/i64 falls back to float.
+        assert!(matches!(parse("99999999999999999999999").unwrap(), Value::Float(_)));
+    }
+
+    #[test]
+    fn parse_strings_and_escapes() {
+        assert_eq!(parse(r#""hi""#).unwrap(), Value::from("hi"));
+        assert_eq!(parse(r#""a\nb\t\"c\"\\""#).unwrap(), Value::from("a\nb\t\"c\"\\"));
+        assert_eq!(parse(r#""Aé""#).unwrap(), Value::from("Aé"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::from("\u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse("\"raw\ncontrol\"").is_err());
+    }
+
+    #[test]
+    fn parse_containers_preserve_order() {
+        let v = parse(r#"{"b":1,"a":[2,-3,null],"c":{"nested":true}}"#).unwrap();
+        let Value::Object(fields) = &v else { panic!("expected object") };
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().get("nested"), Some(&Value::Bool(true)));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{ }").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"k\":}", "tru", "1 2", "{\"k\" 1}", "[1 2]", "nul"] {
+            assert!(parse(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+        let err = parse("[1,]").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn builder_output_round_trips_through_parse() {
+        let doc = Value::object()
+            .with("cycles", 123_456u64)
+            .with("delta", -9i64)
+            .with("ratio", 0.1 + 0.2)
+            .with("label", "k-NN \"fast\"\npath")
+            .with("flags", Value::array(vec![Value::Bool(true), Value::Null]))
+            .with("nested", Value::object().with("hw", 42u64));
+        let compact = doc.to_string();
+        assert_eq!(parse(&compact).unwrap(), doc);
+        let pretty = doc.to_string_pretty();
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::UInt(3).as_u64(), Some(3));
+        assert_eq!(Value::Int(3).as_u64(), Some(3));
+        assert_eq!(Value::Int(-3).as_u64(), None);
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::UInt(2).as_f64(), Some(2.0));
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from("s").as_u64(), None);
     }
 }

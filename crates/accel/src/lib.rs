@@ -28,6 +28,10 @@
 //!   exportable), and [`Accelerator::enable_trace`] adds per-buffer
 //!   activity counters, ALU op classification, and a bounded event ring
 //!   without perturbing the statistics.
+//! - [`profile`] — timeline export (Chrome Trace Event JSON from the
+//!   event ring, one track per engine) and bottleneck attribution
+//!   ([`analyze`] classifies a run as pipeline-, dma-, reconfiguration-
+//!   or fault-overhead-bound).
 //! - [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
 //!   modelled defences ([`Hardening`]): parity/SEC-DED buffer words,
 //!   fetch checksums, a watchdog cycle budget, and graceful MLU-lane
@@ -83,6 +87,7 @@ pub mod json;
 mod ksorter;
 pub mod layout;
 mod memory;
+pub mod profile;
 mod stats;
 pub mod timing;
 pub mod trace;
@@ -96,5 +101,6 @@ pub use fault::{EccMode, FaultConfig, FaultPlan, FaultReport, FaultSite, Hardeni
 pub use isa::Program;
 pub use ksorter::KSorter;
 pub use memory::Dram;
+pub use profile::{analyze, Bottleneck, PhaseAnalysis};
 pub use stats::{ComponentEnergy, ExecStats, MluStage, StageCycles};
 pub use trace::{RunReport, TraceConfig, TraceEvent, TraceReport};

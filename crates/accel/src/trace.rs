@@ -323,12 +323,18 @@ impl TraceReport {
 
     /// The recorded events, oldest first (at most the configured
     /// capacity; older events beyond it are dropped and counted).
+    ///
+    /// Allocates a fresh `Vec`; prefer [`TraceReport::events_iter`] when a
+    /// pass over the ring is all that's needed.
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut out = Vec::with_capacity(self.events.len());
-        out.extend_from_slice(&self.events[self.ring_start..]);
-        out.extend_from_slice(&self.events[..self.ring_start]);
-        out
+        self.events_iter().copied().collect()
+    }
+
+    /// Borrowing iterator over the recorded events, oldest first — the
+    /// same order as [`TraceReport::events`] without cloning the ring.
+    pub fn events_iter(&self) -> impl Iterator<Item = &TraceEvent> + Clone + '_ {
+        self.events[self.ring_start..].iter().chain(self.events[..self.ring_start].iter())
     }
 
     fn push_event(&mut self, event: TraceEvent) {
@@ -473,10 +479,7 @@ impl TraceReport {
             .with("alu_ops", self.alu_ops.to_json())
             .with("ping_pong_flips", self.ping_pong_flips)
             .with("events_dropped", self.events_dropped)
-            .with(
-                "events",
-                Value::array(self.events().into_iter().map(TraceEvent::to_json).collect()),
-            )
+            .with("events", Value::array(self.events_iter().map(|e| e.to_json()).collect()))
     }
 }
 

@@ -1,0 +1,118 @@
+//! Benchmark-history recorder and perf-regression gate; see
+//! `pudiannao_bench::profile`.
+//!
+//! Usage:
+//!
+//! - `perf_diff --record [--history PATH]` — append the current modelled
+//!   per-phase cycles/energy as one JSONL line (default
+//!   `BENCH_history.jsonl`).
+//! - `perf_diff --check [--history PATH] [--inflate-cycles-pct P]` —
+//!   compare the current model against the last recorded line; exit 1 if
+//!   any phase regressed more than 2% in cycles or energy.
+//!   `--inflate-cycles-pct` applies a synthetic slowdown to the current
+//!   run — the self-check `scripts/check.sh --perf-gate` uses it to
+//!   prove a +5% regression actually fails the gate.
+//!
+//! Records carry a schema version and the configuration fingerprint;
+//! the gate refuses to compare across either. Output is deterministic:
+//! byte-identical at any `REPRO_THREADS` setting.
+
+use pudiannao_accel::json;
+use pudiannao_bench::profile::{
+    diff_records, history_record, with_inflated_cycles, PhaseDelta, REGRESSION_THRESHOLD_PCT,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut history = String::from("BENCH_history.jsonl");
+    let mut mode: Option<&'static str> = None;
+    let mut inflate_pct = 0.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--record" => mode = Some("record"),
+            "--check" => mode = Some("check"),
+            "--history" => match args.next() {
+                Some(path) => history = path,
+                None => fail("--history needs a path"),
+            },
+            "--inflate-cycles-pct" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => inflate_pct = pct,
+                None => fail("--inflate-cycles-pct needs a number"),
+            },
+            other => fail(&format!(
+                "unknown argument {other:?} (expected --record / --check / --history PATH / \
+                 --inflate-cycles-pct P)"
+            )),
+        }
+    }
+
+    let current = {
+        let record = history_record();
+        if inflate_pct == 0.0 {
+            record
+        } else {
+            with_inflated_cycles(&record, inflate_pct)
+        }
+    };
+
+    match mode {
+        Some("record") => {
+            let mut line = current.to_string();
+            line.push('\n');
+            let existing = std::fs::read_to_string(&history).unwrap_or_default();
+            if let Err(e) = std::fs::write(&history, existing + &line) {
+                eprintln!("error: cannot write {history}: {e}");
+                std::process::exit(1);
+            }
+            let phases =
+                current.get("phases").and_then(json::Value::as_array).map_or(0, |p| p.len());
+            let fp = current.get("config_fingerprint").and_then(json::Value::as_str).unwrap_or("?");
+            println!("[perf] recorded {phases} phases for {fp} -> {history}");
+        }
+        Some("check") => {
+            let contents = match std::fs::read_to_string(&history) {
+                Ok(c) => c,
+                Err(e) => fail(&format!("cannot read {history}: {e} (run --record first)")),
+            };
+            let Some(last) = contents.lines().rev().find(|l| !l.trim().is_empty()) else {
+                fail(&format!("{history} has no records (run --record first)"));
+            };
+            let baseline = match json::parse(last) {
+                Ok(v) => v,
+                Err(e) => fail(&format!("last record in {history} is not valid JSON: {e}")),
+            };
+            let deltas = match diff_records(&baseline, &current) {
+                Ok(d) => d,
+                Err(e) => fail(&e),
+            };
+            for d in &deltas {
+                println!(
+                    "[perf] {:<10} cycles {:+.2}%  energy {:+.2}%",
+                    d.label, d.cycles_pct, d.energy_pct
+                );
+            }
+            let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
+            if regressed.is_empty() {
+                println!(
+                    "[perf] OK: no phase regressed more than {REGRESSION_THRESHOLD_PCT}% \
+                     vs the last record"
+                );
+            } else {
+                for d in &regressed {
+                    println!(
+                        "[perf] FAIL {}: cycles {:+.2}% energy {:+.2}% (threshold \
+                         {REGRESSION_THRESHOLD_PCT}%)",
+                        d.label, d.cycles_pct, d.energy_pct
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => fail("pass exactly one of --record / --check"),
+    }
+}

@@ -267,9 +267,23 @@ pub fn phase_run_reports() -> Vec<RunReport> {
 }
 
 /// The [`phase_run_reports`] as one JSON array, ready to write to disk.
+/// Each report carries an `analysis` object — the
+/// [`pudiannao_accel::profile::analyze`] bottleneck verdict and
+/// utilisation breakdown — so `phase_reports.json` answers *why* a phase
+/// is fast or slow, not just how fast it is.
 #[must_use]
 pub fn phase_reports_json() -> Value {
-    Value::array(phase_run_reports().iter().map(RunReport::to_json).collect())
+    let cfg = ArchConfig::paper_default();
+    Value::array(
+        phase_run_reports()
+            .iter()
+            .map(|report| {
+                let mut obj = report.to_json();
+                obj.set("analysis", pudiannao_accel::profile::analyze(report, &cfg).to_json());
+                obj
+            })
+            .collect(),
+    )
 }
 
 /// Figure 13: GPU speedup over the SIMD CPU per phase.

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Times the reproduction hot path: builds the release binaries, runs
-# `bench_hotpath` (per-experiment wall-clock + softfp ns/conversion), and
-# leaves the machine-readable results in BENCH_repro.json at the repo root.
+# `bench_hotpath` (per-experiment wall-clock + softfp ns/conversion),
+# leaves the machine-readable results in BENCH_repro.json at the repo
+# root, and appends the modelled per-phase cycles/energy to
+# BENCH_history.jsonl (the perf-regression gate's baseline — see
+# scripts/check.sh --perf-gate).
 #
 # Usage: scripts/bench.sh
 set -euo pipefail
@@ -13,4 +16,7 @@ cargo build --workspace --release -q
 echo "== bench_hotpath =="
 ./target/release/bench_hotpath | grep '^\[bench\]'
 
-echo "OK: wrote BENCH_repro.json"
+echo "== record phase cycles/energy =="
+./target/release/perf_diff --record --history BENCH_history.jsonl
+
+echo "OK: wrote BENCH_repro.json and appended to BENCH_history.jsonl"

@@ -1,15 +1,90 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, lints, build, tests. Run before every commit.
 #
-#   scripts/check.sh          # full gate
-#   scripts/check.sh --fast   # skip the release build
-#   scripts/check.sh --bench  # hot-path timings + parallel-determinism check
-#   scripts/check.sh --faults # fixed-seed fault-campaign smoke + pinned outcomes
+#   scripts/check.sh             # full gate
+#   scripts/check.sh --fast      # skip the release build
+#   scripts/check.sh --bench     # hot-path timings + parallel-determinism check
+#   scripts/check.sh --faults    # fixed-seed fault-campaign smoke + pinned outcomes
+#   scripts/check.sh --profile   # timeline smoke + pinned bottleneck verdicts
+#   scripts/check.sh --perf-gate # per-phase cycle/energy regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ "${1:-}" == "--profile" ]]; then
+    echo "==> cargo build --release -p pudiannao-bench"
+    cargo build --release -q -p pudiannao-bench
+
+    echo "==> profile (timeline export + bottleneck attribution)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    (cd "$tmp" && "$OLDPWD/target/release/profile") | grep '^\[profile\]' > "$tmp/got.txt"
+    cat "$tmp/got.txt"
+    test -s "$tmp/trace_timeline.json"
+    test -s "$tmp/phase_reports.json"
+
+    # Pinned timeline shape and per-phase verdicts. The profile binary
+    # already re-parsed and structurally validated the written timeline
+    # (the "timeline valid" line below would be missing otherwise). Any
+    # drift here means the timing model or the analyzer taxonomy moved —
+    # update deliberately, never silently.
+    cat > "$tmp/want.txt" <<'EOF'
+[profile] timeline valid: 58 spans, 7 instants, 9 tracks
+[profile] kNN pipeline-bound
+[profile] k-Means pipeline-bound
+[profile] DNN-pred pipeline-bound
+[profile] DNN-pre pipeline-bound
+[profile] DNN-train pipeline-bound
+[profile] LR-train dma-bound
+[profile] LR-pred dma-bound
+[profile] SVM-train pipeline-bound
+[profile] SVM-pred pipeline-bound
+[profile] NB-train pipeline-bound
+[profile] NB-pred pipeline-bound
+[profile] CT-train pipeline-bound
+[profile] CT-pred reconfiguration-bound
+[profile] events_dropped 0
+EOF
+    cmp "$tmp/want.txt" "$tmp/got.txt"
+    echo "    timeline and all 13 verdicts match the pinned expectation"
+
+    echo "==> determinism: REPRO_THREADS=1 vs 4"
+    mkdir "$tmp/seq" "$tmp/par"
+    (cd "$tmp/seq" && REPRO_THREADS=1 "$OLDPWD/target/release/profile" >/dev/null)
+    (cd "$tmp/par" && REPRO_THREADS=4 "$OLDPWD/target/release/profile" >/dev/null)
+    cmp "$tmp/seq/trace_timeline.json" "$tmp/par/trace_timeline.json"
+    cmp "$tmp/seq/phase_reports.json" "$tmp/par/phase_reports.json"
+    echo "    trace_timeline.json and phase_reports.json byte-identical"
+
+    echo "OK: profile smoke passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--perf-gate" ]]; then
+    echo "==> cargo build --release -p pudiannao-bench"
+    cargo build --release -q -p pudiannao-bench
+
+    hist="BENCH_history.jsonl"
+    if [[ ! -s "$hist" ]]; then
+        echo "==> no history yet: seeding $hist"
+        ./target/release/perf_diff --record --history "$hist"
+    fi
+
+    echo "==> perf gate: current model vs last record in $hist"
+    ./target/release/perf_diff --check --history "$hist"
+
+    echo "==> self-check: a synthetic +5% cycle regression must fail"
+    if ./target/release/perf_diff --check --history "$hist" --inflate-cycles-pct 5 >/dev/null; then
+        echo "error: the gate passed a +5% regression" >&2
+        exit 1
+    fi
+    echo "    synthetic regression correctly rejected"
+
+    echo "OK: perf gate passed"
+    exit 0
+fi
 
 if [[ "${1:-}" == "--faults" ]]; then
     echo "==> cargo build --release -p pudiannao-bench"
