@@ -6,10 +6,13 @@
 //! timing must not contend with the others), with their stdout chatter
 //! left enabled — the timed quantity is the full experiment, exactly
 //! what `repro_all` runs. Softfp kernels are timed over fixed sweeps and
-//! reported in nanoseconds per conversion.
+//! reported in nanoseconds per conversion, and the memsim section times
+//! the cache's scalar vs coalesced access paths plus the
+//! engine-build-vs-reset cost that motivates the locality engine pool.
 
 use pudiannao_accel::json::Value;
 use pudiannao_bench::{evaluation, locality, ExperimentReport};
+use pudiannao_memsim::{Access, Addr, Cache, CacheConfig, SimdEngine, VarClass};
 use pudiannao_softfp::{batch, F16};
 use std::hint::black_box;
 use std::time::Instant;
@@ -80,6 +83,80 @@ fn bench_batch_quantize(rounds: u32) -> (f64, u64) {
     (t.elapsed().as_secs_f64() * 1e9, u64::from(rounds) * src.len() as u64)
 }
 
+/// A k-NN-shaped operand stream (two 32-byte streaming reads plus the
+/// accumulator write, 4 chunks per pair) — the same access pattern the
+/// locality figures hammer the cache with.
+fn knn_style_ops() -> Vec<[Access; 3]> {
+    let mut ops = Vec::with_capacity(64 * 512 * 4);
+    for i in 0..64u64 {
+        for j in 0..512u64 {
+            for c in 0..4u64 {
+                ops.push([
+                    Access::read(Addr(i * 128 + c * 32), 32, VarClass::Hot),
+                    Access::read(Addr(0x0100_0000 + j * 128 + c * 32), 32, VarClass::Cold),
+                    Access::write(Addr(0x0200_0000 + (i * 512 + j) * 4), 4, VarClass::Output),
+                ]);
+            }
+        }
+    }
+    ops
+}
+
+/// Times the scalar per-access cache path vs the coalesced
+/// [`Cache::access_run`] path over the same operand stream; returns
+/// `(scalar_ns, coalesced_ns, accesses)`.
+fn bench_cache_paths(rounds: u32) -> (f64, f64, u64) {
+    let ops = knn_style_ops();
+    let accesses = u64::from(rounds) * (ops.len() as u64) * 3;
+    let mut cache = Cache::new(CacheConfig::paper_default()).expect("valid cache config");
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        cache.reset();
+        for op in &ops {
+            for a in op {
+                cache.access_scalar(*a);
+            }
+        }
+    }
+    let scalar_ns = t.elapsed().as_secs_f64() * 1e9;
+    black_box(cache.stats());
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        cache.reset();
+        for op in &ops {
+            cache.access_run(op);
+        }
+    }
+    let coalesced_ns = t.elapsed().as_secs_f64() * 1e9;
+    black_box(cache.stats());
+
+    (scalar_ns, coalesced_ns, accesses)
+}
+
+/// Times building a fresh [`SimdEngine`] vs resetting a pooled one;
+/// returns `(build_ns_per_iter, reset_ns_per_iter)`.
+fn bench_engine_reuse(iters: u32) -> (f64, f64) {
+    let cfg = CacheConfig::paper_default();
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(SimdEngine::new(cfg.clone()).expect("valid cache config"));
+    }
+    let build_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+
+    let mut engine = SimdEngine::new(cfg).expect("valid cache config");
+    let warm = [Access::read(Addr(0), 32, VarClass::Hot)];
+    let t = Instant::now();
+    for _ in 0..iters {
+        engine.op(&warm);
+        engine.reset();
+    }
+    let reset_ns = t.elapsed().as_secs_f64() * 1e9 / f64::from(iters);
+    black_box(engine.report());
+    (build_ns, reset_ns)
+}
+
 fn main() {
     let total = Instant::now();
     let mut experiment_rows = Vec::new();
@@ -107,10 +184,30 @@ fn main() {
         );
     }
 
+    let mut memsim_rows = Vec::new();
+    let (scalar_ns, coalesced_ns, accesses) = bench_cache_paths(20);
+    for (name, ns) in [("cache_scalar", scalar_ns), ("cache_coalesced", coalesced_ns)] {
+        let maccesses_per_s = accesses as f64 / ns * 1e3;
+        println!("[bench] memsim/{name:<20} {maccesses_per_s:>8.1} Maccesses/s");
+        memsim_rows.push(
+            Value::object()
+                .with("name", name)
+                .with("maccesses_per_s", (maccesses_per_s * 1000.0).round() / 1000.0),
+        );
+    }
+    let (build_ns, reset_ns) = bench_engine_reuse(20_000);
+    for (name, ns) in [("engine_build", build_ns), ("engine_reset", reset_ns)] {
+        println!("[bench] memsim/{name:<20} {ns:>8.1} ns/iter");
+        memsim_rows.push(
+            Value::object().with("name", name).with("ns_per_iter", (ns * 1000.0).round() / 1000.0),
+        );
+    }
+
     let total_ms = ms_since(total);
     let json = Value::object()
         .with("experiments", Value::array(experiment_rows))
         .with("softfp", Value::array(softfp_rows))
+        .with("memsim", Value::array(memsim_rows))
         .with("total_ms", (total_ms * 1000.0).round() / 1000.0);
     std::fs::write("BENCH_repro.json", json.to_string_pretty())
         .expect("writable working directory");

@@ -57,9 +57,6 @@ pub fn table1_precision() -> ExperimentReport {
         let m = svm::SvmClassifier::fit(&raw_split.train, cfg).expect("svm fit");
         accuracy(&m.predict(&raw_split.test.features).expect("svm predict"), &raw_split.test.labels)
     };
-    let (s32, s16, smx) =
-        (svm_acc(Precision::F32), svm_acc(Precision::F16All), svm_acc(Precision::Mixed));
-
     // --- k-NN on its own (normalised) benchmark ---
     let data = synth::gaussian_blobs(&synth::BlobsConfig {
         instances: 300,
@@ -74,9 +71,6 @@ pub fn table1_precision() -> ExperimentReport {
         let m = knn::KnnClassifier::fit(&split.train, cfg).expect("knn fit");
         accuracy(&m.predict(&split.test.features).expect("knn predict"), &split.test.labels)
     };
-    let (k32, k16, kmx) =
-        (knn_acc(Precision::F32), knn_acc(Precision::F16All), knn_acc(Precision::Mixed));
-
     // --- k-Means (purity against generating labels) ---
     let blob4 = synth::gaussian_blobs(&synth::BlobsConfig {
         instances: 400,
@@ -96,9 +90,6 @@ pub fn table1_precision() -> ExperimentReport {
         let m = kmeans::KMeans::fit(&blob4.features, cfg).expect("kmeans fit");
         cluster_purity(m.assignments(), &blob4.labels)
     };
-    let (m32, m16, mmx) =
-        (km_acc(Precision::F32), km_acc(Precision::F16All), km_acc(Precision::Mixed));
-
     // --- LR (regression quality expressed as 1 / (1 + MSE)) ---
     let (reg, _) = synth::linear_teacher(300, 16, 0.0, 7);
     let lr_quality = |precision| {
@@ -113,9 +104,6 @@ pub fn table1_precision() -> ExperimentReport {
         // to ~100% and the stalled all-16 fit (~1e-4) to well below it.
         1.0 / (1.0 + mse(&m.predict(&reg.features).expect("lr predict"), &reg.labels) * 1e4)
     };
-    let (l32, l16, lmx) =
-        (lr_quality(Precision::F32), lr_quality(Precision::F16All), lr_quality(Precision::Mixed));
-
     // --- DNN (MLP) ---
     let dnn_acc = |precision| {
         let cfg = dnn::MlpConfig { seed: 4, precision, epochs: 40, ..Default::default() };
@@ -123,8 +111,30 @@ pub fn table1_precision() -> ExperimentReport {
         m.train(&split.train).expect("mlp train");
         accuracy(&m.predict(&split.test.features).expect("mlp predict"), &split.test.labels)
     };
-    let (d32, d16, dmx) =
-        (dnn_acc(Precision::F32), dnn_acc(Precision::F16All), dnn_acc(Precision::Mixed));
+    // Every cell is an independent deterministic job (its own datasets
+    // and seeds), so the 5 x 3 grid runs through the fork-join harness:
+    // results come back in job order and the table below prints after the
+    // barrier, making stdout identical at any `REPRO_THREADS`.
+    type Cell<'a> = Box<dyn FnOnce() -> f64 + Send + 'a>;
+    let mut jobs: Vec<Cell<'_>> = Vec::with_capacity(15);
+    for p in [Precision::F32, Precision::F16All, Precision::Mixed] {
+        jobs.push(Box::new(move || svm_acc(p)));
+    }
+    for p in [Precision::F32, Precision::F16All, Precision::Mixed] {
+        jobs.push(Box::new(move || knn_acc(p)));
+    }
+    for p in [Precision::F32, Precision::F16All, Precision::Mixed] {
+        jobs.push(Box::new(move || km_acc(p)));
+    }
+    for p in [Precision::F32, Precision::F16All, Precision::Mixed] {
+        jobs.push(Box::new(move || lr_quality(p)));
+    }
+    for p in [Precision::F32, Precision::F16All, Precision::Mixed] {
+        jobs.push(Box::new(move || dnn_acc(p)));
+    }
+    let cells = crate::parallel::run_indexed(jobs);
+    let [s32, s16, smx, k32, k16, kmx, m32, m16, mmx, l32, l16, lmx, d32, d16, dmx] =
+        cells.try_into().expect("15 cells");
 
     let rows: [(&str, f64, f64, f64, f64, f64); 5] = [
         ("SVM", s32, s16, smx, 37.7, 98.2),

@@ -1,7 +1,59 @@
 //! Section-2 locality experiments: Figures 2, 4, 5, 8, 9 and 10.
+//!
+//! The bandwidth figures run their untiled/tiled points as
+//! [`crate::parallel::run_indexed`] jobs over an [`EnginePool`]: with one
+//! `REPRO_THREADS` worker the points run in order and the second reuses
+//! the first's engine allocation; with more workers each point claims its
+//! own engine and the pair runs concurrently. Either way the reported
+//! numbers are identical — they derive only from each point's own cache
+//! statistics.
 
-use crate::{banner, series_row, Check, ExperimentReport};
-use pudiannao_memsim::{kernels, CacheConfig};
+use crate::{banner, parallel, series_row, Check, ExperimentReport};
+use pudiannao_memsim::{kernels, BandwidthReport, CacheConfig, ReuseProfiler, SimdEngine};
+use std::sync::Mutex;
+
+/// A pool of reusable [`SimdEngine`]s: jobs check one out, run, and
+/// return it, so sequential jobs share one cache allocation while
+/// concurrent jobs each build their own on first use.
+struct EnginePool {
+    cfg: CacheConfig,
+    free: Mutex<Vec<SimdEngine>>,
+}
+
+impl EnginePool {
+    fn new(cfg: CacheConfig) -> EnginePool {
+        EnginePool { cfg, free: Mutex::new(Vec::new()) }
+    }
+
+    fn with_engine<T>(&self, f: impl FnOnce(&mut SimdEngine) -> T) -> T {
+        let pooled = self.free.lock().expect("engine pool lock").pop();
+        let mut engine = pooled
+            .unwrap_or_else(|| SimdEngine::new(self.cfg.clone()).expect("valid cache config"));
+        let out = f(&mut engine);
+        self.free.lock().expect("engine pool lock").push(engine);
+        out
+    }
+}
+
+/// Runs a figure's untiled and tiled points as parallel jobs over pooled
+/// engines; returns `(untiled, tiled)`.
+fn untiled_tiled_pair<U, T>(
+    cfg: &CacheConfig,
+    untiled: U,
+    tiled: T,
+) -> (BandwidthReport, BandwidthReport)
+where
+    U: FnOnce(&mut SimdEngine) -> BandwidthReport + Send,
+    T: FnOnce(&mut SimdEngine) -> BandwidthReport + Send,
+{
+    let pool = EnginePool::new(cfg.clone());
+    let jobs: Vec<Box<dyn FnOnce() -> BandwidthReport + Send + '_>> =
+        vec![Box::new(|| pool.with_engine(untiled)), Box::new(|| pool.with_engine(tiled))];
+    let mut reports = parallel::run_indexed(jobs);
+    let t = reports.pop().expect("two jobs");
+    let u = reports.pop().expect("two jobs");
+    (u, t)
+}
 
 /// Figure 2: k-NN distance-calculation bandwidth, untiled vs tiled.
 #[must_use]
@@ -11,8 +63,11 @@ pub fn fig02_knn_tiling() -> ExperimentReport {
     // The paper's locality study: 32-dim fp32 instances, references far
     // beyond cache capacity.
     let shape = kernels::knn::DistanceShape { testing: 512, reference: 2048, features: 32 };
-    let untiled = kernels::knn::untiled_bandwidth(&shape, &cfg);
-    let tiled = kernels::knn::tiled_bandwidth(&shape, 32, 32, &cfg);
+    let (untiled, tiled) = untiled_tiled_pair(
+        &cfg,
+        |e| kernels::knn::untiled_bandwidth_with(&shape, e),
+        |e| kernels::knn::tiled_bandwidth_with(&shape, 32, 32, e),
+    );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
     let reduction = tiled.reduction_vs(&untiled);
@@ -31,8 +86,11 @@ pub fn fig04_kmeans_tiling() -> ExperimentReport {
     banner("fig04", "k-Means distance bandwidth (k = 64), untiled vs tiled");
     let cfg = CacheConfig::paper_default();
     let shape = kernels::kmeans::KMeansShape { instances: 4096, centroids: 64, features: 32 };
-    let untiled = kernels::kmeans::untiled_bandwidth(&shape, &cfg);
-    let tiled = kernels::kmeans::tiled_bandwidth(&shape, 32, 32, &cfg);
+    let (untiled, tiled) = untiled_tiled_pair(
+        &cfg,
+        |e| kernels::kmeans::untiled_bandwidth_with(&shape, e),
+        |e| kernels::kmeans::tiled_bandwidth_with(&shape, 32, 32, e),
+    );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
     let check =
@@ -51,8 +109,11 @@ pub fn fig05_dnn_tiling() -> ExperimentReport {
     banner("fig05", "DNN feedforward bandwidth (Na = 16384), untiled vs tiled");
     let cfg = CacheConfig::paper_default();
     let shape = kernels::dnn::LayerShape { inputs: 16384, outputs: 256 };
-    let untiled = kernels::dnn::untiled_bandwidth(&shape, &cfg);
-    let tiled = kernels::dnn::tiled_bandwidth(&shape, 4096, &cfg);
+    let (untiled, tiled) = untiled_tiled_pair(
+        &cfg,
+        |e| kernels::dnn::untiled_bandwidth_with(&shape, e),
+        |e| kernels::dnn::tiled_bandwidth_with(&shape, 4096, e),
+    );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
     let check =
@@ -71,8 +132,11 @@ pub fn fig08_lr_tiling() -> ExperimentReport {
     banner("fig08", "LR prediction bandwidth (d = 16384), untiled vs tiled");
     let cfg = CacheConfig::paper_default();
     let shape = kernels::linreg::LinRegShape { coefficients: 16384, instances: 256 };
-    let untiled = kernels::linreg::untiled_bandwidth(&shape, &cfg);
-    let tiled = kernels::linreg::tiled_bandwidth(&shape, 4096, &cfg);
+    let (untiled, tiled) = untiled_tiled_pair(
+        &cfg,
+        |e| kernels::linreg::untiled_bandwidth_with(&shape, e),
+        |e| kernels::linreg::tiled_bandwidth_with(&shape, 4096, e),
+    );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
     let check =
@@ -91,8 +155,11 @@ pub fn fig09_svm_tiling() -> ExperimentReport {
     banner("fig09", "SVM kernel-matrix bandwidth (d = 32), untiled vs tiled");
     let cfg = CacheConfig::paper_default();
     let shape = kernels::svm::KernelMatrixShape { train: 2048, features: 32 };
-    let untiled = kernels::svm::untiled_bandwidth(&shape, &cfg);
-    let tiled = kernels::svm::tiled_bandwidth(&shape, 32, 32, &cfg);
+    let (untiled, tiled) = untiled_tiled_pair(
+        &cfg,
+        |e| kernels::svm::untiled_bandwidth_with(&shape, e),
+        |e| kernels::svm::tiled_bandwidth_with(&shape, 32, 32, e),
+    );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
     let check =
@@ -106,12 +173,19 @@ pub fn fig09_svm_tiling() -> ExperimentReport {
 }
 
 /// Figure 10: per-variable reuse-distance clustering.
+///
+/// This figure finishes in ~15 ms, so it deliberately stays on the plain
+/// hash-map [`ReuseProfiler`] run sequentially: an Olken-style tree (or
+/// parallel points) would complicate the instrumentation for no
+/// measurable `repro_all` win. The two traces do share one profiler via
+/// the `_with` variants, reusing its slot-table allocation.
 #[must_use]
 pub fn fig10_reuse_distance() -> ExperimentReport {
     banner("fig10", "reuse-distance classes (tiled k-NN vs NB training)");
+    let mut profiler = ReuseProfiler::new(4);
     // (a) tiled k-NN distance calculations: 3 classes.
     let shape = kernels::knn::DistanceShape { testing: 96, reference: 96, features: 32 };
-    let knn = kernels::knn::tiled_reuse(&shape, 32, 32);
+    let knn = kernels::knn::tiled_reuse_with(&shape, 32, 32, &mut profiler);
     let knn_classes = knn.classes(3.0);
     for (i, c) in knn_classes.iter().enumerate() {
         series_row(
@@ -122,7 +196,7 @@ pub fn fig10_reuse_distance() -> ExperimentReport {
     }
     // (b) NB training: 2 classes (instance data at ~1; counters spread).
     let nb_shape = kernels::nb::NbShape { instances: 512, features: 8, values: 4, classes: 5 };
-    let nb = kernels::nb::training_reuse(&nb_shape, 42);
+    let nb = kernels::nb::training_reuse_with(&nb_shape, 42, &mut profiler);
     let nb_classes = nb.classes(8.0);
     for (i, c) in nb_classes.iter().enumerate() {
         series_row(

@@ -1,6 +1,32 @@
 //! The set-associative cache model behind the Section-2 experiments.
+//!
+//! # Hot-path layout
+//!
+//! The simulator replays hundreds of millions of accesses per figure, so
+//! the cache state is stored structure-of-arrays: way-packed `tags`,
+//! `stamps` and `flags` slices indexed by `set * ways + way`, with no
+//! per-line struct to chase. Three mechanisms keep lookups cheap without
+//! changing a single counter:
+//!
+//! * a **class-indexed line buffer** in front of the tag scan — each
+//!   entry maps a line address to the packed slot currently holding it,
+//!   and is dropped the moment that slot is recycled by
+//!   [`Cache::install`], so a buffer hit is *by construction* the same
+//!   slot a full scan would find. Entries are grouped by the access's
+//!   [`VarClass`] (two per class), giving every operand stream a private
+//!   pair that other streams cannot churn out; a probe is at most two
+//!   compares;
+//! * a **specialized way scan** monomorphised for the common
+//!   associativities (1/2/4/8) so the compiler unrolls the tag compare;
+//! * **run coalescing** ([`Cache::access_run`]): consecutive accesses to
+//!   the same line are resolved with one lookup, batching the follow-up
+//!   hit counters exactly (no eviction can intervene inside a run because
+//!   no other set is touched).
+//!
+//! [`Cache::access_scalar`] keeps the unbuffered, uncoalesced reference
+//! path alive for differential tests and microbenchmarks.
 
-use crate::access::{Access, AccessKind};
+use crate::access::{Access, AccessKind, VarClass};
 use core::fmt;
 
 /// Replacement policy for a cache set.
@@ -170,14 +196,44 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+/// One cache line's state, exposed for differential tests: comparing two
+/// snapshots pins not just the hit/miss counters but the exact victim
+/// choices and LRU/FIFO stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineState {
+    /// Set index.
+    pub set: u32,
+    /// Way index within the set.
+    pub way: u32,
+    /// Tag held by the line (meaningful only when `valid`).
+    pub tag: u64,
+    /// Whether the line holds data.
+    pub valid: bool,
+    /// Whether the line is dirty (write-back policy).
+    pub dirty: bool,
     /// LRU timestamp or FIFO fill order.
-    stamp: u64,
+    pub stamp: u64,
 }
+
+const FLAG_VALID: u8 = 1;
+const FLAG_DIRTY: u8 = 2;
+
+/// Line-buffer groups, one per [`VarClass`]: the kernels tag each operand
+/// stream (testing row, reference row, output, synapse stream) with its
+/// class, so indexing by class gives every stream a private pair of
+/// entries that other streams cannot churn out.
+const LB_CLASSES: usize = 4;
+/// Entries per class group: a stream touches at most two distinct lines
+/// per kernel step (a row spanning a line boundary, or the current and
+/// previous line of a sequential walk).
+const LB_ASSOC: usize = 2;
+/// Total line-buffer entries.
+const LB_ENTRIES: usize = LB_CLASSES * LB_ASSOC;
+/// Sentinel line address marking a dead line-buffer entry. Real line
+/// addresses are `addr >> line_shift`, so with `line_shift >= 1` this
+/// value is unreachable; the degenerate 1-byte-line configuration keeps
+/// the buffer disabled instead (see [`Cache::new`]).
+const LB_DEAD: u64 = u64::MAX;
 
 /// A banked set-associative cache.
 ///
@@ -200,11 +256,34 @@ struct Line {
 #[derive(Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Way-packed tag array: entry `set * ways + way`.
+    tags: Box<[u64]>,
+    /// Way-packed LRU timestamps / FIFO fill orders.
+    stamps: Box<[u64]>,
+    /// Way-packed `FLAG_VALID | FLAG_DIRTY` bits.
+    flags: Box<[u8]>,
     stats: CacheStats,
     tick: u64,
     line_shift: u32,
+    set_bits: u32,
     set_mask: u64,
+    ways: usize,
+    /// Line buffer: recently resolved line addresses and the packed slot
+    /// holding each, grouped by [`VarClass`] (entries `class * LB_ASSOC`
+    /// and `+ 1`, most recent first). An entry is only ever created from
+    /// a real scan or fill result and is killed (`addr = LB_DEAD`) when
+    /// its slot is recycled, so a probe hit is exactly the slot a full
+    /// scan would find.
+    lb_addr: [u64; LB_ENTRIES],
+    lb_slot: [u32; LB_ENTRIES],
+    /// How many live buffer entries reference each packed slot. Lets
+    /// [`Cache::install`] skip the entry-killing sweep unless the recycled
+    /// slot is actually referenced — and the LRU victim, being the least
+    /// recently touched line, almost never is.
+    lb_refs: Box<[u8]>,
+    /// False only for 1-byte lines, where every `u64` is a reachable line
+    /// address and `LB_DEAD` would collide; the buffer then stays empty.
+    lb_enabled: bool,
 }
 
 impl Cache {
@@ -216,12 +295,21 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Cache, CacheConfigError> {
         config.validate()?;
         let sets = config.sets();
+        let slots = (sets * config.ways) as usize;
         Ok(Cache {
             line_shift: config.line_bytes.trailing_zeros(),
+            set_bits: sets.trailing_zeros(),
             set_mask: u64::from(sets - 1),
-            sets: vec![vec![Line::default(); config.ways as usize]; sets as usize],
+            ways: config.ways as usize,
+            tags: vec![0; slots].into_boxed_slice(),
+            stamps: vec![0; slots].into_boxed_slice(),
+            flags: vec![0; slots].into_boxed_slice(),
             stats: CacheStats::default(),
             tick: 0,
+            lb_addr: [LB_DEAD; LB_ENTRIES],
+            lb_slot: [0; LB_ENTRIES],
+            lb_refs: vec![0; slots].into_boxed_slice(),
+            lb_enabled: config.line_bytes > 1,
             config,
         })
     }
@@ -240,57 +328,350 @@ impl Cache {
 
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
-            }
-        }
+        self.tags.fill(0);
+        self.stamps.fill(0);
+        self.flags.fill(0);
+        self.lb_addr = [LB_DEAD; LB_ENTRIES];
+        self.lb_slot = [0; LB_ENTRIES];
+        self.lb_refs.fill(0);
         self.stats = CacheStats::default();
         self.tick = 0;
+    }
+
+    /// The state of every line, in `(set, way)` order. Intended for
+    /// differential tests; not on any hot path.
+    #[must_use]
+    pub fn line_states(&self) -> Vec<LineState> {
+        (0..self.tags.len())
+            .map(|slot| LineState {
+                set: (slot / self.ways) as u32,
+                way: (slot % self.ways) as u32,
+                tag: self.tags[slot],
+                valid: self.flags[slot] & FLAG_VALID != 0,
+                dirty: self.flags[slot] & FLAG_DIRTY != 0,
+                stamp: self.stamps[slot],
+            })
+            .collect()
     }
 
     /// Performs one access, splitting it across cache lines as needed.
     pub fn access(&mut self, access: Access) {
         let start_line = access.addr.0 >> self.line_shift;
         let end_line = (access.addr.0 + u64::from(access.bytes.max(1)) - 1) >> self.line_shift;
-        for line_addr in start_line..=end_line {
-            self.access_line(line_addr, access.kind, access.bytes);
+        if start_line == end_line {
+            self.access_line(start_line, access.kind, access.bytes, access.class);
+        } else {
+            for line_addr in start_line..=end_line {
+                self.access_line(line_addr, access.kind, access.bytes, access.class);
+            }
         }
     }
 
-    fn access_line(&mut self, line_addr: u64, kind: AccessKind, bytes: u32) {
-        self.tick += 1;
-        let set_idx = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.set_mask.count_ones();
-        let line_bytes = u64::from(self.config.line_bytes);
+    /// Performs one access through the unbuffered reference path: a full
+    /// tag scan per touched line, no line buffer, no coalescing. Counter
+    /// and state transitions are identical to [`Cache::access`]; this
+    /// exists so differential tests and microbenchmarks can compare the
+    /// fast path against the straightforward implementation.
+    pub fn access_scalar(&mut self, access: Access) {
+        let start_line = access.addr.0 >> self.line_shift;
+        let end_line = (access.addr.0 + u64::from(access.bytes.max(1)) - 1) >> self.line_shift;
+        for line_addr in start_line..=end_line {
+            self.tick += 1;
+            self.access_line_slow(line_addr, access.kind, access.bytes, access.class, false);
+        }
+    }
 
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            match kind {
-                AccessKind::Read => self.stats.read_hits += 1,
-                AccessKind::Write => {
-                    self.stats.write_hits += 1;
-                    match self.config.write_policy {
-                        WritePolicy::WriteBackAllocate => line.dirty = true,
-                        WritePolicy::WriteAroundNoAllocate => {
-                            // Write-through on hit: bytes go to memory too.
-                            self.stats.offchip_write_bytes += u64::from(bytes).min(line_bytes);
-                        }
-                    }
+    /// Performs a sequence of accesses, resolving each maximal run of
+    /// consecutive same-line, same-kind touches with a single tag lookup.
+    ///
+    /// Equivalent, counter for counter and stamp for stamp, to calling
+    /// [`Cache::access`] on each element in order: the first touch of a
+    /// run is resolved exactly like a scalar access (so fills land on the
+    /// same victim with the same stamp), and the remaining `k-1` touches
+    /// are batched — no eviction can intervene inside a run because no
+    /// other cache set is referenced between its touches.
+    pub fn access_run(&mut self, accesses: &[Access]) {
+        // Single-operand ops (reduction writes, scalar updates) skip the
+        // run-detection machinery entirely.
+        if let &[a] = accesses {
+            let (start_line, end_line) = self.line_span(a);
+            if start_line == end_line {
+                self.access_line(start_line, a.kind, a.bytes, a.class);
+            } else {
+                for line_addr in start_line..=end_line {
+                    self.access_line(line_addr, a.kind, a.bytes, a.class);
                 }
-            }
-            if self.config.replacement == ReplacementPolicy::Lru {
-                line.stamp = self.tick;
             }
             return;
         }
+        let n = accesses.len();
+        let mut i = 0;
+        // Each element's span is computed exactly once: the lookahead that
+        // ends a run hands the breaking element's span to the next head.
+        let mut cur = match accesses.first() {
+            Some(&a) => self.line_span(a),
+            None => return,
+        };
+        while i < n {
+            let a = accesses[i];
+            let (start_line, end_line) = cur;
+            if start_line != end_line {
+                // Line-crossing accesses fall back to the split path and
+                // never participate in a run.
+                for line_addr in start_line..=end_line {
+                    self.access_line(line_addr, a.kind, a.bytes, a.class);
+                }
+                i += 1;
+                if i < n {
+                    cur = self.line_span(accesses[i]);
+                }
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n {
+                let b = accesses[j];
+                let b_span = self.line_span(b);
+                if b.kind != a.kind || b_span != (start_line, start_line) {
+                    cur = b_span;
+                    break;
+                }
+                j += 1;
+            }
+            self.access_line(start_line, a.kind, a.bytes, a.class);
+            if j > i + 1 {
+                self.run_tail(start_line, a.kind, &accesses[i + 1..j]);
+            }
+            i = j;
+        }
+    }
 
-        // Miss.
+    /// First and last line touched by an access.
+    #[inline]
+    fn line_span(&self, a: Access) -> (u64, u64) {
+        let start = a.addr.0 >> self.line_shift;
+        let end = (a.addr.0 + u64::from(a.bytes.max(1)) - 1) >> self.line_shift;
+        (start, end)
+    }
+
+    /// Resolves the follow-up touches of a coalesced run after the first
+    /// touch settled residency. One lookup covers the whole tail.
+    fn run_tail(&mut self, line_addr: u64, kind: AccessKind, tail: &[Access]) {
+        let line_bytes = u64::from(self.config.line_bytes);
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_bits;
+        let base = set_idx * self.ways;
+        let k = tail.len() as u64;
+        match self.find_way(base, tag) {
+            Some(way) => {
+                // Resident after the first touch: every follow-up hits.
+                let slot = base + way;
+                self.tick += k;
+                match kind {
+                    AccessKind::Read => self.stats.read_hits += k,
+                    AccessKind::Write => {
+                        self.stats.write_hits += k;
+                        match self.config.write_policy {
+                            WritePolicy::WriteBackAllocate => self.flags[slot] |= FLAG_DIRTY,
+                            WritePolicy::WriteAroundNoAllocate => {
+                                for a in tail {
+                                    self.stats.offchip_write_bytes +=
+                                        u64::from(a.bytes).min(line_bytes);
+                                }
+                            }
+                        }
+                    }
+                }
+                if self.config.replacement == ReplacementPolicy::Lru {
+                    self.stamps[slot] = self.tick;
+                }
+            }
+            None if kind == AccessKind::Write
+                && self.config.write_policy == WritePolicy::WriteAroundNoAllocate =>
+            {
+                // Write-around write miss: the line stays non-resident, so
+                // every follow-up misses again with only byte traffic.
+                self.tick += k;
+                self.stats.write_misses += k;
+                for a in tail {
+                    self.stats.offchip_write_bytes += u64::from(a.bytes).min(line_bytes);
+                }
+            }
+            None => {
+                // Unreachable in practice (reads and write-allocate writes
+                // fill on miss), kept exact by replaying scalar accesses.
+                for a in tail {
+                    self.tick += 1;
+                    self.access_line_slow(line_addr, a.kind, a.bytes, a.class, true);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn access_line(&mut self, line_addr: u64, kind: AccessKind, bytes: u32, class: VarClass) {
+        self.tick += 1;
+        // Line-buffer probe in the access's class group: each operand
+        // stream revisits at most two lines between transitions, so the
+        // first compare almost always resolves the access.
+        let g = class as usize * LB_ASSOC;
+        if self.lb_enabled {
+            if self.lb_addr[g] == line_addr {
+                self.hit_at(self.lb_slot[g] as usize, kind, bytes);
+                return;
+            }
+            // No swap-to-front: a stream alternating between its two lines
+            // would pay a four-element shuffle per access to save a single
+            // compare.
+            if self.lb_addr[g + 1] == line_addr {
+                self.hit_at(self.lb_slot[g + 1] as usize, kind, bytes);
+                return;
+            }
+        }
+        self.access_line_slow(line_addr, kind, bytes, class, true);
+    }
+
+    /// Full set resolution; `insert_lb` feeds the line buffer on hits and
+    /// fills (false on the scalar reference path).
+    #[allow(clippy::too_many_arguments)]
+    fn access_line_slow(
+        &mut self,
+        line_addr: u64,
+        kind: AccessKind,
+        bytes: u32,
+        class: VarClass,
+        insert_lb: bool,
+    ) {
+        let set_idx = (line_addr & self.set_mask) as usize;
+        let base = set_idx * self.ways;
+        let tag = line_addr >> self.set_bits;
+        match self.ways {
+            1 => self.access_slow_n::<1>(base, line_addr, tag, kind, bytes, class, insert_lb),
+            2 => self.access_slow_n::<2>(base, line_addr, tag, kind, bytes, class, insert_lb),
+            4 => self.access_slow_n::<4>(base, line_addr, tag, kind, bytes, class, insert_lb),
+            8 => self.access_slow_n::<8>(base, line_addr, tag, kind, bytes, class, insert_lb),
+            _ => self.access_slow_dyn(base, line_addr, tag, kind, bytes, class, insert_lb),
+        }
+    }
+
+    /// One fused, branchless pass over the set computes everything a hit
+    /// *or* a miss needs — matching way, first invalid way, and the
+    /// first-minimum-stamp victim — so a miss does not rescan the set the
+    /// way a separate lookup-then-fill pair would.
+    #[allow(clippy::too_many_arguments)]
+    fn access_slow_n<const N: usize>(
+        &mut self,
+        base: usize,
+        line_addr: u64,
+        tag: u64,
+        kind: AccessKind,
+        bytes: u32,
+        class: VarClass,
+        insert_lb: bool,
+    ) {
+        let tags = &self.tags[base..base + N];
+        let flags = &self.flags[base..base + N];
+        let stamps = &self.stamps[base..base + N];
+        // Three independent reductions, each a straight-line pass over a
+        // fixed-size array, so the optimizer can vectorize them instead of
+        // threading one serial accumulator chain through all the work.
+        // Reverse order makes the overwrite-on-match accumulators hold the
+        // *lowest* matching way, as the original scans did.
+        let mut hit = usize::MAX;
+        for w in (0..N).rev() {
+            if (flags[w] & FLAG_VALID != 0) & (tags[w] == tag) {
+                hit = w;
+            }
+        }
+        // Packing (stamp, way) picks the first minimum: stamps are unique
+        // within a full set, and lower ways win ties anyway. Invalid ways
+        // are exactly the stamp-0 ways (every resident line was stamped at
+        // a tick >= 1), so the same reduction finds the first invalid way
+        // before any valid one — no separate invalid scan is needed. The
+        // 6-bit shift is exact while `tick < 2^58` — at one access per
+        // tick that is centuries of simulation. A log-depth tree reduction
+        // replaces the 8-deep compare-select chain.
+        let mut keys = [u64::MAX; N];
+        for w in 0..N {
+            keys[w] = (stamps[w] << 6) | w as u64;
+        }
+        let mut step = N / 2;
+        while step > 0 {
+            for w in 0..step {
+                keys[w] = keys[w].min(keys[w + step]);
+            }
+            step /= 2;
+        }
+        let victim = (keys[0] & 63) as usize;
+        self.finish_slow(base, line_addr, tag, kind, bytes, class, insert_lb, hit, victim);
+    }
+
+    /// Fallback for unusual associativities: same fused pass with a
+    /// runtime way count.
+    #[allow(clippy::too_many_arguments)]
+    fn access_slow_dyn(
+        &mut self,
+        base: usize,
+        line_addr: u64,
+        tag: u64,
+        kind: AccessKind,
+        bytes: u32,
+        class: VarClass,
+        insert_lb: bool,
+    ) {
+        let tags = &self.tags[base..base + self.ways];
+        let flags = &self.flags[base..base + self.ways];
+        let stamps = &self.stamps[base..base + self.ways];
+        let mut hit = usize::MAX;
+        // Wide keys here: this path serves arbitrary associativities, so
+        // the way index gets a full 32 bits. As in the specialized path,
+        // invalid ways carry stamp 0 and win the reduction outright.
+        let mut victim_key = u128::MAX;
+        for w in (0..self.ways).rev() {
+            if (flags[w] & FLAG_VALID != 0) & (tags[w] == tag) {
+                hit = w;
+            }
+            let key = (u128::from(stamps[w]) << 32) | w as u128;
+            if key < victim_key {
+                victim_key = key;
+            }
+        }
+        let victim = (victim_key & u128::from(u32::MAX)) as usize;
+        self.finish_slow(base, line_addr, tag, kind, bytes, class, insert_lb, hit, victim);
+    }
+
+    /// Applies the outcome of a fused set pass: hit bookkeeping, or the
+    /// miss/fill transition using the precomputed victim.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn finish_slow(
+        &mut self,
+        base: usize,
+        line_addr: u64,
+        tag: u64,
+        kind: AccessKind,
+        bytes: u32,
+        class: VarClass,
+        insert_lb: bool,
+        hit: usize,
+        victim: usize,
+    ) {
+        if hit != usize::MAX {
+            let slot = base + hit;
+            if insert_lb {
+                self.lb_insert(line_addr, slot, class);
+            }
+            self.hit_at(slot, kind, bytes);
+            return;
+        }
+        let line_bytes = u64::from(self.config.line_bytes);
         match kind {
             AccessKind::Read => {
                 self.stats.read_misses += 1;
                 self.stats.offchip_read_bytes += line_bytes;
-                self.fill(set_idx, tag, false);
+                let slot = self.install(base, victim, tag, false);
+                if insert_lb {
+                    self.lb_insert(line_addr, slot, class);
+                }
             }
             AccessKind::Write => {
                 self.stats.write_misses += 1;
@@ -298,7 +679,10 @@ impl Cache {
                     WritePolicy::WriteBackAllocate => {
                         // Fetch-on-write then dirty the line.
                         self.stats.offchip_read_bytes += line_bytes;
-                        self.fill(set_idx, tag, true);
+                        let slot = self.install(base, victim, tag, true);
+                        if insert_lb {
+                            self.lb_insert(line_addr, slot, class);
+                        }
                     }
                     WritePolicy::WriteAroundNoAllocate => {
                         self.stats.offchip_write_bytes += u64::from(bytes).min(line_bytes);
@@ -308,22 +692,111 @@ impl Cache {
         }
     }
 
-    fn fill(&mut self, set_idx: usize, tag: u64, dirty: bool) {
-        let line_bytes = u64::from(self.config.line_bytes);
-        let tick = self.tick;
-        let set = &mut self.sets[set_idx];
-        let victim = if let Some(invalid) = set.iter_mut().find(|l| !l.valid) {
-            invalid
-        } else {
-            let v =
-                set.iter_mut().min_by_key(|l| l.stamp).expect("ways >= 1 guaranteed by validate");
-            self.stats.evictions += 1;
-            if v.dirty {
-                self.stats.offchip_write_bytes += line_bytes;
+    /// Bookkeeping shared by every hit path, buffered or scanned.
+    #[inline]
+    fn hit_at(&mut self, slot: usize, kind: AccessKind, bytes: u32) {
+        match kind {
+            AccessKind::Read => self.stats.read_hits += 1,
+            AccessKind::Write => {
+                self.stats.write_hits += 1;
+                match self.config.write_policy {
+                    WritePolicy::WriteBackAllocate => self.flags[slot] |= FLAG_DIRTY,
+                    WritePolicy::WriteAroundNoAllocate => {
+                        // Write-through on hit: bytes go to memory too.
+                        self.stats.offchip_write_bytes +=
+                            u64::from(bytes).min(u64::from(self.config.line_bytes));
+                    }
+                }
             }
-            v
-        };
-        *victim = Line { tag, valid: true, dirty, stamp: tick };
+        }
+        if self.config.replacement == ReplacementPolicy::Lru {
+            self.stamps[slot] = self.tick;
+        }
+    }
+
+    /// Finds the way holding `tag` in the set starting at `base`,
+    /// dispatching to an unrolled scan for the common associativities.
+    #[inline]
+    fn find_way(&self, base: usize, tag: u64) -> Option<usize> {
+        match self.ways {
+            1 => self.scan_ways::<1>(base, tag),
+            2 => self.scan_ways::<2>(base, tag),
+            4 => self.scan_ways::<4>(base, tag),
+            8 => self.scan_ways::<8>(base, tag),
+            n => self.scan_dyn(base, tag, n),
+        }
+    }
+
+    #[inline]
+    fn scan_ways<const N: usize>(&self, base: usize, tag: u64) -> Option<usize> {
+        let tags = &self.tags[base..base + N];
+        let flags = &self.flags[base..base + N];
+        // Valid tags are unique within a set, so at most one way matches;
+        // a full branchless scan beats an early exit whose taken position
+        // the branch predictor cannot learn.
+        let mut found = usize::MAX;
+        for w in 0..N {
+            if (flags[w] & FLAG_VALID != 0) & (tags[w] == tag) {
+                found = w;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    fn scan_dyn(&self, base: usize, tag: u64, ways: usize) -> Option<usize> {
+        let tags = &self.tags[base..base + ways];
+        let flags = &self.flags[base..base + ways];
+        (0..ways).find(|&w| flags[w] & FLAG_VALID != 0 && tags[w] == tag)
+    }
+
+    /// Installs `tag` on the precomputed victim way: an invalid way when
+    /// one exists (those win the stamp reduction outright), else the
+    /// first-minimum-stamp resident (matching how `Iterator::min_by_key`
+    /// resolves ties), which is evicted. Returns the recycled packed slot.
+    #[inline]
+    fn install(&mut self, base: usize, victim: usize, tag: u64, dirty: bool) -> usize {
+        let slot = base + victim;
+        let victim_flags = self.flags[slot];
+        if victim_flags & FLAG_VALID != 0 {
+            self.stats.evictions += 1;
+            if victim_flags & FLAG_DIRTY != 0 {
+                self.stats.offchip_write_bytes += u64::from(self.config.line_bytes);
+            }
+        }
+        // Any line-buffer entry pointing at the recycled slot is now a
+        // lie; kill it before the new resident goes in. The reference
+        // count makes the sweep conditional on there being anything to
+        // kill, which for an LRU victim there almost never is.
+        if self.lb_refs[slot] != 0 {
+            for i in 0..LB_ENTRIES {
+                let keep = self.lb_slot[i] != slot as u32;
+                self.lb_addr[i] = if keep { self.lb_addr[i] } else { LB_DEAD };
+            }
+            self.lb_refs[slot] = 0;
+        }
+        self.tags[slot] = tag;
+        self.stamps[slot] = self.tick;
+        self.flags[slot] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        slot
+    }
+
+    #[inline]
+    fn lb_insert(&mut self, line_addr: u64, slot: usize, class: VarClass) {
+        if !self.lb_enabled {
+            return;
+        }
+        // New line becomes the class's front entry; the previous front
+        // survives as the second entry (streams alternate two lines).
+        let g = class as usize * LB_ASSOC;
+        // The dropped back entry releases its slot reference; a dead entry
+        // subtracts 0 from whatever (in-bounds) slot it last held, so no
+        // branch is needed.
+        self.lb_refs[self.lb_slot[g + 1] as usize] -= u8::from(self.lb_addr[g + 1] != LB_DEAD);
+        self.lb_addr[g + 1] = self.lb_addr[g];
+        self.lb_slot[g + 1] = self.lb_slot[g];
+        self.lb_addr[g] = line_addr;
+        self.lb_slot[g] = slot as u32;
+        self.lb_refs[slot] += 1;
     }
 }
 
@@ -507,5 +980,113 @@ mod tests {
         }
         assert_eq!(c.stats().read_misses, 256);
         assert_eq!(c.stats().read_hits, 256);
+    }
+
+    /// Replays a stream on (fast `access`, `access_scalar`, `access_run`)
+    /// and asserts identical stats and line states.
+    fn assert_three_way_equal(cfg: &CacheConfig, stream: &[Access]) {
+        let mut fast = Cache::new(cfg.clone()).unwrap();
+        let mut scalar = Cache::new(cfg.clone()).unwrap();
+        let mut run = Cache::new(cfg.clone()).unwrap();
+        for &a in stream {
+            fast.access(a);
+            scalar.access_scalar(a);
+        }
+        run.access_run(stream);
+        assert_eq!(fast.stats(), scalar.stats());
+        assert_eq!(fast.stats(), run.stats());
+        assert_eq!(fast.line_states(), scalar.line_states());
+        assert_eq!(fast.line_states(), run.line_states());
+    }
+
+    #[test]
+    fn fast_scalar_and_run_paths_agree_on_interleaved_streams() {
+        // The kernels' shape: two interleaved read streams plus an output
+        // stream, with enough distinct lines to force evictions.
+        let cfg = CacheConfig {
+            capacity_bytes: 2048,
+            line_bytes: 64,
+            ways: 4,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut stream = Vec::new();
+        for i in 0..512u64 {
+            stream.push(read(0x1000 + (i % 64) * 32, 32));
+            stream.push(read(0x9000 + i * 32, 32));
+            if i % 8 == 7 {
+                stream.push(write(0x20000 + i * 4, 4));
+            }
+        }
+        assert_three_way_equal(&cfg, &stream);
+
+        let wa = CacheConfig { write_policy: WritePolicy::WriteAroundNoAllocate, ..cfg };
+        assert_three_way_equal(&wa, &stream);
+    }
+
+    #[test]
+    fn coalesced_runs_match_scalar_exactly() {
+        // Long same-line runs (the coalescing target) for every kind and
+        // policy, including line-crossing breaks mid-stream.
+        for policy in [WritePolicy::WriteBackAllocate, WritePolicy::WriteAroundNoAllocate] {
+            let cfg = CacheConfig {
+                capacity_bytes: 512,
+                line_bytes: 64,
+                ways: 2,
+                replacement: ReplacementPolicy::Lru,
+                write_policy: policy,
+            };
+            let mut stream = Vec::new();
+            for rep in 0..64u64 {
+                let line = rep * 64;
+                for e in 0..16u64 {
+                    stream.push(read(line + e * 4, 4));
+                }
+                for e in 0..16u64 {
+                    stream.push(write(line + e * 4, 4));
+                }
+                stream.push(read(line + 48, 32)); // crosses into the next line
+            }
+            assert_three_way_equal(&cfg, &stream);
+        }
+    }
+
+    #[test]
+    fn line_buffer_entries_die_with_their_slot() {
+        // Direct-mapped 2-line cache: alternating lines that map to the
+        // same set constantly recycle slots; a stale buffer entry would
+        // turn a miss into a hit and diverge from the scalar path.
+        let cfg = CacheConfig {
+            capacity_bytes: 128,
+            line_bytes: 64,
+            ways: 1,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut stream = Vec::new();
+        for i in 0..64u64 {
+            stream.push(read((i % 3) * 128, 8));
+            stream.push(write((i % 5) * 128, 8));
+        }
+        assert_three_way_equal(&cfg, &stream);
+    }
+
+    #[test]
+    fn fifo_stamps_survive_coalescing() {
+        let cfg = CacheConfig {
+            capacity_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            replacement: ReplacementPolicy::Fifo,
+            write_policy: WritePolicy::WriteBackAllocate,
+        };
+        let mut stream = Vec::new();
+        for i in 0..96u64 {
+            let line = (i % 12) * 256;
+            for e in 0..8u64 {
+                stream.push(read(line + e * 8, 8));
+            }
+        }
+        assert_three_way_equal(&cfg, &stream);
     }
 }

@@ -54,9 +54,7 @@ impl SimdEngine {
     pub fn op(&mut self, operands: &[Access]) {
         self.cycles += 1;
         self.ops += 1;
-        for &a in operands {
-            self.cache.access(a);
-        }
+        self.cache.access_run(operands);
     }
 
     /// Charges idle cycles without memory traffic (e.g. pipeline drain).

@@ -143,7 +143,17 @@ pub fn prediction_untiled_bandwidth(
     cache: &CacheConfig,
 ) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    prediction_untiled(shape, seed, &mut engine);
+    prediction_untiled_bandwidth_with(shape, seed, &mut engine)
+}
+
+/// Engine-reuse variant of [`prediction_untiled_bandwidth`].
+pub fn prediction_untiled_bandwidth_with(
+    shape: &TreeShape,
+    seed: u64,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    prediction_untiled(shape, seed, engine);
     engine.report()
 }
 
@@ -156,7 +166,18 @@ pub fn prediction_tiled_bandwidth(
     cache: &CacheConfig,
 ) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    prediction_tiled(shape, top_depth, seed, &mut engine);
+    prediction_tiled_bandwidth_with(shape, top_depth, seed, &mut engine)
+}
+
+/// Engine-reuse variant of [`prediction_tiled_bandwidth`].
+pub fn prediction_tiled_bandwidth_with(
+    shape: &TreeShape,
+    top_depth: u32,
+    seed: u64,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    prediction_tiled(shape, top_depth, seed, engine);
     engine.report()
 }
 

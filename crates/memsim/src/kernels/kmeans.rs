@@ -13,10 +13,10 @@
 //! model the untiled nest as `for c in centroids { for n in instances }`,
 //! and tiling blocks both.
 
-use super::{for_each_chunk, TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
 use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
+use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 
 /// Problem shape for the k-Means assignment step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,18 +49,19 @@ impl KMeansShape {
 
 fn emit_distance<S: TraceSink>(shape: &KMeansShape, c: usize, n: usize, sink: &mut S) {
     let len = shape.vec_bytes();
-    let mut chunks = Vec::with_capacity(4);
-    for_each_chunk(0, len, |off, bytes| chunks.push((off, bytes)));
-    let last = chunks.len().saturating_sub(1);
-    for (idx, &(off, bytes)) in chunks.iter().enumerate() {
-        let mut ops = vec![
-            Access::read(Addr(shape.centroid_addr(c) + off), bytes, VarClass::Hot),
-            Access::read(Addr(shape.instance_addr(n) + off), bytes, VarClass::Cold),
+    let c_base = shape.centroid_addr(c);
+    let n_base = shape.instance_addr(n);
+    let mut off = 0;
+    while off < len {
+        let bytes = (len - off).min(u64::from(SIMD_WIDTH_BYTES)) as u32;
+        let is_last = off + u64::from(bytes) == len;
+        let ops = [
+            Access::read(Addr(c_base + off), bytes, VarClass::Hot),
+            Access::read(Addr(n_base + off), bytes, VarClass::Cold),
+            Access::write(Addr(shape.dis_addr(c, n)), F32_BYTES as u32, VarClass::Output),
         ];
-        if idx == last {
-            ops.push(Access::write(Addr(shape.dis_addr(c, n)), F32_BYTES as u32, VarClass::Output));
-        }
-        sink.op(&ops);
+        sink.op(if is_last { &ops[..3] } else { &ops[..2] });
+        off += u64::from(bytes);
     }
 }
 
@@ -102,7 +103,13 @@ pub fn tiled<S: TraceSink>(shape: &KMeansShape, tc: usize, tn: usize, sink: &mut
 #[must_use]
 pub fn untiled_bandwidth(shape: &KMeansShape, cache: &CacheConfig) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled(shape, &mut engine);
+    untiled_bandwidth_with(shape, &mut engine)
+}
+
+/// Engine-reuse variant of [`untiled_bandwidth`].
+pub fn untiled_bandwidth_with(shape: &KMeansShape, engine: &mut SimdEngine) -> BandwidthReport {
+    engine.reset();
+    untiled(shape, engine);
     engine.report()
 }
 
@@ -115,7 +122,18 @@ pub fn tiled_bandwidth(
     cache: &CacheConfig,
 ) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled(shape, tc, tn, &mut engine);
+    tiled_bandwidth_with(shape, tc, tn, &mut engine)
+}
+
+/// Engine-reuse variant of [`tiled_bandwidth`].
+pub fn tiled_bandwidth_with(
+    shape: &KMeansShape,
+    tc: usize,
+    tn: usize,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    tiled(shape, tc, tn, engine);
     engine.report()
 }
 

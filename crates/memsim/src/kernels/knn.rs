@@ -5,10 +5,10 @@
 //! tiling both testing and reference instances (`Ti = Tj = 32`) cuts the
 //! off-chip bandwidth requirement by 93.9%.
 
-use super::{for_each_chunk, TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
 use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
+use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 use crate::reuse::{ReuseProfiler, ReuseSummary};
 
 /// Problem shape for the pairwise-distance kernel.
@@ -59,18 +59,22 @@ fn emit_distance<S: TraceSink>(
 ) {
     let len = shape.instance_bytes();
     let dis = Addr(shape.dis_addr(i, j));
-    let mut chunks = Vec::with_capacity(4);
-    for_each_chunk(0, len, |off, bytes| chunks.push((off, bytes)));
-    let last = chunks.len().saturating_sub(1);
-    for (c, &(off, bytes)) in chunks.iter().enumerate() {
-        let mut ops = vec![
-            Access::read(Addr(shape.testing_addr(i) + off), bytes, VarClass::Hot),
-            Access::read(Addr(shape.reference_addr(j) + off), bytes, VarClass::Cold),
+    let t_base = shape.testing_addr(i);
+    let r_base = shape.reference_addr(j);
+    // Chunked inline (no per-pair Vec) — this runs millions of times per
+    // figure, so the operand list lives on the stack.
+    let mut off = 0;
+    while off < len {
+        let bytes = (len - off).min(u64::from(SIMD_WIDTH_BYTES)) as u32;
+        let is_last = off + u64::from(bytes) == len;
+        let ops = [
+            Access::read(Addr(t_base + off), bytes, VarClass::Hot),
+            Access::read(Addr(r_base + off), bytes, VarClass::Cold),
+            Access::write(dis, F32_BYTES as u32, VarClass::Output),
         ];
-        if touch_acc || c == last {
-            ops.push(Access::write(dis, F32_BYTES as u32, VarClass::Output));
-        }
-        sink.op(&ops);
+        let take = if touch_acc || is_last { 3 } else { 2 };
+        sink.op(&ops[..take]);
+        off += u64::from(bytes);
     }
 }
 
@@ -123,7 +127,15 @@ fn tiled_impl<S: TraceSink>(
 #[must_use]
 pub fn untiled_bandwidth(shape: &DistanceShape, cache: &CacheConfig) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled(shape, &mut engine);
+    untiled_bandwidth_with(shape, &mut engine)
+}
+
+/// Engine-reuse variant of [`untiled_bandwidth`]: resets `engine` and runs
+/// the untiled kernel through it, so sweeps over many shapes or tile sizes
+/// reuse one cache allocation instead of building a fresh engine per point.
+pub fn untiled_bandwidth_with(shape: &DistanceShape, engine: &mut SimdEngine) -> BandwidthReport {
+    engine.reset();
+    untiled(shape, engine);
     engine.report()
 }
 
@@ -137,7 +149,18 @@ pub fn tiled_bandwidth(
     cache: &CacheConfig,
 ) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled(shape, ti, tj, &mut engine);
+    tiled_bandwidth_with(shape, ti, tj, &mut engine)
+}
+
+/// Engine-reuse variant of [`tiled_bandwidth`].
+pub fn tiled_bandwidth_with(
+    shape: &DistanceShape,
+    ti: usize,
+    tj: usize,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    tiled(shape, ti, tj, engine);
     engine.report()
 }
 
@@ -147,7 +170,19 @@ pub fn tiled_bandwidth(
 #[must_use]
 pub fn tiled_reuse(shape: &DistanceShape, ti: usize, tj: usize) -> ReuseSummary {
     let mut profiler = ReuseProfiler::new(F32_BYTES as u32);
-    tiled_impl(shape, ti, tj, true, &mut profiler);
+    tiled_reuse_with(shape, ti, tj, &mut profiler)
+}
+
+/// Profiler-reuse variant of [`tiled_reuse`]: resets `profiler` (keeping
+/// its slot-table allocation) and replays the tiled kernel through it.
+pub fn tiled_reuse_with(
+    shape: &DistanceShape,
+    ti: usize,
+    tj: usize,
+    profiler: &mut ReuseProfiler,
+) -> ReuseSummary {
+    profiler.reset();
+    tiled_impl(shape, ti, tj, true, profiler);
     profiler.summary()
 }
 

@@ -8,10 +8,10 @@
 //! evaluates the same `theta . x(i)` products, so this kernel covers both
 //! LR phases.
 
-use super::{for_each_chunk, TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, STREAM_BASE};
+use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, STREAM_BASE};
 use crate::access::{Access, Addr, VarClass};
 use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
+use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 
 /// Shape of the LR prediction workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,21 +45,28 @@ fn emit_dot<S: TraceSink>(
     sink: &mut S,
 ) {
     let len = (j1 - j0) as u64 * F32_BYTES;
-    let mut chunks = Vec::new();
-    for_each_chunk(0, len, |off, bytes| chunks.push((off, bytes)));
-    let last = chunks.len().saturating_sub(1);
-    for (idx, &(off, bytes)) in chunks.iter().enumerate() {
-        let mut ops = vec![
-            Access::read(Addr(shape.theta_addr(j0) + off), bytes, VarClass::Hot),
-            Access::read(Addr(shape.x_addr(n, j0) + off), bytes, VarClass::Stream),
-        ];
-        if idx == last {
-            if !first_block {
-                ops.push(Access::read(Addr(shape.y_addr(n)), F32_BYTES as u32, VarClass::Output));
-            }
-            ops.push(Access::write(Addr(shape.y_addr(n)), F32_BYTES as u32, VarClass::Output));
+    let theta_base = shape.theta_addr(j0);
+    let x_base = shape.x_addr(n, j0);
+    let y = Addr(shape.y_addr(n));
+    let mut off = 0;
+    while off < len {
+        let bytes = (len - off).min(u64::from(SIMD_WIDTH_BYTES)) as u32;
+        let is_last = off + u64::from(bytes) == len;
+        let theta = Access::read(Addr(theta_base + off), bytes, VarClass::Hot);
+        let x = Access::read(Addr(x_base + off), bytes, VarClass::Stream);
+        if !is_last {
+            sink.op(&[theta, x]);
+        } else if first_block {
+            sink.op(&[theta, x, Access::write(y, F32_BYTES as u32, VarClass::Output)]);
+        } else {
+            sink.op(&[
+                theta,
+                x,
+                Access::read(y, F32_BYTES as u32, VarClass::Output),
+                Access::write(y, F32_BYTES as u32, VarClass::Output),
+            ]);
         }
-        sink.op(&ops);
+        off += u64::from(bytes);
     }
 }
 
@@ -92,7 +99,13 @@ pub fn tiled<S: TraceSink>(shape: &LinRegShape, t: usize, sink: &mut S) {
 #[must_use]
 pub fn untiled_bandwidth(shape: &LinRegShape, cache: &CacheConfig) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled(shape, &mut engine);
+    untiled_bandwidth_with(shape, &mut engine)
+}
+
+/// Engine-reuse variant of [`untiled_bandwidth`].
+pub fn untiled_bandwidth_with(shape: &LinRegShape, engine: &mut SimdEngine) -> BandwidthReport {
+    engine.reset();
+    untiled(shape, engine);
     engine.report()
 }
 
@@ -100,7 +113,17 @@ pub fn untiled_bandwidth(shape: &LinRegShape, cache: &CacheConfig) -> BandwidthR
 #[must_use]
 pub fn tiled_bandwidth(shape: &LinRegShape, t: usize, cache: &CacheConfig) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled(shape, t, &mut engine);
+    tiled_bandwidth_with(shape, t, &mut engine)
+}
+
+/// Engine-reuse variant of [`tiled_bandwidth`].
+pub fn tiled_bandwidth_with(
+    shape: &LinRegShape,
+    t: usize,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    tiled(shape, t, engine);
     engine.report()
 }
 

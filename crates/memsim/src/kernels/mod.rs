@@ -16,7 +16,9 @@
 //! The generators emit SIMD-operand accesses into a [`TraceSink`] — either
 //! a [`SimdEngine`] (for bandwidth, Figures 2/4/5/8/9) or a
 //! [`ReuseProfiler`] (for Figure 10). Each module offers `*_bandwidth`
-//! convenience wrappers that run the trace through a fresh engine.
+//! convenience wrappers that run the trace through a fresh engine, plus
+//! `*_bandwidth_with` variants that reset and reuse a caller-provided
+//! engine so sweeps don't reallocate the cache per point.
 //!
 //! [`SimdEngine`]: crate::SimdEngine
 //! [`ReuseProfiler`]: crate::ReuseProfiler
@@ -66,35 +68,3 @@ pub const STREAM_BASE: u64 = 0x4000_0000;
 
 /// Bytes in one fp32 feature.
 pub const F32_BYTES: u64 = 4;
-
-/// Splits a contiguous `len_bytes`-long vector starting at `base` into
-/// 32-byte SIMD chunks, calling `f` with each chunk's (address, bytes).
-pub(crate) fn for_each_chunk(base: u64, len_bytes: u64, mut f: impl FnMut(u64, u32)) {
-    let mut off = 0;
-    while off < len_bytes {
-        let chunk = (len_bytes - off).min(u64::from(crate::engine::SIMD_WIDTH_BYTES));
-        f(base + off, chunk as u32);
-        off += chunk;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn chunking_covers_exactly() {
-        let mut seen = Vec::new();
-        for_each_chunk(100, 70, |a, b| seen.push((a, b)));
-        assert_eq!(seen, vec![(100, 32), (132, 32), (164, 6)]);
-        let total: u32 = seen.iter().map(|(_, b)| b).sum();
-        assert_eq!(total, 70);
-    }
-
-    #[test]
-    fn chunking_empty_vector() {
-        let mut called = false;
-        for_each_chunk(0, 0, |_, _| called = true);
-        assert!(!called);
-    }
-}

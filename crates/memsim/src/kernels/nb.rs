@@ -102,7 +102,19 @@ pub fn training_bandwidth(shape: &NbShape, seed: u64, cache: &CacheConfig) -> Ba
 #[must_use]
 pub fn training_reuse(shape: &NbShape, seed: u64) -> ReuseSummary {
     let mut profiler = ReuseProfiler::new(F32_BYTES as u32);
-    training(shape, seed, &mut profiler);
+    training_reuse_with(shape, seed, &mut profiler)
+}
+
+/// Profiler-reuse variant of [`training_reuse`]: resets `profiler`
+/// (keeping its slot-table allocation) and replays the training pass
+/// through it.
+pub fn training_reuse_with(
+    shape: &NbShape,
+    seed: u64,
+    profiler: &mut ReuseProfiler,
+) -> ReuseSummary {
+    profiler.reset();
+    training(shape, seed, profiler);
     profiler.summary()
 }
 

@@ -9,10 +9,10 @@
 //! reduction. Prediction computes kernel values between support vectors
 //! and testing instances, which is exactly the k-NN pairwise shape.
 
-use super::{for_each_chunk, knn, TraceSink, F32_BYTES, OUTPUT_BASE, TESTING_BASE};
+use super::{knn, TraceSink, F32_BYTES, OUTPUT_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
 use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
+use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 
 /// Shape of the training-phase kernel-matrix computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,12 +37,17 @@ impl KernelMatrixShape {
 /// op (the interpolation the Misc stage performs), writing `K[i,j]`.
 fn emit_kernel<S: TraceSink>(shape: &KernelMatrixShape, i: usize, j: usize, sink: &mut S) {
     let len = shape.features as u64 * F32_BYTES;
-    for_each_chunk(0, len, |off, bytes| {
+    let i_base = shape.x_addr(i);
+    let j_base = shape.x_addr(j);
+    let mut off = 0;
+    while off < len {
+        let bytes = (len - off).min(u64::from(SIMD_WIDTH_BYTES)) as u32;
         sink.op(&[
-            Access::read(Addr(shape.x_addr(i) + off), bytes, VarClass::Hot),
-            Access::read(Addr(shape.x_addr(j) + off), bytes, VarClass::Cold),
+            Access::read(Addr(i_base + off), bytes, VarClass::Hot),
+            Access::read(Addr(j_base + off), bytes, VarClass::Cold),
         ]);
-    });
+        off += u64::from(bytes);
+    }
     // Kernel-function evaluation on the accumulated dot product.
     sink.op(&[Access::write(Addr(shape.k_addr(i, j)), F32_BYTES as u32, VarClass::Output)]);
 }
@@ -84,7 +89,16 @@ pub fn tiled<S: TraceSink>(shape: &KernelMatrixShape, ti: usize, tj: usize, sink
 #[must_use]
 pub fn untiled_bandwidth(shape: &KernelMatrixShape, cache: &CacheConfig) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled(shape, &mut engine);
+    untiled_bandwidth_with(shape, &mut engine)
+}
+
+/// Engine-reuse variant of [`untiled_bandwidth`].
+pub fn untiled_bandwidth_with(
+    shape: &KernelMatrixShape,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    untiled(shape, engine);
     engine.report()
 }
 
@@ -97,7 +111,18 @@ pub fn tiled_bandwidth(
     cache: &CacheConfig,
 ) -> BandwidthReport {
     let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled(shape, ti, tj, &mut engine);
+    tiled_bandwidth_with(shape, ti, tj, &mut engine)
+}
+
+/// Engine-reuse variant of [`tiled_bandwidth`].
+pub fn tiled_bandwidth_with(
+    shape: &KernelMatrixShape,
+    ti: usize,
+    tj: usize,
+    engine: &mut SimdEngine,
+) -> BandwidthReport {
+    engine.reset();
+    tiled(shape, ti, tj, engine);
     engine.report()
 }
 

@@ -47,6 +47,8 @@ pub mod kernels;
 mod reuse;
 
 pub use access::{Access, AccessKind, Addr, VarClass};
-pub use cache::{Cache, CacheConfig, CacheConfigError, CacheStats, ReplacementPolicy, WritePolicy};
+pub use cache::{
+    Cache, CacheConfig, CacheConfigError, CacheStats, LineState, ReplacementPolicy, WritePolicy,
+};
 pub use engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
 pub use reuse::{ReuseClass, ReuseProfiler, ReuseSummary, VariableReuse};

@@ -53,6 +53,13 @@ impl ReuseProfiler {
         ReuseProfiler { elem_bytes: elem_bytes.max(1), counter: 0, slots: HashMap::new() }
     }
 
+    /// Clears all recorded touches, keeping the slot table's allocation so
+    /// repeated profiling runs reuse one hash table.
+    pub fn reset(&mut self) {
+        self.counter = 0;
+        self.slots.clear();
+    }
+
     /// Records one touch of the element containing `addr`.
     pub fn touch(&mut self, addr: Addr, class: VarClass) {
         self.counter += 1;

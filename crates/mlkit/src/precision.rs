@@ -17,6 +17,16 @@
 
 use pudiannao_softfp::F16;
 
+/// One binary16 rounding step on an `f32` value: the `f32` image of
+/// `F16::from_f32(x)`. On inputs that are already binary16 values this is
+/// the identity (binary16 round-trips exactly through `f32`; `softfp`
+/// pins that exhaustively), which is what makes the `*_prequantized`
+/// fast paths below bit-identical to their scalar counterparts.
+#[inline]
+fn round16(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
 /// Arithmetic mode used by the precision-aware kernels.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Precision {
@@ -83,6 +93,45 @@ impl Precision {
         }
     }
 
+    /// [`Precision::dot`] over slices already rounded through
+    /// [`Precision::quantize`] — bit-identical on such inputs, with the
+    /// per-element input conversions hoisted out of the inner loop.
+    ///
+    /// A prequantized operand re-encodes to binary16 losslessly, so
+    /// `F16::from_f32(a) * F16::from_f32(b)` collapses to one rounding of
+    /// the `f32` product. Callers quantize each row **once** (e.g. with
+    /// `pudiannao_softfp::batch::quantize_f32_slice`) instead of once per
+    /// pairing; the Table-1 SVM kernel matrix touches every training row
+    /// `n` times, so this halves its conversion work and more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn dot_prequantized(self, xs: &[f32], ys: &[f32]) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "dot product needs equal lengths");
+        match self {
+            Precision::F32 => xs.iter().zip(ys).map(|(a, b)| a * b).sum(),
+            Precision::F16All => {
+                // The accumulator stays binary16-exact at every step, so
+                // carrying it as `f32` and re-rounding each add matches
+                // the `F16` accumulator bit for bit.
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    acc = round16(acc + round16(a * b));
+                }
+                acc
+            }
+            Precision::Mixed => {
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    acc += round16(a * b);
+                }
+                acc
+            }
+        }
+    }
+
     /// Squared Euclidean distance in the mode's datapath: differences and
     /// squares at the mode's width, accumulation per the mode.
     ///
@@ -107,6 +156,38 @@ impl Precision {
                 for (&a, &b) in xs.iter().zip(ys) {
                     let d = F16::from_f32(a) - F16::from_f32(b);
                     acc += (d * d).to_f32();
+                }
+                acc
+            }
+        }
+    }
+
+    /// [`Precision::squared_distance`] over slices already rounded
+    /// through [`Precision::quantize`] — bit-identical on such inputs,
+    /// with the input conversions hoisted out (see
+    /// [`Precision::dot_prequantized`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn squared_distance_prequantized(self, xs: &[f32], ys: &[f32]) -> f32 {
+        assert_eq!(xs.len(), ys.len(), "distance needs equal lengths");
+        match self {
+            Precision::F32 => xs.iter().zip(ys).map(|(a, b)| (a - b) * (a - b)).sum(),
+            Precision::F16All => {
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    let d = round16(a - b);
+                    acc = round16(acc + round16(d * d));
+                }
+                acc
+            }
+            Precision::Mixed => {
+                let mut acc = 0.0f32;
+                for (&a, &b) in xs.iter().zip(ys) {
+                    let d = round16(a - b);
+                    acc += round16(d * d);
                 }
                 acc
             }
@@ -208,5 +289,81 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn mismatched_dot_panics() {
         let _ = Precision::F32.dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Deterministic value mix covering normals, subnormal-range,
+    /// large-magnitude (binary16 overflow), negatives, and exact zeros.
+    fn stress_values(seed: u64, n: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let u = (state >> 33) as u32;
+                let frac = (u & 0xFFFF) as f32 / 65536.0 - 0.5;
+                match u % 7 {
+                    0 => frac * 1e-6, // near/below binary16 subnormal range
+                    1 => frac * 2e5,  // overflows binary16 to infinity
+                    2 => 0.0,
+                    3 => frac,
+                    4 => frac * 100.0,
+                    5 => -frac * 3.0,
+                    _ => frac * 0.01,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prequantized_dot_is_bit_identical() {
+        for precision in [Precision::F32, Precision::F16All, Precision::Mixed] {
+            for seed in 0..8u64 {
+                let xs = stress_values(seed, 257);
+                let ys = stress_values(seed + 100, 257);
+                let qxs: Vec<f32> = xs.iter().map(|&v| precision.quantize(v)).collect();
+                let qys: Vec<f32> = ys.iter().map(|&v| precision.quantize(v)).collect();
+                // The scalar path quantizes internally, so feeding it raw
+                // or prequantized inputs must agree; the fast path must
+                // match both bit for bit.
+                let reference = precision.dot(&xs, &ys);
+                let fast = precision.dot_prequantized(&qxs, &qys);
+                if precision == Precision::F32 {
+                    assert_eq!(reference.to_bits(), precision.dot_prequantized(&xs, &ys).to_bits());
+                } else {
+                    assert_eq!(reference.to_bits(), fast.to_bits(), "{precision:?} seed {seed}");
+                    assert_eq!(fast.to_bits(), precision.dot(&qxs, &qys).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prequantized_distance_is_bit_identical() {
+        for precision in [Precision::F32, Precision::F16All, Precision::Mixed] {
+            for seed in 0..8u64 {
+                let xs = stress_values(seed + 50, 193);
+                let ys = stress_values(seed + 200, 193);
+                let qxs: Vec<f32> = xs.iter().map(|&v| precision.quantize(v)).collect();
+                let qys: Vec<f32> = ys.iter().map(|&v| precision.quantize(v)).collect();
+                let reference = precision.squared_distance(&xs, &ys);
+                let fast = precision.squared_distance_prequantized(&qxs, &qys);
+                if precision == Precision::F32 {
+                    let raw = precision.squared_distance_prequantized(&xs, &ys);
+                    assert_eq!(reference.to_bits(), raw.to_bits());
+                } else {
+                    assert_eq!(reference.to_bits(), fast.to_bits(), "{precision:?} seed {seed}");
+                    assert_eq!(fast.to_bits(), precision.squared_distance(&qxs, &qys).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for precision in [Precision::F16All, Precision::Mixed] {
+            for &v in &stress_values(7, 512) {
+                let q = precision.quantize(v);
+                assert_eq!(q.to_bits(), precision.quantize(q).to_bits());
+            }
+        }
     }
 }

@@ -53,6 +53,71 @@ impl Kernel {
             Kernel::Sigmoid { scale, offset } => (scale * precision.dot(a, b) + offset).tanh(),
         }
     }
+
+    /// [`Kernel::eval`] over operands already rounded through
+    /// [`Precision::quantize`] — bit-identical on such inputs, but the
+    /// inner loop skips the per-element operand conversions (see
+    /// [`Precision::dot_prequantized`]). This is what makes quantizing
+    /// the training matrix once per fit pay off: each row enters `n`
+    /// kernel evaluations.
+    #[must_use]
+    pub fn eval_prequantized(&self, precision: Precision, a: &[f32], b: &[f32]) -> f32 {
+        match *self {
+            Kernel::Linear => precision.dot_prequantized(a, b),
+            Kernel::Rbf { gamma } => (-gamma * precision.squared_distance_prequantized(a, b)).exp(),
+            Kernel::Poly { degree, coef } => {
+                (precision.dot_prequantized(a, b) + coef).powi(degree as i32)
+            }
+            Kernel::Sigmoid { scale, offset } => {
+                (scale * precision.dot_prequantized(a, b) + offset).tanh()
+            }
+        }
+    }
+}
+
+/// Rounds every element of a matrix through `precision`'s storage format
+/// in one batch pass; returns `None` when that is the identity (fp32).
+fn quantize_matrix(precision: Precision, x: &Matrix) -> Option<Matrix> {
+    if precision == Precision::F32 {
+        return None;
+    }
+    let mut data = x.as_slice().to_vec();
+    pudiannao_softfp::batch::quantize_f32_slice(&mut data);
+    Some(Matrix::from_vec(data, x.rows(), x.cols()))
+}
+
+/// The full `n x n` kernel matrix over prequantized rows — "the most
+/// time-consuming step in SMO". Label-independent, so one-vs-rest
+/// training computes it once and shares it across the per-class machines.
+fn kernel_matrix(kernel: Kernel, precision: Precision, xq: &Matrix) -> Vec<f32> {
+    let n = xq.rows();
+    let mut m = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval_prequantized(precision, xq.row(i), xq.row(j));
+            m[i * n + j] = v;
+            m[j * n + i] = v;
+        }
+    }
+    m
+}
+
+/// Input validation shared by the single-machine and one-vs-rest fits.
+fn validate_fit(x: &Matrix, y: &[f32], config: &SvmConfig) -> Result<()> {
+    let n = x.rows();
+    if n == 0 || x.cols() == 0 {
+        return Err(Error::EmptyDataset);
+    }
+    if y.len() != n {
+        return Err(Error::DimensionMismatch { expected: n, actual: y.len() });
+    }
+    if !(config.c > 0.0) {
+        return Err(Error::InvalidConfig("C must be positive"));
+    }
+    if y.iter().any(|&v| v != 1.0 && v != -1.0) {
+        return Err(Error::InvalidConfig("binary labels must be -1 or +1"));
+    }
+    Ok(())
 }
 
 /// Configuration for SVM training.
@@ -112,6 +177,8 @@ impl Default for SvmConfig {
 /// ```
 #[derive(Clone, Debug)]
 pub struct BinarySvm {
+    /// Support vectors, stored already rounded through the model's
+    /// precision so `decision` can use the prequantized kernel path.
     support: Matrix,
     /// Per support vector: `alpha_i * y_i`.
     alpha_y: Vec<f32>,
@@ -130,34 +197,29 @@ impl BinarySvm {
     /// [`Error::InvalidConfig`] for non-positive `c` or labels outside
     /// {-1, +1}.
     pub fn fit(x: &Matrix, y: &[f32], config: SvmConfig) -> Result<BinarySvm> {
-        let n = x.rows();
-        if n == 0 || x.cols() == 0 {
-            return Err(Error::EmptyDataset);
-        }
-        if y.len() != n {
-            return Err(Error::DimensionMismatch { expected: n, actual: y.len() });
-        }
-        if !(config.c > 0.0) {
-            return Err(Error::InvalidConfig("C must be positive"));
-        }
-        if y.iter().any(|&v| v != 1.0 && v != -1.0) {
-            return Err(Error::InvalidConfig("binary labels must be -1 or +1"));
-        }
+        validate_fit(x, y, &config)?;
+        // Quantize the training matrix once up front instead of letting
+        // `Kernel::eval` re-round every operand of every pairing — the
+        // prequantized evaluations are bit-identical, so the fitted model
+        // does not change.
+        let xq = quantize_matrix(config.precision, x);
+        let xq: &Matrix = xq.as_ref().unwrap_or(x);
+        let kmat = kernel_matrix(config.kernel, config.precision, xq);
+        Ok(BinarySvm::fit_prepared(xq, y, config, &kmat)?.0)
+    }
 
+    /// SMO over an already-quantized matrix and precomputed kernel matrix.
+    /// Returns the machine and the support-vector row indices into `xq`
+    /// (so a one-vs-rest wrapper can map machines onto shared rows).
+    fn fit_prepared(
+        xq: &Matrix,
+        y: &[f32],
+        config: SvmConfig,
+        kmat: &[f32],
+    ) -> Result<(BinarySvm, Vec<usize>)> {
+        validate_fit(xq, y, &config)?;
+        let n = xq.rows();
         let p = config.precision;
-        // Kernel matrix cache — the quantity the paper identifies as SMO's
-        // dominant cost.
-        let kmat: Vec<f32> = {
-            let mut m = vec![0.0f32; n * n];
-            for i in 0..n {
-                for j in i..n {
-                    let v = config.kernel.eval(p, x.row(i), x.row(j));
-                    m[i * n + j] = v;
-                    m[j * n + i] = v;
-                }
-            }
-            m
-        };
         let k = |i: usize, j: usize| kmat[i * n + j];
 
         let mut alpha = vec![0.0f32; n];
@@ -248,11 +310,14 @@ impl BinarySvm {
             passes = if changed == 0 { passes + 1 } else { 0 };
         }
 
-        // Compact to support vectors only.
+        // Compact to support vectors only, keeping the prequantized rows:
+        // `decision` re-rounds its operands anyway, so storing the rounded
+        // values changes nothing except skipping that work per query.
         let sv_idx: Vec<usize> = (0..n).filter(|&i| alpha[i] > 0.0).collect();
-        let support = x.select_rows(&sv_idx);
+        let support = xq.select_rows(&sv_idx);
         let alpha_y = sv_idx.iter().map(|&i| alpha[i] * y[i]).collect();
-        Ok(BinarySvm { support, alpha_y, bias: b, kernel: config.kernel, precision: p })
+        let machine = BinarySvm { support, alpha_y, bias: b, kernel: config.kernel, precision: p };
+        Ok((machine, sv_idx))
     }
 
     /// Number of support vectors retained.
@@ -274,31 +339,80 @@ impl BinarySvm {
                 actual: x.len(),
             });
         }
+        // Quantize the query once; the stored support vectors are already
+        // rounded, so every kernel evaluation takes the prequantized path.
+        let quantized;
+        let xq: &[f32] = if self.precision == Precision::F32 {
+            x
+        } else {
+            let mut q = x.to_vec();
+            pudiannao_softfp::batch::quantize_f32_slice(&mut q);
+            quantized = q;
+            &quantized
+        };
         if self.precision == Precision::F16All {
             // 16-bit accumulation at prediction time, too.
             let mut s = pudiannao_softfp::F16::from_f32(self.bias);
             for (sv, &ay) in self.support.iter_rows().zip(&self.alpha_y) {
                 s += pudiannao_softfp::F16::from_f32(ay)
-                    * pudiannao_softfp::F16::from_f32(self.kernel.eval(self.precision, x, sv));
+                    * pudiannao_softfp::F16::from_f32(self.kernel.eval_prequantized(
+                        self.precision,
+                        xq,
+                        sv,
+                    ));
             }
             return Ok(s.to_f32());
         }
         let mut s = self.bias;
         for (sv, &ay) in self.support.iter_rows().zip(&self.alpha_y) {
-            s += ay * self.kernel.eval(self.precision, x, sv);
+            s += ay * self.kernel.eval_prequantized(self.precision, xq, sv);
         }
         Ok(s)
     }
+
+    /// The decision value from precomputed kernel evaluations: `map[i]`
+    /// indexes support vector `i`'s entry in `kvals`. Accumulates exactly
+    /// like [`BinarySvm::decision`], so with bitwise-equal kernel values
+    /// the result is bitwise equal.
+    fn decision_from_kernel_values(&self, map: &[u32], kvals: &[f32]) -> f32 {
+        if self.precision == Precision::F16All {
+            let mut s = pudiannao_softfp::F16::from_f32(self.bias);
+            for (&ay, &ri) in self.alpha_y.iter().zip(map) {
+                s += pudiannao_softfp::F16::from_f32(ay)
+                    * pudiannao_softfp::F16::from_f32(kvals[ri as usize]);
+            }
+            return s.to_f32();
+        }
+        let mut s = self.bias;
+        for (&ay, &ri) in self.alpha_y.iter().zip(map) {
+            s += ay * kvals[ri as usize];
+        }
+        s
+    }
+}
+
+/// Support-vector rows shared by the one-vs-rest machines: the union of
+/// every machine's support vectors (prequantized), plus each machine's
+/// indices into it. One kernel evaluation per union row serves all
+/// machines when predicting — the per-class SV sets overlap heavily.
+#[derive(Clone, Debug)]
+struct SharedSupport {
+    rows: Matrix,
+    /// Per machine, parallel to its `alpha_y`: positions in `rows`.
+    maps: Vec<Vec<u32>>,
 }
 
 /// Multi-class SVM via one-vs-rest over [`BinarySvm`].
 #[derive(Clone, Debug)]
 pub struct SvmClassifier {
     machines: Vec<BinarySvm>,
+    shared: SharedSupport,
 }
 
 impl SvmClassifier {
-    /// Trains one binary machine per class.
+    /// Trains one binary machine per class. The kernel matrix is
+    /// label-independent, so it is computed once and shared by every
+    /// machine (bit-identical to fitting each machine standalone).
     ///
     /// # Errors
     ///
@@ -308,14 +422,42 @@ impl SvmClassifier {
         if data.is_empty() {
             return Err(Error::EmptyDataset);
         }
+        let x = &data.features;
+        if x.cols() == 0 {
+            return Err(Error::EmptyDataset);
+        }
+        if !(config.c > 0.0) {
+            return Err(Error::InvalidConfig("C must be positive"));
+        }
+        let n = x.rows();
+        let xq = quantize_matrix(config.precision, x);
+        let xq: &Matrix = xq.as_ref().unwrap_or(x);
+        let kmat = kernel_matrix(config.kernel, config.precision, xq);
         let classes = data.classes();
         let mut machines = Vec::with_capacity(classes);
+        let mut sv_indices = Vec::with_capacity(classes);
         for c in 0..classes {
             let y: Vec<f32> =
                 data.labels.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
-            machines.push(BinarySvm::fit(&data.features, &y, config)?);
+            let (machine, sv_idx) = BinarySvm::fit_prepared(xq, &y, config, &kmat)?;
+            machines.push(machine);
+            sv_indices.push(sv_idx);
         }
-        Ok(SvmClassifier { machines })
+        // Build the union of support rows and each machine's map into it.
+        let mut union_pos = vec![u32::MAX; n];
+        let mut union_idx = Vec::new();
+        for idx in sv_indices.iter().flatten() {
+            if union_pos[*idx] == u32::MAX {
+                union_pos[*idx] = u32::try_from(union_idx.len()).expect("row count fits u32");
+                union_idx.push(*idx);
+            }
+        }
+        let rows = xq.select_rows(&union_idx);
+        let maps = sv_indices
+            .into_iter()
+            .map(|idx| idx.into_iter().map(|i| union_pos[i]).collect())
+            .collect();
+        Ok(SvmClassifier { machines, shared: SharedSupport { rows, maps } })
     }
 
     /// Predicts the class with the largest decision value.
@@ -324,9 +466,32 @@ impl SvmClassifier {
     ///
     /// [`Error::DimensionMismatch`] if the feature width differs.
     pub fn predict_one(&self, x: &[f32]) -> Result<usize> {
+        let shared = &self.shared;
+        if x.len() != shared.rows.cols() {
+            return Err(Error::DimensionMismatch { expected: shared.rows.cols(), actual: x.len() });
+        }
+        let precision = self.machines.first().map_or(Precision::F32, |m| m.precision);
+        let kernel = self.machines.first().map_or(Kernel::Linear, |m| m.kernel);
+        // Quantize the query once, evaluate the kernel once per union
+        // row, and let every machine sum its own subset — each decision
+        // value is bit-identical to [`BinarySvm::decision`].
+        let quantized;
+        let xq: &[f32] = if precision == Precision::F32 {
+            x
+        } else {
+            let mut q = x.to_vec();
+            pudiannao_softfp::batch::quantize_f32_slice(&mut q);
+            quantized = q;
+            &quantized
+        };
+        let kvals: Vec<f32> = shared
+            .rows
+            .iter_rows()
+            .map(|row| kernel.eval_prequantized(precision, xq, row))
+            .collect();
         let mut best = (0usize, f32::NEG_INFINITY);
-        for (c, m) in self.machines.iter().enumerate() {
-            let d = m.decision(x)?;
+        for (c, (m, map)) in self.machines.iter().zip(&shared.maps).enumerate() {
+            let d = m.decision_from_kernel_values(map, &kvals);
             if d > best.1 {
                 best = (c, d);
             }
@@ -407,6 +572,27 @@ mod tests {
             .count();
         assert!(correct >= 140, "{correct}/150");
         assert!(m.support_vectors() < data.len(), "not every point should be a SV");
+    }
+
+    #[test]
+    fn prequantized_eval_matches_eval_bitwise() {
+        let kernels = [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::Poly { degree: 3, coef: 0.5 },
+            Kernel::Sigmoid { scale: 0.3, offset: -0.1 },
+        ];
+        let a: Vec<f32> = (0..97).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.03).collect();
+        let b: Vec<f32> = (0..97).map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.07).collect();
+        for precision in [Precision::F32, Precision::F16All, Precision::Mixed] {
+            let qa: Vec<f32> = a.iter().map(|&v| precision.quantize(v)).collect();
+            let qb: Vec<f32> = b.iter().map(|&v| precision.quantize(v)).collect();
+            for kernel in kernels {
+                let reference = kernel.eval(precision, &a, &b);
+                let fast = kernel.eval_prequantized(precision, &qa, &qb);
+                assert_eq!(reference.to_bits(), fast.to_bits(), "{kernel:?} {precision:?}");
+            }
+        }
     }
 
     #[test]

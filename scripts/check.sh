@@ -126,8 +126,14 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release -q
 
+    echo "==> coalesce-equivalence proptests (fast cache path vs reference model)"
+    cargo test -q -p pudiannao-memsim --test coalesce_equivalence
+
     echo "==> bench_hotpath"
     ./target/release/bench_hotpath | grep '^\[bench\]'
+
+    echo "==> perf gate: current model vs last record in BENCH_history.jsonl"
+    ./target/release/perf_diff --check --history BENCH_history.jsonl
 
     echo "==> determinism: sequential vs REPRO_THREADS=4"
     tmp="$(mktemp -d)"
