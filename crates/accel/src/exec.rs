@@ -233,9 +233,71 @@ pub struct Accelerator {
     scratch: Scratch,
 }
 
+/// Fluent constructor for [`Accelerator`]: configure optional layers
+/// (tracing, fault injection) up front instead of toggling them after the
+/// fact.
+///
+/// ```ignore
+/// let accel = Accelerator::builder(ArchConfig::paper_default())
+///     .trace(TraceConfig::full())
+///     .build()?;
+/// ```
+#[derive(Debug)]
+pub struct AcceleratorBuilder {
+    config: ArchConfig,
+    trace: Option<TraceConfig>,
+    faults: Option<FaultConfig>,
+}
+
+impl AcceleratorBuilder {
+    /// Enables run tracing (see [`Accelerator::enable_trace`]).
+    #[must_use]
+    pub fn trace(mut self, config: TraceConfig) -> AcceleratorBuilder {
+        self.trace = Some(config);
+        self
+    }
+
+    /// Enables deterministic fault injection and hardening (see
+    /// [`Accelerator::enable_faults`]).
+    #[must_use]
+    pub fn faults(mut self, config: FaultConfig) -> AcceleratorBuilder {
+        self.faults = Some(config);
+        self
+    }
+
+    /// Validates the configuration and builds the accelerator with the
+    /// requested layers armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn build(self) -> Result<Accelerator, ExecError> {
+        let mut accel = Accelerator::new(self.config)?;
+        if let Some(trace) = self.trace {
+            accel.enable_trace(trace);
+        }
+        if let Some(faults) = self.faults {
+            accel.enable_faults(faults);
+        }
+        Ok(accel)
+    }
+}
+
 impl Accelerator {
+    /// Starts a fluent [`AcceleratorBuilder`] over `config`: chain
+    /// [`AcceleratorBuilder::trace`] / [`AcceleratorBuilder::faults`] and
+    /// finish with [`AcceleratorBuilder::build`]. The post-construction
+    /// toggle methods remain as delegating equivalents for call sites
+    /// that reconfigure a live accelerator.
+    #[must_use]
+    pub fn builder(config: ArchConfig) -> AcceleratorBuilder {
+        AcceleratorBuilder { config, trace: None, faults: None }
+    }
+
     /// Builds an accelerator from a validated configuration. Tracing
-    /// starts disabled; see [`Accelerator::enable_trace`].
+    /// starts disabled; see [`Accelerator::builder`] for the fluent
+    /// construction path or [`Accelerator::enable_trace`] to toggle a
+    /// live instance.
     ///
     /// # Errors
     ///
@@ -1365,6 +1427,32 @@ mod tests {
         assert!(traced.trace.is_some());
         assert_eq!(plain.config_fingerprint, traced.config_fingerprint);
         assert_eq!(dram_a.read_f32(200, 4), dram_b.read_f32(200, 4));
+    }
+
+    #[test]
+    fn builder_arms_layers_like_the_toggles() {
+        let cfg = ArchConfig::paper_default();
+        let built = Accelerator::builder(cfg.clone())
+            .trace(crate::trace::TraceConfig::full())
+            .faults(FaultConfig { plan: FaultPlan::quiet(7), hardening: Hardening::secded() })
+            .build()
+            .unwrap();
+        assert!(built.trace_config().is_some());
+        assert!(built.fault_config().is_some());
+
+        let mut toggled = Accelerator::new(cfg.clone()).unwrap();
+        toggled.enable_trace(crate::trace::TraceConfig::full());
+        toggled.enable_faults(FaultConfig {
+            plan: FaultPlan::quiet(7),
+            hardening: Hardening::secded(),
+        });
+        assert_eq!(built.trace_config(), toggled.trace_config());
+        assert_eq!(built.fault_config(), toggled.fault_config());
+
+        // A bare builder matches `new` (both layers disarmed).
+        let bare = Accelerator::builder(cfg).build().unwrap();
+        assert!(bare.trace_config().is_none());
+        assert!(bare.fault_config().is_none());
     }
 
     #[test]

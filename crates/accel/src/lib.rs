@@ -96,7 +96,7 @@ pub use buffer::{Buffer, BufferKind};
 pub use config::{ArchConfig, ConfigError};
 pub use energy::EnergyModel;
 pub use error::Error;
-pub use exec::{charge_fetch, charge_instruction, Accelerator, ExecError};
+pub use exec::{charge_fetch, charge_instruction, Accelerator, AcceleratorBuilder, ExecError};
 pub use fault::{EccMode, FaultConfig, FaultPlan, FaultReport, FaultSite, Hardening};
 pub use isa::Program;
 pub use ksorter::KSorter;

@@ -600,8 +600,8 @@ mod tests {
 
     fn traced_run() -> (ArchConfig, Program, RunReport) {
         let config = ArchConfig::paper_default();
-        let mut accel = Accelerator::new(config.clone()).unwrap();
-        accel.enable_trace(TraceConfig::full());
+        let mut accel =
+            Accelerator::builder(config.clone()).trace(TraceConfig::full()).build().unwrap();
         let mut dram = Dram::new(1 << 20);
         dram.write_f32(0, &[1.0; 256]);
         let program = Program::builder()

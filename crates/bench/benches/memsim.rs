@@ -4,6 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pudiannao_memsim::{kernels, Access, Addr, Cache, CacheConfig, VarClass};
 
+use kernels::run_fresh;
+
 fn bench_cache_throughput(c: &mut Criterion) {
     c.bench_function("memsim/cache_1m_sequential_reads", |b| {
         b.iter_batched(
@@ -23,10 +25,10 @@ fn bench_knn_tiling(c: &mut Criterion) {
     let cfg = CacheConfig::paper_default();
     let shape = kernels::knn::DistanceShape { testing: 64, reference: 512, features: 32 };
     c.bench_function("memsim/fig02_knn_untiled", |b| {
-        b.iter(|| kernels::knn::untiled_bandwidth(&shape, &cfg));
+        b.iter(|| run_fresh(&kernels::knn::Untiled { shape }, &cfg));
     });
     c.bench_function("memsim/fig02_knn_tiled", |b| {
-        b.iter(|| kernels::knn::tiled_bandwidth(&shape, 32, 32, &cfg));
+        b.iter(|| run_fresh(&kernels::knn::Tiled::bandwidth(shape, 32, 32), &cfg));
     });
 }
 
@@ -34,7 +36,7 @@ fn bench_kmeans_tiling(c: &mut Criterion) {
     let cfg = CacheConfig::paper_default();
     let shape = kernels::kmeans::KMeansShape { instances: 1024, centroids: 64, features: 32 };
     c.bench_function("memsim/fig04_kmeans_tiled", |b| {
-        b.iter(|| kernels::kmeans::tiled_bandwidth(&shape, 32, 32, &cfg));
+        b.iter(|| run_fresh(&kernels::kmeans::Tiled { shape, tc: 32, tn: 32 }, &cfg));
     });
 }
 

@@ -19,7 +19,8 @@
 
 use pudiannao_accel::json;
 use pudiannao_bench::profile::{
-    diff_records, history_record, with_inflated_cycles, PhaseDelta, REGRESSION_THRESHOLD_PCT,
+    diff_records, diff_serve, history_record, with_inflated_cycles, PhaseDelta, ServeDelta,
+    REGRESSION_THRESHOLD_PCT,
 };
 
 fn fail(msg: &str) -> ! {
@@ -96,11 +97,26 @@ fn main() {
                     d.label, d.cycles_pct, d.energy_pct
                 );
             }
-            let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
-            if regressed.is_empty() {
+            let serve_deltas = match diff_serve(&baseline, &current) {
+                Ok(d) => d,
+                Err(e) => fail(&e),
+            };
+            if serve_deltas.is_empty() && baseline.get("serve").is_none() {
+                println!("[perf] serve: baseline predates the serving sweep, skipping");
+            }
+            for d in &serve_deltas {
                 println!(
-                    "[perf] OK: no phase regressed more than {REGRESSION_THRESHOLD_PCT}% \
-                     vs the last record"
+                    "[perf] serve {}-shard throughput {:+.2}%  p99 {:+.2}%",
+                    d.shards, d.throughput_pct, d.p99_pct
+                );
+            }
+            let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
+            let serve_regressed: Vec<&ServeDelta> =
+                serve_deltas.iter().filter(|d| d.regressed()).collect();
+            if regressed.is_empty() && serve_regressed.is_empty() {
+                println!(
+                    "[perf] OK: no phase or serving point regressed more than \
+                     {REGRESSION_THRESHOLD_PCT}% vs the last record"
                 );
             } else {
                 for d in &regressed {
@@ -108,6 +124,13 @@ fn main() {
                         "[perf] FAIL {}: cycles {:+.2}% energy {:+.2}% (threshold \
                          {REGRESSION_THRESHOLD_PCT}%)",
                         d.label, d.cycles_pct, d.energy_pct
+                    );
+                }
+                for d in &serve_regressed {
+                    println!(
+                        "[perf] FAIL serve {}-shard: throughput {:+.2}% (threshold \
+                         -{REGRESSION_THRESHOLD_PCT}%)",
+                        d.shards, d.throughput_pct
                     );
                 }
                 std::process::exit(1);

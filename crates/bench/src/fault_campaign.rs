@@ -368,11 +368,13 @@ fn degradation_json(cfg: &ArchConfig, seed: u64) -> Value {
     let (golden_bits, baseline_cycles) = run_clean(cfg, case);
     let golden: Vec<f32> = golden_bits.iter().map(|&b| f32::from_bits(b)).collect();
 
-    let mut accel = Accelerator::new(cfg.clone()).expect("paper config is valid");
-    accel.enable_faults(FaultConfig {
-        plan: FaultPlan { lane_stuck_at: Some(0), ..FaultPlan::quiet(seed) },
-        hardening: Hardening::secded(),
-    });
+    let mut accel = Accelerator::builder(cfg.clone())
+        .faults(FaultConfig {
+            plan: FaultPlan { lane_stuck_at: Some(0), ..FaultPlan::quiet(seed) },
+            hardening: Hardening::secded(),
+        })
+        .build()
+        .expect("paper config is valid");
     let mut dram = case.dram.clone();
     let report = accel.run(&case.program, &mut dram).expect("masked lane still completes");
     let fault = report.fault.expect("faults were enabled");
@@ -435,8 +437,10 @@ pub fn run_campaign(config: &CampaignConfig) -> (Value, Vec<(&'static str, Outco
                 for trial in 0..trials {
                     let plan =
                         trial_plan(trial_seed(seed, cell.arm, cell.kernel, cell.rate, trial), rate);
-                    let mut accel = Accelerator::new(cfg.clone()).expect("paper config is valid");
-                    accel.enable_faults(FaultConfig { plan, hardening });
+                    let mut accel = Accelerator::builder(cfg.clone())
+                        .faults(FaultConfig { plan, hardening })
+                        .build()
+                        .expect("paper config is valid");
                     let mut dram = case.dram.clone();
                     let result = accel.run(&case.program, &mut dram);
                     counts.add(&classify(result, &dram, case, golden));

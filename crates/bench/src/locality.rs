@@ -9,7 +9,9 @@
 //! statistics.
 
 use crate::{banner, parallel, series_row, Check, ExperimentReport};
-use pudiannao_memsim::{kernels, BandwidthReport, CacheConfig, ReuseProfiler, SimdEngine};
+use pudiannao_memsim::{
+    kernels, BandwidthReport, CacheConfig, ReuseProfiler, SimdEngine, Workload,
+};
 use std::sync::Mutex;
 
 /// A pool of reusable [`SimdEngine`]s: jobs check one out, run, and
@@ -36,19 +38,18 @@ impl EnginePool {
 }
 
 /// Runs a figure's untiled and tiled points as parallel jobs over pooled
-/// engines; returns `(untiled, tiled)`.
-fn untiled_tiled_pair<U, T>(
+/// engines, dispatching both through the unified [`Workload`] trait;
+/// returns `(untiled, tiled)`.
+fn untiled_tiled_pair(
     cfg: &CacheConfig,
-    untiled: U,
-    tiled: T,
-) -> (BandwidthReport, BandwidthReport)
-where
-    U: FnOnce(&mut SimdEngine) -> BandwidthReport + Send,
-    T: FnOnce(&mut SimdEngine) -> BandwidthReport + Send,
-{
+    untiled: &dyn Workload,
+    tiled: &dyn Workload,
+) -> (BandwidthReport, BandwidthReport) {
     let pool = EnginePool::new(cfg.clone());
-    let jobs: Vec<Box<dyn FnOnce() -> BandwidthReport + Send + '_>> =
-        vec![Box::new(|| pool.with_engine(untiled)), Box::new(|| pool.with_engine(tiled))];
+    let jobs: Vec<Box<dyn FnOnce() -> BandwidthReport + Send + '_>> = vec![
+        Box::new(|| pool.with_engine(|e| untiled.run(e).report())),
+        Box::new(|| pool.with_engine(|e| tiled.run(e).report())),
+    ];
     let mut reports = parallel::run_indexed(jobs);
     let t = reports.pop().expect("two jobs");
     let u = reports.pop().expect("two jobs");
@@ -65,8 +66,8 @@ pub fn fig02_knn_tiling() -> ExperimentReport {
     let shape = kernels::knn::DistanceShape { testing: 512, reference: 2048, features: 32 };
     let (untiled, tiled) = untiled_tiled_pair(
         &cfg,
-        |e| kernels::knn::untiled_bandwidth_with(&shape, e),
-        |e| kernels::knn::tiled_bandwidth_with(&shape, 32, 32, e),
+        &kernels::knn::Untiled { shape },
+        &kernels::knn::Tiled::bandwidth(shape, 32, 32),
     );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
@@ -88,8 +89,8 @@ pub fn fig04_kmeans_tiling() -> ExperimentReport {
     let shape = kernels::kmeans::KMeansShape { instances: 4096, centroids: 64, features: 32 };
     let (untiled, tiled) = untiled_tiled_pair(
         &cfg,
-        |e| kernels::kmeans::untiled_bandwidth_with(&shape, e),
-        |e| kernels::kmeans::tiled_bandwidth_with(&shape, 32, 32, e),
+        &kernels::kmeans::Untiled { shape },
+        &kernels::kmeans::Tiled { shape, tc: 32, tn: 32 },
     );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
@@ -111,8 +112,8 @@ pub fn fig05_dnn_tiling() -> ExperimentReport {
     let shape = kernels::dnn::LayerShape { inputs: 16384, outputs: 256 };
     let (untiled, tiled) = untiled_tiled_pair(
         &cfg,
-        |e| kernels::dnn::untiled_bandwidth_with(&shape, e),
-        |e| kernels::dnn::tiled_bandwidth_with(&shape, 4096, e),
+        &kernels::dnn::Untiled { shape },
+        &kernels::dnn::Tiled { shape, t: 4096 },
     );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
@@ -134,8 +135,8 @@ pub fn fig08_lr_tiling() -> ExperimentReport {
     let shape = kernels::linreg::LinRegShape { coefficients: 16384, instances: 256 };
     let (untiled, tiled) = untiled_tiled_pair(
         &cfg,
-        |e| kernels::linreg::untiled_bandwidth_with(&shape, e),
-        |e| kernels::linreg::tiled_bandwidth_with(&shape, 4096, e),
+        &kernels::linreg::Untiled { shape },
+        &kernels::linreg::Tiled { shape, t: 4096 },
     );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
@@ -157,8 +158,8 @@ pub fn fig09_svm_tiling() -> ExperimentReport {
     let shape = kernels::svm::KernelMatrixShape { train: 2048, features: 32 };
     let (untiled, tiled) = untiled_tiled_pair(
         &cfg,
-        |e| kernels::svm::untiled_bandwidth_with(&shape, e),
-        |e| kernels::svm::tiled_bandwidth_with(&shape, 32, 32, e),
+        &kernels::svm::Untiled { shape },
+        &kernels::svm::Tiled { shape, ti: 32, tj: 32 },
     );
     series_row("untiled bandwidth", untiled.gb_per_s(), "GB/s");
     series_row("tiled bandwidth", tiled.gb_per_s(), "GB/s");
@@ -178,14 +179,14 @@ pub fn fig09_svm_tiling() -> ExperimentReport {
 /// hash-map [`ReuseProfiler`] run sequentially: an Olken-style tree (or
 /// parallel points) would complicate the instrumentation for no
 /// measurable `repro_all` win. The two traces do share one profiler via
-/// the `_with` variants, reusing its slot-table allocation.
+/// [`Workload::profile`], reusing its slot-table allocation.
 #[must_use]
 pub fn fig10_reuse_distance() -> ExperimentReport {
     banner("fig10", "reuse-distance classes (tiled k-NN vs NB training)");
     let mut profiler = ReuseProfiler::new(4);
     // (a) tiled k-NN distance calculations: 3 classes.
     let shape = kernels::knn::DistanceShape { testing: 96, reference: 96, features: 32 };
-    let knn = kernels::knn::tiled_reuse_with(&shape, 32, 32, &mut profiler);
+    let knn = kernels::knn::Tiled::reuse(shape, 32, 32).profile(&mut profiler);
     let knn_classes = knn.classes(3.0);
     for (i, c) in knn_classes.iter().enumerate() {
         series_row(
@@ -196,7 +197,7 @@ pub fn fig10_reuse_distance() -> ExperimentReport {
     }
     // (b) NB training: 2 classes (instance data at ~1; counters spread).
     let nb_shape = kernels::nb::NbShape { instances: 512, features: 8, values: 4, classes: 5 };
-    let nb = kernels::nb::training_reuse_with(&nb_shape, 42, &mut profiler);
+    let nb = kernels::nb::Training { shape: nb_shape, seed: 42 }.profile(&mut profiler);
     let nb_classes = nb.classes(8.0);
     for (i, c) in nb_classes.iter().enumerate() {
         series_row(

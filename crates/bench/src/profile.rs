@@ -84,8 +84,10 @@ pub fn traced_phase() -> TracedPhase {
     fill(&mut dram, plan.hot_dram, 64);
     fill(&mut dram, plan.cold_dram, 2048);
 
-    let mut accel = Accelerator::new(config.clone()).expect("paper config is valid");
-    accel.enable_trace(TraceConfig::full());
+    let mut accel = Accelerator::builder(config.clone())
+        .trace(TraceConfig::full())
+        .build()
+        .expect("paper config is valid");
     let report = accel.run(&program, &mut dram).expect("built-in kernel executes");
     assert!(report.trace.is_some(), "traced run carries a trace");
     TracedPhase { config, program, labels, report }
@@ -129,7 +131,25 @@ pub fn summary(reports: &[RunReport], config: &ArchConfig, events_dropped: u64) 
 /// wall-clock, host details), so a record depends only on the model.
 #[must_use]
 pub fn history_record() -> Value {
-    record_from_reports(&crate::evaluation::phase_run_reports())
+    let mut record = record_from_reports(&crate::evaluation::phase_run_reports());
+    record.set("serve", serve_sweep_points());
+    record
+}
+
+/// The serving-layer half of a history record: the pinned 1/2/4/8-shard
+/// scaling sweep from `pudiannao_serve` ([`pudiannao_serve::gate_sweep`]),
+/// one point per shard count.
+fn serve_sweep_points() -> Value {
+    let mut points = Value::array(Vec::new());
+    for p in pudiannao_serve::gate_sweep() {
+        points.push(
+            Value::object()
+                .with("shards", p.shards as u64)
+                .with("throughput_rps", p.throughput_rps)
+                .with("p99_ns", p.p99_ns),
+        );
+    }
+    points
 }
 
 fn record_from_reports(reports: &[RunReport]) -> Value {
@@ -175,13 +195,19 @@ pub fn with_inflated_cycles(record: &Value, pct: f64) -> Value {
                 .collect()
         })
         .unwrap_or_default();
-    Value::object()
+    let mut out = Value::object()
         .with("schema_version", record.get("schema_version").and_then(Value::as_u64).unwrap_or(0))
         .with(
             "config_fingerprint",
             record.get("config_fingerprint").and_then(Value::as_str).unwrap_or_default(),
         )
-        .with("phases", Value::array(phases))
+        .with("phases", Value::array(phases));
+    // The synthetic slowdown targets phase cycles only; the serving sweep
+    // rides along untouched so the gate self-check diffs it cleanly.
+    if let Some(serve) = record.get("serve") {
+        out.set("serve", serve.clone());
+    }
+    out
 }
 
 /// One phase's change between two history records, in percent.
@@ -266,6 +292,67 @@ pub fn diff_records(prev: &Value, cur: &Value) -> Result<Vec<PhaseDelta>, String
     Ok(deltas)
 }
 
+/// One shard-count's change in the serving scaling sweep, in percent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeDelta {
+    /// Fleet size this point was measured at.
+    pub shards: u64,
+    /// Throughput change, percent (positive = faster).
+    pub throughput_pct: f64,
+    /// p99 latency change, percent (positive = slower; informational).
+    pub p99_pct: f64,
+}
+
+impl ServeDelta {
+    /// Whether serving throughput dropped beyond
+    /// [`REGRESSION_THRESHOLD_PCT`]. Latency is reported but not gated:
+    /// an open-loop p99 legitimately moves when batching gets *better*
+    /// (bigger batches trade tail latency for throughput).
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.throughput_pct < -REGRESSION_THRESHOLD_PCT
+    }
+}
+
+/// Diffs the serving scaling sweeps of two history records.
+///
+/// Returns an empty list when either record predates the serving layer
+/// (no `serve` key) — older baselines stay comparable on phases alone.
+///
+/// # Errors
+///
+/// When both records carry a sweep but the shard counts differ.
+pub fn diff_serve(prev: &Value, cur: &Value) -> Result<Vec<ServeDelta>, String> {
+    fn sweep(v: &Value) -> Option<&[Value]> {
+        v.get("serve").and_then(Value::as_array)
+    }
+    let (Some(ps), Some(cs)) = (sweep(prev), sweep(cur)) else {
+        return Ok(Vec::new());
+    };
+    if ps.len() != cs.len() {
+        return Err(format!("serve sweep size changed: {} vs {} points", ps.len(), cs.len()));
+    }
+    let mut deltas = Vec::with_capacity(cs.len());
+    for (p, c) in ps.iter().zip(cs) {
+        let shards = |v: &Value| v.get("shards").and_then(Value::as_u64).unwrap_or(0);
+        if shards(p) != shards(c) {
+            return Err(format!(
+                "serve sweep shard counts changed: {} vs {}",
+                shards(p),
+                shards(c)
+            ));
+        }
+        let rps = |v: &Value| v.get("throughput_rps").and_then(Value::as_f64).unwrap_or(0.0);
+        let p99 = |v: &Value| v.get("p99_ns").and_then(Value::as_u64).unwrap_or(0) as f64;
+        deltas.push(ServeDelta {
+            shards: shards(c),
+            throughput_pct: pct_change(rps(p), rps(c)),
+            p99_pct: pct_change(p99(p), p99(c)),
+        });
+    }
+    Ok(deltas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +422,40 @@ mod tests {
         // A change within tolerance does not.
         let ok = with_inflated_cycles(&record, 1.0);
         assert!(!diff_records(&record, &ok).unwrap().iter().any(PhaseDelta::regressed));
+    }
+
+    #[test]
+    fn serve_sweep_rides_the_record_and_gates_throughput() {
+        let record = history_record();
+        let sweep = record.get("serve").and_then(Value::as_array).expect("record carries sweep");
+        assert_eq!(sweep.len(), 4, "1/2/4/8-shard sweep");
+        // Self-diff is clean, and inflation leaves the sweep untouched.
+        assert!(!diff_serve(&record, &record).unwrap().iter().any(ServeDelta::regressed));
+        let inflated = with_inflated_cycles(&record, 5.0);
+        assert!(!diff_serve(&record, &inflated).unwrap().iter().any(ServeDelta::regressed));
+        // A 5% throughput drop at every point fails the gate...
+        let mut points = Value::array(Vec::new());
+        for p in sweep {
+            points.push(
+                Value::object()
+                    .with("shards", p.get("shards").and_then(Value::as_u64).unwrap())
+                    .with(
+                        "throughput_rps",
+                        p.get("throughput_rps").and_then(Value::as_f64).unwrap() * 0.95,
+                    )
+                    .with("p99_ns", p.get("p99_ns").and_then(Value::as_u64).unwrap()),
+            );
+        }
+        // `set` appends, so a changed key must go on a fresh object.
+        let slow = Value::object()
+            .with("schema_version", record.get("schema_version").cloned().unwrap())
+            .with("config_fingerprint", record.get("config_fingerprint").cloned().unwrap())
+            .with("phases", record.get("phases").cloned().unwrap())
+            .with("serve", points);
+        let deltas = diff_serve(&record, &slow).unwrap();
+        assert!(deltas.iter().all(ServeDelta::regressed));
+        // ...while a baseline that predates the serving layer is skipped.
+        assert!(diff_serve(&Value::object(), &record).unwrap().is_empty());
     }
 
     #[test]

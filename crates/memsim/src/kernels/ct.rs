@@ -8,10 +8,8 @@
 //! have not yet been labeled. This strategy can also be interpreted as
 //! tiling the tree."
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
 
 /// Bytes per tree node (feature index, threshold, two child links).
 pub const NODE_BYTES: u64 = 16;
@@ -70,7 +68,7 @@ fn branch(seed: u64, instance: usize, level: u32) -> u64 {
 
 /// Emits one node visit: read the node, read the consulted feature,
 /// compare (one op).
-fn visit_node<S: TraceSink>(shape: &TreeShape, n: usize, idx: u64, sink: &mut S) {
+fn visit_node<S: TraceSink + ?Sized>(shape: &TreeShape, n: usize, idx: u64, sink: &mut S) {
     let feature = (mix(idx) % shape.features as u64) as usize;
     sink.op(&[
         Access::read(Addr(shape.node_addr(idx)), NODE_BYTES as u32, VarClass::Hot),
@@ -81,7 +79,7 @@ fn visit_node<S: TraceSink>(shape: &TreeShape, n: usize, idx: u64, sink: &mut S)
 /// Untiled prediction: each instance walks the whole tree root-to-leaf
 /// before the next instance starts, so a larger-than-cache tree is
 /// effectively reloaded per instance.
-pub fn prediction_untiled<S: TraceSink>(shape: &TreeShape, seed: u64, sink: &mut S) {
+pub fn prediction_untiled<S: TraceSink + ?Sized>(shape: &TreeShape, seed: u64, sink: &mut S) {
     for n in 0..shape.instances {
         let mut idx = 1u64;
         for level in 0..shape.depth {
@@ -100,7 +98,12 @@ pub fn prediction_untiled<S: TraceSink>(shape: &TreeShape, seed: u64, sink: &mut
 /// # Panics
 ///
 /// Panics if `top_depth` is zero or not less than the tree depth.
-pub fn prediction_tiled<S: TraceSink>(shape: &TreeShape, top_depth: u32, seed: u64, sink: &mut S) {
+pub fn prediction_tiled<S: TraceSink + ?Sized>(
+    shape: &TreeShape,
+    top_depth: u32,
+    seed: u64,
+    sink: &mut S,
+) {
     assert!(top_depth > 0 && top_depth < shape.depth, "top_depth must be in 1..depth");
     let exit_base = OUTPUT_BASE + 0x0100_0000;
     // Pass 1: all instances through the top subtree.
@@ -135,55 +138,60 @@ pub fn prediction_tiled<S: TraceSink>(shape: &TreeShape, top_depth: u32, seed: u
     }
 }
 
-/// Bandwidth of the untiled prediction walk.
-#[must_use]
-pub fn prediction_untiled_bandwidth(
-    shape: &TreeShape,
-    seed: u64,
-    cache: &CacheConfig,
-) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    prediction_untiled_bandwidth_with(shape, seed, &mut engine)
+/// The untiled prediction walk as a [`Workload`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictionUntiled {
+    /// Tree and instance-stream shape.
+    pub shape: TreeShape,
+    /// Seed for the data-dependent branch directions.
+    pub seed: u64,
 }
 
-/// Engine-reuse variant of [`prediction_untiled_bandwidth`].
-pub fn prediction_untiled_bandwidth_with(
-    shape: &TreeShape,
-    seed: u64,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    prediction_untiled(shape, seed, engine);
-    engine.report()
+impl Workload for PredictionUntiled {
+    fn name(&self) -> &'static str {
+        "ct/prediction-untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Ct
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        prediction_untiled(&self.shape, self.seed, sink);
+    }
 }
 
-/// Bandwidth of the tree-tiled prediction walk.
-#[must_use]
-pub fn prediction_tiled_bandwidth(
-    shape: &TreeShape,
-    top_depth: u32,
-    seed: u64,
-    cache: &CacheConfig,
-) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    prediction_tiled_bandwidth_with(shape, top_depth, seed, &mut engine)
+/// The tree-tiled prediction walk as a [`Workload`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictionTiled {
+    /// Tree and instance-stream shape.
+    pub shape: TreeShape,
+    /// Levels of the cache-resident top subtree.
+    pub top_depth: u32,
+    /// Seed for the data-dependent branch directions.
+    pub seed: u64,
 }
 
-/// Engine-reuse variant of [`prediction_tiled_bandwidth`].
-pub fn prediction_tiled_bandwidth_with(
-    shape: &TreeShape,
-    top_depth: u32,
-    seed: u64,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    prediction_tiled(shape, top_depth, seed, engine);
-    engine.report()
+impl Workload for PredictionTiled {
+    fn name(&self) -> &'static str {
+        "ct/prediction-tiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Ct
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        prediction_tiled(&self.shape, self.top_depth, self.seed, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::engine::SimdEngine;
+    use crate::kernels::run_fresh;
 
     // Depth 16: 64K nodes x 16 B = 1 MB, 32x the 32 KB cache, and
     // instances outnumber mid-level nodes so those levels are genuinely
@@ -200,13 +208,13 @@ mod tests {
     #[test]
     fn tree_tiling_reduces_traffic() {
         let cfg = CacheConfig::paper_default();
-        let u = prediction_untiled_bandwidth(&SHAPE, 3, &cfg);
+        let u = run_fresh(&PredictionUntiled { shape: SHAPE, seed: 3 }, &cfg).report();
         // Top 10 levels: 1023 nodes x 16 B = 16 KB, cache-resident; each
         // bottom subtree (63 nodes, ~1 KB) serves its grouped instances
         // while resident. The strategy also pays real costs (exit spills,
         // scattered label writes), which the model includes, so the net
         // win is smaller than the tree-traffic win alone.
-        let t = prediction_tiled_bandwidth(&SHAPE, 10, 3, &cfg);
+        let t = run_fresh(&PredictionTiled { shape: SHAPE, top_depth: 10, seed: 3 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         assert!(reduction > 25.0, "reduction {reduction:.1}%");
     }
@@ -215,8 +223,8 @@ mod tests {
     fn small_tree_needs_no_tiling() {
         let shape = TreeShape { depth: 8, instances: 1024, features: 16 };
         let cfg = CacheConfig::paper_default();
-        let u = prediction_untiled_bandwidth(&shape, 3, &cfg);
-        let t = prediction_tiled_bandwidth(&shape, 5, 3, &cfg);
+        let u = run_fresh(&PredictionUntiled { shape, seed: 3 }, &cfg);
+        let t = run_fresh(&PredictionTiled { shape, top_depth: 5, seed: 3 }, &cfg);
         // Tiling a cache-resident tree only adds spill traffic.
         assert!(t.offchip_bytes >= u.offchip_bytes);
     }
@@ -224,7 +232,7 @@ mod tests {
     #[test]
     fn every_instance_visits_depth_nodes() {
         let cfg = CacheConfig::paper_default();
-        let u = prediction_untiled_bandwidth(&SHAPE, 3, &cfg);
+        let u = run_fresh(&PredictionUntiled { shape: SHAPE, seed: 3 }, &cfg);
         // depth node-ops + 1 label write per instance.
         assert_eq!(u.ops, (SHAPE.instances * (SHAPE.depth as usize + 1)) as u64);
     }
@@ -232,7 +240,7 @@ mod tests {
     #[test]
     fn tiled_walk_covers_same_levels() {
         let cfg = CacheConfig::paper_default();
-        let t = prediction_tiled_bandwidth(&SHAPE, 10, 3, &cfg);
+        let t = run_fresh(&PredictionTiled { shape: SHAPE, top_depth: 10, seed: 3 }, &cfg);
         // depth node-ops + 1 exit write + 1 exit read + 1 label write.
         assert_eq!(t.ops, (SHAPE.instances * (SHAPE.depth as usize + 3)) as u64);
     }

@@ -8,10 +8,9 @@
 //! The same structure covers back-propagation and RBM pre-training ("from
 //! a computer architecture perspective, they are the same", footnote 1).
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, STREAM_BASE, TESTING_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, STREAM_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+use crate::engine::SIMD_WIDTH_BYTES;
 
 /// Shape of one fully connected layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,7 +40,7 @@ impl LayerShape {
 /// Emits the dot-product ops for output neuron `i` over input range
 /// `[j0, j1)`. `first_block` controls whether `y[i]` is freshly written or
 /// read-modify-written (partial-sum reload between tiles).
-fn emit_row<S: TraceSink>(
+fn emit_row<S: TraceSink + ?Sized>(
     shape: &LayerShape,
     i: usize,
     j0: usize,
@@ -77,7 +76,7 @@ fn emit_row<S: TraceSink>(
 
 /// The original loop nest of Figure 6: outer over output neurons, inner
 /// streaming the whole input vector.
-pub fn untiled<S: TraceSink>(shape: &LayerShape, sink: &mut S) {
+pub fn untiled<S: TraceSink + ?Sized>(shape: &LayerShape, sink: &mut S) {
     for i in 0..shape.outputs {
         emit_row(shape, i, 0, shape.inputs, true, sink);
     }
@@ -89,7 +88,7 @@ pub fn untiled<S: TraceSink>(shape: &LayerShape, sink: &mut S) {
 /// # Panics
 ///
 /// Panics if `t` is zero.
-pub fn tiled<S: TraceSink>(shape: &LayerShape, t: usize, sink: &mut S) {
+pub fn tiled<S: TraceSink + ?Sized>(shape: &LayerShape, t: usize, sink: &mut S) {
     assert!(t > 0, "tile size must be non-zero");
     let mut j0 = 0;
     while j0 < shape.inputs {
@@ -101,41 +100,55 @@ pub fn tiled<S: TraceSink>(shape: &LayerShape, t: usize, sink: &mut S) {
     }
 }
 
-/// Bandwidth of the untiled nest (left bar of Figure 5).
-#[must_use]
-pub fn untiled_bandwidth(shape: &LayerShape, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled_bandwidth_with(shape, &mut engine)
+/// The untiled feedforward nest as a [`Workload`] (left bar of Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Untiled {
+    /// Layer shape.
+    pub shape: LayerShape,
 }
 
-/// Engine-reuse variant of [`untiled_bandwidth`].
-pub fn untiled_bandwidth_with(shape: &LayerShape, engine: &mut SimdEngine) -> BandwidthReport {
-    engine.reset();
-    untiled(shape, engine);
-    engine.report()
+impl Workload for Untiled {
+    fn name(&self) -> &'static str {
+        "dnn/untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Dnn
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        untiled(&self.shape, sink);
+    }
 }
 
-/// Bandwidth of the tiled nest (right bar of Figure 5).
-#[must_use]
-pub fn tiled_bandwidth(shape: &LayerShape, t: usize, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled_bandwidth_with(shape, t, &mut engine)
+/// The tiled feedforward nest as a [`Workload`] (right bar of Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiled {
+    /// Layer shape.
+    pub shape: LayerShape,
+    /// Input-neuron block size (paper: 4096).
+    pub t: usize,
 }
 
-/// Engine-reuse variant of [`tiled_bandwidth`].
-pub fn tiled_bandwidth_with(
-    shape: &LayerShape,
-    t: usize,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    tiled(shape, t, engine);
-    engine.report()
+impl Workload for Tiled {
+    fn name(&self) -> &'static str {
+        "dnn/tiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Dnn
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        tiled(&self.shape, self.t, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::kernels::run_fresh;
 
     // Na = 16384 as in the paper (64 KB of input neurons, 2x the cache).
     const SHAPE: LayerShape = LayerShape { inputs: 16384, outputs: 64 };
@@ -143,8 +156,8 @@ mod tests {
     #[test]
     fn tiling_reduces_bandwidth_by_paper_magnitude() {
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&SHAPE, &cfg);
-        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let u = run_fresh(&Untiled { shape: SHAPE }, &cfg).report();
+        let t = run_fresh(&Tiled { shape: SHAPE, t: 4096 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         // Paper: 46.7%. Synapse streaming is irreducible, so the ceiling
         // is ~50%; expect the same band.
@@ -158,7 +171,7 @@ mod tests {
     fn synapse_traffic_is_the_floor() {
         // Even tiled, traffic cannot drop below the synapse bytes.
         let cfg = CacheConfig::paper_default();
-        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let t = run_fresh(&Tiled { shape: SHAPE, t: 4096 }, &cfg);
         let synapse_bytes = (SHAPE.inputs * SHAPE.outputs) as u64 * F32_BYTES;
         assert!(t.offchip_bytes >= synapse_bytes);
         assert!(t.offchip_bytes < synapse_bytes + synapse_bytes / 4);
@@ -167,8 +180,8 @@ mod tests {
     #[test]
     fn op_counts_match() {
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&SHAPE, &cfg);
-        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let u = run_fresh(&Untiled { shape: SHAPE }, &cfg);
+        let t = run_fresh(&Tiled { shape: SHAPE, t: 4096 }, &cfg);
         assert_eq!(u.ops, t.ops);
         assert_eq!(u.ops, (SHAPE.outputs * SHAPE.inputs / 8) as u64);
     }
@@ -178,8 +191,8 @@ mod tests {
         // When x already fits in the cache, tiling is a wash.
         let shape = LayerShape { inputs: 2048, outputs: 64 };
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&shape, &cfg);
-        let t = tiled_bandwidth(&shape, 512, &cfg);
+        let u = run_fresh(&Untiled { shape }, &cfg).report();
+        let t = run_fresh(&Tiled { shape, t: 512 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         assert!(reduction.abs() < 10.0, "reduction {reduction:.1}%");
     }

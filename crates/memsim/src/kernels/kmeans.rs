@@ -13,10 +13,9 @@
 //! model the untiled nest as `for c in centroids { for n in instances }`,
 //! and tiling blocks both.
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+use crate::engine::SIMD_WIDTH_BYTES;
 
 /// Problem shape for the k-Means assignment step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,7 +46,7 @@ impl KMeansShape {
     }
 }
 
-fn emit_distance<S: TraceSink>(shape: &KMeansShape, c: usize, n: usize, sink: &mut S) {
+fn emit_distance<S: TraceSink + ?Sized>(shape: &KMeansShape, c: usize, n: usize, sink: &mut S) {
     let len = shape.vec_bytes();
     let c_base = shape.centroid_addr(c);
     let n_base = shape.instance_addr(n);
@@ -66,7 +65,7 @@ fn emit_distance<S: TraceSink>(shape: &KMeansShape, c: usize, n: usize, sink: &m
 }
 
 /// Untiled assignment sweep: each centroid streams over all instances.
-pub fn untiled<S: TraceSink>(shape: &KMeansShape, sink: &mut S) {
+pub fn untiled<S: TraceSink + ?Sized>(shape: &KMeansShape, sink: &mut S) {
     for c in 0..shape.centroids {
         for n in 0..shape.instances {
             emit_distance(shape, c, n, sink);
@@ -80,7 +79,7 @@ pub fn untiled<S: TraceSink>(shape: &KMeansShape, sink: &mut S) {
 /// # Panics
 ///
 /// Panics if `tc` or `tn` is zero.
-pub fn tiled<S: TraceSink>(shape: &KMeansShape, tc: usize, tn: usize, sink: &mut S) {
+pub fn tiled<S: TraceSink + ?Sized>(shape: &KMeansShape, tc: usize, tn: usize, sink: &mut S) {
     assert!(tc > 0 && tn > 0, "tile sizes must be non-zero");
     let mut c0 = 0;
     while c0 < shape.centroids {
@@ -99,55 +98,65 @@ pub fn tiled<S: TraceSink>(shape: &KMeansShape, tc: usize, tn: usize, sink: &mut
     }
 }
 
-/// Bandwidth of the untiled sweep (left bar of Figure 4).
-#[must_use]
-pub fn untiled_bandwidth(shape: &KMeansShape, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled_bandwidth_with(shape, &mut engine)
+/// The untiled assignment sweep as a [`Workload`] (left bar of Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Untiled {
+    /// Problem shape.
+    pub shape: KMeansShape,
 }
 
-/// Engine-reuse variant of [`untiled_bandwidth`].
-pub fn untiled_bandwidth_with(shape: &KMeansShape, engine: &mut SimdEngine) -> BandwidthReport {
-    engine.reset();
-    untiled(shape, engine);
-    engine.report()
+impl Workload for Untiled {
+    fn name(&self) -> &'static str {
+        "kmeans/untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::KMeans
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        untiled(&self.shape, sink);
+    }
 }
 
-/// Bandwidth of the tiled sweep (right bar of Figure 4).
-#[must_use]
-pub fn tiled_bandwidth(
-    shape: &KMeansShape,
-    tc: usize,
-    tn: usize,
-    cache: &CacheConfig,
-) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled_bandwidth_with(shape, tc, tn, &mut engine)
+/// The tiled assignment sweep as a [`Workload`] (right bar of Figure 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiled {
+    /// Problem shape.
+    pub shape: KMeansShape,
+    /// Centroids per block (paper: 32).
+    pub tc: usize,
+    /// Instances per block (paper: 32).
+    pub tn: usize,
 }
 
-/// Engine-reuse variant of [`tiled_bandwidth`].
-pub fn tiled_bandwidth_with(
-    shape: &KMeansShape,
-    tc: usize,
-    tn: usize,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    tiled(shape, tc, tn, engine);
-    engine.report()
+impl Workload for Tiled {
+    fn name(&self) -> &'static str {
+        "kmeans/tiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::KMeans
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        tiled(&self.shape, self.tc, self.tn, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::kernels::run_fresh;
 
     const SHAPE: KMeansShape = KMeansShape { instances: 1024, centroids: 64, features: 32 };
 
     #[test]
     fn tiling_reduces_bandwidth_by_paper_magnitude() {
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&SHAPE, &cfg);
-        let t = tiled_bandwidth(&SHAPE, 32, 32, &cfg);
+        let u = run_fresh(&Untiled { shape: SHAPE }, &cfg).report();
+        let t = run_fresh(&Tiled { shape: SHAPE, tc: 32, tn: 32 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         // Paper: 92.5% with k = 64 at full scale.
         assert!(reduction > 80.0, "reduction {reduction:.1}%");
@@ -157,7 +166,7 @@ mod tests {
     #[test]
     fn op_count_is_pairs_times_chunks() {
         let cfg = CacheConfig::paper_default();
-        let r = untiled_bandwidth(&SHAPE, &cfg);
+        let r = run_fresh(&Untiled { shape: SHAPE }, &cfg);
         assert_eq!(r.ops, (SHAPE.instances * SHAPE.centroids * 4) as u64);
     }
 
@@ -165,7 +174,10 @@ mod tests {
     fn ragged_tiles_cover_all_pairs() {
         let shape = KMeansShape { instances: 100, centroids: 7, features: 16 };
         let cfg = CacheConfig::paper_default();
-        assert_eq!(untiled_bandwidth(&shape, &cfg).ops, tiled_bandwidth(&shape, 3, 33, &cfg).ops);
+        assert_eq!(
+            run_fresh(&Untiled { shape }, &cfg).ops,
+            run_fresh(&Tiled { shape, tc: 3, tn: 33 }, &cfg).ops
+        );
     }
 
     #[test]
@@ -173,8 +185,8 @@ mod tests {
         let cfg = CacheConfig::paper_default();
         let small = KMeansShape { centroids: 16, ..SHAPE };
         let big = KMeansShape { centroids: 32, ..SHAPE };
-        let bs = untiled_bandwidth(&small, &cfg).offchip_bytes;
-        let bb = untiled_bandwidth(&big, &cfg).offchip_bytes;
+        let bs = run_fresh(&Untiled { shape: small }, &cfg).offchip_bytes;
+        let bb = run_fresh(&Untiled { shape: big }, &cfg).offchip_bytes;
         let ratio = bb as f64 / bs as f64;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
     }

@@ -5,11 +5,9 @@
 //! tiling both testing and reference instances (`Ti = Tj = 32`) cuts the
 //! off-chip bandwidth requirement by 93.9%.
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
-use crate::reuse::{ReuseProfiler, ReuseSummary};
+use crate::engine::SIMD_WIDTH_BYTES;
 
 /// Problem shape for the pairwise-distance kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,7 +48,7 @@ impl DistanceShape {
 /// paper's x86 variable-level instrumentation sees and what produces the
 /// third (shortest-distance) class in Figure 10a. Bandwidth runs leave it
 /// off because the accumulator lives in a register.
-fn emit_distance<S: TraceSink>(
+fn emit_distance<S: TraceSink + ?Sized>(
     shape: &DistanceShape,
     i: usize,
     j: usize,
@@ -80,7 +78,7 @@ fn emit_distance<S: TraceSink>(
 
 /// The original (untiled) loop nest of Figure 1:
 /// `for i in 0..Na { for j in 0..Nb { Dis[i,j] = dis(t(i), r(j)) } }`.
-pub fn untiled<S: TraceSink>(shape: &DistanceShape, sink: &mut S) {
+pub fn untiled<S: TraceSink + ?Sized>(shape: &DistanceShape, sink: &mut S) {
     for i in 0..shape.testing {
         for j in 0..shape.reference {
             emit_distance(shape, i, j, false, sink);
@@ -93,11 +91,11 @@ pub fn untiled<S: TraceSink>(shape: &DistanceShape, sink: &mut S) {
 /// # Panics
 ///
 /// Panics if `ti` or `tj` is zero.
-pub fn tiled<S: TraceSink>(shape: &DistanceShape, ti: usize, tj: usize, sink: &mut S) {
+pub fn tiled<S: TraceSink + ?Sized>(shape: &DistanceShape, ti: usize, tj: usize, sink: &mut S) {
     tiled_impl(shape, ti, tj, false, sink);
 }
 
-fn tiled_impl<S: TraceSink>(
+fn tiled_impl<S: TraceSink + ?Sized>(
     shape: &DistanceShape,
     ti: usize,
     tj: usize,
@@ -122,73 +120,78 @@ fn tiled_impl<S: TraceSink>(
     }
 }
 
-/// Runs the untiled kernel through a fresh [`SimdEngine`] and reports the
-/// bandwidth requirement (one bar of Figure 2).
-#[must_use]
-pub fn untiled_bandwidth(shape: &DistanceShape, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled_bandwidth_with(shape, &mut engine)
+/// The untiled distance kernel as a [`Workload`] (one bar of Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Untiled {
+    /// Problem shape.
+    pub shape: DistanceShape,
 }
 
-/// Engine-reuse variant of [`untiled_bandwidth`]: resets `engine` and runs
-/// the untiled kernel through it, so sweeps over many shapes or tile sizes
-/// reuse one cache allocation instead of building a fresh engine per point.
-pub fn untiled_bandwidth_with(shape: &DistanceShape, engine: &mut SimdEngine) -> BandwidthReport {
-    engine.reset();
-    untiled(shape, engine);
-    engine.report()
+impl Workload for Untiled {
+    fn name(&self) -> &'static str {
+        "knn/untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Knn
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        untiled(&self.shape, sink);
+    }
 }
 
-/// Runs the tiled kernel through a fresh [`SimdEngine`] (the other bar of
-/// Figure 2).
-#[must_use]
-pub fn tiled_bandwidth(
-    shape: &DistanceShape,
-    ti: usize,
-    tj: usize,
-    cache: &CacheConfig,
-) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled_bandwidth_with(shape, ti, tj, &mut engine)
+/// The tiled distance kernel as a [`Workload`] (the other bar of Figure 2;
+/// with `touch_acc` set, the Figure-10a reuse-profile variant that touches
+/// the accumulator on every chunk as the paper's source-level
+/// instrumentation does).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiled {
+    /// Problem shape.
+    pub shape: DistanceShape,
+    /// Tile size over testing instances (paper: 32).
+    pub ti: usize,
+    /// Tile size over reference instances (paper: 32).
+    pub tj: usize,
+    /// Touch the output accumulator on every chunk (reuse-profiling mode;
+    /// bandwidth runs leave it off because the accumulator is a register).
+    pub touch_acc: bool,
 }
 
-/// Engine-reuse variant of [`tiled_bandwidth`].
-pub fn tiled_bandwidth_with(
-    shape: &DistanceShape,
-    ti: usize,
-    tj: usize,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    tiled(shape, ti, tj, engine);
-    engine.report()
+impl Tiled {
+    /// The bandwidth-run configuration (no accumulator touches).
+    #[must_use]
+    pub fn bandwidth(shape: DistanceShape, ti: usize, tj: usize) -> Tiled {
+        Tiled { shape, ti, tj, touch_acc: false }
+    }
+
+    /// The Figure-10a reuse-profiling configuration.
+    #[must_use]
+    pub fn reuse(shape: DistanceShape, ti: usize, tj: usize) -> Tiled {
+        Tiled { shape, ti, tj, touch_acc: true }
+    }
 }
 
-/// Profiles per-variable reuse distances of the tiled kernel with
-/// source-level accumulator touches — the data behind Figure 10a, which
-/// clusters into three classes.
-#[must_use]
-pub fn tiled_reuse(shape: &DistanceShape, ti: usize, tj: usize) -> ReuseSummary {
-    let mut profiler = ReuseProfiler::new(F32_BYTES as u32);
-    tiled_reuse_with(shape, ti, tj, &mut profiler)
-}
+impl Workload for Tiled {
+    fn name(&self) -> &'static str {
+        "knn/tiled"
+    }
 
-/// Profiler-reuse variant of [`tiled_reuse`]: resets `profiler` (keeping
-/// its slot-table allocation) and replays the tiled kernel through it.
-pub fn tiled_reuse_with(
-    shape: &DistanceShape,
-    ti: usize,
-    tj: usize,
-    profiler: &mut ReuseProfiler,
-) -> ReuseSummary {
-    profiler.reset();
-    tiled_impl(shape, ti, tj, true, profiler);
-    profiler.summary()
+    fn technique(&self) -> Technique {
+        Technique::Knn
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        tiled_impl(&self.shape, self.ti, self.tj, self.touch_acc, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::engine::SimdEngine;
+    use crate::kernels::{profile_fresh, run_fresh};
 
     // References span 64 KB (2x the 32 KB cache) so the untiled nest
     // re-fetches them per testing instance, as at paper scale.
@@ -197,8 +200,8 @@ mod tests {
     #[test]
     fn tiling_reduces_bandwidth_by_paper_magnitude() {
         let cfg = CacheConfig::paper_default();
-        let untiled = untiled_bandwidth(&SHAPE, &cfg);
-        let tiled = tiled_bandwidth(&SHAPE, 32, 32, &cfg);
+        let untiled = run_fresh(&Untiled { shape: SHAPE }, &cfg).report();
+        let tiled = run_fresh(&Tiled::bandwidth(SHAPE, 32, 32), &cfg).report();
         let reduction = tiled.reduction_vs(&untiled);
         // Paper: 93.9% at full scale; small test shape still shows >80%.
         assert!(reduction > 80.0, "reduction {reduction:.1}%");
@@ -210,7 +213,7 @@ mod tests {
     fn op_count_matches_loop_nest() {
         // 32 features = 4 chunks per pair.
         let cfg = CacheConfig::paper_default();
-        let r = untiled_bandwidth(&SHAPE, &cfg);
+        let r = run_fresh(&Untiled { shape: SHAPE }, &cfg);
         assert_eq!(r.ops, (SHAPE.testing * SHAPE.reference * 4) as u64);
     }
 
@@ -218,8 +221,8 @@ mod tests {
     fn tile_sizes_not_dividing_shape_still_cover_all_pairs() {
         let shape = DistanceShape { testing: 33, reference: 17, features: 8 };
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&shape, &cfg);
-        let t = tiled_bandwidth(&shape, 10, 10, &cfg);
+        let u = run_fresh(&Untiled { shape }, &cfg);
+        let t = run_fresh(&Tiled::bandwidth(shape, 10, 10), &cfg);
         assert_eq!(u.ops, t.ops);
     }
 
@@ -235,7 +238,7 @@ mod tests {
         // 3x3 blocks of 32x32 so both in-block and cross-block reuse are
         // represented, as in the paper's full-scale Figure 10a run.
         let shape = DistanceShape { testing: 96, reference: 96, features: 32 };
-        let summary = tiled_reuse(&shape, 32, 32);
+        let summary = profile_fresh(&Tiled::reuse(shape, 32, 32));
         let classes = summary.classes(3.0);
         assert!(
             classes.len() >= 3,
@@ -251,10 +254,18 @@ mod tests {
     fn bigger_tiles_beyond_cache_lose_benefit() {
         let cfg = CacheConfig::paper_default();
         // A "tile" as large as the whole problem degenerates to untiled.
-        let degenerate = tiled_bandwidth(&SHAPE, SHAPE.testing, SHAPE.reference, &cfg);
-        let untiled = untiled_bandwidth(&SHAPE, &cfg);
+        let degenerate = run_fresh(&Tiled::bandwidth(SHAPE, SHAPE.testing, SHAPE.reference), &cfg);
+        let untiled = run_fresh(&Untiled { shape: SHAPE }, &cfg);
         assert_eq!(degenerate.offchip_bytes, untiled.offchip_bytes);
-        let good = tiled_bandwidth(&SHAPE, 32, 32, &cfg);
+        let good = run_fresh(&Tiled::bandwidth(SHAPE, 32, 32), &cfg);
         assert!(good.offchip_bytes < degenerate.offchip_bytes / 4);
+    }
+
+    #[test]
+    fn workload_metadata() {
+        let w = Tiled::bandwidth(SHAPE, 32, 32);
+        assert_eq!(w.name(), "knn/tiled");
+        assert_eq!(w.technique(), Technique::Knn);
+        assert_eq!(Untiled { shape: SHAPE }.technique().label(), "knn");
     }
 }

@@ -8,10 +8,9 @@
 //! evaluates the same `theta . x(i)` products, so this kernel covers both
 //! LR phases.
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, STREAM_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, STREAM_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+use crate::engine::SIMD_WIDTH_BYTES;
 
 /// Shape of the LR prediction workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +35,7 @@ impl LinRegShape {
     }
 }
 
-fn emit_dot<S: TraceSink>(
+fn emit_dot<S: TraceSink + ?Sized>(
     shape: &LinRegShape,
     n: usize,
     j0: usize,
@@ -71,7 +70,7 @@ fn emit_dot<S: TraceSink>(
 }
 
 /// Untiled prediction: each instance consumes the full coefficient vector.
-pub fn untiled<S: TraceSink>(shape: &LinRegShape, sink: &mut S) {
+pub fn untiled<S: TraceSink + ?Sized>(shape: &LinRegShape, sink: &mut S) {
     for n in 0..shape.instances {
         emit_dot(shape, n, 0, shape.coefficients, true, sink);
     }
@@ -83,7 +82,7 @@ pub fn untiled<S: TraceSink>(shape: &LinRegShape, sink: &mut S) {
 /// # Panics
 ///
 /// Panics if `t` is zero.
-pub fn tiled<S: TraceSink>(shape: &LinRegShape, t: usize, sink: &mut S) {
+pub fn tiled<S: TraceSink + ?Sized>(shape: &LinRegShape, t: usize, sink: &mut S) {
     assert!(t > 0, "tile size must be non-zero");
     let mut j0 = 0;
     while j0 < shape.coefficients {
@@ -95,49 +94,64 @@ pub fn tiled<S: TraceSink>(shape: &LinRegShape, t: usize, sink: &mut S) {
     }
 }
 
-/// Bandwidth of the untiled kernel (left bar of Figure 8).
-#[must_use]
-pub fn untiled_bandwidth(shape: &LinRegShape, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled_bandwidth_with(shape, &mut engine)
+/// The untiled prediction as a [`Workload`] (left bar of Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Untiled {
+    /// Problem shape.
+    pub shape: LinRegShape,
 }
 
-/// Engine-reuse variant of [`untiled_bandwidth`].
-pub fn untiled_bandwidth_with(shape: &LinRegShape, engine: &mut SimdEngine) -> BandwidthReport {
-    engine.reset();
-    untiled(shape, engine);
-    engine.report()
+impl Workload for Untiled {
+    fn name(&self) -> &'static str {
+        "linreg/untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::LinReg
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        untiled(&self.shape, sink);
+    }
 }
 
-/// Bandwidth of the tiled kernel (right bar of Figure 8).
-#[must_use]
-pub fn tiled_bandwidth(shape: &LinRegShape, t: usize, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled_bandwidth_with(shape, t, &mut engine)
+/// The coefficient-tiled prediction as a [`Workload`] (right bar of
+/// Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiled {
+    /// Problem shape.
+    pub shape: LinRegShape,
+    /// Coefficient block size (paper: 4096).
+    pub t: usize,
 }
 
-/// Engine-reuse variant of [`tiled_bandwidth`].
-pub fn tiled_bandwidth_with(
-    shape: &LinRegShape,
-    t: usize,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    tiled(shape, t, engine);
-    engine.report()
+impl Workload for Tiled {
+    fn name(&self) -> &'static str {
+        "linreg/tiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::LinReg
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        tiled(&self.shape, self.t, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::kernels::run_fresh;
 
     const SHAPE: LinRegShape = LinRegShape { coefficients: 16384, instances: 64 };
 
     #[test]
     fn tiling_reduces_bandwidth_by_paper_magnitude() {
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&SHAPE, &cfg);
-        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let u = run_fresh(&Untiled { shape: SHAPE }, &cfg).report();
+        let t = run_fresh(&Tiled { shape: SHAPE, t: 4096 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         // Paper: 46.7% (instance streaming is the irreducible half).
         assert!(
@@ -149,7 +163,7 @@ mod tests {
     #[test]
     fn feature_stream_is_the_floor() {
         let cfg = CacheConfig::paper_default();
-        let t = tiled_bandwidth(&SHAPE, 4096, &cfg);
+        let t = run_fresh(&Tiled { shape: SHAPE, t: 4096 }, &cfg);
         let stream_bytes = (SHAPE.coefficients * SHAPE.instances) as u64 * F32_BYTES;
         assert!(t.offchip_bytes >= stream_bytes);
     }
@@ -157,15 +171,18 @@ mod tests {
     #[test]
     fn op_counts_match_between_variants() {
         let cfg = CacheConfig::paper_default();
-        assert_eq!(untiled_bandwidth(&SHAPE, &cfg).ops, tiled_bandwidth(&SHAPE, 1000, &cfg).ops);
+        assert_eq!(
+            run_fresh(&Untiled { shape: SHAPE }, &cfg).ops,
+            run_fresh(&Tiled { shape: SHAPE, t: 1000 }, &cfg).ops
+        );
     }
 
     #[test]
     fn small_models_gain_nothing() {
         let shape = LinRegShape { coefficients: 1024, instances: 64 };
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&shape, &cfg);
-        let t = tiled_bandwidth(&shape, 256, &cfg);
+        let u = run_fresh(&Untiled { shape }, &cfg).report();
+        let t = run_fresh(&Tiled { shape, t: 256 }, &cfg).report();
         assert!(t.reduction_vs(&u).abs() < 10.0);
     }
 }

@@ -9,11 +9,8 @@
 //! characteristics" — so no tiling strategy applies, and the profiled
 //! variables fall into exactly two reuse-distance classes.
 
-use super::{TraceSink, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
+use super::{Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, REFERENCE_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine};
-use crate::reuse::{ReuseProfiler, ReuseSummary};
 
 /// Shape of the NB training workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,7 +60,7 @@ fn mix(seed: u64) -> u64 {
 
 /// Emits the NB training counting pass: one comparison op per candidate
 /// value per feature, then one counter increment (read-modify-write).
-pub fn training<S: TraceSink>(shape: &NbShape, seed: u64, sink: &mut S) {
+pub fn training<S: TraceSink + ?Sized>(shape: &NbShape, seed: u64, sink: &mut S) {
     for n in 0..shape.instances {
         let label = (mix(seed ^ n as u64) % shape.classes as u64) as usize;
         for i in 0..shape.features {
@@ -88,40 +85,37 @@ pub fn training<S: TraceSink>(shape: &NbShape, seed: u64, sink: &mut S) {
     }
 }
 
-/// Bandwidth of the training pass.
-#[must_use]
-pub fn training_bandwidth(shape: &NbShape, seed: u64, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    training(shape, seed, &mut engine);
-    engine.report()
+/// The training counting pass as a [`Workload`]. Running it reports the
+/// bandwidth requirement; profiling it yields the Figure-10b two-class
+/// reuse structure (instance data at distance ~1; counters spread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Training {
+    /// Problem shape.
+    pub shape: NbShape,
+    /// Seed for the data-dependent feature values.
+    pub seed: u64,
 }
 
-/// Per-variable reuse profile of the training pass — the data behind
-/// Figure 10b, which clusters into two classes (instance data at distance
-/// ~1; counters spread over a wide interval).
-#[must_use]
-pub fn training_reuse(shape: &NbShape, seed: u64) -> ReuseSummary {
-    let mut profiler = ReuseProfiler::new(F32_BYTES as u32);
-    training_reuse_with(shape, seed, &mut profiler)
-}
+impl Workload for Training {
+    fn name(&self) -> &'static str {
+        "nb/training"
+    }
 
-/// Profiler-reuse variant of [`training_reuse`]: resets `profiler`
-/// (keeping its slot-table allocation) and replays the training pass
-/// through it.
-pub fn training_reuse_with(
-    shape: &NbShape,
-    seed: u64,
-    profiler: &mut ReuseProfiler,
-) -> ReuseSummary {
-    profiler.reset();
-    training(shape, seed, profiler);
-    profiler.summary()
+    fn technique(&self) -> Technique {
+        Technique::Nb
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        training(&self.shape, self.seed, sink);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::access::VarClass;
+    use crate::cache::CacheConfig;
+    use crate::kernels::{profile_fresh, run_fresh};
 
     const SHAPE: NbShape = NbShape { instances: 512, features: 8, values: 4, classes: 5 };
 
@@ -132,7 +126,7 @@ mod tests {
 
     #[test]
     fn reuse_profile_has_two_classes() {
-        let summary = training_reuse(&SHAPE, 42);
+        let summary = profile_fresh(&Training { shape: SHAPE, seed: 42 });
         let classes = summary.classes(8.0);
         assert!(classes.len() >= 2, "expected >=2 reuse classes (Figure 10b), got {classes:?}");
         // Instance data reuses at ~1 instruction; counters far apart.
@@ -144,7 +138,7 @@ mod tests {
     #[test]
     fn small_counter_table_stays_cached() {
         let cfg = CacheConfig::paper_default();
-        let r = training_bandwidth(&SHAPE, 7, &cfg);
+        let r = run_fresh(&Training { shape: SHAPE, seed: 7 }, &cfg);
         // Traffic should be close to the compulsory instance stream:
         // (features+1) values x 4 bytes per instance, line-rounded.
         let stream = (SHAPE.instances * (SHAPE.features + 1) * 4) as u64;
@@ -159,8 +153,8 @@ mod tests {
         let big = NbShape { instances: 512, features: 64, values: 64, classes: 16 };
         let small = NbShape { instances: 512, features: 64, values: 64, classes: 1 };
         let cfg = CacheConfig::paper_default();
-        let rb = training_bandwidth(&big, 7, &cfg);
-        let rs = training_bandwidth(&small, 7, &cfg);
+        let rb = run_fresh(&Training { shape: big, seed: 7 }, &cfg).report();
+        let rs = run_fresh(&Training { shape: small, seed: 7 }, &cfg).report();
         // Same compute per feature, wildly different traffic per op.
         assert!(
             rb.gb_per_s() > rs.gb_per_s() * 2.0,
@@ -173,8 +167,8 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let cfg = CacheConfig::paper_default();
-        let a = training_bandwidth(&SHAPE, 1, &cfg);
-        let b = training_bandwidth(&SHAPE, 1, &cfg);
+        let a = run_fresh(&Training { shape: SHAPE, seed: 1 }, &cfg);
+        let b = run_fresh(&Training { shape: SHAPE, seed: 1 }, &cfg);
         assert_eq!(a, b);
     }
 }

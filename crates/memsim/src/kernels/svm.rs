@@ -9,10 +9,9 @@
 //! reduction. Prediction computes kernel values between support vectors
 //! and testing instances, which is exactly the k-NN pairwise shape.
 
-use super::{knn, TraceSink, F32_BYTES, OUTPUT_BASE, TESTING_BASE};
+use super::{knn, Technique, TraceSink, Workload, F32_BYTES, OUTPUT_BASE, TESTING_BASE};
 use crate::access::{Access, Addr, VarClass};
-use crate::cache::CacheConfig;
-use crate::engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+use crate::engine::SIMD_WIDTH_BYTES;
 
 /// Shape of the training-phase kernel-matrix computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,7 +34,7 @@ impl KernelMatrixShape {
 
 /// Emits `k(x_i, x_j)`: dot-product chunks plus one non-linear evaluation
 /// op (the interpolation the Misc stage performs), writing `K[i,j]`.
-fn emit_kernel<S: TraceSink>(shape: &KernelMatrixShape, i: usize, j: usize, sink: &mut S) {
+fn emit_kernel<S: TraceSink + ?Sized>(shape: &KernelMatrixShape, i: usize, j: usize, sink: &mut S) {
     let len = shape.features as u64 * F32_BYTES;
     let i_base = shape.x_addr(i);
     let j_base = shape.x_addr(j);
@@ -53,7 +52,7 @@ fn emit_kernel<S: TraceSink>(shape: &KernelMatrixShape, i: usize, j: usize, sink
 }
 
 /// Untiled kernel-matrix nest: `for i { for j { K[i,j] = k(x_i, x_j) } }`.
-pub fn untiled<S: TraceSink>(shape: &KernelMatrixShape, sink: &mut S) {
+pub fn untiled<S: TraceSink + ?Sized>(shape: &KernelMatrixShape, sink: &mut S) {
     for i in 0..shape.train {
         for j in 0..shape.train {
             emit_kernel(shape, i, j, sink);
@@ -66,7 +65,7 @@ pub fn untiled<S: TraceSink>(shape: &KernelMatrixShape, sink: &mut S) {
 /// # Panics
 ///
 /// Panics if `ti` or `tj` is zero.
-pub fn tiled<S: TraceSink>(shape: &KernelMatrixShape, ti: usize, tj: usize, sink: &mut S) {
+pub fn tiled<S: TraceSink + ?Sized>(shape: &KernelMatrixShape, ti: usize, tj: usize, sink: &mut S) {
     assert!(ti > 0 && tj > 0, "tile sizes must be non-zero");
     let mut i0 = 0;
     while i0 < shape.train {
@@ -85,45 +84,52 @@ pub fn tiled<S: TraceSink>(shape: &KernelMatrixShape, ti: usize, tj: usize, sink
     }
 }
 
-/// Bandwidth of the untiled kernel-matrix computation (Figure 9, left).
-#[must_use]
-pub fn untiled_bandwidth(shape: &KernelMatrixShape, cache: &CacheConfig) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    untiled_bandwidth_with(shape, &mut engine)
+/// The untiled kernel-matrix computation as a [`Workload`] (Figure 9,
+/// left).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Untiled {
+    /// Problem shape.
+    pub shape: KernelMatrixShape,
 }
 
-/// Engine-reuse variant of [`untiled_bandwidth`].
-pub fn untiled_bandwidth_with(
-    shape: &KernelMatrixShape,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    untiled(shape, engine);
-    engine.report()
+impl Workload for Untiled {
+    fn name(&self) -> &'static str {
+        "svm/untiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Svm
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        untiled(&self.shape, sink);
+    }
 }
 
-/// Bandwidth of the tiled kernel-matrix computation (Figure 9, right).
-#[must_use]
-pub fn tiled_bandwidth(
-    shape: &KernelMatrixShape,
-    ti: usize,
-    tj: usize,
-    cache: &CacheConfig,
-) -> BandwidthReport {
-    let mut engine = SimdEngine::new(cache.clone()).expect("valid cache config");
-    tiled_bandwidth_with(shape, ti, tj, &mut engine)
+/// The tiled kernel-matrix computation as a [`Workload`] (Figure 9,
+/// right).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tiled {
+    /// Problem shape.
+    pub shape: KernelMatrixShape,
+    /// Row-block size (paper: 32).
+    pub ti: usize,
+    /// Column-block size (paper: 32).
+    pub tj: usize,
 }
 
-/// Engine-reuse variant of [`tiled_bandwidth`].
-pub fn tiled_bandwidth_with(
-    shape: &KernelMatrixShape,
-    ti: usize,
-    tj: usize,
-    engine: &mut SimdEngine,
-) -> BandwidthReport {
-    engine.reset();
-    tiled(shape, ti, tj, engine);
-    engine.report()
+impl Workload for Tiled {
+    fn name(&self) -> &'static str {
+        "svm/tiled"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Svm
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        tiled(&self.shape, self.ti, self.tj, sink);
+    }
 }
 
 /// Prediction phase: kernel values between `support_vectors` and
@@ -142,14 +148,16 @@ pub fn prediction_shape(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
+    use crate::kernels::run_fresh;
 
     const SHAPE: KernelMatrixShape = KernelMatrixShape { train: 512, features: 32 };
 
     #[test]
     fn tiling_reduces_bandwidth_by_paper_magnitude() {
         let cfg = CacheConfig::paper_default();
-        let u = untiled_bandwidth(&SHAPE, &cfg);
-        let t = tiled_bandwidth(&SHAPE, 32, 32, &cfg);
+        let u = run_fresh(&Untiled { shape: SHAPE }, &cfg).report();
+        let t = run_fresh(&Tiled { shape: SHAPE, ti: 32, tj: 32 }, &cfg).report();
         let reduction = t.reduction_vs(&u);
         // Paper: 93.9%, matching k-NN.
         assert!(reduction > 80.0, "reduction {reduction:.1}%");
@@ -159,7 +167,7 @@ mod tests {
     #[test]
     fn kernel_adds_one_misc_op_per_pair() {
         let cfg = CacheConfig::paper_default();
-        let r = untiled_bandwidth(&SHAPE, &cfg);
+        let r = run_fresh(&Untiled { shape: SHAPE }, &cfg);
         // 4 dot chunks + 1 kernel-evaluation op per pair.
         assert_eq!(r.ops, (SHAPE.train * SHAPE.train * 5) as u64);
     }
@@ -171,8 +179,8 @@ mod tests {
         assert_eq!(shape.reference, 512);
         assert_eq!(shape.testing, 64);
         let cfg = CacheConfig::paper_default();
-        let u = knn::untiled_bandwidth(&shape, &cfg);
-        let t = knn::tiled_bandwidth(&shape, 32, 32, &cfg);
+        let u = run_fresh(&knn::Untiled { shape }, &cfg).report();
+        let t = run_fresh(&knn::Tiled::bandwidth(shape, 32, 32), &cfg).report();
         assert!(t.reduction_vs(&u) > 50.0);
     }
 }

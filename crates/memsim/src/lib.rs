@@ -19,8 +19,8 @@
 //!   HotBuf / ColdBuf / OutputBuf split.
 //! - [`kernels`] — faithful trace generators for every loop nest the paper
 //!   lists (Figures 1, 3, 6, 7 and the analogous SVM / LR / NB / CT
-//!   kernels), each in untiled and tiled form, regenerating Figures 2, 4,
-//!   5, 8 and 9.
+//!   kernels), each packaged as a [`Workload`] in untiled and tiled form,
+//!   regenerating Figures 2, 4, 5, 8 and 9.
 //!
 //! # Example: the k-NN tiling experiment (Figure 2)
 //!
@@ -29,8 +29,9 @@
 //!
 //! // References span 64 KB, twice the 32 KB cache, as at paper scale.
 //! let shape = kernels::knn::DistanceShape { testing: 64, reference: 512, features: 32 };
-//! let untiled = kernels::knn::untiled_bandwidth(&shape, &CacheConfig::paper_default());
-//! let tiled = kernels::knn::tiled_bandwidth(&shape, 32, 32, &CacheConfig::paper_default());
+//! let cfg = CacheConfig::paper_default();
+//! let untiled = kernels::run_fresh(&kernels::knn::Untiled { shape }, &cfg);
+//! let tiled = kernels::run_fresh(&kernels::knn::Tiled::bandwidth(shape, 32, 32), &cfg);
 //! assert!(tiled.offchip_bytes < untiled.offchip_bytes / 4);
 //! ```
 
@@ -51,4 +52,5 @@ pub use cache::{
     Cache, CacheConfig, CacheConfigError, CacheStats, LineState, ReplacementPolicy, WritePolicy,
 };
 pub use engine::{BandwidthReport, SimdEngine, SIMD_WIDTH_BYTES};
+pub use kernels::{KernelStats, Technique, Workload};
 pub use reuse::{ReuseClass, ReuseProfiler, ReuseSummary, VariableReuse};

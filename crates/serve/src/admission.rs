@@ -1,0 +1,191 @@
+//! Admission control: a bounded, technique-partitioned request queue.
+//!
+//! Each of the seven technique families gets its own FIFO so one hot
+//! technique cannot starve the others (per-technique backpressure); a
+//! global cap bounds total queued work. Requests past either bound are
+//! **shed**, requests naming a technique the catalog does not know are
+//! **rejected**, and everything else is **admitted**. The batch picker
+//! always drains the technique with the oldest head-of-line request, so
+//! batching by technique never reorders across more than one queue depth.
+
+use std::collections::VecDeque;
+
+use pudiannao_memsim::Technique;
+
+use crate::request::Request;
+
+/// Queue bounds for the admission layer.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Max queued requests per technique family.
+    pub per_technique_cap: usize,
+    /// Max queued requests across all techniques.
+    pub global_cap: usize,
+}
+
+impl AdmissionConfig {
+    /// Defaults tuned so the heavy `serve_bench` stream sheds only under
+    /// bursts, not in steady state.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        AdmissionConfig { per_technique_cap: 48, global_cap: 224 }
+    }
+}
+
+/// What happened to an offered request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// Queued; will be batched and executed.
+    Admitted,
+    /// Dropped for load: its technique queue or the global queue was full.
+    Shed,
+    /// Refused: unknown technique id, never queued.
+    Rejected,
+}
+
+/// Monotonic counters over every offered request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    pub offered: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub rejected: u64,
+}
+
+/// The bounded queue in front of the shard pool.
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    lanes: [VecDeque<Request>; Technique::ALL.len()],
+    queued: usize,
+    counters: AdmissionCounters,
+    /// Shed/rejected tallies per technique lane (rejections all land in
+    /// no lane, so only sheds are per-technique).
+    shed_by_technique: [u64; Technique::ALL.len()],
+}
+
+impl AdmissionQueue {
+    #[must_use]
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            config,
+            lanes: Default::default(),
+            queued: 0,
+            counters: AdmissionCounters::default(),
+            shed_by_technique: [0; Technique::ALL.len()],
+        }
+    }
+
+    /// Offers one request; returns how admission handled it.
+    pub fn offer(&mut self, request: Request) -> AdmissionOutcome {
+        self.counters.offered += 1;
+        let Some(technique) = request.technique() else {
+            self.counters.rejected += 1;
+            return AdmissionOutcome::Rejected;
+        };
+        let lane = technique.index();
+        if self.lanes[lane].len() >= self.config.per_technique_cap
+            || self.queued >= self.config.global_cap
+        {
+            self.counters.shed += 1;
+            self.shed_by_technique[lane] += 1;
+            return AdmissionOutcome::Shed;
+        }
+        self.lanes[lane].push_back(request);
+        self.queued += 1;
+        self.counters.admitted += 1;
+        AdmissionOutcome::Admitted
+    }
+
+    /// Pops a batch of up to `max_batch` requests, all one technique: the
+    /// lane whose head-of-line request has waited longest (ties broken by
+    /// technique index, so the choice is deterministic).
+    pub fn pick_batch(&mut self, max_batch: usize) -> Option<(Technique, Vec<Request>)> {
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.front().map(|r| (r.arrival_ns, r.id, i)))
+            .min()?
+            .2;
+        let take = max_batch.max(1).min(self.lanes[lane].len());
+        let batch: Vec<Request> = self.lanes[lane].drain(..take).collect();
+        self.queued -= batch.len();
+        Some((Technique::ALL[lane], batch))
+    }
+
+    /// Requests currently queued across all lanes.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    #[must_use]
+    pub fn counters(&self) -> AdmissionCounters {
+        self.counters
+    }
+
+    /// Sheds per technique lane, indexed like [`Technique::ALL`].
+    #[must_use]
+    pub fn shed_by_technique(&self) -> &[u64; Technique::ALL.len()] {
+        &self.shed_by_technique
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestKind, SizeTier};
+    use pudiannao_codegen::phases::Phase;
+
+    fn req(id: u64, arrival_ns: u64, phase: Phase) -> Request {
+        Request { id, arrival_ns, kind: RequestKind::Phase(phase), tier: SizeTier::Small }
+    }
+
+    #[test]
+    fn caps_shed_and_unknowns_reject() {
+        let mut q = AdmissionQueue::new(AdmissionConfig { per_technique_cap: 2, global_cap: 3 });
+        assert_eq!(q.offer(req(0, 0, Phase::KnnPrediction)), AdmissionOutcome::Admitted);
+        assert_eq!(q.offer(req(1, 1, Phase::KnnPrediction)), AdmissionOutcome::Admitted);
+        // Third kNN overflows the technique lane.
+        assert_eq!(q.offer(req(2, 2, Phase::KnnPrediction)), AdmissionOutcome::Shed);
+        // A different technique still fits...
+        assert_eq!(q.offer(req(3, 3, Phase::NbTraining)), AdmissionOutcome::Admitted);
+        // ...until the global cap trips.
+        assert_eq!(q.offer(req(4, 4, Phase::CtPrediction)), AdmissionOutcome::Shed);
+        let bad =
+            Request { id: 5, arrival_ns: 5, kind: RequestKind::Unknown(99), tier: SizeTier::Small };
+        assert_eq!(q.offer(bad), AdmissionOutcome::Rejected);
+        let c = q.counters();
+        assert_eq!(c.offered, 6);
+        assert_eq!(c.admitted + c.shed + c.rejected, c.offered);
+        assert_eq!((c.admitted, c.shed, c.rejected), (3, 2, 1));
+        assert_eq!(q.shed_by_technique()[pudiannao_memsim::Technique::Knn.index()], 1);
+    }
+
+    #[test]
+    fn batches_are_single_technique_and_oldest_first() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::paper_default());
+        q.offer(req(0, 50, Phase::DnnPrediction));
+        q.offer(req(1, 10, Phase::SvmTraining));
+        q.offer(req(2, 60, Phase::DnnPretraining));
+        q.offer(req(3, 20, Phase::SvmPrediction));
+        // SVM has the oldest head-of-line request (t=10) and both SVM
+        // requests batch together.
+        let (tech, batch) = q.pick_batch(8).unwrap();
+        assert_eq!(tech, pudiannao_memsim::Technique::Svm);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 3]);
+        let (tech, batch) = q.pick_batch(1).unwrap();
+        assert_eq!(tech, pudiannao_memsim::Technique::Dnn);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, 0);
+        assert_eq!(q.queued(), 1);
+        q.pick_batch(8).unwrap();
+        assert!(q.is_empty());
+        assert!(q.pick_batch(8).is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! The serving catalog: 13 phases × 3 size tiers of pre-built memsim
+//! workloads, each boxed behind the unified `Workload` trait.
+//!
+//! Serving-tier problems are deliberately small — a request should hold a
+//! shard for microseconds, not the milliseconds the locality-study shapes
+//! take — so these shapes are scaled-down cousins of the Section-2
+//! figures, tiled the same way the paper tiles them. Two phases have no
+//! dedicated memsim kernel and borrow the closest one:
+//!
+//! * **NB prediction** replays the NB *training* counting kernel at a
+//!   smaller instance count: prediction streams testing instances through
+//!   the same per-feature probability tables the training pass builds.
+//! * **CT training** is counting-dominated (the paper groups it with NB
+//!   for exactly this reason) and also maps to the NB counting kernel,
+//!   with a CT-flavoured feature/value shape.
+
+use pudiannao_codegen::phases::Phase;
+use pudiannao_memsim::kernels::{ct, dnn, kmeans, knn, linreg, nb, svm};
+use pudiannao_memsim::Workload;
+
+use crate::request::SizeTier;
+
+/// Position of a phase in [`Phase::ALL`], used to index the catalog.
+#[must_use]
+pub fn phase_index(phase: Phase) -> usize {
+    Phase::ALL.iter().position(|p| *p == phase).expect("Phase::ALL covers every variant")
+}
+
+/// The fleet's workload table: one boxed [`Workload`] per (phase, tier).
+pub struct ServingCatalog {
+    entries: Vec<Box<dyn Workload>>,
+}
+
+impl ServingCatalog {
+    /// Builds the default catalog used by `serve_bench` and the tests.
+    #[must_use]
+    pub fn paper_default() -> ServingCatalog {
+        let mut entries: Vec<Box<dyn Workload>> = Vec::with_capacity(Phase::ALL.len() * 3);
+        for phase in Phase::ALL {
+            for tier in SizeTier::ALL {
+                entries.push(build(phase, tier));
+            }
+        }
+        ServingCatalog { entries }
+    }
+
+    /// The workload that serves `(phase, tier)` requests.
+    #[must_use]
+    pub fn get(&self, phase: Phase, tier: SizeTier) -> &dyn Workload {
+        self.entries[phase_index(phase) * 3 + tier.index()].as_ref()
+    }
+}
+
+/// Seed for the data-dependent kernels (NB feature values, CT branch
+/// directions); fixed so the catalog is one deterministic artefact.
+const DATA_SEED: u64 = 0x5eed_cafe;
+
+/// Picks `(small, medium, large)` by tier.
+fn pick<T: Copy>(tier: SizeTier, values: (T, T, T)) -> T {
+    match tier {
+        SizeTier::Small => values.0,
+        SizeTier::Medium => values.1,
+        SizeTier::Large => values.2,
+    }
+}
+
+fn build(phase: Phase, tier: SizeTier) -> Box<dyn Workload> {
+    match phase {
+        Phase::KnnPrediction => {
+            let (testing, reference) = pick(tier, ((16, 32), (16, 64), (32, 128)));
+            let shape = knn::DistanceShape { testing, reference, features: 32 };
+            Box::new(knn::Tiled::bandwidth(shape, 16, 16))
+        }
+        Phase::KMeansClustering => {
+            let (instances, centroids) = pick(tier, ((32, 16), (64, 16), (128, 32)));
+            let shape = kmeans::KMeansShape { instances, centroids, features: 32 };
+            Box::new(kmeans::Tiled { shape, tc: 16, tn: 16 })
+        }
+        Phase::DnnPrediction => {
+            let (inputs, outputs) = pick(tier, ((256, 16), (512, 32), (1024, 64)));
+            Box::new(dnn::Tiled { shape: dnn::LayerShape { inputs, outputs }, t: 256 })
+        }
+        Phase::DnnPretraining => {
+            let (inputs, outputs) = pick(tier, ((512, 8), (512, 24), (1024, 48)));
+            Box::new(dnn::Tiled { shape: dnn::LayerShape { inputs, outputs }, t: 256 })
+        }
+        Phase::DnnGlobalTraining => {
+            let (inputs, outputs) = pick(tier, ((256, 24), (768, 32), (1536, 48)));
+            Box::new(dnn::Tiled { shape: dnn::LayerShape { inputs, outputs }, t: 256 })
+        }
+        Phase::LrTraining => {
+            let (coefficients, instances) = pick(tier, ((256, 16), (512, 32), (1024, 64)));
+            Box::new(linreg::Tiled {
+                shape: linreg::LinRegShape { coefficients, instances },
+                t: 256,
+            })
+        }
+        Phase::LrPrediction => {
+            let (coefficients, instances) = pick(tier, ((256, 8), (512, 16), (1024, 32)));
+            Box::new(linreg::Tiled {
+                shape: linreg::LinRegShape { coefficients, instances },
+                t: 256,
+            })
+        }
+        Phase::SvmTraining => {
+            let train = pick(tier, (16, 32, 48));
+            let shape = svm::KernelMatrixShape { train, features: 32 };
+            Box::new(svm::Tiled { shape, ti: 16, tj: 16 })
+        }
+        Phase::SvmPrediction => {
+            let (support, testing) = pick(tier, ((32, 16), (64, 16), (128, 32)));
+            let shape = svm::prediction_shape(support, testing, 32);
+            Box::new(knn::Tiled::bandwidth(shape, 16, 16))
+        }
+        Phase::NbTraining => {
+            let instances = pick(tier, (16, 32, 64));
+            let shape = nb::NbShape { instances, features: 8, values: 4, classes: 5 };
+            Box::new(nb::Training { shape, seed: DATA_SEED })
+        }
+        Phase::NbPrediction => {
+            let instances = pick(tier, (8, 16, 32));
+            let shape = nb::NbShape { instances, features: 8, values: 4, classes: 5 };
+            Box::new(nb::Training { shape, seed: DATA_SEED + 1 })
+        }
+        Phase::CtTraining => {
+            let instances = pick(tier, (12, 24, 48));
+            let shape = nb::NbShape { instances, features: 12, values: 3, classes: 4 };
+            Box::new(nb::Training { shape, seed: DATA_SEED + 2 })
+        }
+        Phase::CtPrediction => {
+            let instances = pick(tier, (16, 32, 64));
+            let shape = ct::TreeShape { depth: 10, instances, features: 16 };
+            Box::new(ct::PredictionTiled { shape, top_depth: 6, seed: DATA_SEED + 3 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::technique_of;
+
+    #[test]
+    fn catalog_covers_every_phase_and_tier() {
+        use pudiannao_memsim::Technique;
+        let catalog = ServingCatalog::paper_default();
+        for phase in Phase::ALL {
+            // Two phases borrow another family's kernel (see module doc):
+            // SVM prediction runs the kNN distance kernel, CT training the
+            // NB counting kernel. Everything else matches its own family.
+            let expected = match phase {
+                Phase::SvmPrediction => Technique::Knn,
+                Phase::CtTraining => Technique::Nb,
+                _ => technique_of(phase),
+            };
+            for tier in SizeTier::ALL {
+                let w = catalog.get(phase, tier);
+                assert_eq!(
+                    w.technique(),
+                    expected,
+                    "catalog entry for {phase:?}/{tier:?} configures the wrong kernel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiers_grow_monotonically() {
+        // A bigger tier must cost at least as many ops, or tiering is
+        // meaningless for scheduling.
+        let catalog = ServingCatalog::paper_default();
+        let cfg = pudiannao_memsim::CacheConfig::paper_default();
+        for phase in Phase::ALL {
+            let mut prev = 0;
+            for tier in SizeTier::ALL {
+                let stats = pudiannao_memsim::kernels::run_fresh(catalog.get(phase, tier), &cfg);
+                assert!(
+                    stats.ops >= prev,
+                    "{phase:?}: {tier:?} has {} ops, smaller tier had {prev}",
+                    stats.ops
+                );
+                prev = stats.ops;
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Serving layer: a multi-device inference fleet behind the unified
+//! `Workload` API.
+//!
+//! The paper evaluates PuDianNao one kernel at a time; this crate asks
+//! the deployment question instead: what happens when a *stream* of
+//! requests for all 13 benchmark phases hits a pool of devices? The
+//! pieces, front to back:
+//!
+//! * [`gen`] — seeded, integer-only open-loop traffic generator
+//!   (bursts, size tiers, malformed requests).
+//! * [`admission`] — bounded technique-partitioned queue: load-shedding,
+//!   per-technique backpressure, unknown-technique rejection.
+//! * [`catalog`] — 13 phases × 3 size tiers of memsim workloads boxed
+//!   behind `pudiannao_memsim::Workload`, the redesigned trait every
+//!   kernel now dispatches through.
+//! * [`fleet`] — discrete-event simulation of the shard pool: one
+//!   reusable `SimdEngine` per shard, batches picked by technique to
+//!   amortise datapath reconfiguration, waves executed on the
+//!   deterministic [`pool`].
+//! * [`report`] / [`sweep`] — latency percentiles, throughput, shed
+//!   rate, per-device utilisation; 1/2/4/8-shard scaling sweep for the
+//!   perf-regression gate.
+//!
+//! Determinism is load-bearing: `serve_report.json` is byte-identical
+//! for any `REPRO_THREADS` value, which CI checks on every run.
+
+pub mod admission;
+pub mod catalog;
+pub mod fleet;
+pub mod gen;
+pub mod pool;
+pub mod report;
+pub mod request;
+pub mod sweep;
+
+pub use admission::{AdmissionConfig, AdmissionCounters, AdmissionOutcome, AdmissionQueue};
+pub use catalog::ServingCatalog;
+pub use fleet::{run_fleet, serve, FleetConfig, BATCH_SETUP_NS, RECONFIG_NS};
+pub use gen::{generate, GeneratorConfig, SplitMix64};
+pub use report::{percentile_ns, Completion, ServeReport, ShardStats, TechniqueStats};
+pub use request::{technique_of, Request, RequestKind, SizeTier};
+pub use sweep::{gate_sweep, scaling_sweep, SweepPoint, SWEEP_SHARDS};

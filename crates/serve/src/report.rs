@@ -1,0 +1,229 @@
+//! Serving metrics: latency distribution, throughput, shed rate, and
+//! per-technique / per-shard breakdowns, serialisable to the same
+//! hand-rolled JSON the rest of the workspace uses (`pudiannao_accel::json`
+//! — no serde in the build image).
+//!
+//! All derived figures are computed with integer arithmetic on simulated
+//! nanoseconds (percentiles are nearest-rank, utilisation is per-mille),
+//! so a report built from the same stream is bit-identical on every
+//! platform and worker count.
+
+use pudiannao_accel::json::Value;
+use pudiannao_codegen::phases::Phase;
+use pudiannao_memsim::Technique;
+
+use crate::admission::AdmissionCounters;
+use crate::fleet::FleetConfig;
+use crate::request::{technique_of, Request};
+
+/// One finished request, as recorded by the shard that ran it.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The original request.
+    pub request: Request,
+    /// The phase it resolved to.
+    pub phase: Phase,
+    /// When its batch was handed to a shard.
+    pub dispatched_ns: u64,
+    /// When its kernel finished on the shard.
+    pub completed_ns: u64,
+}
+
+/// Utilisation counters for one simulated device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    pub batches: u64,
+    pub requests: u64,
+    pub reconfigs: u64,
+    pub busy_ns: u64,
+    pub ops: u64,
+    pub offchip_bytes: u64,
+    /// `busy_ns * 1000 / makespan_ns` — integer per-mille, filled by
+    /// [`ServeReport::assemble`].
+    pub utilization_permille: u64,
+}
+
+/// Per-technique serving outcome.
+#[derive(Clone, Debug)]
+pub struct TechniqueStats {
+    pub technique: Technique,
+    pub completed: u64,
+    pub shed: u64,
+    pub p99_ns: u64,
+}
+
+/// Everything `serve_bench` reports about one fleet run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    pub shards_configured: usize,
+    pub max_batch: usize,
+    pub counters: AdmissionCounters,
+    pub completed: u64,
+    /// Completion time of the last request (simulated ns).
+    pub makespan_ns: u64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Shed fraction of offered load, in per-mille (integer).
+    pub shed_permille: u64,
+    /// Per-request latency (arrival to completion), ascending.
+    pub latencies_sorted_ns: Vec<u64>,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: u64,
+    pub techniques: Vec<TechniqueStats>,
+    pub shards: Vec<ShardStats>,
+}
+
+/// Nearest-rank percentile on an ascending slice; `q_permille` is the
+/// quantile times 1000 (so p99 is 990, p99.9 is 999).
+#[must_use]
+pub fn percentile_ns(sorted: &[u64], q_permille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * q_permille).div_ceil(1000).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+impl ServeReport {
+    /// Builds the report from raw fleet output.
+    #[must_use]
+    pub fn assemble(
+        config: &FleetConfig,
+        counters: AdmissionCounters,
+        shed_by_technique: &[u64; Technique::ALL.len()],
+        completions: &[Completion],
+        shards: &[ShardStats],
+    ) -> ServeReport {
+        let mut latencies: Vec<u64> =
+            completions.iter().map(|c| c.completed_ns - c.request.arrival_ns).collect();
+        latencies.sort_unstable();
+        let makespan_ns = completions.iter().map(|c| c.completed_ns).max().unwrap_or(0);
+        let completed = completions.len() as u64;
+        let throughput_rps =
+            if makespan_ns == 0 { 0.0 } else { completed as f64 * 1e9 / makespan_ns as f64 };
+        let shed_permille = (counters.shed * 1000).checked_div(counters.offered).unwrap_or(0);
+
+        let mut per_tech_latencies: Vec<Vec<u64>> = vec![Vec::new(); Technique::ALL.len()];
+        for c in completions {
+            per_tech_latencies[technique_of(c.phase).index()]
+                .push(c.completed_ns - c.request.arrival_ns);
+        }
+        let techniques = Technique::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &technique)| {
+                let lane = &mut per_tech_latencies[i];
+                lane.sort_unstable();
+                TechniqueStats {
+                    technique,
+                    completed: lane.len() as u64,
+                    shed: shed_by_technique[i],
+                    p99_ns: percentile_ns(lane, 990),
+                }
+            })
+            .collect();
+
+        let shards = shards
+            .iter()
+            .map(|s| ShardStats {
+                utilization_permille: (s.busy_ns * 1000).checked_div(makespan_ns).unwrap_or(0),
+                ..*s
+            })
+            .collect();
+
+        let mean_ns = if latencies.is_empty() {
+            0
+        } else {
+            latencies.iter().sum::<u64>() / latencies.len() as u64
+        };
+        ServeReport {
+            shards_configured: config.shards,
+            max_batch: config.max_batch,
+            counters,
+            completed,
+            makespan_ns,
+            throughput_rps,
+            shed_permille,
+            p50_ns: percentile_ns(&latencies, 500),
+            p99_ns: percentile_ns(&latencies, 990),
+            p999_ns: percentile_ns(&latencies, 999),
+            max_ns: latencies.last().copied().unwrap_or(0),
+            mean_ns,
+            latencies_sorted_ns: latencies,
+            techniques,
+            shards,
+        }
+    }
+
+    /// Serialises the report (without the raw latency vector — only its
+    /// summary) for `serve_report.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut techniques = Value::array(Vec::new());
+        for t in &self.techniques {
+            techniques.push(
+                Value::object()
+                    .with("technique", t.technique.label())
+                    .with("completed", t.completed)
+                    .with("shed", t.shed)
+                    .with("p99_ns", t.p99_ns),
+            );
+        }
+        let mut shards = Value::array(Vec::new());
+        for (i, s) in self.shards.iter().enumerate() {
+            shards.push(
+                Value::object()
+                    .with("shard", i as u64)
+                    .with("batches", s.batches)
+                    .with("requests", s.requests)
+                    .with("reconfigs", s.reconfigs)
+                    .with("busy_ns", s.busy_ns)
+                    .with("ops", s.ops)
+                    .with("offchip_bytes", s.offchip_bytes)
+                    .with("utilization_permille", s.utilization_permille),
+            );
+        }
+        Value::object()
+            .with("shards_configured", self.shards_configured as u64)
+            .with("max_batch", self.max_batch as u64)
+            .with("offered", self.counters.offered)
+            .with("admitted", self.counters.admitted)
+            .with("shed", self.counters.shed)
+            .with("rejected", self.counters.rejected)
+            .with("completed", self.completed)
+            .with("shed_permille", self.shed_permille)
+            .with("makespan_ns", self.makespan_ns)
+            .with("throughput_rps", self.throughput_rps)
+            .with(
+                "latency_ns",
+                Value::object()
+                    .with("p50", self.p50_ns)
+                    .with("p99", self.p99_ns)
+                    .with("p999", self.p999_ns)
+                    .with("max", self.max_ns)
+                    .with("mean", self.mean_ns),
+            )
+            .with("techniques", techniques)
+            .with("shards", shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 500), 50);
+        assert_eq!(percentile_ns(&v, 990), 99);
+        assert_eq!(percentile_ns(&v, 999), 100);
+        assert_eq!(percentile_ns(&v, 1000), 100);
+        assert_eq!(percentile_ns(&[42], 500), 42);
+        assert_eq!(percentile_ns(&[], 990), 0);
+    }
+}

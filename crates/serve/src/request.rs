@@ -1,0 +1,128 @@
+//! Request model for the serving front end.
+//!
+//! A [`Request`] names one of the paper's 13 benchmark phases plus a size
+//! tier; the fleet resolves it to a concrete memsim [`Workload`]
+//! (`pudiannao_memsim::Workload`) through the
+//! [`ServingCatalog`](crate::catalog::ServingCatalog). Requests carrying a
+//! technique id the catalog does not know
+//! ([`RequestKind::Unknown`]) are rejected at admission instead of
+//! crashing a shard.
+
+use pudiannao_codegen::phases::Phase;
+use pudiannao_memsim::Technique;
+
+/// Maps a benchmark phase to the ML technique family whose functional
+/// unit configuration it needs on a shard (Table 1 of the paper).
+#[must_use]
+pub fn technique_of(phase: Phase) -> Technique {
+    match phase {
+        Phase::KnnPrediction => Technique::Knn,
+        Phase::KMeansClustering => Technique::KMeans,
+        Phase::DnnPrediction | Phase::DnnPretraining | Phase::DnnGlobalTraining => Technique::Dnn,
+        Phase::LrTraining | Phase::LrPrediction => Technique::LinReg,
+        Phase::SvmTraining | Phase::SvmPrediction => Technique::Svm,
+        Phase::NbTraining | Phase::NbPrediction => Technique::Nb,
+        Phase::CtTraining | Phase::CtPrediction => Technique::Ct,
+    }
+}
+
+/// Problem-size tier of a request. Serving traffic is dominated by small
+/// problems with a heavy tail, so the generator draws Small/Medium/Large
+/// at 60%/30%/10%.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SizeTier {
+    Small,
+    Medium,
+    Large,
+}
+
+impl SizeTier {
+    /// All tiers, smallest first.
+    pub const ALL: [SizeTier; 3] = [SizeTier::Small, SizeTier::Medium, SizeTier::Large];
+
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeTier::Small => "small",
+            SizeTier::Medium => "medium",
+            SizeTier::Large => "large",
+        }
+    }
+
+    /// Index into [`SizeTier::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SizeTier::Small => 0,
+            SizeTier::Medium => 1,
+            SizeTier::Large => 2,
+        }
+    }
+}
+
+/// What a request asks the fleet to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// One of the 13 supported benchmark phases.
+    Phase(Phase),
+    /// A technique id outside the catalog (malformed or future client).
+    /// Carried so admission can count and reject it.
+    Unknown(u8),
+}
+
+/// One inference/training request in the open-loop stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Position in the generated stream (0-based, unique).
+    pub id: u64,
+    /// Arrival time in simulated nanoseconds since stream start.
+    pub arrival_ns: u64,
+    /// Requested phase (or an unknown technique id).
+    pub kind: RequestKind,
+    /// Problem-size tier.
+    pub tier: SizeTier,
+}
+
+impl Request {
+    /// The technique family this request needs, or `None` for unknown ids.
+    #[must_use]
+    pub fn technique(&self) -> Option<Technique> {
+        match self.kind {
+            RequestKind::Phase(p) => Some(technique_of(p)),
+            RequestKind::Unknown(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_phase_maps_to_a_technique() {
+        for phase in Phase::ALL {
+            let req = Request {
+                id: 0,
+                arrival_ns: 0,
+                kind: RequestKind::Phase(phase),
+                tier: SizeTier::Small,
+            };
+            assert!(req.technique().is_some(), "{phase:?}");
+        }
+        let bad = Request {
+            id: 1,
+            arrival_ns: 0,
+            kind: RequestKind::Unknown(200),
+            tier: SizeTier::Small,
+        };
+        assert_eq!(bad.technique(), None);
+    }
+
+    #[test]
+    fn tier_indices_match_all_order() {
+        for (i, tier) in SizeTier::ALL.iter().enumerate() {
+            assert_eq!(tier.index(), i);
+        }
+    }
+}

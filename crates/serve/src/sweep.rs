@@ -1,0 +1,87 @@
+//! Shard-count scaling sweep, feeding both `serve_report.json` and the
+//! perf-regression gate (`BENCH_history.jsonl`).
+
+use pudiannao_accel::json::Value;
+
+use crate::fleet::{serve, FleetConfig};
+use crate::gen::GeneratorConfig;
+
+/// Shard counts the sweep covers.
+pub const SWEEP_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// One sweep measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub shards: usize,
+    pub completed: u64,
+    pub shed: u64,
+    pub throughput_rps: f64,
+    pub p99_ns: u64,
+}
+
+impl SweepPoint {
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("shards", self.shards as u64)
+            .with("completed", self.completed)
+            .with("shed", self.shed)
+            .with("throughput_rps", self.throughput_rps)
+            .with("p99_ns", self.p99_ns)
+    }
+}
+
+/// Runs the same stream against 1/2/4/8-shard fleets.
+#[must_use]
+pub fn scaling_sweep(gen: &GeneratorConfig) -> Vec<SweepPoint> {
+    SWEEP_SHARDS
+        .iter()
+        .map(|&shards| {
+            let report = serve(&FleetConfig::with_shards(shards), gen);
+            SweepPoint {
+                shards,
+                completed: report.completed,
+                shed: report.counters.shed,
+                throughput_rps: report.throughput_rps,
+                p99_ns: report.p99_ns,
+            }
+        })
+        .collect()
+}
+
+/// The pinned stream the perf gate tracks: small enough to run on every
+/// `bench.sh` invocation, big enough that throughput is stable. Changing
+/// this config invalidates history records, so treat it like the cache
+/// config fingerprint: don't.
+#[must_use]
+pub fn gate_generator() -> GeneratorConfig {
+    GeneratorConfig { requests: 8_000, ..GeneratorConfig::heavy(0x5e7e_1234) }
+}
+
+/// The sweep `scripts/bench.sh` records and `perf_diff --check` gates.
+#[must_use]
+pub fn gate_sweep() -> Vec<SweepPoint> {
+    scaling_sweep(&gate_generator())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_shards_never_complete_less() {
+        let gen = GeneratorConfig { requests: 600, ..GeneratorConfig::smoke(17) };
+        let points = scaling_sweep(&gen);
+        assert_eq!(points.len(), SWEEP_SHARDS.len());
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].completed >= pair[0].completed,
+                "{} shards completed {} < {} shards' {}",
+                pair[1].shards,
+                pair[1].completed,
+                pair[0].shards,
+                pair[0].completed
+            );
+        }
+    }
+}

@@ -3,12 +3,13 @@
 //!
 //! Run with: `cargo run --release --example locality_explorer`
 
-use pudiannao::memsim::{kernels::knn, CacheConfig, ReplacementPolicy};
+use pudiannao::memsim::kernels::{knn, run_fresh};
+use pudiannao::memsim::{CacheConfig, ReplacementPolicy};
 
 fn main() {
     let shape = knn::DistanceShape { testing: 128, reference: 1024, features: 32 };
     let base = CacheConfig::paper_default();
-    let untiled = knn::untiled_bandwidth(&shape, &base);
+    let untiled = run_fresh(&knn::Untiled { shape }, &base).report();
     println!(
         "k-NN distance kernel, {} testing x {} reference x {} features",
         shape.testing, shape.reference, shape.features
@@ -18,7 +19,7 @@ fn main() {
     println!("tile-size sweep (square tiles, 32 KB cache):");
     println!("  {:<8} {:>12} {:>12}", "tile", "GB/s", "reduction %");
     for tile in [4usize, 8, 16, 32, 64, 128] {
-        let tiled = knn::tiled_bandwidth(&shape, tile, tile, &base);
+        let tiled = run_fresh(&knn::Tiled::bandwidth(shape, tile, tile), &base).report();
         println!("  {:<8} {:>12.3} {:>12.1}", tile, tiled.gb_per_s(), tiled.reduction_vs(&untiled));
     }
 
@@ -26,15 +27,15 @@ fn main() {
     println!("  {:<8} {:>12} {:>12}", "KiB", "GB/s", "reduction %");
     for kib in [8u32, 16, 32, 64, 128] {
         let cfg = CacheConfig { capacity_bytes: kib * 1024, ..base.clone() };
-        let u = knn::untiled_bandwidth(&shape, &cfg);
-        let t = knn::tiled_bandwidth(&shape, 32, 32, &cfg);
+        let u = run_fresh(&knn::Untiled { shape }, &cfg).report();
+        let t = run_fresh(&knn::Tiled::bandwidth(shape, 32, 32), &cfg).report();
         println!("  {:<8} {:>12.3} {:>12.1}", kib, t.gb_per_s(), t.reduction_vs(&u));
     }
 
     println!("\nreplacement-policy comparison (32x32 tiles, 32 KB):");
     for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
         let cfg = CacheConfig { replacement: policy, ..base.clone() };
-        let t = knn::tiled_bandwidth(&shape, 32, 32, &cfg);
+        let t = run_fresh(&knn::Tiled::bandwidth(shape, 32, 32), &cfg).report();
         println!("  {policy:?}: {t}");
     }
 

@@ -16,7 +16,10 @@ cargo build --workspace --release -q
 echo "== bench_hotpath =="
 ./target/release/bench_hotpath | grep '^\[bench\]'
 
-echo "== record phase cycles/energy =="
+echo "== serve_bench (100k-request stream + 1/2/4/8-shard sweep) =="
+./target/release/serve_bench | grep -E '^\[serve\] (mode|completed|shed |throughput_rps|sweep)'
+
+echo "== record phase cycles/energy + serving sweep =="
 ./target/release/perf_diff --record --history BENCH_history.jsonl
 
-echo "OK: wrote BENCH_repro.json and appended to BENCH_history.jsonl"
+echo "OK: wrote BENCH_repro.json and serve_report.json, appended to BENCH_history.jsonl"

@@ -7,6 +7,7 @@
 #   scripts/check.sh --faults    # fixed-seed fault-campaign smoke + pinned outcomes
 #   scripts/check.sh --profile   # timeline smoke + pinned bottleneck verdicts
 #   scripts/check.sh --perf-gate # per-phase cycle/energy regression gate
+#   scripts/check.sh --serve     # serving-fleet smoke + pinned admission counts
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -119,6 +120,46 @@ EOF
     echo "    fault_campaign.json byte-identical"
 
     echo "OK: fault campaign smoke passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+    echo "==> cargo build --release -p pudiannao-serve"
+    cargo build --release -q -p pudiannao-serve
+
+    echo "==> serve_bench --smoke (fixed seed)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/serve_bench --smoke --out "$tmp/serve_report.json" \
+        | grep -E '^\[serve\] (mode|shards|offered|admitted|shed|rejected|completed|shed_permille) ' \
+        > "$tmp/got.txt"
+    cat "$tmp/got.txt"
+
+    # Pinned admission/completion counts for the built-in smoke stream.
+    # Any change here means the generator, the admission policy, or the
+    # scheduler's batching shifted — update deliberately, never silently.
+    cat > "$tmp/want.txt" <<'EOF'
+[serve] mode smoke
+[serve] shards 2
+[serve] offered 4000
+[serve] admitted 2406
+[serve] shed 1580
+[serve] rejected 14
+[serve] completed 2406
+[serve] shed_permille 395
+EOF
+    cmp "$tmp/want.txt" "$tmp/got.txt"
+    echo "    admission and completion counts match the pinned expectation"
+
+    echo "==> determinism: REPRO_THREADS=1 vs 4"
+    REPRO_THREADS=1 ./target/release/serve_bench --smoke \
+        --out "$tmp/seq.json" >/dev/null
+    REPRO_THREADS=4 ./target/release/serve_bench --smoke \
+        --out "$tmp/par.json" >/dev/null
+    cmp "$tmp/seq.json" "$tmp/par.json"
+    echo "    serve_report.json byte-identical"
+
+    echo "OK: serving smoke passed"
     exit 0
 fi
 

@@ -57,8 +57,8 @@
 //!             .fu(isa::FuOps::dot_broadcast(None)),
 //!     )
 //!     .build()?;
-//! let mut accel = Accelerator::new(ArchConfig::paper_default())?;
-//! accel.enable_trace(TraceConfig::full());
+//! let mut accel =
+//!     Accelerator::builder(ArchConfig::paper_default()).trace(TraceConfig::full()).build()?;
 //! let report = accel.run(&program, &mut dram)?;
 //! let trace = report.trace.as_ref().unwrap();
 //! assert_eq!(report.stats.stage_cycles.total(), report.stats.compute_cycles);
