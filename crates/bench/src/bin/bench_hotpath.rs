@@ -7,12 +7,17 @@
 //! left enabled — the timed quantity is the full experiment, exactly
 //! what `repro_all` runs. Softfp kernels are timed over fixed sweeps and
 //! reported in nanoseconds per conversion, and the memsim section times
-//! the cache's scalar vs coalesced access paths plus the
-//! engine-build-vs-reset cost that motivates the locality engine pool.
+//! the cache's scalar vs coalesced vs batched (`access_block`) paths and
+//! the batched multi-trace executor, plus the engine-build-vs-reset cost
+//! that motivates the locality engine pool. Cache-path rounds are scored
+//! best-of (the host is a shared single core; the minimum round is the
+//! code's speed, the rest is neighbour noise), and every row prints its
+//! percentage change against the previous `BENCH_repro.json` when one is
+//! present.
 
-use pudiannao_accel::json::Value;
+use pudiannao_accel::json::{self, Value};
 use pudiannao_bench::{evaluation, locality, ExperimentReport};
-use pudiannao_memsim::{Access, Addr, Cache, CacheConfig, SimdEngine, VarClass};
+use pudiannao_memsim::{kernels, Access, Addr, Cache, CacheConfig, SimdEngine, VarClass, Workload};
 use pudiannao_softfp::{batch, F16};
 use std::hint::black_box;
 use std::time::Instant;
@@ -42,6 +47,52 @@ const EXPERIMENTS: &[Job] = &[
 
 fn ms_since(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The previous `BENCH_repro.json`, if one exists and parses — the
+/// baseline for the inline delta column.
+fn previous_record() -> Option<Value> {
+    let text = std::fs::read_to_string("BENCH_repro.json").ok()?;
+    json::parse(&text).ok()
+}
+
+/// Looks up `metric` in the `section` row whose `key` field equals `name`
+/// (experiments key rows by `id`, the kernel sections by `name`).
+fn previous_metric(
+    prev: Option<&Value>,
+    section: &str,
+    key: &str,
+    name: &str,
+    metric: &str,
+) -> Option<f64> {
+    prev?
+        .get(section)?
+        .as_array()?
+        .iter()
+        .find(|row| row.get(key).and_then(Value::as_str) == Some(name))?
+        .get(metric)
+        .and_then(Value::as_f64)
+}
+
+/// `" (+12.3% vs last)"`, or empty when the previous record has no such
+/// row. The sign always reports the metric's own direction — positive is
+/// faster for throughput rows and slower for time rows.
+fn delta_column(prev: Option<f64>, current: f64) -> String {
+    match prev {
+        Some(p) if p != 0.0 => format!(" ({:+.1}% vs last)", (current - p) / p * 100.0),
+        _ => String::new(),
+    }
+}
+
+/// Best-of-N round time in seconds.
+fn best_of<F: FnMut()>(rounds: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
 }
 
 /// Times the widening path: every binary16 bit pattern through the LUT.
@@ -102,37 +153,64 @@ fn knn_style_ops() -> Vec<[Access; 3]> {
     ops
 }
 
-/// Times the scalar per-access cache path vs the coalesced
-/// [`Cache::access_run`] path over the same operand stream; returns
-/// `(scalar_ns, coalesced_ns, accesses)`.
-fn bench_cache_paths(rounds: u32) -> (f64, f64, u64) {
+/// Times the scalar per-access path, the coalesced [`Cache::access_run`]
+/// path, and the batched [`Cache::access_block`] pass over the same
+/// operand stream; returns `(scalar_ns, coalesced_ns, block_ns, accesses)`
+/// where each time is the best single pass over the stream.
+fn bench_cache_paths(rounds: u32) -> (f64, f64, f64, u64) {
     let ops = knn_style_ops();
-    let accesses = u64::from(rounds) * (ops.len() as u64) * 3;
+    let flat: Vec<Access> = ops.iter().flatten().copied().collect();
+    let accesses = flat.len() as u64;
     let mut cache = Cache::new(CacheConfig::paper_default()).expect("valid cache config");
 
-    let t = Instant::now();
-    for _ in 0..rounds {
+    let scalar_ns = best_of(rounds, || {
         cache.reset();
         for op in &ops {
             for a in op {
                 cache.access_scalar(*a);
             }
         }
-    }
-    let scalar_ns = t.elapsed().as_secs_f64() * 1e9;
+    }) * 1e9;
     black_box(cache.stats());
 
-    let t = Instant::now();
-    for _ in 0..rounds {
+    let coalesced_ns = best_of(rounds, || {
         cache.reset();
         for op in &ops {
             cache.access_run(op);
         }
-    }
-    let coalesced_ns = t.elapsed().as_secs_f64() * 1e9;
+    }) * 1e9;
     black_box(cache.stats());
 
-    (scalar_ns, coalesced_ns, accesses)
+    let block_ns = best_of(rounds, || {
+        cache.reset();
+        cache.access_block(&flat);
+    }) * 1e9;
+    black_box(cache.stats());
+
+    (scalar_ns, coalesced_ns, block_ns, accesses)
+}
+
+/// Times [`pudiannao_memsim::run_batch`] driving three independent tiled
+/// kernels through the batched executor; returns `(ns, ops)` for the best
+/// round.
+fn bench_batch_traces(rounds: u32) -> (f64, u64) {
+    let cfg = CacheConfig::paper_default();
+    let knn_shape = kernels::knn::DistanceShape { testing: 64, reference: 512, features: 32 };
+    let svm_shape = kernels::svm::KernelMatrixShape { train: 256, features: 32 };
+    let knn = kernels::knn::Tiled::bandwidth(knn_shape, 32, 32);
+    let svm = kernels::svm::Tiled { shape: svm_shape, ti: 32, tj: 32 };
+    let dnn = kernels::dnn::Tiled {
+        shape: kernels::dnn::LayerShape { inputs: 4096, outputs: 64 },
+        t: 1024,
+    };
+    let workloads: Vec<&dyn Workload> = vec![&knn, &svm, &dnn];
+    let mut total_ops = 0u64;
+    let ns = best_of(rounds, || {
+        let stats = pudiannao_memsim::run_batch(&cfg, &workloads);
+        total_ops = stats.iter().map(|s| s.ops).sum();
+        black_box(&stats);
+    }) * 1e9;
+    (ns, total_ops)
 }
 
 /// Times building a fresh [`SimdEngine`] vs resetting a pooled one;
@@ -159,12 +237,15 @@ fn bench_engine_reuse(iters: u32) -> (f64, f64) {
 
 fn main() {
     let total = Instant::now();
+    let prev = previous_record();
+    let prev = prev.as_ref();
     let mut experiment_rows = Vec::new();
     for &(id, job) in EXPERIMENTS {
         let t = Instant::now();
         let report = job();
         let ms = ms_since(t);
-        println!("[bench] {id:<18} {ms:>10.1} ms   ({} checks)", report.checks.len());
+        let delta = delta_column(previous_metric(prev, "experiments", "id", id, "ms"), ms);
+        println!("[bench] {id:<18} {ms:>10.1} ms   ({} checks){delta}", report.checks.len());
         experiment_rows
             .push(Value::object().with("id", id).with("ms", (ms * 1000.0).round() / 1000.0));
     }
@@ -176,7 +257,9 @@ fn main() {
         ("batch_quantize", bench_batch_quantize(200)),
     ] {
         let per_op = ns / ops as f64;
-        println!("[bench] softfp/{name:<20} {per_op:>8.3} ns/conversion");
+        let delta =
+            delta_column(previous_metric(prev, "softfp", "name", name, "ns_per_op"), per_op);
+        println!("[bench] softfp/{name:<20} {per_op:>8.3} ns/conversion{delta}");
         softfp_rows.push(
             Value::object()
                 .with("name", name)
@@ -185,19 +268,38 @@ fn main() {
     }
 
     let mut memsim_rows = Vec::new();
-    let (scalar_ns, coalesced_ns, accesses) = bench_cache_paths(20);
-    for (name, ns) in [("cache_scalar", scalar_ns), ("cache_coalesced", coalesced_ns)] {
+    let (scalar_ns, coalesced_ns, block_ns, accesses) = bench_cache_paths(60);
+    for (name, ns) in
+        [("cache_scalar", scalar_ns), ("cache_coalesced", coalesced_ns), ("cache_simd", block_ns)]
+    {
         let maccesses_per_s = accesses as f64 / ns * 1e3;
-        println!("[bench] memsim/{name:<20} {maccesses_per_s:>8.1} Maccesses/s");
+        let delta = delta_column(
+            previous_metric(prev, "memsim", "name", name, "maccesses_per_s"),
+            maccesses_per_s,
+        );
+        println!("[bench] memsim/{name:<20} {maccesses_per_s:>8.1} Maccesses/s{delta}");
         memsim_rows.push(
             Value::object()
                 .with("name", name)
                 .with("maccesses_per_s", (maccesses_per_s * 1000.0).round() / 1000.0),
         );
     }
+    let (batch_ns, batch_ops) = bench_batch_traces(8);
+    let mops_per_s = batch_ops as f64 / batch_ns * 1e3;
+    let delta = delta_column(
+        previous_metric(prev, "memsim", "name", "batch_traces", "mops_per_s"),
+        mops_per_s,
+    );
+    println!("[bench] memsim/{:<20} {mops_per_s:>8.1} Mops/s{delta}", "batch_traces");
+    memsim_rows.push(
+        Value::object()
+            .with("name", "batch_traces")
+            .with("mops_per_s", (mops_per_s * 1000.0).round() / 1000.0),
+    );
     let (build_ns, reset_ns) = bench_engine_reuse(20_000);
     for (name, ns) in [("engine_build", build_ns), ("engine_reset", reset_ns)] {
-        println!("[bench] memsim/{name:<20} {ns:>8.1} ns/iter");
+        let delta = delta_column(previous_metric(prev, "memsim", "name", name, "ns_per_iter"), ns);
+        println!("[bench] memsim/{name:<20} {ns:>8.1} ns/iter{delta}");
         memsim_rows.push(
             Value::object().with("name", name).with("ns_per_iter", (ns * 1000.0).round() / 1000.0),
         );

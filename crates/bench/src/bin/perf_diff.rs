@@ -106,8 +106,8 @@ fn main() {
             }
             for d in &serve_deltas {
                 println!(
-                    "[perf] serve {}-shard throughput {:+.2}%  p99 {:+.2}%",
-                    d.shards, d.throughput_pct, d.p99_pct
+                    "[perf] serve {}-shard throughput {:+.2}%  p99 {:+.2}%  util {:+.2}%",
+                    d.shards, d.throughput_pct, d.p99_pct, d.util_pct
                 );
             }
             let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
@@ -128,9 +128,9 @@ fn main() {
                 }
                 for d in &serve_regressed {
                     println!(
-                        "[perf] FAIL serve {}-shard: throughput {:+.2}% (threshold \
-                         -{REGRESSION_THRESHOLD_PCT}%)",
-                        d.shards, d.throughput_pct
+                        "[perf] FAIL serve {}-shard: throughput {:+.2}% util {:+.2}% \
+                         (threshold -{REGRESSION_THRESHOLD_PCT}%)",
+                        d.shards, d.throughput_pct, d.util_pct
                     );
                 }
                 std::process::exit(1);

@@ -146,7 +146,8 @@ fn serve_sweep_points() -> Value {
             Value::object()
                 .with("shards", p.shards as u64)
                 .with("throughput_rps", p.throughput_rps)
-                .with("p99_ns", p.p99_ns),
+                .with("p99_ns", p.p99_ns)
+                .with("util_permille", p.util_permille),
         );
     }
     points
@@ -301,16 +302,21 @@ pub struct ServeDelta {
     pub throughput_pct: f64,
     /// p99 latency change, percent (positive = slower; informational).
     pub p99_pct: f64,
+    /// Mean shard-utilisation change, percent (negative = shards idling
+    /// more). `0.0` when either record predates the utilisation column.
+    pub util_pct: f64,
 }
 
 impl ServeDelta {
-    /// Whether serving throughput dropped beyond
-    /// [`REGRESSION_THRESHOLD_PCT`]. Latency is reported but not gated:
-    /// an open-loop p99 legitimately moves when batching gets *better*
-    /// (bigger batches trade tail latency for throughput).
+    /// Whether serving throughput dropped — or per-shard utilisation
+    /// collapsed — beyond [`REGRESSION_THRESHOLD_PCT`]. A utilisation
+    /// drop at unchanged throughput means the fleet stopped scaling (the
+    /// same work now needs more idle hardware). Latency is reported but
+    /// not gated: an open-loop p99 legitimately moves when batching gets
+    /// *better* (bigger batches trade tail latency for throughput).
     #[must_use]
     pub fn regressed(&self) -> bool {
-        self.throughput_pct < -REGRESSION_THRESHOLD_PCT
+        self.throughput_pct < -REGRESSION_THRESHOLD_PCT || self.util_pct < -REGRESSION_THRESHOLD_PCT
     }
 }
 
@@ -344,10 +350,18 @@ pub fn diff_serve(prev: &Value, cur: &Value) -> Result<Vec<ServeDelta>, String> 
         }
         let rps = |v: &Value| v.get("throughput_rps").and_then(Value::as_f64).unwrap_or(0.0);
         let p99 = |v: &Value| v.get("p99_ns").and_then(Value::as_u64).unwrap_or(0) as f64;
+        // Records written before the utilisation column skip that axis
+        // cleanly (0% change) instead of faking a collapse to zero.
+        let util = |v: &Value| v.get("util_permille").and_then(Value::as_u64);
+        let util_pct = match (util(p), util(c)) {
+            (Some(pu), Some(cu)) => pct_change(pu as f64, cu as f64),
+            _ => 0.0,
+        };
         deltas.push(ServeDelta {
             shards: shards(c),
             throughput_pct: pct_change(rps(p), rps(c)),
             p99_pct: pct_change(p99(p), p99(c)),
+            util_pct,
         });
     }
     Ok(deltas)

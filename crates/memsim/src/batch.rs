@@ -1,0 +1,253 @@
+//! Batched trace execution: buffer kernel ops into flat access blocks
+//! and stream them through [`Cache::access_block`], instead of paying a
+//! virtual `op()` round-trip into the cache for every SIMD operation.
+//!
+//! Three layers, each counter-for-counter equivalent to the per-op path
+//! (both reduce to the same scalar access sequence — see
+//! [`Cache::access_block`]):
+//!
+//! * [`BatchSink`] — a [`TraceSink`] adapter that accumulates operand
+//!   accesses into a bounded scratch buffer and flushes full blocks into
+//!   an engine via [`SimdEngine::commit_block`]. Memory stays bounded
+//!   (`FLUSH_ACCESSES` entries) no matter how long the trace is, so even
+//!   the hundred-million-access Section-2 sweeps can run batched.
+//! * [`run_buffered`] — one workload through a reset engine via a
+//!   [`BatchSink`]; the batched analogue of [`Workload::run`].
+//! * [`run_batch`] — N independent workloads. With one worker the traces
+//!   run back-to-back through the batched path; with more, each trace is
+//!   generated on its own thread into a bounded channel and the caller's
+//!   thread drains the channels round-robin, interleaving block passes
+//!   over the independent caches so trace *generation* pipelines with
+//!   cache *simulation*. Results are identical either way — each cache
+//!   only ever sees its own trace, in order.
+//!
+//! [`Cache::access_block`]: crate::Cache::access_block
+
+use crate::access::Access;
+use crate::cache::CacheConfig;
+use crate::engine::SimdEngine;
+use crate::kernels::{KernelStats, TraceSink, Workload};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// Accesses buffered before a flush: large enough to amortise the block
+/// dispatch, small enough that the scratch buffer stays cache-resident
+/// (8192 × 24-byte `Access` = 192 KB).
+pub const FLUSH_ACCESSES: usize = 8192;
+
+/// In-flight chunks per trace in pipelined [`run_batch`] mode.
+const CHANNEL_DEPTH: usize = 4;
+
+/// A [`TraceSink`] that batches ops into flat blocks for an engine.
+///
+/// Dropping the sink flushes the remainder; [`BatchSink::finish`] does
+/// the same with an explicit name for call sites where the flush is the
+/// point.
+pub struct BatchSink<'a> {
+    engine: &'a mut SimdEngine,
+    buf: &'a mut Vec<Access>,
+    pending_ops: u64,
+}
+
+impl<'a> BatchSink<'a> {
+    /// Wraps `engine`, reusing `buf` as scratch (cleared on entry).
+    pub fn new(engine: &'a mut SimdEngine, buf: &'a mut Vec<Access>) -> BatchSink<'a> {
+        buf.clear();
+        BatchSink { engine, buf, pending_ops: 0 }
+    }
+
+    /// Flushes any buffered ops into the engine.
+    pub fn finish(self) {
+        // Drop does the work.
+    }
+
+    fn flush(&mut self) {
+        if self.pending_ops > 0 {
+            self.engine.commit_block(self.pending_ops, self.buf);
+            self.buf.clear();
+            self.pending_ops = 0;
+        }
+    }
+}
+
+impl TraceSink for BatchSink<'_> {
+    fn op(&mut self, operands: &[Access]) {
+        self.pending_ops += 1;
+        self.buf.extend_from_slice(operands);
+        if self.buf.len() >= FLUSH_ACCESSES {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for BatchSink<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Runs `workload` through `engine` (reset first) via the batched path,
+/// reusing `buf` as scratch. Counters and cache state are identical to
+/// [`Workload::run`]; wall-clock is not — this is the fast path.
+pub fn run_buffered(
+    workload: &dyn Workload,
+    engine: &mut SimdEngine,
+    buf: &mut Vec<Access>,
+) -> KernelStats {
+    engine.reset();
+    let mut sink = BatchSink::new(engine, buf);
+    workload.trace(&mut sink);
+    sink.finish();
+    KernelStats::from_engine(engine)
+}
+
+/// One flushed block travelling from a generator thread to the executor.
+type Chunk = (u64, Vec<Access>);
+
+/// A [`TraceSink`] that ships flushed blocks over a bounded channel.
+struct ChannelSink {
+    tx: SyncSender<Chunk>,
+    buf: Vec<Access>,
+    pending_ops: u64,
+}
+
+impl ChannelSink {
+    fn flush(&mut self) {
+        if self.pending_ops > 0 {
+            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(FLUSH_ACCESSES + 8));
+            // A closed channel means the executor panicked; propagate by
+            // ending this generator quietly (scope join reports the root
+            // cause).
+            let _ = self.tx.send((self.pending_ops, chunk));
+            self.pending_ops = 0;
+        }
+    }
+}
+
+impl TraceSink for ChannelSink {
+    fn op(&mut self, operands: &[Access]) {
+        self.pending_ops += 1;
+        self.buf.extend_from_slice(operands);
+        if self.buf.len() >= FLUSH_ACCESSES {
+            self.flush();
+        }
+    }
+}
+
+/// Worker budget for pipelined mode: `REPRO_THREADS` when set to a valid
+/// count (the same knob the serving pool honours), else the host's
+/// available parallelism.
+fn batch_workers() -> usize {
+    let configured = std::env::var("REPRO_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    configured.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Drives N independent workload traces to completion, one fresh engine
+/// per workload, returning their stats in input order.
+///
+/// Deterministic by construction: every cache consumes exactly its own
+/// workload's trace in order, so the results match N sequential
+/// [`run_buffered`] calls bit for bit regardless of the worker budget or
+/// chunk interleaving.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid or a workload's generator panics.
+#[must_use]
+pub fn run_batch(config: &CacheConfig, workloads: &[&dyn Workload]) -> Vec<KernelStats> {
+    let mut engines: Vec<SimdEngine> = workloads
+        .iter()
+        .map(|_| SimdEngine::new(config.clone()).expect("valid cache config"))
+        .collect();
+    if batch_workers() <= 1 || workloads.len() < 2 {
+        let mut buf = Vec::with_capacity(FLUSH_ACCESSES + 8);
+        return workloads
+            .iter()
+            .zip(engines.iter_mut())
+            .map(|(w, e)| run_buffered(*w, e, &mut buf))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let mut rxs: Vec<Option<Receiver<Chunk>>> = Vec::with_capacity(workloads.len());
+        for &workload in workloads {
+            let (tx, rx) = sync_channel::<Chunk>(CHANNEL_DEPTH);
+            scope.spawn(move || {
+                let mut sink =
+                    ChannelSink { tx, buf: Vec::with_capacity(FLUSH_ACCESSES + 8), pending_ops: 0 };
+                workload.trace(&mut sink);
+                sink.flush();
+            });
+            rxs.push(Some(rx));
+        }
+        let mut live = rxs.len();
+        while live > 0 {
+            for (engine, slot) in engines.iter_mut().zip(rxs.iter_mut()) {
+                if let Some(rx) = slot {
+                    match rx.recv() {
+                        Ok((ops, chunk)) => engine.commit_block(ops, &chunk),
+                        Err(_) => {
+                            // Generator finished and dropped its sender.
+                            *slot = None;
+                            live -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    engines.iter().map(KernelStats::from_engine).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{self, run_fresh};
+
+    #[test]
+    fn buffered_run_matches_per_op_run() {
+        let cfg = CacheConfig::paper_default();
+        let shape = kernels::knn::DistanceShape { testing: 32, reference: 128, features: 32 };
+        let tiled = kernels::knn::Tiled::bandwidth(shape, 16, 16);
+        let reference = run_fresh(&tiled, &cfg);
+        let mut engine = SimdEngine::new(cfg).expect("valid config");
+        let mut buf = Vec::new();
+        let batched = run_buffered(&tiled, &mut engine, &mut buf);
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let cfg = CacheConfig::paper_default();
+        let knn_shape = kernels::knn::DistanceShape { testing: 24, reference: 96, features: 32 };
+        let svm_shape = kernels::svm::KernelMatrixShape { train: 48, features: 32 };
+        let knn = kernels::knn::Tiled::bandwidth(knn_shape, 16, 16);
+        let svm = kernels::svm::Tiled { shape: svm_shape, ti: 16, tj: 16 };
+        let dnn = kernels::dnn::Tiled {
+            shape: kernels::dnn::LayerShape { inputs: 512, outputs: 32 },
+            t: 256,
+        };
+        let workloads: Vec<&dyn Workload> = vec![&knn, &svm, &dnn];
+        let batched = run_batch(&cfg, &workloads);
+        let sequential: Vec<KernelStats> = workloads.iter().map(|w| run_fresh(*w, &cfg)).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn flush_boundaries_do_not_change_counters() {
+        // A trace far longer than one flush block: the mid-trace flushes
+        // must be invisible in the counters.
+        let cfg = CacheConfig::paper_default();
+        let shape = kernels::kmeans::KMeansShape { instances: 512, centroids: 32, features: 32 };
+        let w = kernels::kmeans::Tiled { shape, tc: 16, tn: 16 };
+        let reference = run_fresh(&w, &cfg);
+        assert!(
+            reference.ops as usize * 2 > FLUSH_ACCESSES,
+            "test workload too small to cross a flush boundary"
+        );
+        let mut engine = SimdEngine::new(cfg).expect("valid config");
+        let mut buf = Vec::new();
+        assert_eq!(run_buffered(&w, &mut engine, &mut buf), reference);
+    }
+}

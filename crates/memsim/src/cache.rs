@@ -16,17 +16,27 @@
 //!   [`VarClass`] (two per class), giving every operand stream a private
 //!   pair that other streams cannot churn out; a probe is at most two
 //!   compares;
-//! * a **specialized way scan** monomorphised for the common
-//!   associativities (1/2/4/8) so the compiler unrolls the tag compare;
+//! * a **way-parallel probe** ([`ProbePath`]): each set with `ways <= 8`
+//!   keeps a packed one-byte-per-way tag signature, so a full set lookup
+//!   is a SWAR XOR/haszero match (or a `std::arch` tag compare on
+//!   x86_64/aarch64) instead of a per-way scalar scan, with the victim
+//!   way selected lazily — only allocating misses pay for it. The
+//!   monomorphised scalar scans survive as [`ProbePath::Scan`], both as
+//!   the `ways > 8` fallback and as the differential reference;
 //! * **run coalescing** ([`Cache::access_run`]): consecutive accesses to
 //!   the same line are resolved with one lookup, batching the follow-up
 //!   hit counters exactly (no eviction can intervene inside a run because
-//!   no other set is touched).
+//!   no other set is touched);
+//! * a **batched pass** ([`Cache::access_block`]): a whole flattened
+//!   trace streams through one loop with the next access's set index
+//!   computed while the current one resolves, eliminating the per-op
+//!   call boundary that dominates short-operand kernels.
 //!
 //! [`Cache::access_scalar`] keeps the unbuffered, uncoalesced reference
 //! path alive for differential tests and microbenchmarks.
 
 use crate::access::{Access, AccessKind, VarClass};
+use crate::probe::{self, SimdLevel};
 use core::fmt;
 
 /// Replacement policy for a cache set.
@@ -215,8 +225,27 @@ pub struct LineState {
     pub stamp: u64,
 }
 
-const FLAG_VALID: u8 = 1;
+pub(crate) const FLAG_VALID: u8 = 1;
 const FLAG_DIRTY: u8 = 2;
+
+/// How the cache resolves a full set lookup (hit way, and on allocating
+/// misses the victim way) once the line buffer has missed. Selected
+/// automatically at construction; [`Cache::force_probe_path`] lets
+/// differential tests pin a specific path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProbePath {
+    /// The monomorphised scalar scans — the only path for `ways > 8`,
+    /// and the reference the vector paths are tested against.
+    Scan,
+    /// SWAR probe over the packed per-set tag signature (any
+    /// `ways <= 8`); portable, no target features required.
+    Swar,
+    /// `std::arch` probe (AVX2 or SSE2 on x86_64, NEON on aarch64) for
+    /// ways 4 and 8, with vectorised victim select where the host
+    /// supports it.
+    Simd,
+}
 
 /// Line-buffer groups, one per [`VarClass`]: the kernels tag each operand
 /// stream (testing row, reference row, output, synapse stream) with its
@@ -234,6 +263,21 @@ const LB_ENTRIES: usize = LB_CLASSES * LB_ASSOC;
 /// value is unreachable; the degenerate 1-byte-line configuration keeps
 /// the buffer disabled instead (see [`Cache::new`]).
 const LB_DEAD: u64 = u64::MAX;
+
+/// Hot mutable scalars of a batched pass, held in locals so the block
+/// loop keeps them in registers instead of round-tripping `self.tick`
+/// and the hit counters through memory at every access (the per-access
+/// `tick` read-modify-write is a loop-carried dependency through a
+/// store-to-load forward — the single longest chain in the hit path).
+/// Only the counters the buffered-hit path touches live here; everything
+/// slow-path stays on `self.stats`, keeping register pressure low. The
+/// hit counts are deltas, folded into `self.stats` at block end.
+struct BlockState {
+    tick: u64,
+    read_hits: u64,
+    write_hits: u64,
+    offchip_write_bytes: u64,
+}
 
 /// A banked set-associative cache.
 ///
@@ -262,12 +306,19 @@ pub struct Cache {
     stamps: Box<[u64]>,
     /// Way-packed `FLAG_VALID | FLAG_DIRTY` bits.
     flags: Box<[u8]>,
+    /// Packed per-set tag signatures (one byte per way, see the `probe`
+    /// module docs); maintained whenever `ways <= 8`, empty otherwise.
+    sig: Box<[u64]>,
     stats: CacheStats,
     tick: u64,
     line_shift: u32,
     set_bits: u32,
     set_mask: u64,
     ways: usize,
+    /// Active full-lookup strategy.
+    probe: ProbePath,
+    /// Widest vector ISA the host offers (fixed at construction).
+    simd: SimdLevel,
     /// Line buffer: recently resolved line addresses and the packed slot
     /// holding each, grouped by [`VarClass`] (entries `class * LB_ASSOC`
     /// and `+ 1`, most recent first). An entry is only ever created from
@@ -296,6 +347,15 @@ impl Cache {
         config.validate()?;
         let sets = config.sets();
         let slots = (sets * config.ways) as usize;
+        let simd = probe::detect();
+        // SWAR is the default fast path wherever the packed signature
+        // exists: on the hosts measured so far it beats the `std::arch`
+        // path even with AVX2 present, because `#[target_feature]`
+        // functions cannot inline into a generic caller — every vector
+        // probe pays a real call, while the SWAR match is ~10 ALU ops
+        // compiled straight into the lookup. `Simd` stays selectable via
+        // [`Cache::force_probe_path`] for hosts where the trade flips.
+        let probe = if config.ways > 8 { ProbePath::Scan } else { ProbePath::Swar };
         Ok(Cache {
             line_shift: config.line_bytes.trailing_zeros(),
             set_bits: sets.trailing_zeros(),
@@ -304,8 +364,11 @@ impl Cache {
             tags: vec![0; slots].into_boxed_slice(),
             stamps: vec![0; slots].into_boxed_slice(),
             flags: vec![0; slots].into_boxed_slice(),
+            sig: vec![0; if config.ways <= 8 { sets as usize } else { 0 }].into_boxed_slice(),
             stats: CacheStats::default(),
             tick: 0,
+            probe,
+            simd,
             lb_addr: [LB_DEAD; LB_ENTRIES],
             lb_slot: [0; LB_ENTRIES],
             lb_refs: vec![0; slots].into_boxed_slice(),
@@ -326,11 +389,35 @@ impl Cache {
         &self.stats
     }
 
+    /// The probe path resolving full set lookups.
+    #[must_use]
+    pub fn probe_path(&self) -> ProbePath {
+        self.probe
+    }
+
+    /// Forces a specific probe path, for differential tests and
+    /// microbenchmarks that compare the paths against each other.
+    /// Returns `false` (leaving the active path unchanged) when the
+    /// geometry or host cannot run the requested path: `Swar` needs
+    /// `ways <= 8`, `Simd` needs ways 4 or 8 plus a vector ISA.
+    pub fn force_probe_path(&mut self, path: ProbePath) -> bool {
+        let supported = match path {
+            ProbePath::Scan => true,
+            ProbePath::Swar => self.ways <= 8,
+            ProbePath::Simd => (self.ways == 4 || self.ways == 8) && self.simd != SimdLevel::None,
+        };
+        if supported {
+            self.probe = path;
+        }
+        supported
+    }
+
     /// Clears contents and statistics.
     pub fn reset(&mut self) {
         self.tags.fill(0);
         self.stamps.fill(0);
         self.flags.fill(0);
+        self.sig.fill(0);
         self.lb_addr = [LB_DEAD; LB_ENTRIES];
         self.lb_slot = [0; LB_ENTRIES];
         self.lb_refs.fill(0);
@@ -377,8 +464,138 @@ impl Cache {
         let end_line = (access.addr.0 + u64::from(access.bytes.max(1)) - 1) >> self.line_shift;
         for line_addr in start_line..=end_line {
             self.tick += 1;
-            self.access_line_slow(line_addr, access.kind, access.bytes, access.class, false);
+            self.access_line_slow(
+                self.tick,
+                line_addr,
+                access.kind,
+                access.bytes,
+                access.class,
+                false,
+            );
         }
+    }
+
+    /// Streams a whole flattened trace through the cache in one pass.
+    ///
+    /// Equivalent, counter for counter and stamp for stamp, to calling
+    /// [`Cache::access`] on each element in order (and therefore to any
+    /// [`Cache::access_run`] partition of the same stream — both reduce
+    /// to the scalar sequence). The win is structural: one call resolves
+    /// the entire block, so the tick/stat/line-buffer state stays hot in
+    /// registers instead of round-tripping through memory at every op
+    /// boundary, and the next access's line span is computed while the
+    /// current one resolves (software pipelining — the span's shift/add
+    /// chain overlaps the probe's dependent loads).
+    pub fn access_block(&mut self, accesses: &[Access]) {
+        // Monomorphise the pass on the two policy axes (plus the
+        // line-buffer switch) so the per-access policy branches
+        // constant-fold away inside the hot loop.
+        match (self.config.replacement, self.config.write_policy, self.lb_enabled) {
+            (ReplacementPolicy::Lru, WritePolicy::WriteBackAllocate, true) => {
+                self.block_pass::<true, true, true>(accesses);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteAroundNoAllocate, true) => {
+                self.block_pass::<true, false, true>(accesses);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteBackAllocate, true) => {
+                self.block_pass::<false, true, true>(accesses);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteAroundNoAllocate, true) => {
+                self.block_pass::<false, false, true>(accesses);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteBackAllocate, false) => {
+                self.block_pass::<true, true, false>(accesses);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteAroundNoAllocate, false) => {
+                self.block_pass::<true, false, false>(accesses);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteBackAllocate, false) => {
+                self.block_pass::<false, true, false>(accesses);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteAroundNoAllocate, false) => {
+                self.block_pass::<false, false, false>(accesses);
+            }
+        }
+    }
+
+    /// The batched loop body. `LRU` / `WB` / `LB` encode the replacement
+    /// policy, write policy and line-buffer switch as compile-time
+    /// constants, so the per-access policy branches constant-fold away;
+    /// the hot scalars ride in a by-value [`BlockState`] (an
+    /// address-taken local would be pinned to its stack slot and
+    /// re-loaded every iteration).
+    fn block_pass<const LRU: bool, const WB: bool, const LB: bool>(&mut self, accesses: &[Access]) {
+        let mut st =
+            BlockState { tick: self.tick, read_hits: 0, write_hits: 0, offchip_write_bytes: 0 };
+        for &a in accesses {
+            let (start_line, end_line) = self.line_span(a);
+            if start_line == end_line {
+                st = self.block_line::<LRU, WB, LB>(st, start_line, a.kind, a.bytes, a.class);
+            } else {
+                for line_addr in start_line..=end_line {
+                    st = self.block_line::<LRU, WB, LB>(st, line_addr, a.kind, a.bytes, a.class);
+                }
+            }
+        }
+        self.tick = st.tick;
+        self.stats.read_hits += st.read_hits;
+        self.stats.write_hits += st.write_hits;
+        self.stats.offchip_write_bytes += st.offchip_write_bytes;
+    }
+
+    /// Per-access body of the block loop: the line-buffer probe with its
+    /// bookkeeping on the register-resident [`BlockState`], falling back
+    /// to the ordinary slow path (which writes `self.stats` directly —
+    /// the two accumulators are disjoint deltas, summed at block end).
+    ///
+    /// `inline(always)`: left out-of-line the by-value [`BlockState`]
+    /// would round-trip through memory on every access, which is the
+    /// exact cost the batched pass exists to avoid.
+    #[inline(always)]
+    fn block_line<const LRU: bool, const WB: bool, const LB: bool>(
+        &mut self,
+        mut st: BlockState,
+        line_addr: u64,
+        kind: AccessKind,
+        bytes: u32,
+        class: VarClass,
+    ) -> BlockState {
+        st.tick += 1;
+        let g = class as usize * LB_ASSOC;
+        if LB {
+            let slot = if self.lb_addr[g] == line_addr {
+                self.lb_slot[g] as usize
+            } else if self.lb_addr[g + 1] == line_addr {
+                self.lb_slot[g + 1] as usize
+            } else {
+                self.access_line_slow(st.tick, line_addr, kind, bytes, class, true);
+                return st;
+            };
+            match kind {
+                AccessKind::Read => st.read_hits += 1,
+                AccessKind::Write => {
+                    st.write_hits += 1;
+                    if WB {
+                        // Check-before-set: repeated stores to a dirty
+                        // line are the common case, and a predicted
+                        // branch beats a read-modify-write store chain.
+                        if self.flags[slot] & FLAG_DIRTY == 0 {
+                            self.flags[slot] |= FLAG_DIRTY;
+                        }
+                    } else {
+                        // Write-through on hit: bytes go to memory too.
+                        st.offchip_write_bytes +=
+                            u64::from(bytes).min(u64::from(self.config.line_bytes));
+                    }
+                }
+            }
+            if LRU {
+                self.stamps[slot] = st.tick;
+            }
+            return st;
+        }
+        self.access_line_slow(st.tick, line_addr, kind, bytes, class, true);
+        st
     }
 
     /// Performs a sequence of accesses, resolving each maximal run of
@@ -461,7 +678,7 @@ impl Cache {
         let tag = line_addr >> self.set_bits;
         let base = set_idx * self.ways;
         let k = tail.len() as u64;
-        match self.find_way(base, tag) {
+        match self.find_way(set_idx, base, tag) {
             Some(way) => {
                 // Resident after the first touch: every follow-up hits.
                 let slot = base + way;
@@ -501,7 +718,7 @@ impl Cache {
                 // fill on miss), kept exact by replaying scalar accesses.
                 for a in tail {
                     self.tick += 1;
-                    self.access_line_slow(line_addr, a.kind, a.bytes, a.class, true);
+                    self.access_line_slow(self.tick, line_addr, a.kind, a.bytes, a.class, true);
                 }
             }
         }
@@ -516,25 +733,27 @@ impl Cache {
         let g = class as usize * LB_ASSOC;
         if self.lb_enabled {
             if self.lb_addr[g] == line_addr {
-                self.hit_at(self.lb_slot[g] as usize, kind, bytes);
+                self.hit_at(self.tick, self.lb_slot[g] as usize, kind, bytes);
                 return;
             }
             // No swap-to-front: a stream alternating between its two lines
             // would pay a four-element shuffle per access to save a single
             // compare.
             if self.lb_addr[g + 1] == line_addr {
-                self.hit_at(self.lb_slot[g + 1] as usize, kind, bytes);
+                self.hit_at(self.tick, self.lb_slot[g + 1] as usize, kind, bytes);
                 return;
             }
         }
-        self.access_line_slow(line_addr, kind, bytes, class, true);
+        self.access_line_slow(self.tick, line_addr, kind, bytes, class, true);
     }
 
     /// Full set resolution; `insert_lb` feeds the line buffer on hits and
     /// fills (false on the scalar reference path).
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     fn access_line_slow(
         &mut self,
+        tick: u64,
         line_addr: u64,
         kind: AccessKind,
         bytes: u32,
@@ -544,52 +763,102 @@ impl Cache {
         let set_idx = (line_addr & self.set_mask) as usize;
         let base = set_idx * self.ways;
         let tag = line_addr >> self.set_bits;
-        match self.ways {
-            1 => self.access_slow_n::<1>(base, line_addr, tag, kind, bytes, class, insert_lb),
-            2 => self.access_slow_n::<2>(base, line_addr, tag, kind, bytes, class, insert_lb),
-            4 => self.access_slow_n::<4>(base, line_addr, tag, kind, bytes, class, insert_lb),
-            8 => self.access_slow_n::<8>(base, line_addr, tag, kind, bytes, class, insert_lb),
-            _ => self.access_slow_dyn(base, line_addr, tag, kind, bytes, class, insert_lb),
+        let hit = self.probe_hit(set_idx, base, tag);
+        if hit != usize::MAX {
+            let slot = base + hit;
+            if insert_lb {
+                self.lb_insert(line_addr, slot, class);
+            }
+            self.hit_at(tick, slot, kind, bytes);
+            return;
+        }
+        self.finish_miss(tick, set_idx, base, line_addr, tag, kind, bytes, class, insert_lb);
+    }
+
+    /// Resolves the hit way through the active [`ProbePath`], returning
+    /// `usize::MAX` on a miss. The victim way is *not* computed here —
+    /// only allocating misses need one, and they pay for it lazily in
+    /// [`Cache::finish_miss`] (unlike the old fused pass, which charged
+    /// every slow lookup for a victim reduction it rarely used).
+    #[inline]
+    fn probe_hit(&self, set_idx: usize, base: usize, tag: u64) -> usize {
+        match self.probe {
+            ProbePath::Swar => {
+                probe::swar_hit(self.sig[set_idx], &self.tags[base..base + self.ways], tag)
+            }
+            ProbePath::Simd => self.simd_hit(base, tag),
+            ProbePath::Scan => {
+                let found = match self.ways {
+                    1 => self.scan_ways::<1>(base, tag),
+                    2 => self.scan_ways::<2>(base, tag),
+                    4 => self.scan_ways::<4>(base, tag),
+                    8 => self.scan_ways::<8>(base, tag),
+                    n => self.scan_dyn(base, tag, n),
+                };
+                found.unwrap_or(usize::MAX)
+            }
         }
     }
 
-    /// One fused, branchless pass over the set computes everything a hit
-    /// *or* a miss needs — matching way, first invalid way, and the
-    /// first-minimum-stamp victim — so a miss does not rescan the set the
-    /// way a separate lookup-then-fill pair would.
-    #[allow(clippy::too_many_arguments)]
-    fn access_slow_n<const N: usize>(
-        &mut self,
-        base: usize,
-        line_addr: u64,
-        tag: u64,
-        kind: AccessKind,
-        bytes: u32,
-        class: VarClass,
-        insert_lb: bool,
-    ) {
-        let tags = &self.tags[base..base + N];
-        let flags = &self.flags[base..base + N];
-        let stamps = &self.stamps[base..base + N];
-        // Three independent reductions, each a straight-line pass over a
-        // fixed-size array, so the optimizer can vectorize them instead of
-        // threading one serial accumulator chain through all the work.
-        // Reverse order makes the overwrite-on-match accumulators hold the
-        // *lowest* matching way, as the original scans did.
-        let mut hit = usize::MAX;
-        for w in (0..N).rev() {
-            if (flags[w] & FLAG_VALID != 0) & (tags[w] == tag) {
-                hit = w;
+    /// `std::arch` hit probe: full 64-bit tag compare across the set,
+    /// masked to valid ways (invalid ways keep stale tags — commonly the
+    /// all-zero fill, which a real tag can equal).
+    #[inline]
+    fn simd_hit(&self, base: usize, tag: u64) -> usize {
+        let mask = if self.ways == 8 {
+            let tags: &[u64; 8] = self.tags[base..base + 8].try_into().expect("8-way set");
+            let flags: &[u8; 8] = self.flags[base..base + 8].try_into().expect("8-way set");
+            probe::simd_hit_mask8(self.simd, tags, tag) & probe::valid_mask(flags)
+        } else {
+            let tags: &[u64; 4] = self.tags[base..base + 4].try_into().expect("4-way set");
+            let flags: &[u8; 4] = self.flags[base..base + 4].try_into().expect("4-way set");
+            probe::simd_hit_mask4(self.simd, tags, tag) & probe::valid_mask(flags)
+        };
+        if mask == 0 {
+            usize::MAX
+        } else {
+            mask.trailing_zeros() as usize
+        }
+    }
+
+    /// Selects the victim way for an allocating miss: an invalid way when
+    /// one exists, else the first-minimum-stamp resident.
+    #[inline]
+    fn victim_way(&self, base: usize) -> usize {
+        if self.probe == ProbePath::Simd {
+            if self.ways == 8 {
+                let stamps: &[u64; 8] = self.stamps[base..base + 8].try_into().expect("8-way set");
+                if let Some(w) = probe::simd_victim8(self.simd, stamps) {
+                    return w;
+                }
+            } else {
+                let stamps: &[u64; 4] = self.stamps[base..base + 4].try_into().expect("4-way set");
+                if let Some(w) = probe::simd_victim4(self.simd, stamps) {
+                    return w;
+                }
             }
         }
-        // Packing (stamp, way) picks the first minimum: stamps are unique
-        // within a full set, and lower ways win ties anyway. Invalid ways
-        // are exactly the stamp-0 ways (every resident line was stamped at
-        // a tick >= 1), so the same reduction finds the first invalid way
-        // before any valid one — no separate invalid scan is needed. The
-        // 6-bit shift is exact while `tick < 2^58` — at one access per
-        // tick that is centuries of simulation. A log-depth tree reduction
-        // replaces the 8-deep compare-select chain.
+        match self.ways {
+            1 => 0,
+            2 => self.victim_tree::<2>(base),
+            4 => self.victim_tree::<4>(base),
+            8 => self.victim_tree::<8>(base),
+            _ => self.victim_dyn(base),
+        }
+    }
+
+    /// Portable victim select. Packing (stamp, way) picks the first
+    /// minimum: stamps are unique within a full set, and lower ways win
+    /// ties anyway. Invalid ways are exactly the stamp-0 ways (every
+    /// resident line was stamped at a tick >= 1), so the same reduction
+    /// finds the first invalid way before any valid one — no separate
+    /// invalid scan is needed. The 6-bit shift is exact while
+    /// `tick < 2^58` — at one access per tick that is centuries of
+    /// simulation. A log-depth tree reduction replaces the N-deep
+    /// compare-select chain.
+    #[inline]
+    fn victim_tree<const N: usize>(&self, base: usize) -> usize {
+        let stamps = &self.stamps[base..base + N];
         let mut keys = [u64::MAX; N];
         for w in 0..N {
             keys[w] = (stamps[w] << 6) | w as u64;
@@ -601,50 +870,32 @@ impl Cache {
             }
             step /= 2;
         }
-        let victim = (keys[0] & 63) as usize;
-        self.finish_slow(base, line_addr, tag, kind, bytes, class, insert_lb, hit, victim);
+        (keys[0] & 63) as usize
     }
 
-    /// Fallback for unusual associativities: same fused pass with a
-    /// runtime way count.
-    #[allow(clippy::too_many_arguments)]
-    fn access_slow_dyn(
-        &mut self,
-        base: usize,
-        line_addr: u64,
-        tag: u64,
-        kind: AccessKind,
-        bytes: u32,
-        class: VarClass,
-        insert_lb: bool,
-    ) {
-        let tags = &self.tags[base..base + self.ways];
-        let flags = &self.flags[base..base + self.ways];
+    /// Victim select for arbitrary associativities. Wide keys: the way
+    /// index gets a full 32 bits. As in the tree path, invalid ways carry
+    /// stamp 0 and win the reduction outright.
+    fn victim_dyn(&self, base: usize) -> usize {
         let stamps = &self.stamps[base..base + self.ways];
-        let mut hit = usize::MAX;
-        // Wide keys here: this path serves arbitrary associativities, so
-        // the way index gets a full 32 bits. As in the specialized path,
-        // invalid ways carry stamp 0 and win the reduction outright.
         let mut victim_key = u128::MAX;
-        for w in (0..self.ways).rev() {
-            if (flags[w] & FLAG_VALID != 0) & (tags[w] == tag) {
-                hit = w;
-            }
-            let key = (u128::from(stamps[w]) << 32) | w as u128;
+        for (w, &stamp) in stamps.iter().enumerate() {
+            let key = (u128::from(stamp) << 32) | w as u128;
             if key < victim_key {
                 victim_key = key;
             }
         }
-        let victim = (victim_key & u128::from(u32::MAX)) as usize;
-        self.finish_slow(base, line_addr, tag, kind, bytes, class, insert_lb, hit, victim);
+        (victim_key & u128::from(u32::MAX)) as usize
     }
 
-    /// Applies the outcome of a fused set pass: hit bookkeeping, or the
-    /// miss/fill transition using the precomputed victim.
+    /// The miss/fill transition, with the victim selected only on the
+    /// policies that actually allocate.
     #[allow(clippy::too_many_arguments)]
     #[inline]
-    fn finish_slow(
+    fn finish_miss(
         &mut self,
+        tick: u64,
+        set_idx: usize,
         base: usize,
         line_addr: u64,
         tag: u64,
@@ -652,23 +903,14 @@ impl Cache {
         bytes: u32,
         class: VarClass,
         insert_lb: bool,
-        hit: usize,
-        victim: usize,
     ) {
-        if hit != usize::MAX {
-            let slot = base + hit;
-            if insert_lb {
-                self.lb_insert(line_addr, slot, class);
-            }
-            self.hit_at(slot, kind, bytes);
-            return;
-        }
         let line_bytes = u64::from(self.config.line_bytes);
         match kind {
             AccessKind::Read => {
                 self.stats.read_misses += 1;
                 self.stats.offchip_read_bytes += line_bytes;
-                let slot = self.install(base, victim, tag, false);
+                let victim = self.victim_way(base);
+                let slot = self.install(tick, set_idx, base, victim, tag, false);
                 if insert_lb {
                     self.lb_insert(line_addr, slot, class);
                 }
@@ -679,7 +921,8 @@ impl Cache {
                     WritePolicy::WriteBackAllocate => {
                         // Fetch-on-write then dirty the line.
                         self.stats.offchip_read_bytes += line_bytes;
-                        let slot = self.install(base, victim, tag, true);
+                        let victim = self.victim_way(base);
+                        let slot = self.install(tick, set_idx, base, victim, tag, true);
                         if insert_lb {
                             self.lb_insert(line_addr, slot, class);
                         }
@@ -694,7 +937,7 @@ impl Cache {
 
     /// Bookkeeping shared by every hit path, buffered or scanned.
     #[inline]
-    fn hit_at(&mut self, slot: usize, kind: AccessKind, bytes: u32) {
+    fn hit_at(&mut self, tick: u64, slot: usize, kind: AccessKind, bytes: u32) {
         match kind {
             AccessKind::Read => self.stats.read_hits += 1,
             AccessKind::Write => {
@@ -710,21 +953,16 @@ impl Cache {
             }
         }
         if self.config.replacement == ReplacementPolicy::Lru {
-            self.stamps[slot] = self.tick;
+            self.stamps[slot] = tick;
         }
     }
 
-    /// Finds the way holding `tag` in the set starting at `base`,
-    /// dispatching to an unrolled scan for the common associativities.
+    /// Finds the way holding `tag` in the set starting at `base`, through
+    /// the active probe path.
     #[inline]
-    fn find_way(&self, base: usize, tag: u64) -> Option<usize> {
-        match self.ways {
-            1 => self.scan_ways::<1>(base, tag),
-            2 => self.scan_ways::<2>(base, tag),
-            4 => self.scan_ways::<4>(base, tag),
-            8 => self.scan_ways::<8>(base, tag),
-            n => self.scan_dyn(base, tag, n),
-        }
+    fn find_way(&self, set_idx: usize, base: usize, tag: u64) -> Option<usize> {
+        let w = self.probe_hit(set_idx, base, tag);
+        (w != usize::MAX).then_some(w)
     }
 
     #[inline]
@@ -754,8 +992,22 @@ impl Cache {
     /// first-minimum-stamp resident (matching how `Iterator::min_by_key`
     /// resolves ties), which is evicted. Returns the recycled packed slot.
     #[inline]
-    fn install(&mut self, base: usize, victim: usize, tag: u64, dirty: bool) -> usize {
+    fn install(
+        &mut self,
+        tick: u64,
+        set_idx: usize,
+        base: usize,
+        victim: usize,
+        tag: u64,
+        dirty: bool,
+    ) -> usize {
         let slot = base + victim;
+        if self.ways <= 8 {
+            // Refresh the packed signature byte for the recycled way.
+            let shift = (victim * 8) as u32;
+            let word = &mut self.sig[set_idx];
+            *word = (*word & !(0xff_u64 << shift)) | (probe::sig_byte(tag) << shift);
+        }
         let victim_flags = self.flags[slot];
         if victim_flags & FLAG_VALID != 0 {
             self.stats.evictions += 1;
@@ -775,7 +1027,7 @@ impl Cache {
             self.lb_refs[slot] = 0;
         }
         self.tags[slot] = tag;
-        self.stamps[slot] = self.tick;
+        self.stamps[slot] = tick;
         self.flags[slot] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
         slot
     }

@@ -57,9 +57,42 @@ impl SimdEngine {
         self.cache.access_run(operands);
     }
 
+    /// Executes a pre-flattened block of `ops` SIMD operations whose
+    /// operand accesses were concatenated into `accesses`, streaming the
+    /// whole block through [`Cache::access_block`]. Counter-for-counter
+    /// equivalent to calling [`SimdEngine::op`] once per operation — the
+    /// batched entry point for [`crate::batch`].
+    pub fn commit_block(&mut self, ops: u64, accesses: &[Access]) {
+        self.cycles += ops;
+        self.ops += ops;
+        self.cache.access_block(accesses);
+    }
+
     /// Charges idle cycles without memory traffic (e.g. pipeline drain).
     pub fn stall(&mut self, cycles: u64) {
         self.cycles += cycles;
+    }
+
+    /// The backing cache (read-only), for differential tests that pin
+    /// line states as well as counters.
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Drives N independent workload traces through interleaved batched
+    /// cache passes; see [`crate::batch::run_batch`] (this is the same
+    /// function, re-homed for discoverability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid.
+    #[must_use]
+    pub fn run_batch(
+        config: &CacheConfig,
+        workloads: &[&dyn crate::kernels::Workload],
+    ) -> Vec<crate::kernels::KernelStats> {
+        crate::batch::run_batch(config, workloads)
     }
 
     /// The backing cache's statistics.

@@ -1,0 +1,122 @@
+//! Differential proptests for the batched trace executor: interleaving N
+//! independent traces through [`SimdEngine::commit_block`] — in any chunk
+//! partition, in any round-robin order — must leave every engine with the
+//! same counters AND the same cache line states as running its trace
+//! alone, and the public [`run_batch`] entry point must match N
+//! sequential [`Workload::run`] calls stat for stat.
+
+use proptest::prelude::*;
+use pudiannao_memsim::kernels::{run_fresh, TraceSink};
+use pudiannao_memsim::{
+    run_batch, Access, AccessKind, Addr, CacheConfig, KernelStats, SimdEngine, Technique, VarClass,
+    Workload,
+};
+
+/// A workload that replays a recorded op list — the arbitrary-trace stand-in
+/// for the tiled kernels.
+struct Replay {
+    ops: Vec<Vec<Access>>,
+}
+
+impl Workload for Replay {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn technique(&self) -> Technique {
+        Technique::Knn
+    }
+
+    fn trace(&self, sink: &mut dyn TraceSink) {
+        for op in &self.ops {
+            sink.op(op);
+        }
+    }
+}
+
+const CLASSES: [VarClass; 4] = [VarClass::Hot, VarClass::Cold, VarClass::Output, VarClass::Stream];
+
+fn any_op() -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0u64..4096, 1u32..64, any::<bool>(), 0usize..4).prop_map(|(addr, bytes, write, class)| {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            Access { addr: Addr(addr), bytes, kind, class: CLASSES[class] }
+        }),
+        1..4,
+    )
+}
+
+fn any_workload() -> impl Strategy<Value = Replay> {
+    proptest::collection::vec(any_op(), 1..60).prop_map(|ops| Replay { ops })
+}
+
+fn states(engine: &SimdEngine) -> Vec<(u32, u32, u64, bool, bool, u64)> {
+    engine
+        .cache()
+        .line_states()
+        .into_iter()
+        .map(|l| (l.set, l.way, if l.valid { l.tag } else { 0 }, l.valid, l.dirty, l.stamp))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Round-robin interleaving of chunked `commit_block` calls across N
+    /// engines is invisible: each engine ends bit-identical (stats, line
+    /// states, bandwidth report) to a sequential per-op run of its own
+    /// trace, and `run_batch` over the same workloads returns the same
+    /// stats as N sequential fresh runs.
+    #[test]
+    fn interleaved_batch_matches_sequential(
+        workloads in proptest::collection::vec(any_workload(), 2..5),
+        chunk_ops in 1usize..8,
+    ) {
+        let cfg = CacheConfig::paper_default();
+
+        // Sequential reference: one engine per workload, per-op driver.
+        let mut reference: Vec<SimdEngine> = Vec::new();
+        for w in &workloads {
+            let mut e = SimdEngine::new(cfg.clone()).unwrap();
+            for op in &w.ops {
+                e.op(op);
+            }
+            reference.push(e);
+        }
+
+        // Interleaved: chop each trace into `chunk_ops`-op flat blocks and
+        // commit them round-robin across the engines.
+        let mut engines: Vec<SimdEngine> =
+            workloads.iter().map(|_| SimdEngine::new(cfg.clone()).unwrap()).collect();
+        let chunked: Vec<Vec<(u64, Vec<Access>)>> = workloads
+            .iter()
+            .map(|w| {
+                w.ops
+                    .chunks(chunk_ops)
+                    .map(|ops| (ops.len() as u64, ops.iter().flatten().copied().collect()))
+                    .collect()
+            })
+            .collect();
+        let rounds = chunked.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (engine, chunks) in engines.iter_mut().zip(&chunked) {
+                if let Some((ops, block)) = chunks.get(round) {
+                    engine.commit_block(*ops, block);
+                }
+            }
+        }
+
+        for (i, (batched, sequential)) in engines.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(batched.report(), sequential.report(), "engine {} report", i);
+            prop_assert_eq!(batched.cache_stats(), sequential.cache_stats(), "engine {} stats", i);
+            prop_assert_eq!(states(batched), states(sequential), "engine {} line states", i);
+        }
+
+        // Public entry point: stats match N sequential fresh runs.
+        let refs: Vec<&dyn Workload> = workloads.iter().map(|w| w as &dyn Workload).collect();
+        let batched_stats = run_batch(&cfg, &refs);
+        let sequential_stats: Vec<KernelStats> =
+            workloads.iter().map(|w| run_fresh(w, &cfg)).collect();
+        prop_assert_eq!(batched_stats, sequential_stats);
+    }
+}

@@ -143,12 +143,12 @@ fn fast_line_states(cache: &Cache) -> Vec<(u32, u32, u64, bool, bool, u64)> {
 }
 
 /// Small configurations with few sets force evictions and conflict misses;
-/// way counts cover every specialized scan (1/2/4/8) plus the dynamic
-/// fallback (3).
+/// way counts cover every specialized scan (1/2/4/8), the dynamic
+/// fallback (3), and the beyond-SWAR linear fallback (16).
 fn any_config() -> impl Strategy<Value = CacheConfig> {
     (
         (
-            prop_oneof![Just(1u32), Just(2u32), Just(3u32), Just(4u32), Just(8u32)],
+            prop_oneof![Just(1u32), Just(2u32), Just(3u32), Just(4u32), Just(8u32), Just(16u32)],
             prop_oneof![Just(16u32), Just(64u32)],
             prop_oneof![Just(1u32), Just(2u32), Just(4u32)],
         ),
@@ -212,8 +212,9 @@ proptest! {
         prop_assert_eq!(fast_line_states(&fast), reference.line_states());
     }
 
-    /// `Cache::access_run` over operand groups is equivalent, counter for
-    /// counter and stamp for stamp, to scalar accesses in order — on the
+    /// `Cache::access_run` over operand groups and `Cache::access_block`
+    /// over the whole flattened trace are equivalent, counter for counter
+    /// and stamp for stamp, to scalar accesses in order — on the
     /// reference model, the fast per-access path, and the unbuffered
     /// `access_scalar` path, all at once.
     #[test]
@@ -224,8 +225,11 @@ proptest! {
     ) {
         let ops = expand(&bursts, group);
         let mut run = Cache::new(cfg.clone()).unwrap();
+        let mut block = Cache::new(cfg.clone()).unwrap();
         let mut scalar = Cache::new(cfg.clone()).unwrap();
         let mut reference = RefCache::new(cfg);
+        let flat: Vec<Access> = ops.iter().flatten().copied().collect();
+        block.access_block(&flat);
         for op in &ops {
             run.access_run(op);
             for &a in op {
@@ -235,6 +239,8 @@ proptest! {
         }
         prop_assert_eq!(*run.stats(), reference.stats);
         prop_assert_eq!(fast_line_states(&run), reference.line_states());
+        prop_assert_eq!(*block.stats(), reference.stats);
+        prop_assert_eq!(fast_line_states(&block), reference.line_states());
         prop_assert_eq!(*scalar.stats(), reference.stats);
         prop_assert_eq!(fast_line_states(&scalar), reference.line_states());
     }

@@ -77,8 +77,9 @@ fn main() {
         let mut arr = Value::array(Vec::new());
         for p in &points {
             println!(
-                "[serve] sweep shards {} completed {} throughput_rps {:.1} p99_ns {}",
-                p.shards, p.completed, p.throughput_rps, p.p99_ns
+                "[serve] sweep shards {} completed {} throughput_rps {:.1} p99_ns {} \
+                 util_permille {}",
+                p.shards, p.completed, p.throughput_rps, p.p99_ns, p.util_permille
             );
             arr.push(p.to_json());
         }

@@ -17,6 +17,10 @@ pub struct SweepPoint {
     pub shed: u64,
     pub throughput_rps: f64,
     pub p99_ns: u64,
+    /// Mean per-shard busy fraction (integer per-mille): the scaling
+    /// signal the perf gate watches — throughput can hide a fleet that
+    /// adds shards while each one idles more.
+    pub util_permille: u64,
 }
 
 impl SweepPoint {
@@ -28,6 +32,7 @@ impl SweepPoint {
             .with("shed", self.shed)
             .with("throughput_rps", self.throughput_rps)
             .with("p99_ns", self.p99_ns)
+            .with("util_permille", self.util_permille)
     }
 }
 
@@ -38,12 +43,15 @@ pub fn scaling_sweep(gen: &GeneratorConfig) -> Vec<SweepPoint> {
         .iter()
         .map(|&shards| {
             let report = serve(&FleetConfig::with_shards(shards), gen);
+            let util_permille = report.shards.iter().map(|s| s.utilization_permille).sum::<u64>()
+                / report.shards.len().max(1) as u64;
             SweepPoint {
                 shards,
                 completed: report.completed,
                 shed: report.counters.shed,
                 throughput_rps: report.throughput_rps,
                 p99_ns: report.p99_ns,
+                util_permille,
             }
         })
         .collect()

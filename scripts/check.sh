@@ -170,6 +170,12 @@ if [[ "${1:-}" == "--bench" ]]; then
     echo "==> coalesce-equivalence proptests (fast cache path vs reference model)"
     cargo test -q -p pudiannao-memsim --test coalesce_equivalence
 
+    echo "==> probe-path differential suite (Scan vs SWAR vs std::arch; SIMD legs skip without the ISA)"
+    cargo test -q -p pudiannao-memsim --test probe_paths
+
+    echo "==> batched-execution differential suite (interleaved run_batch vs sequential runs)"
+    cargo test -q -p pudiannao-memsim --test batch_equivalence
+
     echo "==> bench_hotpath"
     ./target/release/bench_hotpath | grep '^\[bench\]'
 
