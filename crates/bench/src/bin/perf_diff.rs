@@ -19,8 +19,8 @@
 
 use pudiannao_accel::json;
 use pudiannao_bench::profile::{
-    diff_records, diff_serve, history_record, with_inflated_cycles, PhaseDelta, ServeDelta,
-    REGRESSION_THRESHOLD_PCT,
+    diff_chaos, diff_records, diff_serve, history_record, with_inflated_cycles, ChaosDelta,
+    PhaseDelta, ServeDelta, CHAOS_SLO_SLACK_POINTS, REGRESSION_THRESHOLD_PCT,
 };
 
 fn fail(msg: &str) -> ! {
@@ -110,10 +110,22 @@ fn main() {
                     d.shards, d.throughput_pct, d.p99_pct, d.util_pct
                 );
             }
+            let chaos_deltas = match diff_chaos(&baseline, &current) {
+                Ok(d) => d,
+                Err(e) => fail(&e),
+            };
+            if chaos_deltas.is_empty() && baseline.get("chaos").is_none() {
+                println!("[perf] chaos: baseline predates the chaos headline, skipping");
+            }
+            for d in &chaos_deltas {
+                println!("[perf] chaos {} arm SLO {:+} permille points", d.arm, d.slo_points);
+            }
             let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
             let serve_regressed: Vec<&ServeDelta> =
                 serve_deltas.iter().filter(|d| d.regressed()).collect();
-            if regressed.is_empty() && serve_regressed.is_empty() {
+            let chaos_regressed: Vec<&ChaosDelta> =
+                chaos_deltas.iter().filter(|d| d.regressed()).collect();
+            if regressed.is_empty() && serve_regressed.is_empty() && chaos_regressed.is_empty() {
                 println!(
                     "[perf] OK: no phase or serving point regressed more than \
                      {REGRESSION_THRESHOLD_PCT}% vs the last record"
@@ -131,6 +143,13 @@ fn main() {
                         "[perf] FAIL serve {}-shard: throughput {:+.2}% util {:+.2}% \
                          (threshold -{REGRESSION_THRESHOLD_PCT}%)",
                         d.shards, d.throughput_pct, d.util_pct
+                    );
+                }
+                for d in &chaos_regressed {
+                    println!(
+                        "[perf] FAIL chaos {} arm: SLO {:+} permille points (threshold \
+                         -{CHAOS_SLO_SLACK_POINTS})",
+                        d.arm, d.slo_points
                     );
                 }
                 std::process::exit(1);

@@ -133,6 +133,7 @@ pub fn summary(reports: &[RunReport], config: &ArchConfig, events_dropped: u64) 
 pub fn history_record() -> Value {
     let mut record = record_from_reports(&crate::evaluation::phase_run_reports());
     record.set("serve", serve_sweep_points());
+    record.set("chaos", chaos_headline());
     record
 }
 
@@ -151,6 +152,36 @@ fn serve_sweep_points() -> Value {
         );
     }
     points
+}
+
+/// The resilience headline riding each history record: the mid-intensity
+/// smoke chaos cell (2k requests of the gate shape on the widest sweep
+/// fleet), undefended vs fully defended, as overall and per-tier SLO
+/// attainment in per-mille. Small enough to run on every `--record`,
+/// pinned enough that a defence regression moves it.
+fn chaos_headline() -> Value {
+    use pudiannao_serve::sweep::{chaos_fleet, defense_arm, gate_generator, CHAOS_SEED};
+    use pudiannao_serve::{serve, serve_resilient, ChaosConfig, GeneratorConfig, Priority};
+    let gen = GeneratorConfig { requests: 2_000, ..gate_generator() };
+    let fleet = chaos_fleet();
+    let p99 = serve(&fleet, &gen).p99_ns;
+    let chaos = ChaosConfig::intensity(CHAOS_SEED, 1);
+    let mut out = Value::object().with("intensity", "mid").with("baseline_p99_ns", p99);
+    for arm in ["none", "full"] {
+        let report = serve_resilient(&fleet, &gen, &chaos, &defense_arm(arm, p99));
+        let res = report.resilience.as_ref().expect("chaos cells are resilient runs");
+        let mut tiers = Value::object();
+        for p in Priority::ALL {
+            tiers.set(p.label(), res.tiers[p.index()].slo_met_permille);
+        }
+        out.set(
+            arm,
+            Value::object()
+                .with("slo_overall_permille", res.overall_slo_permille())
+                .with("slo_tiers_permille", tiers),
+        );
+    }
+    out
 }
 
 fn record_from_reports(reports: &[RunReport]) -> Value {
@@ -204,9 +235,13 @@ pub fn with_inflated_cycles(record: &Value, pct: f64) -> Value {
         )
         .with("phases", Value::array(phases));
     // The synthetic slowdown targets phase cycles only; the serving sweep
-    // rides along untouched so the gate self-check diffs it cleanly.
+    // and chaos headline ride along untouched so the gate self-check
+    // diffs them cleanly.
     if let Some(serve) = record.get("serve") {
         out.set("serve", serve.clone());
+    }
+    if let Some(chaos) = record.get("chaos") {
+        out.set("chaos", chaos.clone());
     }
     out
 }
@@ -367,6 +402,58 @@ pub fn diff_serve(prev: &Value, cur: &Value) -> Result<Vec<ServeDelta>, String> 
     Ok(deltas)
 }
 
+/// How many per-mille points of chaos-headline SLO attainment a record
+/// may lose before the gate fails. The model is deterministic, so any
+/// movement is a code change; the slack only absorbs benign remodels.
+pub const CHAOS_SLO_SLACK_POINTS: i64 = 10;
+
+/// One defence arm's change in the chaos headline between two records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosDelta {
+    /// Defence arm (`"none"` or `"full"`).
+    pub arm: &'static str,
+    /// Overall SLO attainment change in per-mille points
+    /// (positive = more requests meeting their deadline).
+    pub slo_points: i64,
+}
+
+impl ChaosDelta {
+    /// Whether this arm's SLO attainment dropped beyond
+    /// [`CHAOS_SLO_SLACK_POINTS`].
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.slo_points < -CHAOS_SLO_SLACK_POINTS
+    }
+}
+
+/// Diffs the chaos headlines of two history records.
+///
+/// Returns an empty list when either record predates the chaos headline
+/// (no `chaos` key) — older baselines stay comparable on phases and the
+/// serving sweep alone.
+///
+/// # Errors
+///
+/// When both records carry a headline but an arm's attainment column is
+/// missing or malformed.
+pub fn diff_chaos(prev: &Value, cur: &Value) -> Result<Vec<ChaosDelta>, String> {
+    let (Some(p), Some(c)) = (prev.get("chaos"), cur.get("chaos")) else {
+        return Ok(Vec::new());
+    };
+    let slo = |v: &Value, arm: &str| -> Result<i64, String> {
+        v.get(arm)
+            .and_then(|a| a.get("slo_overall_permille"))
+            .and_then(Value::as_u64)
+            .map(|x| x as i64)
+            .ok_or_else(|| format!("chaos headline is missing arm {arm:?}"))
+    };
+    let mut deltas = Vec::with_capacity(2);
+    for arm in ["none", "full"] {
+        deltas.push(ChaosDelta { arm, slo_points: slo(c, arm)? - slo(p, arm)? });
+    }
+    Ok(deltas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +557,48 @@ mod tests {
         assert!(deltas.iter().all(ServeDelta::regressed));
         // ...while a baseline that predates the serving layer is skipped.
         assert!(diff_serve(&Value::object(), &record).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chaos_headline_rides_the_record_and_old_baselines_skip() {
+        let record = history_record();
+        let chaos = record.get("chaos").expect("record carries the chaos headline");
+        let slo = |arm: &str| {
+            chaos
+                .get(arm)
+                .and_then(|a| a.get("slo_overall_permille"))
+                .and_then(Value::as_u64)
+                .expect("headline arm carries attainment")
+        };
+        // The headline preserves the chaos_bench invariant: defended
+        // strictly beats undefended at the pinned mid intensity.
+        assert!(slo("full") > slo("none"), "full {} vs none {}", slo("full"), slo("none"));
+        // Self-diff is clean; inflation leaves the headline untouched.
+        assert!(!diff_chaos(&record, &record).unwrap().iter().any(ChaosDelta::regressed));
+        let inflated = with_inflated_cycles(&record, 5.0);
+        assert!(!diff_chaos(&record, &inflated).unwrap().iter().any(ChaosDelta::regressed));
+        // A record written before the chaos headline existed (the PR-7
+        // schema) skips cleanly in both directions instead of erroring.
+        let old = Value::object()
+            .with("schema_version", record.get("schema_version").cloned().unwrap())
+            .with("config_fingerprint", record.get("config_fingerprint").cloned().unwrap())
+            .with("phases", record.get("phases").cloned().unwrap())
+            .with("serve", record.get("serve").cloned().unwrap());
+        assert!(diff_chaos(&old, &record).unwrap().is_empty());
+        assert!(diff_chaos(&record, &old).unwrap().is_empty());
+        // A genuine attainment collapse in the defended arm trips the gate.
+        let sick_chaos = Value::object()
+            .with("none", Value::object().with("slo_overall_permille", slo("none")))
+            .with(
+                "full",
+                Value::object().with("slo_overall_permille", slo("full").saturating_sub(50)),
+            );
+        let sick = Value::object().with("chaos", sick_chaos);
+        let deltas = diff_chaos(&record, &sick).unwrap();
+        assert!(deltas.iter().any(ChaosDelta::regressed));
+        // A malformed headline is refused, not silently zeroed.
+        let broken = Value::object().with("chaos", Value::object());
+        assert!(diff_chaos(&record, &broken).unwrap_err().contains("missing arm"));
     }
 
     #[test]

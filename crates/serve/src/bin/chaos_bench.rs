@@ -1,0 +1,136 @@
+//! Chaos benchmark: sweeps fault intensity x defence configuration over
+//! the pinned gate stream and writes `chaos_report.json`.
+//!
+//! ```text
+//! chaos_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! The sweep first measures the chaos-off p99 on the same stream (the
+//! anchor every deadline, backoff and hedge delay derives from), then
+//! runs three fault intensities (low/mid/high) against three defence
+//! arms: `none` (deadline accounting only), `retries` (bounded retries
+//! with exponential backoff), and `full` (retries + hedging +
+//! quarantine). Lines tagged `[chaos]` are pinned by
+//! `scripts/check.sh --chaos`; the JSON file is compared byte-for-byte
+//! across `REPRO_THREADS` settings.
+//!
+//! The binary enforces the headline claim: at every swept intensity the
+//! fully defended arm must attain a strictly higher overall SLO
+//! per-mille than the undefended arm, or the run exits non-zero.
+
+use pudiannao_accel::json::Value;
+use pudiannao_serve::sweep::{chaos_fleet, chaos_sweep, gate_generator, ChaosCell, CHAOS_SEED};
+use pudiannao_serve::{serve, ChaosConfig, GeneratorConfig};
+
+fn print_cell(cell: &ChaosCell) {
+    let res = cell.report.resilience.as_ref().expect("chaos cells are resilient runs");
+    let o = &res.outcomes;
+    println!(
+        "[chaos] cell {} {} completed {} retried_ok {} hedge_won {} timed_out {} failed {} \
+         shed {} slo_overall_permille {}",
+        ChaosConfig::intensity_label(cell.intensity),
+        cell.defense,
+        o.completed_total(),
+        o.retried_ok,
+        o.hedge_won,
+        o.timed_out,
+        o.failed,
+        o.shed,
+        res.overall_slo_permille()
+    );
+    let tiers: Vec<String> = pudiannao_serve::Priority::ALL
+        .iter()
+        .map(|p| format!("{} {}", p.label(), res.tiers[p.index()].slo_met_permille))
+        .collect();
+    println!(
+        "[chaos] slo {} {} {}",
+        ChaosConfig::intensity_label(cell.intensity),
+        cell.defense,
+        tiers.join(" ")
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("chaos_report.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?} (usage: chaos_bench [--smoke] [--out PATH])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let gen = if smoke {
+        GeneratorConfig { requests: 2_000, ..gate_generator() }
+    } else {
+        gate_generator()
+    };
+
+    // Anchor: the chaos-off p99 of the same stream on the same fleet.
+    let baseline = serve(&chaos_fleet(), &gen);
+    let p99 = baseline.p99_ns;
+    println!("[chaos] mode {mode}");
+    println!("[chaos] baseline_p99_ns {p99}");
+
+    let cells = chaos_sweep(&gen, p99);
+    for cell in &cells {
+        print_cell(cell);
+    }
+
+    // The headline gate: full defences strictly beat no defences on
+    // overall SLO attainment at every fault intensity.
+    let mut ok = true;
+    for intensity in 0..3u32 {
+        let slo_of = |arm: &str| {
+            cells
+                .iter()
+                .find(|c| c.intensity == intensity && c.defense == arm)
+                .and_then(|c| c.report.resilience.as_ref())
+                .map_or(0, |r| r.overall_slo_permille())
+        };
+        let none = slo_of("none");
+        let full = slo_of("full");
+        let diff = full as i64 - none as i64;
+        println!("[chaos] defended_minus_none {} {diff}", ChaosConfig::intensity_label(intensity));
+        if full <= none {
+            eprintln!(
+                "error: defended SLO attainment {full} does not beat undefended {none} at \
+                 intensity {}",
+                ChaosConfig::intensity_label(intensity)
+            );
+            ok = false;
+        }
+    }
+
+    let mut arr = Value::array(Vec::new());
+    for cell in &cells {
+        arr.push(cell.to_json());
+    }
+    let doc = Value::object()
+        .with("mode", mode)
+        .with("chaos_seed", CHAOS_SEED)
+        .with("baseline_p99_ns", p99)
+        .with("cells", arr);
+    let body = doc.to_string_pretty();
+    if let Err(e) = std::fs::write(&out, body + "\n") {
+        eprintln!("error: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("[chaos] wrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

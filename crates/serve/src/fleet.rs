@@ -17,14 +17,43 @@
 //! time to the next arrival or shard-completion event. One engine cycle is
 //! one simulated nanosecond (1 GHz device clock, as in the paper's
 //! evaluation).
+//!
+//! ## Resilience
+//!
+//! [`run_fleet_resilient`] layers the chaos/defence machinery on top
+//! without touching the baseline path: with [`ChaosConfig::off`] and
+//! [`Defense::off`] the loop takes byte-for-byte the same decisions as
+//! [`run_fleet`]. Otherwise every dispatch attempt is a [`Leg`] tracked by
+//! a per-request `Flight`:
+//!
+//! - legs that draw a transient fault or are killed by a shard crash come
+//!   back failed; bounded **retries** with exponential backoff (in
+//!   simulated ns) re-queue a fresh leg through a ready-heap;
+//! - a slow or failed primary spawns one **hedged** duplicate after a
+//!   p99-derived delay; the request resolves to whichever leg finishes
+//!   first, and a hedge whose primary already resolved is cancelled at
+//!   pick time;
+//! - overdue legs (per-priority **deadlines**) are dropped at pick time
+//!   and counted as timeouts; a completion that lands past its deadline
+//!   still counts as completed but misses its SLO;
+//! - a shard accumulating consecutive failed legs is **quarantined** for
+//!   a cooldown and drained back into rotation afterwards.
+//!
+//! Every request resolves exactly once; the resulting outcome classes
+//! partition the offered load (the conservation invariant the proptests
+//! pin down).
 
 use pudiannao_memsim::{batch, Access, BatchSink, CacheConfig, SimdEngine, Technique};
 
-use crate::admission::{AdmissionConfig, AdmissionQueue};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::admission::{AdmissionConfig, AdmissionOutcome, AdmissionQueue};
 use crate::catalog::ServingCatalog;
+use crate::chaos::{ChaosConfig, Defense, ShardChaos};
 use crate::pool;
-use crate::report::{Completion, ServeReport};
-use crate::request::{Request, RequestKind};
+use crate::report::{Completion, ResilienceReport, ServeReport, ShardResilience};
+use crate::request::{Leg, Request, RequestKind};
 
 /// Cost, in simulated ns, of resetting a shard's engine for a new batch
 /// (measured reuse-path cost from the PR-5 profiling pass).
@@ -60,8 +89,32 @@ impl FleetConfig {
     }
 }
 
+/// How one dispatched leg ended on the shard.
+#[derive(Clone, Copy, Debug)]
+enum LegFate {
+    /// Finished cleanly at this simulated instant.
+    Done(u64),
+    /// Drew a transient failure, observed at this instant.
+    Transient(u64),
+    /// Killed by a shard crash at this instant.
+    Crashed(u64),
+}
+
+/// One executed leg as reported back by a shard.
+#[derive(Clone, Copy, Debug)]
+struct LegResult {
+    leg: Leg,
+    phase: pudiannao_codegen::phases::Phase,
+    fate: LegFate,
+    /// This leg's own (slowdown-scaled) service time, excluding queueing
+    /// and batch-mates — the straggler signal the hedge trigger watches.
+    /// (End-to-end batch time would flag the tail of every deep batch.)
+    service_ns: u64,
+}
+
 /// One simulated device: a reusable engine (plus its batching scratch
-/// buffer) and utilisation counters.
+/// buffer), utilisation counters, and — under chaos — its drawn fate and
+/// health-tracking state.
 struct Shard {
     engine: SimdEngine,
     /// Scratch for the batched trace path, reused across requests.
@@ -74,10 +127,18 @@ struct Shard {
     busy_ns: u64,
     ops: u64,
     offchip_bytes: u64,
+    /// Chaos fate of this shard; `None` on the fault-free path.
+    chaos: Option<ShardChaos>,
+    /// Consecutive failed legs, for the quarantine trigger.
+    fail_streak: u32,
+    /// Until when the health tracker has pulled this shard from rotation.
+    quarantined_until_ns: u64,
+    quarantines: u64,
+    quarantine_down_ns: u64,
 }
 
 impl Shard {
-    fn new(cache: &CacheConfig) -> Shard {
+    fn new(cache: &CacheConfig, chaos: Option<ShardChaos>) -> Shard {
         Shard {
             engine: SimdEngine::new(cache.clone()).expect("paper cache config is valid"),
             buf: Vec::with_capacity(batch::FLUSH_ACCESSES + 8),
@@ -89,33 +150,45 @@ impl Shard {
             busy_ns: 0,
             ops: 0,
             offchip_bytes: 0,
+            chaos,
+            fail_streak: 0,
+            quarantined_until_ns: 0,
+            quarantines: 0,
+            quarantine_down_ns: 0,
         }
     }
 
     /// Executes one technique-homogeneous batch starting at `start_ns`;
-    /// returns per-request completions. The engine is reset once per
-    /// batch, so requests in a batch share cache state — the locality win
+    /// returns the fate of every leg. The engine is reset once per batch,
+    /// so requests in a batch share cache state — the locality win
     /// batching buys on top of amortised reconfiguration.
+    ///
+    /// Chaos hooks: service time is scaled by the shard's slowdown draw,
+    /// each leg may draw a transient failure (a pure hash of its
+    /// identifiers), and a crash window opening mid-batch kills every leg
+    /// that had not yet completed and idles the shard until repair.
     fn run_batch(
         &mut self,
         technique: Technique,
-        batch: &[Request],
+        legs: &[Leg],
         catalog: &ServingCatalog,
         start_ns: u64,
-    ) -> Vec<Completion> {
+    ) -> Vec<LegResult> {
         let mut t = start_ns;
         if self.last_technique != Some(technique) {
-            t += RECONFIG_NS;
+            t = t.saturating_add(RECONFIG_NS);
             if self.last_technique.is_some() {
                 self.reconfigs += 1;
             }
             self.last_technique = Some(technique);
         }
-        t += BATCH_SETUP_NS;
+        t = t.saturating_add(BATCH_SETUP_NS);
         self.engine.reset();
-        let mut completions = Vec::with_capacity(batch.len());
-        for request in batch {
-            let RequestKind::Phase(phase) = request.kind else {
+        let slowdown = self.chaos.as_ref().map_or(1000, |c| c.slowdown_permille);
+        let mut out = Vec::with_capacity(legs.len());
+        let mut prev_cycles = 0u64;
+        for leg in legs {
+            let RequestKind::Phase(phase) = leg.request.kind else {
                 unreachable!("admission rejects unknown techniques before dispatch");
             };
             // Batched execution: the request's ops accumulate in the
@@ -124,31 +197,357 @@ impl Shard {
             // engine, which is why the completion timestamps (read off
             // the cumulative cycle counter after the flush) don't move.
             let mut sink = BatchSink::new(&mut self.engine, &mut self.buf);
-            catalog.get(phase, request.tier).trace(&mut sink);
+            catalog.get(phase, leg.request.tier).trace(&mut sink);
             sink.finish();
-            let done_ns = t + self.engine.report().cycles;
-            completions.push(Completion {
-                request: *request,
+            let cycles = self.engine.report().cycles;
+            let done_ns = t.saturating_add(scale_ns(cycles, slowdown));
+            out.push(LegResult {
+                leg: *leg,
                 phase,
-                dispatched_ns: start_ns,
-                completed_ns: done_ns,
+                fate: LegFate::Done(done_ns),
+                service_ns: scale_ns(cycles.saturating_sub(prev_cycles), slowdown),
             });
+            prev_cycles = cycles;
         }
         let stats = self.engine.report();
-        let end_ns = t + stats.cycles;
+        let mut end_ns = t.saturating_add(scale_ns(stats.cycles, slowdown));
+        let mut busy_until = end_ns;
+        if let Some(chaos) = &mut self.chaos {
+            // Transient failures first: a pure per-leg hash, so the
+            // verdict is the same whichever shard or wave runs the leg.
+            if chaos.plan().transient_per_mille > 0 {
+                for r in &mut out {
+                    if chaos.plan().leg_fails(r.leg.request.id, r.leg.attempt, r.leg.hedge) {
+                        let LegFate::Done(d) = r.fate else { unreachable!() };
+                        r.fate = LegFate::Transient(d);
+                    }
+                }
+            }
+            // Then the crash window, which overrides: every leg that had
+            // not completed when the shard went down is lost, and the
+            // shard stays down (and loses its datapath configuration)
+            // until the window closes.
+            if let Some((crash_ns, repair_ns)) = chaos.crash_in(start_ns, end_ns) {
+                for r in &mut out {
+                    let at = match r.fate {
+                        LegFate::Done(d) | LegFate::Transient(d) => d,
+                        LegFate::Crashed(_) => continue,
+                    };
+                    if at > crash_ns {
+                        r.fate = LegFate::Crashed(crash_ns);
+                    }
+                }
+                self.last_technique = None;
+                busy_until = crash_ns.max(start_ns);
+                end_ns = repair_ns;
+            }
+        }
+        // Health streak, at batch granularity: a batch that lost *every*
+        // leg extends the streak, any success resets it. (Per-leg
+        // counting would count one crash as a dozen strikes and
+        // quarantine a shard that already self-healed.) Always zero on
+        // the fault-free path.
+        let any_ok = out.iter().any(|r| matches!(r.fate, LegFate::Done(_)));
+        if any_ok {
+            self.fail_streak = 0;
+        } else if !out.is_empty() {
+            self.fail_streak = self.fail_streak.saturating_add(1);
+        }
         self.batches += 1;
-        self.requests += batch.len() as u64;
-        self.busy_ns += end_ns - start_ns;
+        self.requests += legs.len() as u64;
+        self.busy_ns = self.busy_ns.saturating_add(busy_until.saturating_sub(start_ns));
         self.ops += stats.ops;
         self.offchip_bytes += stats.offchip_bytes;
         self.free_at_ns = end_ns;
-        completions
+        out
+    }
+}
+
+/// Service time under the shard's slowdown draw; exact on the fault-free
+/// path (1000 per-mille multiplies by one).
+fn scale_ns(cycles: u64, slowdown_permille: u64) -> u64 {
+    if slowdown_permille == 1000 {
+        cycles
+    } else {
+        u64::try_from(u128::from(cycles) * u128::from(slowdown_permille) / 1000).unwrap_or(u64::MAX)
+    }
+}
+
+/// The best (earliest) successful leg of a flight so far.
+#[derive(Clone, Copy, Debug)]
+struct Best {
+    done_ns: u64,
+    dispatched_ns: u64,
+    hedge: bool,
+    retried: bool,
+}
+
+/// Lifecycle state of one in-flight request: how many legs are queued or
+/// running, how many retries it has burned, and the best completion seen.
+#[derive(Clone, Copy, Debug)]
+struct Flight {
+    request: Request,
+    outstanding: u32,
+    attempts_used: u32,
+    hedged: bool,
+    best: Option<Best>,
+    last_fail_ns: u64,
+}
+
+/// A retry or hedge leg waiting for its simulated release time.
+#[derive(Clone, Copy, Debug)]
+struct ReadyLeg {
+    ready_ns: u64,
+    seq: u64,
+    leg: Leg,
+}
+
+impl PartialEq for ReadyLeg {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready_ns, self.seq) == (other.ready_ns, other.seq)
+    }
+}
+impl Eq for ReadyLeg {}
+impl PartialOrd for ReadyLeg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyLeg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready_ns, self.seq).cmp(&(other.ready_ns, other.seq))
+    }
+}
+
+/// All request-lifecycle state of a resilient run: flights, the ready
+/// heap for delayed legs, resolved completions and the resilience
+/// tallies. Processed strictly sequentially (in wave order), so every
+/// decision is independent of the worker count.
+struct Lifecycle {
+    defense: Defense,
+    flights: BTreeMap<u64, Flight>,
+    ready: BinaryHeap<Reverse<ReadyLeg>>,
+    seq: u64,
+    rep: ResilienceReport,
+    completions: Vec<Completion>,
+}
+
+impl Lifecycle {
+    fn new(defense: Defense, capacity: usize) -> Lifecycle {
+        Lifecycle {
+            defense,
+            flights: BTreeMap::new(),
+            ready: BinaryHeap::new(),
+            seq: 0,
+            rep: ResilienceReport::default(),
+            completions: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn push_ready(&mut self, ready_ns: u64, leg: Leg) {
+        let seq = self.seq;
+        self.seq = self.seq.saturating_add(1);
+        self.ready.push(Reverse(ReadyLeg { ready_ns, seq, leg }));
+    }
+
+    /// Accounts one freshly offered request.
+    fn on_offered(&mut self, request: &Request, outcome: AdmissionOutcome) {
+        let tier = &mut self.rep.tiers[request.priority.index()];
+        tier.offered = tier.offered.saturating_add(1);
+        match outcome {
+            AdmissionOutcome::Admitted => {
+                self.flights.insert(
+                    request.id,
+                    Flight {
+                        request: *request,
+                        outstanding: 1,
+                        attempts_used: 0,
+                        hedged: false,
+                        best: None,
+                        last_fail_ns: 0,
+                    },
+                );
+            }
+            AdmissionOutcome::Shed => {
+                self.rep.outcomes.shed = self.rep.outcomes.shed.saturating_add(1);
+            }
+            AdmissionOutcome::Rejected => {
+                tier.rejected = tier.rejected.saturating_add(1);
+                self.rep.outcomes.rejected = self.rep.outcomes.rejected.saturating_add(1);
+            }
+        }
+    }
+
+    /// Resolves a primary evicted by priority-aware shedding.
+    fn on_evicted(&mut self, leg: &Leg) {
+        let removed = self.flights.remove(&leg.request.id);
+        debug_assert!(removed.is_some(), "evicted legs belong to live flights");
+        self.rep.outcomes.shed = self.rep.outcomes.shed.saturating_add(1);
+    }
+
+    /// Pick-time filter: returns `true` when the leg must not be
+    /// dispatched — a hedge whose primary already resolved (cancelled) or
+    /// any leg past its deadline (timed out).
+    fn drop_at_pick(&mut self, leg: &Leg, now: u64) -> bool {
+        let id = leg.request.id;
+        if leg.hedge {
+            let f = self.flights.get(&id).expect("queued hedge belongs to a live flight");
+            if f.best.is_some_and(|b| b.done_ns <= now) {
+                // The primary answered before the hedge reached a shard:
+                // cancel it, exactly as a real fleet would.
+                self.rep.hedges_cancelled = self.rep.hedges_cancelled.saturating_add(1);
+                self.finish_leg(id);
+                return true;
+            }
+        }
+        if let Some(deadline) =
+            self.defense.deadline_for(leg.request.priority, leg.request.arrival_ns)
+        {
+            if deadline < now {
+                if leg.hedge {
+                    self.rep.hedges_cancelled = self.rep.hedges_cancelled.saturating_add(1);
+                    self.finish_leg(id);
+                } else {
+                    let f = self.flights.remove(&id).expect("queued leg belongs to a live flight");
+                    debug_assert!(f.outstanding == 1 && f.best.is_none());
+                    self.rep.outcomes.timed_out = self.rep.outcomes.timed_out.saturating_add(1);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Processes one executed leg: record its fate, possibly launch a
+    /// hedge, and resolve the flight if no legs remain outstanding.
+    fn on_leg_result(&mut self, result: &LegResult, dispatched_ns: u64) {
+        let LegResult { leg, fate, service_ns, .. } = result;
+        let fate = *fate;
+        let id = leg.request.id;
+        let f = self.flights.get_mut(&id).expect("executed leg belongs to a live flight");
+        match fate {
+            LegFate::Done(done_ns) => {
+                if f.best.is_none_or(|b| done_ns < b.done_ns) {
+                    f.best = Some(Best {
+                        done_ns,
+                        dispatched_ns,
+                        hedge: leg.hedge,
+                        retried: leg.attempt > 0,
+                    });
+                }
+            }
+            LegFate::Transient(at) => {
+                self.rep.transient_faults = self.rep.transient_faults.saturating_add(1);
+                f.last_fail_ns = f.last_fail_ns.max(at);
+            }
+            LegFate::Crashed(at) => {
+                self.rep.crash_killed = self.rep.crash_killed.saturating_add(1);
+                f.last_fail_ns = f.last_fail_ns.max(at);
+            }
+        }
+        // Hedge trigger: a primary-generation leg whose *own* service
+        // time blew past the hedge delay (a straggler or degraded shard)
+        // or that failed outright spawns one duplicate, released
+        // `hedge_after_ns` after the original dispatch. The request then
+        // resolves to whichever leg finishes first. Tiers below
+        // `recover_from` never hedge.
+        let recoverable = leg.request.priority.index() >= self.defense.recover_from.index();
+        if !leg.hedge && !f.hedged && recoverable {
+            if let Some(after) = self.defense.hedge_after_ns {
+                let slow_or_failed = match fate {
+                    LegFate::Done(_) => *service_ns > after,
+                    LegFate::Transient(_) | LegFate::Crashed(_) => true,
+                };
+                if slow_or_failed {
+                    f.hedged = true;
+                    f.outstanding = f.outstanding.saturating_add(1);
+                    self.rep.hedges_launched = self.rep.hedges_launched.saturating_add(1);
+                    let hedge = Leg { request: leg.request, attempt: leg.attempt, hedge: true };
+                    self.push_ready(dispatched_ns.saturating_add(after), hedge);
+                }
+            }
+        }
+        self.finish_leg(id);
+    }
+
+    /// One leg of flight `id` is gone (completed, failed, or cancelled);
+    /// resolves the flight once nothing is outstanding.
+    fn finish_leg(&mut self, id: u64) {
+        let f = self.flights.get_mut(&id).expect("finished leg belongs to a live flight");
+        f.outstanding = f.outstanding.saturating_sub(1);
+        if f.outstanding > 0 {
+            return;
+        }
+        let f = self.flights.remove(&id).expect("flight present");
+        let tier = f.request.priority.index();
+        if let Some(best) = f.best {
+            let RequestKind::Phase(phase) = f.request.kind else {
+                unreachable!("flights only exist for admitted, known-technique requests");
+            };
+            // A completion past its deadline still completed — the work
+            // ran — it just misses its SLO.
+            let met = self
+                .defense
+                .deadline_for(f.request.priority, f.request.arrival_ns)
+                .is_none_or(|dl| best.done_ns <= dl);
+            self.rep.tiers[tier].completed = self.rep.tiers[tier].completed.saturating_add(1);
+            if met {
+                self.rep.tiers[tier].slo_met = self.rep.tiers[tier].slo_met.saturating_add(1);
+            }
+            if best.hedge {
+                self.rep.outcomes.hedge_won = self.rep.outcomes.hedge_won.saturating_add(1);
+            } else if best.retried {
+                self.rep.outcomes.retried_ok = self.rep.outcomes.retried_ok.saturating_add(1);
+            } else {
+                self.rep.outcomes.completed_clean =
+                    self.rep.outcomes.completed_clean.saturating_add(1);
+            }
+            self.completions.push(Completion {
+                request: f.request,
+                phase,
+                dispatched_ns: best.dispatched_ns,
+                completed_ns: best.done_ns,
+            });
+            return;
+        }
+        // Every leg failed: retry with exponential backoff while budget,
+        // deadline and tier allow, otherwise the request is lost.
+        let recoverable = f.request.priority.index() >= self.defense.recover_from.index();
+        if recoverable && f.attempts_used < self.defense.max_retries {
+            let shift = f.attempts_used.min(16);
+            let backoff = self.defense.retry_backoff_ns.saturating_mul(1u64 << shift);
+            let ready_ns = f.last_fail_ns.saturating_add(backoff);
+            let worth_it = self
+                .defense
+                .deadline_for(f.request.priority, f.request.arrival_ns)
+                .is_none_or(|dl| ready_ns <= dl);
+            if worth_it {
+                self.rep.retries_scheduled = self.rep.retries_scheduled.saturating_add(1);
+                let retry = Leg { request: f.request, attempt: f.attempts_used + 1, hedge: false };
+                self.flights.insert(
+                    f.request.id,
+                    Flight {
+                        attempts_used: f.attempts_used + 1,
+                        outstanding: 1,
+                        hedged: false,
+                        ..f
+                    },
+                );
+                self.push_ready(ready_ns, retry);
+                return;
+            }
+            // A retry that cannot start before the deadline is a timeout.
+            self.rep.outcomes.timed_out = self.rep.outcomes.timed_out.saturating_add(1);
+            return;
+        }
+        self.rep.outcomes.failed = self.rep.outcomes.failed.saturating_add(1);
     }
 }
 
 /// Runs the full open-loop stream through a fleet and reports what
 /// happened. `requests` must be sorted by `arrival_ns` (the generator
-/// produces them that way).
+/// produces them that way). Fault-free, defence-free — the baseline every
+/// byte-identity check pins.
 #[must_use]
 pub fn run_fleet(
     config: &FleetConfig,
@@ -156,44 +555,108 @@ pub fn run_fleet(
     catalog: &ServingCatalog,
     requests: &[Request],
 ) -> ServeReport {
+    run_fleet_resilient(config, cache, catalog, requests, &ChaosConfig::off(), &Defense::off())
+}
+
+/// [`run_fleet`] with chaos injection and a defence policy. With both
+/// off this *is* the baseline (the lifecycle layer is never built and the
+/// report carries no resilience section); otherwise every request is
+/// tracked through retries, hedges, deadlines and quarantine to exactly
+/// one resolution.
+#[must_use]
+pub fn run_fleet_resilient(
+    config: &FleetConfig,
+    cache: &CacheConfig,
+    catalog: &ServingCatalog,
+    requests: &[Request],
+    chaos: &ChaosConfig,
+    defense: &Defense,
+) -> ServeReport {
     assert!(config.shards > 0, "a fleet needs at least one shard");
     debug_assert!(
         requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
         "request stream must be sorted by arrival"
     );
 
-    let mut shards: Vec<Shard> = (0..config.shards).map(|_| Shard::new(cache)).collect();
-    let mut admission = AdmissionQueue::new(config.admission);
-    let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
+    let admission_config = AdmissionConfig {
+        priority_aware: config.admission.priority_aware || defense.priority_shedding,
+        ..config.admission
+    };
+    let resilient =
+        !(chaos.is_off() && *defense == Defense::off() && !admission_config.priority_aware);
+
+    let mut shards: Vec<Shard> = (0..config.shards)
+        .map(|i| {
+            let fate = if chaos.is_off() { None } else { Some(ShardChaos::new(chaos, i)) };
+            Shard::new(cache, fate)
+        })
+        .collect();
+    let mut admission = AdmissionQueue::new(admission_config);
+    let mut baseline_completions: Vec<Completion> = Vec::with_capacity(requests.len());
+    let mut lc = resilient.then(|| Lifecycle::new(*defense, requests.len()));
 
     let mut now = 0u64;
     let mut next_arrival = 0usize;
     loop {
-        // 1. Ingest everything that has arrived by `now`.
+        // 1. Ingest everything that has arrived by `now`, plus any retry
+        //    or hedge legs whose release time has come.
         while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now {
             let request = requests[next_arrival];
-            // Shed/rejected requests are dropped here; the admission
-            // counters carry everything the report needs about them.
-            let _ = admission.offer(request);
+            let outcome = admission.offer(request);
+            if let Some(lc) = &mut lc {
+                lc.on_offered(&request, outcome);
+                for evicted in admission.take_evicted() {
+                    lc.on_evicted(&evicted);
+                }
+            }
             next_arrival += 1;
         }
+        if let Some(lc) = &mut lc {
+            while lc.ready.peek().is_some_and(|Reverse(r)| r.ready_ns <= now) {
+                let Reverse(r) = lc.ready.pop().expect("peeked");
+                admission.offer_leg(r.leg);
+            }
+        }
 
-        // 2. Hand one batch to every idle shard (deterministic: shards in
-        //    index order, batches in oldest-head-of-line order).
-        let mut wave: Vec<(&mut Shard, Technique, Vec<Request>)> = Vec::new();
+        // 2. Hand one batch to every idle, healthy shard (deterministic:
+        //    shards in index order, batches in oldest-head-of-line
+        //    order). Overdue and cancelled legs are filtered here.
+        let mut wave: Vec<(&mut Shard, Technique, Vec<Leg>)> = Vec::new();
+        let mut queue_open = true;
         for shard in &mut shards {
-            if shard.free_at_ns > now {
+            if !queue_open || shard.free_at_ns > now {
                 continue;
             }
-            let Some((technique, batch)) = admission.pick_batch(config.max_batch) else {
-                break;
+            if shard.quarantined_until_ns > now {
+                continue;
+            }
+            if let Some(chaos) = &mut shard.chaos {
+                if chaos.available_from(now) > now {
+                    continue;
+                }
+            }
+            let picked = loop {
+                let Some((technique, batch)) = admission.pick_batch(config.max_batch) else {
+                    break None;
+                };
+                let Some(lc) = &mut lc else {
+                    break Some((technique, batch));
+                };
+                let live: Vec<Leg> =
+                    batch.into_iter().filter(|leg| !lc.drop_at_pick(leg, now)).collect();
+                if !live.is_empty() {
+                    break Some((technique, live));
+                }
             };
-            wave.push((shard, technique, batch));
+            match picked {
+                Some((technique, batch)) => wave.push((shard, technique, batch)),
+                None => queue_open = false,
+            }
         }
 
         // 3. Execute the wave (possibly empty). Each job owns a disjoint
         //    `&mut Shard`, and run_indexed returns results in wave order,
-        //    so the report is identical whether REPRO_THREADS is 1 or 64.
+        //    so the outcome is identical whether REPRO_THREADS is 1 or 64.
         let start = now;
         let jobs: Vec<_> = wave
             .into_iter()
@@ -201,30 +664,111 @@ pub fn run_fleet(
                 move || shard.run_batch(technique, &batch, catalog, start)
             })
             .collect();
-        for batch_completions in pool::run_indexed(jobs) {
-            completions.extend(batch_completions);
+        for batch_results in pool::run_indexed(jobs) {
+            match &mut lc {
+                None => {
+                    for r in batch_results {
+                        let LegFate::Done(completed_ns) = r.fate else {
+                            unreachable!("faults require chaos, which is off on this path");
+                        };
+                        baseline_completions.push(Completion {
+                            request: r.leg.request,
+                            phase: r.phase,
+                            dispatched_ns: start,
+                            completed_ns,
+                        });
+                    }
+                }
+                Some(lc) => {
+                    for r in batch_results {
+                        lc.on_leg_result(&r, start);
+                    }
+                }
+            }
         }
 
-        // 4. Advance to the next event (arrival or shard completion); the
-        //    dispatch loop above drained either the queue or the idle
-        //    shards, so no work is runnable before that instant.
-        let next_event = {
-            let arrival = requests.get(next_arrival).map(|r| r.arrival_ns);
-            let completion = shards.iter().map(|s| s.free_at_ns).filter(|&t| t > now).min();
-            match (arrival, completion) {
-                (Some(a), Some(c)) => Some(a.min(c)),
-                (Some(a), None) => Some(a),
-                (None, Some(c)) => Some(c),
-                (None, None) => None,
+        // 3b. Health tracking: a shard that just crossed the
+        //     consecutive-failure threshold is pulled from rotation until
+        //     its cooldown ends (sequential, in shard order).
+        if resilient && defense.quarantine_after > 0 {
+            for shard in &mut shards {
+                if shard.fail_streak >= defense.quarantine_after {
+                    let from = now.max(shard.free_at_ns);
+                    shard.quarantined_until_ns =
+                        from.saturating_add(defense.quarantine_cooldown_ns);
+                    shard.quarantines = shard.quarantines.saturating_add(1);
+                    shard.quarantine_down_ns =
+                        shard.quarantine_down_ns.saturating_add(defense.quarantine_cooldown_ns);
+                    shard.fail_streak = 0;
+                }
             }
+        }
+
+        // 4. Advance to the next event: arrival, delayed-leg release,
+        //    shard completion, crash repair, or quarantine expiry. The
+        //    dispatch loop drained either the queue or the eligible
+        //    shards, so no work is runnable before that instant.
+        let mut next_event: Option<u64> = requests.get(next_arrival).map(|r| r.arrival_ns);
+        let fold = |next_event: &mut Option<u64>, t: u64| {
+            *next_event = Some(next_event.map_or(t, |n| n.min(t)));
         };
+        if let Some(lc) = &lc {
+            if let Some(Reverse(r)) = lc.ready.peek() {
+                fold(&mut next_event, r.ready_ns);
+            }
+        }
+        for shard in &mut shards {
+            if shard.free_at_ns > now {
+                fold(&mut next_event, shard.free_at_ns);
+            }
+            if shard.quarantined_until_ns > now {
+                fold(&mut next_event, shard.quarantined_until_ns);
+            }
+            if let Some(chaos) = &mut shard.chaos {
+                let up_at = chaos.available_from(now);
+                if up_at > now {
+                    fold(&mut next_event, up_at);
+                }
+            }
+        }
         match next_event {
             Some(t) => now = now.max(t),
-            // No pending arrivals and no busy shards: if the queue were
-            // non-empty, step 2 would have dispatched it. All drained.
+            // No pending arrivals, no delayed legs, and no busy shards:
+            // if the queue were non-empty, step 2 would have dispatched
+            // it. All drained.
             None => break,
         }
     }
+
+    let (completions, resilience) = match lc {
+        None => (baseline_completions, None),
+        Some(lc) => {
+            debug_assert!(lc.flights.is_empty(), "every flight must resolve");
+            let makespan_ns = lc.completions.iter().map(|c| c.completed_ns).max().unwrap_or(0);
+            let mut rep = lc.rep;
+            rep.shards = shards
+                .iter_mut()
+                .map(|s| {
+                    let (crashes, crash_down_ns) = match &mut s.chaos {
+                        Some(c) => c.windows_within(makespan_ns),
+                        None => (0, 0),
+                    };
+                    ShardResilience {
+                        crashes,
+                        quarantines: s.quarantines,
+                        down_ns: crash_down_ns.saturating_add(s.quarantine_down_ns),
+                        availability_permille: 0, // filled in by assemble
+                        slowdown_permille: s.chaos.as_ref().map_or(1000, |c| c.slowdown_permille),
+                        lanes_left: s.chaos.as_ref().map_or_else(
+                            || pudiannao_accel::ArchConfig::paper_default().lanes,
+                            |c| c.lanes_left,
+                        ),
+                    }
+                })
+                .collect();
+            (lc.completions, Some(rep))
+        }
+    };
 
     ServeReport::assemble(
         config,
@@ -243,6 +787,7 @@ pub fn run_fleet(
                 utilization_permille: 0, // filled in by assemble (needs makespan)
             })
             .collect::<Vec<_>>(),
+        resilience,
     )
 }
 
@@ -253,6 +798,19 @@ pub fn serve(config: &FleetConfig, gen_config: &crate::gen::GeneratorConfig) -> 
     let catalog = ServingCatalog::paper_default();
     let requests = crate::gen::generate(gen_config);
     run_fleet(config, &CacheConfig::paper_default(), &catalog, &requests)
+}
+
+/// [`serve`] under a chaos plan and defence policy.
+#[must_use]
+pub fn serve_resilient(
+    config: &FleetConfig,
+    gen_config: &crate::gen::GeneratorConfig,
+    chaos: &ChaosConfig,
+    defense: &Defense,
+) -> ServeReport {
+    let catalog = ServingCatalog::paper_default();
+    let requests = crate::gen::generate(gen_config);
+    run_fleet_resilient(config, &CacheConfig::paper_default(), &catalog, &requests, chaos, defense)
 }
 
 #[cfg(test)]
@@ -271,6 +829,7 @@ mod tests {
         );
         assert_eq!(report.completed, report.counters.admitted);
         assert!(report.latencies_sorted_ns.iter().all(|&l| l > 0));
+        assert!(report.resilience.is_none(), "baseline runs carry no resilience section");
     }
 
     #[test]
@@ -305,5 +864,71 @@ mod tests {
         // never underflow; reaching here without a panic proves it, and
         // the minimum observed latency must cover setup + one kernel.
         assert!(report.latencies_sorted_ns[0] >= BATCH_SETUP_NS);
+    }
+
+    #[test]
+    fn resilient_run_conserves_requests() {
+        let gen = GeneratorConfig { requests: 1_500, ..GeneratorConfig::smoke(5) };
+        let chaos = ChaosConfig::intensity(17, 1);
+        let report =
+            serve_resilient(&FleetConfig::paper_default(), &gen, &chaos, &Defense::full(140_000));
+        let res = report.resilience.expect("chaos runs carry the resilience section");
+        assert_eq!(res.outcomes.total(), report.counters.offered, "{:?}", res.outcomes);
+        assert_eq!(res.outcomes.completed_total(), report.completed);
+        let tier_offered: u64 = res.tiers.iter().map(|t| t.offered).sum();
+        assert_eq!(tier_offered, report.counters.offered);
+    }
+
+    #[test]
+    fn transient_faults_without_retries_become_failures() {
+        let gen =
+            GeneratorConfig { requests: 1_000, unknown_per_mille: 0, ..GeneratorConfig::smoke(13) };
+        let chaos = ChaosConfig {
+            transient_per_mille: 120,
+            crash_mtbf_ns: 0,
+            straggler_per_mille: 0,
+            degraded_per_mille: 0,
+            ..ChaosConfig::intensity(29, 1)
+        };
+        let undefended =
+            serve_resilient(&FleetConfig::paper_default(), &gen, &chaos, &Defense::none(140_000));
+        let res = undefended.resilience.expect("resilience section");
+        assert!(res.outcomes.failed > 0, "{:?}", res.outcomes);
+        assert_eq!(res.outcomes.total(), undefended.counters.offered);
+        // Retries recover most of them.
+        let defended = serve_resilient(
+            &FleetConfig::paper_default(),
+            &gen,
+            &chaos,
+            &Defense::retries(140_000),
+        );
+        let dres = defended.resilience.expect("resilience section");
+        assert!(dres.outcomes.retried_ok > 0);
+        assert!(dres.outcomes.failed < res.outcomes.failed, "{dres:?}");
+    }
+
+    #[test]
+    fn crashed_shards_idle_until_repair_and_kill_inflight_legs() {
+        let gen =
+            GeneratorConfig { requests: 2_000, unknown_per_mille: 0, ..GeneratorConfig::smoke(41) };
+        let chaos = ChaosConfig {
+            crash_mtbf_ns: 200_000,
+            crash_mttr_ns: 80_000,
+            transient_per_mille: 0,
+            straggler_per_mille: 0,
+            degraded_per_mille: 0,
+            ..ChaosConfig::intensity(3, 2)
+        };
+        let report = serve_resilient(
+            &FleetConfig::paper_default(),
+            &gen,
+            &chaos,
+            &Defense::retries(140_000),
+        );
+        let res = report.resilience.expect("resilience section");
+        assert!(res.crash_killed > 0, "crashes this frequent must catch batches");
+        assert!(res.shards.iter().any(|s| s.crashes > 0));
+        assert!(res.shards.iter().all(|s| s.availability_permille <= 1000));
+        assert_eq!(res.outcomes.total(), report.counters.offered);
     }
 }

@@ -9,8 +9,14 @@
 //! seed produces the same byte sequence on every platform and the
 //! `serve_report.json` byte-identity test can hold across worker counts.
 
-use crate::request::{Request, RequestKind, SizeTier};
+use crate::request::{Priority, Request, RequestKind, SizeTier};
 use pudiannao_codegen::phases::Phase;
+
+/// Seed salt of the priority side stream: tenant tiers are drawn from a
+/// second splitmix sequence so bolting priorities onto the generator
+/// never consumed a draw from — and therefore never shifted — the pinned
+/// arrival/phase/size stream the byte-identity checks rely on.
+const PRIORITY_STREAM_SALT: u64 = 0x7e4a_9f21_05c3_d88b;
 
 /// splitmix64: tiny, seedable, and plenty for traffic shaping. (The
 /// vendored `rand` crate is reserved for the ML kit; the generator keeps
@@ -89,6 +95,7 @@ impl GeneratorConfig {
 #[must_use]
 pub fn generate(cfg: &GeneratorConfig) -> Vec<Request> {
     let mut rng = SplitMix64::new(cfg.seed);
+    let mut priority_rng = SplitMix64::new(cfg.seed ^ PRIORITY_STREAM_SALT);
     let mut out = Vec::with_capacity(cfg.requests as usize);
     let mut now = 0u64;
     let mut burst_left = 0u64;
@@ -120,7 +127,14 @@ pub fn generate(cfg: &GeneratorConfig) -> Vec<Request> {
             6..=8 => SizeTier::Medium,
             _ => SizeTier::Large,
         };
-        out.push(Request { id, arrival_ns: now, kind, tier });
+        // 20% gold / 30% silver / 50% bronze: most traffic is sheddable
+        // best-effort work, a protected premium slice rides on top.
+        let priority = match priority_rng.below(10) {
+            0..=1 => Priority::Gold,
+            2..=4 => Priority::Silver,
+            _ => Priority::Bronze,
+        };
+        out.push(Request { id, arrival_ns: now, kind, tier, priority });
     }
     out
 }
@@ -140,7 +154,22 @@ mod tests {
             assert_eq!(x.arrival_ns, y.arrival_ns);
             assert_eq!(x.kind, y.kind);
             assert_eq!(x.tier, y.tier);
+            assert_eq!(x.priority, y.priority);
         }
+    }
+
+    #[test]
+    fn priority_mix_tracks_the_side_stream() {
+        let reqs = generate(&GeneratorConfig::smoke(7));
+        let mut counts = [0u64; 3];
+        for r in &reqs {
+            counts[r.priority.index()] += 1;
+        }
+        let n = reqs.len() as u64;
+        // 50/30/20 bronze/silver/gold within loose bounds.
+        assert!((counts[0] * 10 / n) >= 4, "bronze share collapsed: {counts:?}");
+        assert!((counts[1] * 10 / n) >= 2, "silver share collapsed: {counts:?}");
+        assert!((counts[2] * 10 / n) >= 1, "gold share collapsed: {counts:?}");
     }
 
     #[test]

@@ -20,12 +20,20 @@
 //! * [`report`] / [`sweep`] — latency percentiles, throughput, shed
 //!   rate, per-device utilisation; 1/2/4/8-shard scaling sweep for the
 //!   perf-regression gate.
+//! * [`chaos`] — seeded fleet-level fault injection (crash/restart
+//!   windows, stragglers, lane-masked degradation reusing the PR-3
+//!   device fault model, transient failures) plus the [`chaos::Defense`]
+//!   policy (tiered deadlines, bounded retries, hedging, quarantine,
+//!   priority-aware shedding) the resilient fleet fights back with.
 //!
-//! Determinism is load-bearing: `serve_report.json` is byte-identical
-//! for any `REPRO_THREADS` value, which CI checks on every run.
+//! Determinism is load-bearing: `serve_report.json` and
+//! `chaos_report.json` are byte-identical for any `REPRO_THREADS` value,
+//! which CI checks on every run — and with chaos off the fleet takes the
+//! exact baseline code path, so the chaos layer is zero-cost when unused.
 
 pub mod admission;
 pub mod catalog;
+pub mod chaos;
 pub mod fleet;
 pub mod gen;
 pub mod pool;
@@ -35,8 +43,15 @@ pub mod sweep;
 
 pub use admission::{AdmissionConfig, AdmissionCounters, AdmissionOutcome, AdmissionQueue};
 pub use catalog::ServingCatalog;
-pub use fleet::{run_fleet, serve, FleetConfig, BATCH_SETUP_NS, RECONFIG_NS};
+pub use chaos::{ChaosConfig, Defense, ShardChaos};
+pub use fleet::{
+    run_fleet, run_fleet_resilient, serve, serve_resilient, FleetConfig, BATCH_SETUP_NS,
+    RECONFIG_NS,
+};
 pub use gen::{generate, GeneratorConfig, SplitMix64};
-pub use report::{percentile_ns, Completion, ServeReport, ShardStats, TechniqueStats};
-pub use request::{technique_of, Request, RequestKind, SizeTier};
+pub use report::{
+    percentile_ns, Completion, OutcomeCounts, ResilienceReport, ServeReport, ShardResilience,
+    ShardStats, TechniqueStats, TierSlo,
+};
+pub use request::{technique_of, Leg, Priority, Request, RequestKind, SizeTier};
 pub use sweep::{gate_sweep, scaling_sweep, SweepPoint, SWEEP_SHARDS};

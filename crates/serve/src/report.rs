@@ -14,7 +14,7 @@ use pudiannao_memsim::Technique;
 
 use crate::admission::AdmissionCounters;
 use crate::fleet::FleetConfig;
-use crate::request::{technique_of, Request};
+use crate::request::{technique_of, Priority, Request};
 
 /// One finished request, as recorded by the shard that ran it.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +52,164 @@ pub struct TechniqueStats {
     pub p99_ns: u64,
 }
 
+/// How every offered request resolved under the resilient fleet. The six
+/// classes partition `offered` together with `rejected`:
+/// `offered == completed_clean + retried_ok + hedge_won + timed_out +
+///  failed + shed + rejected`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// Finished on the first primary leg, inside its deadline machinery.
+    pub completed_clean: u64,
+    /// Finished, but only after at least one retry leg.
+    pub retried_ok: u64,
+    /// Finished because the hedged duplicate beat (or outlived) the
+    /// primary.
+    pub hedge_won: u64,
+    /// Dropped because the tier deadline expired before service.
+    pub timed_out: u64,
+    /// Exhausted the retry budget without a successful leg.
+    pub failed: u64,
+    /// Shed at admission (queue caps or priority eviction).
+    pub shed: u64,
+    /// Malformed (unknown technique) — rejected before queueing.
+    pub rejected: u64,
+}
+
+impl OutcomeCounts {
+    /// Total resolutions — must equal `offered` at end of run.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.completed_clean
+            .saturating_add(self.retried_ok)
+            .saturating_add(self.hedge_won)
+            .saturating_add(self.timed_out)
+            .saturating_add(self.failed)
+            .saturating_add(self.shed)
+            .saturating_add(self.rejected)
+    }
+
+    /// All successful resolutions regardless of path.
+    #[must_use]
+    pub fn completed_total(&self) -> u64 {
+        self.completed_clean.saturating_add(self.retried_ok).saturating_add(self.hedge_won)
+    }
+}
+
+/// Per-priority-tier SLO attainment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierSlo {
+    /// Requests of this tier offered to admission (including rejects).
+    pub offered: u64,
+    /// Malformed requests of this tier.
+    pub rejected: u64,
+    /// Requests that completed (any path).
+    pub completed: u64,
+    /// Requests that completed inside their tier deadline.
+    pub slo_met: u64,
+    /// `slo_met * 1000 / (offered - rejected)` — deadline-met per-mille
+    /// of well-formed offered load, filled by [`ServeReport::assemble`].
+    pub slo_met_permille: u64,
+}
+
+/// Fault and recovery counters for one shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardResilience {
+    /// Crash windows that interrupted (or idled) this shard.
+    pub crashes: u64,
+    /// Times the health tracker quarantined it.
+    pub quarantines: u64,
+    /// Simulated ns spent crashed or quarantined.
+    pub down_ns: u64,
+    /// `(makespan - down_ns) * 1000 / makespan`, filled by
+    /// [`ServeReport::assemble`].
+    pub availability_permille: u64,
+    /// Service-time inflation from the straggler draw (1000 = nominal).
+    pub slowdown_permille: u64,
+    /// Functional lanes left after the degradation draw masked some off.
+    pub lanes_left: u32,
+}
+
+/// Everything the chaos/defence machinery adds to a fleet run. `None` on
+/// the [`ServeReport`] when both chaos and defences are off, which keeps
+/// `serve_report.json` byte-identical to the pre-resilience schema.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    pub outcomes: OutcomeCounts,
+    /// Retry legs scheduled (not all necessarily ran before deadline).
+    pub retries_scheduled: u64,
+    /// Hedge legs enqueued.
+    pub hedges_launched: u64,
+    /// Hedge legs cancelled at pick time because the primary had resolved.
+    pub hedges_cancelled: u64,
+    /// Legs that drew a transient failure.
+    pub transient_faults: u64,
+    /// Legs killed mid-batch by a shard crash.
+    pub crash_killed: u64,
+    /// Indexed like [`Priority::ALL`] (bronze, silver, gold).
+    pub tiers: [TierSlo; 3],
+    /// One entry per shard, same order as [`ServeReport::shards`].
+    pub shards: Vec<ShardResilience>,
+}
+
+impl ResilienceReport {
+    /// Overall SLO attainment: deadline-met per-mille across every tier's
+    /// well-formed offered load. The headline the chaos sweep compares
+    /// between defence arms.
+    #[must_use]
+    pub fn overall_slo_permille(&self) -> u64 {
+        let met: u64 = self.tiers.iter().map(|t| t.slo_met).sum();
+        let wellformed: u64 = self.tiers.iter().map(|t| t.offered.saturating_sub(t.rejected)).sum();
+        met.saturating_mul(1000).checked_div(wellformed).unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Value {
+        let mut tiers = Value::array(Vec::new());
+        for (i, t) in self.tiers.iter().enumerate() {
+            tiers.push(
+                Value::object()
+                    .with("tier", Priority::ALL[i].label())
+                    .with("offered", t.offered)
+                    .with("rejected", t.rejected)
+                    .with("completed", t.completed)
+                    .with("slo_met", t.slo_met)
+                    .with("slo_met_permille", t.slo_met_permille),
+            );
+        }
+        let mut shards = Value::array(Vec::new());
+        for (i, s) in self.shards.iter().enumerate() {
+            shards.push(
+                Value::object()
+                    .with("shard", i as u64)
+                    .with("crashes", s.crashes)
+                    .with("quarantines", s.quarantines)
+                    .with("down_ns", s.down_ns)
+                    .with("availability_permille", s.availability_permille)
+                    .with("slowdown_permille", s.slowdown_permille)
+                    .with("lanes_left", u64::from(s.lanes_left)),
+            );
+        }
+        Value::object()
+            .with(
+                "outcomes",
+                Value::object()
+                    .with("completed_clean", self.outcomes.completed_clean)
+                    .with("retried_ok", self.outcomes.retried_ok)
+                    .with("hedge_won", self.outcomes.hedge_won)
+                    .with("timed_out", self.outcomes.timed_out)
+                    .with("failed", self.outcomes.failed)
+                    .with("shed", self.outcomes.shed)
+                    .with("rejected", self.outcomes.rejected),
+            )
+            .with("retries_scheduled", self.retries_scheduled)
+            .with("hedges_launched", self.hedges_launched)
+            .with("hedges_cancelled", self.hedges_cancelled)
+            .with("transient_faults", self.transient_faults)
+            .with("crash_killed", self.crash_killed)
+            .with("tiers", tiers)
+            .with("shards", shards)
+    }
+}
+
 /// Everything `serve_bench` reports about one fleet run.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -74,6 +232,10 @@ pub struct ServeReport {
     pub mean_ns: u64,
     pub techniques: Vec<TechniqueStats>,
     pub shards: Vec<ShardStats>,
+    /// Present only for resilient runs (chaos and/or defences enabled);
+    /// `None` keeps the serialised report byte-identical to the
+    /// pre-resilience schema.
+    pub resilience: Option<ResilienceReport>,
 }
 
 /// Nearest-rank percentile on an ascending slice; `q_permille` is the
@@ -97,6 +259,7 @@ impl ServeReport {
         shed_by_technique: &[u64; Technique::ALL.len()],
         completions: &[Completion],
         shards: &[ShardStats],
+        resilience: Option<ResilienceReport>,
     ) -> ServeReport {
         let mut latencies: Vec<u64> =
             completions.iter().map(|c| c.completed_ns - c.request.arrival_ns).collect();
@@ -140,6 +303,19 @@ impl ServeReport {
         } else {
             latencies.iter().sum::<u64>() / latencies.len() as u64
         };
+        let resilience = resilience.map(|mut r| {
+            for t in &mut r.tiers {
+                let wellformed = t.offered.saturating_sub(t.rejected);
+                t.slo_met_permille =
+                    t.slo_met.saturating_mul(1000).checked_div(wellformed).unwrap_or(0);
+            }
+            for s in &mut r.shards {
+                let up = makespan_ns.saturating_sub(s.down_ns);
+                s.availability_permille =
+                    up.saturating_mul(1000).checked_div(makespan_ns).unwrap_or(1000);
+            }
+            r
+        });
         ServeReport {
             shards_configured: config.shards,
             max_batch: config.max_batch,
@@ -156,6 +332,7 @@ impl ServeReport {
             latencies_sorted_ns: latencies,
             techniques,
             shards,
+            resilience,
         }
     }
 
@@ -187,7 +364,7 @@ impl ServeReport {
                     .with("utilization_permille", s.utilization_permille),
             );
         }
-        Value::object()
+        let mut out = Value::object()
             .with("shards_configured", self.shards_configured as u64)
             .with("max_batch", self.max_batch as u64)
             .with("offered", self.counters.offered)
@@ -208,7 +385,13 @@ impl ServeReport {
                     .with("mean", self.mean_ns),
             )
             .with("techniques", techniques)
-            .with("shards", shards)
+            .with("shards", shards);
+        // Only resilient runs carry the extra section: a `None` here must
+        // serialise to exactly the pre-resilience bytes.
+        if let Some(r) = &self.resilience {
+            out = out.with("resilience", r.to_json());
+        }
+        out
     }
 }
 
@@ -225,5 +408,40 @@ mod tests {
         assert_eq!(percentile_ns(&v, 1000), 100);
         assert_eq!(percentile_ns(&[42], 500), 42);
         assert_eq!(percentile_ns(&[], 990), 0);
+    }
+
+    #[test]
+    fn resilience_section_is_strictly_additive() {
+        let cfg = FleetConfig::paper_default();
+        let counters = AdmissionCounters::default();
+        let shed = [0u64; Technique::ALL.len()];
+        let base = ServeReport::assemble(&cfg, counters, &shed, &[], &[], None);
+        let resilient = ServeReport::assemble(
+            &cfg,
+            counters,
+            &shed,
+            &[],
+            &[],
+            Some(ResilienceReport::default()),
+        );
+        let a = base.to_json().to_string_pretty();
+        let b = resilient.to_json().to_string_pretty();
+        assert!(!a.contains("\"resilience\""), "baseline must not grow a section");
+        assert!(b.contains("\"resilience\""));
+    }
+
+    #[test]
+    fn outcome_counts_partition_offered() {
+        let o = OutcomeCounts {
+            completed_clean: 5,
+            retried_ok: 2,
+            hedge_won: 1,
+            timed_out: 3,
+            failed: 1,
+            shed: 4,
+            rejected: 2,
+        };
+        assert_eq!(o.total(), 18);
+        assert_eq!(o.completed_total(), 8);
     }
 }

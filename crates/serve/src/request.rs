@@ -61,6 +61,44 @@ impl SizeTier {
     }
 }
 
+/// Tenant/priority tier of a request. The SLO machinery is tiered:
+/// deadlines tighten and shedding protection grows from Bronze to Gold,
+/// so under overload or chaos the fleet degrades lowest-priority-first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort batch traffic: shed first, widest deadline.
+    Bronze,
+    /// Standard interactive traffic.
+    Silver,
+    /// Premium tenants: shed last, tightest deadline.
+    Gold,
+}
+
+impl Priority {
+    /// All tiers, lowest priority first (matches the `Ord` order).
+    pub const ALL: [Priority; 3] = [Priority::Bronze, Priority::Silver, Priority::Gold];
+
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Bronze => "bronze",
+            Priority::Silver => "silver",
+            Priority::Gold => "gold",
+        }
+    }
+
+    /// Index into [`Priority::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Bronze => 0,
+            Priority::Silver => 1,
+            Priority::Gold => 2,
+        }
+    }
+}
+
 /// What a request asks the fleet to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RequestKind {
@@ -82,6 +120,9 @@ pub struct Request {
     pub kind: RequestKind,
     /// Problem-size tier.
     pub tier: SizeTier,
+    /// Tenant/priority tier (drawn from a side stream by the generator,
+    /// so adding it never perturbed the pinned arrival sequence).
+    pub priority: Priority,
 }
 
 impl Request {
@@ -92,6 +133,28 @@ impl Request {
             RequestKind::Phase(p) => Some(technique_of(p)),
             RequestKind::Unknown(_) => None,
         }
+    }
+}
+
+/// One dispatch attempt of a request. The resilient fleet may run a
+/// request several times — retries after transient failures, a hedged
+/// duplicate against a straggler — and every such attempt travels the
+/// queue and the shards as its own `Leg`.
+#[derive(Clone, Copy, Debug)]
+pub struct Leg {
+    /// The request this leg serves.
+    pub request: Request,
+    /// Retry generation: 0 for the first dispatch, +1 per retry.
+    pub attempt: u32,
+    /// Whether this leg is a hedged duplicate racing the primary.
+    pub hedge: bool,
+}
+
+impl Leg {
+    /// The first (primary) leg of a freshly admitted request.
+    #[must_use]
+    pub fn first(request: Request) -> Leg {
+        Leg { request, attempt: 0, hedge: false }
     }
 }
 
@@ -107,6 +170,7 @@ mod tests {
                 arrival_ns: 0,
                 kind: RequestKind::Phase(phase),
                 tier: SizeTier::Small,
+                priority: Priority::Silver,
             };
             assert!(req.technique().is_some(), "{phase:?}");
         }
@@ -115,6 +179,7 @@ mod tests {
             arrival_ns: 0,
             kind: RequestKind::Unknown(200),
             tier: SizeTier::Small,
+            priority: Priority::Bronze,
         };
         assert_eq!(bad.technique(), None);
     }
@@ -124,5 +189,25 @@ mod tests {
         for (i, tier) in SizeTier::ALL.iter().enumerate() {
             assert_eq!(tier.index(), i);
         }
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        // Shedding order leans on the derived Ord: Bronze goes first.
+        assert!(Priority::Bronze < Priority::Silver && Priority::Silver < Priority::Gold);
+    }
+
+    #[test]
+    fn first_leg_is_primary() {
+        let req = Request {
+            id: 7,
+            arrival_ns: 10,
+            kind: RequestKind::Phase(Phase::KnnPrediction),
+            tier: SizeTier::Small,
+            priority: Priority::Gold,
+        };
+        let leg = Leg::first(req);
+        assert_eq!(leg.attempt, 0);
+        assert!(!leg.hedge);
+        assert_eq!(leg.request.id, 7);
     }
 }

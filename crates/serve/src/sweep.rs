@@ -1,10 +1,13 @@
 //! Shard-count scaling sweep, feeding both `serve_report.json` and the
-//! perf-regression gate (`BENCH_history.jsonl`).
+//! perf-regression gate (`BENCH_history.jsonl`), plus the fault-intensity
+//! x defence-arm chaos sweep behind `chaos_report.json`.
 
 use pudiannao_accel::json::Value;
 
-use crate::fleet::{serve, FleetConfig};
+use crate::chaos::{ChaosConfig, Defense};
+use crate::fleet::{serve, serve_resilient, FleetConfig};
 use crate::gen::GeneratorConfig;
+use crate::report::ServeReport;
 
 /// Shard counts the sweep covers.
 pub const SWEEP_SHARDS: [usize; 4] = [1, 2, 4, 8];
@@ -70,6 +73,72 @@ pub fn gate_generator() -> GeneratorConfig {
 #[must_use]
 pub fn gate_sweep() -> Vec<SweepPoint> {
     scaling_sweep(&gate_generator())
+}
+
+/// Seed of the pinned chaos plans the chaos sweep injects (arbitrary but
+/// fixed: `chaos_report.json` and the `check.sh --chaos` counts pin it).
+pub const CHAOS_SEED: u64 = 0xc4a0_5eed;
+
+/// The defence arms the chaos sweep compares, weakest first.
+pub const DEFENSE_ARMS: [&str; 3] = ["none", "retries", "full"];
+
+/// Builds one named defence arm against the measured chaos-off p99.
+#[must_use]
+pub fn defense_arm(arm: &str, p99_ns: u64) -> Defense {
+    match arm {
+        "none" => Defense::none(p99_ns),
+        "retries" => Defense::retries(p99_ns),
+        _ => Defense::full(p99_ns),
+    }
+}
+
+/// One cell of the chaos sweep: fault intensity x defence arm.
+#[derive(Clone, Debug)]
+pub struct ChaosCell {
+    /// Fault intensity (0..=2, see [`ChaosConfig::intensity`]).
+    pub intensity: u32,
+    /// Defence arm name (one of [`DEFENSE_ARMS`]).
+    pub defense: &'static str,
+    pub report: ServeReport,
+}
+
+impl ChaosCell {
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("intensity", ChaosConfig::intensity_label(self.intensity))
+            .with("defense", self.defense)
+            .with("report", self.report.to_json())
+    }
+}
+
+/// The fleet the chaos sweep runs on: the widest point of the scaling
+/// sweep. Fault-tolerance is evaluated with redundancy headroom (the
+/// N+1 provisioning a real fleet carries) — retries and hedges recover
+/// failures by spending idle capacity. On a saturated fleet every
+/// recovered leg just displaces a fresh request at the admission cap,
+/// and no defence can win that trade.
+#[must_use]
+pub fn chaos_fleet() -> FleetConfig {
+    FleetConfig::with_shards(*SWEEP_SHARDS.last().expect("sweep is non-empty"))
+}
+
+/// Runs the full fault-intensity x defence grid over one stream.
+/// `baseline_p99_ns` is the measured chaos-off p99 the deadlines, backoff
+/// and hedge delay derive from.
+#[must_use]
+pub fn chaos_sweep(gen: &GeneratorConfig, baseline_p99_ns: u64) -> Vec<ChaosCell> {
+    let fleet = chaos_fleet();
+    let mut cells = Vec::with_capacity(3 * DEFENSE_ARMS.len());
+    for intensity in 0..3u32 {
+        let chaos = ChaosConfig::intensity(CHAOS_SEED, intensity);
+        for arm in DEFENSE_ARMS {
+            let defense = defense_arm(arm, baseline_p99_ns);
+            let report = serve_resilient(&fleet, gen, &chaos, &defense);
+            cells.push(ChaosCell { intensity, defense: arm, report });
+        }
+    }
+    cells
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@ fn fleet(
     per_technique_cap: usize,
     global_cap: usize,
 ) -> FleetConfig {
-    FleetConfig { shards, max_batch, admission: AdmissionConfig { per_technique_cap, global_cap } }
+    FleetConfig {
+        shards,
+        max_batch,
+        admission: AdmissionConfig { per_technique_cap, global_cap, priority_aware: false },
+    }
 }
 
 proptest! {

@@ -19,7 +19,10 @@ echo "== bench_hotpath =="
 echo "== serve_bench (100k-request stream + 1/2/4/8-shard sweep) =="
 ./target/release/serve_bench | grep -E '^\[serve\] (mode|completed|shed |throughput_rps|sweep)'
 
-echo "== record phase cycles/energy + serving sweep =="
+echo "== chaos_bench (fault intensity x defence sweep over the 8k gate stream) =="
+./target/release/chaos_bench | grep -E '^\[chaos\] (mode|baseline|defended)'
+
+echo "== record phase cycles/energy + serving sweep + chaos headline =="
 ./target/release/perf_diff --record --history BENCH_history.jsonl
 
-echo "OK: wrote BENCH_repro.json and serve_report.json, appended to BENCH_history.jsonl"
+echo "OK: wrote BENCH_repro.json, serve_report.json and chaos_report.json, appended to BENCH_history.jsonl"

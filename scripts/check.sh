@@ -8,6 +8,7 @@
 #   scripts/check.sh --profile   # timeline smoke + pinned bottleneck verdicts
 #   scripts/check.sh --perf-gate # per-phase cycle/energy regression gate
 #   scripts/check.sh --serve     # serving-fleet smoke + pinned admission counts
+#   scripts/check.sh --chaos     # chaos smoke: fault x defence sweep + pinned outcomes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -160,6 +161,63 @@ EOF
     echo "    serve_report.json byte-identical"
 
     echo "OK: serving smoke passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    echo "==> cargo build --release -p pudiannao-serve"
+    cargo build --release -q -p pudiannao-serve
+
+    echo "==> chaos_bench --smoke (pinned fault plans x defence arms)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/chaos_bench --smoke --out "$tmp/chaos_report.json" \
+        | grep -E '^\[chaos\] (mode|baseline|cell|slo|defended)' > "$tmp/got.txt"
+    cat "$tmp/got.txt"
+
+    # Pinned outcome classification and SLO attainment for the built-in
+    # smoke stream. The chaos_bench binary already enforces the headline
+    # claim (defended strictly beats undefended at every intensity, or
+    # exit 1); this pins the exact numbers too. Any change here means the
+    # chaos plans, the defence policy, or the scheduler shifted — update
+    # deliberately, never silently.
+    cat > "$tmp/want.txt" <<'EOF'
+[chaos] mode smoke
+[chaos] baseline_p99_ns 62950
+[chaos] cell low none completed 1944 retried_ok 0 hedge_won 0 timed_out 0 failed 14 shed 32 slo_overall_permille 976
+[chaos] slo low none bronze 958 silver 996 gold 990
+[chaos] cell low retries completed 1950 retried_ok 6 hedge_won 0 timed_out 0 failed 8 shed 32 slo_overall_permille 979
+[chaos] slo low retries bronze 958 silver 1000 gold 1000
+[chaos] cell low full completed 1950 retried_ok 0 hedge_won 6 timed_out 0 failed 8 shed 32 slo_overall_permille 979
+[chaos] slo low full bronze 958 silver 1000 gold 1000
+[chaos] cell mid none completed 1896 retried_ok 0 hedge_won 0 timed_out 0 failed 62 shed 32 slo_overall_permille 951
+[chaos] slo mid none bronze 940 silver 961 gold 960
+[chaos] cell mid retries completed 1928 retried_ok 34 hedge_won 0 timed_out 0 failed 30 shed 32 slo_overall_permille 968
+[chaos] slo mid retries bronze 935 silver 1000 gold 1000
+[chaos] cell mid full completed 1932 retried_ok 4 hedge_won 32 timed_out 0 failed 26 shed 32 slo_overall_permille 969
+[chaos] slo mid full bronze 939 silver 1000 gold 992
+[chaos] cell high none completed 1690 retried_ok 0 hedge_won 0 timed_out 4 failed 211 shed 85 slo_overall_permille 841
+[chaos] slo high none bronze 825 silver 864 gold 844
+[chaos] cell high retries completed 1771 retried_ok 107 hedge_won 0 timed_out 35 failed 76 shed 108 slo_overall_permille 882
+[chaos] slo high retries bronze 809 silver 998 gold 876
+[chaos] cell high full completed 1756 retried_ok 6 hedge_won 107 timed_out 37 failed 107 shed 90 slo_overall_permille 873
+[chaos] slo high full bronze 795 silver 1000 gold 864
+[chaos] defended_minus_none low 3
+[chaos] defended_minus_none mid 18
+[chaos] defended_minus_none high 32
+EOF
+    cmp "$tmp/want.txt" "$tmp/got.txt"
+    echo "    outcome counts and SLO attainment match the pinned expectation"
+
+    echo "==> determinism: REPRO_THREADS=1 vs 4"
+    REPRO_THREADS=1 ./target/release/chaos_bench --smoke \
+        --out "$tmp/seq.json" >/dev/null
+    REPRO_THREADS=4 ./target/release/chaos_bench --smoke \
+        --out "$tmp/par.json" >/dev/null
+    cmp "$tmp/seq.json" "$tmp/par.json"
+    echo "    chaos_report.json byte-identical"
+
+    echo "OK: chaos smoke passed"
     exit 0
 fi
 
