@@ -31,32 +31,32 @@ use crate::stats::MluStage;
 use crate::timing::instruction_timing;
 use crate::trace::{RunReport, TraceEvent, TraceReport};
 
-/// Chrome `pid` used for all tracks (one simulated accelerator).
+/// Chrome `pid` used for all tracks (one simulated process).
 const PID: u64 = 1;
 
 /// Track (Chrome `tid`) of the ifetch/control engine.
-const TRACK_IFETCH: u64 = 0;
+const TRACK_IFETCH: usize = 0;
 /// Track of the hot-operand DMA stream (tracks 1–7 are the MLU stages).
-const TRACK_DMA_HOT: u64 = 8;
+const TRACK_DMA_HOT: usize = 8;
 /// Track of the cold-operand DMA stream.
-const TRACK_DMA_COLD: u64 = 9;
+const TRACK_DMA_COLD: usize = 9;
 /// Track of the output DMA stream.
-const TRACK_DMA_OUT: u64 = 10;
+const TRACK_DMA_OUT: usize = 10;
 /// Track of fault/ECC overhead.
-const TRACK_FAULT: u64 = 11;
+const TRACK_FAULT: usize = 11;
 
-fn stage_track(stage: MluStage) -> u64 {
-    1 + MluStage::ALL.iter().position(|&s| s == stage).expect("stage in ALL") as u64
+fn stage_track(stage: MluStage) -> usize {
+    1 + MluStage::ALL.iter().position(|&s| s == stage).expect("stage in ALL")
 }
 
-fn track_name(track: u64) -> &'static str {
+fn track_name(track: usize) -> &'static str {
     match track {
         TRACK_IFETCH => "ifetch/control",
         TRACK_DMA_HOT => "dma-hot",
         TRACK_DMA_COLD => "dma-cold",
         TRACK_DMA_OUT => "dma-out",
         TRACK_FAULT => "fault/ecc",
-        t => match MluStage::ALL[(t - 1) as usize] {
+        t => match MluStage::ALL[t - 1] {
             MluStage::Counter => "mlu-counter",
             MluStage::Adder => "mlu-adder",
             MluStage::Multiplier => "mlu-multiplier",
@@ -96,27 +96,44 @@ impl Entry {
     }
 }
 
-/// Per-track event builder: keeps each track's entries in generation
-/// order so a stable sort by timestamp preserves begin/end adjacency.
-struct Tracks {
+/// Reusable Chrome Trace Event document builder: a fixed set of named
+/// tracks under one process, duration spans and thread-scoped instants
+/// accumulated per track, serialised with the metadata events first and a
+/// *stable* timestamp sort over the rest. Keeping each track's entries in
+/// generation order means the stable sort preserves begin/end adjacency
+/// at equal stamps, so an `E` always precedes the next span's `B` on its
+/// track — the invariant [`validate_timeline`] checks.
+///
+/// [`chrome_trace`] builds the device timeline on it; the serving layer
+/// reuses it for the fleet timeline (`pudiannao_serve::trace`).
+pub struct TimelineBuilder {
+    process: String,
+    names: Vec<String>,
     lanes: Vec<Vec<Entry>>,
 }
 
-impl Tracks {
-    fn new() -> Tracks {
-        Tracks { lanes: (0..=TRACK_FAULT).map(|_| Vec::new()).collect() }
+impl TimelineBuilder {
+    /// A builder with one lane per entry of `track_names`; track `i` is
+    /// serialised as Chrome `tid == i`, named `track_names[i]`.
+    #[must_use]
+    pub fn new(process: &str, track_names: &[&str]) -> TimelineBuilder {
+        TimelineBuilder {
+            process: process.to_owned(),
+            names: track_names.iter().map(|&n| n.to_owned()).collect(),
+            lanes: track_names.iter().map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Emits a `[start, start + dur)` duration span; zero-length spans
     /// are skipped so every emitted event has positive duration.
-    fn span(&mut self, track: u64, name: &str, start: u64, dur: u64, args: Option<Value>) {
+    pub fn span(&mut self, track: usize, name: &str, start: u64, dur: u64, args: Option<Value>) {
         if dur == 0 {
             return;
         }
-        let lane = &mut self.lanes[track as usize];
-        lane.push(Entry { track, ts: start, ph: 'B', name: name.to_owned(), args });
+        let lane = &mut self.lanes[track];
+        lane.push(Entry { track: track as u64, ts: start, ph: 'B', name: name.to_owned(), args });
         lane.push(Entry {
-            track,
+            track: track as u64,
             ts: start.saturating_add(dur),
             ph: 'E',
             name: name.to_owned(),
@@ -124,8 +141,45 @@ impl Tracks {
         });
     }
 
-    fn instant(&mut self, track: u64, name: &str, ts: u64, args: Option<Value>) {
-        self.lanes[track as usize].push(Entry { track, ts, ph: 'i', name: name.to_owned(), args });
+    /// Emits a thread-scoped instant event.
+    pub fn instant(&mut self, track: usize, name: &str, ts: u64, args: Option<Value>) {
+        self.lanes[track].push(Entry {
+            track: track as u64,
+            ts,
+            ph: 'i',
+            name: name.to_owned(),
+            args,
+        });
+    }
+
+    /// Serialises the document: `process_name`/`thread_name` metadata
+    /// first (every named track, even empty ones, so the viewer shows a
+    /// stable lane layout), then every entry in timestamp order, with
+    /// `other_data` attached verbatim as the document's `otherData`.
+    #[must_use]
+    pub fn build(self, other_data: Value) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        events.push(
+            Value::object()
+                .with("name", "process_name")
+                .with("ph", "M")
+                .with("pid", PID)
+                .with("args", Value::object().with("name", self.process.as_str())),
+        );
+        for (track, name) in self.names.iter().enumerate() {
+            events.push(
+                Value::object()
+                    .with("name", "thread_name")
+                    .with("ph", "M")
+                    .with("pid", PID)
+                    .with("tid", track as u64)
+                    .with("args", Value::object().with("name", name.as_str())),
+            );
+        }
+        let mut entries: Vec<Entry> = self.lanes.into_iter().flatten().collect();
+        entries.sort_by_key(|e| e.ts);
+        events.extend(entries.iter().map(Entry::to_json));
+        Value::object().with("traceEvents", Value::array(events)).with("otherData", other_data)
     }
 }
 
@@ -154,7 +208,8 @@ pub fn chrome_trace(
     trace: &TraceReport,
     labels: &[String],
 ) -> Value {
-    let mut tracks = Tracks::new();
+    let names: Vec<&str> = (0..=TRACK_FAULT).map(track_name).collect();
+    let mut tracks = TimelineBuilder::new("pudiannao", &names);
 
     // Pass 1: pair Issue/Retire per instruction and note overlap flags.
     let mut pairs: Vec<(u64, u64, u64, bool)> = Vec::new(); // (inst, issue, retire, overlapped)
@@ -283,33 +338,7 @@ pub fn chrome_trace(
         }
     }
 
-    // Serialise: metadata first, then every entry in timestamp order. A
-    // stable sort keeps each track's generation order at equal stamps,
-    // so an `E` always precedes the next span's `B` on its track.
-    let mut events: Vec<Value> = Vec::new();
-    events.push(
-        Value::object()
-            .with("name", "process_name")
-            .with("ph", "M")
-            .with("pid", PID)
-            .with("args", Value::object().with("name", "pudiannao")),
-    );
-    for track in 0..=TRACK_FAULT {
-        events.push(
-            Value::object()
-                .with("name", "thread_name")
-                .with("ph", "M")
-                .with("pid", PID)
-                .with("tid", track)
-                .with("args", Value::object().with("name", track_name(track))),
-        );
-    }
-    let mut entries: Vec<Entry> = tracks.lanes.into_iter().flatten().collect();
-    entries.sort_by_key(|e| e.ts);
-    events.extend(entries.iter().map(Entry::to_json));
-
-    Value::object().with("traceEvents", Value::array(events)).with(
-        "otherData",
+    tracks.build(
         Value::object()
             .with("config_fingerprint", config.fingerprint())
             .with("events_dropped", trace.events_dropped)

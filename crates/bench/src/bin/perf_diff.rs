@@ -19,8 +19,9 @@
 
 use pudiannao_accel::json;
 use pudiannao_bench::profile::{
-    diff_chaos, diff_records, diff_serve, history_record, with_inflated_cycles, ChaosDelta,
-    PhaseDelta, ServeDelta, CHAOS_SLO_SLACK_POINTS, REGRESSION_THRESHOLD_PCT,
+    diff_chaos, diff_metrics, diff_records, diff_serve, history_record, with_inflated_cycles,
+    ChaosDelta, MetricsDelta, PhaseDelta, ServeDelta, CHAOS_SLO_SLACK_POINTS,
+    METRICS_P99_SLACK_PCT, REGRESSION_THRESHOLD_PCT,
 };
 
 fn fail(msg: &str) -> ! {
@@ -120,12 +121,31 @@ fn main() {
             for d in &chaos_deltas {
                 println!("[perf] chaos {} arm SLO {:+} permille points", d.arm, d.slo_points);
             }
+            let metrics_deltas = match diff_metrics(&baseline, &current) {
+                Ok(d) => d,
+                Err(e) => fail(&e),
+            };
+            if metrics_deltas.is_empty() && baseline.get("metrics").is_none() {
+                println!("[perf] metrics: baseline predates the metrics headline, skipping");
+            }
+            for d in &metrics_deltas {
+                println!(
+                    "[perf] metrics windowed_p99_max {:+.2}%  overall_p99 {:+.2}%",
+                    d.windowed_p99_max_pct, d.overall_p99_pct
+                );
+            }
             let regressed: Vec<&PhaseDelta> = deltas.iter().filter(|d| d.regressed()).collect();
             let serve_regressed: Vec<&ServeDelta> =
                 serve_deltas.iter().filter(|d| d.regressed()).collect();
             let chaos_regressed: Vec<&ChaosDelta> =
                 chaos_deltas.iter().filter(|d| d.regressed()).collect();
-            if regressed.is_empty() && serve_regressed.is_empty() && chaos_regressed.is_empty() {
+            let metrics_regressed: Vec<&MetricsDelta> =
+                metrics_deltas.iter().filter(|d| d.regressed()).collect();
+            if regressed.is_empty()
+                && serve_regressed.is_empty()
+                && chaos_regressed.is_empty()
+                && metrics_regressed.is_empty()
+            {
                 println!(
                     "[perf] OK: no phase or serving point regressed more than \
                      {REGRESSION_THRESHOLD_PCT}% vs the last record"
@@ -150,6 +170,13 @@ fn main() {
                         "[perf] FAIL chaos {} arm: SLO {:+} permille points (threshold \
                          -{CHAOS_SLO_SLACK_POINTS})",
                         d.arm, d.slo_points
+                    );
+                }
+                for d in &metrics_regressed {
+                    println!(
+                        "[perf] FAIL metrics: windowed_p99_max {:+.2}% (threshold \
+                         +{METRICS_P99_SLACK_PCT}%)",
+                        d.windowed_p99_max_pct
                     );
                 }
                 std::process::exit(1);

@@ -134,6 +134,7 @@ pub fn history_record() -> Value {
     let mut record = record_from_reports(&crate::evaluation::phase_run_reports());
     record.set("serve", serve_sweep_points());
     record.set("chaos", chaos_headline());
+    record.set("metrics", metrics_headline());
     record
 }
 
@@ -182,6 +183,30 @@ fn chaos_headline() -> Value {
         );
     }
     out
+}
+
+/// The observability headline riding each history record: the windowed
+/// latency metrics of a 2k-request gate-shape baseline run on the widest
+/// sweep fleet (metrics on, tracing off, chaos off). The windowed p99
+/// maximum is the burst-sensitive tail signal a whole-run p99 smooths
+/// away — a batching or admission change that only hurts during bursts
+/// moves this number first.
+fn metrics_headline() -> Value {
+    use pudiannao_serve::sweep::{chaos_fleet, gate_generator};
+    use pudiannao_serve::{
+        serve_observed, ChaosConfig, Defense, GeneratorConfig, MetricsConfig, ObserveConfig,
+    };
+    let gen = GeneratorConfig { requests: 2_000, ..gate_generator() };
+    let observe = ObserveConfig { trace: None, metrics: Some(MetricsConfig::default()) };
+    let report =
+        serve_observed(&chaos_fleet(), &gen, &ChaosConfig::off(), &Defense::off(), &observe);
+    let m =
+        report.observability.as_ref().and_then(|o| o.metrics.as_ref()).expect("metrics were on");
+    Value::object()
+        .with("window_ns", m.window_ns)
+        .with("overall_p99_ns", m.overall_p99_ns)
+        .with("windowed_p99_max_ns", m.windowed_p99_max_ns)
+        .with("windows", m.windows.len() as u64)
 }
 
 fn record_from_reports(reports: &[RunReport]) -> Value {
@@ -234,14 +259,13 @@ pub fn with_inflated_cycles(record: &Value, pct: f64) -> Value {
             record.get("config_fingerprint").and_then(Value::as_str).unwrap_or_default(),
         )
         .with("phases", Value::array(phases));
-    // The synthetic slowdown targets phase cycles only; the serving sweep
-    // and chaos headline ride along untouched so the gate self-check
-    // diffs them cleanly.
-    if let Some(serve) = record.get("serve") {
-        out.set("serve", serve.clone());
-    }
-    if let Some(chaos) = record.get("chaos") {
-        out.set("chaos", chaos.clone());
+    // The synthetic slowdown targets phase cycles only; the serving
+    // sweep, chaos headline and metrics headline ride along untouched so
+    // the gate self-check diffs them cleanly.
+    for key in ["serve", "chaos", "metrics"] {
+        if let Some(section) = record.get(key) {
+            out.set(key, section.clone());
+        }
     }
     out
 }
@@ -454,6 +478,66 @@ pub fn diff_chaos(prev: &Value, cur: &Value) -> Result<Vec<ChaosDelta>, String> 
     Ok(deltas)
 }
 
+/// How many percent the windowed-p99 headline may grow before the gate
+/// fails. Windowed maxima are burstier than whole-run percentiles (one
+/// window, not thousands of samples, sets the max), so the slack is
+/// wider than [`REGRESSION_THRESHOLD_PCT`].
+pub const METRICS_P99_SLACK_PCT: f64 = 5.0;
+
+/// The metrics headline's change between two history records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsDelta {
+    /// Worst-window p99 change, percent (positive = slower bursts).
+    pub windowed_p99_max_pct: f64,
+    /// Whole-run p99 change, percent (informational — the scaling sweep
+    /// already gates it per shard count).
+    pub overall_p99_pct: f64,
+}
+
+impl MetricsDelta {
+    /// Whether the worst-window p99 grew beyond [`METRICS_P99_SLACK_PCT`].
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.windowed_p99_max_pct > METRICS_P99_SLACK_PCT
+    }
+}
+
+/// Diffs the metrics headlines of two history records.
+///
+/// Returns an empty list when either record predates the metrics
+/// headline (no `metrics` key) — older baselines stay comparable on the
+/// sections they do carry.
+///
+/// # Errors
+///
+/// When both records carry a headline but a column is missing or the
+/// window size changed (windowed maxima are only comparable at the same
+/// window).
+pub fn diff_metrics(prev: &Value, cur: &Value) -> Result<Vec<MetricsDelta>, String> {
+    let (Some(p), Some(c)) = (prev.get("metrics"), cur.get("metrics")) else {
+        return Ok(Vec::new());
+    };
+    let field = |v: &Value, key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("metrics headline is missing {key:?}"))
+    };
+    let (pw, cw) = (field(p, "window_ns")?, field(c, "window_ns")?);
+    if pw != cw {
+        return Err(format!("metrics headline window changed: {pw} vs {cw} ns"));
+    }
+    Ok(vec![MetricsDelta {
+        windowed_p99_max_pct: pct_change(
+            field(p, "windowed_p99_max_ns")? as f64,
+            field(c, "windowed_p99_max_ns")? as f64,
+        ),
+        overall_p99_pct: pct_change(
+            field(p, "overall_p99_ns")? as f64,
+            field(c, "overall_p99_ns")? as f64,
+        ),
+    }])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +683,55 @@ mod tests {
         // A malformed headline is refused, not silently zeroed.
         let broken = Value::object().with("chaos", Value::object());
         assert!(diff_chaos(&record, &broken).unwrap_err().contains("missing arm"));
+    }
+
+    #[test]
+    fn metrics_headline_rides_the_record_and_old_baselines_skip() {
+        let record = history_record();
+        let metrics = record.get("metrics").expect("record carries the metrics headline");
+        let field = |key: &str| {
+            metrics.get(key).and_then(Value::as_u64).expect("headline carries the column")
+        };
+        // A windowed maximum can never undercut the whole-run percentile
+        // it is a max over.
+        assert!(field("windowed_p99_max_ns") >= field("overall_p99_ns"));
+        assert!(field("windows") > 0);
+        // Self-diff is clean; inflation leaves the headline untouched.
+        assert!(!diff_metrics(&record, &record).unwrap().iter().any(MetricsDelta::regressed));
+        let inflated = with_inflated_cycles(&record, 5.0);
+        assert!(!diff_metrics(&record, &inflated).unwrap().iter().any(MetricsDelta::regressed));
+        // A record written before the metrics headline existed (the PR-8
+        // schema) skips cleanly in both directions instead of erroring.
+        let old = Value::object()
+            .with("schema_version", record.get("schema_version").cloned().unwrap())
+            .with("config_fingerprint", record.get("config_fingerprint").cloned().unwrap())
+            .with("phases", record.get("phases").cloned().unwrap())
+            .with("serve", record.get("serve").cloned().unwrap())
+            .with("chaos", record.get("chaos").cloned().unwrap());
+        assert!(diff_metrics(&old, &record).unwrap().is_empty());
+        assert!(diff_metrics(&record, &old).unwrap().is_empty());
+        // A genuine burst-tail collapse trips the gate.
+        let sick = Value::object().with(
+            "metrics",
+            Value::object()
+                .with("window_ns", field("window_ns"))
+                .with("overall_p99_ns", field("overall_p99_ns"))
+                .with("windowed_p99_max_ns", field("windowed_p99_max_ns") * 2)
+                .with("windows", field("windows")),
+        );
+        let deltas = diff_metrics(&record, &sick).unwrap();
+        assert!(deltas.iter().any(MetricsDelta::regressed));
+        // A changed window size or a missing column is refused.
+        let resized = Value::object().with(
+            "metrics",
+            Value::object()
+                .with("window_ns", field("window_ns") * 2)
+                .with("overall_p99_ns", field("overall_p99_ns"))
+                .with("windowed_p99_max_ns", field("windowed_p99_max_ns")),
+        );
+        assert!(diff_metrics(&record, &resized).unwrap_err().contains("window changed"));
+        let broken = Value::object().with("metrics", Value::object());
+        assert!(diff_metrics(&record, &broken).unwrap_err().contains("missing"));
     }
 
     #[test]

@@ -219,6 +219,18 @@ impl AdmissionQueue {
         self.queued
     }
 
+    /// Current depth of every technique lane, indexed like
+    /// [`Technique::ALL`] — the queue-gauge snapshot the metrics layer
+    /// samples.
+    #[must_use]
+    pub fn lane_depths(&self) -> [usize; Technique::ALL.len()] {
+        let mut depths = [0; Technique::ALL.len()];
+        for (d, lane) in depths.iter_mut().zip(&self.lanes) {
+            *d = lane.len();
+        }
+        depths
+    }
+
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.queued == 0
@@ -356,6 +368,7 @@ mod tests {
             request: req_p(9, 0, Phase::CtPrediction, Priority::Bronze),
             attempt: 1,
             hedge: false,
+            enqueued_ns: 0,
         };
         q.offer_leg(retry);
         assert_eq!(q.queued(), 3);
@@ -373,8 +386,18 @@ mod tests {
             global_cap: 2,
             priority_aware: false,
         });
-        q.offer_leg(Leg { request: req(7, 0, Phase::KnnPrediction), attempt: 1, hedge: false });
-        q.offer_leg(Leg { request: req(8, 0, Phase::KnnPrediction), attempt: 0, hedge: true });
+        q.offer_leg(Leg {
+            request: req(7, 0, Phase::KnnPrediction),
+            attempt: 1,
+            hedge: false,
+            enqueued_ns: 0,
+        });
+        q.offer_leg(Leg {
+            request: req(8, 0, Phase::KnnPrediction),
+            attempt: 0,
+            hedge: true,
+            enqueued_ns: 0,
+        });
         // Two queued forced legs take no cap space: two fresh primaries
         // still fit...
         assert_eq!(q.offer(req(0, 1, Phase::KnnPrediction)), AdmissionOutcome::Admitted);

@@ -2,7 +2,7 @@
 //! the pinned gate stream and writes `chaos_report.json`.
 //!
 //! ```text
-//! chaos_bench [--smoke] [--out PATH]
+//! chaos_bench [--smoke] [--out PATH] [--trace] [--trace-out PATH]
 //! ```
 //!
 //! The sweep first measures the chaos-off p99 on the same stream (the
@@ -17,10 +17,20 @@
 //! The binary enforces the headline claim: at every swept intensity the
 //! fully defended arm must attain a strictly higher overall SLO
 //! per-mille than the undefended arm, or the run exits non-zero.
+//!
+//! `--trace` re-runs the mid-intensity/full-defence cell with the
+//! observability layer on and writes its fleet timeline (Chrome trace
+//! JSON, openable in `chrome://tracing` or Perfetto) to `--trace-out`
+//! (default `serve_timeline.json`). The sweep itself stays untraced, so
+//! `chaos_report.json` is byte-identical with or without `--trace`.
+//! Lines tagged `[trace]` are pinned by `scripts/check.sh
+//! --serve-trace`.
 
 use pudiannao_accel::json::Value;
 use pudiannao_serve::sweep::{chaos_fleet, chaos_sweep, gate_generator, ChaosCell, CHAOS_SEED};
-use pudiannao_serve::{serve, ChaosConfig, GeneratorConfig};
+use pudiannao_serve::{
+    export_timeline, serve, serve_observed, ChaosConfig, Defense, GeneratorConfig, ObserveConfig,
+};
 
 fn print_cell(cell: &ChaosCell) {
     let res = cell.report.resilience.as_ref().expect("chaos cells are resilient runs");
@@ -52,20 +62,30 @@ fn print_cell(cell: &ChaosCell) {
 
 fn main() {
     let mut smoke = false;
+    let mut trace = false;
     let mut out = String::from("chaos_report.json");
+    let mut trace_out = String::from("serve_timeline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--trace" => trace = true,
             "--out" => {
                 out = args.next().unwrap_or_else(|| {
                     eprintln!("error: --out needs a path");
                     std::process::exit(2);
                 });
             }
+            "--trace-out" => {
+                trace_out = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?} (usage: chaos_bench [--smoke] [--out PATH])"
+                    "error: unknown argument {other:?} (usage: chaos_bench [--smoke] [--out PATH] \
+                     [--trace] [--trace-out PATH])"
                 );
                 std::process::exit(2);
             }
@@ -130,6 +150,38 @@ fn main() {
         std::process::exit(1);
     }
     println!("[chaos] wrote {out}");
+
+    // `--trace`: one extra run of the mid-intensity/full-defence cell
+    // with spans and windowed metrics on. The sweep above already ran
+    // untraced, so the report file is byte-identical either way.
+    if trace {
+        let traced = serve_observed(
+            &chaos_fleet(),
+            &gen,
+            &ChaosConfig::intensity(CHAOS_SEED, 1),
+            &Defense::full(p99),
+            &ObserveConfig::full(gen.requests),
+        );
+        let check = export_timeline(&traced, &trace_out).unwrap_or_else(|e| {
+            eprintln!("error: exporting timeline: {e}");
+            std::process::exit(1);
+        });
+        let obs = traced.observability.as_ref().expect("observed run carries observability");
+        let metrics = obs.metrics.as_ref().expect("observed run carries metrics");
+        println!("[trace] cell mid full");
+        println!(
+            "[trace] spans {} instants {} tracks {}",
+            check.spans, check.instants, check.tracks
+        );
+        println!("[trace] events_dropped {}", obs.events_dropped);
+        println!(
+            "[trace] windows {} windowed_p99_max_ns {}",
+            metrics.windows.len(),
+            metrics.windowed_p99_max_ns
+        );
+        println!("[trace] wrote {trace_out}");
+    }
+
     if !ok {
         std::process::exit(1);
     }

@@ -2,7 +2,7 @@
 //! pool of simulated PuDianNao devices and writes `serve_report.json`.
 //!
 //! ```text
-//! serve_bench [--smoke] [--out PATH]
+//! serve_bench [--smoke] [--out PATH] [--trace] [--trace-out PATH]
 //! ```
 //!
 //! Default mode runs the heavy 100k-request stream on a 4-shard fleet
@@ -10,9 +10,18 @@
 //! CI stream (4k requests, 2 shards, no sweep). Lines tagged `[serve]`
 //! are pinned by `scripts/check.sh --serve`; the JSON file is compared
 //! byte-for-byte across `REPRO_THREADS` settings.
+//!
+//! `--trace` re-runs the same stream with the observability layer on
+//! (spans + windowed metrics) and writes the fleet timeline (Chrome
+//! trace JSON, openable in `chrome://tracing` or Perfetto) to
+//! `--trace-out` (default `serve_timeline.json`). The report run stays
+//! untraced, so `serve_report.json` is byte-identical either way.
 
 use pudiannao_accel::json::Value;
-use pudiannao_serve::{scaling_sweep, serve, sweep, FleetConfig, GeneratorConfig, ServeReport};
+use pudiannao_serve::{
+    export_timeline, scaling_sweep, serve, serve_observed, sweep, ChaosConfig, Defense,
+    FleetConfig, GeneratorConfig, ObserveConfig, ServeReport,
+};
 
 /// Seed for the default request stream (arbitrary but pinned: the smoke
 /// counts in `scripts/check.sh` and the determinism test depend on it).
@@ -42,20 +51,30 @@ fn print_summary(mode: &str, report: &ServeReport) {
 
 fn main() {
     let mut smoke = false;
+    let mut trace = false;
     let mut out = String::from("serve_report.json");
+    let mut trace_out = String::from("serve_timeline.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--trace" => trace = true,
             "--out" => {
                 out = args.next().unwrap_or_else(|| {
                     eprintln!("error: --out needs a path");
                     std::process::exit(2);
                 });
             }
+            "--trace-out" => {
+                trace_out = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace-out needs a path");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!(
-                    "error: unknown argument {other:?} (usage: serve_bench [--smoke] [--out PATH])"
+                    "error: unknown argument {other:?} (usage: serve_bench [--smoke] [--out PATH] \
+                     [--trace] [--trace-out PATH])"
                 );
                 std::process::exit(2);
             }
@@ -92,4 +111,35 @@ fn main() {
         std::process::exit(1);
     }
     println!("[serve] wrote {out}");
+
+    // `--trace`: one extra run of the same stream with spans and
+    // windowed metrics on (chaos off, so the timeline shows the clean
+    // baseline). The report run above already happened untraced.
+    if trace {
+        let traced = serve_observed(
+            &fleet,
+            &gen,
+            &ChaosConfig::off(),
+            &Defense::off(),
+            &ObserveConfig::full(gen.requests),
+        );
+        let check = export_timeline(&traced, &trace_out).unwrap_or_else(|e| {
+            eprintln!("error: exporting timeline: {e}");
+            std::process::exit(1);
+        });
+        let obs = traced.observability.as_ref().expect("observed run carries observability");
+        let metrics = obs.metrics.as_ref().expect("observed run carries metrics");
+        println!("[trace] cell {mode} baseline");
+        println!(
+            "[trace] spans {} instants {} tracks {}",
+            check.spans, check.instants, check.tracks
+        );
+        println!("[trace] events_dropped {}", obs.events_dropped);
+        println!(
+            "[trace] windows {} windowed_p99_max_ns {}",
+            metrics.windows.len(),
+            metrics.windowed_p99_max_ns
+        );
+        println!("[trace] wrote {trace_out}");
+    }
 }

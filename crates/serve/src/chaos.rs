@@ -255,6 +255,22 @@ impl ShardChaos {
         (count, down)
     }
 
+    /// Every crash window that began before `horizon`, ends clipped to
+    /// it — the trace layer's crash markers. Probing this lazily extends
+    /// the same deterministic window stream the fleet consults, so an
+    /// extra trace-time call can never change a simulation outcome.
+    pub fn windows_up_to(&mut self, horizon: u64) -> Vec<(u64, u64)> {
+        if self.config.crash_mtbf_ns == 0 {
+            return Vec::new();
+        }
+        self.ensure(horizon);
+        self.windows
+            .iter()
+            .take_while(|&&(s, _)| s < horizon)
+            .map(|&(s, e)| (s, e.min(horizon)))
+            .collect()
+    }
+
     /// Earliest instant at or after `t` when the shard is up (i.e. `t`
     /// itself, or the end of the window covering `t`).
     pub fn available_from(&mut self, t: u64) -> u64 {

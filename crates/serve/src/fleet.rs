@@ -51,9 +51,14 @@ use std::collections::{BTreeMap, BinaryHeap};
 use crate::admission::{AdmissionConfig, AdmissionOutcome, AdmissionQueue};
 use crate::catalog::ServingCatalog;
 use crate::chaos::{ChaosConfig, Defense, ShardChaos};
+use crate::metrics::{MetricsConfig, MetricsRecorder};
 use crate::pool;
-use crate::report::{Completion, ResilienceReport, ServeReport, ShardResilience};
+use crate::report::{
+    shard_verdict, Completion, LatencyBreakdown, ObservabilityReport, ResilienceReport,
+    ServeReport, ShardResilience, TierBreakdown,
+};
 use crate::request::{Leg, Request, RequestKind};
+use crate::trace::{FleetTrace, LegOutcome, RootOutcome, SpanEvent, TraceConfig};
 
 /// Cost, in simulated ns, of resetting a shard's engine for a new batch
 /// (measured reuse-path cost from the PR-5 profiling pass).
@@ -89,6 +94,43 @@ impl FleetConfig {
     }
 }
 
+/// Observability configuration for one fleet run: which of the two layers
+/// (per-request span tracing, windowed metrics) to record. Both default
+/// off, and [`run_fleet_resilient`] always passes [`ObserveConfig::off`]
+/// — unobserved runs never build an observer, so their reports stay
+/// byte-identical to the pre-observability schema.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObserveConfig {
+    /// Record per-request lifecycle spans into a bounded ring.
+    pub trace: Option<TraceConfig>,
+    /// Record the windowed metrics time series.
+    pub metrics: Option<MetricsConfig>,
+}
+
+impl ObserveConfig {
+    /// No observation — the baseline code path.
+    #[must_use]
+    pub fn off() -> Self {
+        ObserveConfig::default()
+    }
+
+    /// Both layers on, with the span ring sized for a `requests`-long
+    /// stream and the default metrics window.
+    #[must_use]
+    pub fn full(requests: u64) -> Self {
+        ObserveConfig {
+            trace: Some(TraceConfig::sized_for(requests)),
+            metrics: Some(MetricsConfig::default()),
+        }
+    }
+
+    /// `true` when neither layer records anything.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.trace.is_none() && self.metrics.is_none()
+    }
+}
+
 /// How one dispatched leg ended on the shard.
 #[derive(Clone, Copy, Debug)]
 enum LegFate {
@@ -106,10 +148,33 @@ struct LegResult {
     leg: Leg,
     phase: pudiannao_codegen::phases::Phase,
     fate: LegFate,
+    /// When this leg's kernel started on the shard (after the batch's
+    /// reconfig+setup and its batch-mates ahead of it) — the left edge of
+    /// its trace span.
+    start_ns: u64,
     /// This leg's own (slowdown-scaled) service time, excluding queueing
     /// and batch-mates — the straggler signal the hedge trigger watches.
     /// (End-to-end batch time would flag the tail of every deep batch.)
     service_ns: u64,
+}
+
+/// Always-computed timing facts of one dispatched batch — plain
+/// arithmetic on values the shard derives anyway, so keeping them on the
+/// result costs nothing. The observability layer's only window into
+/// shard execution, and the source of the exact latency attribution.
+#[derive(Clone, Copy, Debug)]
+struct BatchFacts {
+    technique: Technique,
+    /// Dispatch instant (the wave's `now`).
+    start_ns: u64,
+    /// Reconfiguration charge paid at the head (0 if none).
+    reconfig_ns: u64,
+    /// When member legs started executing (`start + reconfig + setup`).
+    exec_start_ns: u64,
+    /// When the shard stopped doing useful work (early on a crash).
+    busy_until_ns: u64,
+    /// The crash window that cut the batch short, if any.
+    crash: Option<(u64, u64)>,
 }
 
 /// One simulated device: a reusable engine (plus its batching scratch
@@ -173,16 +238,19 @@ impl Shard {
         legs: &[Leg],
         catalog: &ServingCatalog,
         start_ns: u64,
-    ) -> Vec<LegResult> {
+    ) -> (BatchFacts, Vec<LegResult>) {
         let mut t = start_ns;
+        let mut reconfig_ns = 0;
         if self.last_technique != Some(technique) {
             t = t.saturating_add(RECONFIG_NS);
+            reconfig_ns = RECONFIG_NS;
             if self.last_technique.is_some() {
                 self.reconfigs += 1;
             }
             self.last_technique = Some(technique);
         }
         t = t.saturating_add(BATCH_SETUP_NS);
+        let exec_start_ns = t;
         self.engine.reset();
         let slowdown = self.chaos.as_ref().map_or(1000, |c| c.slowdown_permille);
         let mut out = Vec::with_capacity(legs.len());
@@ -205,6 +273,7 @@ impl Shard {
                 leg: *leg,
                 phase,
                 fate: LegFate::Done(done_ns),
+                start_ns: t.saturating_add(scale_ns(prev_cycles, slowdown)),
                 service_ns: scale_ns(cycles.saturating_sub(prev_cycles), slowdown),
             });
             prev_cycles = cycles;
@@ -212,6 +281,7 @@ impl Shard {
         let stats = self.engine.report();
         let mut end_ns = t.saturating_add(scale_ns(stats.cycles, slowdown));
         let mut busy_until = end_ns;
+        let mut crash = None;
         if let Some(chaos) = &mut self.chaos {
             // Transient failures first: a pure per-leg hash, so the
             // verdict is the same whichever shard or wave runs the leg.
@@ -240,6 +310,7 @@ impl Shard {
                 self.last_technique = None;
                 busy_until = crash_ns.max(start_ns);
                 end_ns = repair_ns;
+                crash = Some((crash_ns, repair_ns));
             }
         }
         // Health streak, at batch granularity: a batch that lost *every*
@@ -259,7 +330,15 @@ impl Shard {
         self.ops += stats.ops;
         self.offchip_bytes += stats.offchip_bytes;
         self.free_at_ns = end_ns;
-        out
+        let facts = BatchFacts {
+            technique,
+            start_ns,
+            reconfig_ns,
+            exec_start_ns,
+            busy_until_ns: busy_until,
+            crash,
+        };
+        (facts, out)
     }
 }
 
@@ -280,6 +359,8 @@ struct Best {
     dispatched_ns: u64,
     hedge: bool,
     retried: bool,
+    /// The winning leg's exact latency attribution (observational).
+    breakdown: LatencyBreakdown,
 }
 
 /// Lifecycle state of one in-flight request: how many legs are queued or
@@ -292,6 +373,255 @@ struct Flight {
     hedged: bool,
     best: Option<Best>,
     last_fail_ns: u64,
+    /// Latest instant any leg of this flight was observed ending (success
+    /// or failure) — the root span closes no earlier than this, so leg
+    /// spans never outlive their root. Purely observational.
+    last_seen_ns: u64,
+}
+
+/// Exact five-way split of a completed leg's end-to-end latency. The
+/// segments partition `done_ns - arrival_ns` with no gaps or overlaps:
+/// enqueue times are monotone through dispatch, and the shard charges
+/// reconfig then setup then service contiguously from the dispatch
+/// instant.
+fn breakdown_of(leg: &Leg, facts: &BatchFacts, done_ns: u64) -> LatencyBreakdown {
+    LatencyBreakdown {
+        backoff_ns: leg.enqueued_ns.saturating_sub(leg.request.arrival_ns),
+        queue_ns: facts.start_ns.saturating_sub(leg.enqueued_ns),
+        reconfig_ns: facts.reconfig_ns,
+        setup_ns: facts
+            .exec_start_ns
+            .saturating_sub(facts.start_ns)
+            .saturating_sub(facts.reconfig_ns),
+        service_ns: done_ns.saturating_sub(facts.exec_start_ns),
+    }
+}
+
+/// Read-only recorder threaded through an observed run. Every hook runs
+/// in the sequential wave-order loop and only accumulates — nothing here
+/// feeds a decision back into the simulation, which is why a traced run's
+/// `ServeReport` aggregates are identical to an untraced run's (the
+/// span-conservation proptests pin this).
+struct Observer {
+    trace: Option<FleetTrace>,
+    metrics: Option<MetricsRecorder>,
+    tiers: [TierBreakdown; 3],
+    /// Per-lane open "queued" interval: `(since_ns, peak_depth)`. Busy
+    /// spans are merged at depth 0↔>0 transitions, so the spans on a lane
+    /// track never overlap.
+    lane_open: [Option<(u64, u64)>; Technique::ALL.len()],
+}
+
+impl Observer {
+    fn new(observe: &ObserveConfig, shards: usize) -> Observer {
+        Observer {
+            trace: observe.trace.as_ref().map(FleetTrace::new),
+            metrics: observe.metrics.as_ref().map(|m| MetricsRecorder::new(m, shards)),
+            tiers: [TierBreakdown::default(); 3],
+            lane_open: [None; Technique::ALL.len()],
+        }
+    }
+
+    fn push(&mut self, event: SpanEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(event);
+        }
+    }
+
+    /// One freshly offered request: open its root span (admitted) or
+    /// record the shed/reject.
+    fn on_offered(&mut self, request: &Request, outcome: AdmissionOutcome) {
+        let at = request.arrival_ns;
+        match outcome {
+            AdmissionOutcome::Admitted => {
+                let lane = request.technique().expect("admitted requests are well-formed").index();
+                self.push(SpanEvent::RootOpen { id: request.id, lane, t: at });
+            }
+            AdmissionOutcome::Shed => {
+                if let Some(technique) = request.technique() {
+                    self.push(SpanEvent::Shed { lane: technique.index(), t: at });
+                }
+                if let Some(m) = &mut self.metrics {
+                    m.on_shed(at);
+                }
+            }
+            AdmissionOutcome::Rejected => {
+                if let Some(m) = &mut self.metrics {
+                    m.on_rejected(at);
+                }
+            }
+        }
+    }
+
+    /// A queued primary displaced by priority-aware shedding at `now`.
+    fn on_evicted(&mut self, leg: &Leg, now: u64) {
+        self.push(SpanEvent::RootClose {
+            id: leg.request.id,
+            outcome: RootOutcome::Evicted,
+            t: now,
+        });
+        if let Some(m) = &mut self.metrics {
+            m.on_shed(now);
+        }
+    }
+
+    fn on_timed_out(&mut self, id: u64, at: u64) {
+        self.push(SpanEvent::RootClose { id, outcome: RootOutcome::TimedOut, t: at });
+        if let Some(m) = &mut self.metrics {
+            m.on_timed_out(at);
+        }
+    }
+
+    fn on_failed(&mut self, id: u64, at: u64) {
+        self.push(SpanEvent::RootClose { id, outcome: RootOutcome::Failed, t: at });
+        if let Some(m) = &mut self.metrics {
+            m.on_failed(at);
+        }
+    }
+
+    fn on_retry(&mut self, ready_ns: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.on_retry(ready_ns);
+        }
+    }
+
+    fn on_hedge(&mut self, ready_ns: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.on_hedge(ready_ns);
+        }
+    }
+
+    /// A flight resolved successfully: close its root at `close_ns` (the
+    /// last instant any of its legs was seen) and attribute the winning
+    /// leg's latency to the request's priority tier.
+    fn on_completed(
+        &mut self,
+        request: &Request,
+        outcome: RootOutcome,
+        close_ns: u64,
+        done_ns: u64,
+        breakdown: LatencyBreakdown,
+    ) {
+        self.push(SpanEvent::RootClose { id: request.id, outcome, t: close_ns });
+        if let Some(m) = &mut self.metrics {
+            m.on_completion(done_ns.saturating_sub(request.arrival_ns), done_ns);
+        }
+        self.tiers[request.priority.index()].add(breakdown);
+    }
+
+    /// One executed batch: the shard-track facts plus every member leg.
+    fn on_batch(&mut self, shard: usize, facts: &BatchFacts, results: &[LegResult]) {
+        if self.trace.is_some() {
+            self.push(SpanEvent::Batch {
+                shard,
+                lane: facts.technique.index(),
+                start_ns: facts.start_ns,
+                reconfig_ns: facts.reconfig_ns,
+                exec_start_ns: facts.exec_start_ns,
+                busy_until_ns: facts.busy_until_ns,
+                legs: results.len() as u32,
+                crash: facts.crash,
+            });
+            for r in results {
+                let (end_ns, outcome) = match r.fate {
+                    LegFate::Done(d) => (d, LegOutcome::Done),
+                    LegFate::Transient(d) => (d, LegOutcome::Transient),
+                    LegFate::Crashed(at) => (at, LegOutcome::Crashed),
+                };
+                self.push(SpanEvent::Leg {
+                    id: r.leg.request.id,
+                    attempt: r.leg.attempt,
+                    hedge: r.leg.hedge,
+                    shard,
+                    enqueued_ns: r.leg.enqueued_ns,
+                    start_ns: r.start_ns,
+                    end_ns,
+                    outcome,
+                });
+            }
+        }
+        if let Some(m) = &mut self.metrics {
+            m.add_busy(facts.start_ns, facts.busy_until_ns);
+        }
+    }
+
+    fn on_quarantine(&mut self, shard: usize, from_ns: u64, until_ns: u64) {
+        self.push(SpanEvent::Quarantine { shard, from_ns, until_ns });
+        if let Some(m) = &mut self.metrics {
+            m.on_quarantine(from_ns);
+        }
+    }
+
+    /// Samples the admission lanes at `now`: opens/extends/closes the
+    /// merged per-lane "queued" spans and records the total-depth gauge.
+    fn note_queues(&mut self, depths: &[usize; Technique::ALL.len()], now: u64) {
+        if self.trace.is_some() {
+            for (lane, &depth) in depths.iter().enumerate() {
+                let open = &mut self.lane_open[lane];
+                if depth > 0 {
+                    match open {
+                        Some((_, peak)) => *peak = (*peak).max(depth as u64),
+                        None => *open = Some((now, depth as u64)),
+                    }
+                } else if let Some((from_ns, peak_depth)) = open.take() {
+                    self.push(SpanEvent::LaneBusy { lane, from_ns, until_ns: now, peak_depth });
+                }
+            }
+        }
+        if let Some(m) = &mut self.metrics {
+            m.note_queue_depth(depths.iter().sum(), now);
+        }
+    }
+
+    /// End of run: close any still-open lane spans and emit the chaos
+    /// crash windows that fell inside the makespan.
+    fn seal(&mut self, shards: &mut [Shard], makespan_ns: u64) {
+        for lane in 0..self.lane_open.len() {
+            if let Some((from_ns, peak_depth)) = self.lane_open[lane].take() {
+                let until_ns = makespan_ns.max(from_ns);
+                self.push(SpanEvent::LaneBusy { lane, from_ns, until_ns, peak_depth });
+            }
+        }
+        if self.trace.is_some() {
+            for (i, shard) in shards.iter_mut().enumerate() {
+                if let Some(chaos) = &mut shard.chaos {
+                    for (at_ns, until_ns) in chaos.windows_up_to(makespan_ns) {
+                        self.push(SpanEvent::Crash { shard: i, at_ns, until_ns });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attaches the sealed observability section (and the raw span ring)
+    /// to the assembled report.
+    fn finish(self, report: &mut ServeReport) {
+        let makespan_ns = report.makespan_ns;
+        let shard_verdicts = report
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, stats)| {
+                let down_ns = report
+                    .resilience
+                    .as_ref()
+                    .and_then(|r| r.shards.get(i))
+                    .map_or(0, |s| s.down_ns);
+                shard_verdict(stats, down_ns, makespan_ns)
+            })
+            .collect();
+        let events_dropped = self.trace.as_ref().map_or(0, |t| t.events_dropped);
+        if events_dropped > 0 {
+            crate::trace::warn_events_dropped(events_dropped);
+        }
+        report.observability = Some(ObservabilityReport {
+            events_dropped,
+            tiers: self.tiers,
+            shard_verdicts,
+            metrics: self.metrics.map(|m| m.finish(makespan_ns)),
+        });
+        report.trace = self.trace;
+    }
 }
 
 /// A retry or hedge leg waiting for its simulated release time.
@@ -344,7 +674,11 @@ impl Lifecycle {
         }
     }
 
-    fn push_ready(&mut self, ready_ns: u64, leg: Leg) {
+    fn push_ready(&mut self, ready_ns: u64, mut leg: Leg) {
+        // Every delayed leg re-enters the queue at its release time; the
+        // stamp is observational only (trace/attribution), so setting it
+        // here cannot perturb an unobserved run.
+        leg.enqueued_ns = ready_ns;
         let seq = self.seq;
         self.seq = self.seq.saturating_add(1);
         self.ready.push(Reverse(ReadyLeg { ready_ns, seq, leg }));
@@ -365,6 +699,7 @@ impl Lifecycle {
                         hedged: false,
                         best: None,
                         last_fail_ns: 0,
+                        last_seen_ns: 0,
                     },
                 );
             }
@@ -388,7 +723,7 @@ impl Lifecycle {
     /// Pick-time filter: returns `true` when the leg must not be
     /// dispatched — a hedge whose primary already resolved (cancelled) or
     /// any leg past its deadline (timed out).
-    fn drop_at_pick(&mut self, leg: &Leg, now: u64) -> bool {
+    fn drop_at_pick(&mut self, leg: &Leg, now: u64, obs: &mut Option<Observer>) -> bool {
         let id = leg.request.id;
         if leg.hedge {
             let f = self.flights.get(&id).expect("queued hedge belongs to a live flight");
@@ -396,7 +731,7 @@ impl Lifecycle {
                 // The primary answered before the hedge reached a shard:
                 // cancel it, exactly as a real fleet would.
                 self.rep.hedges_cancelled = self.rep.hedges_cancelled.saturating_add(1);
-                self.finish_leg(id);
+                self.finish_leg(id, obs);
                 return true;
             }
         }
@@ -406,11 +741,14 @@ impl Lifecycle {
             if deadline < now {
                 if leg.hedge {
                     self.rep.hedges_cancelled = self.rep.hedges_cancelled.saturating_add(1);
-                    self.finish_leg(id);
+                    self.finish_leg(id, obs);
                 } else {
                     let f = self.flights.remove(&id).expect("queued leg belongs to a live flight");
                     debug_assert!(f.outstanding == 1 && f.best.is_none());
                     self.rep.outcomes.timed_out = self.rep.outcomes.timed_out.saturating_add(1);
+                    if let Some(o) = obs {
+                        o.on_timed_out(id, now);
+                    }
                 }
                 return true;
             }
@@ -420,29 +758,39 @@ impl Lifecycle {
 
     /// Processes one executed leg: record its fate, possibly launch a
     /// hedge, and resolve the flight if no legs remain outstanding.
-    fn on_leg_result(&mut self, result: &LegResult, dispatched_ns: u64) {
+    fn on_leg_result(
+        &mut self,
+        result: &LegResult,
+        facts: &BatchFacts,
+        obs: &mut Option<Observer>,
+    ) {
         let LegResult { leg, fate, service_ns, .. } = result;
         let fate = *fate;
+        let dispatched_ns = facts.start_ns;
         let id = leg.request.id;
         let f = self.flights.get_mut(&id).expect("executed leg belongs to a live flight");
         match fate {
             LegFate::Done(done_ns) => {
+                f.last_seen_ns = f.last_seen_ns.max(done_ns);
                 if f.best.is_none_or(|b| done_ns < b.done_ns) {
                     f.best = Some(Best {
                         done_ns,
                         dispatched_ns,
                         hedge: leg.hedge,
                         retried: leg.attempt > 0,
+                        breakdown: breakdown_of(leg, facts, done_ns),
                     });
                 }
             }
             LegFate::Transient(at) => {
                 self.rep.transient_faults = self.rep.transient_faults.saturating_add(1);
                 f.last_fail_ns = f.last_fail_ns.max(at);
+                f.last_seen_ns = f.last_seen_ns.max(at);
             }
             LegFate::Crashed(at) => {
                 self.rep.crash_killed = self.rep.crash_killed.saturating_add(1);
                 f.last_fail_ns = f.last_fail_ns.max(at);
+                f.last_seen_ns = f.last_seen_ns.max(at);
             }
         }
         // Hedge trigger: a primary-generation leg whose *own* service
@@ -462,17 +810,26 @@ impl Lifecycle {
                     f.hedged = true;
                     f.outstanding = f.outstanding.saturating_add(1);
                     self.rep.hedges_launched = self.rep.hedges_launched.saturating_add(1);
-                    let hedge = Leg { request: leg.request, attempt: leg.attempt, hedge: true };
-                    self.push_ready(dispatched_ns.saturating_add(after), hedge);
+                    let hedge = Leg {
+                        request: leg.request,
+                        attempt: leg.attempt,
+                        hedge: true,
+                        enqueued_ns: 0,
+                    };
+                    let ready_ns = dispatched_ns.saturating_add(after);
+                    if let Some(o) = obs.as_mut() {
+                        o.on_hedge(ready_ns);
+                    }
+                    self.push_ready(ready_ns, hedge);
                 }
             }
         }
-        self.finish_leg(id);
+        self.finish_leg(id, obs);
     }
 
     /// One leg of flight `id` is gone (completed, failed, or cancelled);
     /// resolves the flight once nothing is outstanding.
-    fn finish_leg(&mut self, id: u64) {
+    fn finish_leg(&mut self, id: u64, obs: &mut Option<Observer>) {
         let f = self.flights.get_mut(&id).expect("finished leg belongs to a live flight");
         f.outstanding = f.outstanding.saturating_sub(1);
         if f.outstanding > 0 {
@@ -502,6 +859,17 @@ impl Lifecycle {
                 self.rep.outcomes.completed_clean =
                     self.rep.outcomes.completed_clean.saturating_add(1);
             }
+            if let Some(o) = obs {
+                let outcome = if best.hedge {
+                    RootOutcome::HedgeWon
+                } else if best.retried {
+                    RootOutcome::RetriedOk
+                } else {
+                    RootOutcome::Completed
+                };
+                let close_ns = best.done_ns.max(f.last_seen_ns);
+                o.on_completed(&f.request, outcome, close_ns, best.done_ns, best.breakdown);
+            }
             self.completions.push(Completion {
                 request: f.request,
                 phase,
@@ -523,7 +891,12 @@ impl Lifecycle {
                 .is_none_or(|dl| ready_ns <= dl);
             if worth_it {
                 self.rep.retries_scheduled = self.rep.retries_scheduled.saturating_add(1);
-                let retry = Leg { request: f.request, attempt: f.attempts_used + 1, hedge: false };
+                let retry = Leg {
+                    request: f.request,
+                    attempt: f.attempts_used + 1,
+                    hedge: false,
+                    enqueued_ns: 0,
+                };
                 self.flights.insert(
                     f.request.id,
                     Flight {
@@ -533,14 +906,23 @@ impl Lifecycle {
                         ..f
                     },
                 );
+                if let Some(o) = obs {
+                    o.on_retry(ready_ns);
+                }
                 self.push_ready(ready_ns, retry);
                 return;
             }
             // A retry that cannot start before the deadline is a timeout.
             self.rep.outcomes.timed_out = self.rep.outcomes.timed_out.saturating_add(1);
+            if let Some(o) = obs {
+                o.on_timed_out(f.request.id, f.last_seen_ns);
+            }
             return;
         }
         self.rep.outcomes.failed = self.rep.outcomes.failed.saturating_add(1);
+        if let Some(o) = obs {
+            o.on_failed(f.request.id, f.last_seen_ns);
+        }
     }
 }
 
@@ -572,6 +954,25 @@ pub fn run_fleet_resilient(
     chaos: &ChaosConfig,
     defense: &Defense,
 ) -> ServeReport {
+    run_fleet_observed(config, cache, catalog, requests, chaos, defense, &ObserveConfig::off())
+}
+
+/// [`run_fleet_resilient`] with the observability layer: span tracing
+/// and/or windowed metrics riding along. The observer is strictly
+/// read-only over the simulation — whether it records or not, the loop
+/// takes the same decisions, so an observed report's aggregates are
+/// byte-identical to the unobserved run's (only the additive
+/// `observability` section and the in-memory span ring differ).
+#[must_use]
+pub fn run_fleet_observed(
+    config: &FleetConfig,
+    cache: &CacheConfig,
+    catalog: &ServingCatalog,
+    requests: &[Request],
+    chaos: &ChaosConfig,
+    defense: &Defense,
+    observe: &ObserveConfig,
+) -> ServeReport {
     assert!(config.shards > 0, "a fleet needs at least one shard");
     debug_assert!(
         requests.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
@@ -594,6 +995,7 @@ pub fn run_fleet_resilient(
     let mut admission = AdmissionQueue::new(admission_config);
     let mut baseline_completions: Vec<Completion> = Vec::with_capacity(requests.len());
     let mut lc = resilient.then(|| Lifecycle::new(*defense, requests.len()));
+    let mut obs = (!observe.is_off()).then(|| Observer::new(observe, config.shards));
 
     let mut now = 0u64;
     let mut next_arrival = 0usize;
@@ -603,9 +1005,15 @@ pub fn run_fleet_resilient(
         while next_arrival < requests.len() && requests[next_arrival].arrival_ns <= now {
             let request = requests[next_arrival];
             let outcome = admission.offer(request);
+            if let Some(o) = &mut obs {
+                o.on_offered(&request, outcome);
+            }
             if let Some(lc) = &mut lc {
                 lc.on_offered(&request, outcome);
                 for evicted in admission.take_evicted() {
+                    if let Some(o) = &mut obs {
+                        o.on_evicted(&evicted, now);
+                    }
                     lc.on_evicted(&evicted);
                 }
             }
@@ -617,13 +1025,16 @@ pub fn run_fleet_resilient(
                 admission.offer_leg(r.leg);
             }
         }
+        if let Some(o) = &mut obs {
+            o.note_queues(&admission.lane_depths(), now);
+        }
 
         // 2. Hand one batch to every idle, healthy shard (deterministic:
         //    shards in index order, batches in oldest-head-of-line
         //    order). Overdue and cancelled legs are filtered here.
-        let mut wave: Vec<(&mut Shard, Technique, Vec<Leg>)> = Vec::new();
+        let mut wave: Vec<(usize, &mut Shard, Technique, Vec<Leg>)> = Vec::new();
         let mut queue_open = true;
-        for shard in &mut shards {
+        for (idx, shard) in shards.iter_mut().enumerate() {
             if !queue_open || shard.free_at_ns > now {
                 continue;
             }
@@ -643,13 +1054,13 @@ pub fn run_fleet_resilient(
                     break Some((technique, batch));
                 };
                 let live: Vec<Leg> =
-                    batch.into_iter().filter(|leg| !lc.drop_at_pick(leg, now)).collect();
+                    batch.into_iter().filter(|leg| !lc.drop_at_pick(leg, now, &mut obs)).collect();
                 if !live.is_empty() {
                     break Some((technique, live));
                 }
             };
             match picked {
-                Some((technique, batch)) => wave.push((shard, technique, batch)),
+                Some((technique, batch)) => wave.push((idx, shard, technique, batch)),
                 None => queue_open = false,
             }
         }
@@ -660,17 +1071,32 @@ pub fn run_fleet_resilient(
         let start = now;
         let jobs: Vec<_> = wave
             .into_iter()
-            .map(|(shard, technique, batch)| {
-                move || shard.run_batch(technique, &batch, catalog, start)
+            .map(|(idx, shard, technique, batch)| {
+                move || {
+                    let (facts, results) = shard.run_batch(technique, &batch, catalog, start);
+                    (idx, facts, results)
+                }
             })
             .collect();
-        for batch_results in pool::run_indexed(jobs) {
+        for (idx, facts, batch_results) in pool::run_indexed(jobs) {
+            if let Some(o) = &mut obs {
+                o.on_batch(idx, &facts, &batch_results);
+            }
             match &mut lc {
                 None => {
                     for r in batch_results {
                         let LegFate::Done(completed_ns) = r.fate else {
                             unreachable!("faults require chaos, which is off on this path");
                         };
+                        if let Some(o) = &mut obs {
+                            o.on_completed(
+                                &r.leg.request,
+                                RootOutcome::Completed,
+                                completed_ns,
+                                completed_ns,
+                                breakdown_of(&r.leg, &facts, completed_ns),
+                            );
+                        }
                         baseline_completions.push(Completion {
                             request: r.leg.request,
                             phase: r.phase,
@@ -681,7 +1107,7 @@ pub fn run_fleet_resilient(
                 }
                 Some(lc) => {
                     for r in batch_results {
-                        lc.on_leg_result(&r, start);
+                        lc.on_leg_result(&r, &facts, &mut obs);
                     }
                 }
             }
@@ -691,7 +1117,7 @@ pub fn run_fleet_resilient(
         //     consecutive-failure threshold is pulled from rotation until
         //     its cooldown ends (sequential, in shard order).
         if resilient && defense.quarantine_after > 0 {
-            for shard in &mut shards {
+            for (idx, shard) in shards.iter_mut().enumerate() {
                 if shard.fail_streak >= defense.quarantine_after {
                     let from = now.max(shard.free_at_ns);
                     shard.quarantined_until_ns =
@@ -700,8 +1126,14 @@ pub fn run_fleet_resilient(
                     shard.quarantine_down_ns =
                         shard.quarantine_down_ns.saturating_add(defense.quarantine_cooldown_ns);
                     shard.fail_streak = 0;
+                    if let Some(o) = &mut obs {
+                        o.on_quarantine(idx, from, shard.quarantined_until_ns);
+                    }
                 }
             }
+        }
+        if let Some(o) = &mut obs {
+            o.note_queues(&admission.lane_depths(), now);
         }
 
         // 4. Advance to the next event: arrival, delayed-leg release,
@@ -770,7 +1202,12 @@ pub fn run_fleet_resilient(
         }
     };
 
-    ServeReport::assemble(
+    if let Some(o) = &mut obs {
+        let makespan_ns = completions.iter().map(|c| c.completed_ns).max().unwrap_or(0);
+        o.seal(&mut shards, makespan_ns);
+    }
+
+    let mut report = ServeReport::assemble(
         config,
         admission.counters(),
         admission.shed_by_technique(),
@@ -788,7 +1225,11 @@ pub fn run_fleet_resilient(
             })
             .collect::<Vec<_>>(),
         resilience,
-    )
+    );
+    if let Some(o) = obs {
+        o.finish(&mut report);
+    }
+    report
 }
 
 /// Convenience entry point: generate the stream, build the default
@@ -811,6 +1252,28 @@ pub fn serve_resilient(
     let catalog = ServingCatalog::paper_default();
     let requests = crate::gen::generate(gen_config);
     run_fleet_resilient(config, &CacheConfig::paper_default(), &catalog, &requests, chaos, defense)
+}
+
+/// [`serve_resilient`] with the observability layer riding along.
+#[must_use]
+pub fn serve_observed(
+    config: &FleetConfig,
+    gen_config: &crate::gen::GeneratorConfig,
+    chaos: &ChaosConfig,
+    defense: &Defense,
+    observe: &ObserveConfig,
+) -> ServeReport {
+    let catalog = ServingCatalog::paper_default();
+    let requests = crate::gen::generate(gen_config);
+    run_fleet_observed(
+        config,
+        &CacheConfig::paper_default(),
+        &catalog,
+        &requests,
+        chaos,
+        defense,
+        observe,
+    )
 }
 
 #[cfg(test)]
@@ -905,6 +1368,66 @@ mod tests {
         let dres = defended.resilience.expect("resilience section");
         assert!(dres.outcomes.retried_ok > 0);
         assert!(dres.outcomes.failed < res.outcomes.failed, "{dres:?}");
+    }
+
+    #[test]
+    fn observed_run_leaves_aggregates_untouched() {
+        let gen = GeneratorConfig { requests: 800, ..GeneratorConfig::smoke(7) };
+        let chaos = ChaosConfig::intensity(11, 1);
+        let defense = Defense::full(140_000);
+        let plain = serve_resilient(&FleetConfig::paper_default(), &gen, &chaos, &defense);
+        let observed = serve_observed(
+            &FleetConfig::paper_default(),
+            &gen,
+            &chaos,
+            &defense,
+            &ObserveConfig::full(800),
+        );
+        // Stripping the additive section must recover the unobserved
+        // report byte-for-byte: observation cannot perturb the run.
+        let mut stripped = observed.clone();
+        stripped.observability = None;
+        stripped.trace = None;
+        assert_eq!(plain.to_json().to_string_pretty(), stripped.to_json().to_string_pretty());
+        let o = observed.observability.as_ref().expect("observed run");
+        assert_eq!(o.events_dropped, 0, "sized_for(800) must hold the whole stream");
+        // Attribution is exact: the per-tier five-way splits sum to the
+        // total of every completion's end-to-end latency.
+        assert_eq!(o.tiers.iter().map(|t| t.completed).sum::<u64>(), observed.completed);
+        let attributed: u64 = o
+            .tiers
+            .iter()
+            .map(|t| t.backoff_ns + t.queue_ns + t.reconfig_ns + t.setup_ns + t.service_ns)
+            .sum();
+        let exact: u64 = observed.latencies_sorted_ns.iter().sum();
+        assert_eq!(attributed, exact);
+        assert_eq!(o.shard_verdicts.len(), observed.shards.len());
+        // The histogram p99 never understates the exact one.
+        let m = o.metrics.as_ref().expect("metrics on");
+        assert!(m.overall_p99_ns >= observed.p99_ns);
+        assert!(!m.windows.is_empty());
+    }
+
+    #[test]
+    fn baseline_observed_timeline_validates() {
+        let gen = GeneratorConfig { requests: 400, ..GeneratorConfig::smoke(3) };
+        let report = serve_observed(
+            &FleetConfig::paper_default(),
+            &gen,
+            &ChaosConfig::off(),
+            &Defense::off(),
+            &ObserveConfig { trace: Some(TraceConfig::sized_for(400)), metrics: None },
+        );
+        assert!(report.resilience.is_none(), "observation must not force the resilient path");
+        let timeline = crate::trace::fleet_timeline(&report).expect("trace was on");
+        let check =
+            pudiannao_accel::profile::validate_timeline(&timeline).expect("well-formed timeline");
+        assert!(check.spans > 0);
+        // 4 shard tracks always carry spans; lanes only when a queue
+        // actually backed up, so only bound the track count.
+        assert!(check.tracks >= 4, "got {} tracks", check.tracks);
+        let m = report.observability.as_ref().expect("observability section");
+        assert!(m.metrics.is_none(), "metrics stay off when only tracing");
     }
 
     #[test]

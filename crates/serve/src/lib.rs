@@ -25,6 +25,11 @@
 //!   device fault model, transient failures) plus the [`chaos::Defense`]
 //!   policy (tiered deadlines, bounded retries, hedging, quarantine,
 //!   priority-aware shedding) the resilient fleet fights back with.
+//! * [`trace`] / [`metrics`] — zero-cost-when-off observability:
+//!   per-request lifecycle spans in a bounded ring (exported as a
+//!   Chrome-trace fleet timeline), plus windowed log-bucket latency
+//!   histograms and rate counters sampled per fixed slice of simulated
+//!   time.
 //!
 //! Determinism is load-bearing: `serve_report.json` and
 //! `chaos_report.json` are byte-identical for any `REPRO_THREADS` value,
@@ -36,22 +41,29 @@ pub mod catalog;
 pub mod chaos;
 pub mod fleet;
 pub mod gen;
+pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod request;
 pub mod sweep;
+pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionCounters, AdmissionOutcome, AdmissionQueue};
 pub use catalog::ServingCatalog;
 pub use chaos::{ChaosConfig, Defense, ShardChaos};
 pub use fleet::{
-    run_fleet, run_fleet_resilient, serve, serve_resilient, FleetConfig, BATCH_SETUP_NS,
-    RECONFIG_NS,
+    run_fleet, run_fleet_observed, run_fleet_resilient, serve, serve_observed, serve_resilient,
+    FleetConfig, ObserveConfig, BATCH_SETUP_NS, RECONFIG_NS,
 };
 pub use gen::{generate, GeneratorConfig, SplitMix64};
+pub use metrics::{LogHistogram, MetricsConfig, MetricsReport, WindowSummary};
 pub use report::{
-    percentile_ns, Completion, OutcomeCounts, ResilienceReport, ServeReport, ShardResilience,
-    ShardStats, TechniqueStats, TierSlo,
+    percentile_ns, shard_verdict, Completion, LatencyBreakdown, ObservabilityReport, OutcomeCounts,
+    ResilienceReport, ServeReport, ShardResilience, ShardStats, ShardVerdict, TechniqueStats,
+    TierBreakdown, TierSlo,
 };
 pub use request::{technique_of, Leg, Priority, Request, RequestKind, SizeTier};
 pub use sweep::{gate_sweep, scaling_sweep, SweepPoint, SWEEP_SHARDS};
+pub use trace::{
+    export_timeline, fleet_timeline, FleetTrace, LegOutcome, RootOutcome, SpanEvent, TraceConfig,
+};

@@ -210,6 +210,174 @@ impl ResilienceReport {
     }
 }
 
+/// Exact per-request latency decomposition: the five segments partition
+/// `completed_ns - arrival_ns` with no gaps or overlaps (backoff to
+/// enqueue, queue wait to dispatch, reconfig and setup charges, then
+/// service including batch-mates ahead of the request).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Retry-backoff / hedge-delay wait before the winning leg enqueued.
+    pub backoff_ns: u64,
+    /// Queue wait from enqueue to batch dispatch.
+    pub queue_ns: u64,
+    /// Datapath reconfiguration charge the winning batch paid.
+    pub reconfig_ns: u64,
+    /// Engine-reset setup charge.
+    pub setup_ns: u64,
+    /// Shard service time (including batch-mates ahead of the request).
+    pub service_ns: u64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all segments — equals the request's end-to-end latency.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.backoff_ns
+            .saturating_add(self.queue_ns)
+            .saturating_add(self.reconfig_ns)
+            .saturating_add(self.setup_ns)
+            .saturating_add(self.service_ns)
+    }
+}
+
+/// Per-priority-tier accumulation of [`LatencyBreakdown`]s over every
+/// completed request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierBreakdown {
+    /// Completed requests folded in.
+    pub completed: u64,
+    pub backoff_ns: u64,
+    pub queue_ns: u64,
+    pub reconfig_ns: u64,
+    pub setup_ns: u64,
+    pub service_ns: u64,
+}
+
+impl TierBreakdown {
+    /// Folds one completed request's breakdown in.
+    pub fn add(&mut self, b: LatencyBreakdown) {
+        self.completed = self.completed.saturating_add(1);
+        self.backoff_ns = self.backoff_ns.saturating_add(b.backoff_ns);
+        self.queue_ns = self.queue_ns.saturating_add(b.queue_ns);
+        self.reconfig_ns = self.reconfig_ns.saturating_add(b.reconfig_ns);
+        self.setup_ns = self.setup_ns.saturating_add(b.setup_ns);
+        self.service_ns = self.service_ns.saturating_add(b.service_ns);
+    }
+}
+
+/// Per-mille of the makespan a shard must spend down before it is
+/// chaos-bound (5%).
+pub const CHAOS_BOUND_DOWN_PERMILLE: u64 = 50;
+
+/// Per-mille of a shard's busy time going to reconfig+setup overhead
+/// before it is reconfig-bound (30%).
+pub const RECONFIG_BOUND_OVERHEAD_PERMILLE: u64 = 300;
+
+/// Utilisation per-mille above which a shard is queue-bound (85%): the
+/// shard is saturated, so latency accumulates in the admission queue.
+pub const QUEUE_BOUND_UTIL_PERMILLE: u64 = 850;
+
+/// An `analyze`-style verdict for one shard — the serving analogue of
+/// the accel profiler's [`Bottleneck`](pudiannao_accel::profile) taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardVerdict {
+    /// `"chaos-bound"`, `"reconfig-bound"`, `"queue-bound"` or
+    /// `"balanced"`, checked in that order.
+    pub verdict: &'static str,
+    pub utilization_permille: u64,
+    /// Reconfig+setup overhead as per-mille of busy time.
+    pub overhead_permille: u64,
+    /// Downtime (crash + quarantine) as per-mille of the makespan.
+    pub down_permille: u64,
+}
+
+/// Classifies what limits one shard, from its stats alone. Threshold
+/// order mirrors `accel::profile::analyze`: the rarest, most actionable
+/// cause wins — downtime first, then reconfiguration overhead, then
+/// saturation.
+#[must_use]
+pub fn shard_verdict(stats: &ShardStats, down_ns: u64, makespan_ns: u64) -> ShardVerdict {
+    let down_permille = down_ns.saturating_mul(1000).checked_div(makespan_ns).unwrap_or(0);
+    let overhead_ns = stats
+        .reconfigs
+        .saturating_mul(crate::fleet::RECONFIG_NS)
+        .saturating_add(stats.batches.saturating_mul(crate::fleet::BATCH_SETUP_NS));
+    let overhead_permille =
+        overhead_ns.saturating_mul(1000).checked_div(stats.busy_ns).unwrap_or(0);
+    let verdict = if down_permille >= CHAOS_BOUND_DOWN_PERMILLE {
+        "chaos-bound"
+    } else if overhead_permille >= RECONFIG_BOUND_OVERHEAD_PERMILLE {
+        "reconfig-bound"
+    } else if stats.utilization_permille >= QUEUE_BOUND_UTIL_PERMILLE {
+        "queue-bound"
+    } else {
+        "balanced"
+    };
+    ShardVerdict {
+        verdict,
+        utilization_permille: stats.utilization_permille,
+        overhead_permille,
+        down_permille,
+    }
+}
+
+/// Everything the observability layer adds to a fleet run: the span-ring
+/// drop counter, the per-tier latency attribution, per-shard verdicts,
+/// and (when metrics were on) the windowed time series. `None` on the
+/// [`ServeReport`] for unobserved runs, keeping the serialised report
+/// byte-identical to the pre-observability schema.
+#[derive(Clone, Debug)]
+pub struct ObservabilityReport {
+    /// Span events the bounded ring evicted (0 for a complete trace;
+    /// also surfaced once on stderr).
+    pub events_dropped: u64,
+    /// Indexed like [`Priority::ALL`] (bronze, silver, gold).
+    pub tiers: [TierBreakdown; 3],
+    /// One verdict per shard, same order as [`ServeReport::shards`].
+    pub shard_verdicts: Vec<ShardVerdict>,
+    /// The windowed metrics series, when a metrics config was supplied.
+    pub metrics: Option<crate::metrics::MetricsReport>,
+}
+
+impl ObservabilityReport {
+    /// JSON section appended to `serve_report.json` for observed runs.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut tiers = Value::array(Vec::new());
+        for (i, t) in self.tiers.iter().enumerate() {
+            tiers.push(
+                Value::object()
+                    .with("tier", Priority::ALL[i].label())
+                    .with("completed", t.completed)
+                    .with("backoff_ns", t.backoff_ns)
+                    .with("queue_ns", t.queue_ns)
+                    .with("reconfig_ns", t.reconfig_ns)
+                    .with("setup_ns", t.setup_ns)
+                    .with("service_ns", t.service_ns),
+            );
+        }
+        let mut verdicts = Value::array(Vec::new());
+        for (i, v) in self.shard_verdicts.iter().enumerate() {
+            verdicts.push(
+                Value::object()
+                    .with("shard", i as u64)
+                    .with("verdict", v.verdict)
+                    .with("utilization_permille", v.utilization_permille)
+                    .with("overhead_permille", v.overhead_permille)
+                    .with("down_permille", v.down_permille),
+            );
+        }
+        let mut out = Value::object()
+            .with("events_dropped", self.events_dropped)
+            .with("latency_breakdown", tiers)
+            .with("shard_verdicts", verdicts);
+        if let Some(m) = &self.metrics {
+            out = out.with("metrics", m.to_json());
+        }
+        out
+    }
+}
+
 /// Everything `serve_bench` reports about one fleet run.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -236,6 +404,15 @@ pub struct ServeReport {
     /// `None` keeps the serialised report byte-identical to the
     /// pre-resilience schema.
     pub resilience: Option<ResilienceReport>,
+    /// Present only for observed runs (trace and/or metrics enabled),
+    /// attached after [`ServeReport::assemble`] by the observability
+    /// layer; `None` keeps the serialised report byte-identical to the
+    /// pre-observability schema.
+    pub observability: Option<ObservabilityReport>,
+    /// The raw span-event ring of a traced run, for
+    /// [`fleet_timeline`](crate::trace::fleet_timeline). Never
+    /// serialised into the report JSON.
+    pub trace: Option<crate::trace::FleetTrace>,
 }
 
 /// Nearest-rank percentile on an ascending slice; `q_permille` is the
@@ -333,6 +510,8 @@ impl ServeReport {
             techniques,
             shards,
             resilience,
+            observability: None,
+            trace: None,
         }
     }
 
@@ -391,6 +570,11 @@ impl ServeReport {
         if let Some(r) = &self.resilience {
             out = out.with("resilience", r.to_json());
         }
+        // Same contract for the observability section (the raw trace ring
+        // is never serialised; `fleet_timeline` is its export path).
+        if let Some(o) = &self.observability {
+            out = out.with("observability", o.to_json());
+        }
         out
     }
 }
@@ -406,8 +590,97 @@ mod tests {
         assert_eq!(percentile_ns(&v, 990), 99);
         assert_eq!(percentile_ns(&v, 999), 100);
         assert_eq!(percentile_ns(&v, 1000), 100);
-        assert_eq!(percentile_ns(&[42], 500), 42);
-        assert_eq!(percentile_ns(&[], 990), 0);
+    }
+
+    /// Nearest-rank on tiny samples: n ∈ {0, 1, 2} must neither panic
+    /// nor index out of range at any quantile, including q=0 (where the
+    /// rank clamps up to 1) and q=1000 (where it must not exceed n).
+    #[test]
+    fn nearest_rank_is_robust_on_tiny_samples() {
+        for q in [0, 1, 500, 990, 999, 1000] {
+            assert_eq!(percentile_ns(&[], q), 0, "q={q}");
+            assert_eq!(percentile_ns(&[42], q), 42, "q={q}");
+        }
+        assert_eq!(percentile_ns(&[7, 9], 0), 7);
+        assert_eq!(percentile_ns(&[7, 9], 500), 7);
+        assert_eq!(percentile_ns(&[7, 9], 501), 9);
+        assert_eq!(percentile_ns(&[7, 9], 990), 9);
+        assert_eq!(percentile_ns(&[7, 9], 1000), 9);
+    }
+
+    #[test]
+    fn latency_breakdown_partitions_and_accumulates() {
+        let b = LatencyBreakdown {
+            backoff_ns: 10,
+            queue_ns: 20,
+            reconfig_ns: 252,
+            setup_ns: 87,
+            service_ns: 400,
+        };
+        assert_eq!(b.total_ns(), 769);
+        let mut t = TierBreakdown::default();
+        t.add(b);
+        t.add(LatencyBreakdown { service_ns: 31, ..Default::default() });
+        assert_eq!(t.completed, 2);
+        assert_eq!(t.service_ns, 431);
+        assert_eq!(t.reconfig_ns, 252);
+    }
+
+    #[test]
+    fn shard_verdicts_follow_the_threshold_order() {
+        let stats = ShardStats {
+            batches: 10,
+            reconfigs: 2,
+            busy_ns: 100_000,
+            utilization_permille: 500,
+            ..Default::default()
+        };
+        // overhead = 2*252 + 10*87 = 1374 ns of 100_000 busy: 13‰.
+        assert_eq!(shard_verdict(&stats, 0, 1_000_000).verdict, "balanced");
+        // 5% downtime flips it to chaos-bound regardless of the rest.
+        let v = shard_verdict(&stats, 50_000, 1_000_000);
+        assert_eq!((v.verdict, v.down_permille), ("chaos-bound", 50));
+        // Heavy reconfig churn on little busy time: reconfig-bound.
+        let churn =
+            ShardStats { batches: 10, reconfigs: 10, busy_ns: 10_000, ..Default::default() };
+        assert_eq!(shard_verdict(&churn, 0, 1_000_000).verdict, "reconfig-bound");
+        // Saturated shard: queue-bound.
+        let hot = ShardStats {
+            batches: 10,
+            busy_ns: 900_000,
+            utilization_permille: 900,
+            ..Default::default()
+        };
+        assert_eq!(shard_verdict(&hot, 0, 1_000_000).verdict, "queue-bound");
+        // Empty shard on an empty run: all guards hit their zero paths.
+        assert_eq!(shard_verdict(&ShardStats::default(), 0, 0).verdict, "balanced");
+    }
+
+    #[test]
+    fn observability_section_is_strictly_additive() {
+        let cfg = FleetConfig::paper_default();
+        let counters = AdmissionCounters::default();
+        let shed = [0u64; Technique::ALL.len()];
+        let base = ServeReport::assemble(&cfg, counters, &shed, &[], &[], None);
+        assert!(base.observability.is_none() && base.trace.is_none());
+        let a = base.to_json().to_string_pretty();
+        assert!(!a.contains("\"observability\""), "unobserved runs must not grow a section");
+
+        let mut observed = ServeReport::assemble(&cfg, counters, &shed, &[], &[], None);
+        observed.observability = Some(ObservabilityReport {
+            events_dropped: 3,
+            tiers: [TierBreakdown::default(); 3],
+            shard_verdicts: vec![shard_verdict(&ShardStats::default(), 0, 0)],
+            metrics: None,
+        });
+        let b = observed.to_json().to_string_pretty();
+        assert!(b.contains("\"observability\""));
+        assert!(b.contains("\"latency_breakdown\""));
+        assert!(b.contains("\"shard_verdicts\""));
+        assert!(!b.contains("\"metrics\""), "metrics key only appears when metrics ran");
+        // The raw ring never leaks into the JSON.
+        observed.trace = Some(crate::trace::FleetTrace::new(&crate::trace::TraceConfig::default()));
+        assert_eq!(observed.to_json().to_string_pretty(), b);
     }
 
     #[test]

@@ -148,13 +148,18 @@ pub struct Leg {
     pub attempt: u32,
     /// Whether this leg is a hedged duplicate racing the primary.
     pub hedge: bool,
+    /// When this leg entered the admission queue: the request's arrival
+    /// for primaries, the release time for retry/hedge legs. Purely
+    /// observational — the queue wait and backoff attribution in the
+    /// trace layer reads it; nothing schedules off it.
+    pub enqueued_ns: u64,
 }
 
 impl Leg {
     /// The first (primary) leg of a freshly admitted request.
     #[must_use]
     pub fn first(request: Request) -> Leg {
-        Leg { request, attempt: 0, hedge: false }
+        Leg { request, attempt: 0, hedge: false, enqueued_ns: request.arrival_ns }
     }
 }
 

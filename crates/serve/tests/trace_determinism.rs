@@ -1,0 +1,44 @@
+//! `serve_timeline.json` must be byte-identical whatever `REPRO_THREADS`
+//! says: every span is recorded from the sequential wave-order result
+//! loop, never from worker threads. This drives the real `chaos_bench
+//! --trace` binary the way CI does, so the artifact on disk is what's
+//! actually guaranteed.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_traced(threads: &str, tag: &str) -> (String, Vec<u8>) {
+    // Paths must not encode `threads`: they are echoed on stdout and the
+    // stdout of both runs is compared verbatim.
+    let pid = std::process::id();
+    let out: PathBuf = std::env::temp_dir().join(format!("trace_det_report_{pid}_{tag}.json"));
+    let tl: PathBuf = std::env::temp_dir().join(format!("trace_det_timeline_{pid}_{tag}.json"));
+    let output = Command::new(env!("CARGO_BIN_EXE_chaos_bench"))
+        .args(["--smoke", "--trace", "--out"])
+        .arg(&out)
+        .arg("--trace-out")
+        .arg(&tl)
+        .env("REPRO_THREADS", threads)
+        .output()
+        .expect("chaos_bench runs");
+    assert!(
+        output.status.success(),
+        "chaos_bench --trace failed with REPRO_THREADS={threads}: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("chaos_bench prints UTF-8");
+    let timeline = std::fs::read(&tl).expect("chaos_bench wrote the timeline");
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&tl);
+    (stdout, timeline)
+}
+
+#[test]
+fn serve_timeline_is_byte_identical_across_worker_counts() {
+    let (stdout1, tl1) = run_traced("1", "workers");
+    let (stdout4, tl4) = run_traced("4", "workers");
+    assert_eq!(tl1, tl4, "serve_timeline.json differs between REPRO_THREADS=1 and 4");
+    // The [trace] lines (span/track counts, windowed p99) are part of
+    // the contract too.
+    assert_eq!(stdout1, stdout4, "stdout differs between worker counts");
+}

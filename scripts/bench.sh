@@ -2,7 +2,9 @@
 # Times the reproduction hot path: builds the release binaries, runs
 # `bench_hotpath` (per-experiment wall-clock + softfp ns/conversion),
 # leaves the machine-readable results in BENCH_repro.json at the repo
-# root, and appends the modelled per-phase cycles/energy to
+# root, exports the observed fleet timeline to serve_timeline.json
+# (open it in chrome://tracing or Perfetto), and appends the modelled
+# per-phase cycles/energy plus the windowed-metrics headline to
 # BENCH_history.jsonl (the perf-regression gate's baseline — see
 # scripts/check.sh --perf-gate).
 #
@@ -20,9 +22,9 @@ echo "== serve_bench (100k-request stream + 1/2/4/8-shard sweep) =="
 ./target/release/serve_bench | grep -E '^\[serve\] (mode|completed|shed |throughput_rps|sweep)'
 
 echo "== chaos_bench (fault intensity x defence sweep over the 8k gate stream) =="
-./target/release/chaos_bench | grep -E '^\[chaos\] (mode|baseline|defended)'
+./target/release/chaos_bench --trace | grep -E '^\[chaos\] (mode|baseline|defended)|^\[trace\]'
 
-echo "== record phase cycles/energy + serving sweep + chaos headline =="
+echo "== record phase cycles/energy + serving sweep + chaos & metrics headlines =="
 ./target/release/perf_diff --record --history BENCH_history.jsonl
 
-echo "OK: wrote BENCH_repro.json, serve_report.json and chaos_report.json, appended to BENCH_history.jsonl"
+echo "OK: wrote BENCH_repro.json, serve_report.json, chaos_report.json and serve_timeline.json, appended to BENCH_history.jsonl"

@@ -9,6 +9,7 @@
 #   scripts/check.sh --perf-gate # per-phase cycle/energy regression gate
 #   scripts/check.sh --serve     # serving-fleet smoke + pinned admission counts
 #   scripts/check.sh --chaos     # chaos smoke: fault x defence sweep + pinned outcomes
+#   scripts/check.sh --serve-trace # fleet timeline smoke + pinned span/track counts
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -218,6 +219,50 @@ EOF
     echo "    chaos_report.json byte-identical"
 
     echo "OK: chaos smoke passed"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve-trace" ]]; then
+    echo "==> cargo build --release -p pudiannao-serve"
+    cargo build --release -q -p pudiannao-serve
+
+    echo "==> chaos_bench --smoke --trace (observed mid/full cell -> fleet timeline)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    ./target/release/chaos_bench --smoke --trace \
+        --out "$tmp/chaos_report.json" --trace-out "$tmp/serve_timeline.json" \
+        | grep -E '^\[trace\] (cell|spans|events_dropped|windows)' > "$tmp/got.txt"
+    cat "$tmp/got.txt"
+    test -s "$tmp/serve_timeline.json"
+
+    # Pinned timeline shape for the built-in smoke stream. The binary
+    # already re-read and structurally validated the written file (the
+    # spans/tracks counts below come from that validation pass). Any
+    # drift means the span lifecycle, the scheduler, or the chaos plans
+    # shifted — update deliberately, never silently.
+    cat > "$tmp/want.txt" <<'EOF'
+[trace] cell mid full
+[trace] spans 4920 instants 19 tracks 15
+[trace] events_dropped 0
+[trace] windows 14 windowed_p99_max_ns 233471
+EOF
+    cmp "$tmp/want.txt" "$tmp/got.txt"
+    echo "    span, track and windowed-metric counts match the pinned expectation"
+
+    echo "==> tracing is additive: chaos_report.json matches the untraced run"
+    ./target/release/chaos_bench --smoke --out "$tmp/plain_report.json" >/dev/null
+    cmp "$tmp/plain_report.json" "$tmp/chaos_report.json"
+    echo "    report byte-identical with and without --trace"
+
+    echo "==> determinism: REPRO_THREADS=1 vs 4"
+    REPRO_THREADS=1 ./target/release/chaos_bench --smoke --trace \
+        --out "$tmp/seq.json" --trace-out "$tmp/seq_timeline.json" >/dev/null
+    REPRO_THREADS=4 ./target/release/chaos_bench --smoke --trace \
+        --out "$tmp/par.json" --trace-out "$tmp/par_timeline.json" >/dev/null
+    cmp "$tmp/seq_timeline.json" "$tmp/par_timeline.json"
+    echo "    serve_timeline.json byte-identical"
+
+    echo "OK: serve-trace smoke passed"
     exit 0
 fi
 
