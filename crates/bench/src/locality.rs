@@ -10,17 +10,17 @@
 
 use crate::{banner, parallel, series_row, Check, ExperimentReport};
 use pudiannao_memsim::{
-    batch, kernels, Access, BandwidthReport, CacheConfig, ReuseProfiler, SimdEngine, Workload,
+    batch, kernels, AccessBlock, BandwidthReport, CacheConfig, ReuseProfiler, SimdEngine, Workload,
 };
 use std::sync::Mutex;
 
 /// A pool of reusable [`SimdEngine`]s (each with its batching scratch
-/// buffer): jobs check one out, run, and return it, so sequential jobs
+/// block): jobs check one out, run, and return it, so sequential jobs
 /// share one cache allocation while concurrent jobs each build their own
 /// on first use.
 struct EnginePool {
     cfg: CacheConfig,
-    free: Mutex<Vec<(SimdEngine, Vec<Access>)>>,
+    free: Mutex<Vec<(SimdEngine, AccessBlock)>>,
 }
 
 impl EnginePool {
@@ -28,16 +28,16 @@ impl EnginePool {
         EnginePool { cfg, free: Mutex::new(Vec::new()) }
     }
 
-    fn with_engine<T>(&self, f: impl FnOnce(&mut SimdEngine, &mut Vec<Access>) -> T) -> T {
+    fn with_engine<T>(&self, f: impl FnOnce(&mut SimdEngine, &mut AccessBlock) -> T) -> T {
         let pooled = self.free.lock().expect("engine pool lock").pop();
-        let (mut engine, mut buf) = pooled.unwrap_or_else(|| {
+        let (mut engine, mut block) = pooled.unwrap_or_else(|| {
             (
                 SimdEngine::new(self.cfg.clone()).expect("valid cache config"),
-                Vec::with_capacity(batch::FLUSH_ACCESSES + 8),
+                AccessBlock::with_capacity(self.cfg.line_bytes, batch::FLUSH_ACCESSES + 32),
             )
         });
-        let out = f(&mut engine, &mut buf);
-        self.free.lock().expect("engine pool lock").push((engine, buf));
+        let out = f(&mut engine, &mut block);
+        self.free.lock().expect("engine pool lock").push((engine, block));
         out
     }
 }

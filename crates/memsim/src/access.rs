@@ -10,11 +10,18 @@ use core::fmt;
 pub struct Addr(pub u64);
 
 impl Addr {
-    /// Offsets the address by `bytes`.
+    /// Offsets the address by `bytes`, wrapping on overflow.
+    ///
+    /// The simulated address space is a flat `u64` ring: synthetic and
+    /// fuzzed traces may place a base near `u64::MAX` and stride past it,
+    /// and the cache model is indifferent to where the wrap lands (set
+    /// and tag are carved out of whatever bits result). Wrapping here
+    /// keeps those hostile traces deterministic instead of panicking in
+    /// debug builds.
     #[inline]
     #[must_use]
     pub const fn offset(self, bytes: u64) -> Addr {
-        Addr(self.0 + bytes)
+        Addr(self.0.wrapping_add(bytes))
     }
 }
 
@@ -106,6 +113,12 @@ mod tests {
         let a = Addr(0x1000);
         assert_eq!(a.offset(0x10), Addr(0x1010));
         assert_eq!(format!("{a}"), "0x1000");
+    }
+
+    #[test]
+    fn addr_offset_wraps_at_u64_max() {
+        assert_eq!(Addr(u64::MAX).offset(1), Addr(0));
+        assert_eq!(Addr(u64::MAX - 3).offset(8), Addr(4));
     }
 
     #[test]

@@ -1,79 +1,87 @@
-//! Batched trace execution: buffer kernel ops into flat access blocks
-//! and stream them through [`Cache::access_block`], instead of paying a
+//! Batched trace execution: pack kernel ops into SoA [`AccessBlock`]s
+//! and stream them through [`Cache::access_soa`], instead of paying a
 //! virtual `op()` round-trip into the cache for every SIMD operation.
 //!
 //! Three layers, each counter-for-counter equivalent to the per-op path
-//! (both reduce to the same scalar access sequence — see
-//! [`Cache::access_block`]):
+//! (all reduce to the same scalar access sequence — see
+//! [`Cache::access_soa`]):
 //!
-//! * [`BatchSink`] — a [`TraceSink`] adapter that accumulates operand
-//!   accesses into a bounded scratch buffer and flushes full blocks into
-//!   an engine via [`SimdEngine::commit_block`]. Memory stays bounded
-//!   (`FLUSH_ACCESSES` entries) no matter how long the trace is, so even
-//!   the hundred-million-access Section-2 sweeps can run batched.
+//! * [`BatchSink`] — a [`TraceSink`] adapter that packs operand accesses
+//!   into a bounded [`AccessBlock`] and flushes full blocks into an
+//!   engine via [`SimdEngine::commit_block`]. Memory stays bounded
+//!   (`FLUSH_ACCESSES` per-line entries) no matter how long the trace
+//!   is, so even the hundred-million-access Section-2 sweeps can run
+//!   batched.
 //! * [`run_buffered`] — one workload through a reset engine via a
 //!   [`BatchSink`]; the batched analogue of [`Workload::run`].
 //! * [`run_batch`] — N independent workloads. With one worker the traces
 //!   run back-to-back through the batched path; with more, each trace is
-//!   generated on its own thread into a bounded channel and the caller's
+//!   packed on its own thread into a bounded channel and the caller's
 //!   thread drains the channels round-robin, interleaving block passes
 //!   over the independent caches so trace *generation* pipelines with
-//!   cache *simulation*. Results are identical either way — each cache
-//!   only ever sees its own trace, in order.
+//!   cache *simulation*. Drained blocks return to their generator over a
+//!   free-list channel, so the steady state recycles the same
+//!   `CHANNEL_DEPTH + 1` blocks per trace instead of allocating one per
+//!   chunk. Results are identical either way — each cache only ever sees
+//!   its own trace, in order.
 //!
-//! [`Cache::access_block`]: crate::Cache::access_block
+//! [`Cache::access_soa`]: crate::Cache::access_soa
 
 use crate::access::Access;
+use crate::block::AccessBlock;
 use crate::cache::CacheConfig;
 use crate::engine::SimdEngine;
 use crate::kernels::{KernelStats, TraceSink, Workload};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 
-/// Accesses buffered before a flush: large enough to amortise the block
-/// dispatch, small enough that the scratch buffer stays cache-resident
-/// (8192 × 24-byte `Access` = 192 KB).
+/// Per-line entries packed before a flush: large enough to amortise the
+/// block dispatch, small enough that the scratch block stays
+/// cache-resident (8192 × 13 bytes of SoA columns ≈ 104 KB).
 pub const FLUSH_ACCESSES: usize = 8192;
+
+/// Entry capacity a fresh scratch block reserves: the flush threshold
+/// plus slack for the op that crosses it (a handful of operands, each
+/// possibly split across two lines).
+const BLOCK_CAPACITY: usize = FLUSH_ACCESSES + 32;
 
 /// In-flight chunks per trace in pipelined [`run_batch`] mode.
 const CHANNEL_DEPTH: usize = 4;
 
-/// A [`TraceSink`] that batches ops into flat blocks for an engine.
+/// A [`TraceSink`] that packs ops into SoA blocks for an engine.
 ///
 /// Dropping the sink flushes the remainder; [`BatchSink::finish`] does
 /// the same with an explicit name for call sites where the flush is the
 /// point.
 pub struct BatchSink<'a> {
     engine: &'a mut SimdEngine,
-    buf: &'a mut Vec<Access>,
-    pending_ops: u64,
+    block: &'a mut AccessBlock,
 }
 
 impl<'a> BatchSink<'a> {
-    /// Wraps `engine`, reusing `buf` as scratch (cleared on entry).
-    pub fn new(engine: &'a mut SimdEngine, buf: &'a mut Vec<Access>) -> BatchSink<'a> {
-        buf.clear();
-        BatchSink { engine, buf, pending_ops: 0 }
+    /// Wraps `engine`, reusing `block` as scratch (cleared and re-armed
+    /// for the engine's line size on entry).
+    pub fn new(engine: &'a mut SimdEngine, block: &'a mut AccessBlock) -> BatchSink<'a> {
+        block.rearm(engine.cache().config().line_bytes);
+        BatchSink { engine, block }
     }
 
-    /// Flushes any buffered ops into the engine.
+    /// Flushes any packed ops into the engine.
     pub fn finish(self) {
         // Drop does the work.
     }
 
     fn flush(&mut self) {
-        if self.pending_ops > 0 {
-            self.engine.commit_block(self.pending_ops, self.buf);
-            self.buf.clear();
-            self.pending_ops = 0;
+        if !self.block.is_empty() {
+            self.engine.commit_block(self.block);
+            self.block.clear();
         }
     }
 }
 
 impl TraceSink for BatchSink<'_> {
     fn op(&mut self, operands: &[Access]) {
-        self.pending_ops += 1;
-        self.buf.extend_from_slice(operands);
-        if self.buf.len() >= FLUSH_ACCESSES {
+        self.block.push_op(operands);
+        if self.block.len() >= FLUSH_ACCESSES {
             self.flush();
         }
     }
@@ -86,48 +94,56 @@ impl Drop for BatchSink<'_> {
 }
 
 /// Runs `workload` through `engine` (reset first) via the batched path,
-/// reusing `buf` as scratch. Counters and cache state are identical to
+/// reusing `block` as scratch. Counters and cache state are identical to
 /// [`Workload::run`]; wall-clock is not — this is the fast path.
 pub fn run_buffered(
     workload: &dyn Workload,
     engine: &mut SimdEngine,
-    buf: &mut Vec<Access>,
+    block: &mut AccessBlock,
 ) -> KernelStats {
     engine.reset();
-    let mut sink = BatchSink::new(engine, buf);
+    let mut sink = BatchSink::new(engine, block);
     workload.trace(&mut sink);
     sink.finish();
     KernelStats::from_engine(engine)
 }
 
-/// One flushed block travelling from a generator thread to the executor.
-type Chunk = (u64, Vec<Access>);
-
-/// A [`TraceSink`] that ships flushed blocks over a bounded channel.
+/// A [`TraceSink`] that ships packed blocks over a bounded channel,
+/// refilling its scratch from the executor's free-list before falling
+/// back to a fresh allocation.
 struct ChannelSink {
-    tx: SyncSender<Chunk>,
-    buf: Vec<Access>,
-    pending_ops: u64,
+    tx: SyncSender<AccessBlock>,
+    recycle: Receiver<AccessBlock>,
+    block: AccessBlock,
+    line_bytes: u32,
 }
 
 impl ChannelSink {
     fn flush(&mut self) {
-        if self.pending_ops > 0 {
-            let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(FLUSH_ACCESSES + 8));
-            // A closed channel means the executor panicked; propagate by
-            // ending this generator quietly (scope join reports the root
-            // cause).
-            let _ = self.tx.send((self.pending_ops, chunk));
-            self.pending_ops = 0;
+        if self.block.is_empty() {
+            return;
         }
+        // Prefer a recycled block (already cleared by the executor;
+        // `rearm` re-asserts the geometry for free) over allocating.
+        let fresh = match self.recycle.try_recv() {
+            Ok(mut recycled) => {
+                recycled.rearm(self.line_bytes);
+                recycled
+            }
+            Err(_) => AccessBlock::with_capacity(self.line_bytes, BLOCK_CAPACITY),
+        };
+        let full = std::mem::replace(&mut self.block, fresh);
+        // A closed channel means the executor panicked; propagate by
+        // ending this generator quietly (scope join reports the root
+        // cause).
+        let _ = self.tx.send(full);
     }
 }
 
 impl TraceSink for ChannelSink {
     fn op(&mut self, operands: &[Access]) {
-        self.pending_ops += 1;
-        self.buf.extend_from_slice(operands);
-        if self.buf.len() >= FLUSH_ACCESSES {
+        self.block.push_op(operands);
+        if self.block.len() >= FLUSH_ACCESSES {
             self.flush();
         }
     }
@@ -162,31 +178,54 @@ pub fn run_batch(config: &CacheConfig, workloads: &[&dyn Workload]) -> Vec<Kerne
         .map(|_| SimdEngine::new(config.clone()).expect("valid cache config"))
         .collect();
     if batch_workers() <= 1 || workloads.len() < 2 {
-        let mut buf = Vec::with_capacity(FLUSH_ACCESSES + 8);
+        let mut block = AccessBlock::with_capacity(config.line_bytes, BLOCK_CAPACITY);
         return workloads
             .iter()
             .zip(engines.iter_mut())
-            .map(|(w, e)| run_buffered(*w, e, &mut buf))
+            .map(|(w, e)| run_buffered(*w, e, &mut block))
             .collect();
     }
     std::thread::scope(|scope| {
-        let mut rxs: Vec<Option<Receiver<Chunk>>> = Vec::with_capacity(workloads.len());
+        let mut rxs: Vec<Option<Receiver<AccessBlock>>> = Vec::with_capacity(workloads.len());
+        let mut recycle_txs: Vec<SyncSender<AccessBlock>> = Vec::with_capacity(workloads.len());
         for &workload in workloads {
-            let (tx, rx) = sync_channel::<Chunk>(CHANNEL_DEPTH);
+            let (tx, rx) = sync_channel::<AccessBlock>(CHANNEL_DEPTH);
+            // One extra slot so the executor can always park the block it
+            // just drained even when the generator has a full pipeline of
+            // replacements queued.
+            let (recycle_tx, recycle_rx) = sync_channel::<AccessBlock>(CHANNEL_DEPTH + 1);
+            let line_bytes = config.line_bytes;
             scope.spawn(move || {
-                let mut sink =
-                    ChannelSink { tx, buf: Vec::with_capacity(FLUSH_ACCESSES + 8), pending_ops: 0 };
+                let mut sink = ChannelSink {
+                    tx,
+                    recycle: recycle_rx,
+                    block: AccessBlock::with_capacity(line_bytes, BLOCK_CAPACITY),
+                    line_bytes,
+                };
                 workload.trace(&mut sink);
                 sink.flush();
             });
             rxs.push(Some(rx));
+            recycle_txs.push(recycle_tx);
         }
         let mut live = rxs.len();
         while live > 0 {
-            for (engine, slot) in engines.iter_mut().zip(rxs.iter_mut()) {
+            for ((engine, slot), recycle_tx) in
+                engines.iter_mut().zip(rxs.iter_mut()).zip(recycle_txs.iter())
+            {
                 if let Some(rx) = slot {
                     match rx.recv() {
-                        Ok((ops, chunk)) => engine.commit_block(ops, &chunk),
+                        Ok(mut chunk) => {
+                            engine.commit_block(&chunk);
+                            chunk.clear();
+                            // Hand the drained block back; if the
+                            // free-list is full or the generator is done,
+                            // the block just drops.
+                            match recycle_tx.try_send(chunk) {
+                                Ok(())
+                                | Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {}
+                            }
+                        }
                         Err(_) => {
                             // Generator finished and dropped its sender.
                             *slot = None;
@@ -211,9 +250,9 @@ mod tests {
         let shape = kernels::knn::DistanceShape { testing: 32, reference: 128, features: 32 };
         let tiled = kernels::knn::Tiled::bandwidth(shape, 16, 16);
         let reference = run_fresh(&tiled, &cfg);
-        let mut engine = SimdEngine::new(cfg).expect("valid config");
-        let mut buf = Vec::new();
-        let batched = run_buffered(&tiled, &mut engine, &mut buf);
+        let mut engine = SimdEngine::new(cfg.clone()).expect("valid config");
+        let mut block = AccessBlock::new(cfg.line_bytes);
+        let batched = run_buffered(&tiled, &mut engine, &mut block);
         assert_eq!(batched, reference);
     }
 
@@ -246,8 +285,21 @@ mod tests {
             reference.ops as usize * 2 > FLUSH_ACCESSES,
             "test workload too small to cross a flush boundary"
         );
+        let mut engine = SimdEngine::new(cfg.clone()).expect("valid config");
+        let mut block = AccessBlock::new(cfg.line_bytes);
+        assert_eq!(run_buffered(&w, &mut engine, &mut block), reference);
+    }
+
+    #[test]
+    fn batch_sink_rearms_scratch_to_engine_geometry() {
+        // A scratch block left armed for a different line size must be
+        // re-split for the engine it is now feeding.
+        let cfg = CacheConfig::paper_default(); // 64-byte lines
+        let shape = kernels::knn::DistanceShape { testing: 16, reference: 64, features: 32 };
+        let tiled = kernels::knn::Tiled::bandwidth(shape, 16, 16);
+        let reference = run_fresh(&tiled, &cfg);
         let mut engine = SimdEngine::new(cfg).expect("valid config");
-        let mut buf = Vec::new();
-        assert_eq!(run_buffered(&w, &mut engine, &mut buf), reference);
+        let mut block = AccessBlock::new(32);
+        assert_eq!(run_buffered(&tiled, &mut engine, &mut block), reference);
     }
 }

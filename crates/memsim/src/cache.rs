@@ -36,8 +36,10 @@
 //! path alive for differential tests and microbenchmarks.
 
 use crate::access::{Access, AccessKind, VarClass};
+use crate::block::{meta_class, meta_kind, AccessBlock};
 use crate::probe::{self, SimdLevel};
 use core::fmt;
+use std::sync::OnceLock;
 
 /// Replacement policy for a cache set.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -356,7 +358,7 @@ impl Cache {
         // compiled straight into the lookup. `Simd` stays selectable via
         // [`Cache::force_probe_path`] for hosts where the trade flips.
         let probe = if config.ways > 8 { ProbePath::Scan } else { ProbePath::Swar };
-        Ok(Cache {
+        let mut cache = Cache {
             line_shift: config.line_bytes.trailing_zeros(),
             set_bits: sets.trailing_zeros(),
             set_mask: u64::from(sets - 1),
@@ -374,7 +376,18 @@ impl Cache {
             lb_refs: vec![0; slots].into_boxed_slice(),
             lb_enabled: config.line_bytes > 1,
             config,
-        })
+        };
+        // `MEMSIM_PROBE=scan|swar|simd` overrides the default probe on
+        // every cache built in the process, so the probe comparison can
+        // run on other hosts without a rebuild. The override obeys the
+        // same support rules as [`Cache::force_probe_path`] and falls
+        // back silently to the default where the geometry or host cannot
+        // run the requested path — the probe never changes counters, so
+        // the fallback is observationally safe.
+        if let Some(path) = env_probe_override() {
+            let _ = cache.force_probe_path(path);
+        }
+        Ok(cache)
     }
 
     /// The configuration this cache was built with.
@@ -535,6 +548,86 @@ impl Cache {
                 for line_addr in start_line..=end_line {
                     st = self.block_line::<LRU, WB, LB>(st, line_addr, a.kind, a.bytes, a.class);
                 }
+            }
+        }
+        self.tick = st.tick;
+        self.stats.read_hits += st.read_hits;
+        self.stats.write_hits += st.write_hits;
+        self.stats.offchip_write_bytes += st.offchip_write_bytes;
+    }
+
+    /// Streams a packed [`AccessBlock`] through the cache in one pass.
+    ///
+    /// Equivalent, counter for counter and stamp for stamp, to
+    /// [`Cache::access_block`] on the stream the block was packed from:
+    /// the block's entries *are* the per-line sequence the AoS pass
+    /// derives on the fly (splitting and `addr >> line_shift` happened at
+    /// pack time), so the loop body is just the line-buffer probe over a
+    /// dense `u64` stream — no struct striding, no span computation, and
+    /// under write-back–allocate no `bytes` load at all (that column is
+    /// only consumed by the write-around policy; see
+    /// [`Cache::finish_miss`] / [`Cache::hit_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was packed for a different line size — its
+    /// entries would describe a different per-line sequence.
+    pub fn access_soa(&mut self, block: &AccessBlock) {
+        assert_eq!(
+            block.line_shift(),
+            self.line_shift,
+            "block packed for {}-byte lines fed to a {}-byte-line cache",
+            block.line_bytes(),
+            self.config.line_bytes,
+        );
+        let (addrs, bytes, meta) = block.parts();
+        match (self.config.replacement, self.config.write_policy, self.lb_enabled) {
+            (ReplacementPolicy::Lru, WritePolicy::WriteBackAllocate, true) => {
+                self.block_pass_soa::<true, true, true>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteAroundNoAllocate, true) => {
+                self.block_pass_soa::<true, false, true>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteBackAllocate, true) => {
+                self.block_pass_soa::<false, true, true>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteAroundNoAllocate, true) => {
+                self.block_pass_soa::<false, false, true>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteBackAllocate, false) => {
+                self.block_pass_soa::<true, true, false>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Lru, WritePolicy::WriteAroundNoAllocate, false) => {
+                self.block_pass_soa::<true, false, false>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteBackAllocate, false) => {
+                self.block_pass_soa::<false, true, false>(addrs, bytes, meta);
+            }
+            (ReplacementPolicy::Fifo, WritePolicy::WriteAroundNoAllocate, false) => {
+                self.block_pass_soa::<false, false, false>(addrs, bytes, meta);
+            }
+        }
+    }
+
+    /// The SoA loop body: [`Cache::block_line`] over pre-split per-line
+    /// entries. Under `WB` the `bytes` column is provably unread by the
+    /// whole downstream path, so that load is elided — the write-around
+    /// instantiations zip it back in.
+    fn block_pass_soa<const LRU: bool, const WB: bool, const LB: bool>(
+        &mut self,
+        addrs: &[u64],
+        bytes: &[u32],
+        meta: &[u8],
+    ) {
+        let mut st =
+            BlockState { tick: self.tick, read_hits: 0, write_hits: 0, offchip_write_bytes: 0 };
+        if WB {
+            for (&line_addr, &m) in addrs.iter().zip(meta) {
+                st = self.block_line::<LRU, WB, LB>(st, line_addr, meta_kind(m), 0, meta_class(m));
+            }
+        } else {
+            for ((&line_addr, &b), &m) in addrs.iter().zip(bytes).zip(meta) {
+                st = self.block_line::<LRU, WB, LB>(st, line_addr, meta_kind(m), b, meta_class(m));
             }
         }
         self.tick = st.tick;
@@ -1061,6 +1154,34 @@ impl fmt::Debug for Cache {
     }
 }
 
+/// Parses a `MEMSIM_PROBE` value. Split from the env read so the mapping
+/// is unit-testable without mutating process-global state.
+fn parse_probe_override(value: &str) -> Option<ProbePath> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "scan" => Some(ProbePath::Scan),
+        "swar" => Some(ProbePath::Swar),
+        "simd" => Some(ProbePath::Simd),
+        _ => None,
+    }
+}
+
+/// The process-wide `MEMSIM_PROBE` override, read and parsed once. An
+/// unrecognised value warns on the first cache construction and is then
+/// ignored.
+fn env_probe_override() -> Option<ProbePath> {
+    static OVERRIDE: OnceLock<Option<ProbePath>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("MEMSIM_PROBE") {
+        Ok(raw) => {
+            let parsed = parse_probe_override(&raw);
+            if parsed.is_none() {
+                eprintln!("memsim: ignoring MEMSIM_PROBE={raw:?} (expected scan, swar or simd)");
+            }
+            parsed
+        }
+        Err(_) => None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1240,15 +1361,23 @@ mod tests {
         let mut fast = Cache::new(cfg.clone()).unwrap();
         let mut scalar = Cache::new(cfg.clone()).unwrap();
         let mut run = Cache::new(cfg.clone()).unwrap();
+        let mut soa = Cache::new(cfg.clone()).unwrap();
         for &a in stream {
             fast.access(a);
             scalar.access_scalar(a);
         }
         run.access_run(stream);
+        let mut block = AccessBlock::new(cfg.line_bytes);
+        for a in stream {
+            block.push_op(core::slice::from_ref(a));
+        }
+        soa.access_soa(&block);
         assert_eq!(fast.stats(), scalar.stats());
         assert_eq!(fast.stats(), run.stats());
+        assert_eq!(fast.stats(), soa.stats());
         assert_eq!(fast.line_states(), scalar.line_states());
         assert_eq!(fast.line_states(), run.line_states());
+        assert_eq!(fast.line_states(), soa.line_states());
     }
 
     #[test]
@@ -1340,5 +1469,25 @@ mod tests {
             }
         }
         assert_three_way_equal(&cfg, &stream);
+    }
+
+    #[test]
+    fn probe_override_parser() {
+        assert_eq!(parse_probe_override("scan"), Some(ProbePath::Scan));
+        assert_eq!(parse_probe_override("SWAR"), Some(ProbePath::Swar));
+        assert_eq!(parse_probe_override(" simd\n"), Some(ProbePath::Simd));
+        assert_eq!(parse_probe_override(""), None);
+        assert_eq!(parse_probe_override("avx2"), None);
+    }
+
+    #[test]
+    fn soa_pass_rejects_mismatched_line_size() {
+        let mut c = Cache::new(CacheConfig::paper_default()).unwrap();
+        let mut block = AccessBlock::new(32);
+        block.push_op(&[read(0, 4)]);
+        let err = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            c.access_soa(&block);
+        }));
+        assert!(err.is_err());
     }
 }

@@ -1,6 +1,7 @@
 //! The 256-bit SIMD engine front end of the Section-2 methodology.
 
 use crate::access::Access;
+use crate::block::AccessBlock;
 use crate::cache::{Cache, CacheConfig, CacheConfigError, CacheStats};
 use core::fmt;
 
@@ -57,12 +58,28 @@ impl SimdEngine {
         self.cache.access_run(operands);
     }
 
-    /// Executes a pre-flattened block of `ops` SIMD operations whose
-    /// operand accesses were concatenated into `accesses`, streaming the
-    /// whole block through [`Cache::access_block`]. Counter-for-counter
-    /// equivalent to calling [`SimdEngine::op`] once per operation — the
-    /// batched entry point for [`crate::batch`].
-    pub fn commit_block(&mut self, ops: u64, accesses: &[Access]) {
+    /// Executes a packed [`AccessBlock`] — the SoA batched entry point
+    /// for [`crate::batch`] and the serving fleet. Counter-for-counter
+    /// equivalent to calling [`SimdEngine::op`] once per flattened
+    /// operation: the block carries its own op count (the cycle charge)
+    /// and its entries are the exact per-line sequence the scalar path
+    /// would derive, streamed through [`Cache::access_soa`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was packed for a different line size than this
+    /// engine's cache.
+    pub fn commit_block(&mut self, block: &AccessBlock) {
+        self.cycles += block.ops();
+        self.ops += block.ops();
+        self.cache.access_soa(block);
+    }
+
+    /// The array-of-structs ancestor of [`SimdEngine::commit_block`]:
+    /// executes `ops` SIMD operations whose operand accesses were
+    /// concatenated into `accesses`, via [`Cache::access_block`]. Kept as
+    /// the differential reference the SoA path is tested against.
+    pub fn commit_accesses(&mut self, ops: u64, accesses: &[Access]) {
         self.cycles += ops;
         self.ops += ops;
         self.cache.access_block(accesses);

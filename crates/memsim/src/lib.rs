@@ -46,6 +46,7 @@
 
 mod access;
 pub mod batch;
+mod block;
 mod cache;
 mod engine;
 pub mod kernels;
@@ -54,6 +55,7 @@ mod reuse;
 
 pub use access::{Access, AccessKind, Addr, VarClass};
 pub use batch::{run_batch, run_buffered, BatchSink};
+pub use block::AccessBlock;
 pub use cache::{
     Cache, CacheConfig, CacheConfigError, CacheStats, LineState, ProbePath, ReplacementPolicy,
     WritePolicy,

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use pudiannao_memsim::kernels::{run_fresh, TraceSink};
 use pudiannao_memsim::{
-    run_batch, Access, AccessKind, Addr, CacheConfig, KernelStats, SimdEngine, Technique, VarClass,
-    Workload,
+    run_batch, Access, AccessBlock, AccessKind, Addr, CacheConfig, KernelStats, SimdEngine,
+    Technique, VarClass, Workload,
 };
 
 /// A workload that replays a recorded op list — the arbitrary-trace stand-in
@@ -84,32 +84,50 @@ proptest! {
             reference.push(e);
         }
 
-        // Interleaved: chop each trace into `chunk_ops`-op flat blocks and
-        // commit them round-robin across the engines.
-        let mut engines: Vec<SimdEngine> =
+        // Interleaved: chop each trace into `chunk_ops`-op chunks — both
+        // as AoS flat access lists (the `commit_accesses` reference) and
+        // as packed SoA `AccessBlock`s (`commit_block`) — and commit them
+        // round-robin across two independent engine sets.
+        let mut aos_engines: Vec<SimdEngine> =
             workloads.iter().map(|_| SimdEngine::new(cfg.clone()).unwrap()).collect();
-        let chunked: Vec<Vec<(u64, Vec<Access>)>> = workloads
+        let mut soa_engines: Vec<SimdEngine> =
+            workloads.iter().map(|_| SimdEngine::new(cfg.clone()).unwrap()).collect();
+        let chunked: Vec<Vec<(u64, Vec<Access>, AccessBlock)>> = workloads
             .iter()
             .map(|w| {
                 w.ops
                     .chunks(chunk_ops)
-                    .map(|ops| (ops.len() as u64, ops.iter().flatten().copied().collect()))
+                    .map(|ops| {
+                        let mut block = AccessBlock::new(cfg.line_bytes);
+                        for op in ops {
+                            block.push_op(op);
+                        }
+                        (ops.len() as u64, ops.iter().flatten().copied().collect(), block)
+                    })
                     .collect()
             })
             .collect();
         let rounds = chunked.iter().map(Vec::len).max().unwrap_or(0);
         for round in 0..rounds {
-            for (engine, chunks) in engines.iter_mut().zip(&chunked) {
-                if let Some((ops, block)) = chunks.get(round) {
-                    engine.commit_block(*ops, block);
+            for ((aos, soa), chunks) in
+                aos_engines.iter_mut().zip(soa_engines.iter_mut()).zip(&chunked)
+            {
+                if let Some((ops, flat, block)) = chunks.get(round) {
+                    aos.commit_accesses(*ops, flat);
+                    soa.commit_block(block);
                 }
             }
         }
 
-        for (i, (batched, sequential)) in engines.iter().zip(&reference).enumerate() {
-            prop_assert_eq!(batched.report(), sequential.report(), "engine {} report", i);
-            prop_assert_eq!(batched.cache_stats(), sequential.cache_stats(), "engine {} stats", i);
-            prop_assert_eq!(states(batched), states(sequential), "engine {} line states", i);
+        for (i, ((aos, soa), sequential)) in
+            aos_engines.iter().zip(&soa_engines).zip(&reference).enumerate()
+        {
+            prop_assert_eq!(aos.report(), sequential.report(), "engine {} AoS report", i);
+            prop_assert_eq!(aos.cache_stats(), sequential.cache_stats(), "engine {} AoS stats", i);
+            prop_assert_eq!(states(aos), states(sequential), "engine {} AoS line states", i);
+            prop_assert_eq!(soa.report(), sequential.report(), "engine {} SoA report", i);
+            prop_assert_eq!(soa.cache_stats(), sequential.cache_stats(), "engine {} SoA stats", i);
+            prop_assert_eq!(states(soa), states(sequential), "engine {} SoA line states", i);
         }
 
         // Public entry point: stats match N sequential fresh runs.

@@ -14,9 +14,24 @@
 //!   for exactly this reason) and also maps to the NB counting kernel,
 //!   with a CT-flavoured feature/value shape.
 
+//! ## Trace-template cache
+//!
+//! The catalog's workloads are *templates*: a `(phase, tier)` pair always
+//! generates the identical access trace, yet the fleet used to regenerate
+//! it from the kernel loop nest for every one of ~100k requests. The
+//! [`TraceCache`] records each template's flattened [`AccessBlock`] once,
+//! on first use, into a bounded per-shard arena; every later leg replays
+//! the packed block with a single [`SimdEngine::commit_block`] call. The
+//! replay is counter-identical to fresh generation — flush boundaries are
+//! invisible to the cache model, and a leg's completion timestamp is read
+//! from the cumulative cycle counter only after the leg — so every
+//! sha-pinned report stays byte-identical with the cache on or off.
+//!
+//! [`SimdEngine::commit_block`]: pudiannao_memsim::SimdEngine::commit_block
+
 use pudiannao_codegen::phases::Phase;
-use pudiannao_memsim::kernels::{ct, dnn, kmeans, knn, linreg, nb, svm};
-use pudiannao_memsim::Workload;
+use pudiannao_memsim::kernels::{ct, dnn, kmeans, knn, linreg, nb, svm, TraceSink};
+use pudiannao_memsim::{Access, AccessBlock, BatchSink, SimdEngine, Workload};
 
 use crate::request::SizeTier;
 
@@ -24,6 +39,19 @@ use crate::request::SizeTier;
 #[must_use]
 pub fn phase_index(phase: Phase) -> usize {
     Phase::ALL.iter().position(|p| *p == phase).expect("Phase::ALL covers every variant")
+}
+
+/// Number of `(phase, tier)` slots in the catalog (and in a
+/// [`TraceCache`]).
+#[must_use]
+pub fn slot_count() -> usize {
+    Phase::ALL.len() * SizeTier::ALL.len()
+}
+
+/// The catalog slot serving `(phase, tier)` requests.
+#[must_use]
+pub fn slot_index(phase: Phase, tier: SizeTier) -> usize {
+    phase_index(phase) * SizeTier::ALL.len() + tier.index()
 }
 
 /// The fleet's workload table: one boxed [`Workload`] per (phase, tier).
@@ -47,7 +75,167 @@ impl ServingCatalog {
     /// The workload that serves `(phase, tier)` requests.
     #[must_use]
     pub fn get(&self, phase: Phase, tier: SizeTier) -> &dyn Workload {
-        self.entries[phase_index(phase) * 3 + tier.index()].as_ref()
+        self.entries[slot_index(phase, tier)].as_ref()
+    }
+}
+
+/// One `(phase, tier)` slot of a [`TraceCache`].
+enum Slot {
+    /// Never executed through this cache yet.
+    Empty,
+    /// Recorded; legs replay this packed block.
+    Ready(AccessBlock),
+    /// Recording would overflow the arena budget; legs for this slot
+    /// generate fresh forever (bounded memory beats caching the giants).
+    TooBig,
+}
+
+/// Bytes one packed per-line entry occupies across the three SoA columns
+/// (`u64` line address + `u32` bytes + `u8` meta). Budget accounting uses
+/// `len * ENTRY_BYTES` — a pure function of the recorded trace, so the
+/// Ready/TooBig decision is identical on every shard and every run.
+const ENTRY_BYTES: usize = 13;
+
+/// Counters and footprint of one or more [`TraceCache`]s, summed for the
+/// report. Never serialised into the report JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Legs served by replaying a recorded block.
+    pub hits: u64,
+    /// Legs that generated their trace fresh (first use or over-budget).
+    pub misses: u64,
+    /// Accounted bytes of recorded blocks resident across the caches.
+    pub resident_bytes: u64,
+    /// Slots holding a replayable block.
+    pub ready_slots: u64,
+    /// Slots whose template overflowed the budget.
+    pub too_big_slots: u64,
+}
+
+impl TraceCacheStats {
+    /// Replay share of all legs, in permille (0 when no legs ran).
+    #[must_use]
+    pub fn hit_permille(&self) -> u64 {
+        (self.hits * 1000).checked_div(self.hits + self.misses).unwrap_or(0)
+    }
+
+    /// Element-wise sum, for aggregating per-shard caches.
+    #[must_use]
+    pub fn merged(self, other: TraceCacheStats) -> TraceCacheStats {
+        TraceCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            ready_slots: self.ready_slots + other.ready_slots,
+            too_big_slots: self.too_big_slots + other.too_big_slots,
+        }
+    }
+}
+
+/// A [`TraceSink`] that only packs — the recording arm of a first-use
+/// leg. The whole template lands in one block, committed once; chunked
+/// commits would be equivalent (flush boundaries are invisible), just
+/// more calls.
+struct PackSink<'a> {
+    block: &'a mut AccessBlock,
+}
+
+impl TraceSink for PackSink<'_> {
+    fn op(&mut self, operands: &[Access]) {
+        self.block.push_op(operands);
+    }
+}
+
+/// Per-shard trace-template cache: one slot per `(phase, tier)`, a byte
+/// budget bounding the recorded arena, and hit/miss counters.
+///
+/// Per-shard (not fleet-global) deliberately: shards execute their waves
+/// in parallel, and a shared cache would need synchronisation on the
+/// hottest path; 39 slots of small packed blocks are cheap enough to
+/// duplicate. Each shard's leg sequence is deterministic, so its
+/// counters — and their fleet-wide sum — are too.
+pub struct TraceCache {
+    slots: Vec<Slot>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl TraceCache {
+    /// An empty cache whose recorded blocks may use at most
+    /// `budget_bytes` (accounted as `entries × 13` packed bytes).
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> TraceCache {
+        TraceCache {
+            slots: (0..slot_count()).map(|_| Slot::Empty).collect(),
+            budget_bytes,
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Executes one `(phase, tier)` leg through `engine`: replaying the
+    /// recorded block on a hit, recording on first use, and generating
+    /// fresh (via `scratch`, chunked) for over-budget templates.
+    /// Counter-identical to streaming `catalog.get(phase, tier)` through
+    /// a [`BatchSink`].
+    pub fn execute(
+        &mut self,
+        catalog: &ServingCatalog,
+        phase: Phase,
+        tier: SizeTier,
+        engine: &mut SimdEngine,
+        scratch: &mut AccessBlock,
+    ) {
+        let idx = slot_index(phase, tier);
+        match &self.slots[idx] {
+            Slot::Ready(block) => {
+                self.hits += 1;
+                engine.commit_block(block);
+            }
+            Slot::TooBig => {
+                self.misses += 1;
+                let mut sink = BatchSink::new(engine, scratch);
+                catalog.get(phase, tier).trace(&mut sink);
+                sink.finish();
+            }
+            Slot::Empty => {
+                self.misses += 1;
+                let mut recording = AccessBlock::new(engine.cache().config().line_bytes);
+                catalog.get(phase, tier).trace(&mut PackSink { block: &mut recording });
+                engine.commit_block(&recording);
+                let cost = recording.len() * ENTRY_BYTES;
+                if self.used_bytes + cost <= self.budget_bytes {
+                    self.used_bytes += cost;
+                    self.slots[idx] = Slot::Ready(recording);
+                } else {
+                    self.slots[idx] = Slot::TooBig;
+                }
+            }
+        }
+    }
+
+    /// This cache's counters and footprint.
+    #[must_use]
+    pub fn stats(&self) -> TraceCacheStats {
+        let mut ready = 0;
+        let mut too_big = 0;
+        for s in &self.slots {
+            match s {
+                Slot::Ready(_) => ready += 1,
+                Slot::TooBig => too_big += 1,
+                Slot::Empty => {}
+            }
+        }
+        TraceCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            resident_bytes: self.used_bytes as u64,
+            ready_slots: ready,
+            too_big_slots: too_big,
+        }
     }
 }
 

@@ -43,13 +43,13 @@
 //! partition the offered load (the conservation invariant the proptests
 //! pin down).
 
-use pudiannao_memsim::{batch, Access, BatchSink, CacheConfig, SimdEngine, Technique};
+use pudiannao_memsim::{batch, AccessBlock, BatchSink, CacheConfig, SimdEngine, Technique};
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::admission::{AdmissionConfig, AdmissionOutcome, AdmissionQueue};
-use crate::catalog::ServingCatalog;
+use crate::catalog::{ServingCatalog, TraceCache, TraceCacheStats};
 use crate::chaos::{ChaosConfig, Defense, ShardChaos};
 use crate::metrics::{MetricsConfig, MetricsRecorder};
 use crate::pool;
@@ -69,6 +69,12 @@ pub const BATCH_SETUP_NS: u64 = 87;
 /// full-rebuild cost from the same profiling pass).
 pub const RECONFIG_NS: u64 = 252;
 
+/// Default per-shard trace-template arena: comfortably holds every
+/// catalog template on the paper-default cache geometry (measured ~4 MB
+/// of packed entries across all 39 slots on the heavy stream), with 4x
+/// headroom for bigger tiers.
+pub const TRACE_CACHE_BYTES: usize = 16 << 20;
+
 /// Fleet-level configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct FleetConfig {
@@ -78,13 +84,23 @@ pub struct FleetConfig {
     pub max_batch: usize,
     /// Admission-queue bounds.
     pub admission: AdmissionConfig,
+    /// Per-shard trace-template arena budget in bytes; 0 disables the
+    /// cache (every leg regenerates its trace). Replay is
+    /// counter-identical to fresh generation, so this knob only moves
+    /// wall-clock and memory — never a report byte.
+    pub trace_cache_bytes: usize,
 }
 
 impl FleetConfig {
     /// The 4-shard fleet `serve_bench` runs by default.
     #[must_use]
     pub fn paper_default() -> Self {
-        FleetConfig { shards: 4, max_batch: 16, admission: AdmissionConfig::paper_default() }
+        FleetConfig {
+            shards: 4,
+            max_batch: 16,
+            admission: AdmissionConfig::paper_default(),
+            trace_cache_bytes: TRACE_CACHE_BYTES,
+        }
     }
 
     /// Same knobs with a different shard count (for the scaling sweep).
@@ -182,8 +198,10 @@ struct BatchFacts {
 /// health-tracking state.
 struct Shard {
     engine: SimdEngine,
-    /// Scratch for the batched trace path, reused across requests.
-    buf: Vec<Access>,
+    /// SoA scratch for the batched trace path, reused across requests.
+    block: AccessBlock,
+    /// Recorded trace templates; `None` when `trace_cache_bytes` is 0.
+    trace_cache: Option<TraceCache>,
     last_technique: Option<Technique>,
     free_at_ns: u64,
     batches: u64,
@@ -203,10 +221,11 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(cache: &CacheConfig, chaos: Option<ShardChaos>) -> Shard {
+    fn new(cache: &CacheConfig, chaos: Option<ShardChaos>, trace_cache_bytes: usize) -> Shard {
         Shard {
             engine: SimdEngine::new(cache.clone()).expect("paper cache config is valid"),
-            buf: Vec::with_capacity(batch::FLUSH_ACCESSES + 8),
+            block: AccessBlock::with_capacity(cache.line_bytes, batch::FLUSH_ACCESSES + 32),
+            trace_cache: (trace_cache_bytes > 0).then(|| TraceCache::new(trace_cache_bytes)),
             last_technique: None,
             free_at_ns: 0,
             batches: 0,
@@ -259,14 +278,28 @@ impl Shard {
             let RequestKind::Phase(phase) = leg.request.kind else {
                 unreachable!("admission rejects unknown techniques before dispatch");
             };
-            // Batched execution: the request's ops accumulate in the
-            // scratch buffer and stream through the cache in block
+            // Batched execution: the request's ops pack into the SoA
+            // scratch block and stream through the cache in block
             // passes — counter-identical to tracing straight into the
             // engine, which is why the completion timestamps (read off
             // the cumulative cycle counter after the flush) don't move.
-            let mut sink = BatchSink::new(&mut self.engine, &mut self.buf);
-            catalog.get(phase, leg.request.tier).trace(&mut sink);
-            sink.finish();
+            // With the template cache, a previously seen (phase, tier)
+            // replays its recorded block instead of regenerating it;
+            // same equivalence, minus the whole generation pass.
+            match &mut self.trace_cache {
+                Some(cache) => cache.execute(
+                    catalog,
+                    phase,
+                    leg.request.tier,
+                    &mut self.engine,
+                    &mut self.block,
+                ),
+                None => {
+                    let mut sink = BatchSink::new(&mut self.engine, &mut self.block);
+                    catalog.get(phase, leg.request.tier).trace(&mut sink);
+                    sink.finish();
+                }
+            }
             let cycles = self.engine.report().cycles;
             let done_ns = t.saturating_add(scale_ns(cycles, slowdown));
             out.push(LegResult {
@@ -989,7 +1022,7 @@ pub fn run_fleet_observed(
     let mut shards: Vec<Shard> = (0..config.shards)
         .map(|i| {
             let fate = if chaos.is_off() { None } else { Some(ShardChaos::new(chaos, i)) };
-            Shard::new(cache, fate)
+            Shard::new(cache, fate, config.trace_cache_bytes)
         })
         .collect();
     let mut admission = AdmissionQueue::new(admission_config);
@@ -1229,6 +1262,14 @@ pub fn run_fleet_observed(
     if let Some(o) = obs {
         o.finish(&mut report);
     }
+    // In-memory only, like the trace handle: the summed per-shard
+    // template-cache counters never reach the report JSON, so pinned
+    // reports stay byte-identical whatever the cache budget.
+    report.trace_cache = shards
+        .iter()
+        .filter_map(|s| s.trace_cache.as_ref())
+        .map(TraceCache::stats)
+        .reduce(TraceCacheStats::merged);
     report
 }
 

@@ -49,11 +49,11 @@ pub mod sweep;
 pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionCounters, AdmissionOutcome, AdmissionQueue};
-pub use catalog::ServingCatalog;
+pub use catalog::{slot_count, slot_index, ServingCatalog, TraceCache, TraceCacheStats};
 pub use chaos::{ChaosConfig, Defense, ShardChaos};
 pub use fleet::{
     run_fleet, run_fleet_observed, run_fleet_resilient, serve, serve_observed, serve_resilient,
-    FleetConfig, ObserveConfig, BATCH_SETUP_NS, RECONFIG_NS,
+    FleetConfig, ObserveConfig, BATCH_SETUP_NS, RECONFIG_NS, TRACE_CACHE_BYTES,
 };
 pub use gen::{generate, GeneratorConfig, SplitMix64};
 pub use metrics::{LogHistogram, MetricsConfig, MetricsReport, WindowSummary};

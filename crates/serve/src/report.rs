@@ -413,6 +413,10 @@ pub struct ServeReport {
     /// [`fleet_timeline`](crate::trace::fleet_timeline). Never
     /// serialised into the report JSON.
     pub trace: Option<crate::trace::FleetTrace>,
+    /// Summed per-shard trace-template-cache counters, `None` when the
+    /// cache is disabled. Never serialised into the report JSON — the
+    /// cache only moves wall-clock and memory, never a report byte.
+    pub trace_cache: Option<crate::catalog::TraceCacheStats>,
 }
 
 /// Nearest-rank percentile on an ascending slice; `q_permille` is the
@@ -512,6 +516,7 @@ impl ServeReport {
             resilience,
             observability: None,
             trace: None,
+            trace_cache: None,
         }
     }
 

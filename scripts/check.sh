@@ -133,13 +133,15 @@ if [[ "${1:-}" == "--serve" ]]; then
     tmp="$(mktemp -d)"
     trap 'rm -rf "$tmp"' EXIT
     ./target/release/serve_bench --smoke --out "$tmp/serve_report.json" \
-        | grep -E '^\[serve\] (mode|shards|offered|admitted|shed|rejected|completed|shed_permille) ' \
+        | grep -E '^\[serve\] (mode|shards|offered|admitted|shed|rejected|completed|shed_permille|trace_cache) ' \
         > "$tmp/got.txt"
     cat "$tmp/got.txt"
 
-    # Pinned admission/completion counts for the built-in smoke stream.
-    # Any change here means the generator, the admission policy, or the
-    # scheduler's batching shifted — update deliberately, never silently.
+    # Pinned admission/completion counts and trace-template-cache
+    # counters for the built-in smoke stream. Any change here means the
+    # generator, the admission policy, the scheduler's batching, or the
+    # cache's slot/budget decisions shifted — update deliberately, never
+    # silently.
     cat > "$tmp/want.txt" <<'EOF'
 [serve] mode smoke
 [serve] shards 2
@@ -149,9 +151,10 @@ if [[ "${1:-}" == "--serve" ]]; then
 [serve] rejected 14
 [serve] completed 2406
 [serve] shed_permille 395
+[serve] trace_cache hits 2328 misses 78 hit_permille 967 resident_kb 8013 ready 78 too_big 0
 EOF
     cmp "$tmp/want.txt" "$tmp/got.txt"
-    echo "    admission and completion counts match the pinned expectation"
+    echo "    admission, completion and trace-cache counts match the pinned expectation"
 
     echo "==> determinism: REPRO_THREADS=1 vs 4"
     REPRO_THREADS=1 ./target/release/serve_bench --smoke \
@@ -278,6 +281,12 @@ if [[ "${1:-}" == "--bench" ]]; then
 
     echo "==> batched-execution differential suite (interleaved run_batch vs sequential runs)"
     cargo test -q -p pudiannao-memsim --test batch_equivalence
+
+    echo "==> SoA block differential suite (AccessBlock pack + access_soa vs AoS reference)"
+    cargo test -q -p pudiannao-memsim --test soa_equivalence
+
+    echo "==> trace-template-cache equivalence suite (cached replay vs fresh generation)"
+    cargo test -q -p pudiannao-serve --test trace_cache
 
     echo "==> bench_hotpath"
     ./target/release/bench_hotpath | grep '^\[bench\]'
